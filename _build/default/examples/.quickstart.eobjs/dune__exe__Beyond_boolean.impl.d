@@ -1,0 +1,1 @@
+examples/beyond_boolean.ml: Analysis Automata Format Graphdb Hypergraph Ilp_solver List Printf Resilience Solver St_resilience String Two_way Value

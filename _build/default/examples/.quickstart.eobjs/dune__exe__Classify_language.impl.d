@@ -1,0 +1,1 @@
+examples/classify_language.ml: Array Automata Classify Format List Resilience String Sys

@@ -1,0 +1,1 @@
+examples/classify_language.mli:

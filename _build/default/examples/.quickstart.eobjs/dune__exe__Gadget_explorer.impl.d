@@ -1,0 +1,1 @@
+examples/gadget_explorer.ml: Array Exact Format Gadgets Graphdb Graphs Hypergraph List Option Resilience String Sys Value

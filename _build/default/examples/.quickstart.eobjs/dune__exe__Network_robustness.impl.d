@@ -1,0 +1,1 @@
+examples/network_robustness.ml: Array Automata Flow Format Graphdb List Resilience Solver Value

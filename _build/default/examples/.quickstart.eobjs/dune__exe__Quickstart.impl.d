@@ -1,0 +1,1 @@
+examples/quickstart.ml: Automata Classify Format Graphdb List Resilience Solver Value

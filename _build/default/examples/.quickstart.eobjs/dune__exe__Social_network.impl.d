@@ -1,0 +1,1 @@
+examples/social_network.ml: Automata Classify Format Graphdb List Resilience Solver Sys Value

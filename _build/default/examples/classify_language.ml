@@ -1,0 +1,44 @@
+(* Classify regular path queries: a command-line front-end for the Figure 1
+   decision procedure.
+
+   Run with:
+     dune exec examples/classify_language.exe              (showcase list)
+     dune exec examples/classify_language.exe -- "abc|be" "ax*b" ...  *)
+
+open Resilience
+
+let showcase =
+  [
+    "ax*b"; "ab|ad|cd"; "abc|be"; "abcd|ce"; "ab|bc"; "axb|byc"; "axyb|bztc|cd|dea"; "a|aa";
+    "ax*b|xd"; "abc|bcd"; "abcd|be"; "abc|bef";
+    "aa"; "aaaa"; "abca|cab"; "axb|cxd"; "ax*b|cxd"; "b(aa)*d"; "ab|bc|ca"; "abcd|be|ef";
+    "abcd|bef"; "aba|bab"; "e*be*ce*|e*de*fe*";
+  ]
+
+let describe s =
+  match Automata.Regex.parse_opt s with
+  | None -> Format.printf "%-20s syntax error@." s
+  | Some _ ->
+      let c = Classify.classify_regex s in
+      Format.printf "%-20s %s@." s (Classify.verdict_summary c.Classify.verdict);
+      (match c.Classify.reduced_words with
+      | Some ws when List.length ws <= 8 ->
+          Format.printf "%-20s reduce(L) = {%s}@." "" (String.concat ", " ws)
+      | Some ws -> Format.printf "%-20s reduce(L): %d words@." "" (List.length ws)
+      | None -> Format.printf "%-20s reduce(L) is infinite@." "");
+      (* extra diagnostics *)
+      let r = c.Classify.reduced in
+      Format.printf "%-20s local=%b star-free=%s neutral letters={%s}@." ""
+        (Automata.Local.is_local_language r)
+        (match Automata.Starfree.is_star_free r with
+        | Some true -> "yes"
+        | Some false -> "no"
+        | None -> "unknown")
+        (String.concat ","
+           (List.map (String.make 1) (Automata.Neutral.neutral_letters (Automata.Lang.of_string s))))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let targets = if args = [] then showcase else args in
+  Format.printf "RPQ resilience classification (Figure 1 of the paper)@.@.";
+  List.iter describe targets

@@ -1,0 +1,1 @@
+lib/automata/cset.ml: Buffer Char Format List Set String

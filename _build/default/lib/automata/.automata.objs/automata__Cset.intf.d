@@ -1,0 +1,1 @@
+lib/automata/cset.mli: Format Set

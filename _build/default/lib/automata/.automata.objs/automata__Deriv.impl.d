@@ -1,0 +1,1 @@
+lib/automata/deriv.ml: Array Cset Dfa Hashtbl List Nfa Regex String

@@ -1,0 +1,1 @@
+lib/automata/deriv.mli: Dfa Regex Word

@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Buffer Cset Format Hashtbl List Nfa Option Queue String

@@ -1,0 +1,1 @@
+lib/automata/dot.ml: Array Buffer Dfa List Nfa Printf

@@ -1,0 +1,1 @@
+lib/automata/lang.mli: Cset Nfa Regex Word

@@ -1,0 +1,1 @@
+lib/automata/local.ml: Array Cset Dfa Fun Hashtbl Lang List Nfa String

@@ -1,0 +1,1 @@
+lib/automata/local.mli: Cset Nfa Word

@@ -1,0 +1,1 @@
+lib/automata/neutral.ml: Cset Lang List Nfa

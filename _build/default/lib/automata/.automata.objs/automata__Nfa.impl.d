@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Char Cset Format List Printf Regex String

@@ -1,0 +1,1 @@
+lib/automata/reduce.ml: Dfa Lang List Nfa Word

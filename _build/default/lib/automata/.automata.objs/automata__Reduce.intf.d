@@ -1,0 +1,1 @@
+lib/automata/reduce.mli: Nfa Word

@@ -1,0 +1,1 @@
+lib/automata/regex.ml: Buffer Cset Format List Printf String

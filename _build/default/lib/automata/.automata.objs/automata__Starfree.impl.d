@@ -1,0 +1,1 @@
+lib/automata/starfree.ml: Array Dfa Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/automata/starfree.mli: Nfa

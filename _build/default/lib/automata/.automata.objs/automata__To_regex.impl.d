@@ -1,0 +1,1 @@
+lib/automata/to_regex.ml: Array Deriv Dfa List Nfa Regex

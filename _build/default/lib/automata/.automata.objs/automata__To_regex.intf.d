@@ -1,0 +1,1 @@
+lib/automata/to_regex.mli: Dfa Nfa Regex

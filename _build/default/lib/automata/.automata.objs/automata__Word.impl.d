@@ -1,0 +1,1 @@
+lib/automata/word.ml: Array Char Cset Format List String

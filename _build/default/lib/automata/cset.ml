@@ -1,0 +1,11 @@
+include Set.Make (Char)
+
+let of_string s = String.fold_left (fun acc c -> add c acc) empty s
+
+let to_string t =
+  let b = Buffer.create (cardinal t) in
+  iter (Buffer.add_char b) t;
+  Buffer.contents b
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map (String.make 1) (elements t)))

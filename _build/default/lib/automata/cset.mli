@@ -1,0 +1,12 @@
+(** Finite sets of letters (alphabets Σ). *)
+
+include Set.S with type elt = char
+
+val of_string : string -> t
+(** Set of the letters occurring in a string. *)
+
+val to_string : t -> string
+(** Letters in increasing order, concatenated. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{a,b,c}]. *)

@@ -1,0 +1,93 @@
+open Regex
+
+(* Smart constructors enforcing similarity-normal form. *)
+
+let rec flatten_union = function
+  | Union (a, b) -> flatten_union a @ flatten_union b
+  | e -> [ e ]
+
+let mk_union es =
+  let es = List.sort_uniq compare (List.filter (( <> ) Empty) es) in
+  match es with
+  | [] -> Empty
+  | [ e ] -> e
+  | e :: rest -> List.fold_left (fun acc x -> Union (acc, x)) e rest
+
+let mk_concat a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Eps, e | e, Eps -> e
+  | _ -> Concat (a, b)
+
+let mk_star = function
+  | Empty | Eps -> Eps
+  | Star _ as e -> e
+  | e -> Star e
+
+let rec normalize = function
+  | (Empty | Eps | Letter _) as e -> e
+  | Union _ as e -> mk_union (List.map normalize (flatten_union e))
+  | Concat (a, b) -> mk_concat (normalize a) (normalize b)
+  | Star a -> mk_star (normalize a)
+
+let rec deriv_raw c = function
+  | Empty | Eps -> Empty
+  | Letter c' -> if c = c' then Eps else Empty
+  | Union (a, b) -> mk_union [ deriv_raw c a; deriv_raw c b ]
+  | Concat (a, b) ->
+      let da_b = mk_concat (deriv_raw c a) b in
+      if Regex.nullable a then mk_union [ da_b; deriv_raw c b ] else da_b
+  | Star a as s -> mk_concat (deriv_raw c a) s
+
+let deriv c e = normalize (deriv_raw c (normalize e))
+
+let deriv_word w e = String.fold_left (fun acc c -> deriv c acc) (normalize e) w
+let mem e w = Regex.nullable (deriv_word w e)
+
+let dfa ?(max_states = 10_000) e =
+  let sigma = Regex.letters e in
+  let alpha = Array.of_list (Cset.elements sigma) in
+  let nletters = Array.length alpha in
+  let tbl = Hashtbl.create 64 in
+  let states = ref [] and count = ref 0 in
+  let intern e =
+    match Hashtbl.find_opt tbl e with
+    | Some id -> (id, false)
+    | None ->
+        if !count >= max_states then failwith "Deriv.dfa: state bound exceeded";
+        let id = !count in
+        incr count;
+        Hashtbl.add tbl e id;
+        states := (id, e) :: !states;
+        (id, true)
+  in
+  let rows = Hashtbl.create 64 in
+  let rec explore e id =
+    let row = Array.make nletters 0 in
+    Array.iteri
+      (fun li c ->
+        let e' = deriv c e in
+        let id', fresh = intern e' in
+        row.(li) <- id';
+        if fresh then explore e' id')
+      alpha;
+    Hashtbl.replace rows id row
+  in
+  let e0 = normalize e in
+  let id0, _ = intern e0 in
+  explore e0 id0;
+  let n = !count in
+  let final = Array.make n false in
+  List.iter (fun (id, e) -> final.(id) <- Regex.nullable e) !states;
+  let delta = Array.init n (fun id -> Hashtbl.find rows id) in
+  (* Reuse the NFA -> DFA path only for the record construction: build via
+     an NFA whose determinization is trivial. Simpler: go through Dfa by
+     constructing an equivalent NFA. *)
+  let trans = ref [] in
+  Array.iteri
+    (fun s row -> Array.iteri (fun li s' -> trans := (s, Nfa.Ch alpha.(li), s') :: !trans) row)
+    delta;
+  let finals = ref [] in
+  Array.iteri (fun i f -> if f then finals := i :: !finals) final;
+  Dfa.of_nfa
+    (Nfa.create ~nstates:(max n 1) ~alphabet:sigma ~initial:[ id0 ] ~final:!finals ~trans:!trans)

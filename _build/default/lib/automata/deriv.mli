@@ -1,0 +1,26 @@
+(** Brzozowski derivatives of regular expressions.
+
+    An independent implementation of membership and DFA construction, used
+    to cross-check the Thompson/subset-construction pipeline in the test
+    suite and as a convenient symbolic tool: [deriv a e] denotes
+    { w | aw ∈ L(e) }. Expressions are kept in a similarity-normal form
+    (associativity/commutativity/idempotence of [|], unit/zero laws) so that
+    the set of iterated derivatives is finite (Brzozowski's theorem). *)
+
+val normalize : Regex.t -> Regex.t
+(** Similarity-normal form; preserves the language. *)
+
+val deriv : char -> Regex.t -> Regex.t
+(** The derivative by one letter, normalized. *)
+
+val deriv_word : Word.t -> Regex.t -> Regex.t
+
+val mem : Regex.t -> Word.t -> bool
+(** Membership: [mem e w] iff the derivative of [e] by [w] is nullable. *)
+
+val dfa : ?max_states:int -> Regex.t -> Dfa.t
+(** The derivative automaton, determinized by construction: states are the
+    distinct normalized derivatives. [max_states] (default 10_000) bounds
+    the exploration.
+    @raise Failure if the bound is exceeded (should not happen after
+    normalization). *)

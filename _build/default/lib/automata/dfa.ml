@@ -1,0 +1,354 @@
+type t = {
+  nstates : int;
+  alpha : char array;
+  init : int;
+  final : bool array;
+  delta : int array array;
+}
+
+let alphabet d = Array.fold_left (fun acc c -> Cset.add c acc) Cset.empty d.alpha
+
+let letter_index d c =
+  (* Binary search in the sorted alphabet. *)
+  let lo = ref 0 and hi = ref (Array.length d.alpha - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if d.alpha.(mid) = c then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if d.alpha.(mid) < c then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let accepts d w =
+  let rec go s i =
+    if i = String.length w then d.final.(s)
+    else
+      let li = letter_index d w.[i] in
+      if li < 0 then false else go d.delta.(s).(li) (i + 1)
+  in
+  go d.init 0
+
+let of_nfa (a : Nfa.t) =
+  let alpha = Array.of_list (Cset.elements a.alphabet) in
+  let nletters = Array.length alpha in
+  if a.nstates = 0 then
+    (* Empty language: a single rejecting sink. *)
+    { nstates = 1; alpha; init = 0; final = [| false |]; delta = [| Array.make nletters 0 |] }
+  else begin
+    let out = Array.make a.nstates [] in
+    List.iter (fun (s, sym, s') -> out.(s) <- (sym, s') :: out.(s)) a.trans;
+    let closure states =
+      let seen = Array.make a.nstates false in
+      let rec go s =
+        if not seen.(s) then begin
+          seen.(s) <- true;
+          List.iter (function Nfa.Eps, s' -> go s' | Nfa.Ch _, _ -> ()) out.(s)
+        end
+      in
+      List.iter go states;
+      seen
+    in
+    let key seen =
+      let b = Buffer.create a.nstates in
+      Array.iter (fun x -> Buffer.add_char b (if x then '1' else '0')) seen;
+      Buffer.contents b
+    in
+    let tbl = Hashtbl.create 64 in
+    let states = ref [] and count = ref 0 in
+    let finals = ref [] in
+    let intern seen =
+      let k = key seen in
+      match Hashtbl.find_opt tbl k with
+      | Some id -> (id, false)
+      | None ->
+          let id = !count in
+          incr count;
+          Hashtbl.add tbl k id;
+          states := (id, seen) :: !states;
+          finals := (id, List.exists (fun f -> seen.(f)) a.final) :: !finals;
+          (id, true)
+    in
+    let rows = Hashtbl.create 64 in
+    let rec explore seen id =
+      let row = Array.make nletters 0 in
+      Array.iteri
+        (fun li c ->
+          let next = ref [] in
+          Array.iteri
+            (fun s in_set ->
+              if in_set then
+                List.iter
+                  (function Nfa.Ch c', s' when c' = c -> next := s' :: !next | _ -> ())
+                  out.(s))
+            seen;
+          let nseen = closure !next in
+          let nid, fresh = intern nseen in
+          row.(li) <- nid;
+          if fresh then explore nseen nid)
+        alpha;
+      Hashtbl.replace rows id row
+    in
+    let init_seen = closure a.initial in
+    let init_id, _ = intern init_seen in
+    explore init_seen init_id;
+    let n = !count in
+    let final = Array.make n false in
+    List.iter (fun (id, f) -> final.(id) <- f) !finals;
+    let delta = Array.init n (fun id -> Hashtbl.find rows id) in
+    { nstates = n; alpha; init = init_id; final; delta }
+  end
+
+let of_regex ?alphabet e = of_nfa (Nfa.of_regex ?alphabet e)
+
+let to_nfa d =
+  let trans = ref [] in
+  Array.iteri
+    (fun s row -> Array.iteri (fun li s' -> trans := (s, Nfa.Ch d.alpha.(li), s') :: !trans) row)
+    d.delta;
+  Nfa.trim
+    (Nfa.create ~nstates:d.nstates ~alphabet:(alphabet d) ~initial:[ d.init ]
+       ~final:
+         (Array.to_list d.final
+         |> List.mapi (fun i f -> (i, f))
+         |> List.filter_map (fun (i, f) -> if f then Some i else None))
+       ~trans:!trans)
+
+let extend_alphabet sigma d =
+  let sigma' = Cset.union sigma (alphabet d) in
+  if Cset.equal sigma' (alphabet d) then d
+  else begin
+    let alpha = Array.of_list (Cset.elements sigma') in
+    let nletters = Array.length alpha in
+    (* New letters go to a fresh rejecting sink. *)
+    let sink = d.nstates in
+    let n = d.nstates + 1 in
+    let delta =
+      Array.init n (fun s ->
+          Array.init nletters (fun li ->
+              if s = sink then sink
+              else
+                let old = letter_index d alpha.(li) in
+                if old < 0 then sink else d.delta.(s).(old)))
+    in
+    let final = Array.init n (fun s -> s <> sink && d.final.(s)) in
+    { nstates = n; alpha; init = d.init; final; delta }
+  end
+
+(* Remove states unreachable from the initial state, then Moore refinement. *)
+let minimize d =
+  let nletters = Array.length d.alpha in
+  (* Reachability *)
+  let seen = Array.make d.nstates false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      Array.iter go d.delta.(s)
+    end
+  in
+  go d.init;
+  let remap = Array.make d.nstates (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun i r ->
+      if r then begin
+        remap.(i) <- !count;
+        incr count
+      end)
+    seen;
+  let n = !count in
+  let delta = Array.make_matrix n nletters 0 in
+  let final = Array.make n false in
+  Array.iteri
+    (fun i r ->
+      if r then begin
+        let id = remap.(i) in
+        final.(id) <- d.final.(i);
+        Array.iteri (fun li s' -> delta.(id).(li) <- remap.(s')) d.delta.(i)
+      end)
+    seen;
+  let init = remap.(d.init) in
+  (* Moore partition refinement; [cls] maps each state to its class id. *)
+  let distinct arr = List.length (List.sort_uniq compare (Array.to_list arr)) in
+  let cls = ref (Array.init n (fun s -> if final.(s) then 1 else 0)) in
+  let continue = ref true in
+  while !continue do
+    let old = !cls in
+    let tbl = Hashtbl.create n in
+    let fresh = ref 0 in
+    let newcls =
+      Array.init n (fun s ->
+          let signature = (old.(s), Array.map (fun s' -> old.(s')) delta.(s)) in
+          match Hashtbl.find_opt tbl signature with
+          | Some id -> id
+          | None ->
+              let id = !fresh in
+              incr fresh;
+              Hashtbl.add tbl signature id;
+              id)
+    in
+    if !fresh = distinct old then continue := false;
+    cls := newcls
+  done;
+  let cls = !cls in
+  let m = distinct cls in
+  (* One representative state per class. *)
+  let repr = Array.make m (-1) in
+  Array.iteri (fun s c -> if repr.(c) = -1 then repr.(c) <- s) cls;
+  let delta' = Array.init m (fun c -> Array.map (fun s' -> cls.(s')) delta.(repr.(c))) in
+  let final' = Array.init m (fun c -> final.(repr.(c))) in
+  { nstates = m; alpha = d.alpha; init = cls.(init); final = final'; delta = delta' }
+
+let complement d =
+  { d with final = Array.map not d.final }
+
+let product op d1 d2 =
+  let sigma = Cset.union (alphabet d1) (alphabet d2) in
+  let d1 = extend_alphabet sigma d1 and d2 = extend_alphabet sigma d2 in
+  let nletters = Array.length d1.alpha in
+  let n = d1.nstates * d2.nstates in
+  let pair s1 s2 = (s1 * d2.nstates) + s2 in
+  let delta =
+    Array.init n (fun p ->
+        let s1 = p / d2.nstates and s2 = p mod d2.nstates in
+        Array.init nletters (fun li -> pair d1.delta.(s1).(li) d2.delta.(s2).(li)))
+  in
+  let final =
+    Array.init n (fun p -> op d1.final.(p / d2.nstates) d2.final.(p mod d2.nstates))
+  in
+  { nstates = n; alpha = d1.alpha; init = pair d1.init d2.init; final; delta }
+
+let inter = product ( && )
+let union = product ( || )
+let diff = product (fun a b -> a && not b)
+
+let is_empty d =
+  let seen = Array.make d.nstates false in
+  let found = ref false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      if d.final.(s) then found := true;
+      Array.iter go d.delta.(s)
+    end
+  in
+  go d.init;
+  not !found
+
+let subset d1 d2 = is_empty (diff d1 d2)
+let equiv d1 d2 = subset d1 d2 && subset d2 d1
+
+(* Useful states: reachable from init and leading to a final state. *)
+let useful_states d =
+  let reach = Array.make d.nstates false in
+  let rec go s =
+    if not reach.(s) then begin
+      reach.(s) <- true;
+      Array.iter go d.delta.(s)
+    end
+  in
+  go d.init;
+  let inc = Array.make d.nstates [] in
+  Array.iteri (fun s row -> Array.iter (fun s' -> inc.(s') <- s :: inc.(s')) row) d.delta;
+  let coacc = Array.make d.nstates false in
+  let rec back s =
+    if not coacc.(s) then begin
+      coacc.(s) <- true;
+      List.iter back inc.(s)
+    end
+  in
+  Array.iteri (fun s f -> if f then back s) d.final;
+  Array.init d.nstates (fun s -> reach.(s) && coacc.(s))
+
+let is_finite d =
+  (* Finite iff the subgraph induced by useful states is acyclic. *)
+  let useful = useful_states d in
+  let color = Array.make d.nstates 0 in
+  (* 0 = white, 1 = gray, 2 = black *)
+  let cyclic = ref false in
+  let rec dfs s =
+    if useful.(s) then
+      if color.(s) = 1 then cyclic := true
+      else if color.(s) = 0 then begin
+        color.(s) <- 1;
+        Array.iter dfs d.delta.(s);
+        color.(s) <- 2
+      end
+  in
+  if useful.(d.init) then dfs d.init;
+  not !cyclic
+
+let words_up_to d bound =
+  let acc = ref [] in
+  let useful = useful_states d in
+  let rec go s prefix len =
+    if useful.(s) then begin
+      if d.final.(s) then acc := prefix :: !acc;
+      if len < bound then
+        Array.iteri (fun li s' -> go s' (prefix ^ String.make 1 d.alpha.(li)) (len + 1)) d.delta.(s)
+    end
+  in
+  go d.init "" 0;
+  List.sort
+    (fun a b ->
+      let c = compare (String.length a) (String.length b) in
+      if c <> 0 then c else compare a b)
+    !acc
+
+let words d = if is_finite d then Some (words_up_to d d.nstates) else None
+
+let shortest_word d =
+  (* BFS from the initial state, recording one shortest witness per state. *)
+  let witness = Array.make d.nstates None in
+  let queue = Queue.create () in
+  witness.(d.init) <- Some "";
+  Queue.add d.init queue;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let s = Queue.pop queue in
+       let w = Option.get witness.(s) in
+       if d.final.(s) then begin
+         result := Some w;
+         raise Exit
+       end;
+       Array.iteri
+         (fun li s' ->
+           if witness.(s') = None then begin
+             witness.(s') <- Some (w ^ String.make 1 d.alpha.(li));
+             Queue.add s' queue
+           end)
+         d.delta.(s)
+     done
+   with Exit -> ());
+  !result
+
+let is_local_dfa d =
+  let useful = useful_states d in
+  let nletters = Array.length d.alpha in
+  let target = Array.make nletters (-1) in
+  let ok = ref true in
+  Array.iteri
+    (fun s row ->
+      if useful.(s) then
+        Array.iteri
+          (fun li s' ->
+            if useful.(s') then
+              if target.(li) = -1 then target.(li) <- s'
+              else if target.(li) <> s' then ok := false)
+          row)
+    d.delta;
+  !ok
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>DFA: %d states over %a, init %d@," d.nstates Cset.pp (alphabet d)
+    d.init;
+  Array.iteri
+    (fun s row ->
+      Format.fprintf ppf "  %d%s:" s (if d.final.(s) then " (final)" else "");
+      Array.iteri (fun li s' -> Format.fprintf ppf " %c->%d" d.alpha.(li) s') row;
+      Format.fprintf ppf "@,")
+    d.delta;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,73 @@
+(** Complete deterministic finite automata.
+
+    A DFA here is always {e complete} over its alphabet (every state has
+    exactly one transition per letter; a rejecting sink is added as needed).
+    This makes complementation, products and the transition-monoid
+    construction for star-freeness straightforward. *)
+
+type t = private {
+  nstates : int;
+  alpha : char array;  (** the alphabet, sorted increasing *)
+  init : int;
+  final : bool array;
+  delta : int array array;  (** [delta.(s).(i)] is the successor of [s] on [alpha.(i)] *)
+}
+
+val of_nfa : Nfa.t -> t
+(** Subset construction (with ε-closures). *)
+
+val of_regex : ?alphabet:Cset.t -> Regex.t -> t
+
+val to_nfa : t -> Nfa.t
+(** Forgets determinism; the result is trimmed. *)
+
+val alphabet : t -> Cset.t
+val accepts : t -> Word.t -> bool
+
+val extend_alphabet : Cset.t -> t -> t
+(** Complete DFA over the union alphabet; added letters lead to a rejecting
+    sink, so the language is unchanged. *)
+
+val minimize : t -> t
+(** Canonical minimal complete DFA (unreachable-state removal followed by
+    Moore partition refinement). *)
+
+val complement : t -> t
+
+val product : (bool -> bool -> bool) -> t -> t -> t
+(** Boolean combination of two DFAs; their alphabets are aligned first. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+
+val is_empty : t -> bool
+(** Is the recognized language empty? *)
+
+val subset : t -> t -> bool
+(** Language inclusion. *)
+
+val equiv : t -> t -> bool
+(** Language equivalence. *)
+
+val is_finite : t -> bool
+(** Is the recognized language finite? *)
+
+val words : t -> Word.t list option
+(** All words of the language if it is finite (sorted by length then
+    lexicographically), [None] otherwise. *)
+
+val words_up_to : t -> int -> Word.t list
+(** All accepted words of length at most the bound, sorted by length then
+    lexicographically. *)
+
+val shortest_word : t -> Word.t option
+(** A shortest accepted word, if the language is non-empty. *)
+
+val is_local_dfa : t -> bool
+(** Syntactic test of Definition 3.1 on the {e useful} part of the automaton:
+    for every letter [a], all [a]-transitions between useful states share the
+    same target. (This tests whether this DFA is a local DFA, not whether the
+    language is local; see {!Local.is_local_language} for the latter.) *)
+
+val pp : Format.formatter -> t -> unit

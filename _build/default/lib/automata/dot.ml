@@ -1,0 +1,40 @@
+let of_nfa ?(name = "nfa") (a : Nfa.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  List.iter
+    (fun s ->
+      Buffer.add_string b (Printf.sprintf "  start%d [shape=point];\n  start%d -> q%d;\n" s s s))
+    a.Nfa.initial;
+  for s = 0 to a.Nfa.nstates - 1 do
+    let shape = if List.mem s a.Nfa.final then "doublecircle" else "circle" in
+    Buffer.add_string b (Printf.sprintf "  q%d [shape=%s,label=\"%d\"];\n" s shape s)
+  done;
+  List.iter
+    (fun (s, sym, s') ->
+      match sym with
+      | Nfa.Eps ->
+          Buffer.add_string b
+            (Printf.sprintf "  q%d -> q%d [label=\"\xce\xb5\",style=dashed];\n" s s')
+      | Nfa.Ch c -> Buffer.add_string b (Printf.sprintf "  q%d -> q%d [label=\"%c\"];\n" s s' c))
+    a.Nfa.trans;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let of_dfa ?(name = "dfa") (d : Dfa.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  Buffer.add_string b
+    (Printf.sprintf "  start [shape=point];\n  start -> q%d;\n" d.Dfa.init);
+  for s = 0 to d.Dfa.nstates - 1 do
+    let shape = if d.Dfa.final.(s) then "doublecircle" else "circle" in
+    Buffer.add_string b (Printf.sprintf "  q%d [shape=%s,label=\"%d\"];\n" s shape s)
+  done;
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun li s' ->
+          Buffer.add_string b (Printf.sprintf "  q%d -> q%d [label=\"%c\"];\n" s s' d.Dfa.alpha.(li)))
+        row)
+    d.Dfa.delta;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

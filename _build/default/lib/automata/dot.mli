@@ -1,0 +1,7 @@
+(** Graphviz (DOT) rendering of automata, for documentation and debugging. *)
+
+val of_nfa : ?name:string -> Nfa.t -> string
+(** DOT digraph: initial states get an incoming arrow, final states a double
+    circle; ε-transitions are dashed. *)
+
+val of_dfa : ?name:string -> Dfa.t -> string

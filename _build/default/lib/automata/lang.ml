@@ -1,0 +1,18 @@
+type t = Nfa.t
+
+let of_regex = Nfa.of_regex
+let of_string ?alphabet s = Nfa.of_regex ?alphabet (Regex.parse s)
+let of_words = Nfa.of_words
+let mem w a = Nfa.accepts a w
+let is_empty a = Dfa.is_empty (Dfa.of_nfa a)
+let subset a b = Dfa.subset (Dfa.of_nfa a) (Dfa.of_nfa b)
+let equiv a b = Dfa.equiv (Dfa.of_nfa a) (Dfa.of_nfa b)
+let is_finite a = Dfa.is_finite (Dfa.of_nfa a)
+let words a = Dfa.words (Dfa.of_nfa a)
+let words_up_to a bound = Dfa.words_up_to (Dfa.of_nfa a) bound
+let shortest_word a = Dfa.shortest_word (Dfa.of_nfa a)
+let nullable = Nfa.nullable
+let inter a b = Dfa.to_nfa (Dfa.inter (Dfa.of_nfa a) (Dfa.of_nfa b))
+let union = Nfa.union
+let diff a b = Dfa.to_nfa (Dfa.diff (Dfa.of_nfa a) (Dfa.of_nfa b))
+let mirror = Nfa.reverse

@@ -1,0 +1,33 @@
+(** High-level operations on regular languages.
+
+    A language is carried around as a {!Nfa.t}; this module bundles the
+    DFA-powered decision procedures (membership, inclusion, equivalence,
+    finiteness, enumeration) behind a single convenient interface. *)
+
+type t = Nfa.t
+
+val of_regex : ?alphabet:Cset.t -> Regex.t -> t
+val of_string : ?alphabet:Cset.t -> string -> t
+(** Parses a regex (see {!Regex.parse}) and compiles it. *)
+
+val of_words : ?alphabet:Cset.t -> Word.t list -> t
+val mem : Word.t -> t -> bool
+val is_empty : t -> bool
+val subset : t -> t -> bool
+val equiv : t -> t -> bool
+val is_finite : t -> bool
+
+val words : t -> Word.t list option
+(** Explicit word list if the language is finite, sorted by length then
+    lexicographically. *)
+
+val words_up_to : t -> int -> Word.t list
+(** All words of the language of length at most the bound. *)
+
+val shortest_word : t -> Word.t option
+val nullable : t -> bool
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val mirror : t -> t

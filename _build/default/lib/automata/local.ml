@@ -1,0 +1,223 @@
+type profile = {
+  starts : Cset.t;
+  ends : Cset.t;
+  pairs : (char * char) list;
+  has_eps : bool;
+}
+
+(* All computations are done on the trimmed automaton so that every
+   transition is on some accepting run (proof of Lemma B.4). *)
+let profile a =
+  let a = Nfa.trim a in
+  if a.Nfa.nstates = 0 then { starts = Cset.empty; ends = Cset.empty; pairs = []; has_eps = false }
+  else begin
+    let letter_out = Array.make a.Nfa.nstates [] in
+    let eps_out = Array.make a.Nfa.nstates [] in
+    let eps_in = Array.make a.Nfa.nstates [] in
+    let letter_in = Array.make a.Nfa.nstates [] in
+    List.iter
+      (fun (s, sym, s') ->
+        match sym with
+        | Nfa.Eps ->
+            eps_out.(s) <- s' :: eps_out.(s);
+            eps_in.(s') <- s :: eps_in.(s')
+        | Nfa.Ch c ->
+            letter_out.(s) <- (c, s') :: letter_out.(s);
+            letter_in.(s') <- (c, s) :: letter_in.(s'))
+      a.Nfa.trans;
+    let closure adj states =
+      let seen = Array.make a.Nfa.nstates false in
+      let rec go s =
+        if not seen.(s) then begin
+          seen.(s) <- true;
+          List.iter go adj.(s)
+        end
+      in
+      List.iter go states;
+      seen
+    in
+    (* Letters on transitions leaving the forward ε-closure of a state set. *)
+    let letters_leaving states =
+      let seen = closure eps_out states in
+      let acc = ref Cset.empty in
+      Array.iteri
+        (fun s in_set ->
+          if in_set then List.iter (fun (c, _) -> acc := Cset.add c !acc) letter_out.(s))
+        seen;
+      !acc
+    in
+    let letters_entering states =
+      let seen = closure eps_in states in
+      let acc = ref Cset.empty in
+      Array.iteri
+        (fun s in_set ->
+          if in_set then List.iter (fun (c, _) -> acc := Cset.add c !acc) letter_in.(s))
+        seen;
+      !acc
+    in
+    let starts = letters_leaving a.Nfa.initial in
+    let ends = letters_entering a.Nfa.final in
+    (* Π: for each letter a, the letters reachable right after an a-transition. *)
+    let pairs = ref [] in
+    Cset.iter
+      (fun c ->
+        let heads =
+          List.filter_map
+            (fun (s, sym, s') -> if sym = Nfa.Ch c then (ignore s; Some s') else None)
+            a.Nfa.trans
+        in
+        if heads <> [] then
+          Cset.iter (fun c' -> pairs := (c, c') :: !pairs) (letters_leaving heads))
+      a.Nfa.alphabet;
+    { starts; ends; pairs = List.sort_uniq compare !pairs; has_eps = Nfa.nullable a }
+  end
+
+let ro_enfa_of_profile sigma p =
+  (* States: for the i-th letter of Σ, s_in = 2i and s_out = 2i + 1;
+     plus one extra state for ε if needed (Lemma B.4). *)
+  let alpha = Array.of_list (Cset.elements sigma) in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i c -> Hashtbl.add index c i) alpha;
+  let idx c = Hashtbl.find index c in
+  let s_in c = 2 * idx c and s_out c = (2 * idx c) + 1 in
+  let nletters = Array.length alpha in
+  let eps_state = 2 * nletters in
+  let nstates = (2 * nletters) + if p.has_eps then 1 else 0 in
+  let trans = ref [] in
+  Array.iter (fun c -> trans := (s_in c, Nfa.Ch c, s_out c) :: !trans) alpha;
+  List.iter (fun (c, c') -> trans := (s_out c, Nfa.Eps, s_in c') :: !trans) p.pairs;
+  let initial =
+    Cset.fold (fun c acc -> s_in c :: acc) p.starts (if p.has_eps then [ eps_state ] else [])
+  in
+  let final =
+    Cset.fold (fun c acc -> s_out c :: acc) p.ends (if p.has_eps then [ eps_state ] else [])
+  in
+  Nfa.create ~nstates:(max nstates 1) ~alphabet:sigma ~initial ~final ~trans:!trans
+
+let ro_enfa a = ro_enfa_of_profile a.Nfa.alphabet (profile a)
+
+let is_local_language a =
+  (* L(A) ⊆ L(A') always holds (Lemma B.4), so only the converse is tested. *)
+  Lang.subset (ro_enfa a) a
+
+(* Exact letter-Cartesian test for one letter, via the complete DFA:
+   U_x = { u | ∃v. uxv ∈ L } is read off states whose x-successor is
+   co-accessible; V_x symmetrically; then test U_x · x · V_x ⊆ L. *)
+let letter_cartesian_for a x =
+  let d = Dfa.of_nfa a in
+  let xi =
+    (* index of x in the DFA's alphabet; if absent, no word contains x *)
+    let rec find i =
+      if i >= Array.length d.Dfa.alpha then None
+      else if d.Dfa.alpha.(i) = x then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  match xi with
+  | None -> true
+  | Some xi ->
+      (* co-accessible states of the (complete) DFA *)
+      let n = d.Dfa.nstates in
+      let inc = Array.make n [] in
+      Array.iteri (fun s row -> Array.iter (fun s' -> inc.(s') <- s :: inc.(s')) row) d.Dfa.delta;
+      let coacc = Array.make n false in
+      let rec back s =
+        if not coacc.(s) then begin
+          coacc.(s) <- true;
+          List.iter back inc.(s)
+        end
+      in
+      Array.iteri (fun s f -> if f then back s) d.Dfa.final;
+      let base_trans = ref [] in
+      Array.iteri
+        (fun s row ->
+          Array.iteri (fun li s' -> base_trans := (s, Nfa.Ch d.Dfa.alpha.(li), s') :: !base_trans)
+            row)
+        d.Dfa.delta;
+      let finals_of pred =
+        List.filter pred (List.init n Fun.id)
+      in
+      let sigma = Dfa.alphabet d in
+      let u_nfa =
+        Nfa.create ~nstates:n ~alphabet:sigma ~initial:[ d.Dfa.init ]
+          ~final:(finals_of (fun s -> coacc.(d.Dfa.delta.(s).(xi))))
+          ~trans:!base_trans
+      in
+      let v_initials =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun s -> if coacc.(d.Dfa.delta.(s).(xi)) then Some d.Dfa.delta.(s).(xi) else None)
+             (List.init n Fun.id))
+      in
+      if v_initials = [] then true
+      else begin
+        let v_nfa =
+          Nfa.create ~nstates:n ~alphabet:sigma ~initial:v_initials
+            ~final:(finals_of (fun s -> d.Dfa.final.(s)))
+            ~trans:!base_trans
+        in
+        let x_nfa =
+          Nfa.create ~nstates:2 ~alphabet:sigma ~initial:[ 0 ] ~final:[ 1 ]
+            ~trans:[ (0, Nfa.Ch x, 1) ]
+        in
+        Lang.subset (Nfa.concat u_nfa (Nfa.concat x_nfa v_nfa)) a
+      end
+
+let is_letter_cartesian a = Cset.for_all (letter_cartesian_for a) a.Nfa.alphabet
+
+(* Proposition G.1's reduction: L(l2) ⊆ L(l1) iff the language
+   b·L1·a·(0|1) ∪ b·L2·a·0 is letter-Cartesian for the letter a. The letters
+   a and b must be fresh; following the paper we use 'a'/'b' with L1, L2
+   over {0, 1}. *)
+let inclusion_to_cartesian ~l1 ~l2 =
+  let letter c =
+    Nfa.create ~nstates:2 ~alphabet:(Cset.singleton c) ~initial:[ 0 ] ~final:[ 1 ]
+      ~trans:[ (0, Nfa.Ch c, 1) ]
+  in
+  let zero_or_one = Nfa.union (letter '0') (letter '1') in
+  Nfa.union
+    (Nfa.concat (letter 'b') (Nfa.concat l1 (Nfa.concat (letter 'a') zero_or_one)))
+    (Nfa.concat (letter 'b') (Nfa.concat l2 (Nfa.concat (letter 'a') (letter '0'))))
+
+(* Bounded search for letter-Cartesian violations. We collect, for each
+   letter x, the (left, right) context pairs of occurrences of x in bounded
+   words of L, then test cross-products for membership on the automaton. *)
+let violation_search ~nonempty_legs a ~bound =
+  let ws = Lang.words_up_to a bound in
+  let contexts = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      String.iteri
+        (fun i x ->
+          let left = String.sub w 0 i in
+          let right = String.sub w (i + 1) (String.length w - i - 1) in
+          if (not nonempty_legs) || (left <> "" && right <> "") then begin
+            let prev = try Hashtbl.find contexts x with Not_found -> [] in
+            Hashtbl.replace contexts x ((left, right) :: prev)
+          end)
+        w)
+    ws;
+  let result = ref None in
+  (try
+     Hashtbl.iter
+       (fun x ctxs ->
+         let ctxs = List.sort_uniq compare ctxs in
+         List.iter
+           (fun (alpha, beta) ->
+             List.iter
+               (fun (gamma, delta) ->
+                 if beta <> delta || alpha <> gamma then
+                   let cross = alpha ^ String.make 1 x ^ delta in
+                   if not (Nfa.accepts a cross) then begin
+                     result := Some (x, alpha, beta, gamma, delta);
+                     raise Exit
+                   end)
+               ctxs)
+           ctxs)
+       contexts
+   with Exit -> ());
+  !result
+
+let letter_cartesian_violation a ~bound = violation_search ~nonempty_legs:false a ~bound
+let four_legged_witness a ~bound = violation_search ~nonempty_legs:true a ~bound

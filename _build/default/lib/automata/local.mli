@@ -1,0 +1,64 @@
+(** Local languages (Section 3 of the paper).
+
+    A language is {e local} if it is recognized by a local DFA
+    (Definition 3.1), equivalently by a read-once εNFA (Lemma 3.8),
+    equivalently if it is letter-Cartesian (Proposition B.7). Local languages
+    are exactly the languages determined by which letters may start a word,
+    which may end one, and which letter pairs may be adjacent. *)
+
+type profile = {
+  starts : Cset.t;  (** Σ_start: letters that can start a word of L *)
+  ends : Cset.t;  (** Σ_end: letters that can end a word of L *)
+  pairs : (char * char) list;  (** Π: pairs of letters that can be adjacent in a word of L *)
+  has_eps : bool;  (** ε ∈ L *)
+}
+
+val profile : Nfa.t -> profile
+(** Computes [Σ_start], [Σ_end], [Π] and nullability in time
+    O(|Σ| × |A|) by graph traversals on the trimmed automaton
+    (proof of Lemma B.4). *)
+
+val ro_enfa : Nfa.t -> Nfa.t
+(** The RO-εNFA A' of Lemma B.4: a read-once εNFA with
+    [L(A) ⊆ L(A')], and [L(A) = L(A')] iff [L(A)] is local. *)
+
+val ro_enfa_of_profile : Cset.t -> profile -> Nfa.t
+(** Same construction given the profile directly. *)
+
+val is_local_language : Nfa.t -> bool
+(** Decides whether the {e language} of the automaton is local
+    (Proposition 3.5): build the RO-εNFA and test [L(A') ⊆ L(A)]. *)
+
+val letter_cartesian_for : Nfa.t -> char -> bool
+(** Exact decision of the letter-Cartesian property {e for one letter} x
+    (the property of Proposition G.1): whether [αxβ ∈ L] and [γxδ ∈ L]
+    imply [αxδ ∈ L]. Decided as the inclusion [Uₓ·x·Vₓ ⊆ L] where [Uₓ]
+    (resp. [Vₓ]) is the language of prefixes before (resp. suffixes after)
+    an occurrence of x in a word of L. Exponential in general (the paper
+    shows PSPACE-hardness for NFA inputs, Appendix G). *)
+
+val is_letter_cartesian : Nfa.t -> bool
+(** Exact letter-Cartesian test over every letter: by Proposition B.7 this
+    is equivalent to {!is_local_language} (the test suite cross-checks the
+    two implementations). *)
+
+val inclusion_to_cartesian : l1:Nfa.t -> l2:Nfa.t -> Nfa.t
+(** The reduction of Proposition G.1: an εNFA over Σ ∪ \{a, b\} whose
+    language is letter-Cartesian for the fresh letter [a] iff
+    [L(l2) ⊆ L(l1)] (assuming both languages non-empty). Witnesses the
+    PSPACE-hardness of per-letter letter-Cartesian testing on NFAs. *)
+
+val letter_cartesian_violation :
+  Nfa.t -> bound:int -> (char * Word.t * Word.t * Word.t * Word.t) option
+(** Searches for a violation [(x, α, β, γ, δ)] of the letter-Cartesian
+    property (Definition 5.1): [αxβ ∈ L], [γxδ ∈ L] and [αxδ ∉ L], examining
+    the words of L of length ≤ [bound]. The returned witness is always
+    genuine ([αxδ ∉ L] is checked on the automaton); [None] only means no
+    witness exists among bounded words. For finite languages with [bound] ≥
+    the maximum word length, the search is complete. *)
+
+val four_legged_witness :
+  Nfa.t -> bound:int -> (char * Word.t * Word.t * Word.t * Word.t) option
+(** Same search restricted to violations with all four legs non-empty
+    (Definition 5.3). The language must additionally be reduced for the
+    witness to prove NP-hardness via Theorem 5.5 (not checked here). *)

@@ -1,0 +1,28 @@
+(* Two-copy construction: copy 1 is "before the edit point", copy 2 after. *)
+let two_copies (a : Nfa.t) ~bridge =
+  let n = a.Nfa.nstates in
+  let dup = List.concat_map (fun (s, sym, s') -> [ (s, sym, s'); (s + n, sym, s' + n) ]) a.Nfa.trans in
+  Nfa.create ~nstates:(2 * n) ~alphabet:a.Nfa.alphabet ~initial:a.Nfa.initial
+    ~final:(List.map (( + ) n) a.Nfa.final)
+    ~trans:(dup @ bridge n a)
+
+(* insert_e(L) = { u e v | uv ∈ L }: read the inserted e while staying at the
+   same underlying state. *)
+let insert_one (a : Nfa.t) e =
+  two_copies a ~bridge:(fun n a ->
+      List.init a.Nfa.nstates (fun s -> (s, Nfa.Ch e, s + n)))
+
+(* delete_e(L) = { uv | u e v ∈ L }: silently skip one e-transition of A. *)
+let delete_one (a : Nfa.t) e =
+  two_copies a ~bridge:(fun n a ->
+      List.filter_map
+        (fun (s, sym, s') -> if sym = Nfa.Ch e then Some (s, Nfa.Eps, s' + n) else None)
+        a.Nfa.trans)
+
+let is_neutral a e =
+  Cset.mem e a.Nfa.alphabet
+  && a.Nfa.nstates > 0
+  && Lang.subset (insert_one a e) a
+  && Lang.subset (delete_one a e) a
+
+let neutral_letters a = List.filter (is_neutral a) (Cset.elements a.Nfa.alphabet)

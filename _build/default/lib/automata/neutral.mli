@@ -1,0 +1,13 @@
+(** Neutral letters (Section 5.2 of the paper).
+
+    A letter [e] is neutral for L when inserting or deleting [e] anywhere in
+    a word does not change membership: for all α, β, [αβ ∈ L ⟺ αeβ ∈ L].
+    Proposition 5.7 gives a full dichotomy for languages with a neutral
+    letter. *)
+
+val is_neutral : Nfa.t -> char -> bool
+(** Decides neutrality of a letter: build the "insert one [e]" and
+    "delete one [e]" rational transductions of L and check both are ⊆ L. *)
+
+val neutral_letters : Nfa.t -> char list
+(** All neutral letters of the alphabet, in increasing order. *)

@@ -1,0 +1,297 @@
+type sym = Eps | Ch of char
+
+type t = {
+  nstates : int;
+  alphabet : Cset.t;
+  initial : int list;
+  final : int list;
+  trans : (int * sym * int) list;
+}
+
+let sort_states = List.sort_uniq compare
+
+let create ~nstates ~alphabet ~initial ~final ~trans =
+  let check_state s =
+    if s < 0 || s >= nstates then invalid_arg (Printf.sprintf "Nfa.create: state %d out of range" s)
+  in
+  List.iter check_state initial;
+  List.iter check_state final;
+  List.iter
+    (fun (s, sym, s') ->
+      check_state s;
+      check_state s';
+      match sym with
+      | Eps -> ()
+      | Ch c ->
+          if not (Cset.mem c alphabet) then
+            invalid_arg (Printf.sprintf "Nfa.create: letter %C not in alphabet" c))
+    trans;
+  {
+    nstates;
+    alphabet;
+    initial = sort_states initial;
+    final = sort_states final;
+    trans = List.sort_uniq compare trans;
+  }
+
+let size a = a.nstates + List.length a.trans
+let with_alphabet sigma a = { a with alphabet = Cset.union sigma a.alphabet }
+
+(* Adjacency: for each state the outgoing (sym, target) pairs. *)
+let out_array a =
+  let arr = Array.make (max a.nstates 1) [] in
+  List.iter (fun (s, sym, s') -> arr.(s) <- (sym, s') :: arr.(s)) a.trans;
+  arr
+
+let in_array a =
+  let arr = Array.make (max a.nstates 1) [] in
+  List.iter (fun (s, sym, s') -> arr.(s') <- (sym, s) :: arr.(s')) a.trans;
+  arr
+
+let eps_closure_arr out states =
+  let n = Array.length out in
+  let seen = Array.make n false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      List.iter (function Eps, s' -> go s' | Ch _, _ -> ()) out.(s)
+    end
+  in
+  List.iter go states;
+  seen
+
+let bools_to_list seen =
+  let acc = ref [] in
+  for i = Array.length seen - 1 downto 0 do
+    if seen.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let eps_closure a states = bools_to_list (eps_closure_arr (out_array a) states)
+
+let accepts a w =
+  if a.nstates = 0 then false
+  else begin
+    let out = out_array a in
+    let step seen c =
+      let next = ref [] in
+      Array.iteri
+        (fun s in_set ->
+          if in_set then
+            List.iter (function Ch c', s' when c' = c -> next := s' :: !next | _ -> ()) out.(s))
+        seen;
+      eps_closure_arr out !next
+    in
+    let seen = ref (eps_closure_arr out a.initial) in
+    String.iter (fun c -> seen := step !seen c) w;
+    List.exists (fun f -> !seen.(f)) a.final
+  end
+
+let trim a =
+  if a.nstates = 0 then a
+  else begin
+    let out = out_array a and inc = in_array a in
+    let reach_from init adj =
+      let seen = Array.make a.nstates false in
+      let rec go s =
+        if not seen.(s) then begin
+          seen.(s) <- true;
+          List.iter (fun (_, s') -> go s') adj.(s)
+        end
+      in
+      List.iter go init;
+      seen
+    in
+    let acc = reach_from a.initial out in
+    let coacc = reach_from a.final inc in
+    let useful = Array.init a.nstates (fun i -> acc.(i) && coacc.(i)) in
+    let remap = Array.make a.nstates (-1) in
+    let count = ref 0 in
+    Array.iteri
+      (fun i u ->
+        if u then begin
+          remap.(i) <- !count;
+          incr count
+        end)
+      useful;
+    let map_states l = List.filter_map (fun s -> if useful.(s) then Some remap.(s) else None) l in
+    {
+      nstates = !count;
+      alphabet = a.alphabet;
+      initial = map_states a.initial;
+      final = map_states a.final;
+      trans =
+        List.filter_map
+          (fun (s, sym, s') ->
+            if useful.(s) && useful.(s') then Some (remap.(s), sym, remap.(s')) else None)
+          a.trans;
+    }
+  end
+
+let reverse a =
+  {
+    a with
+    initial = a.final;
+    final = a.initial;
+    trans = List.map (fun (s, sym, s') -> (s', sym, s)) a.trans;
+  }
+
+(* Disjoint renumbering: [b]'s states are shifted by [a.nstates]. *)
+let shift off a =
+  {
+    a with
+    initial = List.map (( + ) off) a.initial;
+    final = List.map (( + ) off) a.final;
+    trans = List.map (fun (s, sym, s') -> (s + off, sym, s' + off)) a.trans;
+  }
+
+let union a b =
+  let b' = shift a.nstates b in
+  {
+    nstates = a.nstates + b.nstates;
+    alphabet = Cset.union a.alphabet b.alphabet;
+    initial = a.initial @ b'.initial;
+    final = a.final @ b'.final;
+    trans = a.trans @ b'.trans;
+  }
+
+let concat a b =
+  let b' = shift a.nstates b in
+  let bridge = List.concat_map (fun f -> List.map (fun i -> (f, Eps, i)) b'.initial) a.final in
+  {
+    nstates = a.nstates + b.nstates;
+    alphabet = Cset.union a.alphabet b.alphabet;
+    initial = a.initial;
+    final = b'.final;
+    trans = a.trans @ b'.trans @ bridge;
+  }
+
+let star a =
+  (* A fresh state that is both initial and final, looping back. *)
+  let fresh = a.nstates in
+  let back = List.map (fun f -> (f, Eps, fresh)) a.final in
+  let fwd = List.map (fun i -> (fresh, Eps, i)) a.initial in
+  {
+    nstates = a.nstates + 1;
+    alphabet = a.alphabet;
+    initial = [ fresh ];
+    final = [ fresh ];
+    trans = a.trans @ back @ fwd;
+  }
+
+let sigma_star sigma =
+  {
+    nstates = 1;
+    alphabet = sigma;
+    initial = [ 0 ];
+    final = [ 0 ];
+    trans = Cset.fold (fun c acc -> (0, Ch c, 0) :: acc) sigma [];
+  }
+
+let sigma_plus sigma =
+  {
+    nstates = 2;
+    alphabet = sigma;
+    initial = [ 0 ];
+    final = [ 1 ];
+    trans = Cset.fold (fun c acc -> (0, Ch c, 1) :: (1, Ch c, 1) :: acc) sigma [];
+  }
+
+let rec of_regex_build sigma (e : Regex.t) : t =
+  match e with
+  | Empty -> { nstates = 1; alphabet = sigma; initial = [ 0 ]; final = []; trans = [] }
+  | Eps -> { nstates = 1; alphabet = sigma; initial = [ 0 ]; final = [ 0 ]; trans = [] }
+  | Letter c ->
+      { nstates = 2; alphabet = sigma; initial = [ 0 ]; final = [ 1 ]; trans = [ (0, Ch c, 1) ] }
+  | Union (x, y) -> union (of_regex_build sigma x) (of_regex_build sigma y)
+  | Concat (x, y) -> concat (of_regex_build sigma x) (of_regex_build sigma y)
+  | Star x -> star (of_regex_build sigma x)
+
+let of_regex ?alphabet e =
+  let sigma =
+    match alphabet with Some s -> Cset.union s (Regex.letters e) | None -> Regex.letters e
+  in
+  of_regex_build sigma e
+
+let of_words ?alphabet ws = of_regex ?alphabet (Regex.of_words ws)
+let remove_eps a =
+  if a.nstates = 0 then a
+  else begin
+    let out = out_array a in
+    let closure_of = Array.init a.nstates (fun s -> eps_closure_arr out [ s ]) in
+    let final_set = Array.make a.nstates false in
+    List.iter (fun f -> final_set.(f) <- true) a.final;
+    let new_final = ref [] in
+    let new_trans = ref [] in
+    for s = 0 to a.nstates - 1 do
+      let cl = closure_of.(s) in
+      let is_final = ref false in
+      Array.iteri
+        (fun t in_cl ->
+          if in_cl then begin
+            if final_set.(t) then is_final := true;
+            List.iter
+              (function Ch c, s' -> new_trans := (s, Ch c, s') :: !new_trans | Eps, _ -> ())
+              out.(t)
+          end)
+        cl;
+      if !is_final then new_final := s :: !new_final
+    done;
+    trim
+      {
+        nstates = a.nstates;
+        alphabet = a.alphabet;
+        initial = a.initial;
+        final = sort_states !new_final;
+        trans = List.sort_uniq compare !new_trans;
+      }
+  end
+
+let is_read_once a =
+  let seen = Array.make 256 false in
+  List.for_all
+    (fun (_, sym, _) ->
+      match sym with
+      | Eps -> true
+      | Ch c ->
+          let i = Char.code c in
+          if seen.(i) then false
+          else begin
+            seen.(i) <- true;
+            true
+          end)
+    a.trans
+
+let nullable a =
+  if a.nstates = 0 then false
+  else
+    let closure = eps_closure_arr (out_array a) a.initial in
+    List.exists (fun f -> closure.(f)) a.final
+
+let letter_transitions a =
+  List.filter_map (fun (s, sym, s') -> match sym with Ch c -> Some (s, c, s') | Eps -> None) a.trans
+
+let eps_transitions a =
+  List.filter_map (fun (s, sym, s') -> match sym with Eps -> Some (s, s') | Ch _ -> None) a.trans
+
+let rename f a =
+  {
+    a with
+    alphabet = Cset.map f a.alphabet;
+    trans = List.map (fun (s, sym, s') -> (s, (match sym with Eps -> Eps | Ch c -> Ch (f c)), s')) a.trans;
+  }
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>states: %d, alphabet: %a@,initial: %a@,final: %a@,transitions:@,"
+    a.nstates Cset.pp a.alphabet
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    a.initial
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    a.final;
+  List.iter
+    (fun (s, sym, s') ->
+      match sym with
+      | Eps -> Format.fprintf ppf "  %d --\xce\xb5--> %d@," s s'
+      | Ch c -> Format.fprintf ppf "  %d --%c--> %d@," s c s')
+    a.trans;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,77 @@
+(** Nondeterministic finite automata with ε-transitions (εNFAs).
+
+    This is the central automaton representation of the library: the paper's
+    constructions (Lemma B.4's RO-εNFA, the product network of Theorem 3.3,
+    reduction of languages, ...) all consume or produce εNFAs. States are
+    integers in [0, nstates). *)
+
+type sym = Eps | Ch of char
+
+type t = private {
+  nstates : int;
+  alphabet : Cset.t;  (** the ambient alphabet Σ (may strictly contain the used letters) *)
+  initial : int list;
+  final : int list;
+  trans : (int * sym * int) list;
+}
+
+val create :
+  nstates:int -> alphabet:Cset.t -> initial:int list -> final:int list
+  -> trans:(int * sym * int) list -> t
+(** Builds an εNFA; checks that all states are in range and that all letter
+    transitions use letters of [alphabet].
+    @raise Invalid_argument otherwise. *)
+
+val size : t -> int
+(** |A| = number of states + number of transitions. *)
+
+val with_alphabet : Cset.t -> t -> t
+(** Enlarges the ambient alphabet (the union is taken); the language over the
+    larger alphabet is unchanged. *)
+
+val of_regex : ?alphabet:Cset.t -> Regex.t -> t
+(** Thompson construction. The alphabet defaults to the letters of the
+    expression. *)
+
+val of_words : ?alphabet:Cset.t -> Word.t list -> t
+(** Trie-shaped automaton for an explicit finite language. *)
+
+val eps_closure : t -> int list -> int list
+(** Forward ε-closure of a set of states (sorted, duplicate-free). *)
+
+val accepts : t -> Word.t -> bool
+(** Word membership by on-the-fly subset simulation. *)
+
+val trim : t -> t
+(** Keeps only useful (accessible and co-accessible) states, per Claim B.6.
+    The language is preserved. The result may have 0 states if L(A) = ∅. *)
+
+val reverse : t -> t
+(** Automaton for the mirror language (Proposition E.1). *)
+
+val union : t -> t -> t
+val concat : t -> t -> t
+val star : t -> t
+val sigma_star : Cset.t -> t
+val sigma_plus : Cset.t -> t
+
+val remove_eps : t -> t
+(** Equivalent NFA without ε-transitions (standard closure construction). *)
+
+val is_read_once : t -> bool
+(** Is the automaton an RO-εNFA (Definition 3.6): at most one letter
+    transition per letter of Σ? *)
+
+val nullable : t -> bool
+(** Does the automaton accept ε? *)
+
+val letter_transitions : t -> (int * char * int) list
+(** The non-ε transitions. *)
+
+val eps_transitions : t -> (int * int) list
+(** The ε transitions. *)
+
+val rename : (char -> char) -> t -> t
+(** Applies an injective letter renaming to all transitions and the alphabet. *)
+
+val pp : Format.formatter -> t -> unit

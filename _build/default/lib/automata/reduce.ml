@@ -1,0 +1,20 @@
+let words ws =
+  let ws = List.sort_uniq compare ws in
+  List.filter
+    (fun w -> not (List.exists (fun w' -> Word.is_strict_infix w' w) ws))
+    ws
+
+let is_reduced_words ws = List.sort_uniq compare ws = List.sort_uniq compare (words ws)
+
+let nfa (a : Nfa.t) =
+  let sigma = a.Nfa.alphabet in
+  let splus = Nfa.sigma_plus sigma and sstar = Nfa.sigma_star sigma in
+  (* Words having a strict infix in L: Σ⁺LΣ* ∪ Σ*LΣ⁺ *)
+  let strict_infix_ext =
+    Nfa.union (Nfa.concat splus (Nfa.concat a sstar)) (Nfa.concat sstar (Nfa.concat a splus))
+  in
+  let d_ext = Dfa.of_nfa strict_infix_ext in
+  let d_l = Dfa.of_nfa a in
+  Dfa.to_nfa (Dfa.diff d_l d_ext)
+
+let is_reduced a = Lang.equiv a (nfa a)

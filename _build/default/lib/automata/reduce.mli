@@ -1,0 +1,18 @@
+(** Reduction of languages: [reduce(L)] is the infix-free sublanguage
+    {α ∈ L | no strict infix of α is in L} (Section 2 of the paper).
+    The queries [Q_L] and [Q_{reduce(L)}] are the same, so all complexity
+    results are stated on reduced languages. *)
+
+val words : Word.t list -> Word.t list
+(** Reduction of an explicit finite language. *)
+
+val is_reduced_words : Word.t list -> bool
+
+val nfa : Nfa.t -> Nfa.t
+(** Automaton for [reduce(L)]: computed as
+    [L ∩ ¬(Σ⁺LΣ* ∪ Σ*LΣ⁺)]. Exact for every regular language, but may incur
+    the inherent exponential blowup (Barceló et al., cited as [6] in the
+    paper). *)
+
+val is_reduced : Nfa.t -> bool
+(** Is [L = reduce(L)]? *)

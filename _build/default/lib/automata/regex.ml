@@ -1,0 +1,166 @@
+type t =
+  | Empty
+  | Eps
+  | Letter of char
+  | Union of t * t
+  | Concat of t * t
+  | Star of t
+
+(* Recursive-descent parser. Grammar:
+     union  ::= concat ('|' concat)*
+     concat ::= postfix+
+     postfix::= atom '*'*
+     atom   ::= letter | '~' | '!' | '(' union ')'
+   A letter is any non-space char other than the meta-characters. *)
+exception Syntax of string
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let rec skip_ws () =
+    if !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') then begin
+      incr pos;
+      skip_ws ()
+    end
+  in
+  let peek () =
+    skip_ws ();
+    if !pos < n then Some s.[!pos] else None
+  in
+  let advance () = incr pos in
+  let is_letter c = not (List.mem c [ '|'; '*'; '('; ')'; '~'; '!' ]) in
+  let rec union () =
+    let lhs = concat () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        Union (lhs, union ())
+    | _ -> lhs
+  and concat () =
+    let rec atoms acc =
+      match peek () with
+      | Some c when is_letter c || c = '(' || c = '~' || c = '!' -> atoms (postfix () :: acc)
+      | _ -> List.rev acc
+    in
+    match atoms [] with
+    | [] -> raise (Syntax "expected an atom")
+    | [ a ] -> a
+    | a :: rest -> List.fold_left (fun acc r -> Concat (acc, r)) a rest
+  and postfix () =
+    let a = atom () in
+    let rec stars a =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          stars (Star a)
+      | _ -> a
+    in
+    stars a
+  and atom () =
+    match peek () with
+    | Some '(' ->
+        advance ();
+        let e = union () in
+        (match peek () with
+        | Some ')' ->
+            advance ();
+            e
+        | _ -> raise (Syntax "unclosed parenthesis"))
+    | Some '~' ->
+        advance ();
+        Eps
+    | Some '!' ->
+        advance ();
+        Empty
+    | Some c when is_letter c ->
+        advance ();
+        Letter c
+    | Some c -> raise (Syntax (Printf.sprintf "unexpected character %C" c))
+    | None -> raise (Syntax "unexpected end of input")
+  in
+  let e = union () in
+  skip_ws ();
+  if !pos <> n then raise (Syntax "trailing input");
+  e
+
+let parse s =
+  try parse_exn s with Syntax msg -> invalid_arg (Printf.sprintf "Regex.parse %S: %s" s msg)
+
+let parse_opt s = try Some (parse_exn s) with Syntax _ -> None
+
+let of_word w =
+  if w = "" then Eps
+  else
+    let rec go i =
+      if i = String.length w - 1 then Letter w.[i] else Concat (Letter w.[i], go (i + 1))
+    in
+    go 0
+
+let of_words = function
+  | [] -> Empty
+  | w :: ws -> List.fold_left (fun acc w -> Union (acc, of_word w)) (of_word w) ws
+
+let rec letters = function
+  | Empty | Eps -> Cset.empty
+  | Letter c -> Cset.singleton c
+  | Union (a, b) | Concat (a, b) -> Cset.union (letters a) (letters b)
+  | Star a -> letters a
+
+let rec nullable = function
+  | Empty -> false
+  | Eps -> true
+  | Letter _ -> false
+  | Union (a, b) -> nullable a || nullable b
+  | Concat (a, b) -> nullable a && nullable b
+  | Star _ -> true
+
+let rec is_empty_syntactic = function
+  | Empty -> true
+  | Eps | Letter _ | Star _ -> false
+  | Union (a, b) -> is_empty_syntactic a && is_empty_syntactic b
+  | Concat (a, b) -> is_empty_syntactic a || is_empty_syntactic b
+
+(* Printing with minimal parentheses: union binds loosest, then concat, then star. *)
+let to_string e =
+  let buf = Buffer.create 16 in
+  (* level: 0 = union context, 1 = concat context, 2 = star context *)
+  let rec go level e =
+    match e with
+    | Empty -> Buffer.add_char buf '!'
+    | Eps -> Buffer.add_char buf '~'
+    | Letter c -> Buffer.add_char buf c
+    | Union (a, b) ->
+        let paren = level > 0 in
+        if paren then Buffer.add_char buf '(';
+        go 0 a;
+        Buffer.add_char buf '|';
+        go 0 b;
+        if paren then Buffer.add_char buf ')'
+    | Concat (a, b) ->
+        let paren = level > 1 in
+        if paren then Buffer.add_char buf '(';
+        go 1 a;
+        go 1 b;
+        if paren then Buffer.add_char buf ')'
+    | Star a ->
+        go 2 a;
+        Buffer.add_char buf '*'
+  in
+  go 0 e;
+  Buffer.contents buf
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+let equal = ( = )
+
+let rec mirror = function
+  | (Empty | Eps | Letter _) as e -> e
+  | Union (a, b) -> Union (mirror a, mirror b)
+  | Concat (a, b) -> Concat (mirror b, mirror a)
+  | Star a -> Star (mirror a)
+
+let rec rename f = function
+  | (Empty | Eps) as e -> e
+  | Letter c -> Letter (f c)
+  | Union (a, b) -> Union (rename f a, rename f b)
+  | Concat (a, b) -> Concat (rename f a, rename f b)
+  | Star a -> Star (rename f a)

@@ -1,0 +1,50 @@
+(** Regular expressions over [char] letters.
+
+    Supports the syntax used in the paper: letters, concatenation by
+    juxtaposition, union [|], Kleene star [*], and parentheses, e.g.
+    ["ax*b|cxd"] or ["b(aa)*d"]. The token [~] denotes ε and [!] denotes the
+    empty language (neither is needed for the paper's languages but both are
+    convenient for tests). *)
+
+type t =
+  | Empty  (** the empty language ∅ *)
+  | Eps  (** the language {{!Word.epsilon}ε} *)
+  | Letter of char
+  | Union of t * t
+  | Concat of t * t
+  | Star of t
+
+val parse : string -> t
+(** Parses a regular expression. Whitespace is ignored.
+    @raise Invalid_argument on a syntax error. *)
+
+val parse_opt : string -> t option
+(** Like {!parse} but returns [None] on a syntax error. *)
+
+val of_words : Word.t list -> t
+(** The finite language given by an explicit list of words. [of_words []] is
+    {!Empty}. *)
+
+val letters : t -> Cset.t
+(** All letters occurring in the expression (an over-approximation of the
+    alphabet actually used by the language). *)
+
+val nullable : t -> bool
+(** Does the language of the expression contain ε? *)
+
+val is_empty_syntactic : t -> bool
+(** Syntactic emptiness (no word at all is denoted). *)
+
+val to_string : t -> string
+(** Prints back a parseable concrete syntax. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+(** Structural (syntactic) equality, not language equivalence. *)
+
+val mirror : t -> t
+(** Expression denoting the mirror language (Proposition E.1). *)
+
+val rename : (char -> char) -> t -> t
+(** Applies a letter renaming to every letter of the expression. *)

@@ -1,0 +1,15 @@
+(** Star-freeness test (Lemma 5.6 uses: reduced non-star-free ⇒ four-legged
+    ⇒ NP-hard).
+
+    A regular language is star-free iff it is counter-free (McNaughton–Papert),
+    iff the transition monoid of its minimal DFA is aperiodic (Schützenberger).
+    We decide the latter: compute the transition monoid and check that every
+    element [m] satisfies [m^k = m^(k+1)] for some [k]. *)
+
+val is_star_free : ?max_monoid:int -> Nfa.t -> bool option
+(** [Some b] when the transition monoid could be computed within
+    [max_monoid] elements (default 200_000); [None] when the bound was hit
+    (monoids can have up to [n^n] elements). *)
+
+val monoid_size : ?max_monoid:int -> Nfa.t -> int option
+(** Size of the transition monoid of the minimal DFA, if within bounds. *)

@@ -1,0 +1,126 @@
+(* State elimination over a matrix of regular expressions. Normalization
+   (Deriv.normalize) keeps intermediate expressions from exploding with
+   Empty/Eps junk. *)
+
+let union a b = Deriv.normalize (Regex.Union (a, b))
+let concat a b = Deriv.normalize (Regex.Concat (a, b))
+let star a = Deriv.normalize (Regex.Star a)
+
+let of_nfa (a0 : Nfa.t) =
+  let a = Nfa.trim a0 in
+  if a.Nfa.nstates = 0 then Regex.Empty
+  else begin
+    let n = a.Nfa.nstates in
+    (* GNFA states: 0..n-1, start = n, end = n+1. *)
+    let r = Array.make_matrix (n + 2) (n + 2) Regex.Empty in
+    let add i j e = r.(i).(j) <- union r.(i).(j) e in
+    List.iter
+      (fun (s, sym, s') ->
+        match sym with
+        | Nfa.Eps -> add s s' Regex.Eps
+        | Nfa.Ch c -> add s s' (Regex.Letter c))
+      a.Nfa.trans;
+    List.iter (fun s -> add n s Regex.Eps) a.Nfa.initial;
+    List.iter (fun s -> add s (n + 1) Regex.Eps) a.Nfa.final;
+    (* Eliminate states 0..n-1. *)
+    for q = 0 to n - 1 do
+      let loop = star r.(q).(q) in
+      for i = 0 to n + 1 do
+        if i <> q && r.(i).(q) <> Regex.Empty then
+          for j = 0 to n + 1 do
+            if j <> q && r.(q).(j) <> Regex.Empty then
+              add i j (concat r.(i).(q) (concat loop r.(q).(j)))
+          done
+      done;
+      for i = 0 to n + 1 do
+        r.(i).(q) <- Regex.Empty;
+        r.(q).(i) <- Regex.Empty
+      done
+    done;
+    r.(n).(n + 1)
+  end
+
+let of_dfa d = of_nfa (Dfa.to_nfa d)
+
+let count_words (d : Dfa.t) n =
+  let vec = Array.make d.Dfa.nstates 0 in
+  vec.(d.Dfa.init) <- 1;
+  let count v =
+    let acc = ref 0 in
+    Array.iteri (fun s x -> if d.Dfa.final.(s) then acc := !acc + x) v;
+    !acc
+  in
+  let result = ref [ count vec ] in
+  let cur = ref vec in
+  for _ = 1 to n do
+    let next = Array.make d.Dfa.nstates 0 in
+    Array.iteri
+      (fun s x ->
+        if x > 0 then Array.iter (fun s' -> next.(s') <- next.(s') + x) d.Dfa.delta.(s))
+      !cur;
+    cur := next;
+    result := count next :: !result
+  done;
+  List.rev !result
+
+let growth (d : Dfa.t) =
+  let a = Nfa.trim (Dfa.to_nfa d) in
+  let n = a.Nfa.nstates in
+  if n = 0 then `Empty
+  else begin
+    (* adjacency over useful states (trim already done) *)
+    let adj = Array.make n [] in
+    List.iter (fun (s, _, s') -> adj.(s) <- s' :: adj.(s)) a.Nfa.trans;
+    (* Tarjan SCC *)
+    let index = Array.make n (-1) and low = Array.make n 0 in
+    let onstack = Array.make n false in
+    let stack = ref [] and counter = ref 0 in
+    let scc_of = Array.make n (-1) and nscc = ref 0 in
+    let rec strongconnect v =
+      index.(v) <- !counter;
+      low.(v) <- !counter;
+      incr counter;
+      stack := v :: !stack;
+      onstack.(v) <- true;
+      List.iter
+        (fun w ->
+          if index.(w) < 0 then begin
+            strongconnect w;
+            low.(v) <- min low.(v) low.(w)
+          end
+          else if onstack.(w) then low.(v) <- min low.(v) index.(w))
+        adj.(v);
+      if low.(v) = index.(v) then begin
+        let rec pop () =
+          match !stack with
+          | w :: rest ->
+              stack := rest;
+              onstack.(w) <- false;
+              scc_of.(w) <- !nscc;
+              if w <> v then pop ()
+          | [] -> ()
+        in
+        pop ();
+        incr nscc
+      end
+    in
+    for v = 0 to n - 1 do
+      if index.(v) < 0 then strongconnect v
+    done;
+    (* internal out-degree per vertex within its SCC, and self-loop count *)
+    let has_cycle = ref false and not_simple = ref false in
+    for v = 0 to n - 1 do
+      let internal = List.filter (fun w -> scc_of.(w) = scc_of.(v)) adj.(v) in
+      if internal <> [] then has_cycle := true;
+      if List.length internal > 1 then not_simple := true
+    done;
+    (* An SCC that is a single vertex with k >= 2 self-loops, or any vertex
+       with two internal successors, yields exponential growth. *)
+    if !not_simple then `Exponential
+    else if not !has_cycle then begin
+      match Dfa.words d with
+      | Some ws -> `Finite (List.length ws)
+      | None -> `Polynomial (* unreachable: acyclic useful part means finite *)
+    end
+    else `Polynomial
+  end

@@ -1,0 +1,21 @@
+(** Conversion from automata back to regular expressions (state
+    elimination), and counting statistics of regular languages. *)
+
+val of_dfa : Dfa.t -> Regex.t
+(** A regular expression for the DFA's language (state elimination on the
+    trimmed automaton; the result can be large but is language-equivalent,
+    which the test suite checks by compiling it back). *)
+
+val of_nfa : Nfa.t -> Regex.t
+
+val count_words : Dfa.t -> int -> int list
+(** [count_words d n] = number of accepted words of each length [0..n]
+    (dynamic programming over the DFA; counts can be exponential in [n],
+    beware of overflow beyond ~60 letters on small DFAs). *)
+
+val growth : Dfa.t -> [ `Empty | `Finite of int | `Polynomial | `Exponential ]
+(** Growth class of the language: finite (with its cardinality), polynomial
+    (bounded by n^k: the trimmed DFA's cycles are vertex-disjoint and lie on
+    a single path structure), or exponential (two distinct cycles reachable
+    from one another). Standard characterization via the cycle structure of
+    the trimmed automaton. *)

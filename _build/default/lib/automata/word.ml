@@ -1,0 +1,78 @@
+type t = string
+
+let epsilon = ""
+let length = String.length
+let letters = Cset.of_string
+
+let mirror w =
+  let n = String.length w in
+  String.init n (fun i -> w.[n - 1 - i])
+
+let is_prefix a b =
+  String.length a <= String.length b && String.sub b 0 (String.length a) = a
+
+let is_suffix a b =
+  let la = String.length a and lb = String.length b in
+  la <= lb && String.sub b (lb - la) la = a
+
+let is_infix a b =
+  let la = String.length a and lb = String.length b in
+  if la > lb then false
+  else
+    let rec go i = i + la <= lb && (String.sub b i la = a || go (i + 1)) in
+    go 0
+
+let is_strict_infix a b = String.length a < String.length b && is_infix a b
+
+let dedup ws = List.sort_uniq compare ws
+
+let infixes w =
+  let n = String.length w in
+  let acc = ref [ "" ] in
+  for i = 0 to n - 1 do
+    for len = 1 to n - i do
+      acc := String.sub w i len :: !acc
+    done
+  done;
+  dedup !acc
+
+let strict_infixes w = List.filter (fun a -> String.length a < String.length w) (infixes w)
+
+let prefixes w = List.init (String.length w + 1) (fun i -> String.sub w 0 i)
+
+let suffixes w =
+  let n = String.length w in
+  List.init (n + 1) (fun i -> String.sub w (n - i) i)
+
+let has_repeated_letter w =
+  let seen = Array.make 256 false in
+  let rec go i =
+    if i >= String.length w then false
+    else
+      let c = Char.code w.[i] in
+      if seen.(c) then true
+      else begin
+        seen.(c) <- true;
+        go (i + 1)
+      end
+  in
+  go 0
+
+let repeated_letter_gap w =
+  let n = String.length w in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if w.[i] = w.[j] then
+        let gap = j - i - 1 in
+        match !best with
+        | Some (_, g) when g >= gap -> ()
+        | _ -> best := Some (w.[i], gap)
+    done
+  done;
+  !best
+
+let all_distinct w = not (has_repeated_letter w)
+let to_list w = List.init (String.length w) (String.get w)
+let of_list cs = String.init (List.length cs) (List.nth cs)
+let pp ppf w = Format.pp_print_string ppf (if w = "" then "\xce\xb5" else w)

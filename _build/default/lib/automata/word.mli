@@ -1,0 +1,64 @@
+(** Words over a finite alphabet of [char] letters.
+
+    A word is represented as an OCaml [string]; the empty string is the empty
+    word ε. This module collects the combinatorial operations on words used
+    throughout the paper: infix/prefix/suffix tests, mirroring, and
+    repeated-letter detection (Section 2 and Section 6 of the paper). *)
+
+type t = string
+(** A word; [""] is ε. *)
+
+val epsilon : t
+(** The empty word ε. *)
+
+val length : t -> int
+(** Number of letters. *)
+
+val letters : t -> Cset.t
+(** Set of letters occurring in the word. *)
+
+val mirror : t -> t
+(** [mirror "abc" = "cba"]; the mirror operation of Proposition E.1. *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix a b] holds iff [a] is a prefix of [b]. *)
+
+val is_suffix : t -> t -> bool
+(** [is_suffix a b] holds iff [a] is a suffix of [b]. *)
+
+val is_infix : t -> t -> bool
+(** [is_infix a b] holds iff [a] occurs as a contiguous factor of [b]. *)
+
+val is_strict_infix : t -> t -> bool
+(** [is_strict_infix a b] holds iff [b = d ^ a ^ g] with [d ^ g] non-empty. *)
+
+val infixes : t -> t list
+(** All infixes of the word, without duplicates (includes ε and the word). *)
+
+val strict_infixes : t -> t list
+(** All strict infixes, without duplicates (includes ε, excludes the word
+    itself unless it occurs as a shorter factor, which is impossible). *)
+
+val prefixes : t -> t list
+(** All prefixes, from ε to the full word. *)
+
+val suffixes : t -> t list
+(** All suffixes, from ε to the full word. *)
+
+val has_repeated_letter : t -> bool
+(** Does the word contain the same letter at two distinct positions?
+    (Definition used by Theorem 6.1.) *)
+
+val repeated_letter_gap : t -> (char * int) option
+(** If the word has a repeated letter, returns [(a, g)] where [g] is the
+    maximal gap [|γ|] over decompositions [βaγaδ] of the word (the quantity
+    maximized by maximal-gap words, Definition E.2). *)
+
+val all_distinct : t -> bool
+(** Are all letters pairwise distinct? *)
+
+val to_list : t -> char list
+val of_list : char list -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints the word, or ["ε"] for the empty word. *)

@@ -1,0 +1,1 @@
+lib/core/bcl.ml: Array Automata Flow Graphdb Graphs Hashtbl List Queue String Value

@@ -1,0 +1,1 @@
+lib/core/bcl.mli: Automata Graphdb Value

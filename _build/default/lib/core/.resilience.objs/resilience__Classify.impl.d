@@ -1,0 +1,1 @@
+lib/core/classify.ml: Automata Bcl Format List Printf String Submod_solver

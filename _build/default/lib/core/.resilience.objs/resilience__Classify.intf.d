@@ -1,0 +1,1 @@
+lib/core/classify.mli: Automata Format Submod_solver

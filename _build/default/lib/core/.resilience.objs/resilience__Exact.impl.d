@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Automata Graphdb Hashtbl Hypergraph List Value

@@ -1,0 +1,1 @@
+lib/core/gadget_search.ml: Array Automata Gadgets Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/gadget_search.mli: Automata Gadgets

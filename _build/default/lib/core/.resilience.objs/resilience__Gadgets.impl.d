@@ -1,0 +1,1 @@
+lib/core/gadgets.ml: Automata Exact Graphdb Graphs Hashtbl Hypergraph List Printf String Value

@@ -1,0 +1,1 @@
+lib/core/gadgets.mli: Automata Graphdb Graphs Hypergraph

@@ -1,0 +1,1 @@
+lib/core/hardness.ml: Automata Gadget_search Gadgets List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/ilp_solver.ml: Array Automata Graphdb Hashtbl Hypergraph List Lp Value

@@ -1,0 +1,1 @@
+lib/core/ilp_solver.mli: Automata Graphdb Lp Value

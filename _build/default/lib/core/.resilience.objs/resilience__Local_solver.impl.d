@@ -1,0 +1,1 @@
+lib/core/local_solver.ml: Automata Flow Graphdb Hashtbl List Value

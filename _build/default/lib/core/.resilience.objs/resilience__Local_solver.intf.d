@@ -1,0 +1,1 @@
+lib/core/local_solver.mli: Automata Flow Graphdb Value

@@ -1,0 +1,1 @@
+lib/core/report.ml: Automata Bcl Buffer Classify Format Gadget_search Gadgets Hardness List Option Printf String

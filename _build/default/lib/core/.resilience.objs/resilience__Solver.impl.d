@@ -1,0 +1,1 @@
+lib/core/solver.ml: Automata Bcl Classify Exact Local_solver Submod_solver Value

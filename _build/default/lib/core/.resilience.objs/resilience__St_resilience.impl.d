@@ -1,0 +1,1 @@
+lib/core/st_resilience.ml: Array Automata Char Exact Graphdb Hashtbl List Local_solver Option Queue Solver String Value

@@ -1,0 +1,1 @@
+lib/core/st_resilience.mli: Automata Graphdb Solver Value

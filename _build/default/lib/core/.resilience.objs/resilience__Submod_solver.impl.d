@@ -1,0 +1,1 @@
+lib/core/submod_solver.ml: Array Automata Fun Graphdb List Local_solver Option String Submodular Value

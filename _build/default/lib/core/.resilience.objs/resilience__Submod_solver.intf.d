@@ -1,0 +1,1 @@
+lib/core/submod_solver.mli: Automata Graphdb Value

@@ -1,0 +1,1 @@
+lib/core/two_way.ml: Array Automata Char Graphdb Hashtbl Hypergraph List Queue Value

@@ -1,0 +1,1 @@
+lib/core/two_way.mli: Automata Graphdb Hypergraph Value

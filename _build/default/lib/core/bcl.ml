@@ -1,0 +1,256 @@
+module Db = Graphdb.Db
+module Net = Flow.Network
+
+let is_chain ws =
+  let ws = List.sort_uniq compare ws in
+  List.for_all (fun w -> not (Automata.Word.has_repeated_letter w)) ws
+  && List.for_all
+       (fun w ->
+         String.length w < 3
+         ||
+         let middle = String.sub w 1 (String.length w - 2) in
+         List.for_all
+           (fun w' ->
+             w' = w || String.for_all (fun c -> not (String.contains w' c)) middle)
+           ws)
+       ws
+
+let endpoint_graph ws =
+  let letters =
+    List.fold_left (fun acc w -> Automata.Cset.union acc (Automata.Word.letters w))
+      Automata.Cset.empty ws
+  in
+  let edges =
+    List.filter_map
+      (fun w ->
+        if String.length w >= 2 then begin
+          let a = w.[0] and b = w.[String.length w - 1] in
+          if a <> b then Some (min a b, max a b) else None
+        end
+        else None)
+      ws
+  in
+  (Automata.Cset.elements letters, List.sort_uniq compare edges)
+
+(* Bipartition of the endpoint letters: [None] when not bipartite, otherwise
+   a (letter -> side) assignment covering the endpoint letters. *)
+let endpoint_bipartition ws =
+  let letters, edges = endpoint_graph ws in
+  let arr = Array.of_list letters in
+  let index c =
+    let rec go i = if arr.(i) = c then i else go (i + 1) in
+    go 0
+  in
+  let g =
+    Graphs.Ugraph.make ~n:(Array.length arr)
+      ~edges:(List.map (fun (a, b) -> (index a, index b)) edges)
+  in
+  match Graphs.Ugraph.bipartition g with
+  | None -> None
+  | Some (color, _) ->
+      let endpoint_letters =
+        List.concat_map (fun (a, b) -> [ a; b ]) edges |> List.sort_uniq compare
+      in
+      Some (List.map (fun c -> (c, color.(index c))) endpoint_letters)
+
+let is_bcl ws =
+  (* A word with equal endpoints of length ≥ 2 would have a repeated letter,
+     so chain languages only have proper endpoint edges. *)
+  is_chain ws && endpoint_bipartition ws <> None
+
+(* Lemma F.2: explicit word list of a chain language from an εNFA, without
+   determinization. Witness middle-words are maintained per state as in
+   Claim F.3; for chain languages the total number of (state, witness)
+   pairs stays O(|A| x |Σ|), so exceeding a proportional budget proves the
+   input is not a chain language (productive cycles or shared middles). *)
+exception Not_chain of string
+
+let words_of_chain_nfa_exn (a0 : Automata.Nfa.t) =
+  let a = Automata.Nfa.trim a0 in
+  if a.Automata.Nfa.nstates = 0 then []
+  else begin
+    let n = a.Automata.Nfa.nstates in
+    let eps_out = Array.make n [] and eps_in = Array.make n [] in
+    let letter_out = Array.make n [] in
+    List.iter
+      (fun (s, sym, s') ->
+        match sym with
+        | Automata.Nfa.Eps ->
+            eps_out.(s) <- s' :: eps_out.(s);
+            eps_in.(s') <- s :: eps_in.(s')
+        | Automata.Nfa.Ch c -> letter_out.(s) <- (c, s') :: letter_out.(s))
+      a.Automata.Nfa.trans;
+    let closure adj init =
+      let seen = Array.make n false in
+      let rec go s =
+        if not seen.(s) then begin
+          seen.(s) <- true;
+          List.iter go adj.(s)
+        end
+      in
+      List.iter go init;
+      seen
+    in
+    let s_l = closure eps_out a.Automata.Nfa.initial in
+    let s_r = closure eps_in a.Automata.Nfa.final in
+    let words = ref [] in
+    (* ε: chain languages cannot contain it, but report it so the caller can
+       handle trivial resilience uniformly *)
+    if List.exists (fun s -> s_l.(s)) a.Automata.Nfa.final then words := "" :: !words;
+    (* single-letter words: a letter transition from S_l to S_r *)
+    for s = 0 to n - 1 do
+      if s_l.(s) then
+        List.iter
+          (fun (c, s') -> if s_r.(s') then words := String.make 1 c :: !words)
+          letter_out.(s)
+    done;
+    (* words of length >= 2: for each first letter, explore the middle with
+       witness words; close on a last-letter transition into S_r *)
+    let alphabet = Automata.Cset.elements a.Automata.Nfa.alphabet in
+    let budget = 8 * (n + 4) * (List.length alphabet + 4) in
+    List.iter
+      (fun first ->
+        let starts =
+          List.concat
+            (List.init n (fun s ->
+                 if s_l.(s) then
+                   List.filter_map
+                     (fun (c, s') -> if c = first then Some s' else None)
+                     letter_out.(s)
+                 else []))
+        in
+        if starts <> [] then begin
+          let witness : (int * string, unit) Hashtbl.t = Hashtbl.create 16 in
+          let queue = Queue.create () in
+          let push s w =
+            if not (Hashtbl.mem witness (s, w)) then begin
+              if Hashtbl.length witness > budget then
+                raise (Not_chain "middle-word witnesses exceed the chain-language budget");
+              Hashtbl.add witness (s, w) ();
+              Queue.add (s, w) queue
+            end
+          in
+          List.iter (fun s -> push s "") starts;
+          while not (Queue.is_empty queue) do
+            let s, w = Queue.pop queue in
+            List.iter (fun s' -> push s' w) eps_out.(s);
+            List.iter
+              (fun (c, s') ->
+                (* (c, s') may close a word (s' ∈ S_r) and/or continue the
+                   middle; dead-end heads need not be explored further *)
+                if letter_out.(s') <> [] || eps_out.(s') <> [] then
+                  push s' (w ^ String.make 1 c))
+              letter_out.(s)
+          done;
+          Hashtbl.iter
+            (fun (s, w) () ->
+              List.iter
+                (fun (c, s') ->
+                  if s_r.(s') then
+                    words := (String.make 1 first ^ w ^ String.make 1 c) :: !words)
+                letter_out.(s))
+            witness
+        end)
+      alphabet;
+    List.sort_uniq compare !words
+  end
+
+let words_of_chain_nfa a =
+  try Ok (words_of_chain_nfa_exn a) with Not_chain msg -> Error msg
+
+let is_bcl_nfa a =
+  match Automata.Dfa.words (Automata.Dfa.of_nfa a) with
+  | None -> false
+  | Some ws -> is_bcl ws
+
+(* Proposition 7.5's MinCut construction. *)
+let solve_words d ws =
+  if List.mem "" ws then (Value.Infinite, [])
+  else begin
+    (* Single-letter words force removal of every fact with that letter. *)
+    let single_letters =
+      List.filter_map (fun w -> if String.length w = 1 then Some w.[0] else None) ws
+    in
+    let forced =
+      List.filter_map
+        (fun (fid, (f : Db.fact)) ->
+          if List.mem f.Db.label single_letters then Some fid else None)
+        (Db.facts d)
+    in
+    let base_cost = List.fold_left (fun acc fid -> acc + Db.mult d fid) 0 forced in
+    let d = Db.restrict d ~removed:(fun id -> List.mem id forced) in
+    let ws = List.filter (fun w -> String.length w >= 2) ws in
+    match endpoint_bipartition ws with
+    | None -> invalid_arg "Bcl.solve: endpoint graph is not bipartite"
+    | Some side_of ->
+        let side c = List.assoc_opt c side_of in
+        let net = Net.create () in
+        let source = Net.add_vertex net and sink = Net.add_vertex net in
+        (* start/end vertices and the capacity edge of each live fact. *)
+        let fact_ids = List.map fst (Db.facts d) in
+        let startv = Hashtbl.create 64 and endv = Hashtbl.create 64 in
+        let fact_edge = ref [] in
+        List.iter
+          (fun fid ->
+            let s = Net.add_vertex net and e = Net.add_vertex net in
+            Hashtbl.add startv fid s;
+            Hashtbl.add endv fid e;
+            let eid = Net.add_edge net ~src:s ~dst:e (Net.Finite (Db.mult d fid)) in
+            fact_edge := (eid, fid) :: !fact_edge)
+          fact_ids;
+        let facts_with_label c =
+          List.filter (fun (_, (f : Db.fact)) -> f.Db.label = c) (Db.facts d)
+        in
+        (* Structural +∞ edges: consecutive letter pairs of each word,
+           oriented according to the word's direction. *)
+        let is_forward w = side w.[0] = Some 0 in
+        List.iter
+          (fun w ->
+            let fwd = is_forward w in
+            for i = 0 to String.length w - 2 do
+              let a = w.[i] and b = w.[i + 1] in
+              List.iter
+                (fun (fid, (f : Db.fact)) ->
+                  List.iter
+                    (fun (gid, (g : Db.fact)) ->
+                      if f.Db.dst = g.Db.src then
+                        if fwd then
+                          ignore
+                            (Net.add_edge net ~src:(Hashtbl.find endv fid)
+                               ~dst:(Hashtbl.find startv gid) Net.Inf)
+                        else
+                          ignore
+                            (Net.add_edge net ~src:(Hashtbl.find endv gid)
+                               ~dst:(Hashtbl.find startv fid) Net.Inf))
+                    (facts_with_label b))
+                (facts_with_label a)
+            done)
+          ws;
+        (* Source/target wiring by partition side, for endpoint letters only. *)
+        List.iter
+          (fun (c, s) ->
+            List.iter
+              (fun (fid, _) ->
+                if s = 0 then
+                  ignore (Net.add_edge net ~src:source ~dst:(Hashtbl.find startv fid) Net.Inf)
+                else
+                  ignore (Net.add_edge net ~src:(Hashtbl.find endv fid) ~dst:sink Net.Inf))
+              (facts_with_label c))
+          side_of;
+        let cut = Net.min_cut net ~source ~sink in
+        (match cut.Net.value with
+        | Net.Inf ->
+            (* Impossible: cutting every fact edge disconnects the network. *)
+            assert false
+        | Net.Finite v ->
+            let facts =
+              List.filter_map (fun eid -> List.assoc_opt eid !fact_edge) cut.Net.edges
+            in
+            (Value.Finite (base_cost + v), List.sort_uniq compare (forced @ facts)))
+  end
+
+let solve d a =
+  match Automata.Dfa.words (Automata.Dfa.of_nfa a) with
+  | None -> Error "language is infinite, not a chain language"
+  | Some ws ->
+      if is_bcl ws then Ok (solve_words d ws) else Error "language is not a bipartite chain language"

@@ -1,0 +1,64 @@
+module ISet = Hypergraph.Iset
+module Db = Graphdb.Db
+module Eval = Graphdb.Eval
+
+let bruteforce d a =
+  if Automata.Nfa.nullable a then Value.Infinite
+  else begin
+    let live = List.map fst (Db.facts d) in
+    let n = List.length live in
+    if n > 22 then invalid_arg "Exact.bruteforce: too many facts";
+    let live = Array.of_list live in
+    let best = ref Value.Infinite in
+    for mask = 0 to (1 lsl n) - 1 do
+      let removed = ref ISet.empty and cost = ref 0 in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          removed := ISet.add live.(i) !removed;
+          cost := !cost + Db.mult d live.(i)
+        end
+      done;
+      if Value.compare (Finite !cost) !best < 0 then begin
+        let d' = Db.restrict d ~removed:(fun id -> ISet.mem id !removed) in
+        if not (Eval.satisfies d' a) then best := Finite !cost
+      end
+    done;
+    !best
+  end
+
+let branch_and_bound d a =
+  if Automata.Nfa.nullable a then (Value.Infinite, [])
+  else begin
+    let memo : (ISet.t, unit) Hashtbl.t = Hashtbl.create 256 in
+    let best = ref max_int and best_set = ref [] in
+    (* DFS over removal sets; [cost] is the multiplicity already paid. *)
+    let rec go removed cost chosen =
+      if cost < !best && not (Hashtbl.mem memo removed) then begin
+        Hashtbl.add memo removed ();
+        let d' = Db.restrict d ~removed:(fun id -> ISet.mem id removed) in
+        match Eval.shortest_witness d' a with
+        | None ->
+            best := cost;
+            best_set := chosen
+        | Some walk ->
+            let facts = List.sort_uniq compare walk in
+            List.iter
+              (fun fid ->
+                let c = cost + Db.mult d fid in
+                if c < !best then go (ISet.add fid removed) c (fid :: chosen))
+              facts
+      end
+    in
+    go ISet.empty 0 [];
+    (* The loop always terminates with a finite best: removing all facts
+       falsifies the query since ε ∉ L. *)
+    (Value.Finite !best, !best_set)
+  end
+
+let hitting_set d a =
+  if Automata.Nfa.nullable a then (Value.Infinite, [])
+  else begin
+    let h = Eval.match_hypergraph d a in
+    let value, set = Hypergraph.min_hitting_set ~weights:(Db.mult d) h in
+    (Value.Finite value, set)
+  end

@@ -1,0 +1,23 @@
+(** Exact resilience solvers that work for {e every} regular language
+    (exponential worst case; resilience is NP-hard in general, Section 4).
+
+    These are the reference implementations used to validate the paper's
+    polynomial algorithms, and the baselines of the hardness-shape
+    benchmarks. All solvers handle bag semantics (fact multiplicities are
+    removal costs); set semantics is the all-multiplicities-1 case. *)
+
+val bruteforce : Graphdb.Db.t -> Automata.Nfa.t -> Value.t
+(** Enumerates all subsets of live facts (≤ 22 facts).
+    @raise Invalid_argument on larger databases. *)
+
+val branch_and_bound : Graphdb.Db.t -> Automata.Nfa.t -> Value.t * int list
+(** Witness-branching: while some L-walk exists, pick a shortest one and
+    branch on which of its facts enters the contingency set. Memoized on the
+    removed-fact set; exact for every regular language and database. Returns
+    the value and a witness contingency set (empty for [Infinite]). *)
+
+val hitting_set : Graphdb.Db.t -> Automata.Nfa.t -> Value.t * int list
+(** Via the hypergraph of matches (Definition 4.7) and exact weighted
+    minimum hitting set. Requires the matches to be enumerable: finite
+    language or acyclic database (see {!Graphdb.Eval.all_matches}).
+    @raise Invalid_argument otherwise. *)

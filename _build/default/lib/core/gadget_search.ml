@@ -1,0 +1,133 @@
+type share = Single of int * int | Double of int * int
+
+type found = {
+  gadget : Gadgets.pre_gadget;
+  verification : Gadgets.verification;
+  words_used : string array;
+  shares : share array;
+}
+
+(* Union-find over walk positions (i, j) = node j of walk i. *)
+let build_candidate ~label ~(words : string array) ~(shares : share array) =
+  let k = Array.length words in
+  let tbl = Hashtbl.create 64 in
+  let key i j = (i * 1000) + j in
+  let rec find x =
+    match Hashtbl.find_opt tbl x with
+    | None -> x
+    | Some p ->
+        let r = find p in
+        if r <> p then Hashtbl.replace tbl x r;
+        r
+  in
+  let union x y =
+    let rx = find x and ry = find y in
+    if rx <> ry then Hashtbl.replace tbl rx ry
+  in
+  Array.iteri
+    (fun i s ->
+      let glue len p q =
+        for o = 0 to len do
+          union (key i (p + o)) (key (i + 1) (q + o))
+        done
+      in
+      match s with Single (p, q) -> glue 1 p q | Double (p, q) -> glue 2 p q)
+    shares;
+  let name i j =
+    let r = find (key i j) in
+    if r = find (key 0 1) then "t_in"
+    else if r = find (key (k - 1) 1) then "t_out"
+    else Printf.sprintf "n%d" r
+  in
+  let chains = ref [] in
+  Array.iteri
+    (fun i w ->
+      (* fact 0 of the terminal walks is the completion fact, left out *)
+      let start = if i = 0 || i = k - 1 then 1 else 0 in
+      for j = start to String.length w - 1 do
+        chains := (name i j, String.make 1 w.[j], name i (j + 1)) :: !chains
+      done)
+    words;
+  Gadgets.build ~name:"searched gadget" ~label (List.sort_uniq compare !chains)
+
+let shares_between w1 w2 =
+  let acc = ref [] in
+  String.iteri
+    (fun p c1 ->
+      String.iteri
+        (fun q c2 ->
+          if c1 = c2 then begin
+            acc := Single (p, q) :: !acc;
+            if p + 1 < String.length w1 && q + 1 < String.length w2 && w1.[p + 1] = w2.[q + 1]
+            then acc := Double (p, q) :: !acc
+          end)
+        w2)
+    w1;
+  List.rev !acc
+
+exception Found of found
+exception Budget
+
+let search ?labels ?(max_matches = 7) ?(max_candidates = 2_000_000) l =
+  match Automata.Lang.words l with
+  | None -> None
+  | Some [] -> None
+  | Some ws ->
+      let ws = List.filter (fun w -> w <> "") ws in
+      let labels =
+        match labels with
+        | Some ls -> ls
+        | None -> List.sort_uniq compare (List.map (fun w -> w.[0]) ws)
+      in
+      let budget = ref max_candidates in
+      let try_candidate ~label ~words ~shares =
+        decr budget;
+        if !budget < 0 then raise Budget;
+        let g = build_candidate ~label ~words ~shares in
+        match Gadgets.well_formed g with
+        | Error _ -> ()
+        | Ok () ->
+            let v = Gadgets.verify g l in
+            if v.Gadgets.ok then
+              raise (Found { gadget = g; verification = v; words_used = words; shares })
+      in
+      let search_words words =
+        let k = Array.length words in
+        let options = Array.init (k - 1) (fun i -> shares_between words.(i) words.(i + 1)) in
+        let label = words.(0).[0] in
+        let rec go i acc =
+          if i = k - 1 then
+            try_candidate ~label ~words ~shares:(Array.of_list (List.rev acc))
+          else List.iter (fun s -> go (i + 1) (s :: acc)) options.(i)
+        in
+        if words.(k - 1).[0] = label then go 0 []
+      in
+      let rec word_seqs n = if n = 0 then [ [] ] else
+          List.concat_map (fun tail -> List.map (fun w -> w :: tail) ws) (word_seqs (n - 1))
+      in
+      (try
+         let k = ref 3 in
+         while !k <= max_matches do
+           List.iter
+             (fun label ->
+               let terminals = List.filter (fun w -> w.[0] = label) ws in
+               List.iter
+                 (fun t1 ->
+                   List.iter
+                     (fun t2 ->
+                       List.iter
+                         (fun mid -> search_words (Array.of_list ((t1 :: mid) @ [ t2 ])))
+                         (word_seqs (!k - 2)))
+                     terminals)
+                 terminals)
+             labels;
+           k := !k + 2
+         done;
+         None
+       with
+      | Found f -> Some f
+      | Budget -> None)
+
+let certify_np_hard ?max_matches l =
+  let reduced = Automata.Reduce.nfa l in
+  if Automata.Nfa.nullable reduced then None else search ?max_matches reduced

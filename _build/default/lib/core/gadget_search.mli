@@ -1,0 +1,47 @@
+(** Automatic search for hardness gadgets.
+
+    Candidate gadgets are chains of L-word walks glued by shared facts:
+    match i is a walk labeled by a word of L, and consecutive matches share
+    one fact (or two adjacent facts). The two terminal matches start with the
+    endpoint facts F_in / F_out, which forces the endpoint label to be the
+    first letter of their words. Every candidate is checked with
+    {!Gadgets.verify} (Definition 4.9), so any reported gadget is a genuine
+    NP-hardness certificate for the (reduced) language via Proposition 4.11.
+
+    This is the tool that produced the library's gadgets for ab|bc|ca,
+    abcd|be|ef, abcd|bef and axηya|yax, and it can be pointed at languages
+    the paper leaves open. *)
+
+type share =
+  | Single of int * int
+      (** [Single (p, q)]: fact p of match i = fact q of match i+1 *)
+  | Double of int * int
+      (** two adjacent facts shared: p, p+1 of match i = q, q+1 of i+1 *)
+
+type found = {
+  gadget : Gadgets.pre_gadget;
+  verification : Gadgets.verification;
+  words_used : string array;  (** the word of each match in the chain *)
+  shares : share array;
+}
+
+val build_candidate :
+  label:char -> words:string array -> shares:share array -> Gadgets.pre_gadget
+(** Materializes a candidate chain as a pre-gadget database (without
+    verifying it). *)
+
+val search :
+  ?labels:char list -> ?max_matches:int -> ?max_candidates:int
+  -> Automata.Nfa.t -> found option
+(** Exhaustive-with-budget search: tries chains of [3, 5, …, max_matches]
+    (default 7) matches over the words of the (finite) language, with
+    terminal words starting with each candidate label (default: all first
+    letters of words). Stops at the first verified gadget, or after
+    [max_candidates] (default 2_000_000) candidates.
+    Returns [None] for infinite languages and when the budget is exhausted
+    — which proves nothing (gadgets may exist outside the searched shape). *)
+
+val certify_np_hard : ?max_matches:int -> Automata.Nfa.t -> found option
+(** Convenience wrapper used by the classifier extension: reduces the
+    language first, requires it finite, and searches. A [Some] result is a
+    machine-checked NP-hardness proof for RES_set(L) (Proposition 4.11). *)

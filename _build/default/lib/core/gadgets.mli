@@ -1,0 +1,130 @@
+(** Hardness gadgets (Section 4) and their programmatic verification.
+
+    A pre-gadget (Definition 4.3) is a database with two distinguished
+    elements [t_in], [t_out] that never occur as fact heads, plus an endpoint
+    label. Its completion adds endpoint facts [F_in : s_in --a--> t_in] and
+    [F_out : s_out --a--> t_out]. The pre-gadget is a {e gadget} for L
+    (Definition 4.9) when the hypergraph of matches of the completion
+    condenses to an odd path from [F_in] to [F_out]; by Proposition 4.11 a
+    gadget for a reduced L makes RES_set(L) NP-hard, by encoding minimum
+    vertex cover (Definition 4.5, Proposition 4.2).
+
+    This module reimplements the paper's companion verification code
+    (reference [3]) and provides the concrete gadgets behind Propositions
+    4.1, 4.12, 7.6 and 7.8, Theorem 5.5 (both cases), and the case gadgets
+    of Theorem 6.1 (Figures 9–14). *)
+
+type pre_gadget = {
+  name : string;
+  db : Graphdb.Db.t;
+  t_in : int;
+  t_out : int;
+  label : char;
+}
+
+val build : name:string -> label:char -> (string * string * string) list -> pre_gadget
+(** Builds a pre-gadget from word-labeled chains [(u, word, v)]: each chain
+    spells its word from node [u] to node [v] through fresh intermediate
+    nodes. The node names ["t_in"] and ["t_out"] denote the distinguished
+    elements. *)
+
+val well_formed : pre_gadget -> (unit, string) result
+(** Checks Definition 4.3: [t_in ≠ t_out] and neither occurs as a head. *)
+
+type completion = {
+  db' : Graphdb.Db.t;
+  f_in : int;  (** fact id of F_in in [db'] *)
+  f_out : int;  (** fact id of F_out in [db'] *)
+}
+
+val complete : pre_gadget -> completion
+
+type verification = {
+  ok : bool;
+  matches : Hypergraph.t;  (** the full hypergraph of matches on the completion *)
+  condensed : Hypergraph.t;  (** after condensation protecting F_in, F_out *)
+  odd_path_length : int option;  (** ℓ when the condensation is an odd path *)
+  failure : string option;
+}
+
+val verify : pre_gadget -> Automata.Nfa.t -> verification
+(** Definition 4.9, checked as in the paper: enumerate all matches of L on
+    the completion (the completion must be acyclic or L finite), condense
+    with the endpoint facts protected, and test for an odd path from F_in to
+    F_out. *)
+
+val encode : pre_gadget -> Graphs.Ugraph.t -> Graphdb.Db.t
+(** Definition 4.5: encode an (arbitrarily oriented) undirected graph,
+    replacing each edge by a fresh copy of the pre-gadget and each vertex
+    [u] by an endpoint fact [s_u --a--> t_u]. *)
+
+val expected_resilience : pre_gadget -> Automata.Nfa.t -> Graphs.Ugraph.t -> int
+(** The value Proposition 4.11 predicts for RES_set(Q_L, encode Γ G):
+    vc(G) + m·(ℓ−1)/2 where ℓ is the gadget's odd path length.
+    @raise Invalid_argument if the gadget does not verify. *)
+
+val reduction_check : pre_gadget -> Automata.Nfa.t -> Graphs.Ugraph.t -> bool
+(** End-to-end check of the hardness reduction on a concrete graph: computes
+    RES_set with an exact solver and compares with {!expected_resilience}. *)
+
+(** {1 The paper's gadgets}
+
+    Each function builds the pre-gadget together with (a default automaton
+    for) the language it certifies. *)
+
+val gadget_aa : unit -> pre_gadget * Automata.Nfa.t
+(** Figure 3a: the language [aa] (Proposition 4.1). *)
+
+val gadget_axb_cxd : unit -> pre_gadget * Automata.Nfa.t
+(** The language [axb|cxd] (Proposition 4.12), built as the four-legged
+    case-1 gadget. *)
+
+val gadget_four_legged_case1 :
+  x:char -> alpha:string -> beta:string -> gamma:string -> delta:string
+  -> Automata.Nfa.t -> pre_gadget
+(** The generic case-1 gadget of Theorem 5.5: stable legs with no infix of
+    γ'xβ' in L, where α' = [alpha]·…, etc. The arguments are the {e full}
+    legs α', β', γ', δ' (all non-empty). *)
+
+val gadget_four_legged_case2 :
+  x:char -> alpha:string -> beta:string -> gamma:string -> delta:string
+  -> Automata.Nfa.t -> pre_gadget
+(** The generic case-2 gadget of Theorem 5.5 (some infix of γ'xβ' is in L,
+    which must then contain c₂xb, cf. the proof in Appendix D.1). *)
+
+val gadget_a_gamma_a : gamma:string -> unit -> pre_gadget * Automata.Nfa.t
+(** Figure 9 (Lemma E.4, δ = ε): language {aγa} with no infix of γaγ in L. *)
+
+val gadget_a_gamma_a_delta : gamma:string -> delta:string -> unit -> pre_gadget * Automata.Nfa.t
+(** Figure 10 (Lemma E.4, δ ≠ ε): language {aγaδ}. *)
+
+val gadget_aba_bab : unit -> pre_gadget * Automata.Nfa.t
+(** Figure 11 (Claim E.8): languages containing aba and bab. *)
+
+val gadget_aaa : unit -> pre_gadget * Automata.Nfa.t
+(** Figure 12 (Claim E.9): languages containing aaa. *)
+
+val gadget_aab : unit -> pre_gadget * Automata.Nfa.t
+(** Figure 13 (Claim E.12): languages containing aab, a ≠ b. *)
+
+val gadget_axeya_yax : eta:string -> unit -> pre_gadget * Automata.Nfa.t
+(** Figure 14 (Claim E.11): languages {axηya, yax} with x, y ∉ {a}. *)
+
+val gadget_axeya_yax_letters :
+  a:char -> x:char -> y:char -> eta:string -> unit -> pre_gadget * Automata.Nfa.t
+(** Same construction with the three letters as parameters (used by the
+    executable Theorem 6.1 case analysis, where x and y come from the
+    maximal-gap decomposition and need not literally be 'x' and 'y'). *)
+
+val gadget_ab_bc_ca : unit -> pre_gadget * Automata.Nfa.t
+(** Figure 15 (Proposition 7.6): the non-bipartite chain language ab|bc|ca. *)
+
+val gadget_abcd_be_ef : unit -> pre_gadget * Automata.Nfa.t
+(** Figure 16 (Proposition 7.8): abcd|be|ef. *)
+
+val gadget_abcd_bef : unit -> pre_gadget * Automata.Nfa.t
+(** Figure 17 (Proposition 7.8): abcd|bef. *)
+
+val all_paper_gadgets : unit -> (string * pre_gadget * Automata.Nfa.t) list
+(** Every concrete gadget above with its language, for the test suite and
+    the figure-regeneration benches. *)

@@ -1,0 +1,309 @@
+module W = Automata.Word
+module Nfa = Automata.Nfa
+
+type outcome = {
+  mirrored : bool;
+  strategy : string;
+  gadget : Gadgets.pre_gadget;
+  language : Automata.Nfa.t;
+  verification : Gadgets.verification;
+}
+
+(* ---- Maximal-gap words (Definition E.2) ---- *)
+
+let maximal_gap_word ws =
+  let best = ref None in
+  List.iter
+    (fun w ->
+      let n = String.length w in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if w.[i] = w.[j] then begin
+            let gap = j - i - 1 in
+            let better =
+              match !best with
+              | None -> true
+              | Some (g, len, _) -> gap > g || (gap = g && n > len)
+            in
+            if better then
+              best :=
+                Some
+                  ( gap,
+                    n,
+                    ( w,
+                      w.[i],
+                      String.sub w 0 i,
+                      String.sub w (i + 1) gap,
+                      String.sub w (j + 1) (n - j - 1) ) )
+          end
+        done
+      done)
+    ws;
+  Option.map (fun (_, _, d) -> d) !best
+
+(* ---- Stable legs (Lemma D.2) ---- *)
+
+let stable_legs l ((x, al, be, ga, de) as witness) =
+  let xs = String.make 1 x in
+  let w' = al ^ xs ^ de in
+  (* Position of the witness's body letter in w'. *)
+  let xpos = String.length al in
+  let n = String.length w' in
+  (* Find a strict infix of w' in L that straddles the body with non-empty
+     parts on both sides; per the proof of Lemma D.2 it must have this
+     shape when it exists. *)
+  let found = ref None in
+  for s = 0 to xpos - 1 do
+    for e = xpos + 2 to n do
+      if !found = None && e - s < n then begin
+        let tau = String.sub w' s (e - s) in
+        if Nfa.accepts l tau then found := Some (s, e)
+      end
+    done
+  done;
+  match !found with
+  | None -> witness
+  | Some (s, e) ->
+      let alpha1 = String.sub w' s (xpos - s) in
+      let delta1 = String.sub w' (xpos + 1) (e - xpos - 1) in
+      if e < n then (* δ₂ ≠ ε: take (γ, δ, α₁, δ₁) *)
+        (x, ga, de, alpha1, delta1)
+      else (* α₂ ≠ ε: take (α₁, δ₁, α, β) *)
+        (x, alpha1, delta1, al, be)
+
+(* ---- Verification helper with search fallback ---- *)
+
+let verified ?(mirrored = false) ~strategy l g =
+  let v = Gadgets.verify g l in
+  if v.Gadgets.ok then Ok { mirrored; strategy; gadget = g; language = l; verification = v }
+  else
+    match Gadget_search.search ~max_matches:7 l with
+    | Some f ->
+        Ok
+          {
+            mirrored;
+            strategy = strategy ^ " (construction failed to condense; search fallback)";
+            gadget = f.Gadget_search.gadget;
+            language = l;
+            verification = f.Gadget_search.verification;
+          }
+    | None -> Error (strategy ^ ": gadget did not verify and search found no replacement")
+
+let infix_in_lang l w = List.exists (fun i -> i <> "" && Nfa.accepts l i) (W.infixes w)
+
+(* ---- Theorem 5.5 as an algorithm ---- *)
+
+let four_legged_gadget ?(mirrored = false) l witness =
+  let x, al, be, ga, de = stable_legs l witness in
+  let xs = String.make 1 x in
+  if al = "" || be = "" || ga = "" || de = "" then
+    Error "four_legged_gadget: witness has empty legs"
+  else if not (Nfa.accepts l (al ^ xs ^ be) && Nfa.accepts l (ga ^ xs ^ de)) then
+    Error "four_legged_gadget: witness words not in the language"
+  else if Nfa.accepts l (al ^ xs ^ de) then Error "four_legged_gadget: not a violation"
+  else if not (infix_in_lang l (ga ^ xs ^ be)) then
+    verified ~mirrored ~strategy:"Thm 5.5 case 1" l
+      (Gadgets.gadget_four_legged_case1 ~x ~alpha:al ~beta:be ~gamma:ga ~delta:de l)
+  else begin
+    (* Case 2. The generic construction needs |γ'| ≥ 2, or single letters. *)
+    match
+      try
+        Some (Gadgets.gadget_four_legged_case2 ~x ~alpha:al ~beta:be ~gamma:ga ~delta:de l)
+      with Invalid_argument _ -> None
+    with
+    | Some g -> verified ~mirrored ~strategy:"Thm 5.5 case 2" l g
+    | None -> begin
+        match Gadget_search.search ~max_matches:7 l with
+        | Some f ->
+            Ok
+              {
+                mirrored;
+                strategy = "Thm 5.5 case 2 (searched)";
+                gadget = f.Gadget_search.gadget;
+                language = l;
+                verification = f.Gadget_search.verification;
+              }
+        | None -> Error "Thm 5.5 case 2: shape not covered and search found nothing"
+      end
+  end
+
+(* ---- Letter-parameterized gadget layouts used by Theorem 6.1 ---- *)
+
+let fig3a_layout a =
+  let s = String.make 1 a in
+  Gadgets.build ~name:(Printf.sprintf "%s%s (Fig 3a/12 layout)" s s) ~label:a
+    [ ("t_in", s, "1"); ("1", s, "2"); ("2", s, "3"); ("t_out", s, "2") ]
+
+let fig9_layout a gamma =
+  let s = String.make 1 a in
+  Gadgets.build ~name:(Printf.sprintf "%s%s%s (Fig 9 layout)" s gamma s) ~label:a
+    [
+      ("t_in", gamma, "p1");
+      ("p1", s, "q1");
+      ("q1", gamma, "p2");
+      ("p2", s, "q2");
+      ("t_out", gamma, "p2");
+    ]
+
+let fig10_layout a gamma delta =
+  let s = String.make 1 a in
+  Gadgets.build ~name:(Printf.sprintf "%s%s%s%s (Fig 10 layout)" s gamma s delta) ~label:a
+    [
+      ("t_in", gamma, "p1");
+      ("p1", s, "q1");
+      ("q1", delta, "d1");
+      ("q1", gamma, "p2");
+      ("p2", s, "q2");
+      ("q2", delta, "d2");
+      ("t_out", gamma, "p2");
+    ]
+
+let fig13_layout a b =
+  let sa = String.make 1 a and sb = String.make 1 b in
+  Gadgets.build ~name:(Printf.sprintf "%s%s%s (Fig 13 layout)" sa sa sb) ~label:a
+    [ ("t_in", sa, "1"); ("1", sb, "2"); ("3", sa, "1"); ("t_out", sa, "3"); ("3", sb, "4") ]
+
+let fig11_layout a b =
+  let sa = String.make 1 a and sb = String.make 1 b in
+  Gadgets.build ~name:(Printf.sprintf "%s%s%s|%s%s%s (Fig 11 layout)" sa sb sa sb sa sb)
+    ~label:a
+    [
+      ("t_in", sb, "1");
+      ("5", sb, "1");
+      ("1", sa, "2");
+      ("2", sb, "3");
+      ("3", sa, "4");
+      ("7", sa, "4");
+      ("4", sb, "6");
+      ("t_out", sb, "7");
+      ("8", sb, "7");
+    ]
+
+(* ---- Theorem 6.1 as an algorithm ---- *)
+
+let rec thm61_attempt ~mirrored ~fuel l ws =
+  if fuel = 0 then Error "thm61: mirroring did not terminate (bug)"
+  else
+    match maximal_gap_word ws with
+    | None -> Error "thm61: no word has a repeated letter"
+    | Some (_, a, beta, gamma, delta) ->
+        let sa = String.make 1 a in
+        if beta <> "" && delta <> "" then
+          (* Claim E.3: four-legged with legs (βaγ, δ, β, γaδ). *)
+          four_legged_gadget ~mirrored l (a, beta ^ sa ^ gamma, delta, beta, gamma ^ sa ^ delta)
+        else if beta <> "" then
+          (* Mirror so that β = ε (Proposition E.1). *)
+          let lm = Automata.Lang.mirror l in
+          thm61_attempt ~mirrored:(not mirrored) ~fuel:(fuel - 1) lm
+            (List.map W.mirror ws)
+        else begin
+          (* w = aγaδ is maximal-gap. *)
+          let gag = gamma ^ sa ^ gamma in
+          if not (infix_in_lang l gag) then
+            (* Lemma E.4 (Figures 9/10/13/3a depending on emptiness). *)
+            let g =
+              if delta = "" && gamma = "" then fig3a_layout a
+              else if delta = "" then fig9_layout a gamma
+              else if gamma = "" then fig13_layout_delta a delta
+              else fig10_layout a gamma delta
+            in
+            verified ~mirrored ~strategy:"Lemma E.4" l g
+          else begin
+            (* Claim E.5: find γ₁aγ₂ ∈ L with γ₁ non-empty suffix and γ₂
+               non-empty prefix of γ. *)
+            let n = String.length gamma in
+            let found = ref None in
+            for s = 1 to n do
+              for p = 1 to n do
+                if !found = None then begin
+                  let g1 = String.sub gamma (n - s) s and g2 = String.sub gamma 0 p in
+                  if Nfa.accepts l (g1 ^ sa ^ g2) then found := Some (g1, g2)
+                end
+              done
+            done;
+            match !found with
+            | None -> Error "thm61: Claim E.5 infix not found (language not reduced?)"
+            | Some (g1, g2) ->
+                if delta <> "" then
+                  (* Claim E.6: four-legged with legs (γ₁, γ₂, aγ, δ). *)
+                  four_legged_gadget ~mirrored l (a, g1, g2, sa ^ gamma, delta)
+                else if String.length g1 + String.length g2 > n then begin
+                  (* Overlapping case: γ₁ = ηη', γ₂ = η''η with η non-empty. *)
+                  let o = String.length g1 + String.length g2 - n in
+                  let eta = String.sub gamma (n - String.length g1) o in
+                  let eta'' = String.sub gamma 0 (n - String.length g1) in
+                  let eta' = String.sub gamma (String.length g2) (n - String.length g2) in
+                  if eta' <> "" then
+                    (* Claim E.7 first part: body = first letter of η'. *)
+                    let x = eta'.[0] in
+                    let sigma = String.sub eta' 1 (String.length eta' - 1) in
+                    four_legged_gadget ~mirrored l
+                      (x, eta, sigma ^ sa ^ eta'' ^ eta, sa ^ eta'' ^ eta, sigma ^ sa)
+                  else if eta'' <> "" then
+                    let x = eta''.[0] in
+                    let sigma = String.sub eta'' 1 (String.length eta'' - 1) in
+                    four_legged_gadget ~mirrored l
+                      (x, sa, sigma ^ eta ^ sa, eta ^ sa, sigma ^ eta)
+                  else if eta = sa then
+                    (* η = a: the language contains aaa (Claim E.9). *)
+                    verified ~mirrored ~strategy:"Claim E.9 (aaa)" l (fig3a_layout a)
+                  else if String.length eta = 1 then
+                    (* aba and bab (Claim E.8). *)
+                    verified ~mirrored ~strategy:"Claim E.8 (aba|bab)" l (fig11_layout a eta.[0])
+                  else Error "thm61: overlap longer than 1 contradicts maximal-gap (bug?)"
+                end
+                else begin
+                  (* Non-overlapping case: γ = γ₂ηγ₁. *)
+                  let eta = String.sub gamma (String.length g2) (n - String.length g2 - String.length g1) in
+                  if String.length g1 >= 2 then
+                    (* Claim E.10 first part: body = last letter of γ₁. *)
+                    let x = g1.[String.length g1 - 1] in
+                    let chi = String.sub g1 0 (String.length g1 - 1) in
+                    four_legged_gadget ~mirrored l
+                      (x, chi, sa ^ g2, sa ^ g2 ^ eta ^ chi, sa)
+                  else if String.length g2 >= 2 then
+                    let y = g2.[0] in
+                    let chi = String.sub g2 1 (String.length g2 - 1) in
+                    four_legged_gadget ~mirrored l
+                      (y, sa, chi ^ eta ^ g1 ^ sa, g1 ^ sa, chi)
+                  else begin
+                    (* |γ₁| = |γ₂| = 1: L contains axηya and yax with
+                       x = γ₂ and y = γ₁ (Claim E.11). *)
+                    let x = g2.[0] and y = g1.[0] in
+                    if y = a then
+                      if x = a then verified ~mirrored ~strategy:"Claim E.9 (aaa)" l (fig3a_layout a)
+                      else
+                        verified ~mirrored ~strategy:"Claim E.12 (aab)" l (fig13_layout a x)
+                    else if x = a then begin
+                      (* Mirror and use Claim E.12/E.9 on L^R (which contains
+                         x·a·y = a·a·y). *)
+                      let lm = Automata.Lang.mirror l in
+                      if y = a then
+                        verified ~mirrored:(not mirrored) ~strategy:"Claim E.9 via mirror" lm
+                          (fig3a_layout a)
+                      else
+                        verified ~mirrored:(not mirrored) ~strategy:"Claim E.12 via mirror" lm
+                          (fig13_layout a y)
+                    end
+                    else
+                      let g, _ = Gadgets.gadget_axeya_yax_letters ~a ~x ~y ~eta () in
+                      verified ~mirrored ~strategy:"Claim E.11 (Fig 14)" l g
+                  end
+                end
+          end
+        end
+
+and fig13_layout_delta a delta =
+  (* γ = ε, δ ≠ ε: the Fig 13 layout generalized with δ-chains. *)
+  let sa = String.make 1 a in
+  Gadgets.build ~name:(Printf.sprintf "%s%s%s (Fig 13 layout)" sa sa delta) ~label:a
+    [ ("t_in", sa, "1"); ("1", delta, "2"); ("3", sa, "1"); ("t_out", sa, "3"); ("3", delta, "4") ]
+
+let thm61_gadget l =
+  match Automata.Lang.words l with
+  | None -> Error "thm61: language is infinite"
+  | Some ws ->
+      if not (Automata.Reduce.is_reduced_words ws) then Error "thm61: language is not reduced"
+      else if not (List.exists W.has_repeated_letter ws) then
+        Error "thm61: no word has a repeated letter"
+      else thm61_attempt ~mirrored:false ~fuel:3 l ws

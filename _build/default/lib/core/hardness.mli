@@ -1,0 +1,52 @@
+(** Executable hardness proofs: the case analyses of Theorem 5.5 and
+    Theorem 6.1 as algorithms that {e produce a verified gadget}.
+
+    Given a reduced language, these functions replay the paper's proofs:
+    they pick a maximal-gap word (Definition E.2), mirror the language when
+    the proof does (Proposition E.1), stabilize four-legged witnesses
+    (Lemma D.2), distinguish the overlapping/non-overlapping cases, select
+    the corresponding gadget family (Figures 7–14) — and then {e verify} the
+    resulting gadget against the full language with {!Gadgets.verify}, so
+    that the output is a machine-checked NP-hardness certificate
+    (Proposition 4.11). If a construction unexpectedly fails verification,
+    the bounded {!Gadget_search} is used as a fallback. *)
+
+type outcome = {
+  mirrored : bool;
+      (** the gadget certifies the mirror language; by Proposition E.1 this
+          certifies the original too *)
+  strategy : string;  (** which proof case produced the gadget *)
+  gadget : Gadgets.pre_gadget;
+  language : Automata.Nfa.t;
+      (** the (possibly mirrored) reduced language the gadget was verified
+          against *)
+  verification : Gadgets.verification;
+}
+
+val maximal_gap_word :
+  Automata.Word.t list
+  -> (Automata.Word.t * char * Automata.Word.t * Automata.Word.t * Automata.Word.t) option
+(** A maximal-gap word of a finite language (Definition E.2): returns
+    [(word, a, β, γ, δ)] with [word = βaγaδ], maximizing first [|γ|] then
+    [|word|]. [None] if no word has a repeated letter. *)
+
+val stable_legs :
+  Automata.Nfa.t
+  -> char * Automata.Word.t * Automata.Word.t * Automata.Word.t * Automata.Word.t
+  -> char * Automata.Word.t * Automata.Word.t * Automata.Word.t * Automata.Word.t
+(** Lemma D.2: turns a four-legged witness of a reduced language into one
+    with {e stable} legs (no infix of αxδ in L). *)
+
+val four_legged_gadget :
+  ?mirrored:bool
+  -> Automata.Nfa.t
+  -> char * Automata.Word.t * Automata.Word.t * Automata.Word.t * Automata.Word.t
+  -> (outcome, string) result
+(** Theorem 5.5 as an algorithm: stabilize the legs, decide case 1 / case 2
+    by testing the infixes of γ'xβ', build the generic gadget and verify it.
+    The language must be reduced and the witness genuine. *)
+
+val thm61_gadget : Automata.Nfa.t -> (outcome, string) result
+(** Theorem 6.1 as an algorithm: for a finite reduced language containing a
+    word with a repeated letter, produce a verified hardness gadget by
+    following the proof's case analysis. *)

@@ -1,0 +1,44 @@
+module Db = Graphdb.Db
+
+let instance_of d a =
+  if Automata.Nfa.nullable a then Error "\xce\xb5 \xe2\x88\x88 L: resilience is infinite"
+  else
+    match Graphdb.Eval.all_matches d a with
+    | exception Invalid_argument msg -> Error msg
+    | matches ->
+        let fact_ids = Array.of_list (List.map fst (Db.facts d)) in
+        let index = Hashtbl.create 64 in
+        Array.iteri (fun i id -> Hashtbl.add index id i) fact_ids;
+        let covers =
+          List.map
+            (fun m -> List.map (Hashtbl.find index) (Hypergraph.Iset.elements m))
+            matches
+        in
+        Ok
+          ( {
+              Lp.Ilp.nvars = Array.length fact_ids;
+              weights = Array.map (Db.mult d) fact_ids;
+              covers;
+            },
+            fact_ids )
+
+let solve d a =
+  if Automata.Nfa.nullable a then Ok (Value.Infinite, [])
+  else
+    match instance_of d a with
+    | Error e -> Error e
+    | Ok (inst, fact_ids) -> begin
+        match Lp.Ilp.solve inst with
+        | Error e -> Error e
+        | Ok sol ->
+            let witness = ref [] in
+            Array.iteri
+              (fun i b -> if b then witness := fact_ids.(i) :: !witness)
+              sol.Lp.Ilp.assignment;
+            Ok (Value.Finite sol.Lp.Ilp.value, List.rev !witness)
+      end
+
+let lp_relaxation d a =
+  match instance_of d a with
+  | Error e -> Error e
+  | Ok (inst, _) -> Lp.Ilp.lp_bound inst

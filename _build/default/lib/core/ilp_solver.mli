@@ -1,0 +1,17 @@
+(** The ILP baseline for resilience (the approach of Makhija & Gatterbauer,
+    reference [23] of the paper): formulate resilience as a weighted
+    hitting-set integer program over the hypergraph of matches and solve it
+    by LP-based branch and bound. Also exposes the LP relaxation value,
+    whose gap to the ILP optimum is the object studied in that line of
+    work. *)
+
+val instance_of : Graphdb.Db.t -> Automata.Nfa.t -> (Lp.Ilp.instance * int array, string) result
+(** The hitting-set ILP of a resilience instance, together with the fact id
+    of each ILP variable. Requires enumerable matches (finite language or
+    acyclic database); [Error] otherwise or when ε ∈ L. *)
+
+val solve : Graphdb.Db.t -> Automata.Nfa.t -> (Value.t * int list, string) result
+(** Exact resilience via ILP, with a witness contingency set. *)
+
+val lp_relaxation : Graphdb.Db.t -> Automata.Nfa.t -> (float, string) result
+(** The LP-relaxation lower bound on resilience. *)

@@ -1,0 +1,80 @@
+module Db = Graphdb.Db
+module Net = Flow.Network
+
+type network = {
+  net : Net.t;
+  source : int;
+  sink : int;
+  fact_edge : (int * int) list;
+}
+
+let build_network d ~ro =
+  if not (Automata.Nfa.is_read_once ro) then
+    invalid_arg "Local_solver.build_network: automaton is not read-once";
+  let nstates = ro.Automata.Nfa.nstates in
+  let net = Net.create () in
+  (* Vertex (v, s) = v * nstates + s, then source and sink. *)
+  let nv = Db.nnodes d in
+  for _ = 1 to nv * nstates do
+    ignore (Net.add_vertex net)
+  done;
+  let source = Net.add_vertex net and sink = Net.add_vertex net in
+  let vert v s = (v * nstates) + s in
+  (* The read-once property gives at most one transition per letter. *)
+  let tr_of_letter = Hashtbl.create 16 in
+  List.iter
+    (fun (s, c, s') -> Hashtbl.replace tr_of_letter c (s, s'))
+    (Automata.Nfa.letter_transitions ro);
+  let fact_edge = ref [] in
+  List.iter
+    (fun (fid, (f : Db.fact)) ->
+      match Hashtbl.find_opt tr_of_letter f.Db.label with
+      | Some (s, s') ->
+          let eid =
+            Net.add_edge net ~src:(vert f.Db.src s) ~dst:(vert f.Db.dst s')
+              (Net.Finite (Db.mult d fid))
+          in
+          fact_edge := (eid, fid) :: !fact_edge
+      | None -> ())
+    (Db.facts d);
+  List.iter
+    (fun (s, s') ->
+      for v = 0 to nv - 1 do
+        ignore (Net.add_edge net ~src:(vert v s) ~dst:(vert v s') Net.Inf)
+      done)
+    (Automata.Nfa.eps_transitions ro);
+  List.iter
+    (fun s ->
+      for v = 0 to nv - 1 do
+        ignore (Net.add_edge net ~src:source ~dst:(vert v s) Net.Inf)
+      done)
+    ro.Automata.Nfa.initial;
+  List.iter
+    (fun s ->
+      for v = 0 to nv - 1 do
+        ignore (Net.add_edge net ~src:(vert v s) ~dst:sink Net.Inf)
+      done)
+    ro.Automata.Nfa.final;
+  { net; source; sink; fact_edge = List.rev !fact_edge }
+
+let solve_ro d ~ro =
+  if Automata.Nfa.nullable ro then (Value.Infinite, [])
+  else if ro.Automata.Nfa.nstates = 0 || Db.nnodes d = 0 then (Value.Finite 0, [])
+  else begin
+    let { net; source; sink; fact_edge } = build_network d ~ro in
+    let cut = Net.min_cut net ~source ~sink in
+    match cut.Net.value with
+    | Net.Inf -> (Value.Infinite, [])
+    | Net.Finite v ->
+        let facts =
+          List.filter_map (fun eid -> List.assoc_opt eid fact_edge) cut.Net.edges
+        in
+        (Value.Finite v, List.sort_uniq compare facts)
+  end
+
+let solve d a =
+  (* The construction must consider the whole signature of the database:
+     letters of D absent from L's alphabet are harmless (they can never be
+     part of an L-walk), so they are simply ignored by the product. *)
+  if Automata.Local.is_local_language a then Ok (solve_ro d ~ro:(Automata.Local.ro_enfa a))
+  else Error "language is not local"

@@ -1,0 +1,111 @@
+type t = {
+  input : string;
+  reduced_words : Automata.Word.t list option;
+  reduced_infinite : bool;
+  verdict : Classify.verdict;
+  local : bool;
+  star_free : bool option;
+  neutral_letters : char list;
+  growth : [ `Empty | `Finite of int | `Polynomial | `Exponential ];
+  chain : bool option;
+  bcl : bool option;
+  four_legged_witness :
+    (char * Automata.Word.t * Automata.Word.t * Automata.Word.t * Automata.Word.t) option;
+  gadget : (string * int) option;
+  mirrored_gadget : bool;
+}
+
+let analyze ?(try_gadget = true) input =
+  match Automata.Regex.parse_opt input with
+  | None -> Error (Printf.sprintf "syntax error in %S" input)
+  | Some e ->
+      let a = Automata.Nfa.of_regex e in
+      let c = Classify.classify a in
+      let reduced = c.Classify.reduced in
+      let ws = c.Classify.reduced_words in
+      let bound =
+        match ws with
+        | Some ws -> List.fold_left (fun acc w -> max acc (String.length w)) 1 ws
+        | None -> 8
+      in
+      let gadget, mirrored_gadget =
+        if not try_gadget then (None, false)
+        else
+          match c.Classify.verdict with
+          | Classify.PTime _ -> (None, false)
+          | Classify.NPHard _ | Classify.Unclassified _ -> begin
+              match Hardness.thm61_gadget reduced with
+              | Ok o ->
+                  ( Some
+                      ( o.Hardness.strategy,
+                        Option.value ~default:0
+                          o.Hardness.verification.Gadgets.odd_path_length ),
+                    o.Hardness.mirrored )
+              | Error _ -> begin
+                  match Gadget_search.search ~max_matches:5 reduced with
+                  | Some f ->
+                      ( Some
+                          ( "bounded gadget search",
+                            Option.value ~default:0
+                              f.Gadget_search.verification.Gadgets.odd_path_length ),
+                        false )
+                  | None | (exception _) -> (None, false)
+                end
+            end
+      in
+      Ok
+        {
+          input;
+          reduced_words = ws;
+          reduced_infinite = ws = None;
+          verdict = c.Classify.verdict;
+          local = Automata.Local.is_local_language reduced;
+          star_free = Automata.Starfree.is_star_free reduced;
+          neutral_letters = Automata.Neutral.neutral_letters a;
+          growth = Automata.To_regex.growth (Automata.Dfa.of_nfa a);
+          chain = Option.map Bcl.is_chain ws;
+          bcl = Option.map Bcl.is_bcl ws;
+          four_legged_witness = Automata.Local.four_legged_witness reduced ~bound;
+          gadget;
+          mirrored_gadget;
+        }
+
+let yesno = function true -> "yes" | false -> "no"
+let yesno_opt = function Some b -> yesno b | None -> "n/a"
+
+let to_markdown r =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# RPQ resilience report: `%s`" r.input;
+  line "";
+  line "**Verdict**: %s" (Classify.verdict_summary r.verdict);
+  line "";
+  (match r.reduced_words with
+  | Some ws when List.length ws <= 12 -> line "- reduce(L) = {%s}" (String.concat ", " ws)
+  | Some ws -> line "- reduce(L): %d words" (List.length ws)
+  | None -> line "- reduce(L) is infinite");
+  line "- local (Thm 3.3 applies): %s" (yesno r.local);
+  line "- star-free: %s"
+    (match r.star_free with Some true -> "yes" | Some false -> "no" | None -> "unknown");
+  line "- neutral letters: %s"
+    (if r.neutral_letters = [] then "none"
+     else String.concat ", " (List.map (String.make 1) r.neutral_letters));
+  line "- growth: %s"
+    (match r.growth with
+    | `Empty -> "empty language"
+    | `Finite n -> Printf.sprintf "finite (%d words)" n
+    | `Polynomial -> "polynomial"
+    | `Exponential -> "exponential");
+  line "- chain language: %s / bipartite chain: %s" (yesno_opt r.chain) (yesno_opt r.bcl);
+  (match r.four_legged_witness with
+  | Some (x, al, be, ga, de) ->
+      line "- four-legged witness: body %c, legs (%s, %s, %s, %s)" x al be ga de
+  | None -> line "- four-legged witness: none found");
+  (match r.gadget with
+  | Some (strategy, len) ->
+      line "- hardness gadget: %s, odd path length %d%s" strategy len
+        (if r.mirrored_gadget then " (on the mirror language, Prop E.1)" else "")
+  | None -> ());
+  Buffer.contents b
+
+let pp ppf r = Format.pp_print_string ppf (to_markdown r)

@@ -1,0 +1,30 @@
+(** One-stop language analysis report: everything the library can say about
+    an RPQ's resilience, in one structured value with a markdown rendering.
+    Powers the CLI's [report] command. *)
+
+type t = {
+  input : string;  (** the regex as given *)
+  reduced_words : Automata.Word.t list option;  (** reduce(L) when finite *)
+  reduced_infinite : bool;
+  verdict : Classify.verdict;
+  local : bool;
+  star_free : bool option;
+  neutral_letters : char list;
+  growth : [ `Empty | `Finite of int | `Polynomial | `Exponential ];
+  chain : bool option;  (** chain language? ([None] when infinite) *)
+  bcl : bool option;
+  four_legged_witness :
+    (char * Automata.Word.t * Automata.Word.t * Automata.Word.t * Automata.Word.t) option;
+  gadget : (string * int) option;
+      (** hardness gadget: (strategy, odd path length), when one was produced
+          by the Theorem 6.1 pipeline or the bounded search *)
+  mirrored_gadget : bool;
+}
+
+val analyze : ?try_gadget:bool -> string -> (t, string) result
+(** Parses and analyzes a regex. With [try_gadget] (default true), runs the
+    Theorem 6.1 pipeline / bounded gadget search on NP-hard or unclassified
+    finite languages to attach a concrete certificate. *)
+
+val to_markdown : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+type algorithm =
+  | Alg_trivial
+  | Alg_local_mincut
+  | Alg_bcl_mincut
+  | Alg_submodular
+  | Alg_exact_bnb
+
+let algorithm_name = function
+  | Alg_trivial -> "trivial"
+  | Alg_local_mincut -> "local MinCut (Thm 3.3)"
+  | Alg_bcl_mincut -> "BCL MinCut (Prop 7.5)"
+  | Alg_submodular -> "submodular minimization (Prop 7.7)"
+  | Alg_exact_bnb -> "exact branch and bound"
+
+type result = {
+  value : Value.t;
+  witness : int list option;
+  algorithm : algorithm;
+  classification : Classify.t;
+}
+
+let solve ?classification d a =
+  let cl = match classification with Some c -> c | None -> Classify.classify a in
+  (* Solve on the reduced language: Q_L = Q_reduce(L) (Section 2), and the
+     polynomial constructions assume reducedness (e.g. the BCL solver). *)
+  let reduced = cl.Classify.reduced in
+  match cl.Classify.verdict with
+  | Classify.PTime Classify.Trivial_empty ->
+      { value = Value.Finite 0; witness = Some []; algorithm = Alg_trivial; classification = cl }
+  | Classify.PTime Classify.Trivial_eps ->
+      { value = Value.Infinite; witness = None; algorithm = Alg_trivial; classification = cl }
+  | Classify.PTime Classify.Local -> begin
+      match Local_solver.solve d reduced with
+      | Ok (value, witness) ->
+          { value; witness = Some witness; algorithm = Alg_local_mincut; classification = cl }
+      | Error msg -> invalid_arg ("Solver.solve: classifier/solver disagree: " ^ msg)
+    end
+  | Classify.PTime Classify.Bipartite_chain -> begin
+      match Bcl.solve d reduced with
+      | Ok (value, witness) ->
+          { value; witness = Some witness; algorithm = Alg_bcl_mincut; classification = cl }
+      | Error msg -> invalid_arg ("Solver.solve: classifier/solver disagree: " ^ msg)
+    end
+  | Classify.PTime (Classify.Submodular _) -> begin
+      match Submod_solver.solve d reduced with
+      | Ok value -> { value; witness = None; algorithm = Alg_submodular; classification = cl }
+      | Error msg -> invalid_arg ("Solver.solve: classifier/solver disagree: " ^ msg)
+    end
+  | Classify.NPHard _ | Classify.Unclassified _ ->
+      let value, witness = Exact.branch_and_bound d reduced in
+      { value; witness = Some witness; algorithm = Alg_exact_bnb; classification = cl }
+
+let resilience d a = (solve d a).value
+let resilience_regex d s = resilience d (Automata.Lang.of_string s)

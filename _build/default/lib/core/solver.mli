@@ -1,0 +1,40 @@
+(** One-stop resilience solver.
+
+    Classifies the language (Figure 1) and dispatches to the best algorithm:
+    the Theorem 3.3 MinCut solver for local languages, the Proposition 7.5
+    construction for bipartite chain languages, submodular minimization for
+    the Proposition 7.7 family, and exact branch and bound otherwise (the
+    problem is then NP-hard or unclassified).
+
+    Bag semantics throughout: fact multiplicities are removal costs; a set
+    database is simply one with all multiplicities 1 (RES_set = RES_bag on
+    it, cf. Section 2). *)
+
+type algorithm =
+  | Alg_trivial  (** empty language or ε ∈ L *)
+  | Alg_local_mincut  (** Theorem 3.3 *)
+  | Alg_bcl_mincut  (** Proposition 7.5 *)
+  | Alg_submodular  (** Proposition 7.7 *)
+  | Alg_exact_bnb  (** witness-branching branch and bound (exponential) *)
+
+val algorithm_name : algorithm -> string
+
+type result = {
+  value : Value.t;
+  witness : int list option;
+      (** a minimum contingency set (fact ids), when the algorithm produces
+          one; submodular minimization reports only the value *)
+  algorithm : algorithm;
+  classification : Classify.t;
+}
+
+val solve : ?classification:Classify.t -> Graphdb.Db.t -> Automata.Nfa.t -> result
+(** Computes the resilience of [Q_L] on the database. Pass [classification]
+    to reuse a previously computed verdict (it must be for the same
+    language). *)
+
+val resilience : Graphdb.Db.t -> Automata.Nfa.t -> Value.t
+(** Just the value. *)
+
+val resilience_regex : Graphdb.Db.t -> string -> Value.t
+(** Convenience: parse the regex and solve. *)

@@ -1,0 +1,1 @@
+lib/flow/network.ml: Array Format List Queue

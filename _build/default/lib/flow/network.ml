@@ -1,0 +1,162 @@
+type capacity = Finite of int | Inf
+
+let cap_add a b =
+  match (a, b) with
+  | Finite x, Finite y -> Finite (x + y)
+  | _ -> Inf
+
+let cap_compare a b =
+  match (a, b) with
+  | Finite x, Finite y -> compare x y
+  | Finite _, Inf -> -1
+  | Inf, Finite _ -> 1
+  | Inf, Inf -> 0
+
+let pp_capacity ppf = function
+  | Finite x -> Format.pp_print_int ppf x
+  | Inf -> Format.pp_print_string ppf "+\xe2\x88\x9e"
+
+type t = {
+  mutable nvertices : int;
+  mutable edges : (int * int * capacity) list;  (* reversed order of insertion *)
+  mutable nedges : int;
+}
+
+let create () = { nvertices = 0; edges = []; nedges = 0 }
+
+let add_vertex t =
+  let v = t.nvertices in
+  t.nvertices <- v + 1;
+  v
+
+let vertex_count t = t.nvertices
+
+let add_edge t ~src ~dst cap =
+  if src < 0 || src >= t.nvertices || dst < 0 || dst >= t.nvertices then
+    invalid_arg "Network.add_edge: vertex out of range";
+  (match cap with
+  | Finite c when c < 0 -> invalid_arg "Network.add_edge: negative capacity"
+  | _ -> ());
+  let id = t.nedges in
+  t.nedges <- id + 1;
+  t.edges <- (src, dst, cap) :: t.edges;
+  id
+
+let edge_count t = t.nedges
+let edges_array t = Array.of_list (List.rev t.edges)
+let edge_info t id = (edges_array t).(id)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>network: %d vertices, %d edges@," t.nvertices t.nedges;
+  Array.iteri
+    (fun id (s, d, c) -> Format.fprintf ppf "  e%d: %d -> %d (%a)@," id s d pp_capacity c)
+    (edges_array t);
+  Format.fprintf ppf "@]"
+
+type cut = { value : capacity; edges : int list }
+
+(* Dinic's algorithm. Infinite capacities are encoded as (total finite
+   capacity + 1): any finite cut has value at most the total finite capacity,
+   so a computed min cut exceeding it means the true min cut is infinite. *)
+let min_cut t ~source ~sink =
+  if source = sink then invalid_arg "Network.min_cut: source = sink";
+  let es = edges_array t in
+  let m = Array.length es in
+  let total_finite =
+    Array.fold_left (fun acc (_, _, c) -> match c with Finite x -> acc + x | Inf -> acc) 0 es
+  in
+  let inf_internal = total_finite + 1 in
+  let n = t.nvertices in
+  (* Arc arrays: arc 2i is edge i forward, arc 2i+1 its residual. *)
+  let arc_to = Array.make (2 * m) 0 in
+  let arc_cap = Array.make (2 * m) 0 in
+  let head = Array.make n [] in
+  Array.iteri
+    (fun i (s, d, c) ->
+      arc_to.(2 * i) <- d;
+      arc_cap.(2 * i) <- (match c with Finite x -> x | Inf -> inf_internal);
+      arc_to.((2 * i) + 1) <- s;
+      arc_cap.((2 * i) + 1) <- 0;
+      head.(s) <- (2 * i) :: head.(s);
+      head.(d) <- ((2 * i) + 1) :: head.(d))
+    es;
+  let head = Array.map Array.of_list head in
+  let level = Array.make n (-1) in
+  let iter = Array.make n 0 in
+  let bfs () =
+    Array.fill level 0 n (-1);
+    let q = Queue.create () in
+    level.(source) <- 0;
+    Queue.add source q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      Array.iter
+        (fun a ->
+          let u = arc_to.(a) in
+          if arc_cap.(a) > 0 && level.(u) < 0 then begin
+            level.(u) <- level.(v) + 1;
+            Queue.add u q
+          end)
+        head.(v)
+    done;
+    level.(sink) >= 0
+  in
+  let rec dfs v f =
+    if v = sink then f
+    else begin
+      let res = ref 0 in
+      while !res = 0 && iter.(v) < Array.length head.(v) do
+        let a = head.(v).(iter.(v)) in
+        let u = arc_to.(a) in
+        if arc_cap.(a) > 0 && level.(u) = level.(v) + 1 then begin
+          let d = dfs u (min f arc_cap.(a)) in
+          if d > 0 then begin
+            arc_cap.(a) <- arc_cap.(a) - d;
+            arc_cap.(a lxor 1) <- arc_cap.(a lxor 1) + d;
+            res := d
+          end
+          else iter.(v) <- iter.(v) + 1
+        end
+        else iter.(v) <- iter.(v) + 1
+      done;
+      !res
+    end
+  in
+  let flow = ref 0 in
+  while !flow <= total_finite && bfs () do
+    Array.fill iter 0 n 0;
+    let continue = ref true in
+    while !continue do
+      let f = dfs source max_int in
+      if f = 0 then continue := false else flow := !flow + f
+    done
+  done;
+  if !flow > total_finite then { value = Inf; edges = [] }
+  else begin
+    (* Source side of the residual graph. *)
+    let reach = Array.make n false in
+    let q = Queue.create () in
+    reach.(source) <- true;
+    Queue.add source q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      Array.iter
+        (fun a ->
+          let u = arc_to.(a) in
+          if arc_cap.(a) > 0 && not reach.(u) then begin
+            reach.(u) <- true;
+            Queue.add u q
+          end)
+        head.(v)
+    done;
+    let cut_edges = ref [] in
+    Array.iteri
+      (fun i (s, d, c) ->
+        match c with
+        | Finite x when x > 0 && reach.(s) && not reach.(d) -> cut_edges := i :: !cut_edges
+        | _ -> ())
+      es;
+    { value = Finite !flow; edges = List.rev !cut_edges }
+  end
+
+let max_flow_value t ~source ~sink = (min_cut t ~source ~sink).value

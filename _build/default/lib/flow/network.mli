@@ -1,0 +1,41 @@
+(** Flow networks with integer capacities and +∞ edges.
+
+    The paper reduces resilience to MinCut on networks whose fact-edges carry
+    the fact multiplicities and whose structural edges have capacity +∞
+    (Theorem 3.3, Proposition 7.5). *)
+
+type capacity = Finite of int | Inf
+
+val cap_add : capacity -> capacity -> capacity
+val cap_compare : capacity -> capacity -> int
+val pp_capacity : Format.formatter -> capacity -> unit
+
+type t
+(** A mutable network under construction. Vertices are integers allocated by
+    {!add_vertex}; parallel edges are allowed. *)
+
+val create : unit -> t
+val add_vertex : t -> int
+val vertex_count : t -> int
+
+val add_edge : t -> src:int -> dst:int -> capacity -> int
+(** Adds a directed edge and returns its edge id (ids are dense from 0). *)
+
+val edge_count : t -> int
+val edge_info : t -> int -> int * int * capacity
+(** [(src, dst, capacity)] of an edge id. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Max-flow / min-cut} *)
+
+type cut = { value : capacity; edges : int list }
+(** A minimum cut: its total capacity and the ids of the cut edges (edges
+    from the source side to the sink side; only returned when the value is
+    finite). *)
+
+val min_cut : t -> source:int -> sink:int -> cut
+(** Dinic's algorithm. When the cut value is [Inf] (the sink is not
+    separable by finite-capacity edges), [edges] is []. *)
+
+val max_flow_value : t -> source:int -> sink:int -> capacity

@@ -1,0 +1,6 @@
+(** A second max-flow / min-cut implementation (highest-label push-relabel
+    with the gap heuristic), used to cross-check {!Network.min_cut} and in
+    the ablation benchmarks. Same semantics as {!Network.min_cut}. *)
+
+val min_cut : Network.t -> source:int -> sink:int -> Network.cut
+val max_flow_value : Network.t -> source:int -> sink:int -> Network.capacity

@@ -1,0 +1,1 @@
+lib/graphdb/db.ml: Array Automata Format Hashtbl List Printf String

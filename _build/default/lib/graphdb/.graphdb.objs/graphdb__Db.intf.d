@@ -1,0 +1,1 @@
+lib/graphdb/db.mli: Automata Format

@@ -1,0 +1,1 @@
+lib/graphdb/eval.ml: Array Automata Db Hashtbl Hypergraph List Queue String

@@ -1,0 +1,1 @@
+lib/graphdb/eval.mli: Automata Db Hypergraph

@@ -1,0 +1,1 @@
+lib/graphdb/serialize.ml: Buffer Db List Printf String

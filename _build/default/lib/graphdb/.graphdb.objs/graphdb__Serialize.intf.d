@@ -1,0 +1,1 @@
+lib/graphdb/serialize.mli: Db

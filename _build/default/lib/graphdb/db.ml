@@ -1,0 +1,146 @@
+type fact = { src : int; label : char; dst : int }
+
+type t = {
+  nnodes : int;
+  all_facts : fact array;
+  mults : int array;
+  alive : bool array;
+  out : (int * fact) list array;  (* outgoing live facts per node, kept in sync *)
+}
+
+let compute_out nnodes all_facts alive =
+  let out = Array.make (max nnodes 1) [] in
+  Array.iteri
+    (fun id f -> if alive.(id) then out.(f.src) <- (id, f) :: out.(f.src))
+    all_facts;
+  Array.map List.rev out
+
+let of_mult_list nnodes fact_mults =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (src, label, dst, m) ->
+      if src < 0 || src >= nnodes || dst < 0 || dst >= nnodes then
+        invalid_arg "Db.make: node out of range";
+      if m < 1 then invalid_arg "Db.make: multiplicity must be >= 1";
+      let key = (src, label, dst) in
+      Hashtbl.replace tbl key ((try Hashtbl.find tbl key with Not_found -> 0) + m))
+    fact_mults;
+  let entries = Hashtbl.fold (fun k m acc -> (k, m) :: acc) tbl [] in
+  let entries = List.sort compare entries in
+  let all_facts = Array.of_list (List.map (fun ((s, l, d), _) -> { src = s; label = l; dst = d }) entries) in
+  let mults = Array.of_list (List.map snd entries) in
+  let alive = Array.make (Array.length all_facts) true in
+  { nnodes; all_facts; mults; alive; out = compute_out nnodes all_facts alive }
+
+let make ~nnodes ~facts = of_mult_list nnodes (List.map (fun (s, l, d) -> (s, l, d, 1)) facts)
+let make_bag ~nnodes ~facts = of_mult_list nnodes facts
+let nnodes t = t.nnodes
+let fact_count t = Array.length t.all_facts
+let live_count t = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.alive
+let is_live t id = t.alive.(id)
+let fact t id = t.all_facts.(id)
+let mult t id = t.mults.(id)
+
+let total_mult t =
+  let acc = ref 0 in
+  Array.iteri (fun id a -> if a then acc := !acc + t.mults.(id)) t.alive;
+  !acc
+
+let facts t =
+  let acc = ref [] in
+  for id = Array.length t.all_facts - 1 downto 0 do
+    if t.alive.(id) then acc := (id, t.all_facts.(id)) :: !acc
+  done;
+  !acc
+
+let alphabet t =
+  List.fold_left (fun acc (_, f) -> Automata.Cset.add f.label acc) Automata.Cset.empty (facts t)
+
+let out_edges t v = t.out.(v)
+
+let is_acyclic t =
+  let color = Array.make (max t.nnodes 1) 0 in
+  let cyclic = ref false in
+  let rec dfs v =
+    if color.(v) = 1 then cyclic := true
+    else if color.(v) = 0 then begin
+      color.(v) <- 1;
+      List.iter (fun (_, f) -> dfs f.dst) t.out.(v);
+      color.(v) <- 2
+    end
+  in
+  for v = 0 to t.nnodes - 1 do
+    dfs v
+  done;
+  not !cyclic
+
+let restrict t ~removed =
+  let alive = Array.mapi (fun id a -> a && not (removed id)) t.alive in
+  { t with alive; out = compute_out t.nnodes t.all_facts alive }
+
+let remove t ids = restrict t ~removed:(fun id -> List.mem id ids)
+let with_unit_mults t = { t with mults = Array.map (fun _ -> 1) t.mults }
+
+let reverse t =
+  let all_facts = Array.map (fun f -> { src = f.dst; label = f.label; dst = f.src }) t.all_facts in
+  { t with all_facts; out = compute_out t.nnodes all_facts t.alive }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>db: %d nodes, %d facts@," t.nnodes (live_count t);
+  List.iter
+    (fun (id, f) ->
+      Format.fprintf ppf "  f%d: %d --%c--> %d (x%d)@," id f.src f.label f.dst t.mults.(id))
+    (facts t);
+  Format.fprintf ppf "@]"
+
+module Builder = struct
+  type db = t
+
+  type t = {
+    names : (string, int) Hashtbl.t;
+    mutable rev_names : string list;
+    mutable next_node : int;
+    mutable fact_list : (int * char * int * int) list;
+    mutable fresh : int;
+  }
+
+  let create () =
+    { names = Hashtbl.create 16; rev_names = []; next_node = 0; fact_list = []; fresh = 0 }
+
+  let node b name =
+    match Hashtbl.find_opt b.names name with
+    | Some id -> id
+    | None ->
+        let id = b.next_node in
+        b.next_node <- id + 1;
+        Hashtbl.add b.names name id;
+        b.rev_names <- name :: b.rev_names;
+        id
+
+  let add b ?(mult = 1) u label v =
+    let us = node b u and vs = node b v in
+    b.fact_list <- (us, label, vs, mult) :: b.fact_list
+
+  let add_word_path b u w v =
+    if w = "" then begin
+      if u <> v then invalid_arg "Builder.add_word_path: empty word needs equal endpoints"
+    end
+    else begin
+      let n = String.length w in
+      let mid i =
+        b.fresh <- b.fresh + 1;
+        Printf.sprintf "__%s_%s_%d_%d" u v b.fresh i
+      in
+      let nodes = u :: List.init (n - 1) mid @ [ v ] in
+      List.iteri
+        (fun i c ->
+          add b (List.nth nodes i) c (List.nth nodes (i + 1)))
+        (List.init n (String.get w))
+    end
+
+  let build b = of_mult_list b.next_node (List.rev b.fact_list)
+
+  let node_name b id =
+    let arr = Array.of_list (List.rev b.rev_names) in
+    if id >= 0 && id < Array.length arr then arr.(id) else Printf.sprintf "#%d" id
+end

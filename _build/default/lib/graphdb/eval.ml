@@ -1,0 +1,150 @@
+module ISet = Hypergraph.Iset
+
+(* Evaluation works on the ε-free version of the automaton: states of the
+   product are (node, state) pairs. *)
+
+let satisfies d (a : Automata.Nfa.t) =
+  let a = Automata.Nfa.remove_eps a in
+  if Automata.Nfa.nullable a then true
+  else begin
+    let n = a.Automata.Nfa.nstates in
+    if n = 0 then false
+    else begin
+      let finals = Array.make n false in
+      List.iter (fun f -> finals.(f) <- true) a.Automata.Nfa.final;
+      let by_letter = Hashtbl.create 16 in
+      List.iter
+        (fun (s, c, s') ->
+          Hashtbl.replace by_letter (c, s)
+            (s' :: (try Hashtbl.find by_letter (c, s) with Not_found -> [])))
+        (Automata.Nfa.letter_transitions a);
+      let seen = Hashtbl.create 64 in
+      let queue = Queue.create () in
+      let push v s =
+        if not (Hashtbl.mem seen (v, s)) then begin
+          Hashtbl.add seen (v, s) ();
+          Queue.add (v, s) queue
+        end
+      in
+      for v = 0 to Db.nnodes d - 1 do
+        List.iter (fun s -> push v s) a.Automata.Nfa.initial
+      done;
+      let found = ref false in
+      while (not !found) && not (Queue.is_empty queue) do
+        let v, s = Queue.pop queue in
+        if finals.(s) then found := true
+        else
+          List.iter
+            (fun (_, (f : Db.fact)) ->
+              match Hashtbl.find_opt by_letter (f.Db.label, s) with
+              | Some succs -> List.iter (fun s' -> push f.Db.dst s') succs
+              | None -> ())
+            (Db.out_edges d v)
+      done;
+      !found
+    end
+  end
+
+let shortest_witness d (a : Automata.Nfa.t) =
+  let a = Automata.Nfa.remove_eps a in
+  if Automata.Nfa.nullable a then Some []
+  else begin
+    let n = a.Automata.Nfa.nstates in
+    if n = 0 then None
+    else begin
+      let finals = Array.make n false in
+      List.iter (fun f -> finals.(f) <- true) a.Automata.Nfa.final;
+      let by_letter = Hashtbl.create 16 in
+      List.iter
+        (fun (s, c, s') ->
+          Hashtbl.replace by_letter (c, s)
+            (s' :: (try Hashtbl.find by_letter (c, s) with Not_found -> [])))
+        (Automata.Nfa.letter_transitions a);
+      (* BFS with parent pointers: parent maps (v, s) to (fact id, previous (v, s)). *)
+      let parent : (int * int, (int * (int * int)) option) Hashtbl.t = Hashtbl.create 64 in
+      let queue = Queue.create () in
+      let push key p =
+        if not (Hashtbl.mem parent key) then begin
+          Hashtbl.add parent key p;
+          Queue.add key queue
+        end
+      in
+      for v = 0 to Db.nnodes d - 1 do
+        List.iter (fun s -> push (v, s) None) a.Automata.Nfa.initial
+      done;
+      let result = ref None in
+      (try
+         while not (Queue.is_empty queue) do
+           let ((v, s) as key) = Queue.pop queue in
+           if finals.(s) then begin
+             (* Reconstruct the fact sequence. *)
+             let rec build key acc =
+               match Hashtbl.find parent key with
+               | None -> acc
+               | Some (fid, prev) -> build prev (fid :: acc)
+             in
+             result := Some (build key []);
+             raise Exit
+           end;
+           List.iter
+             (fun (fid, (f : Db.fact)) ->
+               match Hashtbl.find_opt by_letter (f.Db.label, s) with
+               | Some succs -> List.iter (fun s' -> push (f.Db.dst, s') (Some (fid, key))) succs
+               | None -> ())
+             (Db.out_edges d v)
+         done
+       with Exit -> ());
+      !result
+    end
+  end
+
+let matches_up_to d (a : Automata.Nfa.t) ~max_len =
+  let a = Automata.Nfa.remove_eps a in
+  let results = ref [] in
+  if Automata.Nfa.nullable a then results := [ ISet.empty ]
+  else if a.Automata.Nfa.nstates > 0 then begin
+    let finals = Array.make a.Automata.Nfa.nstates false in
+    List.iter (fun f -> finals.(f) <- true) a.Automata.Nfa.final;
+    let by_letter = Hashtbl.create 16 in
+    List.iter
+      (fun (s, c, s') ->
+        Hashtbl.replace by_letter (c, s)
+          (s' :: (try Hashtbl.find by_letter (c, s) with Not_found -> [])))
+      (Automata.Nfa.letter_transitions a);
+    let seen = Hashtbl.create 64 in
+    let rec go v s len fact_set =
+      if finals.(s) && not (Hashtbl.mem seen fact_set) then begin
+        Hashtbl.add seen fact_set ();
+        results := fact_set :: !results
+      end;
+      if len < max_len then
+        List.iter
+          (fun (fid, (f : Db.fact)) ->
+            match Hashtbl.find_opt by_letter (f.Db.label, s) with
+            | Some succs ->
+                List.iter (fun s' -> go f.Db.dst s' (len + 1) (ISet.add fid fact_set)) succs
+            | None -> ())
+          (Db.out_edges d v)
+    in
+    for v = 0 to Db.nnodes d - 1 do
+      List.iter (fun s -> go v s 0 ISet.empty) a.Automata.Nfa.initial
+    done
+  end;
+  List.sort_uniq ISet.compare !results
+
+let all_matches d a =
+  if Db.is_acyclic d then matches_up_to d a ~max_len:(max 1 (Db.nnodes d))
+  else begin
+    let dfa = Automata.Dfa.of_nfa a in
+    match Automata.Dfa.words dfa with
+    | Some ws ->
+        let max_len = List.fold_left (fun acc w -> max acc (String.length w)) 0 ws in
+        matches_up_to d a ~max_len
+    | None ->
+        invalid_arg "Eval.all_matches: cyclic database with an infinite language"
+  end
+
+let match_hypergraph d a =
+  let vertices = List.map fst (Db.facts d) in
+  let edges = List.map ISet.elements (all_matches d a) in
+  Hypergraph.make ~vertices ~edges

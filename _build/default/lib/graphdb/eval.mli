@@ -1,0 +1,30 @@
+(** RPQ evaluation: does the database contain an L-walk (Section 2)?
+
+    Implemented by reachability in the product of the database with an
+    ε-free NFA for L (cf. Appendix A, citing Mendelzon & Wood). Also
+    provides witness extraction (used by the branch-and-bound solver) and
+    exhaustive match enumeration (used by the gadget verifier and the
+    hitting-set solver for finite languages). *)
+
+val satisfies : Db.t -> Automata.Nfa.t -> bool
+(** [satisfies d a] iff some walk of [d] is labeled by a word of [L(a)].
+    If ε ∈ L(a), every database (even empty) satisfies the query. *)
+
+val shortest_witness : Db.t -> Automata.Nfa.t -> int list option
+(** A shortest L-walk, as the sequence of its fact ids (the same fact may
+    repeat). [Some []] when ε ∈ L(a). *)
+
+val matches_up_to : Db.t -> Automata.Nfa.t -> max_len:int -> Hypergraph.Iset.t list
+(** All distinct {e fact sets} of L-walks of length ≤ [max_len]
+    (the hyperedges of the hypergraph of matches, Definition 4.7).
+    Exponential; intended for small databases. *)
+
+val all_matches : Db.t -> Automata.Nfa.t -> Hypergraph.Iset.t list
+(** All match fact-sets, for databases where this is finite and enumerable:
+    either the database is acyclic (walks are simple paths) or the language
+    is finite (walk length is bounded by the longest word).
+    @raise Invalid_argument when neither holds. *)
+
+val match_hypergraph : Db.t -> Automata.Nfa.t -> Hypergraph.t
+(** The hypergraph of matches [H_{L,D}] (vertices = live fact ids), using
+    {!all_matches}. *)

@@ -1,0 +1,74 @@
+let pick_mult st max_mult = if max_mult <= 1 then 1 else 1 + Random.State.int st max_mult
+
+let random ~nnodes ~nfacts ~alphabet ?(max_mult = 1) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let alpha = Array.of_list alphabet in
+  let facts =
+    List.init nfacts (fun _ ->
+        ( Random.State.int st nnodes,
+          alpha.(Random.State.int st (Array.length alpha)),
+          Random.State.int st nnodes,
+          pick_mult st max_mult ))
+  in
+  Db.make_bag ~nnodes ~facts
+
+let random_acyclic ~nnodes ~nfacts ~alphabet ?(max_mult = 1) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let alpha = Array.of_list alphabet in
+  let facts =
+    List.init nfacts (fun _ ->
+        let u = Random.State.int st (nnodes - 1) in
+        let v = u + 1 + Random.State.int st (nnodes - u - 1) in
+        (u, alpha.(Random.State.int st (Array.length alpha)), v, pick_mult st max_mult))
+  in
+  Db.make_bag ~nnodes ~facts
+
+let flow_grid ~width ~depth ?(max_mult = 1) ~seed () =
+  let st = Random.State.make [| seed |] in
+  (* Nodes: 2 * width source/sink shells + width * depth grid nodes. *)
+  let grid l i = (2 * width) + (l * width) + i in
+  let src i = i and dst i = width + i in
+  let nnodes = (2 * width) + (width * depth) in
+  let facts = ref [] in
+  let add s c d = facts := (s, c, d, pick_mult st max_mult) :: !facts in
+  for i = 0 to width - 1 do
+    add (src i) 'a' (grid 0 i);
+    add (grid (depth - 1) i) 'b' (dst i)
+  done;
+  for l = 0 to depth - 2 do
+    for i = 0 to width - 1 do
+      add (grid l i) 'x' (grid (l + 1) i);
+      if i + 1 < width then add (grid l i) 'x' (grid (l + 1) (i + 1))
+    done
+  done;
+  Db.make_bag ~nnodes ~facts:!facts
+
+let layered ~layers ~width ?(density = 0.5) ?(max_mult = 1) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let nlayers = List.length layers + 1 in
+  let node l i = (l * width) + i in
+  let facts = ref [] in
+  List.iteri
+    (fun l c ->
+      for i = 0 to width - 1 do
+        for j = 0 to width - 1 do
+          if Random.State.float st 1.0 < density then
+            facts := (node l i, c, node (l + 1) j, pick_mult st max_mult) :: !facts
+        done
+      done)
+    layers;
+  Db.make_bag ~nnodes:(nlayers * width) ~facts:!facts
+
+let social ~nusers ?(density = 0.08) ~seed () =
+  let st = Random.State.make [| seed |] in
+  let facts = ref [] in
+  let letters = [| 'f'; 'm'; 'b' |] in
+  for u = 0 to nusers - 1 do
+    for v = 0 to nusers - 1 do
+      if u <> v then
+        Array.iter
+          (fun c -> if Random.State.float st 1.0 < density then facts := (u, c, v, 1) :: !facts)
+          letters
+    done
+  done;
+  Db.make_bag ~nnodes:nusers ~facts:!facts

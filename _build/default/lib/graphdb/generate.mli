@@ -1,0 +1,28 @@
+(** Workload generators for tests, examples and benchmarks. *)
+
+val random :
+  nnodes:int -> nfacts:int -> alphabet:char list -> ?max_mult:int -> seed:int -> unit -> Db.t
+(** Random database: facts drawn uniformly (duplicates merge, so the fact
+    count may be lower); multiplicities uniform in [1, max_mult]
+    (default 1). *)
+
+val random_acyclic :
+  nnodes:int -> nfacts:int -> alphabet:char list -> ?max_mult:int -> seed:int -> unit -> Db.t
+(** Random DAG database: all facts go from a lower to a higher node id. *)
+
+val flow_grid : width:int -> depth:int -> ?max_mult:int -> seed:int -> unit -> Db.t
+(** The MinCut-correspondence workload of the introduction: [width] source
+    nodes with [a]-facts in, a [width × depth] grid of [x]-facts, and
+    [b]-facts out to sinks. The query [ax*b] on this database is exactly a
+    source-sink MinCut instance. *)
+
+val layered :
+  layers:char list -> width:int -> ?density:float -> ?max_mult:int -> seed:int -> unit -> Db.t
+(** A layered database: one letter per consecutive layer pair, each layer
+    with [width] nodes; each possible fact is kept with probability
+    [density] (default 0.5). Good workload for chain languages like
+    [ab|bc]. *)
+
+val social : nusers:int -> ?density:float -> seed:int -> unit -> Db.t
+(** A small social-network style database with letters: [f]ollows,
+    [m]entions, [b]locks between random users. *)

@@ -1,0 +1,56 @@
+let default_name i = Printf.sprintf "n%d" i
+
+let to_string ?(names = default_name) d =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (id, (f : Db.fact)) ->
+      if Db.mult d id = 1 then
+        Buffer.add_string b
+          (Printf.sprintf "%s %c %s\n" (names f.Db.src) f.Db.label (names f.Db.dst))
+      else
+        Buffer.add_string b
+          (Printf.sprintf "%s %c %s %d\n" (names f.Db.src) f.Db.label (names f.Db.dst)
+             (Db.mult d id)))
+    (Db.facts d);
+  Buffer.contents b
+
+let of_string s =
+  let b = Db.Builder.create () in
+  let error = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !error = None then begin
+        let line = String.trim line in
+        if line <> "" && line.[0] <> '#' then
+          match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+          | [ src; label; dst ] when String.length label = 1 -> Db.Builder.add b src label.[0] dst
+          | [ src; label; dst; m ] when String.length label = 1 -> begin
+              match int_of_string_opt m with
+              | Some m when m >= 1 -> Db.Builder.add b ~mult:m src label.[0] dst
+              | _ -> error := Some (Printf.sprintf "line %d: bad multiplicity %S" (lineno + 1) m)
+            end
+          | _ ->
+              error :=
+                Some (Printf.sprintf "line %d: expected `src label dst [mult]`" (lineno + 1))
+      end)
+    (String.split_on_char '\n' s);
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (Db.Builder.build b, Db.Builder.node_name b)
+
+let to_dot ?(names = default_name) d =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "digraph db {\n  rankdir=LR;\n";
+  for v = 0 to Db.nnodes d - 1 do
+    Buffer.add_string b (Printf.sprintf "  v%d [label=\"%s\"];\n" v (names v))
+  done;
+  List.iter
+    (fun (id, (f : Db.fact)) ->
+      let label =
+        if Db.mult d id = 1 then String.make 1 f.Db.label
+        else Printf.sprintf "%c(x%d)" f.Db.label (Db.mult d id)
+      in
+      Buffer.add_string b (Printf.sprintf "  v%d -> v%d [label=\"%s\"];\n" f.Db.src f.Db.dst label))
+    (Db.facts d);
+  Buffer.add_string b "}\n";
+  Buffer.contents b

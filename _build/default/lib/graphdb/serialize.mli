@@ -1,0 +1,15 @@
+(** Text serialization of graph databases.
+
+    Format: one fact per line, [src label dst [multiplicity]], where src and
+    dst are arbitrary whitespace-free node names and label is a single
+    character; [#] starts a comment line. This is the format read by the
+    `rpq solve` command. *)
+
+val to_string : ?names:(int -> string) -> Db.t -> string
+(** Serializes the live facts (default node names: [n<i>]). *)
+
+val of_string : string -> (Db.t * (int -> string), string) result
+(** Parses a database; returns it with the node-naming function. *)
+
+val to_dot : ?names:(int -> string) -> Db.t -> string
+(** Graphviz rendering with edge labels [letter(xmult)]. *)

@@ -1,0 +1,1 @@
+lib/graphs/ugraph.ml: Array Format Fun List Printf Queue Random String

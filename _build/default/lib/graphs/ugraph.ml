@@ -1,0 +1,141 @@
+type t = { n : int; edges : (int * int) list }
+
+let make ~n ~edges =
+  let norm (u, v) =
+    if u = v then invalid_arg "Ugraph.make: self-loop";
+    if u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Ugraph.make: vertex out of range";
+    if u < v then (u, v) else (v, u)
+  in
+  { n; edges = List.sort_uniq compare (List.map norm edges) }
+
+let n g = g.n
+let edges g = g.edges
+let edge_count g = List.length g.edges
+
+let neighbors g v =
+  List.filter_map
+    (fun (a, b) -> if a = v then Some b else if b = v then Some a else None)
+    g.edges
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d, m=%d: %s)" g.n (edge_count g)
+    (String.concat " " (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) g.edges))
+
+let is_vertex_cover g vs =
+  let s = List.sort_uniq compare vs in
+  let mem v = List.mem v s in
+  List.for_all (fun (u, v) -> mem u || mem v) g.edges
+
+(* Branch and bound: pick any uncovered edge (u, v); a cover contains u or v. *)
+let vertex_cover_number g =
+  let best = ref g.n in
+  let rec go count covered remaining =
+    match remaining with
+    | [] -> if count < !best then best := count
+    | (u, v) :: rest ->
+        if List.mem u covered || List.mem v covered then go count covered rest
+        else if count + 1 < !best then begin
+          (* Lower bound: greedy matching on the remaining edges. *)
+          let rec matching used acc = function
+            | [] -> acc
+            | (a, b) :: r ->
+                if List.mem a covered || List.mem b covered || List.mem a used || List.mem b used
+                then matching used acc r
+                else matching (a :: b :: used) (acc + 1) r
+          in
+          let lb = matching [] 0 remaining in
+          if count + lb < !best then begin
+            go (count + 1) (u :: covered) rest;
+            go (count + 1) (v :: covered) rest
+          end
+        end
+  in
+  go 0 [] g.edges;
+  !best
+
+let vertex_cover_bruteforce g =
+  if g.n > 25 then invalid_arg "vertex_cover_bruteforce: too many vertices";
+  let best = ref g.n in
+  for mask = 0 to (1 lsl g.n) - 1 do
+    let vs = List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init g.n Fun.id) in
+    let size = List.length vs in
+    if size < !best && is_vertex_cover g vs then best := size
+  done;
+  !best
+
+let subdivide g l =
+  if l < 1 then invalid_arg "Ugraph.subdivide: length must be >= 1";
+  if l = 1 then g
+  else begin
+    let next = ref g.n in
+    let fresh () =
+      let v = !next in
+      incr next;
+      v
+    in
+    let new_edges =
+      List.concat_map
+        (fun (u, v) ->
+          let mids = List.init (l - 1) (fun _ -> fresh ()) in
+          let chain = (u :: mids) @ [ v ] in
+          let rec pair = function a :: (b :: _ as rest) -> (a, b) :: pair rest | _ -> [] in
+          pair chain)
+        g.edges
+    in
+    make ~n:!next ~edges:new_edges
+  end
+
+let bipartition g =
+  let color = Array.make (max g.n 1) (-1) in
+  let adj = Array.make (max g.n 1) [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    g.edges;
+  let ok = ref true in
+  for start = 0 to g.n - 1 do
+    if color.(start) = -1 then begin
+      color.(start) <- 0;
+      let q = Queue.create () in
+      Queue.add start q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        List.iter
+          (fun u ->
+            if color.(u) = -1 then begin
+              color.(u) <- 1 - color.(v);
+              Queue.add u q
+            end
+            else if color.(u) = color.(v) then ok := false)
+          adj.(v)
+      done
+    end
+  done;
+  if !ok then Some (Array.sub color 0 g.n, 2) else None
+
+let is_bipartite g = bipartition g <> None
+
+let path k = make ~n:(max k 1) ~edges:(List.init (max 0 (k - 1)) (fun i -> (i, i + 1)))
+let cycle k =
+  if k < 3 then invalid_arg "Ugraph.cycle: need at least 3 vertices";
+  make ~n:k ~edges:((k - 1, 0) :: List.init (k - 1) (fun i -> (i, i + 1)))
+
+let complete k =
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  make ~n:k ~edges:!edges
+
+let random ~n ~p ~seed =
+  let st = Random.State.make [| seed |] in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then edges := (i, j) :: !edges
+    done
+  done;
+  make ~n ~edges:!edges

@@ -1,0 +1,50 @@
+(** Simple undirected graphs, minimum vertex cover, ℓ-subdivisions and
+    bipartiteness. These are the combinatorial objects of the paper's
+    hardness reductions (Proposition 4.2, Proposition 4.11) and of the
+    bipartite chain languages (Definition 7.2). *)
+
+type t
+(** Vertices are [0 .. n-1]; no self-loops, no parallel edges. *)
+
+val make : n:int -> edges:(int * int) list -> t
+(** @raise Invalid_argument on self-loops or out-of-range endpoints.
+    Duplicate edges are merged. *)
+
+val n : t -> int
+val edges : t -> (int * int) list
+(** Each edge as [(u, v)] with [u < v]; sorted. *)
+
+val edge_count : t -> int
+val neighbors : t -> int -> int list
+val pp : Format.formatter -> t -> unit
+
+(** {1 Vertex cover} *)
+
+val vertex_cover_number : t -> int
+(** Exact minimum vertex cover size (branch and bound; exponential worst
+    case, practical for the reduction tests). *)
+
+val vertex_cover_bruteforce : t -> int
+(** Reference implementation (≤ 25 vertices). *)
+
+val is_vertex_cover : t -> int list -> bool
+
+(** {1 Constructions} *)
+
+val subdivide : t -> int -> t
+(** [subdivide g l] replaces every edge by a path of length [l] (l ≥ 1;
+    l = 1 is the identity). Original vertices keep their ids. *)
+
+val bipartition : t -> (int array * int) option
+(** [Some (color, classes)] when 2-colorable: [color.(v)] ∈ {0, 1} (vertices
+    of degree 0 get color 0); [None] otherwise. *)
+
+val is_bipartite : t -> bool
+
+(** {1 Generators} *)
+
+val path : int -> t
+val cycle : int -> t
+val complete : int -> t
+val random : n:int -> p:float -> seed:int -> t
+(** Erdős–Rényi G(n, p). *)

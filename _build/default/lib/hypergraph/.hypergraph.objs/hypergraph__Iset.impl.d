@@ -1,0 +1,1 @@
+lib/hypergraph/iset.ml: Format Int List Set String

@@ -1,0 +1,5 @@
+(** Sets of integers (fact ids, vertex ids), shared across the libraries. *)
+include Set.Make (Int)
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (elements s)))

@@ -1,0 +1,22 @@
+(** 0/1 integer programming by LP-based branch and bound, for
+    covering-style programs (minimize, all-binary variables).
+
+    This is the "unified ILP approach" baseline of Makhija & Gatterbauer
+    (reference [23] of the paper) scaled down to this library's needs:
+    resilience instances are weighted hitting-set ILPs over the hypergraph
+    of matches, and the LP relaxation gives the lower bound studied there. *)
+
+type instance = {
+  nvars : int;
+  weights : int array;  (** nonnegative integer objective coefficients *)
+  covers : int list list;  (** each list S encodes Σ_{i∈S} xᵢ ≥ 1 *)
+}
+
+type solution = { value : int; assignment : bool array; lp_bound : float }
+
+val solve : instance -> (solution, string) result
+(** Exact optimum, or [Error] on infeasibility (an empty cover set) or
+    numerical failure. [lp_bound] is the root LP relaxation value. *)
+
+val lp_bound : instance -> (float, string) result
+(** Just the LP relaxation optimum. *)

@@ -1,0 +1,174 @@
+type problem = {
+  ncols : int;
+  objective : float array;
+  rows : (float array * float) list;
+  upper : float option array;
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Standard form: upper bounds become extra ≥ rows (-x_i ≥ -u_i); every row
+   a·x ≥ b with b possibly negative is normalized to b ≥ 0 by sign flip into
+   ≤ form... We instead build the classic two-phase tableau for
+     min c·x  s.t.  A x - s = b,  x, s ≥ 0
+   after flipping rows so that b ≥ 0. *)
+let solve (p : problem) =
+  let base_rows =
+    List.map (fun (a, b) -> (Array.copy a, b)) p.rows
+    @ List.concat
+        (List.init p.ncols (fun i ->
+             match p.upper.(i) with
+             | None -> []
+             | Some u ->
+                 let a = Array.make p.ncols 0.0 in
+                 a.(i) <- -1.0;
+                 [ (a, -.u) ]))
+  in
+  let m = List.length base_rows in
+  let n = p.ncols in
+  (* Columns: n structural + m surplus/slack + m artificial + 1 rhs. *)
+  let ncols_t = n + m + m + 1 in
+  let t = Array.make_matrix (m + 1) ncols_t 0.0 in
+  let basis = Array.make m 0 in
+  List.iteri
+    (fun r (a, b) ->
+      let sign = if b < 0.0 then -1.0 else 1.0 in
+      for j = 0 to n - 1 do
+        t.(r).(j) <- sign *. a.(j)
+      done;
+      (* a·x ≥ b  ⇒  a·x - s = b (s ≥ 0); flipped rows become ≤ with slack. *)
+      t.(r).(n + r) <- sign *. -1.0;
+      t.(r).(n + m + r) <- 1.0;
+      t.(r).(ncols_t - 1) <- sign *. b;
+      basis.(r) <- n + m + r)
+    base_rows;
+  let pivot row col =
+    let piv = t.(row).(col) in
+    for j = 0 to ncols_t - 1 do
+      t.(row).(j) <- t.(row).(j) /. piv
+    done;
+    for r = 0 to m do
+      if r <> row && abs_float t.(r).(col) > 0.0 then begin
+        let f = t.(r).(col) in
+        for j = 0 to ncols_t - 1 do
+          t.(r).(j) <- t.(r).(j) -. (f *. t.(row).(j))
+        done
+      end
+    done;
+    if row < m then basis.(row) <- col
+  in
+  (* Run simplex on the objective stored in row m, over allowed columns;
+     Bland's rule for anti-cycling. Returns false on unboundedness. *)
+  let run allowed =
+    let continue = ref true and ok = ref true in
+    while !continue do
+      (* entering column: smallest index with negative reduced cost *)
+      let enter = ref (-1) in
+      (try
+         for j = 0 to ncols_t - 2 do
+           if allowed j && t.(m).(j) < -.eps then begin
+             enter := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !enter < 0 then continue := false
+      else begin
+        (* leaving row: min ratio, Bland tie-break on basis index *)
+        let leave = ref (-1) and best = ref infinity in
+        for r = 0 to m - 1 do
+          if t.(r).(!enter) > eps then begin
+            let ratio = t.(r).(ncols_t - 1) /. t.(r).(!enter) in
+            if
+              ratio < !best -. eps
+              || (abs_float (ratio -. !best) <= eps && !leave >= 0 && basis.(r) < basis.(!leave))
+            then begin
+              best := ratio;
+              leave := r
+            end
+          end
+        done;
+        if !leave < 0 then begin
+          ok := false;
+          continue := false
+        end
+        else pivot !leave !enter
+      end
+    done;
+    !ok
+  in
+  (* Phase 1: minimize the sum of artificials. *)
+  for j = 0 to ncols_t - 1 do
+    t.(m).(j) <- 0.0
+  done;
+  for r = 0 to m - 1 do
+    for j = 0 to ncols_t - 1 do
+      t.(m).(j) <- t.(m).(j) -. t.(r).(j)
+    done
+  done;
+  (* artificial columns have coefficient 1 in the phase-1 objective; after
+     subtracting basic rows their reduced costs are 0, structural columns
+     get the negated row sums — which is what the loop above computed, except
+     we must zero the artificial columns' costs properly: *)
+  for r = 0 to m - 1 do
+    t.(m).(n + m + r) <- 0.0
+  done;
+  if not (run (fun j -> j < ncols_t - 1)) then Infeasible
+  else if t.(m).(ncols_t - 1) < -.eps *. float_of_int (m + 1) *. 10.0 then Infeasible
+  else begin
+    (* Drive remaining artificial variables out of the basis if possible. *)
+    for r = 0 to m - 1 do
+      if basis.(r) >= n + m then begin
+        let found = ref (-1) in
+        for j = 0 to n + m - 1 do
+          if !found < 0 && abs_float t.(r).(j) > eps then found := j
+        done;
+        if !found >= 0 then pivot r !found
+      end
+    done;
+    (* Phase 2: the real objective, expressed over the current basis. *)
+    for j = 0 to ncols_t - 1 do
+      t.(m).(j) <- 0.0
+    done;
+    for j = 0 to n - 1 do
+      t.(m).(j) <- p.objective.(j)
+    done;
+    for r = 0 to m - 1 do
+      if basis.(r) < n then begin
+        let c = p.objective.(basis.(r)) in
+        if abs_float c > 0.0 then
+          for j = 0 to ncols_t - 1 do
+            t.(m).(j) <- t.(m).(j) -. (c *. t.(r).(j))
+          done
+      end
+    done;
+    (* artificial columns are forbidden in phase 2 *)
+    if not (run (fun j -> j < n + m)) then Unbounded
+    else begin
+      let x = Array.make n 0.0 in
+      for r = 0 to m - 1 do
+        if basis.(r) < n then x.(basis.(r)) <- t.(r).(ncols_t - 1)
+      done;
+      let value = Array.fold_left ( +. ) 0.0 (Array.mapi (fun i c -> c *. x.(i)) p.objective) in
+      Optimal { value; solution = x }
+    end
+  end
+
+let lp_relaxation_of_cover ~nvars ~weights ~sets =
+  {
+    ncols = nvars;
+    objective = Array.copy weights;
+    rows =
+      List.map
+        (fun set ->
+          let a = Array.make nvars 0.0 in
+          List.iter (fun i -> a.(i) <- 1.0) set;
+          (a, 1.0))
+        sets;
+    upper = Array.make nvars (Some 1.0);
+  }

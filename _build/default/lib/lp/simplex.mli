@@ -1,0 +1,29 @@
+(** A small dense two-phase simplex solver for covering-style linear
+    programs:
+
+    minimize c·x subject to A x ≥ b, 0 ≤ x (≤ optional upper bounds).
+
+    This is the substrate for the ILP baseline solver (the approach of
+    Makhija & Gatterbauer, cited as [23] by the paper, solves resilience
+    with ILP and studies its LP relaxation). Dense tableau with Bland's
+    rule; adequate for the small/medium instances of the test and bench
+    suites, not a production LP code. *)
+
+type problem = {
+  ncols : int;  (** number of variables *)
+  objective : float array;  (** minimized; length ncols *)
+  rows : (float array * float) list;  (** each (a, b) encodes a·x ≥ b *)
+  upper : float option array;  (** optional upper bounds per variable *)
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> outcome
+
+val lp_relaxation_of_cover :
+  nvars:int -> weights:float array -> sets:int list list -> problem
+(** The LP relaxation of a weighted set-cover/hitting-set instance: minimize
+    Σ wᵢxᵢ with Σ_{i∈S} xᵢ ≥ 1 for each set S and 0 ≤ x ≤ 1. *)

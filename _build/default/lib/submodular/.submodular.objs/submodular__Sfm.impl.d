@@ -1,0 +1,1 @@
+lib/submodular/sfm.ml: Array Fun List

@@ -1,0 +1,1 @@
+lib/submodular/sfm.mli:

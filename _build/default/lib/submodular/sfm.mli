@@ -1,0 +1,27 @@
+(** Submodular function minimization (SFM).
+
+    Proposition 7.7 of the paper shows that resilience for languages of the
+    form [a₁⋯aₙ | aₙ₋₁aₙ₊₁] reduces to minimizing a submodular set function
+    — the only tractable case with no known MinCut reduction. The paper
+    invokes generic strongly-polynomial SFM (McCormick's survey); we
+    implement the standard practical algorithm, the Fujishige–Wolfe
+    minimum-norm-point method, exact for integer-valued functions.
+
+    A function is given by its ground-set size [n] and an oracle evaluating
+    it on subsets of [{0, …, n-1}] encoded as [bool array]s of length [n]. *)
+
+type oracle = bool array -> int
+
+val minimize : n:int -> oracle -> int * bool array
+(** Minimum value and a minimizing set, by the Fujishige–Wolfe
+    minimum-norm-point algorithm. The oracle must be submodular (not
+    checked; garbage in, garbage out — though the returned value is always
+    [f] of the returned set). *)
+
+val minimize_bruteforce : n:int -> oracle -> int * bool array
+(** Reference implementation over all 2ⁿ subsets (n ≤ 25). *)
+
+val is_submodular : n:int -> oracle -> bool
+(** Exhaustively checks f(S∪x) − f(S) ≥ f(T∪x) − f(T) for all S ⊆ T ∌ x
+    (equivalently checks the pairwise characterization on all subsets);
+    exponential, for tests (n ≤ 12). *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Automata Exact Format Graphdb Hypergraph List QCheck QCheck_alcotest Resilience Value

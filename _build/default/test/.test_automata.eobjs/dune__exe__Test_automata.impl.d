@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Automata Cset Deriv Dfa Lang List Local Neutral Nfa Printf QCheck QCheck_alcotest Reduce Regex Starfree String To_regex Word

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Automata Bcl Classify List QCheck QCheck_alcotest Resilience String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Flow List Network Printf Push_relabel QCheck QCheck_alcotest String

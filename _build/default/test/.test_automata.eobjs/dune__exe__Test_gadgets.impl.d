@@ -1,0 +1,1 @@
+test/test_gadgets.ml: Alcotest Automata Exact Format Gadgets Graphdb Graphs Hypergraph List QCheck QCheck_alcotest Resilience Value

@@ -1,0 +1,1 @@
+test/test_graphdb.ml: Alcotest Automata Db Eval Format Fun Generate Graphdb Hypergraph List QCheck QCheck_alcotest Result Serialize String

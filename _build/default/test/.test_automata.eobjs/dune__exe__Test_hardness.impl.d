@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Automata Classify Gadget_search Gadgets Graphs Hardness List Printf Report Resilience String

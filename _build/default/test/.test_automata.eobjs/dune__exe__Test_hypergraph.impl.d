@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Fun Hypergraph List Printf QCheck QCheck_alcotest String

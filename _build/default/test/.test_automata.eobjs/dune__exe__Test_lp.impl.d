@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Automata Format Graphdb Ilp List Lp Printf QCheck QCheck_alcotest Resilience Result Simplex String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Automata Char Classify Flow Format Graphdb Hypergraph Report Resilience Result Solver String Value

@@ -1,0 +1,1 @@
+test/test_submodular.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Sfm String Submodular

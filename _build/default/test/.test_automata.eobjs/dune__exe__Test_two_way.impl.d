@@ -1,0 +1,1 @@
+test/test_two_way.ml: Alcotest Array Automata Exact Format Graphdb List QCheck QCheck_alcotest Resilience Two_way Value

@@ -1,0 +1,563 @@
+(* Tests for the automata substrate: words, regexes, NFAs, DFAs, reduction,
+   locality, star-freeness, neutral letters. *)
+open Automata
+
+let lang = Lang.of_string
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ---- Word ---- *)
+
+let test_word_basics () =
+  check_str "mirror" "cba" (Word.mirror "abc");
+  check_str "mirror eps" "" (Word.mirror "");
+  check "prefix" true (Word.is_prefix "ab" "abc");
+  check "prefix eps" true (Word.is_prefix "" "abc");
+  check "not prefix" false (Word.is_prefix "bc" "abc");
+  check "suffix" true (Word.is_suffix "bc" "abc");
+  check "not suffix" false (Word.is_suffix "ab" "abc");
+  check "infix" true (Word.is_infix "b" "abc");
+  check "infix self" true (Word.is_infix "abc" "abc");
+  check "strict infix" true (Word.is_strict_infix "b" "abc");
+  check "strict infix not self" false (Word.is_strict_infix "abc" "abc");
+  check "not infix" false (Word.is_infix "ac" "abc")
+
+let test_word_repeats () =
+  check "aa repeats" true (Word.has_repeated_letter "aa");
+  check "aba repeats" true (Word.has_repeated_letter "aba");
+  check "abc no repeat" false (Word.has_repeated_letter "abc");
+  check "eps no repeat" false (Word.has_repeated_letter "");
+  check "all distinct" true (Word.all_distinct "abcd");
+  (match Word.repeated_letter_gap "abca" with
+  | Some (c, g) ->
+      check "gap letter" true (c = 'a');
+      check_int "gap" 2 g
+  | None -> Alcotest.fail "expected a repeated letter");
+  check "no gap" true (Word.repeated_letter_gap "abc" = None)
+
+let test_word_infixes () =
+  check_int "infix count abc" 7 (List.length (Word.infixes "abc"));
+  (* ε a b c ab bc abc *)
+  check_int "strict infix count" 6 (List.length (Word.strict_infixes "abc"));
+  check_int "prefixes" 4 (List.length (Word.prefixes "abc"));
+  check_int "suffixes" 4 (List.length (Word.suffixes "abc"))
+
+(* ---- Regex ---- *)
+
+let test_regex_parse () =
+  check "roundtrip ax*b|cxd" true
+    (Regex.equal (Regex.parse "ax*b|cxd") (Regex.parse (Regex.to_string (Regex.parse "ax*b|cxd"))));
+  check "roundtrip b(aa)*d" true
+    (Regex.equal (Regex.parse "b(aa)*d")
+       (Regex.parse (Regex.to_string (Regex.parse "b(aa)*d"))));
+  check "nullable a*" true (Regex.nullable (Regex.parse "a*"));
+  check "not nullable ab" false (Regex.nullable (Regex.parse "ab"));
+  check "parse failure" true (Regex.parse_opt "a|" = None);
+  check "parse failure parens" true (Regex.parse_opt "(ab" = None);
+  check "empty syntactic" true (Regex.is_empty_syntactic (Regex.parse "!"));
+  check "letters" true (Cset.equal (Regex.letters (Regex.parse "ax*b|cxd")) (Cset.of_string "abcdx"))
+
+let test_regex_mirror () =
+  let m = Regex.mirror (Regex.parse "abc|de") in
+  let l = Nfa.of_regex m in
+  check "mirror abc" true (Nfa.accepts l "cba");
+  check "mirror de" true (Nfa.accepts l "ed");
+  check "mirror not abc" false (Nfa.accepts l "abc")
+
+let test_regex_of_words () =
+  let l = Nfa.of_regex (Regex.of_words [ "ab"; "cd"; "" ]) in
+  check "ab" true (Nfa.accepts l "ab");
+  check "cd" true (Nfa.accepts l "cd");
+  check "eps" true (Nfa.accepts l "");
+  check "not ac" false (Nfa.accepts l "ac")
+
+(* ---- NFA / DFA ---- *)
+
+let test_nfa_membership () =
+  let a = lang "ax*b|cxd" in
+  List.iter (fun w -> check ("mem " ^ w) true (Nfa.accepts a w)) [ "ab"; "axb"; "axxxxb"; "cxd" ];
+  List.iter (fun w -> check ("not mem " ^ w) false (Nfa.accepts a w))
+    [ ""; "a"; "cxxd"; "cd"; "axd"; "cxb"; "abb" ]
+
+let test_trim () =
+  (* A language with dead states after union with the empty language. *)
+  let a = Nfa.union (lang "ab") (lang "!") in
+  let t = Nfa.trim a in
+  check "trim preserves" true (Nfa.accepts t "ab" && not (Nfa.accepts t "a"));
+  check "trim shrinks" true (Nfa.size t <= Nfa.size a)
+
+let test_remove_eps () =
+  let a = lang "a*b|c" in
+  let b = Nfa.remove_eps a in
+  check "no eps left" true (Nfa.eps_transitions b = []);
+  List.iter
+    (fun w -> check ("same lang: " ^ w) true (Nfa.accepts a w = Nfa.accepts b w))
+    [ ""; "b"; "ab"; "aab"; "c"; "ac"; "cb" ]
+
+let test_dfa_ops () =
+  let d1 = Dfa.of_nfa (lang "ab|cd") and d2 = Dfa.of_nfa (lang "ab") in
+  check "subset" true (Dfa.subset d2 d1);
+  check "not subset" false (Dfa.subset d1 d2);
+  check "equiv self" true (Dfa.equiv d1 d1);
+  check "inter" true (Dfa.equiv (Dfa.inter d1 d2) d2);
+  check "union" true (Dfa.equiv (Dfa.union d1 d2) d1);
+  check "diff" true (Dfa.equiv (Dfa.diff d1 d2) (Dfa.of_nfa (lang "cd")));
+  let c = Dfa.complement d2 in
+  check "complement ab" false (Dfa.accepts c "ab");
+  check "complement ba" true (Dfa.accepts c "ba");
+  check "complement eps" true (Dfa.accepts c "");
+  (* complement is relative to the DFA's own alphabet {a, b} *)
+  check "complement cd outside alphabet" false (Dfa.accepts c "cd");
+  let cbig = Dfa.complement (Dfa.extend_alphabet (Cset.of_string "cd") d2) in
+  check "complement cd after extension" true (Dfa.accepts cbig "cd")
+
+let test_dfa_minimize () =
+  let d = Dfa.of_nfa (lang "a*b|b|ab") in
+  let m = Dfa.minimize d in
+  check "min equiv" true (Dfa.equiv d m);
+  check "min smaller" true (m.Dfa.nstates <= d.Dfa.nstates);
+  (* minimal DFA of a*b over {a,b}: 3 states (start, accept, sink) *)
+  check_int "a*b minimal size" 3 (Dfa.minimize (Dfa.of_nfa (lang "a*b"))).Dfa.nstates
+
+let test_dfa_finiteness () =
+  check "finite ab|cd" true (Dfa.is_finite (Dfa.of_nfa (lang "ab|cd")));
+  check "infinite a*" false (Dfa.is_finite (Dfa.of_nfa (lang "a*")));
+  check "finite empty" true (Dfa.is_finite (Dfa.of_nfa (lang "!")));
+  match Dfa.words (Dfa.of_nfa (lang "ab|ad|cd")) with
+  | Some ws -> Alcotest.(check (list string)) "word list" [ "ab"; "ad"; "cd" ] ws
+  | None -> Alcotest.fail "expected finite"
+
+let test_dfa_enumeration () =
+  let d = Dfa.of_nfa (lang "a*b") in
+  Alcotest.(check (list string)) "words up to 3" [ "b"; "ab"; "aab" ] (Dfa.words_up_to d 3);
+  Alcotest.(check (option string)) "shortest" (Some "b") (Dfa.shortest_word d);
+  Alcotest.(check (option string)) "shortest empty" None (Dfa.shortest_word (Dfa.of_nfa (lang "!")))
+
+let test_extend_alphabet () =
+  let d = Dfa.extend_alphabet (Cset.of_string "xyz") (Dfa.of_nfa (lang "ab")) in
+  check "still ab" true (Dfa.accepts d "ab");
+  check "not x" false (Dfa.accepts d "x");
+  check "not axb" false (Dfa.accepts d "axb")
+
+(* ---- Reduce ---- *)
+
+let test_reduce_words () =
+  Alcotest.(check (list string)) "reduce abbc|bb" [ "bb" ] (Reduce.words [ "abbc"; "bb" ]);
+  Alcotest.(check (list string)) "reduce a|aa" [ "a" ] (Reduce.words [ "a"; "aa" ]);
+  Alcotest.(check (list string)) "reduce eps" [ "" ] (Reduce.words [ ""; "a"; "ab" ]);
+  Alcotest.(check (list string)) "already reduced" [ "ab"; "cd" ] (Reduce.words [ "ab"; "cd" ]);
+  check "is_reduced" true (Reduce.is_reduced_words [ "ab"; "cd" ]);
+  check "not reduced" false (Reduce.is_reduced_words [ "a"; "ab" ])
+
+let test_reduce_nfa () =
+  let r = Reduce.nfa (lang "abbc|bb") in
+  check "reduce nfa" true (Lang.equiv r (lang "bb"));
+  let r2 = Reduce.nfa (lang "a|aa") in
+  check "reduce a|aa" true (Lang.equiv r2 (lang "a"));
+  (* infinite case: reduce of a* is eps only; reduce of aa* is just a *)
+  check "reduce a*" true (Lang.equiv (Reduce.nfa (lang "a*")) (lang "~"));
+  check "reduce aa*" true (Lang.equiv (Reduce.nfa (lang "aa*")) (lang "a"));
+  (* reduce(ax*b) = ax*b: no word is an infix of another *)
+  check "ax*b reduced" true (Reduce.is_reduced (lang "ax*b"));
+  (* b(aa)*d is reduced *)
+  check "b(aa)*d reduced" true (Reduce.is_reduced (lang "b(aa)*d"))
+
+(* ---- Local ---- *)
+
+let test_profile () =
+  let p = Local.profile (lang "ax*b|cd") in
+  check "starts" true (Cset.equal p.Local.starts (Cset.of_string "ac"));
+  check "ends" true (Cset.equal p.Local.ends (Cset.of_string "bd"));
+  check "eps" false p.Local.has_eps;
+  let pairs = p.Local.pairs in
+  check "pairs" true
+    (List.sort compare pairs = [ ('a', 'b'); ('a', 'x'); ('c', 'd'); ('x', 'b'); ('x', 'x') ])
+
+let test_ro_enfa () =
+  let a = lang "ax*b" in
+  let ro = Local.ro_enfa a in
+  check "read-once" true (Nfa.is_read_once ro);
+  check "same language" true (Lang.equiv ro a);
+  (* For a non-local language the RO-εNFA over-approximates. *)
+  let a2 = lang "aa" in
+  let ro2 = Local.ro_enfa a2 in
+  check "superset" true (Lang.subset a2 ro2);
+  check "strictly larger" false (Lang.subset ro2 a2);
+  check "aaa in ro(aa)" true (Nfa.accepts ro2 "aaa")
+
+let test_is_local () =
+  List.iter
+    (fun s -> check ("local " ^ s) true (Local.is_local_language (lang s)))
+    [ "ax*b"; "ab|ad|cd"; "a"; "a|b"; "x*"; "axb|axc"; "abc" ];
+  List.iter
+    (fun s -> check ("not local " ^ s) false (Local.is_local_language (lang s)))
+    [ "aa"; "ab|bc"; "abc|be"; "axb|cxd"; "b(aa)*d"; "aaaa"; "ab|bc|ca" ]
+
+let test_local_dfa_check () =
+  (* The subset-construction DFA of a local language need not be a local DFA,
+     but the minimal DFA of ab|ad|cd is (Fig 2b). *)
+  check "local dfa ab|ad|cd" true (Dfa.is_local_dfa (Dfa.minimize (Dfa.of_nfa (lang "ab|ad|cd"))));
+  check "aa dfa not local" false (Dfa.is_local_dfa (Dfa.minimize (Dfa.of_nfa (lang "aa"))))
+
+let test_four_legged () =
+  (match Local.four_legged_witness (lang "axb|cxd") ~bound:3 with
+  | Some (x, al, be, ga, de) ->
+      check "witness checks" true
+        (let l = lang "axb|cxd" in
+         Nfa.accepts l (al ^ String.make 1 x ^ be)
+         && Nfa.accepts l (ga ^ String.make 1 x ^ de)
+         && (not (Nfa.accepts l (al ^ String.make 1 x ^ de)))
+         && al <> "" && be <> "" && ga <> "" && de <> "")
+  | None -> Alcotest.fail "axb|cxd should be four-legged");
+  check "aa not four-legged" true (Local.four_legged_witness (lang "aa") ~bound:4 = None);
+  check "ab|bc not four-legged" true (Local.four_legged_witness (lang "ab|bc") ~bound:4 = None);
+  check "abc|be not four-legged" true (Local.four_legged_witness (lang "abc|be") ~bound:5 = None);
+  check "b(aa)*d four-legged" true (Local.four_legged_witness (lang "b(aa)*d") ~bound:8 <> None);
+  (* letter-Cartesian violations (legs may be empty) exist for ab|bc *)
+  check "ab|bc cartesian violation" true (Local.letter_cartesian_violation (lang "ab|bc") ~bound:2 <> None);
+  check "ax*b no violation" true (Local.letter_cartesian_violation (lang "ax*b") ~bound:6 = None)
+
+let test_letter_cartesian_exact () =
+  check "aa violates on a" false (Local.letter_cartesian_for (lang "aa") 'a');
+  check "axb|cxd violates on x" false (Local.letter_cartesian_for (lang "axb|cxd") 'x');
+  check "axb|cxd fine on a" true (Local.letter_cartesian_for (lang "axb|cxd") 'a');
+  check "ax*b fine on x" true (Local.letter_cartesian_for (lang "ax*b") 'x');
+  check "absent letter trivially fine" true (Local.letter_cartesian_for (lang "ab") 'z');
+  check "local language all letters" true (Local.is_letter_cartesian (lang "ab|ad|cd"))
+
+let test_prop_g1_reduction () =
+  (* letter-Cartesian for 'a' on the constructed automaton iff L2 ⊆ L1 *)
+  let pairs =
+    [
+      ("0|01", "0", true);
+      ("0|01", "1", false);
+      ("(0|1)(0|1)", "00|11", true);
+      ("00|11", "(0|1)(0|1)", false);
+      ("0*1", "001", true);
+      ("0*1", "0", false);
+    ]
+  in
+  List.iter
+    (fun (s1, s2, expected) ->
+      let g = Local.inclusion_to_cartesian ~l1:(lang s1) ~l2:(lang s2) in
+      check
+        (Printf.sprintf "G.1 for %s / %s" s1 s2)
+        expected
+        (Local.letter_cartesian_for g 'a'))
+    pairs
+
+(* ---- Star-freeness ---- *)
+
+let test_star_free () =
+  List.iter
+    (fun s -> check ("star-free " ^ s) true (Starfree.is_star_free (lang s) = Some true))
+    [ "ax*b"; "ab|cd"; "a*"; "abc|be"; "aa"; "(ab)*" ];
+  List.iter
+    (fun s -> check ("not star-free " ^ s) true (Starfree.is_star_free (lang s) = Some false))
+    [ "b(aa)*d"; "(aa)*"; "(aa)*b" ]
+
+let test_monoid_size () =
+  (* the minimal DFA of a* has 1 useful state + sink; its monoid is tiny *)
+  match Starfree.monoid_size (lang "a*") with
+  | Some n -> check "monoid small" true (n <= 4)
+  | None -> Alcotest.fail "monoid should be computable"
+
+(* ---- Neutral letters ---- *)
+
+let test_neutral () =
+  check "e neutral in e*" true (Neutral.is_neutral (lang "e*") 'e');
+  check "e neutral e*ae*" true (Neutral.is_neutral (lang "e*ae*") 'e');
+  check "a not neutral" false (Neutral.is_neutral (lang "e*ae*") 'a');
+  check "no neutral in ab" true (Neutral.neutral_letters (lang "ab") = []);
+  (* L1 from Appendix D: e*be*ce*|e*de*fe* has neutral letter e *)
+  check "neutral in L1" true (Neutral.is_neutral (lang "e*be*ce*|e*de*fe*") 'e');
+  Alcotest.(check (list char)) "neutral letters list" [ 'e' ]
+    (Neutral.neutral_letters (lang "e*(a|c)e*(a|d)e*"))
+
+(* ---- Property-based tests ---- *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Random small regexes over {a, b, c}. *)
+let gen_regex =
+  let open QCheck.Gen in
+  sized_size (int_bound 8) (fix (fun self n ->
+      if n <= 1 then
+        frequency
+          [ (5, map (fun c -> Regex.Letter c) (oneofl [ 'a'; 'b'; 'c' ])); (1, return Regex.Eps) ]
+      else
+        frequency
+          [
+            (3, map2 (fun a b -> Regex.Union (a, b)) (self (n / 2)) (self (n / 2)));
+            (4, map2 (fun a b -> Regex.Concat (a, b)) (self (n / 2)) (self (n / 2)));
+            (2, map (fun a -> Regex.Star a) (self (n - 1)));
+          ]))
+
+let arb_regex = QCheck.make ~print:Regex.to_string gen_regex
+
+let gen_word = QCheck.Gen.(map (fun l -> Word.of_list l) (list_size (int_bound 6) (oneofl [ 'a'; 'b'; 'c' ])))
+let arb_word = QCheck.make ~print:(fun w -> w) gen_word
+
+(* Reference regex membership by direct recursion on the AST. *)
+let rec ref_mem (e : Regex.t) (w : string) =
+  match e with
+  | Regex.Empty -> false
+  | Regex.Eps -> w = ""
+  | Regex.Letter c -> w = String.make 1 c
+  | Regex.Union (a, b) -> ref_mem a w || ref_mem b w
+  | Regex.Concat (a, b) ->
+      let n = String.length w in
+      let rec split i =
+        i <= n
+        && ((ref_mem a (String.sub w 0 i) && ref_mem b (String.sub w i (n - i))) || split (i + 1))
+      in
+      split 0
+  | Regex.Star a ->
+      w = ""
+      ||
+      let n = String.length w in
+      let rec split i =
+        i <= n && i > 0
+        && ((ref_mem a (String.sub w 0 i) && ref_mem (Regex.Star a) (String.sub w i (n - i)))
+           || split (i + 1))
+      in
+      split 1
+
+let prop_thompson_correct =
+  QCheck.Test.make ~name:"Thompson NFA agrees with reference membership" ~count:300
+    (QCheck.pair arb_regex arb_word)
+    (fun (e, w) -> Nfa.accepts (Nfa.of_regex e) w = ref_mem e w)
+
+let prop_dfa_agrees =
+  QCheck.Test.make ~name:"subset-construction DFA agrees with NFA" ~count:300
+    (QCheck.pair arb_regex arb_word)
+    (fun (e, w) ->
+      let a = Nfa.of_regex e in
+      Dfa.accepts (Dfa.of_nfa a) w = Nfa.accepts a w)
+
+let prop_minimize_preserves =
+  QCheck.Test.make ~name:"minimization preserves the language" ~count:200 arb_regex (fun e ->
+      let d = Dfa.of_nfa (Nfa.of_regex e) in
+      Dfa.equiv d (Dfa.minimize d))
+
+let prop_remove_eps_preserves =
+  QCheck.Test.make ~name:"ε-removal preserves the language" ~count:200
+    (QCheck.pair arb_regex arb_word)
+    (fun (e, w) ->
+      let a = Nfa.of_regex e in
+      Nfa.accepts (Nfa.remove_eps a) w = Nfa.accepts a w)
+
+let prop_reverse_mirror =
+  QCheck.Test.make ~name:"NFA reversal recognizes the mirror language" ~count:200
+    (QCheck.pair arb_regex arb_word)
+    (fun (e, w) -> Nfa.accepts (Nfa.reverse (Nfa.of_regex e)) w = ref_mem e (Word.mirror w))
+
+let prop_reduce_infix_free =
+  QCheck.Test.make ~name:"reduce(L) is infix-free" ~count:100 arb_regex (fun e ->
+      let r = Reduce.nfa (Nfa.of_regex e) in
+      let ws = Dfa.words_up_to (Dfa.of_nfa r) 6 in
+      List.for_all
+        (fun w -> not (List.exists (fun w' -> Word.is_strict_infix w' w) ws))
+        ws)
+
+let prop_reduce_subset =
+  QCheck.Test.make ~name:"reduce(L) ⊆ L" ~count:100 arb_regex (fun e ->
+      let a = Nfa.of_regex e in
+      Lang.subset (Reduce.nfa a) a)
+
+let prop_local_dfas_letter_cartesian =
+  QCheck.Test.make ~name:"local languages are letter-Cartesian on samples" ~count:60 arb_regex
+    (fun e ->
+      let a = Nfa.of_regex e in
+      if not (Local.is_local_language a) then true
+      else Local.letter_cartesian_violation a ~bound:5 = None)
+
+let prop_ro_enfa_superset =
+  QCheck.Test.make ~name:"L ⊆ L(RO-εNFA) (Lemma B.4)" ~count:100 arb_regex (fun e ->
+      let a = Nfa.of_regex e in
+      Lang.subset a (Local.ro_enfa a))
+
+let prop_letter_cartesian_equals_local =
+  (* Proposition B.7: letter-Cartesian = local; two independent deciders. *)
+  QCheck.Test.make ~name:"Prop B.7: is_letter_cartesian = is_local_language" ~count:100
+    arb_regex (fun e ->
+      let a = Nfa.of_regex e in
+      Local.is_letter_cartesian a = Local.is_local_language a)
+
+let prop_reduction_preserves_locality =
+  (* Lemma 3.4: if L is local then reduce(L) is local. *)
+  QCheck.Test.make ~name:"Lemma 3.4: reduction preserves locality" ~count:80 arb_regex (fun e ->
+      let a = Nfa.of_regex e in
+      (not (Local.is_local_language a)) || Local.is_local_language (Reduce.nfa a))
+
+let prop_finite_repeated_not_local =
+  (* Lemma 6.2: finite languages with a repeated-letter word are not local. *)
+  QCheck.Test.make ~name:"Lemma 6.2: finite + repeated letter => not local" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 3)
+           (map Word.of_list (list_size (int_range 1 5) (oneofl [ 'a'; 'b' ])))))
+    (fun ws ->
+      let a = Nfa.of_words ws in
+      (not (List.exists Word.has_repeated_letter ws)) || not (Local.is_local_language a))
+
+let prop_mirror_star_free =
+  (* star-freeness is preserved by mirroring *)
+  QCheck.Test.make ~name:"mirror preserves star-freeness" ~count:60 arb_regex (fun e ->
+      Starfree.is_star_free (Nfa.of_regex e)
+      = Starfree.is_star_free (Nfa.of_regex (Regex.mirror e)))
+
+let prop_ro_enfa_equality_iff_local =
+  QCheck.Test.make ~name:"L(RO-εNFA) = L iff L local (Lemma B.4)" ~count:100 arb_regex (fun e ->
+      let a = Nfa.of_regex e in
+      Lang.equiv a (Local.ro_enfa a) = Local.is_local_language a)
+
+(* ---- to_regex / counting / growth ---- *)
+
+let test_to_regex_examples () =
+  List.iter
+    (fun s ->
+      let a = lang s in
+      let e = To_regex.of_nfa a in
+      check ("roundtrip " ^ s) true (Lang.equiv (Nfa.of_regex e) a))
+    [ "ax*b|cxd"; "b(aa)*d"; "abc|be"; "!"; "~"; "(a|b)*abb" ]
+
+let test_count_words () =
+  Alcotest.(check (list int)) "ab|ad|cd lengths" [ 0; 0; 3; 0 ]
+    (To_regex.count_words (Dfa.of_nfa (lang "ab|ad|cd")) 3);
+  Alcotest.(check (list int)) "(a|b)* doubling" [ 1; 2; 4; 8; 16 ]
+    (To_regex.count_words (Dfa.of_nfa (lang "(a|b)*")) 4);
+  Alcotest.(check (list int)) "a* ones" [ 1; 1; 1 ] (To_regex.count_words (Dfa.of_nfa (lang "a*")) 2)
+
+let test_growth () =
+  check "empty" true (To_regex.growth (Dfa.of_nfa (lang "!")) = `Empty);
+  check "finite" true (To_regex.growth (Dfa.of_nfa (lang "ab|cd")) = `Finite 2);
+  check "poly a*" true (To_regex.growth (Dfa.of_nfa (lang "a*")) = `Polynomial);
+  check "poly ax*b" true (To_regex.growth (Dfa.of_nfa (lang "ax*b")) = `Polynomial);
+  check "poly a*b*" true (To_regex.growth (Dfa.of_nfa (lang "a*b*")) = `Polynomial);
+  check "expo (a|b)*" true (To_regex.growth (Dfa.of_nfa (lang "(a|b)*")) = `Exponential);
+  check "expo (aa|ab)*" true (To_regex.growth (Dfa.of_nfa (lang "(aa|ab)*")) = `Exponential)
+
+let prop_to_regex_roundtrip =
+  QCheck.Test.make ~name:"state elimination roundtrips" ~count:80 arb_regex (fun e ->
+      let a = Nfa.of_regex e in
+      Lang.equiv (Nfa.of_regex (To_regex.of_nfa a)) a)
+
+let prop_count_matches_enumeration =
+  QCheck.Test.make ~name:"count_words agrees with enumeration" ~count:80 arb_regex (fun e ->
+      let d = Dfa.of_nfa (Nfa.of_regex e) in
+      let counts = To_regex.count_words d 4 in
+      let ws = Dfa.words_up_to d 4 in
+      List.for_all
+        (fun len ->
+          List.nth counts len = List.length (List.filter (fun w -> String.length w = len) ws))
+        [ 0; 1; 2; 3; 4 ])
+
+(* ---- Brzozowski derivatives ---- *)
+
+let test_deriv_basics () =
+  let e = Regex.parse "ax*b|cxd" in
+  check "deriv a" true (Deriv.mem (Deriv.deriv 'a' e) "xxb");
+  check "deriv a not" false (Deriv.mem (Deriv.deriv 'a' e) "xd");
+  check "deriv_word" true (Regex.nullable (Deriv.deriv_word "axb" e));
+  check "mem" true (Deriv.mem e "cxd");
+  check "not mem" false (Deriv.mem e "cxb");
+  (* normalization idempotent and language-preserving on a sample *)
+  let n = Deriv.normalize (Regex.parse "(a|a)b|!c|~d") in
+  check "normalize" true (Deriv.normalize n = n)
+
+let prop_deriv_mem_agrees =
+  QCheck.Test.make ~name:"derivative membership = NFA membership" ~count:300
+    (QCheck.pair arb_regex arb_word)
+    (fun (e, w) -> Deriv.mem e w = Nfa.accepts (Nfa.of_regex e) w)
+
+let prop_deriv_dfa_equiv =
+  QCheck.Test.make ~name:"derivative DFA = subset-construction DFA" ~count:150 arb_regex
+    (fun e -> Dfa.equiv (Deriv.dfa e) (Dfa.of_nfa (Nfa.of_regex e)))
+
+let prop_normalize_preserves =
+  QCheck.Test.make ~name:"similarity normalization preserves the language" ~count:200
+    (QCheck.pair arb_regex arb_word)
+    (fun (e, w) -> ref_mem e w = ref_mem (Deriv.normalize e) w)
+
+let () =
+  Alcotest.run "automata"
+    [
+      ( "word",
+        [
+          Alcotest.test_case "basics" `Quick test_word_basics;
+          Alcotest.test_case "repeats" `Quick test_word_repeats;
+          Alcotest.test_case "infixes" `Quick test_word_infixes;
+        ] );
+      ( "regex",
+        [
+          Alcotest.test_case "parse/print" `Quick test_regex_parse;
+          Alcotest.test_case "mirror" `Quick test_regex_mirror;
+          Alcotest.test_case "of_words" `Quick test_regex_of_words;
+        ] );
+      ( "nfa-dfa",
+        [
+          Alcotest.test_case "membership" `Quick test_nfa_membership;
+          Alcotest.test_case "trim" `Quick test_trim;
+          Alcotest.test_case "remove_eps" `Quick test_remove_eps;
+          Alcotest.test_case "dfa ops" `Quick test_dfa_ops;
+          Alcotest.test_case "minimize" `Quick test_dfa_minimize;
+          Alcotest.test_case "finiteness" `Quick test_dfa_finiteness;
+          Alcotest.test_case "enumeration" `Quick test_dfa_enumeration;
+          Alcotest.test_case "extend alphabet" `Quick test_extend_alphabet;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "words" `Quick test_reduce_words;
+          Alcotest.test_case "nfa" `Quick test_reduce_nfa;
+        ] );
+      ( "local",
+        [
+          Alcotest.test_case "profile" `Quick test_profile;
+          Alcotest.test_case "ro-enfa" `Quick test_ro_enfa;
+          Alcotest.test_case "is_local" `Quick test_is_local;
+          Alcotest.test_case "local dfa check" `Quick test_local_dfa_check;
+          Alcotest.test_case "four-legged" `Quick test_four_legged;
+          Alcotest.test_case "exact letter-Cartesian" `Quick test_letter_cartesian_exact;
+          Alcotest.test_case "Prop G.1 reduction" `Quick test_prop_g1_reduction;
+        ] );
+      ( "starfree-neutral",
+        [
+          Alcotest.test_case "star-free" `Quick test_star_free;
+          Alcotest.test_case "monoid size" `Quick test_monoid_size;
+          Alcotest.test_case "neutral letters" `Quick test_neutral;
+        ] );
+      ( "deriv",
+        [ Alcotest.test_case "basics" `Quick test_deriv_basics ] );
+      ( "to_regex",
+        [
+          Alcotest.test_case "examples" `Quick test_to_regex_examples;
+          Alcotest.test_case "counting" `Quick test_count_words;
+          Alcotest.test_case "growth" `Quick test_growth;
+        ] );
+      ( "properties",
+        List.map qcheck
+          [
+            prop_to_regex_roundtrip;
+            prop_count_matches_enumeration;
+            prop_deriv_mem_agrees;
+            prop_deriv_dfa_equiv;
+            prop_normalize_preserves;
+            prop_thompson_correct;
+            prop_dfa_agrees;
+            prop_minimize_preserves;
+            prop_remove_eps_preserves;
+            prop_reverse_mirror;
+            prop_reduce_infix_free;
+            prop_reduce_subset;
+            prop_local_dfas_letter_cartesian;
+            prop_ro_enfa_superset;
+            prop_ro_enfa_equality_iff_local;
+            prop_letter_cartesian_equals_local;
+            prop_reduction_preserves_locality;
+            prop_finite_repeated_not_local;
+            prop_mirror_star_free;
+          ] );
+    ]

@@ -1,0 +1,225 @@
+(* Tests for graph databases and RPQ evaluation. *)
+open Graphdb
+
+let lang = Automata.Lang.of_string
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let triangle_db () =
+  (* 0 -a-> 1 -b-> 2 -c-> 0 *)
+  Db.make ~nnodes:3 ~facts:[ (0, 'a', 1); (1, 'b', 2); (2, 'c', 0) ]
+
+let test_db_basics () =
+  let d = triangle_db () in
+  check_int "nodes" 3 (Db.nnodes d);
+  check_int "facts" 3 (Db.fact_count d);
+  check_int "live" 3 (Db.live_count d);
+  check_int "total mult" 3 (Db.total_mult d);
+  check "alphabet" true (Automata.Cset.equal (Db.alphabet d) (Automata.Cset.of_string "abc"));
+  check_int "out edges of 0" 1 (List.length (Db.out_edges d 0))
+
+let test_db_bag () =
+  let d = Db.make_bag ~nnodes:2 ~facts:[ (0, 'a', 1, 3); (0, 'a', 1, 2); (0, 'b', 1, 1) ] in
+  check_int "merged facts" 2 (Db.fact_count d);
+  check_int "merged mult" 6 (Db.total_mult d);
+  let d1 = Db.with_unit_mults d in
+  check_int "unit mults" 2 (Db.total_mult d1);
+  check "negative mult rejected" true
+    (try
+       ignore (Db.make_bag ~nnodes:1 ~facts:[ (0, 'a', 0, 0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_restrict () =
+  let d = triangle_db () in
+  let d' = Db.remove d [ 0 ] in
+  check_int "one dead" 2 (Db.live_count d');
+  check "dead" false (Db.is_live d' 0);
+  check "ids stable" true (Db.fact d' 1 = Db.fact d 1);
+  check_int "original untouched" 3 (Db.live_count d)
+
+let test_acyclic () =
+  check "triangle cyclic" false (Db.is_acyclic (triangle_db ()));
+  check "acyclic after removal" true (Db.is_acyclic (Db.remove (triangle_db ()) [ 2 ]));
+  check "dag" true
+    (Db.is_acyclic (Db.make ~nnodes:3 ~facts:[ (0, 'a', 1); (0, 'a', 2); (1, 'b', 2) ]))
+
+let test_reverse () =
+  let d = Db.reverse (triangle_db ()) in
+  check "reversed fact" true ((Db.fact d 0).Db.src = 1 && (Db.fact d 0).Db.dst = 0)
+
+let test_builder () =
+  let b = Db.Builder.create () in
+  Db.Builder.add b "u" 'a' "v";
+  Db.Builder.add b ~mult:4 "v" 'b' "w";
+  Db.Builder.add_word_path b "u" "xyz" "w";
+  let d = Db.Builder.build b in
+  check_int "nodes" 5 (Db.nnodes d);
+  check_int "facts" 5 (Db.fact_count d);
+  check_int "mult" 8 (Db.total_mult d);
+  check "path exists" true (Eval.satisfies d (lang "xyz"))
+
+let test_satisfies () =
+  let d = triangle_db () in
+  List.iter (fun s -> check ("sat " ^ s) true (Eval.satisfies d (lang s)))
+    [ "ab"; "bc"; "ca"; "abc"; "abcabc"; "a|zz"; "(abc)*ab" ];
+  List.iter (fun s -> check ("unsat " ^ s) false (Eval.satisfies d (lang s)))
+    [ "ba"; "aa"; "ac"; "acb|zz" ];
+  (* ε ∈ L: always satisfied, even by the empty database *)
+  check "eps always" true (Eval.satisfies (Db.make ~nnodes:0 ~facts:[]) (lang "~|ab"));
+  check "empty lang" false (Eval.satisfies d (lang "!"))
+
+let test_walks_repeat_facts () =
+  (* A walk may loop: abcabc around the triangle reuses all three facts. *)
+  let d = triangle_db () in
+  match Eval.shortest_witness d (lang "abcab") with
+  | Some w ->
+      check_int "walk length" 5 (List.length w);
+      check_int "distinct facts" 3 (List.length (List.sort_uniq compare w))
+  | None -> Alcotest.fail "witness expected"
+
+let test_shortest_witness () =
+  let d =
+    Db.make ~nnodes:5 ~facts:[ (0, 'a', 1); (1, 'b', 2); (0, 'a', 3); (3, 'x', 4); (4, 'b', 2) ]
+  in
+  (match Eval.shortest_witness d (lang "ab|axb") with
+  | Some w -> check_int "shortest is ab" 2 (List.length w)
+  | None -> Alcotest.fail "witness expected");
+  check "eps witness" true (Eval.shortest_witness d (lang "~") = Some []);
+  check "no witness" true (Eval.shortest_witness d (lang "zz") = None)
+
+let test_witness_is_match () =
+  (* The witness walk's labels must spell a word of L, in order. *)
+  let d = Generate.random_acyclic ~nnodes:8 ~nfacts:18 ~alphabet:[ 'a'; 'b'; 'x' ] ~seed:7 () in
+  match Eval.shortest_witness d (lang "ax*b") with
+  | None -> check "maybe unsat" true (not (Eval.satisfies d (lang "ax*b")))
+  | Some w ->
+      let word = String.init (List.length w) (fun i -> (Db.fact d (List.nth w i)).Db.label) in
+      check "labels form word" true (Automata.Nfa.accepts (lang "ax*b") word);
+      (* consecutive facts must be adjacent *)
+      let rec adj = function
+        | f1 :: (f2 :: _ as rest) ->
+            (Db.fact d f1).Db.dst = (Db.fact d f2).Db.src && adj rest
+        | _ -> true
+      in
+      check "adjacent" true (adj w)
+
+let test_matches () =
+  let d = Db.make ~nnodes:4 ~facts:[ (0, 'a', 1); (1, 'a', 2); (2, 'a', 3) ] in
+  let ms = Eval.all_matches d (lang "aa") in
+  check_int "two aa matches" 2 (List.length ms);
+  let h = Eval.match_hypergraph d (lang "aa") in
+  check_int "hyperedges" 2 (Hypergraph.edge_count h);
+  check_int "vertices" 3 (Hypergraph.vertex_count h);
+  (* cyclic db with infinite language is rejected *)
+  check "cyclic+infinite rejected" true
+    (try
+       ignore (Eval.all_matches (triangle_db ()) (lang "(abc)*ab"));
+       false
+     with Invalid_argument _ -> true);
+  (* but cyclic with finite language works *)
+  check_int "cyclic finite" 1 (List.length (Eval.all_matches (triangle_db ()) (lang "abcab")))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let arb_db =
+  QCheck.make
+    ~print:(fun (d : Db.t) -> Format.asprintf "%a" Db.pp d)
+    QCheck.Gen.(
+      let* seed = int_bound 100000 in
+      let* nnodes = int_range 2 6 in
+      let* nfacts = int_range 1 10 in
+      return (Generate.random ~nnodes ~nfacts ~alphabet:[ 'a'; 'b'; 'c' ] ~seed ()))
+
+let arb_word =
+  QCheck.make
+    ~print:(fun w -> w)
+    QCheck.Gen.(map Automata.Word.of_list (list_size (int_range 1 4) (oneofl [ 'a'; 'b'; 'c' ])))
+
+(* Reference: does the database contain a w-walk? Direct DFS on the word. *)
+let ref_has_word_walk d w =
+  let rec go v i =
+    if i = String.length w then true
+    else
+      List.exists
+        (fun (_, (f : Db.fact)) -> f.Db.label = w.[i] && go f.Db.dst (i + 1))
+        (Db.out_edges d v)
+  in
+  List.exists (fun v -> go v 0) (List.init (Db.nnodes d) Fun.id)
+
+let prop_satisfies_vs_naive =
+  QCheck.Test.make ~name:"product evaluation = naive walk search (single word)" ~count:300
+    (QCheck.pair arb_db arb_word)
+    (fun (d, w) -> Eval.satisfies d (Automata.Nfa.of_words [ w ]) = ref_has_word_walk d w)
+
+let prop_matches_are_matches =
+  QCheck.Test.make ~name:"every enumerated match hits the query" ~count:100
+    (QCheck.pair arb_db arb_word)
+    (fun (d, w) ->
+      let l = Automata.Nfa.of_words [ w ] in
+      let ms = Eval.all_matches d l in
+      List.for_all
+        (fun m ->
+          (* keep only this match's facts: the query must still hold *)
+          let d' = Db.restrict d ~removed:(fun id -> not (Hypergraph.Iset.mem id m)) in
+          Eval.satisfies d' l)
+        ms)
+
+let test_serialize_roundtrip () =
+  let d = Db.make_bag ~nnodes:3 ~facts:[ (0, 'a', 1, 2); (1, 'b', 2, 1) ] in
+  match Serialize.of_string (Serialize.to_string d) with
+  | Ok (d2, _) ->
+      check_int "facts" (Db.fact_count d) (Db.fact_count d2);
+      check_int "total mult" (Db.total_mult d) (Db.total_mult d2)
+  | Error e -> Alcotest.fail e
+
+let test_serialize_errors () =
+  check "bad line" true (Result.is_error (Serialize.of_string "a bc"));
+  check "bad mult" true (Result.is_error (Serialize.of_string "u a v zero"));
+  check "comments ok" true (Result.is_ok (Serialize.of_string "# hi\nu a v\n"))
+
+let test_dot_export () =
+  let d = Db.make ~nnodes:2 ~facts:[ (0, 'a', 1) ] in
+  let dot = Serialize.to_dot d in
+  check "digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let a = Automata.Dot.of_nfa (lang "ab") in
+  check "nfa dot" true (String.sub a 0 7 = "digraph");
+  let df = Automata.Dot.of_dfa (Automata.Dfa.of_nfa (lang "ab")) in
+  check "dfa dot" true (String.sub df 0 7 = "digraph")
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialize/parse roundtrip preserves facts" ~count:100 arb_db (fun d ->
+      match Serialize.of_string (Serialize.to_string d) with
+      | Ok (d2, _) -> Db.fact_count d = Db.fact_count d2 && Db.total_mult d = Db.total_mult d2
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "graphdb"
+    [
+      ( "db",
+        [
+          Alcotest.test_case "basics" `Quick test_db_basics;
+          Alcotest.test_case "bag" `Quick test_db_bag;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "acyclic" `Quick test_acyclic;
+          Alcotest.test_case "reverse" `Quick test_reverse;
+          Alcotest.test_case "builder" `Quick test_builder;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "satisfies" `Quick test_satisfies;
+          Alcotest.test_case "walks repeat facts" `Quick test_walks_repeat_facts;
+          Alcotest.test_case "shortest witness" `Quick test_shortest_witness;
+          Alcotest.test_case "witness is a match" `Quick test_witness_is_match;
+          Alcotest.test_case "matches" `Quick test_matches;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "errors" `Quick test_serialize_errors;
+          Alcotest.test_case "dot" `Quick test_dot_export;
+        ] );
+      ( "properties",
+        List.map qcheck
+          [ prop_satisfies_vs_naive; prop_matches_are_matches; prop_serialize_roundtrip ] );
+    ]

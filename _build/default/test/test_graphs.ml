@@ -1,0 +1,96 @@
+(* Tests for undirected graphs: vertex cover, subdivisions (Prop 4.2),
+   bipartiteness. *)
+open Graphs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_make () =
+  let g = Ugraph.make ~n:3 ~edges:[ (0, 1); (1, 0); (1, 2) ] in
+  check_int "dedup" 2 (Ugraph.edge_count g);
+  check "self loop rejected" true
+    (try
+       ignore (Ugraph.make ~n:2 ~edges:[ (0, 0) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check (list int)) "neighbors" [ 0; 2 ] (List.sort compare (Ugraph.neighbors g 1))
+
+let test_vertex_cover_known () =
+  check_int "triangle" 2 (Ugraph.vertex_cover_number (Ugraph.cycle 3));
+  check_int "C5" 3 (Ugraph.vertex_cover_number (Ugraph.cycle 5));
+  check_int "P4 (3 edges)" 2 (Ugraph.vertex_cover_number (Ugraph.path 4));
+  check_int "K4" 3 (Ugraph.vertex_cover_number (Ugraph.complete 4));
+  check_int "K5" 4 (Ugraph.vertex_cover_number (Ugraph.complete 5));
+  check_int "empty" 0 (Ugraph.vertex_cover_number (Ugraph.make ~n:4 ~edges:[]));
+  (* star K_{1,4} *)
+  check_int "star" 1
+    (Ugraph.vertex_cover_number (Ugraph.make ~n:5 ~edges:[ (0, 1); (0, 2); (0, 3); (0, 4) ]))
+
+let test_is_vertex_cover () =
+  let g = Ugraph.cycle 4 in
+  check "alternating cover" true (Ugraph.is_vertex_cover g [ 0; 2 ]);
+  check "not a cover" false (Ugraph.is_vertex_cover g [ 0 ])
+
+let test_subdivide () =
+  let g = Ugraph.cycle 3 in
+  let g3 = Ugraph.subdivide g 3 in
+  check_int "C3 3-subdivision = C9 vertices" 9 (Ugraph.n g3);
+  check_int "C9 edges" 9 (Ugraph.edge_count g3);
+  check_int "identity" 3 (Ugraph.edge_count (Ugraph.subdivide g 1));
+  (* Proposition 4.2 on the triangle with l = 3: vc = k + m(l-1)/2 = 2 + 3 = 5 *)
+  check_int "Prop 4.2 triangle l=3" 5 (Ugraph.vertex_cover_number g3)
+
+let test_bipartite () =
+  check "even cycle" true (Ugraph.is_bipartite (Ugraph.cycle 4));
+  check "odd cycle" false (Ugraph.is_bipartite (Ugraph.cycle 5));
+  check "path" true (Ugraph.is_bipartite (Ugraph.path 6));
+  check "triangle" false (Ugraph.is_bipartite (Ugraph.complete 3));
+  check "empty" true (Ugraph.is_bipartite (Ugraph.make ~n:3 ~edges:[]));
+  match Ugraph.bipartition (Ugraph.path 3) with
+  | Some (color, _) -> check "proper coloring" true (color.(0) <> color.(1) && color.(1) <> color.(2))
+  | None -> Alcotest.fail "path is bipartite"
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let gen_graph =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let* seed = int_bound 10000 in
+    let* pi = int_bound 10 in
+    let p = float_of_int pi /. 10.0 in
+    return (Ugraph.random ~n ~p ~seed))
+
+let arb_graph =
+  QCheck.make ~print:(fun g -> Format.asprintf "%a" Ugraph.pp g) gen_graph
+
+let prop_vc_equals_brute =
+  QCheck.Test.make ~name:"vertex cover B&B = brute force" ~count:200 arb_graph (fun g ->
+      Ugraph.vertex_cover_number g = Ugraph.vertex_cover_bruteforce g)
+
+let prop_subdivision_formula =
+  QCheck.Test.make ~name:"Prop 4.2: vc(l-subdivision) = vc + m(l-1)/2" ~count:80
+    (QCheck.pair arb_graph (QCheck.make QCheck.Gen.(oneofl [ 3; 5 ])))
+    (fun (g, l) ->
+      let k = Ugraph.vertex_cover_number g and m = Ugraph.edge_count g in
+      Ugraph.vertex_cover_number (Ugraph.subdivide g l) = k + (m * (l - 1) / 2))
+
+let prop_odd_subdivision_bipartite_like =
+  QCheck.Test.make ~name:"2-subdivision is always bipartite" ~count:100 arb_graph (fun g ->
+      Ugraph.is_bipartite (Ugraph.subdivide g 2))
+
+let () =
+  Alcotest.run "graphs"
+    [
+      ( "ugraph",
+        [
+          Alcotest.test_case "make" `Quick test_make;
+          Alcotest.test_case "vertex cover (known)" `Quick test_vertex_cover_known;
+          Alcotest.test_case "is_vertex_cover" `Quick test_is_vertex_cover;
+          Alcotest.test_case "subdivide" `Quick test_subdivide;
+          Alcotest.test_case "bipartite" `Quick test_bipartite;
+        ] );
+      ( "properties",
+        List.map qcheck
+          [ prop_vc_equals_brute; prop_subdivision_formula; prop_odd_subdivision_bipartite_like ]
+      );
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the executable hardness proofs (Theorem 5.5 / Theorem 6.1 case
+   analyses) and the automatic gadget search. *)
+open Resilience
+
+let lang = Automata.Lang.of_string
+let check = Alcotest.(check bool)
+
+(* ---- maximal-gap words (Definition E.2) ---- *)
+
+let test_maximal_gap () =
+  (match Hardness.maximal_gap_word [ "abca"; "cab" ] with
+  | Some (w, a, beta, gamma, delta) ->
+      check "word" true (w = "abca");
+      check "letter" true (a = 'a');
+      check "decomposition" true (beta = "" && gamma = "bc" && delta = "")
+  | None -> Alcotest.fail "expected a repeated letter");
+  (match Hardness.maximal_gap_word [ "aa"; "aba" ] with
+  | Some (w, _, _, gamma, _) ->
+      (* aba has gap 1 > aa's gap 0 *)
+      check "prefers larger gap" true (w = "aba" && gamma = "b")
+  | None -> Alcotest.fail "expected");
+  (* tie on gap: longer word wins *)
+  (match Hardness.maximal_gap_word [ "aba"; "abab" ] with
+  | Some (w, _, _, _, _) -> check "longer word wins ties" true (w = "abab")
+  | None -> Alcotest.fail "expected");
+  check "no repeats" true (Hardness.maximal_gap_word [ "abc"; "de" ] = None)
+
+(* ---- stable legs (Lemma D.2) ---- *)
+
+let test_stable_legs () =
+  (* Appendix D's counterexample: L = x|axb|cxd with legs (a,b,c,d) is not
+     stable; stabilization must produce legs with no infix of αxδ in L. *)
+  let l = lang "x|axb|cxd" in
+  ignore l;
+  (* but that L is not reduced; use the reduced four-legged axb|cxd where the
+     original legs are already stable *)
+  let l2 = lang "axb|cxd" in
+  let x, al, be, ga, de = Hardness.stable_legs l2 ('x', "a", "b", "c", "d") in
+  check "already stable unchanged" true
+    ((x, al, be, ga, de) = ('x', "a", "b", "c", "d"));
+  (* a case that needs stabilization: L = axb|cxd|exd with witness
+     (x, a, b, ce, ?) hmm — use the generic property instead *)
+  let stable_property l witness =
+    let x, al, _, _, de = Hardness.stable_legs l witness in
+    let w = al ^ String.make 1 x ^ de in
+    not (List.exists (fun i -> i <> "" && Automata.Nfa.accepts l i) (Automata.Word.infixes w))
+  in
+  check "axb|cxd stable" true (stable_property l2 ('x', "a", "b", "c", "d"));
+  (* abcbd from the Thm 6.1 battery: witness derived by the analysis *)
+  let l3 = lang "aaaa" in
+  check "aaaa witness stabilizes" true (stable_property l3 ('a', "a", "aa", "aa", "a"))
+
+(* ---- four-legged gadget pipeline ---- *)
+
+let test_four_legged_pipeline () =
+  let cases =
+    [
+      ("axb|cxd", ('x', "a", "b", "c", "d"));
+      ("aexfb|cgxhd", ('x', "ae", "fb", "cg", "hd"));
+      ("axb|ccxd|cxb", ('x', "a", "b", "cc", "d"));
+      ("axb|cxd|cxb", ('x', "a", "b", "c", "d"));
+    ]
+  in
+  List.iter
+    (fun (s, w) ->
+      match Hardness.four_legged_gadget (lang s) w with
+      | Ok o -> check (s ^ " verified") true o.Hardness.verification.Gadgets.ok
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    cases;
+  (* a non-witness is rejected *)
+  (match Hardness.four_legged_gadget (lang "axb|cxd") ('x', "a", "b", "a", "b") with
+  | Error _ -> check "non-violation rejected" true true
+  | Ok _ -> Alcotest.fail "expected rejection")
+
+(* ---- Theorem 6.1 executable case analysis ---- *)
+
+let thm61_battery =
+  [
+    ("aa", "Lemma E.4");
+    ("aaa", "Claim E.9");
+    ("aab", "Lemma E.4");
+    ("aba", "Lemma E.4");
+    ("abba", "Lemma E.4");
+    ("aba|bab", "Claim E.8");
+    ("abca|cab", "Claim E.11");
+    ("abab", "Lemma E.4");
+    ("abcabd", "Lemma E.4");
+    ("aabc", "Lemma E.4");
+    ("abcda", "Lemma E.4");
+    ("abcbd", "Thm 5.5 case 1");
+    ("aa|bb", "Lemma E.4");
+    ("abcadbce", "Thm 5.5 case 1");
+  ]
+
+let test_thm61_battery () =
+  List.iter
+    (fun (s, expected_prefix) ->
+      match Hardness.thm61_gadget (lang s) with
+      | Ok o ->
+          check (s ^ " verified") true o.Hardness.verification.Gadgets.ok;
+          let p = expected_prefix in
+          let got = o.Hardness.strategy in
+          check
+            (Printf.sprintf "%s strategy %s starts with %s" s got p)
+            true
+            (String.length got >= String.length p && String.sub got 0 (String.length p) = p)
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    thm61_battery
+
+let test_thm61_mirrored () =
+  (* A language needing the mirror step: maximal-gap word with β ≠ ε, δ = ε:
+     e.g. bcaa: β = bc? decomposition of bcaa: a@2, a@3: β = "bc", γ = "",
+     δ = "" — δ = ε, β ≠ ε → mirror. *)
+  match Hardness.thm61_gadget (lang "bcaa") with
+  | Ok o ->
+      check "mirrored" true o.Hardness.mirrored;
+      check "verified" true o.Hardness.verification.Gadgets.ok
+  | Error e -> Alcotest.fail e
+
+let test_thm61_rejections () =
+  (match Hardness.thm61_gadget (lang "abc|ca") with
+  | Error _ -> check "no repeated letter rejected" true true
+  | Ok _ -> Alcotest.fail "expected rejection");
+  (match Hardness.thm61_gadget (lang "abcda|cd") with
+  | Error _ -> check "non-reduced rejected" true true
+  | Ok _ -> Alcotest.fail "expected rejection");
+  match Hardness.thm61_gadget (lang "a(bb)*c") with
+  | Error _ -> check "infinite rejected" true true
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+(* The produced gadget really proves hardness: end-to-end reduction check. *)
+let test_thm61_end_to_end () =
+  List.iter
+    (fun s ->
+      match Hardness.thm61_gadget (lang s) with
+      | Ok o ->
+          let g = o.Hardness.gadget and l = o.Hardness.language in
+          check (s ^ " reduction") true (Gadgets.reduction_check g l (Graphs.Ugraph.path 3))
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    [ "aa"; "aab"; "aba"; "abca|cab" ]
+
+(* ---- gadget search ---- *)
+
+let test_search_rediscovers () =
+  List.iter
+    (fun s ->
+      match Gadget_search.certify_np_hard (lang s) with
+      | Some f -> check (s ^ " found") true f.Gadget_search.verification.Gadgets.ok
+      | None -> Alcotest.fail (s ^ ": search failed"))
+    [ "aa"; "aba|bab"; "ab|bc|ca" ]
+
+let test_search_respects_budget () =
+  (* with a tiny budget the search gives up (soundly) *)
+  match Gadget_search.search ~max_candidates:1 (lang "ab|bc|ca") with
+  | None -> check "budget respected" true true
+  | Some _ -> check "found within 1 candidate (fine too)" true true
+
+let test_search_rejects_infinite () =
+  check "infinite language" true (Gadget_search.search (lang "ax*b") = None)
+
+let test_candidate_builder_double_share () =
+  (* Double shares glue two adjacent facts: rebuild the aba|bab cluster where
+     the guard matches of Fig 11 share two facts with their neighbors. *)
+  let g =
+    Gadget_search.build_candidate ~label:'a'
+      ~words:[| "aba"; "bab"; "aba"; "bab"; "aba" |]
+      ~shares:
+        [|
+          Gadget_search.Double (1, 0);
+          Gadget_search.Double (1, 0);
+          Gadget_search.Double (1, 0);
+          Gadget_search.Double (1, 0);
+        |]
+  in
+  (* not necessarily a valid gadget, but it must be structurally sound *)
+  check "well-formed or rejected cleanly" true
+    (match Gadgets.well_formed g with Ok () | Error _ -> true);
+  (* the search with only Double shares available must still terminate *)
+  match Gadget_search.search ~max_matches:3 (lang "aba|bab") with
+  | Some f -> check "found verifies" true f.Gadget_search.verification.Gadgets.ok
+  | None -> check "none at k=3 is fine" true true
+
+let test_report_unclassified () =
+  match Report.analyze "abcd|be" with
+  | Ok r ->
+      check "verdict open" true
+        (match r.Report.verdict with Classify.Unclassified _ -> true | _ -> false);
+      check "no gadget found" true (r.Report.gadget = None)
+  | Error e -> Alcotest.fail e
+
+let test_candidate_builder () =
+  (* rebuilding the aa chain by hand through the public API *)
+  let g =
+    Gadget_search.build_candidate ~label:'a'
+      ~words:[| "aa"; "aa"; "aa"; "aa"; "aa" |]
+      ~shares:
+        [|
+          Gadget_search.Single (1, 0);
+          Gadget_search.Single (1, 0);
+          Gadget_search.Single (1, 1);
+          Gadget_search.Single (0, 1);
+        |]
+  in
+  check "well-formed" true (Gadgets.well_formed g = Ok ());
+  check "verifies" true (Gadgets.verify g (lang "aa")).Gadgets.ok
+
+let () =
+  Alcotest.run "hardness"
+    [
+      ( "ingredients",
+        [
+          Alcotest.test_case "maximal-gap words" `Quick test_maximal_gap;
+          Alcotest.test_case "stable legs" `Quick test_stable_legs;
+        ] );
+      ( "four-legged",
+        [ Alcotest.test_case "Thm 5.5 pipeline" `Quick test_four_legged_pipeline ] );
+      ( "thm61",
+        [
+          Alcotest.test_case "battery" `Quick test_thm61_battery;
+          Alcotest.test_case "mirroring" `Quick test_thm61_mirrored;
+          Alcotest.test_case "rejections" `Quick test_thm61_rejections;
+          Alcotest.test_case "end-to-end reductions" `Slow test_thm61_end_to_end;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "rediscovers known gadgets" `Quick test_search_rediscovers;
+          Alcotest.test_case "budget" `Quick test_search_respects_budget;
+          Alcotest.test_case "infinite" `Quick test_search_rejects_infinite;
+          Alcotest.test_case "candidate builder" `Quick test_candidate_builder;
+          Alcotest.test_case "double shares" `Quick test_candidate_builder_double_share;
+          Alcotest.test_case "report on open case" `Slow test_report_unclassified;
+        ] );
+    ]

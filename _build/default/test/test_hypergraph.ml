@@ -1,0 +1,145 @@
+(* Tests for hypergraphs, condensation (Claim 4.8) and hitting sets. *)
+module H = Hypergraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk vs es = H.make ~vertices:vs ~edges:es
+
+let test_make () =
+  let h = mk [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 2; 1 ] ] in
+  check_int "dedup edges" 2 (H.edge_count h);
+  check_int "vertices" 3 (H.vertex_count h);
+  check "bad vertex rejected" true
+    (try
+       ignore (mk [ 1 ] [ [ 2 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_edge_domination () =
+  (* {1,2} ⊂ {1,2,3}: the superset is removed *)
+  let h = H.condense (mk [ 1; 2; 3 ] [ [ 1; 2 ]; [ 1; 2; 3 ] ]) in
+  check "edges" true (H.edges h = [ [ 1; 2 ] ] || H.edges h = [ [ 1 ] ] || H.edges h = [ [ 2 ] ])
+
+let test_node_domination () =
+  (* vertex 3 occurs only where 2 occurs: it is dominated *)
+  let h = H.condense ~protected:[ 1; 2 ] (mk [ 1; 2; 3 ] [ [ 1; 2; 3 ]; [ 2; 3 ] ]) in
+  check "3 removed" true (not (List.mem 3 (H.vertices h)))
+
+let test_protected () =
+  let h0 = mk [ 1; 2 ] [ [ 1; 2 ] ] in
+  let h = H.condense ~protected:[ 1; 2 ] h0 in
+  check "protected survive" true (List.mem 1 (H.vertices h) && List.mem 2 (H.vertices h));
+  check "edge intact" true (H.edges h = [ [ 1; 2 ] ])
+
+let test_odd_path () =
+  let path = mk [ 1; 2; 3; 4 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ] in
+  check "odd path" true (H.is_odd_path path ~src:1 ~dst:4);
+  check "wrong endpoints" false (H.is_odd_path path ~src:1 ~dst:3);
+  let even = mk [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ] ] in
+  check "even path" false (H.is_odd_path even ~src:1 ~dst:3);
+  let tri = mk [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ] ] in
+  check "cycle" false (H.is_odd_path tri ~src:1 ~dst:2);
+  let big = mk [ 1; 2; 3 ] [ [ 1; 2; 3 ] ] in
+  check "size-3 edge" false (H.is_odd_path big ~src:1 ~dst:2);
+  (* isolated vertices are tolerated *)
+  let iso = mk [ 0; 1; 2; 3; 4 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ] in
+  check "isolated ok" true (H.is_odd_path iso ~src:1 ~dst:4)
+
+let test_path_endpoints () =
+  match H.path_endpoints_length (mk [ 1; 2; 3; 4 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ]) with
+  | Some (a, b, len) ->
+      check "endpoints" true ((a, b) = (1, 4) || (a, b) = (4, 1));
+      check_int "length" 3 len
+  | None -> Alcotest.fail "expected a path"
+
+let test_hitting_set () =
+  let h = mk [ 1; 2; 3; 4 ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ] ] in
+  let v, s = H.min_hitting_set h in
+  check_int "value" 2 v;
+  check "witness hits" true
+    (List.for_all (fun e -> List.exists (fun x -> List.mem x s) e) (H.edges h));
+  (* weighted: making 2 expensive steers the optimum to {1, 3} *)
+  let w v = if v = 2 then 10 else 1 in
+  let v2, _ = H.min_hitting_set ~weights:w h in
+  check_int "weighted value" 2 v2;
+  check "empty edge rejected" true
+    (try
+       ignore (H.min_hitting_set (mk [ 1 ] [ [] ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_hitting_set_empty () =
+  let v, s = H.min_hitting_set (mk [ 1; 2 ] []) in
+  check_int "no edges" 0 v;
+  check "empty witness" true (s = [])
+
+let test_trace () =
+  let h = mk [ 1; 2; 3 ] [ [ 1; 2 ]; [ 1; 2; 3 ] ] in
+  let c, steps = H.condense_trace ~protected:[ 1 ] h in
+  check "some steps" true (steps <> []);
+  check "edge-domination recorded" true
+    (List.exists (function H.Removed_edge [ 1; 2; 3 ] -> true | _ -> false) steps);
+  (* replaying the trace is consistent: the condensed result equals condense *)
+  check "same as condense" true (H.edges c = H.edges (H.condense ~protected:[ 1 ] h))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let gen_hg =
+  QCheck.Gen.(
+    let* n = int_range 1 7 in
+    let* m = int_range 0 6 in
+    let* edges =
+      list_repeat m (list_size (int_range 1 3) (int_bound (n - 1)))
+    in
+    return (List.init n Fun.id, edges))
+
+let arb_hg =
+  QCheck.make
+    ~print:(fun (vs, es) ->
+      Printf.sprintf "V=%d E=[%s]" (List.length vs)
+        (String.concat ";" (List.map (fun e -> String.concat "," (List.map string_of_int e)) es)))
+    gen_hg
+
+let prop_condense_preserves_hitting_set =
+  QCheck.Test.make ~name:"condensation preserves min hitting set (Claim 4.8)" ~count:300 arb_hg
+    (fun (vs, es) ->
+      let h = mk vs es in
+      let c = H.condense h in
+      H.min_hitting_set_bruteforce h = H.min_hitting_set_bruteforce c)
+
+let prop_bnb_equals_brute =
+  QCheck.Test.make ~name:"branch and bound = brute force" ~count:300 arb_hg (fun (vs, es) ->
+      let h = mk vs es in
+      fst (H.min_hitting_set h) = H.min_hitting_set_bruteforce h)
+
+let prop_weighted_bnb =
+  QCheck.Test.make ~name:"weighted branch and bound = weighted brute force" ~count:200
+    (QCheck.pair arb_hg (QCheck.make QCheck.Gen.(int_range 1 5)))
+    (fun ((vs, es), wseed) ->
+      let h = mk vs es in
+      let w v = 1 + ((v * wseed) mod 4) in
+      fst (H.min_hitting_set ~weights:w h) = H.min_hitting_set_bruteforce ~weights:w h)
+
+let () =
+  Alcotest.run "hypergraph"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "make" `Quick test_make;
+          Alcotest.test_case "edge domination" `Quick test_edge_domination;
+          Alcotest.test_case "node domination" `Quick test_node_domination;
+          Alcotest.test_case "protected vertices" `Quick test_protected;
+          Alcotest.test_case "odd path" `Quick test_odd_path;
+          Alcotest.test_case "path endpoints" `Quick test_path_endpoints;
+          Alcotest.test_case "condensation trace" `Quick test_trace;
+        ] );
+      ( "hitting set",
+        [
+          Alcotest.test_case "basic" `Quick test_hitting_set;
+          Alcotest.test_case "no edges" `Quick test_hitting_set_empty;
+        ] );
+      ( "properties",
+        List.map qcheck
+          [ prop_condense_preserves_hitting_set; prop_bnb_equals_brute; prop_weighted_bnb ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the simplex / ILP substrate and the ILP resilience baseline. *)
+open Lp
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let approx a b = abs_float (a -. b) < 1e-6
+
+(* ---- simplex ---- *)
+
+let test_simplex_basic () =
+  (* min x + y  s.t. x + y >= 1, x >= 0.3: optimum 1 *)
+  let p =
+    {
+      Simplex.ncols = 2;
+      objective = [| 1.0; 1.0 |];
+      rows = [ ([| 1.0; 1.0 |], 1.0); ([| 1.0; 0.0 |], 0.3) ];
+      upper = [| None; None |];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { value; solution } ->
+      check "value 1" true (approx value 1.0);
+      check "x >= 0.3" true (solution.(0) >= 0.3 -. 1e-9)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_upper_bounds () =
+  (* min x + 2y  s.t. x + y >= 3, x <= 1: forces y >= 2: optimum 1 + 4 = 5 *)
+  let p =
+    {
+      Simplex.ncols = 2;
+      objective = [| 1.0; 2.0 |];
+      rows = [ ([| 1.0; 1.0 |], 3.0) ];
+      upper = [| Some 1.0; None |];
+    }
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { value; _ } -> check "value 5" true (approx value 5.0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_simplex_infeasible () =
+  (* x <= 1 (via upper) and x >= 2 *)
+  let p =
+    {
+      Simplex.ncols = 1;
+      objective = [| 1.0 |];
+      rows = [ ([| 1.0 |], 2.0) ];
+      upper = [| Some 1.0 |];
+    }
+  in
+  check "infeasible" true (Simplex.solve p = Simplex.Infeasible)
+
+let test_simplex_fractional_cover () =
+  (* LP relaxation of the odd cycle cover {1,2},{2,3},{1,3}: optimum 1.5 *)
+  let p =
+    Simplex.lp_relaxation_of_cover ~nvars:3 ~weights:[| 1.0; 1.0; 1.0 |]
+      ~sets:[ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ]
+  in
+  match Simplex.solve p with
+  | Simplex.Optimal { value; _ } -> check "value 1.5" true (approx value 1.5)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* ---- ILP ---- *)
+
+let test_ilp_triangle () =
+  (* integral optimum of the triangle cover is 2 (vs LP bound 1.5) *)
+  let inst =
+    { Ilp.nvars = 3; weights = [| 1; 1; 1 |]; covers = [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] }
+  in
+  match Ilp.solve inst with
+  | Ok sol ->
+      check_int "value 2" 2 sol.Ilp.value;
+      check "lp bound 1.5" true (approx sol.Ilp.lp_bound 1.5);
+      (* assignment covers *)
+      check "covers" true
+        (List.for_all
+           (fun s -> List.exists (fun i -> sol.Ilp.assignment.(i)) s)
+           inst.Ilp.covers)
+  | Error e -> Alcotest.fail e
+
+let test_ilp_weighted () =
+  (* covering {0,1} with weights 5,1: pick 1 *)
+  let inst = { Ilp.nvars = 2; weights = [| 5; 1 |]; covers = [ [ 0; 1 ] ] } in
+  match Ilp.solve inst with
+  | Ok sol ->
+      check_int "value 1" 1 sol.Ilp.value;
+      check "picked cheap" true (sol.Ilp.assignment.(1) && not sol.Ilp.assignment.(0))
+  | Error e -> Alcotest.fail e
+
+let test_ilp_infeasible () =
+  check "empty cover" true
+    (Result.is_error (Ilp.solve { Ilp.nvars = 1; weights = [| 1 |]; covers = [ [] ] }))
+
+(* ---- properties ---- *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let gen_cover =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let* m = int_range 0 8 in
+    let* covers = list_repeat m (list_size (int_range 1 3) (int_bound (n - 1))) in
+    let* weights = array_repeat n (int_range 1 5) in
+    return { Ilp.nvars = n; weights; covers })
+
+let arb_cover =
+  QCheck.make
+    ~print:(fun i ->
+      Printf.sprintf "n=%d w=[%s] covers=[%s]" i.Ilp.nvars
+        (String.concat ";" (Array.to_list (Array.map string_of_int i.Ilp.weights)))
+        (String.concat "|"
+           (List.map (fun s -> String.concat "," (List.map string_of_int s)) i.Ilp.covers)))
+    gen_cover
+
+(* Reference: brute force over assignments. *)
+let brute inst =
+  let n = inst.Ilp.nvars in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n) - 1 do
+    let ok =
+      List.for_all (fun s -> List.exists (fun i -> mask land (1 lsl i) <> 0) s) inst.Ilp.covers
+    in
+    if ok then begin
+      let v = ref 0 in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then v := !v + inst.Ilp.weights.(i)
+      done;
+      if !v < !best then best := !v
+    end
+  done;
+  !best
+
+let prop_ilp_vs_brute =
+  QCheck.Test.make ~name:"ILP branch&bound = brute force" ~count:200 arb_cover (fun inst ->
+      match Ilp.solve inst with Ok sol -> sol.Ilp.value = brute inst | Error _ -> false)
+
+let prop_lp_lower_bound =
+  QCheck.Test.make ~name:"LP relaxation lower-bounds the ILP optimum" ~count:200 arb_cover
+    (fun inst ->
+      match (Ilp.solve inst, Ilp.lp_bound inst) with
+      | Ok sol, Ok lp -> lp <= float_of_int sol.Ilp.value +. 1e-6
+      | _ -> false)
+
+(* ---- the ILP resilience baseline ---- *)
+
+let lang = Automata.Lang.of_string
+
+let test_ilp_resilience () =
+  let d =
+    Graphdb.Db.make ~nnodes:5
+      ~facts:[ (0, 'a', 1); (1, 'a', 2); (2, 'a', 3); (3, 'a', 4) ]
+  in
+  (match Resilience.Ilp_solver.solve d (lang "aa") with
+  | Ok (v, w) ->
+      check "value 2" true (Resilience.Value.equal v (Resilience.Value.Finite 2));
+      (* witness is a real contingency set *)
+      let d' = Graphdb.Db.restrict d ~removed:(fun id -> List.mem id w) in
+      check "witness" true (not (Graphdb.Eval.satisfies d' (lang "aa")))
+  | Error e -> Alcotest.fail e);
+  (* ε ∈ L *)
+  match Resilience.Ilp_solver.solve d (lang "a*") with
+  | Ok (v, _) -> check "infinite" true (v = Resilience.Value.Infinite)
+  | Error e -> Alcotest.fail e
+
+let arb_db =
+  QCheck.make
+    ~print:(fun (d : Graphdb.Db.t) -> Format.asprintf "%a" Graphdb.Db.pp d)
+    QCheck.Gen.(
+      let* seed = int_bound 100000 in
+      let* nnodes = int_range 2 5 in
+      let* nfacts = int_range 1 8 in
+      return
+        (Graphdb.Generate.random ~nnodes ~nfacts ~alphabet:[ 'a'; 'b'; 'c' ] ~max_mult:3 ~seed ()))
+
+let prop_ilp_resilience_vs_exact =
+  let langs = [ "aa"; "ab|bc"; "abc"; "ab|bc|ca" ] in
+  QCheck.Test.make ~name:"ILP resilience = branch&bound resilience" ~count:120
+    (QCheck.pair arb_db (QCheck.oneofl langs))
+    (fun (d, s) ->
+      let l = lang s in
+      match Resilience.Ilp_solver.solve d l with
+      | Ok (v, _) -> Resilience.Value.equal v (fst (Resilience.Exact.branch_and_bound d l))
+      | Error _ -> false)
+
+let prop_lp_bound_below_resilience =
+  QCheck.Test.make ~name:"LP relaxation <= resilience" ~count:100
+    (QCheck.pair arb_db (QCheck.oneofl [ "aa"; "ab|bc" ]))
+    (fun (d, s) ->
+      let l = lang s in
+      match (Resilience.Ilp_solver.lp_relaxation d l, Resilience.Exact.branch_and_bound d l) with
+      | Ok lp, (Resilience.Value.Finite v, _) -> lp <= float_of_int v +. 1e-6
+      | _ -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic" `Quick test_simplex_basic;
+          Alcotest.test_case "upper bounds" `Quick test_simplex_upper_bounds;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "fractional cover" `Quick test_simplex_fractional_cover;
+        ] );
+      ( "ilp",
+        [
+          Alcotest.test_case "triangle" `Quick test_ilp_triangle;
+          Alcotest.test_case "weighted" `Quick test_ilp_weighted;
+          Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
+        ] );
+      ( "resilience baseline",
+        [ Alcotest.test_case "aa path" `Quick test_ilp_resilience ] );
+      ( "properties",
+        List.map qcheck
+          [
+            prop_ilp_vs_brute;
+            prop_lp_lower_bound;
+            prop_ilp_resilience_vs_exact;
+            prop_lp_bound_below_resilience;
+          ] );
+    ]

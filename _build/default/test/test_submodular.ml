@@ -1,0 +1,116 @@
+(* Tests for submodular function minimization (Fujishige–Wolfe vs brute
+   force) on standard submodular families. *)
+open Submodular
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let size s = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s
+
+(* Cut function of a directed graph with weights: f(S) = w(δ⁺(S)). *)
+let cut_fn edges s =
+  List.fold_left
+    (fun acc (u, v, w) -> if s.(u) && not s.(v) then acc + w else acc)
+    0 edges
+
+(* Coverage-style: f(S) = |∪_{i∈S} A_i| (monotone submodular), shifted. *)
+let coverage_fn sets s =
+  let u = Hashtbl.create 16 in
+  Array.iteri (fun i b -> if b then List.iter (fun x -> Hashtbl.replace u x ()) sets.(i)) s;
+  Hashtbl.length u
+
+let test_bruteforce_modular () =
+  (* modular function: f(S) = Σ w_i - shifted: minimum picks negatives *)
+  let w = [| 3; -2; 5; -1 |] in
+  let f s =
+    let acc = ref 0 in
+    Array.iteri (fun i b -> if b then acc := !acc + w.(i)) s;
+    !acc
+  in
+  let v, s = Sfm.minimize_bruteforce ~n:4 f in
+  check_int "modular min" (-3) v;
+  check "picked negatives" true (s.(1) && s.(3) && (not s.(0)) && not s.(2))
+
+let test_is_submodular () =
+  check "cut is submodular" true
+    (Sfm.is_submodular ~n:4 (cut_fn [ (0, 1, 2); (1, 2, 1); (2, 3, 4); (0, 3, 1) ]));
+  check "coverage is submodular" true
+    (Sfm.is_submodular ~n:3 (coverage_fn [| [ 1; 2 ]; [ 2; 3 ]; [ 4 ] |]));
+  (* a supermodular counterexample: f(S) = |S|² *)
+  let f s = size s * size s in
+  check "square not submodular" false (Sfm.is_submodular ~n:3 f)
+
+let test_wolfe_known () =
+  let f = cut_fn [ (0, 1, 2); (1, 2, 1); (2, 0, 3) ] in
+  let v, _ = Sfm.minimize ~n:3 f in
+  let bv, _ = Sfm.minimize_bruteforce ~n:3 f in
+  check_int "wolfe = brute (cycle cut)" bv v;
+  (* empty ground set *)
+  let v0, _ = Sfm.minimize ~n:0 (fun _ -> 42) in
+  check_int "empty ground set" 42 v0
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let gen_cut =
+  QCheck.Gen.(
+    let* n = int_range 1 7 in
+    let* m = int_range 0 12 in
+    let* edges =
+      list_repeat m
+        (let* u = int_bound (n - 1) in
+         let* v = int_bound (n - 1) in
+         let* w = int_range 1 6 in
+         return (u, v, w))
+    in
+    return (n, List.filter (fun (u, v, _) -> u <> v) edges))
+
+let arb_cut =
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d [%s]" n
+        (String.concat ";" (List.map (fun (u, v, w) -> Printf.sprintf "%d->%d:%d" u v w) es)))
+    gen_cut
+
+let prop_cut_submodular =
+  QCheck.Test.make ~name:"directed cut functions are submodular" ~count:100 arb_cut
+    (fun (n, edges) -> Sfm.is_submodular ~n (cut_fn edges))
+
+let prop_wolfe_equals_brute_cut =
+  QCheck.Test.make ~name:"Fujishige–Wolfe = brute force on cut functions" ~count:150 arb_cut
+    (fun (n, edges) ->
+      let f = cut_fn edges in
+      fst (Sfm.minimize ~n f) = fst (Sfm.minimize_bruteforce ~n f))
+
+(* Cut plus modular offset: minimum can be non-trivial on both sides. *)
+let prop_wolfe_equals_brute_mixed =
+  QCheck.Test.make ~name:"Fujishige–Wolfe = brute force on cut + modular" ~count:150
+    (QCheck.pair arb_cut (QCheck.make QCheck.Gen.(int_range (-3) 3)))
+    (fun ((n, edges), shift) ->
+      let f s = cut_fn edges s + (shift * size s) in
+      fst (Sfm.minimize ~n f) = fst (Sfm.minimize_bruteforce ~n f))
+
+let prop_wolfe_returned_set_matches_value =
+  QCheck.Test.make ~name:"returned set evaluates to returned value" ~count:150 arb_cut
+    (fun (n, edges) ->
+      let f = cut_fn edges in
+      let v, s = Sfm.minimize ~n f in
+      f s = v)
+
+let () =
+  Alcotest.run "submodular"
+    [
+      ( "sfm",
+        [
+          Alcotest.test_case "brute force modular" `Quick test_bruteforce_modular;
+          Alcotest.test_case "submodularity checker" `Quick test_is_submodular;
+          Alcotest.test_case "wolfe known cases" `Quick test_wolfe_known;
+        ] );
+      ( "properties",
+        List.map qcheck
+          [
+            prop_cut_submodular;
+            prop_wolfe_equals_brute_cut;
+            prop_wolfe_equals_brute_mixed;
+            prop_wolfe_returned_set_matches_value;
+          ] );
+    ]
