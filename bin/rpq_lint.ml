@@ -1,0 +1,39 @@
+(* Lint driver: scans lib/ for banned constructs and missing interfaces.
+   Usage: rpq_lint [REPO_ROOT]. Without an argument, walks up from the
+   current directory to the nearest dune-project. Exit code 1 on findings. *)
+
+let rec find_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_root parent
+
+let () =
+  let root =
+    match Array.to_list Sys.argv with
+    | [ _; dir ] -> Some dir
+    | [ _ ] -> find_root (Sys.getcwd ())
+    | _ ->
+        prerr_endline "usage: rpq_lint [REPO_ROOT]";
+        exit 2
+  in
+  match root with
+  | None ->
+      prerr_endline "rpq_lint: no dune-project above the current directory";
+      exit 2
+  | Some root ->
+      let lib_root = Filename.concat root "lib" in
+      if not (Sys.file_exists lib_root && Sys.is_directory lib_root) then begin
+        Printf.eprintf "rpq_lint: %s is not a directory\n" lib_root;
+        exit 2
+      end;
+      let findings =
+        Lint.filter_allowlist ~allowlist:Lint.default_allowlist
+          (Lint.scan_lib ~lib_root)
+      in
+      List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings;
+      if findings = [] then print_endline "rpq_lint: clean"
+      else begin
+        Printf.printf "rpq_lint: %d finding(s)\n" (List.length findings);
+        exit 1
+      end

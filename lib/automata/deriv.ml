@@ -54,7 +54,8 @@ let dfa ?(max_states = 10_000) e =
     match Hashtbl.find_opt tbl e with
     | Some id -> (id, false)
     | None ->
-        if !count >= max_states then failwith "Deriv.dfa: state bound exceeded";
+        if !count >= max_states then
+          Invariant.internal_error "Deriv.dfa: state bound %d exceeded" max_states;
         let id = !count in
         incr count;
         Hashtbl.add tbl e id;
@@ -79,7 +80,12 @@ let dfa ?(max_states = 10_000) e =
   let n = !count in
   let final = Array.make n false in
   List.iter (fun (id, e) -> final.(id) <- Regex.nullable e) !states;
-  let delta = Array.init n (fun id -> Hashtbl.find rows id) in
+  let delta =
+    Array.init n (fun id ->
+        match Hashtbl.find_opt rows id with
+        | Some row -> row
+        | None -> Invariant.internal_error "Deriv.dfa: unexplored state %d" id)
+  in
   (* Reuse the NFA -> DFA path only for the record construction: build via
      an NFA whose determinization is trivial. Simpler: go through Dfa by
      constructing an equivalent NFA. *)

@@ -97,7 +97,12 @@ let of_nfa (a : Nfa.t) =
     let n = !count in
     let final = Array.make n false in
     List.iter (fun (id, f) -> final.(id) <- f) !finals;
-    let delta = Array.init n (fun id -> Hashtbl.find rows id) in
+    let delta =
+      Array.init n (fun id ->
+          match Hashtbl.find_opt rows id with
+          | Some row -> row
+          | None -> Invariant.internal_error "Dfa.of_nfa: unexplored subset state %d" id)
+    in
     { nstates = n; alpha; init = init_id; final; delta }
   end
 
@@ -309,7 +314,11 @@ let shortest_word d =
   (try
      while not (Queue.is_empty queue) do
        let s = Queue.pop queue in
-       let w = Option.get witness.(s) in
+       let w =
+         match witness.(s) with
+         | Some w -> w
+         | None -> Invariant.internal_error "Dfa.shortest_word: queued state %d has no witness" s
+       in
        if d.final.(s) then begin
          result := Some w;
          raise Exit
@@ -341,6 +350,62 @@ let is_local_dfa d =
           row)
     d.delta;
   !ok
+
+let unsafe_create ~nstates ~alpha ~init ~final ~delta =
+  { nstates; alpha; init; final; delta }
+
+let validate ?(expect_reachable = false) d =
+  let module C = Invariant.Collector in
+  let c = C.create "Dfa" in
+  let nletters = Array.length d.alpha in
+  C.check c (d.nstates >= 1) ~invariant:"state-count"
+    "a complete DFA needs at least one state, got %d" d.nstates;
+  C.check c
+    (d.init >= 0 && d.init < d.nstates)
+    ~invariant:"initial-range" "initial state %d outside [0,%d)" d.init d.nstates;
+  for i = 0 to nletters - 2 do
+    C.check c
+      (d.alpha.(i) < d.alpha.(i + 1))
+      ~invariant:"alphabet-sorted" "alphabet not strictly increasing at index %d (%C >= %C)" i
+      d.alpha.(i)
+      d.alpha.(i + 1)
+  done;
+  C.check c
+    (Array.length d.final = d.nstates)
+    ~invariant:"final-length" "final array has length %d, expected %d" (Array.length d.final)
+    d.nstates;
+  C.check c
+    (Array.length d.delta = d.nstates)
+    ~invariant:"totality" "delta has %d rows, expected %d" (Array.length d.delta) d.nstates;
+  Array.iteri
+    (fun s row ->
+      C.check c
+        (Array.length row = nletters)
+        ~invariant:"totality" "state %d has %d transitions, expected one per letter (%d)" s
+        (Array.length row) nletters;
+      Array.iteri
+        (fun li s' ->
+          C.check c
+            (s' >= 0 && s' < d.nstates)
+            ~invariant:"transition-range" "delta(%d, %d) = %d outside [0,%d)" s li s' d.nstates)
+        row)
+    d.delta;
+  (* Reachable-state accounting: constructions that intern states on the fly
+     (of_nfa, minimize) must not leave orphans. *)
+  if expect_reachable && C.violations c = [] then begin
+    let seen = Array.make d.nstates false in
+    let rec go s =
+      if not seen.(s) then begin
+        seen.(s) <- true;
+        Array.iter go d.delta.(s)
+      end
+    in
+    go d.init;
+    let reached = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen in
+    C.check c (reached = d.nstates) ~invariant:"reachability"
+      "%d of %d states unreachable from the initial state" (d.nstates - reached) d.nstates
+  end;
+  C.result c
 
 let pp ppf d =
   Format.fprintf ppf "@[<v>DFA: %d states over %a, init %d@," d.nstates Cset.pp (alphabet d)

@@ -70,4 +70,17 @@ val is_local_dfa : t -> bool
     same target. (This tests whether this DFA is a local DFA, not whether the
     language is local; see {!Local.is_local_language} for the latter.) *)
 
+val unsafe_create :
+  nstates:int -> alpha:char array -> init:int -> final:bool array -> delta:int array array -> t
+(** Builds the record with {e no} well-formedness checks. Only for tests of
+    {!validate} and trusted deserialization paths. *)
+
+val validate : ?expect_reachable:bool -> t -> (unit, Invariant.violation list) result
+(** Machine-checks completeness: at least one state, the alphabet strictly
+    sorted (required by the binary search of [accepts]), [final] and [delta]
+    of length [nstates], every row total with in-range targets. With
+    [~expect_reachable:true] additionally demands that every state be
+    reachable from [init], which holds for the interning constructions
+    ({!of_nfa}, {!minimize}) but not necessarily for {!product}. *)
+
 val pp : Format.formatter -> t -> unit

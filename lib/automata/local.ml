@@ -78,7 +78,11 @@ let ro_enfa_of_profile sigma p =
   let alpha = Array.of_list (Cset.elements sigma) in
   let index = Hashtbl.create 16 in
   Array.iteri (fun i c -> Hashtbl.add index c i) alpha;
-  let idx c = Hashtbl.find index c in
+  let idx c =
+    match Hashtbl.find_opt index c with
+    | Some i -> i
+    | None -> Invariant.internal_error "Local.ro_enfa_of_profile: letter %C not in \xce\xa3" c
+  in
   let s_in c = 2 * idx c and s_out c = (2 * idx c) + 1 in
   let nletters = Array.length alpha in
   let eps_state = 2 * nletters in
@@ -193,7 +197,7 @@ let violation_search ~nonempty_legs a ~bound =
           let left = String.sub w 0 i in
           let right = String.sub w (i + 1) (String.length w - i - 1) in
           if (not nonempty_legs) || (left <> "" && right <> "") then begin
-            let prev = try Hashtbl.find contexts x with Not_found -> [] in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt contexts x) in
             Hashtbl.replace contexts x ((left, right) :: prev)
           end)
         w)

@@ -281,6 +281,56 @@ let rename f a =
     trans = List.map (fun (s, sym, s') -> (s, (match sym with Eps -> Eps | Ch c -> Ch (f c)), s')) a.trans;
   }
 
+let unsafe_create ~nstates ~alphabet ~initial ~final ~trans =
+  { nstates; alphabet; initial; final; trans }
+
+let validate a =
+  let module C = Invariant.Collector in
+  let c = C.create "Nfa" in
+  C.check c (a.nstates >= 0) ~invariant:"state-count" "nstates = %d is negative" a.nstates;
+  let in_range s = s >= 0 && s < a.nstates in
+  List.iter
+    (fun s ->
+      C.check c (in_range s) ~invariant:"initial-range" "initial state %d outside [0,%d)" s
+        a.nstates)
+    a.initial;
+  List.iter
+    (fun s ->
+      C.check c (in_range s) ~invariant:"final-range" "final state %d outside [0,%d)" s a.nstates)
+    a.final;
+  List.iter
+    (fun (s, sym, s') ->
+      C.check c
+        (in_range s && in_range s')
+        ~invariant:"transition-range" "transition %d -> %d outside [0,%d)" s s' a.nstates;
+      match sym with
+      | Eps -> ()
+      | Ch ch ->
+          C.check c (Cset.mem ch a.alphabet) ~invariant:"alphabet-containment"
+            "transition letter %C not in the ambient alphabet" ch)
+    a.trans;
+  (* ε-closure soundness: only meaningful once all states are in range. *)
+  let ranges_ok =
+    List.for_all in_range a.initial
+    && List.for_all (fun (s, _, s') -> in_range s && in_range s') a.trans
+  in
+  if ranges_ok && a.nstates > 0 then begin
+    let cl = eps_closure a a.initial in
+    let mem s = List.mem s cl in
+    List.iter
+      (fun s ->
+        C.check c (mem s) ~invariant:"eps-closure" "closure of the initial set misses %d" s)
+      a.initial;
+    List.iter
+      (function
+        | s, Eps, s' when mem s ->
+            C.check c (mem s') ~invariant:"eps-closure"
+              "closure not closed under the ε-edge %d -> %d" s s'
+        | _ -> ())
+      a.trans
+  end;
+  C.result c
+
 let pp ppf a =
   Format.fprintf ppf "@[<v>states: %d, alphabet: %a@,initial: %a@,final: %a@,transitions:@,"
     a.nstates Cset.pp a.alphabet

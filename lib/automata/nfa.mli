@@ -74,4 +74,18 @@ val eps_transitions : t -> (int * int) list
 val rename : (char -> char) -> t -> t
 (** Applies an injective letter renaming to all transitions and the alphabet. *)
 
+val unsafe_create :
+  nstates:int -> alphabet:Cset.t -> initial:int list -> final:int list
+  -> trans:(int * sym * int) list -> t
+(** Builds the record with {e no} well-formedness checks. Only for tests of
+    {!validate} and trusted deserialization paths; everything else must use
+    {!create}. *)
+
+val validate : t -> (unit, Invariant.violation list) result
+(** Machine-checks the structural invariants: every state of [initial],
+    [final] and [trans] lies in [0, nstates), every letter transition uses a
+    letter of [alphabet], and the ε-closure of the initial set is sound
+    (contains the initial states and is closed under ε-edges). Automata
+    built by {!create} and the combinators always validate. *)
+
 val pp : Format.formatter -> t -> unit

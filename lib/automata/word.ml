@@ -74,5 +74,8 @@ let repeated_letter_gap w =
 
 let all_distinct w = not (has_repeated_letter w)
 let to_list w = List.init (String.length w) (String.get w)
-let of_list cs = String.init (List.length cs) (List.nth cs)
+let of_list cs =
+  let b = Buffer.create (List.length cs) in
+  List.iter (Buffer.add_char b) cs;
+  Buffer.contents b
 let pp ppf w = Format.pp_print_string ppf (if w = "" then "\xce\xb5" else w)

@@ -198,6 +198,11 @@ let solve_words d ws =
             let eid = Net.add_edge net ~src:s ~dst:e (Net.Finite (Db.mult d fid)) in
             fact_edge := (eid, fid) :: !fact_edge)
           fact_ids;
+        let vertex_of tbl fid =
+          match Hashtbl.find_opt tbl fid with
+          | Some v -> v
+          | None -> Invariant.internal_error "Bcl.solve: fact %d has no product vertex" fid
+        in
         let facts_with_label c =
           List.filter (fun (_, (f : Db.fact)) -> f.Db.label = c) (Db.facts d)
         in
@@ -216,12 +221,12 @@ let solve_words d ws =
                       if f.Db.dst = g.Db.src then
                         if fwd then
                           ignore
-                            (Net.add_edge net ~src:(Hashtbl.find endv fid)
-                               ~dst:(Hashtbl.find startv gid) Net.Inf)
+                            (Net.add_edge net ~src:(vertex_of endv fid)
+                               ~dst:(vertex_of startv gid) Net.Inf)
                         else
                           ignore
-                            (Net.add_edge net ~src:(Hashtbl.find endv gid)
-                               ~dst:(Hashtbl.find startv fid) Net.Inf))
+                            (Net.add_edge net ~src:(vertex_of endv gid)
+                               ~dst:(vertex_of startv fid) Net.Inf))
                     (facts_with_label b))
                 (facts_with_label a)
             done)
@@ -232,16 +237,16 @@ let solve_words d ws =
             List.iter
               (fun (fid, _) ->
                 if s = 0 then
-                  ignore (Net.add_edge net ~src:source ~dst:(Hashtbl.find startv fid) Net.Inf)
+                  ignore (Net.add_edge net ~src:source ~dst:(vertex_of startv fid) Net.Inf)
                 else
-                  ignore (Net.add_edge net ~src:(Hashtbl.find endv fid) ~dst:sink Net.Inf))
+                  ignore (Net.add_edge net ~src:(vertex_of endv fid) ~dst:sink Net.Inf))
               (facts_with_label c))
           side_of;
         let cut = Net.min_cut net ~source ~sink in
         (match cut.Net.value with
         | Net.Inf ->
-            (* Impossible: cutting every fact edge disconnects the network. *)
-            assert false
+            Invariant.internal_error
+              "Bcl.solve: infinite cut although cutting every fact edge disconnects the network"
         | Net.Finite v ->
             let facts =
               List.filter_map (fun eid -> List.assoc_opt eid !fact_edge) cut.Net.edges

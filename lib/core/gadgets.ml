@@ -48,7 +48,9 @@ let complete g =
         (Db.facts db')
     with
     | Some (id, _) -> id
-    | None -> assert false
+    | None ->
+        Invariant.internal_error "Gadgets: embedded fact %d --%c--> %d missing from product db"
+          src g.label dst
   in
   { db'; f_in = find s_in g.t_in; f_out = find s_out g.t_out }
 

@@ -11,7 +11,14 @@ let instance_of d a =
         Array.iteri (fun i id -> Hashtbl.add index id i) fact_ids;
         let covers =
           List.map
-            (fun m -> List.map (Hashtbl.find index) (Hypergraph.Iset.elements m))
+            (fun m ->
+              List.map
+                (fun id ->
+                  match Hashtbl.find_opt index id with
+                  | Some i -> i
+                  | None ->
+                      Invariant.internal_error "Ilp_solver: match uses unknown fact id %d" id)
+                (Hypergraph.Iset.elements m))
             matches
         in
         Ok
@@ -23,6 +30,7 @@ let instance_of d a =
             fact_ids )
 
 let solve d a =
+  Check.cheap "Ilp_solver.solve: database" (fun () -> Db.validate d);
   if Automata.Nfa.nullable a then Ok (Value.Infinite, [])
   else
     match instance_of d a with
@@ -31,6 +39,32 @@ let solve d a =
         match Lp.Ilp.solve inst with
         | Error e -> Error e
         | Ok sol ->
+            (* The assignment is a certificate: it must hit every cover and
+               its weight must equal the claimed optimum. *)
+            Check.paranoid "Ilp_solver.solve: ILP certificate" (fun () ->
+                let c = Invariant.Collector.create "Lp.Ilp" in
+                let assignment = sol.Lp.Ilp.assignment in
+                Invariant.Collector.check c
+                  (Array.length assignment = inst.Lp.Ilp.nvars)
+                  ~invariant:"assignment-length" "assignment has %d entries for %d variables"
+                  (Array.length assignment) inst.Lp.Ilp.nvars;
+                if Array.length assignment = inst.Lp.Ilp.nvars then begin
+                  List.iteri
+                    (fun i cover ->
+                      Invariant.Collector.check c
+                        (List.exists (fun v -> assignment.(v)) cover)
+                        ~invariant:"cover-hit" "cover %d is not hit by the assignment" i)
+                    inst.Lp.Ilp.covers;
+                  let weight = ref 0 in
+                  Array.iteri
+                    (fun i b -> if b then weight := !weight + inst.Lp.Ilp.weights.(i))
+                    assignment;
+                  Invariant.Collector.check c
+                    (!weight = sol.Lp.Ilp.value)
+                    ~invariant:"objective-value" "assignment weighs %d but the solver claims %d"
+                    !weight sol.Lp.Ilp.value
+                end;
+                Invariant.Collector.result c);
             let witness = ref [] in
             Array.iteri
               (fun i b -> if b then witness := fact_ids.(i) :: !witness)

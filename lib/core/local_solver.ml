@@ -11,6 +11,8 @@ type network = {
 let build_network d ~ro =
   if not (Automata.Nfa.is_read_once ro) then
     invalid_arg "Local_solver.build_network: automaton is not read-once";
+  Check.cheap "Local_solver.build_network: database" (fun () -> Db.validate d);
+  Check.cheap "Local_solver.build_network: RO-εNFA" (fun () -> Automata.Nfa.validate ro);
   let nstates = ro.Automata.Nfa.nstates in
   let net = Net.create () in
   (* Vertex (v, s) = v * nstates + s, then source and sink. *)
@@ -62,7 +64,26 @@ let solve_ro d ~ro =
   else if ro.Automata.Nfa.nstates = 0 || Db.nnodes d = 0 then (Value.Finite 0, [])
   else begin
     let { net; source; sink; fact_edge } = build_network d ~ro in
-    let cut = Net.min_cut net ~source ~sink in
+    Check.cheap "Local_solver.solve_ro: product network" (fun () -> Net.validate net);
+    let cut, flow = Net.min_cut_certified net ~source ~sink in
+    (* Weak duality: flow value = cut value proves both optimal (Thm 3.3's
+       MinCut is exact, so a malformed cut would silently corrupt RES). *)
+    Check.paranoid "Local_solver.solve_ro: MinCut certificate" (fun () ->
+        Net.validate_certificate net ~source ~sink cut ~flow);
+    Check.paranoid "Local_solver.solve_ro: push-relabel cross-check" (fun () ->
+        let cut', flow' = Flow.Push_relabel.min_cut_certified net ~source ~sink in
+        match Net.validate_certificate net ~source ~sink cut' ~flow:flow' with
+        | Error _ as e -> e
+        | Ok () ->
+            if Net.cap_compare cut.Net.value cut'.Net.value = 0 then Ok ()
+            else
+              Error
+                [
+                  Invariant.violation ~subsystem:"Flow" ~invariant:"algorithm-agreement"
+                    "Dinic found %s but push-relabel found %s"
+                    (Format.asprintf "%a" Net.pp_capacity cut.Net.value)
+                    (Format.asprintf "%a" Net.pp_capacity cut'.Net.value);
+                ]);
     match cut.Net.value with
     | Net.Inf -> (Value.Infinite, [])
     | Net.Finite v ->

@@ -109,3 +109,6 @@ let to_markdown r =
   Buffer.contents b
 
 let pp ppf r = Format.pp_print_string ppf (to_markdown r)
+
+let violations_to_markdown = Invariant.violations_to_markdown
+let pp_violations ppf vs = Format.pp_print_string ppf (violations_to_markdown vs)

@@ -28,3 +28,10 @@ val analyze : ?try_gadget:bool -> string -> (t, string) result
 
 val to_markdown : t -> string
 val pp : Format.formatter -> t -> unit
+
+val violations_to_markdown : Invariant.violation list -> string
+(** Markdown rendering of a batch of invariant violations, in the same
+    report style as {!to_markdown}; used by {!Check} failures and the
+    [rpq_lint]/validator tooling. *)
+
+val pp_violations : Format.formatter -> Invariant.violation list -> unit

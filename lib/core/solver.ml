@@ -20,6 +20,8 @@ type result = {
 }
 
 let solve ?classification d a =
+  Check.cheap "Solver.solve: database" (fun () -> Graphdb.Db.validate d);
+  Check.cheap "Solver.solve: query automaton" (fun () -> Automata.Nfa.validate a);
   let cl = match classification with Some c -> c | None -> Classify.classify a in
   (* Solve on the reduced language: Q_L = Q_reduce(L) (Section 2), and the
      polynomial constructions assume reducedness (e.g. the BCL solver). *)

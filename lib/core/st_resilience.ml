@@ -12,7 +12,7 @@ let satisfies d a ~src ~dst =
     List.iter
       (fun (s, c, s') ->
         Hashtbl.replace by_letter (c, s)
-          (s' :: (try Hashtbl.find by_letter (c, s) with Not_found -> [])))
+          (s' :: Option.value ~default:[] (Hashtbl.find_opt by_letter (c, s))))
       (Nfa.letter_transitions a);
     let seen = Hashtbl.create 64 in
     let queue = Queue.create () in
@@ -48,11 +48,14 @@ let fresh_letters d a =
   let used = Automata.Cset.union (Db.alphabet d) a.Nfa.alphabet in
   let rec scan c acc =
     if List.length acc = 2 then acc
-    else if c > 255 then failwith "St_resilience: no free letters"
+    else if c > 255 then
+      Invariant.internal_error "St_resilience.fresh_letters: all 255 letters in use"
     else if Automata.Cset.mem (Char.chr c) used then scan (c + 1) acc
     else scan (c + 1) (Char.chr c :: acc)
   in
-  match scan 1 [] with [ g2; g1 ] -> (g1, g2) | _ -> assert false
+  match scan 1 [] with
+  | [ g2; g1 ] -> (g1, g2)
+  | _ -> Invariant.internal_error "St_resilience.fresh_letters: scan did not return two letters"
 
 let transform d a ~src ~dst =
   let g1, g2 = fresh_letters d a in
@@ -87,11 +90,15 @@ let transform d a ~src ~dst =
 let solve d a ~src ~dst =
   if src < 0 || src >= Db.nnodes d || dst < 0 || dst >= Db.nnodes d then
     invalid_arg "St_resilience.solve: endpoint out of range";
+  Check.cheap "St_resilience.solve: database" (fun () -> Db.validate d);
+  Check.cheap "St_resilience.solve: query automaton" (fun () -> Nfa.validate a);
   if Nfa.nullable a && src = dst then
     (* The empty walk from src to itself can never be removed. *)
     { value = Value.Infinite; witness = None; algorithm = Solver.Alg_trivial }
   else begin
     let d', guarded, back = transform d a ~src ~dst in
+    Check.cheap "St_resilience.solve: guarded database" (fun () -> Db.validate d');
+    Check.cheap "St_resilience.solve: guarded automaton" (fun () -> Nfa.validate guarded);
     let map_witness w = List.filter_map back w in
     match Local_solver.solve d' guarded with
     | Ok (value, w) ->

@@ -54,7 +54,8 @@ let res_alpha d alpha =
   let ro = Automata.Local.ro_enfa a in
   match Local_solver.solve_ro d ~ro with
   | Value.Finite v, _ -> v
-  | Value.Infinite, _ -> assert false (* α ≠ ε *)
+  | Value.Infinite, _ ->
+      Invariant.internal_error "Submod_solver.res_alpha: infinite resilience for nonempty α"
 
 let oracle d shape =
   let { alpha; a_pre; a_new; mirrored = _ } = shape in
@@ -99,7 +100,25 @@ let solve d a =
   match recognize_nfa a with
   | None -> Error "language does not have the \xce\xb1|a(n-1)a(n+1) submodular shape"
   | Some shape ->
+      Check.cheap "Submod_solver.solve: database" (fun () -> Db.validate d);
       let d = if shape.mirrored then Db.reverse d else d in
       let ground, f = oracle d shape in
-      let value, _ = Submodular.Sfm.minimize ~n:(List.length ground) f in
+      let n = List.length ground in
+      (* Prop 7.7's reduction is only sound if the oracle really is
+         submodular. Each evaluation solves a MinCut, so sample a bounded
+         number of triples, and drop the check level while doing it: the
+         point here is submodularity, not re-certifying every inner cut. *)
+      Check.paranoid "Submod_solver.solve: oracle submodularity" (fun () ->
+          Check.with_level Check.Off (fun () ->
+              Submodular.Sfm.validate_submodular ~samples:24 ~n f));
+      let value, minimizer = Submodular.Sfm.minimize ~n f in
+      Check.paranoid "Submod_solver.solve: SFM certificate" (fun () ->
+          let v = f minimizer in
+          if v = value then Ok ()
+          else
+            Error
+              [
+                Invariant.violation ~subsystem:"Submodular.Sfm" ~invariant:"minimizer-value"
+                  "f(returned set) = %d but the minimizer claims %d" v value;
+              ]);
       Ok (Value.Finite value)

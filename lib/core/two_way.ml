@@ -9,14 +9,14 @@ let steps d =
   List.iter
     (fun (id, (f : Db.fact)) ->
       Hashtbl.replace fwd (f.Db.src, f.Db.label)
-        ((id, f.Db.dst) :: (try Hashtbl.find fwd (f.Db.src, f.Db.label) with Not_found -> []));
+        ((id, f.Db.dst) :: Option.value ~default:[] (Hashtbl.find_opt fwd (f.Db.src, f.Db.label)));
       Hashtbl.replace bwd (f.Db.dst, f.Db.label)
-        ((id, f.Db.src) :: (try Hashtbl.find bwd (f.Db.dst, f.Db.label) with Not_found -> [])))
+        ((id, f.Db.src) :: Option.value ~default:[] (Hashtbl.find_opt bwd (f.Db.dst, f.Db.label))))
     (Db.facts d);
   fun v c ->
     if c >= 'A' && c <= 'Z' then
-      try Hashtbl.find bwd (v, Char.lowercase_ascii c) with Not_found -> []
-    else try Hashtbl.find fwd (v, c) with Not_found -> []
+      Option.value ~default:[] (Hashtbl.find_opt bwd (v, Char.lowercase_ascii c))
+    else Option.value ~default:[] (Hashtbl.find_opt fwd (v, c))
 
 let with_letter_maps d (a : Automata.Nfa.t) k =
   let a = Automata.Nfa.remove_eps a in
@@ -29,7 +29,7 @@ let with_letter_maps d (a : Automata.Nfa.t) k =
     List.iter
       (fun (s, c, s') ->
         Hashtbl.replace by_letter (c, s)
-          (s' :: (try Hashtbl.find by_letter (c, s) with Not_found -> [])))
+          (s' :: Option.value ~default:[] (Hashtbl.find_opt by_letter (c, s))))
       (Automata.Nfa.letter_transitions a);
     let letters =
       List.sort_uniq compare (List.map (fun (_, c, _) -> c) (Automata.Nfa.letter_transitions a))
@@ -90,9 +90,9 @@ let shortest_witness d a =
              let ((v, s) as key) = Queue.pop queue in
              if finals.(s) then begin
                let rec build key acc =
-                 match Hashtbl.find parent key with
-                 | None -> acc
-                 | Some (fid, prev) -> build prev (fid :: acc)
+                 match Hashtbl.find_opt parent key with
+                 | None | Some None -> acc
+                 | Some (Some (fid, prev)) -> build prev (fid :: acc)
                in
                result := Some (build key []);
                raise Exit

@@ -21,6 +21,10 @@ val vertex_count : t -> int
 val add_edge : t -> src:int -> dst:int -> capacity -> int
 (** Adds a directed edge and returns its edge id (ids are dense from 0). *)
 
+val unsafe_add_edge : t -> src:int -> dst:int -> capacity -> int
+(** {!add_edge} without the range and non-negativity checks. Only for tests
+    of {!validate} and trusted deserialization paths. *)
+
 val edge_count : t -> int
 val edge_info : t -> int -> int * int * capacity
 (** [(src, dst, capacity)] of an edge id. *)
@@ -38,4 +42,44 @@ val min_cut : t -> source:int -> sink:int -> cut
 (** Dinic's algorithm. When the cut value is [Inf] (the sink is not
     separable by finite-capacity edges), [edges] is []. *)
 
+val min_cut_certified : t -> source:int -> sink:int -> cut * int array
+(** Like {!min_cut}, but also returns the per-edge flow values of the
+    computed maximum flow. When the cut is finite, the pair is a
+    self-certifying optimality proof: feed it to {!validate_certificate}
+    (weak duality: a feasible flow and a cut of equal value are both
+    optimal). When the cut is [Inf] the flow array reflects the internal
+    finite encoding and certifies nothing. *)
+
 val max_flow_value : t -> source:int -> sink:int -> capacity
+
+(** {1 Invariant validation}
+
+    See the "Correctness tooling" section of DESIGN.md. These back the
+    {!Resilience.Check} levels: [validate] is cheap (linear), the
+    certificate checks are for paranoid mode. *)
+
+val validate : t -> (unit, Invariant.violation list) result
+(** Structural invariants: endpoint ranges, non-negative finite capacities,
+    edge-count accounting. Networks built through {!add_vertex}/{!add_edge}
+    always validate. *)
+
+val validate_flow :
+  t -> source:int -> sink:int -> flow:int array -> value:int ->
+  (unit, Invariant.violation list) result
+(** Feasibility of a flow vector: one value per edge, [0 ≤ flow ≤ capacity],
+    conservation at every vertex other than [source]/[sink], and net outflow
+    at the source (= net inflow at the sink) equal to [value]. *)
+
+val validate_cut :
+  t -> source:int -> sink:int -> cut -> (unit, Invariant.violation list) result
+(** A finite cut must consist of distinct finite-capacity edge ids whose
+    capacities sum to the claimed value and whose removal disconnects
+    [source] from [sink] in the positive-capacity subgraph; an [Inf] cut
+    must report no edges. *)
+
+val validate_certificate :
+  t -> source:int -> sink:int -> cut -> flow:int array ->
+  (unit, Invariant.violation list) result
+(** Conjunction of {!validate_cut} and {!validate_flow} at the cut's value:
+    by weak duality a passing pair proves the cut minimum and the flow
+    maximum. *)

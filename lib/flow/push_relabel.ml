@@ -1,7 +1,7 @@
 (* Highest-label push-relabel with the gap heuristic. Infinite capacities
    are encoded as (total finite capacity + 1), like in Network.min_cut. *)
 
-let min_cut (t : Network.t) ~source ~sink =
+let min_cut_certified (t : Network.t) ~source ~sink =
   if source = sink then invalid_arg "Push_relabel.min_cut: source = sink";
   let m = Network.edge_count t in
   let es = Array.init m (Network.edge_info t) in
@@ -25,6 +25,8 @@ let min_cut (t : Network.t) ~source ~sink =
       head.(d) <- ((2 * i) + 1) :: head.(d))
     es;
   let head = Array.map Array.of_list head in
+  (* Initial forward capacities, to recover per-edge flows at the end. *)
+  let orig_fwd = Array.init m (fun i -> cap.(2 * i)) in
   let excess = Array.make n 0 in
   let height = Array.make n 0 in
   let count = Array.make ((2 * n) + 1) 0 in
@@ -110,7 +112,8 @@ let min_cut (t : Network.t) ~source ~sink =
   let steps = ref 0 in
   let max_steps = 20 * n * n * (m + 1) in
   let rec loop () =
-    if !steps > max_steps then failwith "Push_relabel: step budget exceeded (bug)";
+    if !steps > max_steps then
+      Invariant.internal_error "Push_relabel.min_cut: step budget %d exceeded" max_steps;
     incr steps;
     (* Find the highest non-empty bucket. *)
     while !highest >= 0 && buckets.(!highest) = [] do
@@ -132,7 +135,8 @@ let min_cut (t : Network.t) ~source ~sink =
   in
   loop ();
   let flow = excess.(sink) in
-  if flow > total_finite then { Network.value = Network.Inf; edges = [] }
+  let edge_flows () = Array.init m (fun i -> orig_fwd.(i) - cap.(2 * i)) in
+  if flow > total_finite then ({ Network.value = Network.Inf; edges = [] }, edge_flows ())
   else begin
     (* Source side of the residual graph. *)
     let reach = Array.make n false in
@@ -157,7 +161,8 @@ let min_cut (t : Network.t) ~source ~sink =
         | Network.Finite x when x > 0 && reach.(s) && not reach.(d) -> cut_edges := i :: !cut_edges
         | _ -> ())
       es;
-    { Network.value = Network.Finite flow; edges = List.rev !cut_edges }
+    ({ Network.value = Network.Finite flow; edges = List.rev !cut_edges }, edge_flows ())
   end
 
+let min_cut t ~source ~sink = fst (min_cut_certified t ~source ~sink)
 let max_flow_value t ~source ~sink = (min_cut t ~source ~sink).Network.value

@@ -3,4 +3,10 @@
     the ablation benchmarks. Same semantics as {!Network.min_cut}. *)
 
 val min_cut : Network.t -> source:int -> sink:int -> Network.cut
+
+val min_cut_certified : Network.t -> source:int -> sink:int -> Network.cut * int array
+(** Like {!min_cut}, but also returns the per-edge flows, suitable for
+    {!Network.validate_certificate} (paranoid {!Resilience.Check} mode
+    verifies that cut value and flow value coincide after push-relabel). *)
+
 val max_flow_value : Network.t -> source:int -> sink:int -> Network.capacity

@@ -23,7 +23,7 @@ let of_mult_list nnodes fact_mults =
         invalid_arg "Db.make: node out of range";
       if m < 1 then invalid_arg "Db.make: multiplicity must be >= 1";
       let key = (src, label, dst) in
-      Hashtbl.replace tbl key ((try Hashtbl.find tbl key with Not_found -> 0) + m))
+      Hashtbl.replace tbl key (Option.value ~default:0 (Hashtbl.find_opt tbl key) + m))
     fact_mults;
   let entries = Hashtbl.fold (fun k m acc -> (k, m) :: acc) tbl [] in
   let entries = List.sort compare entries in
@@ -34,6 +34,19 @@ let of_mult_list nnodes fact_mults =
 
 let make ~nnodes ~facts = of_mult_list nnodes (List.map (fun (s, l, d) -> (s, l, d, 1)) facts)
 let make_bag ~nnodes ~facts = of_mult_list nnodes facts
+
+let unsafe_make_bag ~nnodes ~facts =
+  let entries = List.sort compare facts in
+  let all_facts =
+    Array.of_list (List.map (fun (s, l, d, _) -> { src = s; label = l; dst = d }) entries)
+  in
+  let mults = Array.of_list (List.map (fun (_, _, _, m) -> m) entries) in
+  let alive = Array.make (Array.length all_facts) true in
+  let out = Array.make (max nnodes 1) [] in
+  Array.iteri
+    (fun id f -> if f.src >= 0 && f.src < Array.length out then out.(f.src) <- (id, f) :: out.(f.src))
+    all_facts;
+  { nnodes; all_facts; mults; alive; out = Array.map List.rev out }
 let nnodes t = t.nnodes
 let fact_count t = Array.length t.all_facts
 let live_count t = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.alive
@@ -85,6 +98,54 @@ let reverse t =
   let all_facts = Array.map (fun f -> { src = f.dst; label = f.label; dst = f.src }) t.all_facts in
   { t with all_facts; out = compute_out t.nnodes all_facts t.alive }
 
+let validate t =
+  let module C = Invariant.Collector in
+  let c = C.create "Graphdb.Db" in
+  let nfacts = Array.length t.all_facts in
+  C.check c (t.nnodes >= 0) ~invariant:"node-count" "nnodes = %d is negative" t.nnodes;
+  C.check c
+    (Array.length t.mults = nfacts)
+    ~invariant:"array-lengths" "mults has length %d, expected %d" (Array.length t.mults) nfacts;
+  C.check c
+    (Array.length t.alive = nfacts)
+    ~invariant:"array-lengths" "alive has length %d, expected %d" (Array.length t.alive) nfacts;
+  Array.iteri
+    (fun id f ->
+      C.check c
+        (f.src >= 0 && f.src < t.nnodes && f.dst >= 0 && f.dst < t.nnodes)
+        ~invariant:"node-range" "fact %d: %d --%C--> %d outside [0,%d)" id f.src f.label f.dst
+        t.nnodes)
+    t.all_facts;
+  Array.iteri
+    (fun id m ->
+      if id < nfacts then
+        C.check c (m >= 1) ~invariant:"multiplicity" "fact %d has multiplicity %d < 1" id m)
+    t.mults;
+  (* Strictly increasing: [make_bag] sorts and merges duplicates, so equal
+     adjacent facts mean the merge step was bypassed. *)
+  for id = 0 to nfacts - 2 do
+    C.check c
+      (compare t.all_facts.(id) t.all_facts.(id + 1) < 0)
+      ~invariant:"fact-order" "facts %d and %d out of canonical order (or unmerged duplicates)"
+      id (id + 1)
+  done;
+  (* The out index must stay in sync with the alive mask. *)
+  if C.violations c = [] then begin
+    let expected = compute_out t.nnodes t.all_facts t.alive in
+    C.check c
+      (Array.length t.out = Array.length expected)
+      ~invariant:"out-index" "out index has %d rows, expected %d" (Array.length t.out)
+      (Array.length expected);
+    if Array.length t.out = Array.length expected then
+      Array.iteri
+        (fun v row ->
+          C.check c
+            (row = expected.(v))
+            ~invariant:"out-index" "out index of node %d disagrees with the live facts" v)
+        t.out
+  end;
+  C.result c
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>db: %d nodes, %d facts@," t.nnodes (live_count t);
   List.iter
@@ -131,11 +192,8 @@ module Builder = struct
         b.fresh <- b.fresh + 1;
         Printf.sprintf "__%s_%s_%d_%d" u v b.fresh i
       in
-      let nodes = u :: List.init (n - 1) mid @ [ v ] in
-      List.iteri
-        (fun i c ->
-          add b (List.nth nodes i) c (List.nth nodes (i + 1)))
-        (List.init n (String.get w))
+      let nodes = Array.of_list ((u :: List.init (n - 1) mid) @ [ v ]) in
+      String.iteri (fun i c -> add b nodes.(i) c nodes.(i + 1)) w
     end
 
   let build b = of_mult_list b.next_node (List.rev b.fact_list)

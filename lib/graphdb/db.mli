@@ -61,6 +61,19 @@ val with_unit_mults : t -> t
 val reverse : t -> t
 (** Reverses the direction of every fact (Proposition E.1's reduction). *)
 
+val unsafe_make_bag : nnodes:int -> facts:(int * char * int * int) list -> t
+(** {!make_bag} without range/multiplicity checks and without duplicate
+    merging. Only for tests of {!validate} and trusted deserialization
+    paths; out-of-range {e source} nodes are silently dropped from the
+    adjacency index (so that even corrupt inputs build a value to
+    validate). *)
+
+val validate : t -> (unit, Invariant.violation list) result
+(** Machine-checks the database invariants: parallel array lengths, node
+    ranges of every fact, multiplicities ≥ 1, canonical fact order, and the
+    outgoing-edge index being in sync with the alive mask (which {!restrict}
+    and the solvers rely on). *)
+
 val pp : Format.formatter -> t -> unit
 
 (** {1 Name-based builder} *)

@@ -16,7 +16,7 @@ let satisfies d (a : Automata.Nfa.t) =
       List.iter
         (fun (s, c, s') ->
           Hashtbl.replace by_letter (c, s)
-            (s' :: (try Hashtbl.find by_letter (c, s) with Not_found -> [])))
+            (s' :: Option.value ~default:[] (Hashtbl.find_opt by_letter (c, s))))
         (Automata.Nfa.letter_transitions a);
       let seen = Hashtbl.create 64 in
       let queue = Queue.create () in
@@ -58,7 +58,7 @@ let shortest_witness d (a : Automata.Nfa.t) =
       List.iter
         (fun (s, c, s') ->
           Hashtbl.replace by_letter (c, s)
-            (s' :: (try Hashtbl.find by_letter (c, s) with Not_found -> [])))
+            (s' :: Option.value ~default:[] (Hashtbl.find_opt by_letter (c, s))))
         (Automata.Nfa.letter_transitions a);
       (* BFS with parent pointers: parent maps (v, s) to (fact id, previous (v, s)). *)
       let parent : (int * int, (int * (int * int)) option) Hashtbl.t = Hashtbl.create 64 in
@@ -79,9 +79,9 @@ let shortest_witness d (a : Automata.Nfa.t) =
            if finals.(s) then begin
              (* Reconstruct the fact sequence. *)
              let rec build key acc =
-               match Hashtbl.find parent key with
-               | None -> acc
-               | Some (fid, prev) -> build prev (fid :: acc)
+               match Hashtbl.find_opt parent key with
+               | None | Some None -> acc
+               | Some (Some (fid, prev)) -> build prev (fid :: acc)
              in
              result := Some (build key []);
              raise Exit
@@ -109,7 +109,7 @@ let matches_up_to d (a : Automata.Nfa.t) ~max_len =
     List.iter
       (fun (s, c, s') ->
         Hashtbl.replace by_letter (c, s)
-          (s' :: (try Hashtbl.find by_letter (c, s) with Not_found -> [])))
+          (s' :: Option.value ~default:[] (Hashtbl.find_opt by_letter (c, s))))
       (Automata.Nfa.letter_transitions a);
     let seen = Hashtbl.create 64 in
     let rec go v s len fact_set =

@@ -21,6 +21,29 @@ let make ~vertices ~edges =
   in
   { verts; edge_sets = normalize_edges edge_sets }
 
+let unsafe_make ~vertices ~edges =
+  { verts = ISet.of_list vertices; edge_sets = List.map ISet.of_list edges }
+
+let validate t =
+  let module C = Invariant.Collector in
+  let c = C.create "Hypergraph" in
+  List.iteri
+    (fun i e ->
+      ISet.iter
+        (fun v ->
+          C.check c (ISet.mem v t.verts) ~invariant:"vertex-containment"
+            "edge %d uses undeclared vertex %d" i v)
+        e)
+    t.edge_sets;
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        if ISet.compare a b >= 0 then false else sorted rest
+    | _ -> true
+  in
+  C.check c (sorted t.edge_sets) ~invariant:"edge-order"
+    "edge list not strictly sorted (normalization broken)";
+  C.result c
+
 let vertices t = ISet.elements t.verts
 let edges t = List.map ISet.elements t.edge_sets
 let edge_count t = List.length t.edge_sets
@@ -79,7 +102,7 @@ let node_dominate_once prot t =
   in
   match dominated with
   | [] -> None
-  | candidates ->
+  | first :: _ as candidates ->
       (* Definition 4.9 asks for the existence of SOME condensation order;
          prefer removals that do not shrink an edge to a singleton (which
          would edge-dominate away its neighbors and can destroy odd paths
@@ -88,9 +111,8 @@ let node_dominate_once prot t =
         List.exists (fun e -> ISet.mem v e && ISet.cardinal e = 2) t.edge_sets
       in
       let v, v' =
-        match List.find_opt (fun (v, _) -> not (creates_singleton v)) candidates with
-        | Some c -> c
-        | None -> List.hd candidates
+        Option.value ~default:first
+          (List.find_opt (fun (v, _) -> not (creates_singleton v)) candidates)
       in
       Some
         ( {
@@ -119,7 +141,7 @@ let path_endpoints_length t =
   else begin
     let adj = Hashtbl.create 16 in
     let add_adj u v =
-      Hashtbl.replace adj u (v :: (try Hashtbl.find adj u with Not_found -> []))
+      Hashtbl.replace adj u (v :: Option.value ~default:[] (Hashtbl.find_opt adj u))
     in
     List.iter
       (fun e ->
@@ -127,9 +149,12 @@ let path_endpoints_length t =
         | [ u; v ] ->
             add_adj u v;
             add_adj v u
-        | _ -> assert false)
+        | vs ->
+            Invariant.internal_error
+              "Hypergraph.path_endpoints_length: edge of cardinality %d among checked 2-edges"
+              (List.length vs))
       t.edge_sets;
-    let degree v = List.length (try Hashtbl.find adj v with Not_found -> []) in
+    let degree v = List.length (Option.value ~default:[] (Hashtbl.find_opt adj v)) in
     let touched = Hashtbl.fold (fun v _ acc -> v :: acc) adj [] in
     let deg1 = List.filter (fun v -> degree v = 1) touched in
     let all_le2 = List.for_all (fun v -> degree v <= 2) touched in
@@ -139,7 +164,8 @@ let path_endpoints_length t =
         let rec walk prev cur len =
           if degree cur = 1 && len > 0 then (cur, len)
           else
-            let nexts = List.filter (fun v -> v <> prev) (Hashtbl.find adj cur) in
+            let neighbors = Option.value ~default:[] (Hashtbl.find_opt adj cur) in
+            let nexts = List.filter (fun v -> v <> prev) neighbors in
             match nexts with [ next ] -> walk cur next (len + 1) | _ -> (cur, -1)
         in
         let endpoint, len = walk (-1) a 0 in

@@ -29,6 +29,16 @@ val edge_count : t -> int
 val vertex_count : t -> int
 val pp : Format.formatter -> t -> unit
 
+val unsafe_make : vertices:int list -> edges:int list list -> t
+(** {!make} without the undeclared-vertex check and without edge
+    normalization. Only for tests of {!validate} and trusted
+    deserialization paths. *)
+
+val validate : t -> (unit, Invariant.violation list) result
+(** Machine-checks that every edge only uses declared vertices and that the
+    edge list is strictly sorted and duplicate-free (the normalization the
+    condensation rules rely on). *)
+
 (** {1 Condensation (Section 4.3)} *)
 
 val condense : ?protected:int list -> t -> t

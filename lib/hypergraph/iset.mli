@@ -1,0 +1,6 @@
+(** Sets of integers (fact ids, vertex ids), shared across the libraries. *)
+
+include Set.S with type elt = int
+
+val pp : Format.formatter -> t -> unit
+(** [{1,2,3}]-style rendering. *)

@@ -1,0 +1,53 @@
+type violation = { subsystem : string; invariant : string; detail : string }
+
+exception Internal_error of string
+
+let violation ~subsystem ~invariant fmt =
+  Printf.ksprintf (fun detail -> { subsystem; invariant; detail }) fmt
+
+let internal_error fmt = Printf.ksprintf (fun s -> raise (Internal_error s)) fmt
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s: %s" v.subsystem v.invariant v.detail
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+let pp_violations ppf = function
+  | [] -> Format.pp_print_string ppf "no violations"
+  | vs ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_violation ppf vs
+
+let violations_to_string vs =
+  String.concat "; " (List.map violation_to_string vs)
+
+let violations_to_markdown vs =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# Invariant violations (%d)" (List.length vs);
+  line "";
+  List.iter (fun v -> line "- **%s** / %s: %s" v.subsystem v.invariant v.detail) vs;
+  Buffer.contents b
+
+let result = function [] -> Ok () | vs -> Error vs
+
+module Collector = struct
+  type t = { subsystem : string; mutable rev : violation list }
+
+  let create subsystem = { subsystem; rev = [] }
+
+  let add c ~invariant fmt =
+    Printf.ksprintf
+      (fun detail ->
+        c.rev <- { subsystem = c.subsystem; invariant; detail } :: c.rev)
+      fmt
+
+  let check c cond ~invariant fmt =
+    Printf.ksprintf
+      (fun detail ->
+        if not cond then
+          c.rev <- { subsystem = c.subsystem; invariant; detail } :: c.rev)
+      fmt
+
+  let violations c = List.rev c.rev
+  let result c = result (violations c)
+end

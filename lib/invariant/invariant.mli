@@ -1,0 +1,59 @@
+(** Structural-invariant violations, shared by every library's [validate].
+
+    Each data structure of the solver stack ({!Automata.Nfa},
+    {!Automata.Dfa}, {!Flow.Network}, {!Graphdb.Db}, {!Hypergraph},
+    {!Lp.Simplex}, {!Submodular.Sfm}) exposes a
+    [validate : t -> (unit, violation list) result] built on this module.
+    The paper's reductions (Thm 3.3, Props 7.5-7.8) are exact: a malformed
+    intermediate structure silently yields a wrong resilience value rather
+    than a crash, so the solvers machine-check these invariants when the
+    {!Resilience.Check} level asks for it. *)
+
+type violation = {
+  subsystem : string;  (** e.g. ["Nfa"], ["Flow.Network"] *)
+  invariant : string;  (** short name of the violated invariant *)
+  detail : string;  (** human-readable specifics (offending indices, values) *)
+}
+
+exception Internal_error of string
+(** The designated exception for "impossible" internal states, replacing
+    bare [failwith] / [assert false] in library code (enforced by
+    [rpq_lint]). *)
+
+val violation :
+  subsystem:string -> invariant:string -> ('a, unit, string, violation) format4 -> 'a
+
+val internal_error : ('a, unit, string, 'b) format4 -> 'a
+(** Formats a message and raises {!Internal_error}. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string
+val pp_violations : Format.formatter -> violation list -> unit
+val violations_to_string : violation list -> string
+
+val violations_to_markdown : violation list -> string
+(** Markdown bullet list, suitable for reports and error payloads. *)
+
+val result : violation list -> (unit, violation list) result
+(** [Ok ()] on the empty list, [Error vs] otherwise. *)
+
+(** Accumulator used by the [validate] implementations. *)
+module Collector : sig
+  type t
+
+  val create : string -> t
+  (** [create subsystem] starts an empty collector. *)
+
+  val add : t -> invariant:string -> ('a, unit, string, unit) format4 -> 'a
+  (** Records a violation unconditionally. *)
+
+  val check : t -> bool -> invariant:string -> ('a, unit, string, unit) format4 -> 'a
+  (** [check c cond ~invariant fmt ...] records a violation iff [cond] is
+      false. The message is only materialized on failure paths as far as
+      [ksprintf] allows; keep the formats cheap. *)
+
+  val violations : t -> violation list
+  (** In recording order. *)
+
+  val result : t -> (unit, violation list) result
+end

@@ -1,0 +1,318 @@
+type finding = { file : string; line : int; rule : string; message : string }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let finding_to_string f = Format.asprintf "%a" pp_finding f
+
+(* Rule names, used both in findings and in allowlist entries. *)
+let rule_partial = "partial-function"
+let rule_obj_magic = "obj-magic"
+let rule_physical_eq = "physical-equality"
+let rule_print = "print-in-lib"
+let rule_failwith = "failwith"
+let rule_assert_false = "assert-false"
+let rule_missing_mli = "missing-mli"
+
+let banned_idents =
+  [
+    ("List.hd", rule_partial, "use pattern matching or a non-empty invariant");
+    ("List.nth", rule_partial, "use an array, or List.nth_opt with an explicit default");
+    ("Option.get", rule_partial, "match on the option, or Invariant.internal_error");
+    ("Hashtbl.find", rule_partial, "use Hashtbl.find_opt and handle None");
+    ("Obj.magic", rule_obj_magic, "unsafe cast defeats the type system");
+    ("Printf.printf", rule_print, "library code must not write to stdout; return or log");
+    ("print_string", rule_print, "library code must not write to stdout; return or log");
+    ("print_endline", rule_print, "library code must not write to stdout; return or log");
+    ("print_int", rule_print, "library code must not write to stdout; return or log");
+    ("prerr_string", rule_print, "library code must not write to stderr; return or log");
+    ("prerr_endline", rule_print, "library code must not write to stderr; return or log");
+    ("failwith", rule_failwith, "raise Invariant.Internal_error (via Invariant.internal_error)");
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_op_char c = String.contains "!$%&*+-./:<=>?@^|~" c
+
+(* Replace comments, string literals and character literals with spaces,
+   preserving newlines so that reported line numbers stay exact. OCaml
+   lexes string literals inside comments (an unmatched quote in a comment
+   is a syntax error), so we mirror that to keep "*)" inside quoted text
+   from closing a comment early. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  (* Skip a string literal starting at the opening quote; returns the index
+     one past the closing quote (or [n] if unterminated). *)
+  let skip_string start =
+    let j = ref (start + 1) in
+    let stop = ref false in
+    while (not !stop) && !j < n do
+      (match src.[!j] with
+      | '\\' -> incr j (* skip the escaped character too *)
+      | '"' -> stop := true
+      | _ -> ());
+      incr j
+    done;
+    !j
+  in
+  (* Skip a quoted-string literal {id|...|id} starting at '{'; returns the
+     index one past the closing '}' or [start + 1] if it is not one. *)
+  let skip_quoted_string start =
+    let j = ref (start + 1) in
+    while !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_') do
+      incr j
+    done;
+    if !j >= n || src.[!j] <> '|' then start + 1
+    else begin
+      let id = String.sub src (start + 1) (!j - start - 1) in
+      let closing = "|" ^ id ^ "}" in
+      let cl = String.length closing in
+      let k = ref (!j + 1) in
+      let stop = ref false in
+      while (not !stop) && !k + cl <= n do
+        if String.sub src !k cl = closing then stop := true else incr k
+      done;
+      if !stop then !k + cl else n
+    end
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* Comment: blank it out, tracking nesting and embedded strings. *)
+      let depth = ref 1 in
+      blank !i;
+      blank (!i + 1);
+      let j = ref (!i + 2) in
+      while !depth > 0 && !j < n do
+        if src.[!j] = '(' && !j + 1 < n && src.[!j + 1] = '*' then begin
+          incr depth;
+          blank !j;
+          blank (!j + 1);
+          j := !j + 2
+        end
+        else if src.[!j] = '*' && !j + 1 < n && src.[!j + 1] = ')' then begin
+          decr depth;
+          blank !j;
+          blank (!j + 1);
+          j := !j + 2
+        end
+        else if src.[!j] = '"' then begin
+          let e = skip_string !j in
+          for k = !j to min (e - 1) (n - 1) do
+            blank k
+          done;
+          j := e
+        end
+        else begin
+          blank !j;
+          incr j
+        end
+      done;
+      i := !j
+    end
+    else if c = '"' then begin
+      let e = skip_string !i in
+      for k = !i to min (e - 1) (n - 1) do
+        blank k
+      done;
+      i := e
+    end
+    else if c = '{' then begin
+      let e = skip_quoted_string !i in
+      if e > !i + 1 then
+        for k = !i to min (e - 1) (n - 1) do
+          blank k
+        done;
+      i := max e (!i + 1)
+    end
+    else if
+      c = '\''
+      && (!i = 0 || not (is_ident_char src.[!i - 1]))
+      && !i + 1 < n
+    then begin
+      (* Character literal vs. type variable: 'x' / '\n' are literals; 'a in
+         [val f : 'a -> 'a] is not. A quote right after an identifier char
+         (x', flow') extends the identifier and is skipped above. *)
+      if src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && src.[!j] <> '\'' do
+          incr j
+        done;
+        for k = !i to min !j (n - 1) do
+          blank k
+        done;
+        i := !j + 1
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then begin
+        blank !i;
+        blank (!i + 1);
+        blank (!i + 2);
+        i := !i + 3
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* Longest dotted identifiers of the stripped source with their line
+   numbers: [Format.pp_print_string] is one token, so it can never be
+   confused with a banned [print_string]. *)
+let tokens stripped =
+  let n = String.length stripped in
+  let acc = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  while !i < n do
+    let c = stripped.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_ident_char stripped.[!j] do
+        incr j
+      done;
+      (* Extend across '.' when followed by another identifier. *)
+      let continue = ref true in
+      while !continue do
+        if !j + 1 < n && stripped.[!j] = '.' && is_ident_start stripped.[!j + 1] then begin
+          j := !j + 1;
+          while !j < n && is_ident_char stripped.[!j] do
+            incr j
+          done
+        end
+        else continue := false
+      done;
+      acc := (String.sub stripped start (!j - start), !line) :: !acc;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !acc
+
+(* Maximal runs of operator characters with their line numbers. *)
+let operator_runs stripped =
+  let n = String.length stripped in
+  let acc = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  while !i < n do
+    let c = stripped.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if is_op_char c then begin
+      let start = !i in
+      let j = ref !i in
+      while !j < n && is_op_char stripped.[!j] do
+        incr j
+      done;
+      acc := (String.sub stripped start (!j - start), !line) :: !acc;
+      i := !j
+    end
+    else if is_ident_start c then begin
+      (* Skip identifiers so the quote in [x'] is not an operator char and
+         module dots are consumed with their identifier. *)
+      let j = ref !i in
+      while !j < n && is_ident_char stripped.[!j] do
+        incr j
+      done;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !acc
+
+let scan_source ~file src =
+  let stripped = strip src in
+  let findings = ref [] in
+  let add line rule message = findings := { file; line; rule; message } :: !findings in
+  let prev = ref "" in
+  List.iter
+    (fun (tok, line) ->
+      List.iter
+        (fun (banned, rule, hint) ->
+          if tok = banned || tok = "Stdlib." ^ banned then
+            add line rule (Printf.sprintf "%s is banned in library code: %s" banned hint))
+        banned_idents;
+      if !prev = "assert" && tok = "false" then
+        add line rule_assert_false
+          "assert false is banned in library code: raise Invariant.Internal_error";
+      prev := tok)
+    (tokens stripped);
+  List.iter
+    (fun (op, line) ->
+      if op = "==" || op = "!=" then
+        add line rule_physical_eq
+          (Printf.sprintf
+             "physical equality (%s) is banned in library code: use = / <> (or compare)" op))
+    (operator_runs stripped);
+  List.sort (fun a b -> compare (a.line, a.rule) (b.line, b.rule)) !findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file path = scan_source ~file:path (read_file path)
+
+let rec ml_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then acc @ ml_files path
+          else if Filename.check_suffix entry ".ml" then acc @ [ path ]
+          else acc)
+        [] entries
+
+let missing_mlis ~lib_root =
+  List.filter_map
+    (fun ml ->
+      let mli = ml ^ "i" in
+      if Sys.file_exists mli then None
+      else
+        Some
+          {
+            file = ml;
+            line = 1;
+            rule = rule_missing_mli;
+            message =
+              Printf.sprintf "%s has no interface; every module under lib/ needs a .mli"
+                (Filename.basename ml);
+          })
+    (ml_files lib_root)
+
+let scan_lib ~lib_root =
+  let from_sources = List.concat_map scan_file (ml_files lib_root) in
+  from_sources @ missing_mlis ~lib_root
+
+let allowed ~allowlist f =
+  List.exists
+    (fun (suffix, rule) ->
+      (rule = f.rule || rule = "*")
+      && String.length f.file >= String.length suffix
+      && String.sub f.file (String.length f.file - String.length suffix) (String.length suffix)
+         = suffix)
+    allowlist
+
+let filter_allowlist ~allowlist findings =
+  List.filter (fun f -> not (allowed ~allowlist f)) findings
+
+(* Files known to violate a rule for a documented reason. Keep this empty:
+   new entries need a justification in the accompanying comment. *)
+let default_allowlist : (string * string) list = []

@@ -1,0 +1,75 @@
+(** [rpq_lint]: a self-contained static analyzer for this repository's
+    library code.
+
+    The solver stack computes exact answers from intricate reductions
+    (Thm 3.3, Props 7.5-7.8), so "impossible" states must be loud. The
+    lint bans the constructs that make them quiet instead:
+
+    - partial stdlib calls ([List.hd], [List.nth], [Option.get], bare
+      [Hashtbl.find]) that raise unhelpful exceptions on broken invariants;
+    - [Obj.magic];
+    - physical equality ([==] / [!=]), almost always a typo for [=] / [<>];
+    - direct printing ([Printf.printf], [print_string], ...) from library
+      code;
+    - [failwith] / [assert false] — internal errors must go through
+      {!Invariant.internal_error} so they carry a subsystem and message;
+    - any [.ml] under [lib/] without a matching [.mli].
+
+    The scanner strips comments, string literals and character literals
+    (preserving line numbers), then matches whole dotted identifiers, so
+    [Hashtbl.find_opt], [Format.pp_print_string] or a banned name quoted in
+    a docstring never trigger a report. It deliberately parses nothing
+    beyond that: no typing, no build integration, no opam dependencies. *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  rule : string;  (** one of the [rule_*] names below *)
+  message : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+val finding_to_string : finding -> string
+
+(** {2 Rule names} *)
+
+val rule_partial : string
+val rule_obj_magic : string
+val rule_physical_eq : string
+val rule_print : string
+val rule_failwith : string
+val rule_assert_false : string
+val rule_missing_mli : string
+
+val banned_idents : (string * string * string) list
+(** [(identifier, rule, hint)] for every banned dotted identifier. *)
+
+(** {2 Scanning} *)
+
+val strip : string -> string
+(** Comments, strings and character literals replaced by spaces; newlines
+    (and hence line numbers) preserved. Exposed for tests. *)
+
+val scan_source : file:string -> string -> finding list
+(** Scan source text; [file] only labels the findings. Findings are sorted
+    by line. Does not include the missing-[.mli] rule. *)
+
+val scan_file : string -> finding list
+(** [scan_source] on a file's contents. *)
+
+val missing_mlis : lib_root:string -> finding list
+(** One finding per [.ml] under [lib_root] (recursively) lacking a
+    sibling [.mli]. *)
+
+val scan_lib : lib_root:string -> finding list
+(** All source findings plus {!missing_mlis} for every [.ml] under
+    [lib_root]. *)
+
+(** {2 Allowlist} *)
+
+val filter_allowlist : allowlist:(string * string) list -> finding list -> finding list
+(** Drop findings matched by an allowlist entry [(path_suffix, rule)];
+    a rule of ["*"] matches any rule for that path. *)
+
+val default_allowlist : (string * string) list
+(** The repository's own allowlist. Kept empty: fix the code instead. *)

@@ -41,10 +41,12 @@ let solve instance =
     let best_assignment = ref (Array.make instance.nvars true) in
     let root_bound = ref nan in
     let rec branch fixed0 fixed1 depth =
-      if depth > 2 * instance.nvars then failwith "Ilp.solve: branching depth exceeded (bug)";
+      if depth > 2 * instance.nvars then
+        Invariant.internal_error "Ilp.solve: branching depth %d exceeded 2*nvars" depth;
       match Simplex.solve (lp_of instance ~fixed0 ~fixed1) with
       | Simplex.Infeasible -> ()
-      | Simplex.Unbounded -> failwith "Ilp.solve: unbounded covering LP (bug)"
+      | Simplex.Unbounded ->
+          Invariant.internal_error "Ilp.solve: unbounded covering LP (bounded by construction)"
       | Simplex.Optimal { value; solution } ->
           if depth = 0 then root_bound := value;
           (* Integer lower bound: weights are integers, so round up. *)

@@ -159,6 +159,77 @@ let solve (p : problem) =
     end
   end
 
+let validate_problem p =
+  let module C = Invariant.Collector in
+  let c = C.create "Lp.Simplex" in
+  C.check c (p.ncols >= 0) ~invariant:"column-count" "ncols = %d is negative" p.ncols;
+  C.check c
+    (Array.length p.objective = p.ncols)
+    ~invariant:"objective-length" "objective has length %d, expected %d"
+    (Array.length p.objective) p.ncols;
+  C.check c
+    (Array.length p.upper = p.ncols)
+    ~invariant:"upper-length" "upper bounds have length %d, expected %d" (Array.length p.upper)
+    p.ncols;
+  let finite x = Float.is_finite x in
+  Array.iteri
+    (fun i x ->
+      C.check c (finite x) ~invariant:"objective-finite" "objective coefficient %d is %f" i x)
+    p.objective;
+  Array.iteri
+    (fun i u ->
+      match u with
+      | None -> ()
+      | Some u ->
+          C.check c
+            (finite u && u >= 0.0)
+            ~invariant:"upper-bounds" "upper bound %d is %f (must be finite, ≥ 0)" i u)
+    p.upper;
+  List.iteri
+    (fun r (a, b) ->
+      C.check c
+        (Array.length a = p.ncols)
+        ~invariant:"row-length" "row %d has length %d, expected %d" r (Array.length a) p.ncols;
+      C.check c (finite b) ~invariant:"row-finite" "row %d has right-hand side %f" r b;
+      Array.iteri
+        (fun j x ->
+          C.check c (finite x) ~invariant:"row-finite" "row %d, column %d is %f" r j x)
+        a)
+    p.rows;
+  C.result c
+
+(* Feasibility of a claimed optimal tableau solution, up to [tol]. *)
+let validate_solution ?(tol = 1e-6) p ~value ~solution =
+  let module C = Invariant.Collector in
+  let c = C.create "Lp.Simplex" in
+  C.check c
+    (Array.length solution = p.ncols)
+    ~invariant:"solution-length" "solution has length %d, expected %d" (Array.length solution)
+    p.ncols;
+  if Array.length solution = p.ncols then begin
+    Array.iteri
+      (fun i x ->
+        C.check c (x >= -.tol) ~invariant:"nonnegativity" "x_%d = %f < 0" i x;
+        match p.upper.(i) with
+        | Some u -> C.check c (x <= u +. tol) ~invariant:"upper-bounds" "x_%d = %f > %f" i x u
+        | None -> ())
+      solution;
+    List.iteri
+      (fun r (a, b) ->
+        let lhs = ref 0.0 in
+        Array.iteri (fun j x -> lhs := !lhs +. (x *. solution.(j))) a;
+        C.check c
+          (!lhs >= b -. tol)
+          ~invariant:"row-feasibility" "row %d: a·x = %f < b = %f" r !lhs b)
+      p.rows;
+    let obj = ref 0.0 in
+    Array.iteri (fun j x -> obj := !obj +. (p.objective.(j) *. x)) solution;
+    C.check c
+      (abs_float (!obj -. value) <= tol *. (1.0 +. abs_float value))
+      ~invariant:"objective-value" "c·x = %f but the solver claims %f" !obj value
+  end;
+  C.result c
+
 let lp_relaxation_of_cover ~nvars ~weights ~sets =
   {
     ncols = nvars;

@@ -27,3 +27,17 @@ val lp_relaxation_of_cover :
   nvars:int -> weights:float array -> sets:int list list -> problem
 (** The LP relaxation of a weighted set-cover/hitting-set instance: minimize
     Σ wᵢxᵢ with Σ_{i∈S} xᵢ ≥ 1 for each set S and 0 ≤ x ≤ 1. *)
+
+val validate_problem : problem -> (unit, Invariant.violation list) result
+(** Machine-checks the tableau preconditions: consistent dimensions
+    (objective, rows, upper bounds all of length [ncols]) and finite
+    coefficients, with finite non-negative upper bounds. *)
+
+val validate_solution :
+  ?tol:float -> problem -> value:float -> solution:float array ->
+  (unit, Invariant.violation list) result
+(** Feasibility certificate for an [Optimal] outcome, up to [tol]
+    (default [1e-6]): the solution is within bounds, satisfies every row
+    [a·x ≥ b], and its objective matches the claimed value. (Optimality
+    itself is certified at the integer level by the ILP solver's
+    cross-checks, not here.) *)

@@ -38,6 +38,57 @@ let is_submodular ~n oracle =
   done;
   !ok
 
+let check_triple c oracle s x y =
+  let module C = Invariant.Collector in
+  let sx = Array.copy s and sy = Array.copy s and sxy = Array.copy s in
+  sx.(x) <- true;
+  sy.(y) <- true;
+  sxy.(x) <- true;
+  sxy.(y) <- true;
+  let lhs = oracle sx - oracle s and rhs = oracle sxy - oracle sy in
+  C.check c (lhs >= rhs) ~invariant:"submodularity"
+    "f(S∪{%d}) − f(S) = %d < f(S∪{%d,%d}) − f(S∪{%d}) = %d" x lhs x y y rhs
+
+let validate_submodular ?samples ?(seed = 0x5eed) ~n oracle =
+  let module C = Invariant.Collector in
+  let c = C.create "Submodular.Sfm" in
+  if n >= 2 then begin
+    if samples = None && n <= 10 then
+      (* Exhaustive pairwise characterization, as in [is_submodular]. *)
+      for mask = 0 to (1 lsl n) - 1 do
+        let s = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+        for x = 0 to n - 1 do
+          if not s.(x) then
+            for y = x + 1 to n - 1 do
+              if not s.(y) then check_triple c oracle s x y
+            done
+        done
+      done
+    else begin
+      let samples = Option.value ~default:200 samples in
+      (* Deterministic 48-bit LCG so that any reported violation is
+         reproducible. Draw from the high bits: the low bits of an LCG have
+         tiny periods (the lowest bit alternates), which would correlate
+         consecutive draws and can even make the rejection loop below spin
+         forever. *)
+      let state = ref ((seed land max_int) lxor 0x2545F4914F6CDD1D) in
+      let next bound =
+        state := ((!state * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+        (!state lsr 16) mod bound
+      in
+      let tried = ref 0 in
+      while !tried < samples do
+        let s = Array.init n (fun _ -> next 2 = 1) in
+        let x = next n and y = next n in
+        if x <> y && (not s.(x)) && not s.(y) then begin
+          incr tried;
+          check_triple c oracle s x y
+        end
+      done
+    end
+  end;
+  C.result c
+
 (* ---- Fujishige–Wolfe minimum-norm-point over the base polytope ---- *)
 
 let dot a b =

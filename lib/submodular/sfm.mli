@@ -25,3 +25,14 @@ val is_submodular : n:int -> oracle -> bool
 (** Exhaustively checks f(S∪x) − f(S) ≥ f(T∪x) − f(T) for all S ⊆ T ∌ x
     (equivalently checks the pairwise characterization on all subsets);
     exponential, for tests (n ≤ 12). *)
+
+val validate_submodular :
+  ?samples:int -> ?seed:int -> n:int -> oracle -> (unit, Invariant.violation list) result
+(** Submodularity check used by paranoid {!Resilience.Check} mode: verifies
+    the pairwise characterization [f(S∪x) − f(S) ≥ f(S∪{x,y}) − f(S∪y)].
+    When [samples] is omitted and [n ≤ 10] the check is exhaustive;
+    otherwise it evaluates [samples] (default 200) pseudo-random triples
+    [(S, x, y)] with a deterministic generator seeded by [seed] (default
+    0x5eed), so failures are reproducible. Pass an explicit [samples] when
+    each oracle call is expensive (e.g. a MinCut): a sampled pass is
+    evidence, not proof. *)

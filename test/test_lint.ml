@@ -1,0 +1,140 @@
+(* rpq_lint: the repository's own sources must be clean, and the scanner
+   must actually catch each banned construct (negative fixtures). *)
+
+let rules findings = List.map (fun f -> f.Lint.rule) findings
+
+let scan src = Lint.scan_source ~file:"fixture.ml" src
+
+let check_rule name src rule () =
+  let fs = scan src in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s is flagged as %s" name rule)
+    true
+    (List.mem rule (rules fs))
+
+let check_clean name src () =
+  let fs = scan src in
+  Alcotest.(check (list string)) (Printf.sprintf "%s is clean" name) [] (rules fs)
+
+(* Each fixture is library code that compiles in spirit; the lint is
+   purely lexical so it need not actually type-check. *)
+let negative_fixtures =
+  [
+    ("List.hd", "let f xs = List.hd xs\n", Lint.rule_partial);
+    ("List.nth", "let f xs = List.nth xs 3\n", Lint.rule_partial);
+    ("Option.get", "let f o = Option.get o\n", Lint.rule_partial);
+    ("bare Hashtbl.find", "let f h k = Hashtbl.find h k\n", Lint.rule_partial);
+    ("Stdlib-qualified", "let f xs = Stdlib.List.hd xs\n", Lint.rule_partial);
+    ("Obj.magic", "let f x = (Obj.magic x : int)\n", Lint.rule_obj_magic);
+    ("physical equality", "let f a b = a == b\n", Lint.rule_physical_eq);
+    ("physical disequality", "let f a b = a != b\n", Lint.rule_physical_eq);
+    ("Printf.printf", "let f x = Printf.printf \"%d\" x\n", Lint.rule_print);
+    ("print_string", "let f s = print_string s\n", Lint.rule_print);
+    ("failwith", "let f () = failwith \"boom\"\n", Lint.rule_failwith);
+    ("assert false", "let f () = assert false\n", Lint.rule_assert_false);
+    ("assert (false)", "let f () = assert (false)\n", Lint.rule_assert_false);
+    ( "banned call after a comment",
+      "(* see below *)\nlet f xs =\n  List.hd xs\n",
+      Lint.rule_partial );
+  ]
+
+let clean_fixtures =
+  [
+    ("find_opt", "let f h k = Hashtbl.find_opt h k\nlet g o = Option.get_ok o\n");
+    ("pp_print_string", "let f ppf s = Format.pp_print_string ppf s\n");
+    ("banned name in a string", "let s = \"never call List.hd or use == here\"\n");
+    ("banned name in a comment", "(* List.hd and assert false and == *)\nlet x = 1\n");
+    ( "banned name in a nested comment with a string",
+      "(* outer (* \"assert\" *) still a comment: failwith *)\nlet x = 1\n" );
+    ("structural equality", "let f a b = a = b || a <> b\n");
+    ("longer operators", "let ( === ) a b = a = b\nlet x = 1 === 1\n");
+    ("assert with a real condition", "let f x = assert (x >= 0); x = false\n");
+    ("char literals", "let f c = c = 'a' || c = '\\n' || c = '\\'' \n");
+    ("primed identifiers", "let f x' = x' + 1\n");
+    ("module field access", "let f (r : Db.fact) = r.Db.label\n");
+  ]
+
+let test_line_numbers () =
+  let src = "let a = 1\n\n(* comment\n   spanning lines *)\nlet f xs = List.hd xs\n" in
+  match scan src with
+  | [ f ] ->
+      Alcotest.(check string) "rule" Lint.rule_partial f.Lint.rule;
+      Alcotest.(check int) "line survives stripping" 5 f.Lint.line
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* The dune test cwd is _build/default/test; dune mirrors the sources into
+   _build/default, so walking up finds the copied lib/ tree. *)
+let rec find_lib_root dir =
+  let candidate = Filename.concat dir "lib" in
+  if Sys.file_exists (Filename.concat (Filename.concat candidate "invariant") "invariant.ml")
+  then Some candidate
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_lib_root parent
+
+let test_repo_clean () =
+  match find_lib_root (Sys.getcwd ()) with
+  | None -> Alcotest.fail "could not locate the lib/ source tree from the test cwd"
+  | Some lib_root ->
+      let findings =
+        Lint.filter_allowlist ~allowlist:Lint.default_allowlist (Lint.scan_lib ~lib_root)
+      in
+      Alcotest.(check (list string))
+        "lib/ has no lint findings" []
+        (List.map Lint.finding_to_string findings)
+
+let test_missing_mli () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "rpq_lint_test_fixture" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+  let with_iface = Filename.concat dir "good.ml" in
+  let without_iface = Filename.concat dir "bad.ml" in
+  List.iter
+    (fun (path, contents) ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc)
+    [ (with_iface, "let x = 1\n"); (with_iface ^ "i", "val x : int\n");
+      (without_iface, "let y = 2\n") ];
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ with_iface; with_iface ^ "i"; without_iface ];
+      if Sys.file_exists dir then Sys.rmdir dir)
+    (fun () ->
+      let fs = Lint.missing_mlis ~lib_root:dir in
+      Alcotest.(check (list string))
+        "only the interface-less module is flagged" [ Lint.rule_missing_mli ] (rules fs);
+      match fs with
+      | [ f ] -> Alcotest.(check string) "flagged file" without_iface f.Lint.file
+      | _ -> Alcotest.fail "expected exactly one finding")
+
+let test_allowlist () =
+  let fs = scan "let f xs = List.hd xs\n" in
+  Alcotest.(check int) "finding exists" 1 (List.length fs);
+  Alcotest.(check int) "suffix+rule allows it" 0
+    (List.length (Lint.filter_allowlist ~allowlist:[ ("fixture.ml", Lint.rule_partial) ] fs));
+  Alcotest.(check int) "wildcard rule allows it" 0
+    (List.length (Lint.filter_allowlist ~allowlist:[ ("fixture.ml", "*") ] fs));
+  Alcotest.(check int) "other file's entry does not" 1
+    (List.length (Lint.filter_allowlist ~allowlist:[ ("other.ml", "*") ] fs))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "negative fixtures",
+        List.map
+          (fun (name, src, rule) -> Alcotest.test_case name `Quick (check_rule name src rule))
+          negative_fixtures );
+      ( "clean fixtures",
+        List.map
+          (fun (name, src) -> Alcotest.test_case name `Quick (check_clean name src))
+          clean_fixtures );
+      ( "engine",
+        [
+          Alcotest.test_case "line numbers" `Quick test_line_numbers;
+          Alcotest.test_case "missing mli" `Quick test_missing_mli;
+          Alcotest.test_case "allowlist" `Quick test_allowlist;
+        ] );
+      ("repository", [ Alcotest.test_case "lib/ is clean" `Quick test_repo_clean ]);
+    ]
