@@ -3,43 +3,42 @@
    Subcommands:
      classify REGEX...         classify languages (Figure 1)
      solve --db FILE REGEX     resilience of a database file
+     gen                       emit a vertex-cover hardness instance
      reduce REGEX              print reduce(L)
      words REGEX               enumerate (finite) languages
      gadgets                   verify every hardness gadget of the paper
 
    Database file format: one fact per line, `src label dst [multiplicity]`,
    where src/dst are arbitrary node names and label is one character.
-   Lines starting with # are comments. *)
+   Lines starting with # are comments.
+
+   Exit codes: 0 = exact answer, 3 = certified bounds only (budget
+   exhausted), 2 = input error (bad database file, unknown node, ...). *)
 
 open Cmdliner
 open Resilience
 module Db = Graphdb.Db
+module Ser = Graphdb.Serialize
+
+(* Exact answers exit 0; a [Bounded] outcome of `solve --timeout/--steps`
+   exits 3 so scripts can tell the two apart; malformed input exits 2. *)
+let exit_bounded = 3
+let exit_input_error = 2
+
+let input_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("rpq: error: " ^ msg);
+      exit_input_error)
+    fmt
 
 let parse_db_file path =
-  let ic = open_in path in
-  let b = Db.Builder.create () in
-  (try
-     let rec loop lineno =
-       match input_line ic with
-       | line ->
-           let line = String.trim line in
-           if line <> "" && line.[0] <> '#' then begin
-             match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-             | [ src; label; dst ] when String.length label = 1 ->
-                 Db.Builder.add b src label.[0] dst
-             | [ src; label; dst; m ] when String.length label = 1 ->
-                 Db.Builder.add b ~mult:(int_of_string m) src label.[0] dst
-             | _ -> failwith (Printf.sprintf "%s:%d: expected `src label dst [mult]`" path lineno)
-           end;
-           loop (lineno + 1)
-       | exception End_of_file -> ()
-     in
-     loop 1
-   with e ->
-     close_in ic;
-     raise e);
-  close_in ic;
-  (Db.Builder.build b, b)
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+      (* [Ser.parse] errors start with "<line>:", so prefixing the path
+         yields a standard file:line diagnostic. *)
+      Result.map_error (fun e -> Printf.sprintf "%s:%s" path e) (Ser.parse contents)
 
 let regex_arg =
   let parse s =
@@ -60,12 +59,21 @@ let classify_cmd =
       (fun s ->
         let c = Classify.classify_regex s in
         Format.printf "%-20s %s@." s (Classify.verdict_summary c.Classify.verdict))
-      regexes
+      regexes;
+    0
   in
   Cmd.v (Cmd.info "classify" ~doc:"Classify the resilience complexity of RPQs (Figure 1).")
     Term.(const run $ regexes)
 
 (* ---- solve ---- *)
+
+let print_fact_removals db names w =
+  List.iter
+    (fun id ->
+      let f = Db.fact db id in
+      Format.printf "  remove %s --%c--> %s (cost %d)@." (names f.Db.src) f.Db.label
+        (names f.Db.dst) (Db.mult db id))
+    w
 
 let solve_cmd =
   let db_file =
@@ -75,31 +83,129 @@ let solve_cmd =
     Arg.(required & pos 0 (some regex_arg) None & info [] ~docv:"REGEX" ~doc:"The RPQ.")
   in
   let witness = Arg.(value & flag & info [ "witness" ] ~doc:"Print a minimum contingency set.") in
-  let run db_file s witness =
-    let db, builder = parse_db_file db_file in
-    let l = Automata.Lang.of_string s in
-    let r = Solver.solve db l in
-    Format.printf "language    : %s@." s;
-    Format.printf "verdict     : %s@."
-      (Classify.verdict_summary r.Solver.classification.Classify.verdict);
-    Format.printf "algorithm   : %s@." (Solver.algorithm_name r.Solver.algorithm);
-    Format.printf "resilience  : %a@." Value.pp r.Solver.value;
-    if witness then
-      match r.Solver.witness with
-      | Some w ->
-          List.iter
-            (fun id ->
-              let f = Db.fact db id in
-              Format.printf "  remove %s --%c--> %s (cost %d)@."
-                (Db.Builder.node_name builder f.Db.src)
-                f.Db.label
-                (Db.Builder.node_name builder f.Db.dst)
-                (Db.mult db id))
-            w
-      | None -> Format.printf "  (this algorithm reports no witness)@."
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "CPU-time budget. On exhaustion the solver reports certified lower/upper bounds \
+             instead of an exact value and exits with status 3.")
   in
-  Cmd.v (Cmd.info "solve" ~doc:"Compute the resilience of an RPQ on a database file.")
-    Term.(const run $ db_file $ regex $ witness)
+  let steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "steps" ] ~docv:"N"
+          ~doc:
+            "Work budget: search nodes, simplex pivots and oracle calls all count. Same \
+             degradation behavior as $(b,--timeout).")
+  in
+  let memo_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "memo-cap" ] ~docv:"N" ~doc:"Cap on memo-table entries (default 2^20).")
+  in
+  let run db_file s witness timeout steps memo_cap =
+    match parse_db_file db_file with
+    | Error e -> input_error "%s" e
+    | Ok p -> begin
+        let db = p.Ser.db in
+        let l = Automata.Lang.of_string s in
+        match
+          match (timeout, steps, memo_cap) with
+          | None, None, None -> None
+          | _ -> Some (Budget.create ?deadline:timeout ?steps ?memo_cap ())
+        with
+        | exception Invalid_argument e -> input_error "%s" e
+        | budget -> begin
+            Format.printf "language    : %s@." s;
+            match Solver.solve_bounded ?budget db l with
+            | Solver.Exact r ->
+                Format.printf "verdict     : %s@."
+                  (Classify.verdict_summary r.Solver.classification.Classify.verdict);
+                Format.printf "algorithm   : %s@." (Solver.algorithm_name r.Solver.algorithm);
+                Format.printf "resilience  : %a@." Value.pp r.Solver.value;
+                (if witness then
+                   match r.Solver.witness with
+                   | Some w -> print_fact_removals db p.Ser.node_name w
+                   | None -> Format.printf "  (this algorithm reports no witness)@.");
+                0
+            | Solver.Bounded { lower; upper; upper_witness; spent; reason } ->
+                Format.printf "outcome     : bounds only (budget exhausted: %s)@."
+                  (Budget.exhaustion_name reason);
+                Format.printf "resilience  : %a <= RES <= %a@." Value.pp lower Value.pp upper;
+                Format.printf "spent       : %d steps, %.3fs@." spent.Budget.steps
+                  spent.Budget.elapsed;
+                (if witness then
+                   match upper_witness with
+                   | Some w -> print_fact_removals db p.Ser.node_name w
+                   | None -> Format.printf "  (no upper-bound witness)@.");
+                exit_bounded
+          end
+      end
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Compute the resilience of an RPQ on a database file, exactly or within a time/work \
+          budget.")
+    Term.(const run $ db_file $ regex $ witness $ timeout $ steps $ memo_cap)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let nvertices =
+    Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Number of graph vertices.")
+  in
+  let prob =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "p" ] ~docv:"P"
+          ~doc:"Erdős–Rényi edge probability; omit for the complete graph.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Random seed (with --p).") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the database here instead of stdout.")
+  in
+  let run n p seed out =
+    if n < 2 then input_error "gen: need at least 2 vertices, got %d" n
+    else begin
+      match p with
+      | Some p when not (p >= 0.0 && p <= 1.0) ->
+          input_error "gen: edge probability %g not in [0, 1]" p
+      | _ ->
+      let g =
+        match p with
+        | None -> Graphs.Ugraph.complete n
+        | Some p -> Graphs.Ugraph.random ~n ~p ~seed
+      in
+      let pre, _ = Gadgets.gadget_aa () in
+      let db = Gadgets.encode pre g in
+      let text =
+        Printf.sprintf
+          "# Vertex-cover hardness instance (Definition 4.5): each of the %d edges of a\n\
+           # %d-vertex graph becomes a copy of the `aa` gadget (Proposition 4.1).\n\
+           # Solve with: rpq solve --db <this file> aa\n\
+           %s"
+          (Graphs.Ugraph.edge_count g) n (Ser.to_string db)
+      in
+      (match out with
+      | None -> print_string text
+      | Some f -> Out_channel.with_open_text f (fun oc -> output_string oc text));
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate an NP-hard resilience instance (vertex-cover encoding for the language aa).")
+    Term.(const run $ nvertices $ prob $ seed $ out)
 
 (* ---- reduce ---- *)
 
@@ -109,11 +215,12 @@ let reduce_cmd =
   in
   let run s =
     let r = Automata.Reduce.nfa (Automata.Lang.of_string s) in
-    match Automata.Lang.words r with
+    (match Automata.Lang.words r with
     | Some ws -> Format.printf "reduce(%s) = {%s}@." s (String.concat ", " ws)
     | None ->
         Format.printf "reduce(%s) is infinite; words up to length 6: {%s}, ...@." s
-          (String.concat ", " (Automata.Lang.words_up_to r 6))
+          (String.concat ", " (Automata.Lang.words_up_to r 6)));
+    0
   in
   Cmd.v (Cmd.info "reduce" ~doc:"Compute the reduced (infix-free) sublanguage.")
     Term.(const run $ regex)
@@ -129,9 +236,10 @@ let words_cmd =
   in
   let run s limit =
     let l = Automata.Lang.of_string s in
-    match Automata.Lang.words l with
+    (match Automata.Lang.words l with
     | Some ws -> Format.printf "{%s}@." (String.concat ", " ws)
-    | None -> Format.printf "{%s, ...}@." (String.concat ", " (Automata.Lang.words_up_to l limit))
+    | None -> Format.printf "{%s, ...}@." (String.concat ", " (Automata.Lang.words_up_to l limit)));
+    0
   in
   Cmd.v (Cmd.info "words" ~doc:"Enumerate the words of a language.") Term.(const run $ regex $ limit)
 
@@ -145,7 +253,7 @@ let certify_cmd =
     let l = Automata.Lang.of_string s in
     Format.printf "%-20s %s@." s
       (Classify.verdict_summary (Classify.classify l).Classify.verdict);
-    match Hardness.thm61_gadget l with
+    (match Hardness.thm61_gadget l with
     | Ok o ->
         Format.printf "Theorem 6.1 pipeline: %s (mirrored=%b), gadget with odd path length %s@."
           o.Hardness.strategy o.Hardness.mirrored
@@ -159,7 +267,8 @@ let certify_cmd =
             Format.printf "Gadget search: verified gadget found (%d matches) => NP-hard@."
               (Array.length f.Gadget_search.words_used)
         | None -> Format.printf "Gadget search: nothing found within budget@."
-      end
+      end);
+    0
   in
   Cmd.v
     (Cmd.info "certify"
@@ -181,7 +290,8 @@ let report_cmd =
         match Report.analyze ~try_gadget:(not no_gadget) s with
         | Ok r -> print_string (Report.to_markdown r)
         | Error e -> Format.printf "%s: %s@." s e)
-      regexes
+      regexes;
+    0
   in
   Cmd.v (Cmd.info "report" ~doc:"Full analysis report for a language (markdown).")
     Term.(const run $ regexes $ no_gadget)
@@ -202,18 +312,20 @@ let st_solve_cmd =
     Arg.(required & opt (some string) None & info [ "to" ] ~docv:"NODE" ~doc:"Target node.")
   in
   let run db_file s src dst =
-    let db, builder = parse_db_file db_file in
-    let find_node name =
-      (* Builder.node would create; detect unknown names by comparing counts. *)
-      let before = Db.nnodes db in
-      let id = Db.Builder.node builder name in
-      if id >= before then failwith (Printf.sprintf "unknown node %S" name) else id
-    in
-    let l = Automata.Lang.of_string s in
-    let r = St_resilience.solve db l ~src:(find_node src) ~dst:(find_node dst) in
-    Format.printf "resilience of %s from %s to %s: %a  [%s]@." s src dst Value.pp
-      r.St_resilience.value
-      (Solver.algorithm_name r.St_resilience.algorithm)
+    match parse_db_file db_file with
+    | Error e -> input_error "%s" e
+    | Ok p -> begin
+        match (p.Ser.node_id src, p.Ser.node_id dst) with
+        | None, _ -> input_error "%s: unknown node %S" db_file src
+        | _, None -> input_error "%s: unknown node %S" db_file dst
+        | Some src_id, Some dst_id ->
+            let l = Automata.Lang.of_string s in
+            let r = St_resilience.solve p.Ser.db l ~src:src_id ~dst:dst_id in
+            Format.printf "resilience of %s from %s to %s: %a  [%s]@." s src dst Value.pp
+              r.St_resilience.value
+              (Solver.algorithm_name r.St_resilience.algorithm);
+            0
+      end
   in
   Cmd.v
     (Cmd.info "st-solve" ~doc:"Fixed-endpoint resilience (Section 8 future work).")
@@ -238,10 +350,14 @@ let dot_cmd =
         else print_string (Automata.Dot.of_nfa a)
     | None -> ());
     match db_file with
-    | Some f ->
-        let db, builder = parse_db_file f in
-        print_string (Graphdb.Serialize.to_dot ~names:(Db.Builder.node_name builder) db)
-    | None -> ()
+    | Some f -> begin
+        match parse_db_file f with
+        | Error e -> input_error "%s" e
+        | Ok p ->
+            print_string (Ser.to_dot ~names:p.Ser.node_name p.Ser.db);
+            0
+      end
+    | None -> 0
   in
   Cmd.v (Cmd.info "dot" ~doc:"Export automata or databases as Graphviz DOT.")
     Term.(const run $ regex $ db_file $ minimize)
@@ -264,7 +380,8 @@ let gadgets_cmd =
           Format.printf "%a@." Db.pp c.Gadgets.db';
           Format.printf "%a@." Hypergraph.pp v.Gadgets.condensed
         end)
-      (Gadgets.all_paper_gadgets ())
+      (Gadgets.all_paper_gadgets ());
+    0
   in
   Cmd.v (Cmd.info "gadgets" ~doc:"Verify the paper's hardness gadgets (Definition 4.9).")
     Term.(const run $ verbose)
@@ -273,12 +390,13 @@ let () =
   let doc = "Resilience of regular path queries (PODS 2025 reproduction)" in
   let info = Cmd.info "rpq" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
             classify_cmd;
             report_cmd;
             solve_cmd;
+            gen_cmd;
             st_solve_cmd;
             reduce_cmd;
             words_cmd;

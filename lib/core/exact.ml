@@ -2,7 +2,8 @@ module ISet = Hypergraph.Iset
 module Db = Graphdb.Db
 module Eval = Graphdb.Eval
 
-let bruteforce d a =
+let bruteforce ?budget d a =
+  let b = match budget with Some b -> b | None -> Budget.unlimited () in
   if Automata.Nfa.nullable a then Value.Infinite
   else begin
     let live = List.map fst (Db.facts d) in
@@ -11,6 +12,7 @@ let bruteforce d a =
     let live = Array.of_list live in
     let best = ref Value.Infinite in
     for mask = 0 to (1 lsl n) - 1 do
+      Budget.tick b;
       let removed = ref ISet.empty and cost = ref 0 in
       for i = 0 to n - 1 do
         if mask land (1 lsl i) <> 0 then begin
@@ -26,15 +28,22 @@ let bruteforce d a =
     !best
   end
 
-let branch_and_bound d a =
-  if Automata.Nfa.nullable a then (Value.Infinite, [])
+type anytime =
+  | Complete of Value.t * int list
+  | Truncated of { incumbent : (int * int list) option; reason : Budget.exhaustion }
+
+let branch_and_bound_anytime ~budget:b d a =
+  if Automata.Nfa.nullable a then Complete (Value.Infinite, [])
   else begin
     let memo : (ISet.t, unit) Hashtbl.t = Hashtbl.create 256 in
     let best = ref max_int and best_set = ref [] in
-    (* DFS over removal sets; [cost] is the multiplicity already paid. *)
+    (* DFS over removal sets; [cost] is the multiplicity already paid. The
+       memo table is bounded by the budget's memory cap: once full we stop
+       memoizing (correct, possibly re-exploring) rather than growing. *)
     let rec go removed cost chosen =
+      Budget.tick b;
       if cost < !best && not (Hashtbl.mem memo removed) then begin
-        Hashtbl.add memo removed ();
+        if Budget.memo_admit b (Hashtbl.length memo) then Hashtbl.add memo removed ();
         let d' = Db.restrict d ~removed:(fun id -> ISet.mem id removed) in
         match Eval.shortest_witness d' a with
         | None ->
@@ -49,16 +58,27 @@ let branch_and_bound d a =
               facts
       end
     in
-    go ISet.empty 0 [];
-    (* The loop always terminates with a finite best: removing all facts
-       falsifies the query since ε ∉ L. *)
-    (Value.Finite !best, !best_set)
+    match go ISet.empty 0 [] with
+    | () ->
+        (* The loop always terminates with a finite best: removing all facts
+           falsifies the query since ε ∉ L. *)
+        Complete (Value.Finite !best, !best_set)
+    | exception Budget.Exhausted reason ->
+        let incumbent = if !best < max_int then Some (!best, !best_set) else None in
+        Truncated { incumbent; reason }
   end
 
-let hitting_set d a =
+let branch_and_bound ?budget d a =
+  let b = match budget with Some b -> b | None -> Budget.unlimited () in
+  match branch_and_bound_anytime ~budget:b d a with
+  | Complete (v, w) -> (v, w)
+  | Truncated { reason; _ } -> raise (Budget.Exhausted reason)
+
+let hitting_set ?budget d a =
+  let b = match budget with Some b -> b | None -> Budget.unlimited () in
   if Automata.Nfa.nullable a then (Value.Infinite, [])
   else begin
-    let h = Eval.match_hypergraph d a in
-    let value, set = Hypergraph.min_hitting_set ~weights:(Db.mult d) h in
+    let h = Eval.match_hypergraph ~fuel:(Budget.fuel b) d a in
+    let value, set = Hypergraph.min_hitting_set ~weights:(Db.mult d) ~fuel:(Budget.fuel b) h in
     (Value.Finite value, set)
   end

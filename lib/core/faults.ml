@@ -1,0 +1,79 @@
+type plan =
+  | Off
+  | At_tick of int
+  | Seeded of { seed : int; period : int }
+
+let default_period = 1000
+let default_seeded = Seeded { seed = 0x5eed; period = default_period }
+
+let parse s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "off" | "none" | "0" -> Ok Off
+  | t -> begin
+      match String.split_on_char ':' t with
+      | [ "tick"; n ] -> begin
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> Ok (At_tick n)
+          | _ -> Error (Printf.sprintf "tick index %S must be an integer >= 1" n)
+        end
+      | [ "seed"; s ] -> begin
+          match int_of_string_opt s with
+          | Some seed -> Ok (Seeded { seed; period = default_period })
+          | None -> Error (Printf.sprintf "seed %S must be an integer" s)
+        end
+      | [ "seed"; s; m ] -> begin
+          match (int_of_string_opt s, int_of_string_opt m) with
+          | Some seed, Some period when period >= 1 -> Ok (Seeded { seed; period })
+          | _ -> Error (Printf.sprintf "expected seed:<int>:<period >= 1>, got %S" t)
+        end
+      | _ ->
+          Error
+            (Printf.sprintf "unrecognized fault plan %S (grammar: off | tick:N | seed:S[:M])" t)
+    end
+
+let to_string = function
+  | Off -> "off"
+  | At_tick n -> Printf.sprintf "tick:%d" n
+  | Seeded { seed; period } -> Printf.sprintf "seed:%d:%d" seed period
+
+(* Stream state for Seeded plans: a 48-bit LCG drawn from the high bits
+   (the low bits of an LCG have tiny periods — see Sfm.validate_submodular
+   for the same construction and rationale). *)
+let mix seed = (seed land max_int) lxor 0x2545F4914F6CDD1D
+
+type state = { mutable active : plan; mutable lcg : int }
+
+let initial =
+  match Sys.getenv_opt "RPQ_FAULTS" with
+  | None -> Off
+  (* An unrecognized value means someone asked for fault injection: fail
+     safe and enable a deterministic default plan rather than silently
+     running fault-free. *)
+  | Some s -> Result.value ~default:default_seeded (parse s)
+
+let seed_of = function Seeded { seed; _ } -> seed | Off | At_tick _ -> 0
+
+let state = { active = initial; lcg = mix (seed_of initial) }
+
+let plan () = state.active
+
+let set_plan p =
+  state.active <- p;
+  state.lcg <- mix (seed_of p)
+
+let with_plan p f =
+  let saved_plan = state.active and saved_lcg = state.lcg in
+  set_plan p;
+  Fun.protect
+    ~finally:(fun () ->
+      state.active <- saved_plan;
+      state.lcg <- saved_lcg)
+    f
+
+let next_fault_tick () =
+  match state.active with
+  | Off -> None
+  | At_tick n -> Some n
+  | Seeded { period; _ } ->
+      state.lcg <- ((state.lcg * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+      Some (1 + ((state.lcg lsr 16) mod period))

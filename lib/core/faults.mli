@@ -1,0 +1,59 @@
+(** Deterministic fault injection for the anytime solver engine.
+
+    Real budget exhaustion (a wall-clock deadline firing mid-search) is
+    timing-dependent and therefore impossible to reproduce in tests. This
+    module lets the test suite and CI force {!Budget} exhaustion at an
+    {e exact} tick index instead: every budget created by {!Budget.create}
+    asks the current fault plan for a tick at which to inject a synthetic
+    exhaustion, so every degradation path of {!Solver.solve_bounded} can be
+    exercised reproducibly.
+
+    The plan is normally set by the [RPQ_FAULTS] environment variable:
+
+    {v
+    RPQ_FAULTS ::= "off"
+                 | "tick:" N          fail every budget at its Nth tick
+                 | "seed:" S          seeded stream, period 1000
+                 | "seed:" S ":" M    seeded stream, period M
+    v}
+
+    With [tick:N] every budget faults at tick [N] (N ≥ 1). With
+    [seed:S:M] each successive budget draws its fault tick uniformly from
+    [1 .. M] out of a deterministic LCG stream seeded by [S], so a whole
+    test-suite run probes many different exhaustion points while staying
+    bit-for-bit reproducible. An unrecognized value means someone asked for
+    fault injection: we fail safe and enable a default seeded plan rather
+    than silently running fault-free.
+
+    Fault injection only affects budgets made by {!Budget.create}
+    (the budgets of [solve_bounded]); {!Budget.unlimited} never faults, so
+    plain [Solver.solve] and the exact baselines are unaffected even under a
+    fault-injection sweep. *)
+
+type plan =
+  | Off
+  | At_tick of int  (** every budget faults at this tick (≥ 1) *)
+  | Seeded of { seed : int; period : int }
+      (** each budget faults at a pseudo-random tick in [1 .. period],
+          drawn from an LCG stream seeded once per [set_plan] *)
+
+val parse : string -> (plan, string) result
+(** Parses the [RPQ_FAULTS] grammar above. *)
+
+val to_string : plan -> string
+(** Inverse of {!parse} (canonical form). *)
+
+val plan : unit -> plan
+(** The active plan (initially from [RPQ_FAULTS], default [Off]). *)
+
+val set_plan : plan -> unit
+(** Replaces the active plan and, for [Seeded], restarts its stream. *)
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** Runs the function under the given plan, restoring the previous plan
+    (and its stream position) afterwards. *)
+
+val next_fault_tick : unit -> int option
+(** Resolves the active plan for a freshly created budget: [None] under
+    [Off], [Some n] for the tick at which that budget must inject a fault.
+    Each call under a [Seeded] plan advances the stream. *)

@@ -1,11 +1,15 @@
 module Db = Graphdb.Db
 
-let instance_of d a =
+let instance_of ?budget d a =
+  let b = match budget with Some b -> b | None -> Budget.unlimited () in
   if Automata.Nfa.nullable a then Error "\xce\xb5 \xe2\x88\x88 L: resilience is infinite"
   else
-    match Graphdb.Eval.all_matches d a with
+    match Graphdb.Eval.all_matches ~fuel:(Budget.fuel b) d a with
     | exception Invalid_argument msg -> Error msg
     | matches ->
+        (* The cover matrix is materialized all at once; charge it against
+           the budget's memory cap before building it. *)
+        Budget.charge_memory b (List.length matches);
         let fact_ids = Array.of_list (List.map fst (Db.facts d)) in
         let index = Hashtbl.create 64 in
         Array.iteri (fun i id -> Hashtbl.add index id i) fact_ids;
@@ -29,14 +33,15 @@ let instance_of d a =
             },
             fact_ids )
 
-let solve d a =
+let solve ?budget d a =
+  let b = match budget with Some b -> b | None -> Budget.unlimited () in
   Check.cheap "Ilp_solver.solve: database" (fun () -> Db.validate d);
   if Automata.Nfa.nullable a then Ok (Value.Infinite, [])
   else
-    match instance_of d a with
+    match instance_of ~budget:b d a with
     | Error e -> Error e
     | Ok (inst, fact_ids) -> begin
-        match Lp.Ilp.solve inst with
+        match Lp.Ilp.solve ~fuel:(Budget.fuel b) inst with
         | Error e -> Error e
         | Ok sol ->
             (* The assignment is a certificate: it must hit every cover and
@@ -72,7 +77,8 @@ let solve d a =
             Ok (Value.Finite sol.Lp.Ilp.value, List.rev !witness)
       end
 
-let lp_relaxation d a =
-  match instance_of d a with
+let lp_relaxation ?budget d a =
+  let b = match budget with Some b -> b | None -> Budget.unlimited () in
+  match instance_of ~budget:b d a with
   | Error e -> Error e
-  | Ok (inst, _) -> Lp.Ilp.lp_bound inst
+  | Ok (inst, _) -> Lp.Ilp.lp_bound ~fuel:(Budget.fuel b) inst

@@ -3,15 +3,23 @@
     hitting-set integer program over the hypergraph of matches and solve it
     by LP-based branch and bound. Also exposes the LP relaxation value,
     whose gap to the ILP optimum is the object studied in that line of
-    work. *)
+    work.
 
-val instance_of : Graphdb.Db.t -> Automata.Nfa.t -> (Lp.Ilp.instance * int array, string) result
+    Every entry point takes an optional {!Budget.t} (default
+    {!Budget.unlimited}): match enumeration, simplex pivots and
+    branch-and-bound nodes all tick it, and the materialized cover matrix is
+    charged against its memory cap.
+    All may raise {!Budget.Exhausted}. *)
+
+val instance_of :
+  ?budget:Budget.t -> Graphdb.Db.t -> Automata.Nfa.t -> (Lp.Ilp.instance * int array, string) result
 (** The hitting-set ILP of a resilience instance, together with the fact id
     of each ILP variable. Requires enumerable matches (finite language or
     acyclic database); [Error] otherwise or when ε ∈ L. *)
 
-val solve : Graphdb.Db.t -> Automata.Nfa.t -> (Value.t * int list, string) result
+val solve :
+  ?budget:Budget.t -> Graphdb.Db.t -> Automata.Nfa.t -> (Value.t * int list, string) result
 (** Exact resilience via ILP, with a witness contingency set. *)
 
-val lp_relaxation : Graphdb.Db.t -> Automata.Nfa.t -> (float, string) result
+val lp_relaxation : ?budget:Budget.t -> Graphdb.Db.t -> Automata.Nfa.t -> (float, string) result
 (** The LP-relaxation lower bound on resilience. *)

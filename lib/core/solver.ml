@@ -4,6 +4,7 @@ type algorithm =
   | Alg_bcl_mincut
   | Alg_submodular
   | Alg_exact_bnb
+  | Alg_ilp
 
 let algorithm_name = function
   | Alg_trivial -> "trivial"
@@ -11,6 +12,7 @@ let algorithm_name = function
   | Alg_bcl_mincut -> "BCL MinCut (Prop 7.5)"
   | Alg_submodular -> "submodular minimization (Prop 7.7)"
   | Alg_exact_bnb -> "exact branch and bound"
+  | Alg_ilp -> "hitting-set ILP"
 
 type result = {
   value : Value.t;
@@ -54,3 +56,136 @@ let solve ?classification d a =
 
 let resilience d a = (solve d a).value
 let resilience_regex d s = resilience d (Automata.Lang.of_string s)
+
+type outcome =
+  | Exact of result
+  | Bounded of {
+      lower : Value.t;
+      upper : Value.t;
+      upper_witness : int list option;
+      spent : Budget.spent;
+      reason : Budget.exhaustion;
+    }
+
+module Db = Graphdb.Db
+module Eval = Graphdb.Eval
+
+(* Certified bounds once every exact stage has exhausted its budget. The
+   remaining master budget pays for one LP relaxation (lower bound) and one
+   greedy hitting set (upper bound); if even those exhaust, the bounds
+   degrade to [satisfiability .. total weight], which need no work beyond
+   what was already done. *)
+let bounded_outcome master reduced d ~incumbent ~reason =
+  let facts = Db.facts d in
+  let total_weight = List.fold_left (fun acc (id, _) -> acc + Db.mult d id) 0 facts in
+  let all_facts = List.map fst facts in
+  let greedy =
+    match Eval.match_hypergraph ~fuel:(Budget.fuel master) d reduced with
+    | h -> begin
+        match Hypergraph.greedy_hitting_set ~weights:(Db.mult d) h with
+        | cost, set -> Some (cost, set)
+        | exception Invalid_argument _ -> None
+      end
+    | exception Invalid_argument _ -> None
+    | exception Budget.Exhausted _ -> None
+  in
+  let lp_lower =
+    match Ilp_solver.lp_relaxation ~budget:master d reduced with
+    | Ok lp -> int_of_float (Float.ceil (lp -. 1e-6))
+    | Error _ -> 0
+    | exception Budget.Exhausted _ -> 0
+  in
+  (* Removing every fact falsifies any nullable-free query, so the total
+     weight is always a certified upper bound; the query is satisfied here
+     (checked by the caller), so 1 is always a certified lower bound. *)
+  let upper, upper_witness =
+    List.fold_left
+      (fun (u, w) (u', w') -> if u' < u then (u', w') else (u, w))
+      (total_weight, all_facts)
+      (Option.to_list incumbent @ Option.to_list greedy)
+  in
+  let lower = max 1 lp_lower in
+  Check.cheap "Solver.solve_bounded: bound order" (fun () ->
+      if lower <= upper then Ok ()
+      else
+        Error
+          [
+            Invariant.violation ~subsystem:"Solver" ~invariant:"bound-order"
+              "lower bound %d exceeds upper bound %d" lower upper;
+          ]);
+  let lower = min lower upper in
+  Check.paranoid "Solver.solve_bounded: upper witness" (fun () ->
+      let d' = Db.restrict d ~removed:(fun id -> List.mem id upper_witness) in
+      if Eval.satisfies d' reduced then
+        Error
+          [
+            Invariant.violation ~subsystem:"Solver" ~invariant:"upper-witness"
+              "removing the %d witness facts does not falsify the query"
+              (List.length upper_witness);
+          ]
+      else Ok ());
+  Bounded
+    {
+      lower = Value.Finite lower;
+      upper = Value.Finite upper;
+      upper_witness = Some upper_witness;
+      spent = Budget.spent master;
+      reason;
+    }
+
+(* Degradation chain for the (NP-)hard verdicts: exact branch and bound on
+   a slice of the budget, then the ILP baseline on a slice of what is left,
+   then certified LP/greedy bounds on the remainder. *)
+let hard_chain master cl reduced d =
+  if not (Eval.satisfies d reduced) then
+    Exact
+      { value = Value.Finite 0; witness = Some []; algorithm = Alg_trivial; classification = cl }
+  else begin
+    let s1 = Budget.slice master ~deadline_frac:0.6 ~steps_frac:0.6 in
+    match Exact.branch_and_bound_anytime ~budget:s1 d reduced with
+    | Exact.Complete (value, w) ->
+        Exact { value; witness = Some w; algorithm = Alg_exact_bnb; classification = cl }
+    | Exact.Truncated { incumbent; reason } -> begin
+        let s2 = Budget.slice master ~deadline_frac:0.6 ~steps_frac:0.6 in
+        match Ilp_solver.solve ~budget:s2 d reduced with
+        | Ok (value, w) ->
+            Exact { value; witness = Some w; algorithm = Alg_ilp; classification = cl }
+        | Error _ -> bounded_outcome master reduced d ~incumbent ~reason
+        | exception Budget.Exhausted _ -> bounded_outcome master reduced d ~incumbent ~reason
+      end
+  end
+
+let solve_bounded ?classification ?budget d a =
+  let cl = match classification with Some c -> c | None -> Classify.classify a in
+  match budget with
+  | None -> Exact (solve ~classification:cl d a)
+  | Some master -> begin
+      Check.cheap "Solver.solve_bounded: database" (fun () -> Db.validate d);
+      Check.cheap "Solver.solve_bounded: query automaton" (fun () -> Automata.Nfa.validate a);
+      let reduced = cl.Classify.reduced in
+      match cl.Classify.verdict with
+      | Classify.PTime
+          ( Classify.Trivial_empty | Classify.Trivial_eps | Classify.Local
+          | Classify.Bipartite_chain ) ->
+          (* Polynomial MinCut-style algorithms: always run to completion. *)
+          Exact (solve ~classification:cl d a)
+      | Classify.PTime (Classify.Submodular _) -> begin
+          let s = Budget.slice master ~deadline_frac:0.8 ~steps_frac:0.8 in
+          match Submod_solver.solve ~budget:s d reduced with
+          | Ok value ->
+              Exact { value; witness = None; algorithm = Alg_submodular; classification = cl }
+          | Error msg -> invalid_arg ("Solver.solve_bounded: classifier/solver disagree: " ^ msg)
+          | exception Budget.Exhausted reason ->
+              if Eval.satisfies d reduced then
+                bounded_outcome master reduced d ~incumbent:None ~reason
+              else
+                Exact
+                  {
+                    value = Value.Finite 0;
+                    witness = Some [];
+                    algorithm = Alg_trivial;
+                    classification = cl;
+                  }
+        end
+      | Classify.NPHard _ | Classify.Unclassified _ -> hard_chain master cl reduced d
+    end

@@ -16,6 +16,7 @@ type algorithm =
   | Alg_bcl_mincut  (** Proposition 7.5 *)
   | Alg_submodular  (** Proposition 7.7 *)
   | Alg_exact_bnb  (** witness-branching branch and bound (exponential) *)
+  | Alg_ilp  (** hitting-set ILP baseline (used by {!solve_bounded}) *)
 
 val algorithm_name : algorithm -> string
 
@@ -38,3 +39,29 @@ val resilience : Graphdb.Db.t -> Automata.Nfa.t -> Value.t
 
 val resilience_regex : Graphdb.Db.t -> string -> Value.t
 (** Convenience: parse the regex and solve. *)
+
+(** {1 Anytime solving under a budget} *)
+
+type outcome =
+  | Exact of result  (** the budget sufficed; same answer as {!solve} *)
+  | Bounded of {
+      lower : Value.t;  (** certified lower bound (LP relaxation / satisfiability) *)
+      upper : Value.t;  (** certified upper bound (incumbent or greedy hitting set) *)
+      upper_witness : int list option;
+          (** a contingency set achieving [upper] — removing these facts
+              falsifies the query (re-verified under [RPQ_CHECK=paranoid]) *)
+      spent : Budget.spent;  (** work actually performed *)
+      reason : Budget.exhaustion;  (** which limit was hit first *)
+    }
+
+val solve_bounded :
+  ?classification:Classify.t -> ?budget:Budget.t -> Graphdb.Db.t -> Automata.Nfa.t -> outcome
+(** {!solve} as an anytime algorithm. Without a budget this is exactly
+    [Exact (solve d a)]. With one, the hard cases run a degradation chain —
+    exact branch and bound on a slice of the budget, then the hitting-set
+    ILP on a slice of the remainder, then certified LP-relaxation /
+    greedy-hitting-set bounds — and return [Bounded] instead of raising
+    when every exact stage exhausts. [Bounded] always satisfies
+    [lower <= upper]. Polynomial (MinCut) cases ignore the budget;
+    submodular minimization ticks it per oracle call and degrades to
+    bounds like the hard cases. Never raises {!Budget.Exhausted}. *)

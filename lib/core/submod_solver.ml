@@ -96,7 +96,8 @@ let oracle d shape =
   in
   (ground, f)
 
-let solve d a =
+let solve ?budget d a =
+  let b = match budget with Some b -> b | None -> Budget.unlimited () in
   match recognize_nfa a with
   | None -> Error "language does not have the \xce\xb1|a(n-1)a(n+1) submodular shape"
   | Some shape ->
@@ -111,7 +112,7 @@ let solve d a =
       Check.paranoid "Submod_solver.solve: oracle submodularity" (fun () ->
           Check.with_level Check.Off (fun () ->
               Submodular.Sfm.validate_submodular ~samples:24 ~n f));
-      let value, minimizer = Submodular.Sfm.minimize ~n f in
+      let value, minimizer = Submodular.Sfm.minimize ~fuel:(Budget.fuel b) ~n f in
       Check.paranoid "Submod_solver.solve: SFM certificate" (fun () ->
           let v = f minimizer in
           if v = value then Ok ()

@@ -168,6 +168,8 @@ module Builder = struct
   let create () =
     { names = Hashtbl.create 16; rev_names = []; next_node = 0; fact_list = []; fresh = 0 }
 
+  let find_node b name = Hashtbl.find_opt b.names name
+
   let node b name =
     match Hashtbl.find_opt b.names name with
     | Some id -> id

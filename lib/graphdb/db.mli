@@ -87,6 +87,9 @@ module Builder : sig
   val node : t -> string -> int
   (** Returns (creating if needed) the node with this name. *)
 
+  val find_node : t -> string -> int option
+  (** Looks the name up without creating it. *)
+
   val add : t -> ?mult:int -> string -> char -> string -> unit
   (** [add b "u" 'a' "v"] adds the fact [u --a--> v]. *)
 

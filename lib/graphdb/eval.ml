@@ -98,7 +98,7 @@ let shortest_witness d (a : Automata.Nfa.t) =
     end
   end
 
-let matches_up_to d (a : Automata.Nfa.t) ~max_len =
+let matches_up_to ?(fuel = fun () -> ()) d (a : Automata.Nfa.t) ~max_len =
   let a = Automata.Nfa.remove_eps a in
   let results = ref [] in
   if Automata.Nfa.nullable a then results := [ ISet.empty ]
@@ -113,6 +113,7 @@ let matches_up_to d (a : Automata.Nfa.t) ~max_len =
       (Automata.Nfa.letter_transitions a);
     let seen = Hashtbl.create 64 in
     let rec go v s len fact_set =
+      fuel ();
       if finals.(s) && not (Hashtbl.mem seen fact_set) then begin
         Hashtbl.add seen fact_set ();
         results := fact_set :: !results
@@ -132,19 +133,19 @@ let matches_up_to d (a : Automata.Nfa.t) ~max_len =
   end;
   List.sort_uniq ISet.compare !results
 
-let all_matches d a =
-  if Db.is_acyclic d then matches_up_to d a ~max_len:(max 1 (Db.nnodes d))
+let all_matches ?fuel d a =
+  if Db.is_acyclic d then matches_up_to ?fuel d a ~max_len:(max 1 (Db.nnodes d))
   else begin
     let dfa = Automata.Dfa.of_nfa a in
     match Automata.Dfa.words dfa with
     | Some ws ->
         let max_len = List.fold_left (fun acc w -> max acc (String.length w)) 0 ws in
-        matches_up_to d a ~max_len
+        matches_up_to ?fuel d a ~max_len
     | None ->
         invalid_arg "Eval.all_matches: cyclic database with an infinite language"
   end
 
-let match_hypergraph d a =
+let match_hypergraph ?fuel d a =
   let vertices = List.map fst (Db.facts d) in
-  let edges = List.map ISet.elements (all_matches d a) in
+  let edges = List.map ISet.elements (all_matches ?fuel d a) in
   Hypergraph.make ~vertices ~edges

@@ -14,17 +14,21 @@ val shortest_witness : Db.t -> Automata.Nfa.t -> int list option
 (** A shortest L-walk, as the sequence of its fact ids (the same fact may
     repeat). [Some []] when ε ∈ L(a). *)
 
-val matches_up_to : Db.t -> Automata.Nfa.t -> max_len:int -> Hypergraph.Iset.t list
+val matches_up_to :
+  ?fuel:(unit -> unit) -> Db.t -> Automata.Nfa.t -> max_len:int -> Hypergraph.Iset.t list
 (** All distinct {e fact sets} of L-walks of length ≤ [max_len]
     (the hyperedges of the hypergraph of matches, Definition 4.7).
-    Exponential; intended for small databases. *)
+    Exponential; intended for small databases. [fuel] is called once per
+    explored product node; it may raise (e.g.
+    [Resilience.Budget.Exhausted]) to abort an over-budget enumeration —
+    the exception propagates unchanged. *)
 
-val all_matches : Db.t -> Automata.Nfa.t -> Hypergraph.Iset.t list
+val all_matches : ?fuel:(unit -> unit) -> Db.t -> Automata.Nfa.t -> Hypergraph.Iset.t list
 (** All match fact-sets, for databases where this is finite and enumerable:
     either the database is acyclic (walks are simple paths) or the language
     is finite (walk length is bounded by the longest word).
     @raise Invalid_argument when neither holds. *)
 
-val match_hypergraph : Db.t -> Automata.Nfa.t -> Hypergraph.t
+val match_hypergraph : ?fuel:(unit -> unit) -> Db.t -> Automata.Nfa.t -> Hypergraph.t
 (** The hypergraph of matches [H_{L,D}] (vertices = live fact ids), using
     {!all_matches}. *)

@@ -14,9 +14,13 @@ let to_string ?(names = default_name) d =
     (Db.facts d);
   Buffer.contents b
 
-let of_string s =
+type parsed = { db : Db.t; node_name : int -> string; node_id : string -> int option }
+
+let parse s =
   let b = Db.Builder.create () in
   let error = ref None in
+  (* Error messages start with "<line>:" so a caller can prefix the file
+     name and get a standard file:line diagnostic. *)
   List.iteri
     (fun lineno line ->
       if !error = None then begin
@@ -27,16 +31,27 @@ let of_string s =
           | [ src; label; dst; m ] when String.length label = 1 -> begin
               match int_of_string_opt m with
               | Some m when m >= 1 -> Db.Builder.add b ~mult:m src label.[0] dst
-              | _ -> error := Some (Printf.sprintf "line %d: bad multiplicity %S" (lineno + 1) m)
+              | _ ->
+                  error :=
+                    Some
+                      (Printf.sprintf "%d: bad multiplicity %S (expected an integer >= 1)"
+                         (lineno + 1) m)
             end
           | _ ->
               error :=
-                Some (Printf.sprintf "line %d: expected `src label dst [mult]`" (lineno + 1))
+                Some
+                  (Printf.sprintf
+                     "%d: expected `src label dst [mult]` with a single-character label"
+                     (lineno + 1))
       end)
     (String.split_on_char '\n' s);
   match !error with
   | Some e -> Error e
-  | None -> Ok (Db.Builder.build b, Db.Builder.node_name b)
+  | None ->
+      Ok { db = Db.Builder.build b; node_name = Db.Builder.node_name b; node_id = Db.Builder.find_node b }
+
+let of_string s =
+  Result.map (fun p -> (p.db, p.node_name)) (parse s)
 
 let to_dot ?(names = default_name) d =
   let b = Buffer.create 256 in

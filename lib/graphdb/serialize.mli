@@ -8,6 +8,17 @@
 val to_string : ?names:(int -> string) -> Db.t -> string
 (** Serializes the live facts (default node names: [n<i>]). *)
 
+type parsed = {
+  db : Db.t;
+  node_name : int -> string;  (** node id → declared name *)
+  node_id : string -> int option;  (** declared name → node id *)
+}
+
+val parse : string -> (parsed, string) result
+(** Parses a database. Rejects malformed lines and multiplicities < 1;
+    error messages start with ["<line>:"] so callers can prefix a file name
+    and report a standard [file:line] diagnostic. *)
+
 val of_string : string -> (Db.t * (int -> string), string) result
 (** Parses a database; returns it with the node-naming function. *)
 

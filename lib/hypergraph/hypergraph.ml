@@ -181,7 +181,7 @@ let is_odd_path t ~src ~dst =
 
 exception No_hitting_set
 
-let solve_branch_and_bound weights edge_sets =
+let solve_branch_and_bound ?(fuel = fun () -> ()) weights edge_sets =
   (* Work on inclusion-minimal edges. *)
   let edge_sets = minimal_edges edge_sets in
   if List.exists ISet.is_empty edge_sets then raise No_hitting_set;
@@ -199,6 +199,7 @@ let solve_branch_and_bound weights edge_sets =
     go ISet.empty 0 remaining
   in
   let rec branch cost chosen remaining =
+    fuel ();
     match remaining with
     | [] ->
         if cost < !best then begin
@@ -229,11 +230,49 @@ let solve_branch_and_bound weights edge_sets =
   branch 0 [] edge_sets;
   (!best, !best_set)
 
-let min_hitting_set ?(weights = fun _ -> 1) t =
+let min_hitting_set ?(weights = fun _ -> 1) ?fuel t =
   (* Node-domination is only sound for uniform weights, so only apply the
      always-sound edge-domination here; branch and bound handles the rest. *)
-  try solve_branch_and_bound weights t.edge_sets
+  try solve_branch_and_bound ?fuel weights t.edge_sets
   with No_hitting_set -> invalid_arg "Hypergraph.min_hitting_set: empty edge"
+
+let greedy_hitting_set ?(weights = fun _ -> 1) t =
+  let edges = ref (minimal_edges t.edge_sets) in
+  if List.exists ISet.is_empty !edges then invalid_arg "Hypergraph.greedy_hitting_set: empty edge";
+  let chosen = ref [] and cost = ref 0 in
+  while !edges <> [] do
+    (* Pick the vertex maximizing covered-edges per unit weight (compared
+       cross-multiplied to stay in integers); ties break toward the smaller
+       vertex id for determinism. *)
+    let count = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        ISet.iter
+          (fun v ->
+            Hashtbl.replace count v (1 + Option.value ~default:0 (Hashtbl.find_opt count v)))
+          e)
+      !edges;
+    let pick =
+      Hashtbl.fold
+        (fun v k acc ->
+          match acc with
+          | None -> Some (v, k)
+          | Some (v', k') ->
+              let better =
+                let l = k * weights v' and r = k' * weights v in
+                l > r || (l = r && v < v')
+              in
+              if better then Some (v, k) else acc)
+        count None
+    in
+    match pick with
+    | None -> Invariant.internal_error "Hypergraph.greedy_hitting_set: no vertex in live edges"
+    | Some (v, _) ->
+        chosen := v :: !chosen;
+        cost := !cost + weights v;
+        edges := List.filter (fun e -> not (ISet.mem v e)) !edges
+  done;
+  (!cost, List.rev !chosen)
 
 let all_min_hitting_sets ?(weights = fun _ -> 1) t =
   let edge_sets = minimal_edges t.edge_sets in

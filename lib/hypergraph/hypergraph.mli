@@ -77,11 +77,22 @@ val path_endpoints_length : t -> (int * int * int) option
 
 (** {1 Hitting sets} *)
 
-val min_hitting_set : ?weights:(int -> int) -> t -> int * int list
+val min_hitting_set : ?weights:(int -> int) -> ?fuel:(unit -> unit) -> t -> int * int list
 (** Exact minimum-weight hitting set by branch and bound on a condensed copy
     (default weight 1 per vertex). Returns the optimal weight and a witness.
-    If some edge is empty, no hitting set exists:
+    [fuel] is called once per branch node; it may raise (e.g.
+    [Resilience.Budget.Exhausted]) to abort an over-budget search — the
+    exception propagates unchanged. If some edge is empty, no hitting set
+    exists:
     @raise Invalid_argument in that case. *)
+
+val greedy_hitting_set : ?weights:(int -> int) -> t -> int * int list
+(** Polynomial greedy upper bound: repeatedly takes the vertex covering the
+    most still-unhit edges per unit weight. The returned set hits every edge
+    (it is a certified upper bound on {!min_hitting_set}, within the
+    classical [H_d] approximation factor), and the returned weight is the
+    exact weight of that set.
+    @raise Invalid_argument if some edge is empty. *)
 
 val min_hitting_set_bruteforce : ?weights:(int -> int) -> t -> int
 (** Reference implementation enumerating all vertex subsets; exponential,

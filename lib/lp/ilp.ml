@@ -26,24 +26,25 @@ let lp_of instance ~fixed0 ~fixed1 =
   in
   { base with Simplex.upper; rows = base.Simplex.rows @ extra }
 
-let lp_bound instance =
-  match Simplex.solve (lp_of instance ~fixed0:[] ~fixed1:[]) with
+let lp_bound ?fuel instance =
+  match Simplex.solve ?fuel (lp_of instance ~fixed0:[] ~fixed1:[]) with
   | Simplex.Optimal { value; _ } -> Ok value
   | Simplex.Infeasible -> Error "infeasible LP relaxation"
   | Simplex.Unbounded -> Error "unbounded LP relaxation (bug: covering LPs are bounded)"
 
 let frac x = abs_float (x -. Float.round x)
 
-let solve instance =
+let solve ?(fuel = fun () -> ()) instance =
   if List.exists (( = ) []) instance.covers then Error "infeasible: empty cover set"
   else begin
     let best = ref max_int in
     let best_assignment = ref (Array.make instance.nvars true) in
     let root_bound = ref nan in
     let rec branch fixed0 fixed1 depth =
+      fuel ();
       if depth > 2 * instance.nvars then
         Invariant.internal_error "Ilp.solve: branching depth %d exceeded 2*nvars" depth;
-      match Simplex.solve (lp_of instance ~fixed0 ~fixed1) with
+      match Simplex.solve ~fuel (lp_of instance ~fixed0 ~fixed1) with
       | Simplex.Infeasible -> ()
       | Simplex.Unbounded ->
           Invariant.internal_error "Ilp.solve: unbounded covering LP (bounded by construction)"

@@ -14,9 +14,12 @@ type instance = {
 
 type solution = { value : int; assignment : bool array; lp_bound : float }
 
-val solve : instance -> (solution, string) result
+val solve : ?fuel:(unit -> unit) -> instance -> (solution, string) result
 (** Exact optimum, or [Error] on infeasibility (an empty cover set) or
-    numerical failure. [lp_bound] is the root LP relaxation value. *)
+    numerical failure. [lp_bound] is the root LP relaxation value. [fuel]
+    is called once per branch-and-bound node and once per simplex pivot;
+    it may raise (e.g. [Resilience.Budget.Exhausted]) to abort an
+    over-budget solve — the exception propagates unchanged. *)
 
-val lp_bound : instance -> (float, string) result
-(** Just the LP relaxation optimum. *)
+val lp_bound : ?fuel:(unit -> unit) -> instance -> (float, string) result
+(** Just the LP relaxation optimum, under the same [fuel] contract. *)

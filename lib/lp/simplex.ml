@@ -17,7 +17,7 @@ let eps = 1e-9
    ≤ form... We instead build the classic two-phase tableau for
      min c·x  s.t.  A x - s = b,  x, s ≥ 0
    after flipping rows so that b ≥ 0. *)
-let solve (p : problem) =
+let solve ?(fuel = fun () -> ()) (p : problem) =
   let base_rows =
     List.map (fun (a, b) -> (Array.copy a, b)) p.rows
     @ List.concat
@@ -67,6 +67,7 @@ let solve (p : problem) =
   let run allowed =
     let continue = ref true and ok = ref true in
     while !continue do
+      fuel ();
       (* entering column: smallest index with negative reduced cost *)
       let enter = ref (-1) in
       (try

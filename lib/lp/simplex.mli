@@ -21,7 +21,10 @@ type outcome =
   | Infeasible
   | Unbounded
 
-val solve : problem -> outcome
+val solve : ?fuel:(unit -> unit) -> problem -> outcome
+(** [fuel] is called once per simplex iteration (pivot selection); it may
+    raise — e.g. [Resilience.Budget.Exhausted] — to abort an over-budget
+    solve. The exception propagates to the caller unchanged. *)
 
 val lp_relaxation_of_cover :
   nvars:int -> weights:float array -> sets:int list list -> problem

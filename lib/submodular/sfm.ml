@@ -161,7 +161,11 @@ let combine ps coeffs =
   Array.iteri (fun i p -> Array.iteri (fun j v -> x.(j) <- x.(j) +. (coeffs.(i) *. v)) p) ps;
   x
 
-let minimize ~n oracle =
+let minimize ?(fuel = fun () -> ()) ~n oracle =
+  let oracle s =
+    fuel ();
+    oracle s
+  in
   if n = 0 then (oracle [||], [||])
   else begin
     (* Normalize so that f(∅) = 0; restored at the end. *)

@@ -12,11 +12,13 @@
 
 type oracle = bool array -> int
 
-val minimize : n:int -> oracle -> int * bool array
+val minimize : ?fuel:(unit -> unit) -> n:int -> oracle -> int * bool array
 (** Minimum value and a minimizing set, by the Fujishige–Wolfe
     minimum-norm-point algorithm. The oracle must be submodular (not
     checked; garbage in, garbage out — though the returned value is always
-    [f] of the returned set). *)
+    [f] of the returned set). [fuel] is called once per oracle evaluation;
+    it may raise (e.g. [Resilience.Budget.Exhausted]) to abort an
+    over-budget minimization — the exception propagates unchanged. *)
 
 val minimize_bruteforce : n:int -> oracle -> int * bool array
 (** Reference implementation over all 2ⁿ subsets (n ≤ 25). *)

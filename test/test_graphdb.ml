@@ -176,7 +176,23 @@ let test_serialize_roundtrip () =
 let test_serialize_errors () =
   check "bad line" true (Result.is_error (Serialize.of_string "a bc"));
   check "bad mult" true (Result.is_error (Serialize.of_string "u a v zero"));
-  check "comments ok" true (Result.is_ok (Serialize.of_string "# hi\nu a v\n"))
+  check "comments ok" true (Result.is_ok (Serialize.of_string "# hi\nu a v\n"));
+  (* non-positive multiplicities are rejected, not silently accepted *)
+  check "mult 0" true (Result.is_error (Serialize.of_string "u a v 0"));
+  check "mult -2" true (Result.is_error (Serialize.of_string "u a v -2"));
+  (* errors carry the 1-based line number so the CLI can report file:line *)
+  (match Serialize.parse "u a v\n\nx b" with
+  | Error e -> check "line number" true (String.length e >= 2 && String.sub e 0 2 = "3:")
+  | Ok _ -> Alcotest.fail "malformed line accepted");
+  match Serialize.parse "u a v\nv b w 2\n" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      check "node_id known" true (p.Serialize.node_id "v" <> None);
+      check "node_id unknown" true (p.Serialize.node_id "zz" = None);
+      check "node_name inverts node_id" true
+        (match p.Serialize.node_id "w" with
+        | Some id -> p.Serialize.node_name id = "w"
+        | None -> false)
 
 let test_dot_export () =
   let d = Db.make ~nnodes:2 ~facts:[ (0, 'a', 1) ] in

@@ -113,6 +113,31 @@ let prop_bnb_equals_brute =
       let h = mk vs es in
       fst (H.min_hitting_set h) = H.min_hitting_set_bruteforce h)
 
+let test_greedy () =
+  (* vertex 2 hits both edges: greedy must find the optimal singleton *)
+  let cost, set = H.greedy_hitting_set (mk [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ] ]) in
+  check_int "greedy picks the hub" 1 cost;
+  check "set is {2}" true (set = [ 2 ]);
+  let cost0, set0 = H.greedy_hitting_set (mk [ 1 ] []) in
+  check_int "no edges: cost 0" 0 cost0;
+  check "no edges: empty set" true (set0 = []);
+  (* heavy hub vs two light leaves: weights must steer the choice *)
+  let w v = if v = 2 then 10 else 1 in
+  let costw, setw = H.greedy_hitting_set ~weights:w (mk [ 1; 2; 3 ] [ [ 1; 2 ]; [ 2; 3 ] ]) in
+  check_int "weighted greedy avoids the heavy hub" 2 costw;
+  check "picks the leaves" true (List.sort compare setw = [ 1; 3 ])
+
+let prop_greedy_upper_bound =
+  QCheck.Test.make ~name:"greedy hitting set is feasible and upper-bounds the optimum" ~count:300
+    (QCheck.pair arb_hg (QCheck.make QCheck.Gen.(int_range 1 5)))
+    (fun ((vs, es), wseed) ->
+      let h = mk vs es in
+      let w v = 1 + ((v * wseed) mod 4) in
+      let cost, set = H.greedy_hitting_set ~weights:w h in
+      List.for_all (fun e -> List.exists (fun v -> List.mem v set) e) (H.edges h)
+      && cost = List.fold_left (fun a v -> a + w v) 0 set
+      && cost >= H.min_hitting_set_bruteforce ~weights:w h)
+
 let prop_weighted_bnb =
   QCheck.Test.make ~name:"weighted branch and bound = weighted brute force" ~count:200
     (QCheck.pair arb_hg (QCheck.make QCheck.Gen.(int_range 1 5)))
@@ -138,8 +163,14 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_hitting_set;
           Alcotest.test_case "no edges" `Quick test_hitting_set_empty;
+          Alcotest.test_case "greedy" `Quick test_greedy;
         ] );
       ( "properties",
         List.map qcheck
-          [ prop_condense_preserves_hitting_set; prop_bnb_equals_brute; prop_weighted_bnb ] );
+          [
+            prop_condense_preserves_hitting_set;
+            prop_bnb_equals_brute;
+            prop_weighted_bnb;
+            prop_greedy_upper_bound;
+          ] );
     ]
