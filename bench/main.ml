@@ -505,6 +505,59 @@ let ablation_anytime () =
       Printf.printf "  %10d  %-28s %.3fs (%d ticks spent)\n%!" steps show dt spent.Budget.steps)
     [ 100; 500; 1_000; 2_000; 5_000; 20_000; 100_000 ]
 
+let ablation_pool () =
+  Printf.printf
+    "Supervised pool throughput on a mixed job file (easy exact solves, budgeted hard\n\
+     solves, and one kill:50 crasher that must degrade through retries), vs worker count.\n\
+     Machine-readable: one `BENCH {json}` line per configuration.\n\n";
+  let pre, _ = Gadgets.gadget_aa () in
+  let hard_db = Graphdb.Serialize.to_string (Gadgets.encode pre (Graphs.Ugraph.complete 5)) in
+  let easy_db = "s a m\nm a t\n" in
+  let job id db steps faults =
+    { Runner.Proto.id; db; query = "aa"; budget = { Runner.Proto.no_budget with steps }; faults }
+  in
+  let jobs =
+    List.init 24 (fun i -> job (Printf.sprintf "easy%d" i) easy_db None (Some "off"))
+    @ List.init 11 (fun i -> job (Printf.sprintf "hard%d" i) hard_db (Some 400) (Some "off"))
+    @ [ job "crash" hard_db (Some 1000) (Some "kill:50") ]
+  in
+  let njobs = List.length jobs in
+  let percentile sorted p =
+    sorted.(min (Array.length sorted - 1) (int_of_float (p *. float_of_int (Array.length sorted))))
+  in
+  Printf.printf "  %8s %10s %12s %10s %10s %10s\n" "workers" "jobs" "wall (s)" "jobs/s" "p50 (s)"
+    "p99 (s)";
+  List.iter
+    (fun workers ->
+      let cfg = { Runner.default_config with Runner.workers; retries = 3; backoff = 0.005 } in
+      let t0 = Runner.now_s () in
+      let replies, stats = Runner.run_batch cfg jobs in
+      let wall = Runner.now_s () -. t0 in
+      let lat =
+        List.map (fun (r : Runner.Proto.reply) -> r.Runner.Proto.wall_s) replies
+        |> Array.of_list
+      in
+      Array.sort compare lat;
+      let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+      let rate = float_of_int njobs /. wall in
+      Printf.printf "  %8d %10d %12.3f %10.1f %10.4f %10.4f  (%d failures)\n%!" workers njobs
+        wall rate p50 p99 stats.Runner.failures;
+      let open Runner.Proto.Json in
+      Printf.printf "BENCH %s\n%!"
+        (to_string
+           (Obj
+              [
+                ("bench", Str "pool_throughput");
+                ("workers", Int workers);
+                ("jobs", Int njobs);
+                ("wall_s", Float wall);
+                ("jobs_per_s", Float rate);
+                ("p50_s", Float p50);
+                ("p99_s", Float p99);
+                ("failures", Int stats.Runner.failures);
+              ])))
+    [ 1; 2; 4; 8 ]
+
 let () =
   section "fig1" "FIG1: classification table" fig1;
   section "fig2" "FIG2: example automata" fig2;
@@ -538,6 +591,7 @@ let () =
   section "ablation_solvers" "ABLATION: exact solvers and the LP bound" ablation_solvers;
   section "ablation_chain" "ABLATION: Lemma F.2 extraction vs determinization" ablation_chain_extraction;
   section "ablation_anytime" "ABLATION: anytime bounds vs work budget" ablation_anytime;
+  section "ablation_pool" "ABLATION: supervised pool throughput vs worker count" ablation_pool;
   section "scaling_submodular" "SCALING: Proposition 7.7" scaling_submodular;
   section "scaling_local" "SCALING: Theorem 3.3" scaling_local;
   section "scaling_bcl" "SCALING: Proposition 7.5" scaling_bcl;

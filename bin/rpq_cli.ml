@@ -67,6 +67,31 @@ let classify_cmd =
 
 (* ---- solve ---- *)
 
+(* `solve --json` runs the job through the same code path as a batch/serve
+   worker (minus the fork), so its reply line is schema-identical to
+   theirs: downstream tooling needs one parser, not three. *)
+let solve_json ~db_file ~query ~timeout ~steps ~memo_cap =
+  match In_channel.with_open_text db_file In_channel.input_all with
+  | exception Sys_error e -> input_error "%s" e
+  | db ->
+      let job =
+        {
+          Runner.Proto.id = db_file;
+          db;
+          query;
+          budget = { Runner.Proto.deadline = timeout; steps; memo_cap };
+          faults = None;
+        }
+      in
+      let t0 = Runner.now_s () in
+      let r = Runner.run_job_locally job in
+      let r = { r with Runner.Proto.wall_s = Runner.now_s () -. t0 } in
+      print_endline (Runner.Proto.reply_to_json r);
+      (match r.Runner.Proto.verdict with
+      | Runner.Proto.V_exact _ -> 0
+      | Runner.Proto.V_bounded _ -> exit_bounded
+      | Runner.Proto.V_failed _ -> exit_input_error)
+
 let print_fact_removals db names w =
   List.iter
     (fun id ->
@@ -107,7 +132,17 @@ let solve_cmd =
       & opt (some int) None
       & info [ "memo-cap" ] ~docv:"N" ~doc:"Cap on memo-table entries (default 2^20).")
   in
-  let run db_file s witness timeout steps memo_cap =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one machine-readable JSON reply line (the same schema as $(b,rpq batch) and \
+             $(b,rpq serve) replies) instead of the human-readable report.")
+  in
+  let run db_file s witness timeout steps memo_cap json =
+    if json then solve_json ~db_file ~query:s ~timeout ~steps ~memo_cap
+    else
     match parse_db_file db_file with
     | Error e -> input_error "%s" e
     | Ok p -> begin
@@ -151,7 +186,7 @@ let solve_cmd =
        ~doc:
          "Compute the resilience of an RPQ on a database file, exactly or within a time/work \
           budget.")
-    Term.(const run $ db_file $ regex $ witness $ timeout $ steps $ memo_cap)
+    Term.(const run $ db_file $ regex $ witness $ timeout $ steps $ memo_cap $ json)
 
 (* ---- gen ---- *)
 
@@ -386,6 +421,190 @@ let gadgets_cmd =
   Cmd.v (Cmd.info "gadgets" ~doc:"Verify the paper's hardness gadgets (Definition 4.9).")
     Term.(const run $ verbose)
 
+(* ---- batch / serve (supervised execution) ---- *)
+
+(* Jobfile grammar, one job per line (# comments, blank lines ignored):
+     <db-file> <regex> [timeout=S] [steps=N] [memo=N] [faults=PLAN]
+   Job ids are j<lineno>, so a journal from an interrupted run lines up
+   with a re-read of the same file. The database text is loaded here and
+   shipped to the workers, which parse it themselves: a malformed db is a
+   structured per-job error, not a batch abort. *)
+let parse_jobfile path =
+  let ( let* ) = Result.bind in
+  let* lines =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e -> Error e
+    | text -> Ok (String.split_on_char '\n' text)
+  in
+  let parse_line lineno line =
+    let line = match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [] -> Ok None
+    | [ _ ] -> Error (Printf.sprintf "%s:%d: expected '<db-file> <regex> [key=value...]'" path lineno)
+    | db_file :: regex :: opts ->
+        let* db =
+          match In_channel.with_open_text db_file In_channel.input_all with
+          | exception Sys_error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e)
+          | db -> Ok db
+        in
+        let* budget, faults =
+          List.fold_left
+            (fun acc opt ->
+              let* (b : Runner.Proto.budget_spec), faults = acc in
+              let bad () =
+                Error (Printf.sprintf "%s:%d: bad job option %S" path lineno opt)
+              in
+              match String.index_opt opt '=' with
+              | None -> bad ()
+              | Some i ->
+                  let k = String.sub opt 0 i in
+                  let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+                  (match k with
+                  | "timeout" -> (
+                      match float_of_string_opt v with
+                      | Some f when Float.is_finite f && f >= 0.0 ->
+                          Ok ({ b with Runner.Proto.deadline = Some f }, faults)
+                      | _ -> bad ())
+                  | "steps" -> (
+                      match int_of_string_opt v with
+                      | Some n when n >= 0 -> Ok ({ b with Runner.Proto.steps = Some n }, faults)
+                      | _ -> bad ())
+                  | "memo" -> (
+                      match int_of_string_opt v with
+                      | Some n when n >= 0 ->
+                          Ok ({ b with Runner.Proto.memo_cap = Some n }, faults)
+                      | _ -> bad ())
+                  | "faults" -> (
+                      match Faults.parse v with
+                      | Ok _ -> Ok (b, Some v)
+                      | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e))
+                  | _ -> bad ()))
+            (Ok (Runner.Proto.no_budget, None))
+            opts
+        in
+        Ok
+          (Some
+             {
+               Runner.Proto.id = Printf.sprintf "j%d" lineno;
+               db;
+               query = regex;
+               budget;
+               faults;
+             })
+  in
+  let rec loop lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let* job = parse_line lineno line in
+        loop (lineno + 1) (match job with Some j -> j :: acc | None -> acc) rest
+  in
+  loop 1 [] lines
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int Runner.default_config.Runner.workers
+    & info [ "workers" ] ~docv:"N" ~doc:"Worker pool size.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int Runner.default_config.Runner.retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retries per job after a worker crash or timeout; each retry shrinks the job's budget \
+           so persistent crashers degrade to certified bounds.")
+
+let queue_cap_arg =
+  Arg.(
+    value
+    & opt int Runner.default_config.Runner.queue_cap
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:"Admission limit: $(b,rpq serve) sheds jobs beyond this with an `overloaded' reply.")
+
+let job_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "job-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock limit per job attempt, enforced by the supervisor: the worker is SIGTERMed \
+           and, failing that, SIGKILLed.")
+
+let runner_config workers retries queue_cap job_timeout =
+  if workers < 1 then Error "need at least one worker"
+  else if retries < 0 then Error "negative retries"
+  else if queue_cap < 1 then Error "queue cap must be at least 1"
+  else
+    Ok
+      {
+        Runner.default_config with
+        Runner.workers;
+        retries;
+        queue_cap;
+        job_timeout;
+      }
+
+let batch_cmd =
+  let jobfile =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOBFILE"
+          ~doc:"One job per line: <db-file> <regex> [timeout=S] [steps=N] [memo=N] [faults=PLAN].")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead journal: every dispatch and settlement is appended here, and a rerun \
+             with the same journal skips already-settled jobs (re-verified unless RPQ_CHECK=off).")
+  in
+  let run jobfile journal workers retries queue_cap job_timeout =
+    match runner_config workers retries queue_cap job_timeout with
+    | Error e -> input_error "batch: %s" e
+    | Ok cfg -> begin
+        match parse_jobfile jobfile with
+        | Error e -> input_error "%s" e
+        | Ok [] -> input_error "%s: no jobs" jobfile
+        | Ok jobs ->
+            let replies, stats = Runner.run_batch ?journal cfg jobs in
+            List.iter (fun r -> print_endline (Runner.Proto.reply_to_json r)) replies;
+            Printf.eprintf "batch: %d jobs (%d run, %d resumed), %d failures\n%!"
+              (List.length replies) stats.Runner.ran stats.Runner.resumed stats.Runner.failures;
+            if stats.Runner.failures = 0 then 0 else 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a file of resilience jobs under the supervised worker pool: fork isolation, \
+          retries with budget degradation, and journal-based crash recovery. Emits one JSON \
+          reply line per job, in jobfile order. Exits 0 iff every job settled without error.")
+    Term.(
+      const run $ jobfile $ journal $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg)
+
+let serve_cmd =
+  let run workers retries queue_cap job_timeout =
+    match runner_config workers retries queue_cap job_timeout with
+    | Error e -> input_error "serve: %s" e
+    | Ok cfg ->
+        Runner.serve cfg stdin stdout;
+        0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve resilience jobs from stdin (one JSON job per line) to stdout (one JSON reply \
+          per line, in settlement order), under the supervised worker pool with admission \
+          control. Runs until stdin closes and every accepted job has settled.")
+    Term.(const run $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg)
+
 let () =
   let doc = "Resilience of regular path queries (PODS 2025 reproduction)" in
   let info = Cmd.info "rpq" ~version:"1.0.0" ~doc in
@@ -403,4 +622,6 @@ let () =
             gadgets_cmd;
             certify_cmd;
             dot_cmd;
+            batch_cmd;
+            serve_cmd;
           ]))

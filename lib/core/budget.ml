@@ -14,6 +14,7 @@ type t = {
   max_steps : int option;
   memo_cap : int;
   fault_at : int option;
+  probe : (int -> unit) option;
   started : float;
   limited : bool;
   mutable steps : int;
@@ -32,13 +33,14 @@ let unlimited () =
     max_steps = None;
     memo_cap = default_memo_cap;
     fault_at = None;
+    probe = None;
     started = Sys.time ();
     limited = false;
     steps = 0;
     state = None;
   }
 
-let create ?deadline ?steps ?(memo_cap = default_memo_cap) () =
+let create ?deadline ?steps ?(memo_cap = default_memo_cap) ?probe () =
   if memo_cap < 0 then invalid_arg "Budget.create: negative memo cap";
   (match deadline with
   | Some d when not (Float.is_finite d && d >= 0.0) ->
@@ -54,6 +56,7 @@ let create ?deadline ?steps ?(memo_cap = default_memo_cap) () =
     max_steps = steps;
     memo_cap;
     fault_at = Faults.next_fault_tick ();
+    probe;
     started = now;
     limited = true;
     steps = 0;
@@ -83,7 +86,12 @@ let rec tick b =
       | _ -> ());
       (match b.deadline with
       | Some dl when b.steps land deadline_mask = 0 && Sys.time () >= dl -> exhaust b Deadline
-      | _ -> ())
+      | _ -> ());
+      (* The probe runs last: when a budget limit and a worker fault (see
+         [Faults.worker_mode]) would fire on the same tick, exhaustion wins,
+         so a retried job with a tight-enough budget degrades to bounds
+         instead of crashing again. *)
+      (match b.probe with Some f -> f b.steps | None -> ())
 
 let fuel b () = tick b
 
@@ -105,6 +113,7 @@ let slice b ~deadline_frac ~steps_frac =
         b.max_steps;
     memo_cap = b.memo_cap;
     fault_at = None;
+    probe = None;
     started = now;
     limited = b.limited;
     steps = 0;

@@ -36,11 +36,18 @@ type t
 val unlimited : unit -> t
 (** Never exhausts, never faults; carries {!default_memo_cap}. *)
 
-val create : ?deadline:float -> ?steps:int -> ?memo_cap:int -> unit -> t
+val create : ?deadline:float -> ?steps:int -> ?memo_cap:int -> ?probe:(int -> unit) -> unit -> t
 (** [create ~deadline ~steps ~memo_cap ()] starts a budget of [deadline]
     seconds of processor time from now, [steps] ticks, and a memo cap of
     [memo_cap] entries (default {!default_memo_cap}). Omitted dimensions are
-    unlimited. The current {!Faults} plan is consulted for a fault tick. *)
+    unlimited. The current {!Faults} plan is consulted for a fault tick.
+
+    [probe], when given, is called on every tick with the step count after
+    all exhaustion checks (so a budget limit firing on the same tick
+    preempts it) — the supervised-execution workers use it to implement the
+    [kill:N]/[wedge:N] worker fault modes of {!Faults}. It may raise or
+    never return; it must not call back into this budget. {!slice}s do not
+    inherit the probe (their ticks reach it through the parent). *)
 
 val default_memo_cap : int
 (** Cap on memo/table entry counts applied even to unlimited budgets

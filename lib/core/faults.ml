@@ -2,39 +2,79 @@ type plan =
   | Off
   | At_tick of int
   | Seeded of { seed : int; period : int }
+  | Kill_after of int
+  | Wedge_after of int
 
 let default_period = 1000
 let default_seeded = Seeded { seed = 0x5eed; period = default_period }
 
+(* Strict decimal parsing: [int_of_string_opt] accepts hex ("0x5"),
+   underscores ("5_0", "5_") and a leading sign, so a spec like "tick:5_"
+   would silently parse as a prefix of what the user typed. The fault
+   grammar is plain decimals only; anything else is trailing garbage. *)
+let dec_opt s =
+  let n = String.length s in
+  if n = 0 || n > 18 then None
+  else begin
+    let ok = ref true in
+    String.iter (fun c -> if c < '0' || c > '9' then ok := false) s;
+    if !ok then int_of_string_opt s else None
+  end
+
+let signed_dec_opt s =
+  let n = String.length s in
+  if n > 1 && s.[0] = '-' then
+    Option.map (fun v -> -v) (dec_opt (String.sub s 1 (n - 1)))
+  else dec_opt s
+
+let grammar = "off | tick:N | seed:S[:M] | kill:N | wedge:N"
+
 let parse s =
+  let positive what n k =
+    match dec_opt n with
+    | Some n when n >= 1 -> Ok (k n)
+    | _ ->
+        Error
+          (Printf.sprintf
+             "%s index %S must be a decimal integer >= 1 (no trailing garbage); grammar: %s" what
+             n grammar)
+  in
   match String.lowercase_ascii (String.trim s) with
   | "" | "off" | "none" | "0" -> Ok Off
   | t -> begin
       match String.split_on_char ':' t with
-      | [ "tick"; n ] -> begin
-          match int_of_string_opt n with
-          | Some n when n >= 1 -> Ok (At_tick n)
-          | _ -> Error (Printf.sprintf "tick index %S must be an integer >= 1" n)
-        end
+      | [ "tick"; n ] -> positive "tick" n (fun n -> At_tick n)
+      | [ "kill"; n ] -> positive "kill" n (fun n -> Kill_after n)
+      | [ "wedge"; n ] -> positive "wedge" n (fun n -> Wedge_after n)
       | [ "seed"; s ] -> begin
-          match int_of_string_opt s with
+          match signed_dec_opt s with
           | Some seed -> Ok (Seeded { seed; period = default_period })
-          | None -> Error (Printf.sprintf "seed %S must be an integer" s)
+          | None ->
+              Error
+                (Printf.sprintf "seed %S must be a decimal integer (no trailing garbage)" s)
         end
       | [ "seed"; s; m ] -> begin
-          match (int_of_string_opt s, int_of_string_opt m) with
+          match (signed_dec_opt s, dec_opt m) with
           | Some seed, Some period when period >= 1 -> Ok (Seeded { seed; period })
-          | _ -> Error (Printf.sprintf "expected seed:<int>:<period >= 1>, got %S" t)
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "expected seed:<decimal int>:<decimal period >= 1> (no trailing garbage), \
+                    got %S"
+                   t)
         end
-      | _ ->
+      | ("tick" | "kill" | "wedge" | "seed") :: _ ->
           Error
-            (Printf.sprintf "unrecognized fault plan %S (grammar: off | tick:N | seed:S[:M])" t)
+            (Printf.sprintf "trailing garbage in fault plan %S (grammar: %s)" t grammar)
+      | _ -> Error (Printf.sprintf "unrecognized fault plan %S (grammar: %s)" t grammar)
     end
 
 let to_string = function
   | Off -> "off"
   | At_tick n -> Printf.sprintf "tick:%d" n
   | Seeded { seed; period } -> Printf.sprintf "seed:%d:%d" seed period
+  | Kill_after n -> Printf.sprintf "kill:%d" n
+  | Wedge_after n -> Printf.sprintf "wedge:%d" n
 
 (* Stream state for Seeded plans: a 48-bit LCG drawn from the high bits
    (the low bits of an LCG have tiny periods — see Sfm.validate_submodular
@@ -51,7 +91,9 @@ let initial =
      running fault-free. *)
   | Some s -> Result.value ~default:default_seeded (parse s)
 
-let seed_of = function Seeded { seed; _ } -> seed | Off | At_tick _ -> 0
+let seed_of = function
+  | Seeded { seed; _ } -> seed
+  | Off | At_tick _ | Kill_after _ | Wedge_after _ -> 0
 
 let state = { active = initial; lcg = mix (seed_of initial) }
 
@@ -72,8 +114,14 @@ let with_plan p f =
 
 let next_fault_tick () =
   match state.active with
-  | Off -> None
+  | Off | Kill_after _ | Wedge_after _ -> None
   | At_tick n -> Some n
   | Seeded { period; _ } ->
       state.lcg <- ((state.lcg * 25214903917) + 11) land 0xFFFFFFFFFFFF;
       Some (1 + ((state.lcg lsr 16) mod period))
+
+let worker_mode () =
+  match state.active with
+  | Kill_after n -> Some (`Kill n)
+  | Wedge_after n -> Some (`Wedge n)
+  | Off | At_tick _ | Seeded _ -> None

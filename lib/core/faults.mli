@@ -1,12 +1,22 @@
-(** Deterministic fault injection for the anytime solver engine.
+(** Deterministic fault injection for the anytime solver engine and the
+    supervised execution layer.
 
-    Real budget exhaustion (a wall-clock deadline firing mid-search) is
-    timing-dependent and therefore impossible to reproduce in tests. This
-    module lets the test suite and CI force {!Budget} exhaustion at an
-    {e exact} tick index instead: every budget created by {!Budget.create}
-    asks the current fault plan for a tick at which to inject a synthetic
-    exhaustion, so every degradation path of {!Solver.solve_bounded} can be
-    exercised reproducibly.
+    Real failures — a wall-clock deadline firing mid-search, a worker
+    process crashing or hanging — are timing-dependent and therefore
+    impossible to reproduce in tests. This module lets the test suite and
+    CI force them at an {e exact} tick index instead, at two levels:
+
+    {ul
+    {- {b budget faults} ([tick:N], [seed:S[:M]]): every budget created by
+       {!Budget.create} asks the current plan for a tick at which to inject
+       a synthetic {!Budget.Exhausted}, so every degradation path of
+       [Solver.solve_bounded] can be exercised reproducibly;}
+    {- {b worker faults} ([kill:N], [wedge:N]): the fork-isolated workers of
+       [Runner] consult {!worker_mode} per job and, at the given budget
+       tick, either self-SIGKILL ([kill]) or stop responding while blocking
+       SIGTERM ([wedge], forcing the supervisor's SIGKILL-after-grace
+       timeout path), so every supervision branch is deterministically
+       testable.}}
 
     The plan is normally set by the [RPQ_FAULTS] environment variable:
 
@@ -15,20 +25,30 @@
                  | "tick:" N          fail every budget at its Nth tick
                  | "seed:" S          seeded stream, period 1000
                  | "seed:" S ":" M    seeded stream, period M
+                 | "kill:" N          workers self-SIGKILL at budget tick N
+                 | "wedge:" N         workers stop responding at budget tick N
     v}
+
+    All numbers are plain decimals; a spec with trailing garbage
+    ([tick:5x], [tick:5_], [seed:7:200:9]) is rejected with a clear error
+    rather than silently parsed as a prefix. An unrecognized value means
+    someone asked for fault injection: we fail safe and enable a default
+    seeded plan rather than silently running fault-free.
 
     With [tick:N] every budget faults at tick [N] (N ≥ 1). With
     [seed:S:M] each successive budget draws its fault tick uniformly from
     [1 .. M] out of a deterministic LCG stream seeded by [S], so a whole
     test-suite run probes many different exhaustion points while staying
-    bit-for-bit reproducible. An unrecognized value means someone asked for
-    fault injection: we fail safe and enable a default seeded plan rather
-    than silently running fault-free.
+    bit-for-bit reproducible.
 
-    Fault injection only affects budgets made by {!Budget.create}
+    Budget-fault injection only affects budgets made by {!Budget.create}
     (the budgets of [solve_bounded]); {!Budget.unlimited} never faults, so
     plain [Solver.solve] and the exact baselines are unaffected even under a
-    fault-injection sweep. *)
+    fault-injection sweep. Worker-fault plans never inject budget
+    exhaustion ({!next_fault_tick} is [None] for them): a tight retry
+    budget can therefore exhaust {e before} the fault tick fires, which is
+    exactly how the supervisor's budget-degradation retries turn a
+    persistently crashing exact solve into a [Bounded] answer. *)
 
 type plan =
   | Off
@@ -36,9 +56,16 @@ type plan =
   | Seeded of { seed : int; period : int }
       (** each budget faults at a pseudo-random tick in [1 .. period],
           drawn from an LCG stream seeded once per [set_plan] *)
+  | Kill_after of int
+      (** worker processes self-SIGKILL once their job budget reaches this
+          tick (≥ 1); budgets themselves never fault under this plan *)
+  | Wedge_after of int
+      (** worker processes stop responding (blocking SIGTERM) once their
+          job budget reaches this tick (≥ 1) *)
 
 val parse : string -> (plan, string) result
-(** Parses the [RPQ_FAULTS] grammar above. *)
+(** Parses the [RPQ_FAULTS] grammar above. Numbers must be plain decimal
+    digits: hex, underscores, and any trailing garbage are rejected. *)
 
 val to_string : plan -> string
 (** Inverse of {!parse} (canonical form). *)
@@ -55,5 +82,11 @@ val with_plan : plan -> (unit -> 'a) -> 'a
 
 val next_fault_tick : unit -> int option
 (** Resolves the active plan for a freshly created budget: [None] under
-    [Off], [Some n] for the tick at which that budget must inject a fault.
-    Each call under a [Seeded] plan advances the stream. *)
+    [Off] and the worker-fault plans, [Some n] for the tick at which that
+    budget must inject a fault. Each call under a [Seeded] plan advances
+    the stream. *)
+
+val worker_mode : unit -> [ `Kill of int | `Wedge of int ] option
+(** The worker-level fault mode of the active plan, if any. Consulted by
+    the [Runner] workers once per job; the budget tick at which the fault
+    fires is implemented via the [probe] hook of {!Budget.create}. *)

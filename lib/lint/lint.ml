@@ -13,6 +13,7 @@ let rule_print = "print-in-lib"
 let rule_failwith = "failwith"
 let rule_assert_false = "assert-false"
 let rule_missing_mli = "missing-mli"
+let rule_unix = "unix-outside-runner"
 
 let banned_idents =
   [
@@ -245,6 +246,17 @@ let scan_source ~file src =
           if tok = banned || tok = "Stdlib." ^ banned then
             add line rule (Printf.sprintf "%s is banned in library code: %s" banned hint))
         banned_idents;
+      (* Process management and raw fds live in lib/runner (and bin/) only:
+         a solver module that forks, signals, or sleeps is impossible to
+         reason about and to test. [scan_lib] exempts lib/runner
+         structurally — by path, not by allowlist. *)
+      if
+        tok = "Unix" || tok = "UnixLabels"
+        || String.starts_with ~prefix:"Unix." tok
+        || String.starts_with ~prefix:"UnixLabels." tok
+      then
+        add line rule_unix
+          (Printf.sprintf "%s: the Unix library is confined to lib/runner and bin/" tok);
       if !prev = "assert" && tok = "false" then
         add line rule_assert_false
           "assert false is banned in library code: raise Invariant.Internal_error";
@@ -297,8 +309,22 @@ let missing_mlis ~lib_root =
           })
     (ml_files lib_root)
 
+(* The one subtree whose whole point is process supervision: the Unix rule
+   does not apply there. A structural exemption, not an allowlist entry —
+   it names a design boundary, not a known violation. *)
+let unix_exempt ~lib_root file =
+  let prefix = Filename.concat lib_root "runner" ^ Filename.dir_sep in
+  String.starts_with ~prefix file
+
 let scan_lib ~lib_root =
-  let from_sources = List.concat_map scan_file (ml_files lib_root) in
+  let from_sources =
+    List.concat_map
+      (fun file ->
+        List.filter
+          (fun f -> not (f.rule = rule_unix && unix_exempt ~lib_root file))
+          (scan_file file))
+      (ml_files lib_root)
+  in
   from_sources @ missing_mlis ~lib_root
 
 let allowed ~allowlist f =

@@ -13,7 +13,12 @@
       code;
     - [failwith] / [assert false] — internal errors must go through
       {!Invariant.internal_error} so they carry a subsystem and message;
-    - any [.ml] under [lib/] without a matching [.mli].
+    - any [.ml] under [lib/] without a matching [.mli];
+    - references to the [Unix] library outside [lib/runner] — process
+      supervision (fork, signals, pipes, wall-clock waits) is confined to
+      the supervised execution layer (and [bin/]), so the solver stack
+      stays deterministic and testable in-process. The exemption is
+      structural (by path, in {!scan_lib}), not an allowlist entry.
 
     The scanner strips comments, string literals and character literals
     (preserving line numbers), then matches whole dotted identifiers, so
@@ -40,6 +45,11 @@ val rule_print : string
 val rule_failwith : string
 val rule_assert_false : string
 val rule_missing_mli : string
+
+val rule_unix : string
+(** [Unix]/[UnixLabels] reference outside [lib/runner]. Reported by
+    {!scan_source} on any source; {!scan_lib} drops it for files under
+    [<lib_root>/runner/]. *)
 
 val banned_idents : (string * string * string) list
 (** [(identifier, rule, hint)] for every banned dotted identifier. *)

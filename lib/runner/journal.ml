@@ -1,0 +1,117 @@
+open Proto
+
+type entry =
+  | Started of { id : string; digest : string }
+  | Done of { id : string; digest : string; reply : reply }
+
+(* The digest covers the job as originally submitted (including its full
+   budget, before any retry degradation), so a resumed run only reuses a
+   recorded answer when the job text is byte-identical. *)
+let job_digest j = Digest.to_hex (Digest.string (job_to_json j))
+
+let entry_to_json = function
+  | Started { id; digest } ->
+      Json.to_string
+        (Json.Obj [ ("event", Json.Str "start"); ("id", Json.Str id); ("job", Json.Str digest) ])
+  | Done { id; digest; reply } ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("event", Json.Str "done");
+             ("id", Json.Str id);
+             ("job", Json.Str digest);
+             ("reply", reply_to_obj reply);
+           ])
+
+let entry_of_json line =
+  let ( let* ) = Result.bind in
+  let* v = Json.parse line in
+  let str what =
+    match Option.bind (Json.member what v) Json.to_str_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" what)
+  in
+  let* event = str "event" in
+  let* id = str "id" in
+  let* digest = str "job" in
+  match event with
+  | "start" -> Ok (Started { id; digest })
+  | "done" -> begin
+      match Json.member "reply" v with
+      | None -> Error "done entry without a reply"
+      | Some r ->
+          let* reply = reply_of_obj r in
+          Ok (Done { id; digest; reply })
+    end
+  | other -> Error (Printf.sprintf "unknown journal event %S" other)
+
+type t = { path : string; mutable oc : out_channel option }
+
+let open_append path = { path; oc = None }
+
+let append t entry =
+  let oc =
+    match t.oc with
+    | Some oc -> oc
+    | None ->
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 t.path in
+        t.oc <- Some oc;
+        oc
+  in
+  output_string oc (entry_to_json entry);
+  output_char oc '\n';
+  (* One job may be the supervisor's last act before a crash: flush per
+     line so the write-ahead property actually holds. *)
+  flush oc
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      t.oc <- None;
+      close_out oc
+
+let load path =
+  match open_in path with
+  | exception Sys_error _ -> Ok []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let entries = ref [] in
+          let lineno = ref 0 in
+          let err = ref None in
+          (try
+             while true do
+               let line = input_line ic in
+               incr lineno;
+               let at_eof = pos_in ic >= in_channel_length ic in
+               if String.trim line = "" then ()
+               else
+                 match entry_of_json line with
+                 | Ok e -> entries := e :: !entries
+                 | Error msg ->
+                     (* A torn final line is the expected crash artifact —
+                        recovery must tolerate it. A malformed line in the
+                        middle means the file is not our journal: refuse to
+                        resume rather than silently skip results. *)
+                     if at_eof then raise Exit
+                     else begin
+                       err := Some (Printf.sprintf "%s:%d: %s" path !lineno msg);
+                       raise Exit
+                     end
+             done
+           with End_of_file | Exit -> ());
+          match !err with Some msg -> Error msg | None -> Ok (List.rev !entries))
+
+let completed entries =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Started _ -> ()
+      | Done { id; digest; reply } ->
+          (* Last entry wins: a re-run job (e.g. after a failed
+             re-verification) supersedes its earlier answer. *)
+          Hashtbl.replace tbl id (digest, reply))
+    entries;
+  tbl

@@ -1,0 +1,43 @@
+(** Write-ahead job journal for resumable batch runs.
+
+    [rpq batch] appends one line per event — [Started] when a job is first
+    dispatched, [Done] with the full reply when it settles — flushing each
+    line, so that after a crash (or a SIGKILL of the supervisor itself) a
+    re-run with the same journal skips every settled job and recomputes
+    only the rest. Entries are {!Proto.Json} lines, human-greppable and
+    schema-shared with the wire protocol. *)
+
+type entry =
+  | Started of { id : string; digest : string }
+  | Done of { id : string; digest : string; reply : Proto.reply }
+
+val job_digest : Proto.job -> string
+(** Hex digest of the canonical job encoding (with its {e original}
+    budget). Resume matches on both id and digest, so editing a job in the
+    jobfile invalidates its recorded answer instead of silently reusing
+    it. *)
+
+val entry_to_json : entry -> string
+val entry_of_json : string -> (entry, string) result
+
+type t
+
+val open_append : string -> t
+(** Opens (lazily, on first {!append}) the journal at this path for
+    appending, creating it if missing. *)
+
+val append : t -> entry -> unit
+(** Appends one line and flushes — the write-ahead property depends on the
+    per-line flush. *)
+
+val close : t -> unit
+
+val load : string -> (entry list, string) result
+(** Reads a journal back. A missing file is an empty journal. A malformed
+    {e final} line is tolerated (torn write from a crash mid-append); a
+    malformed line anywhere else is an error — the file is likely not a
+    journal, and resuming from it would silently drop results. *)
+
+val completed : entry list -> (string, string * Proto.reply) Hashtbl.t
+(** Settled jobs by id, mapping to [(digest, reply)]; for duplicate ids
+    the last [Done] entry wins. *)

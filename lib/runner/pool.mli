@@ -1,0 +1,62 @@
+(** Fork-isolated worker pool.
+
+    The mechanism half of the supervised execution layer: it forks
+    workers, frames line-delimited messages over per-worker pipe pairs,
+    detects and classifies worker deaths, enforces per-job wall-clock
+    deadlines (SIGTERM, then SIGKILL after a grace period — the SIGKILL
+    path catches workers that block SIGTERM, as [wedge:N] ones do), and
+    respawns a replacement for every dead worker. Policy — retries,
+    budget degradation, queueing, journaling — lives in {!Runner}.
+
+    Workers run [handler] on each job line and reply with one line. The
+    pool never interprets either payload. One job is in flight per worker
+    at most; {!assign} requires an idle worker (check {!idle_count}). *)
+
+type death =
+  | Exited of int  (** exited with this nonzero code *)
+  | Signaled of int  (** killed by this signal *)
+  | Timed_out  (** overran the job deadline and was killed by the pool *)
+  | Malformed of string
+      (** never produced by the pool itself: {!Runner} uses it when a
+          worker's reply line does not parse *)
+
+val death_to_string : death -> string
+
+type config = {
+  workers : int;  (** pool size, ≥ 1 *)
+  job_timeout : float option;  (** per-job wall-clock seconds *)
+  grace : float;  (** SIGTERM-to-SIGKILL escalation delay, seconds *)
+}
+
+type t
+
+type event =
+  | Completed of { id : string; reply : string }  (** reply line, unparsed *)
+  | Crashed of { id : string; death : death }
+  | Input of Unix.file_descr  (** an [~extra] fd of {!poll} is readable *)
+
+val create : config -> handler:(string -> string) -> t
+(** Forks [workers] children, each looping [handler] over incoming job
+    lines. Installs [Signal_ignore] for SIGPIPE in the calling process (a
+    worker dying mid-write must not kill the supervisor). The handler runs
+    in the child and must not assume any parent state mutated after
+    [create]. *)
+
+val idle_count : t -> int
+
+val assign : t -> id:string -> payload:string -> unit
+(** Sends the job to some idle worker and starts its deadline clock.
+    Raises [Invalid_argument] if no worker is idle — the caller owns the
+    queue and must not overcommit. A crash racing the send is fine: the
+    death surfaces through {!poll} and the job is reported [Crashed]. *)
+
+val poll : ?extra:Unix.file_descr list -> ?timeout:float -> t -> event list
+(** Waits (at most [timeout] seconds, default 1.0, sooner if a job
+    deadline is nearer) for worker replies, worker deaths, or readability
+    of an [extra] fd, and returns the events observed — possibly none.
+    Dead workers have already been replaced by the time their [Crashed]
+    event is returned. *)
+
+val shutdown : t -> unit
+(** Closes all pipes, SIGKILLs stragglers, reaps every child. Idempotent.
+    Jobs still in flight are abandoned without an event. *)

@@ -1,0 +1,432 @@
+module Proto = Proto
+module Pool = Pool
+module Journal = Journal
+open Proto
+module Ser = Graphdb.Serialize
+module Db = Graphdb.Db
+module Eval = Graphdb.Eval
+open Resilience
+
+let now_s () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker side: run one job to a reply, in this process.               *)
+(* ------------------------------------------------------------------ *)
+
+(* A [wedge:N] worker must take the supervisor's SIGKILL-after-grace
+   path, so the polite SIGTERM has to be survivable: block it, then stop
+   responding. If the supervisor itself dies (it can be SIGKILLed, too)
+   nobody is left to deliver our SIGKILL — poll for reparenting to init so
+   a wedged orphan exits within a second instead of leaking forever. *)
+let wedge_forever () =
+  ignore (Unix.sigprocmask Unix.SIG_BLOCK [ Sys.sigterm ]);
+  while true do
+    Unix.sleep 1;
+    if Unix.getppid () = 1 then Unix._exit 0
+  done
+
+let worker_probe () =
+  match Faults.worker_mode () with
+  | None -> None
+  | Some (`Kill n) ->
+      Some (fun steps -> if steps >= n then Unix.kill (Unix.getpid ()) Sys.sigkill)
+  | Some (`Wedge n) -> Some (fun steps -> if steps >= n then wedge_forever ())
+
+let spent_steps = function None -> 0 | Some b -> (Budget.spent b).Budget.steps
+
+let run_job_locally (job : job) : reply =
+  match Ser.parse job.db with
+  | Error e -> failed ~id:job.id ~kind:"bad-job" "database: %s" e
+  | Ok p -> begin
+      match Automata.Regex.parse_opt job.query with
+      | None -> failed ~id:job.id ~kind:"bad-job" "invalid regular expression %S" job.query
+      | Some _ -> begin
+          match
+            match job.faults with None -> Ok (Faults.plan ()) | Some s -> Faults.parse s
+          with
+          | Error e -> failed ~id:job.id ~kind:"bad-job" "faults: %s" e
+          | Ok plan ->
+              Faults.with_plan plan @@ fun () ->
+              let lang = Automata.Lang.of_string job.query in
+              let probe = worker_probe () in
+              let b = job.budget in
+              let budget =
+                match (b.deadline, b.steps, b.memo_cap, probe) with
+                | None, None, None, None -> None
+                | _ ->
+                    Some
+                      (Budget.create ?deadline:b.deadline ?steps:b.steps ?memo_cap:b.memo_cap
+                         ?probe ())
+              in
+              let verdict =
+                match Solver.solve_bounded ?budget p.Ser.db lang with
+                | Solver.Exact r ->
+                    V_exact
+                      {
+                        value = r.Solver.value;
+                        algorithm = Solver.algorithm_name r.Solver.algorithm;
+                        witness = r.Solver.witness;
+                      }
+                | Solver.Bounded { lower; upper; upper_witness; reason; spent = _ } ->
+                    V_bounded
+                      {
+                        lower;
+                        upper;
+                        witness = upper_witness;
+                        reason = Budget.exhaustion_name reason;
+                      }
+                | exception Invalid_argument e ->
+                    V_failed { kind = "bad-job"; message = e; retriable = false }
+                | exception Invariant.Internal_error e ->
+                    V_failed { kind = "internal"; message = e; retriable = false }
+              in
+              {
+                id = job.id;
+                attempts = 1;
+                steps = spent_steps budget;
+                wall_s = 0.0;
+                verdict;
+              }
+        end
+    end
+
+let worker_handler line =
+  let reply =
+    match job_of_json line with
+    | Error e -> failed ~id:"" ~kind:"bad-job" "unparseable job line: %s" e
+    | Ok job -> run_job_locally job
+  in
+  reply_to_json reply
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: retry policy.                                           *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  workers : int;
+  retries : int;  (** extra attempts after the first *)
+  degrade : int;  (** budget divisor applied per retry *)
+  queue_cap : int;  (** admission limit for {!serve} *)
+  job_timeout : float option;
+  grace : float;
+  backoff : float;  (** base retry delay, doubled per attempt *)
+}
+
+let default_config =
+  {
+    workers = 4;
+    retries = 2;
+    degrade = 8;
+    queue_cap = 64;
+    job_timeout = None;
+    grace = 0.5;
+    backoff = 0.05;
+  }
+
+(* 50k steps is comfortably above anything the polynomial paths tick and
+   a fraction of a second of branch and bound: a sane first ceiling for a
+   job that crashed with no budget of its own. *)
+let default_retry_steps = 50_000
+
+let degrade_budget ~degrade (b : budget_spec) : budget_spec =
+  let d = max 2 degrade in
+  {
+    deadline = Option.map (fun s -> Float.max 0.01 (s /. float_of_int d)) b.deadline;
+    steps =
+      (match b.steps with
+      | Some s -> Some (max 1 (s / d))
+      | None -> Some default_retry_steps);
+    memo_cap = b.memo_cap;
+  }
+
+let death_kind = function
+  | Pool.Timed_out -> "timeout"
+  | Pool.Exited _ | Pool.Signaled _ -> "crash"
+  | Pool.Malformed _ -> "malformed"
+
+type task = {
+  job : job;  (** as submitted, with the original budget *)
+  mutable attempts : int;  (** dispatches so far *)
+  mutable cur_budget : budget_spec;
+  mutable first_dispatch : float;  (** wall clock, for [wall_s] *)
+  mutable not_before : float;  (** backoff gate *)
+}
+
+type engine = {
+  cfg : config;
+  pool : Pool.t;
+  pending : task Queue.t;
+  mutable delayed : task list;
+  inflight : (string, task) Hashtbl.t;
+  emit : reply -> unit;
+  on_dispatch : task -> unit;  (** first dispatch only (journal Started) *)
+}
+
+let engine_load e = Queue.length e.pending + List.length e.delayed + Hashtbl.length e.inflight
+
+let submit e job =
+  Queue.add
+    { job; attempts = 0; cur_budget = job.budget; first_dispatch = 0.0; not_before = 0.0 }
+    e.pending
+
+let dispatch_ready e =
+  (* Promote delayed tasks whose backoff expired... *)
+  let t_now = now_s () in
+  let due, still = List.partition (fun t -> t.not_before <= t_now) e.delayed in
+  e.delayed <- still;
+  List.iter (fun t -> Queue.add t e.pending) due;
+  (* ...then feed idle workers. *)
+  let idle = ref (Pool.idle_count e.pool) in
+  while !idle > 0 && not (Queue.is_empty e.pending) do
+    let t = Queue.pop e.pending in
+    if t.attempts = 0 then begin
+      t.first_dispatch <- now_s ();
+      e.on_dispatch t
+    end;
+    t.attempts <- t.attempts + 1;
+    Hashtbl.replace e.inflight t.job.id t;
+    let payload = job_to_json { t.job with budget = t.cur_budget } in
+    Pool.assign e.pool ~id:t.job.id ~payload;
+    decr idle
+  done
+
+let settle e t reply =
+  Hashtbl.remove e.inflight t.job.id;
+  e.emit { reply with id = t.job.id; attempts = t.attempts; wall_s = now_s () -. t.first_dispatch }
+
+let retry_or_fail e t death =
+  if t.attempts > e.cfg.retries then
+    settle e t
+      (failed ~id:t.job.id ~kind:(death_kind death) "gave up after %d attempts: %s" t.attempts
+         (Pool.death_to_string death))
+  else begin
+    Hashtbl.remove e.inflight t.job.id;
+    (* Shrink the budget so whatever made the worker die (a fault tick, a
+       runaway search) is preempted by exhaustion on a later attempt and
+       the job settles as Bounded instead of failing outright. *)
+    t.cur_budget <- degrade_budget ~degrade:e.cfg.degrade t.cur_budget;
+    t.not_before <-
+      now_s () +. (e.cfg.backoff *. float_of_int (1 lsl min 16 (t.attempts - 1)));
+    e.delayed <- t :: e.delayed
+  end
+
+let task_of_event e id =
+  match Hashtbl.find_opt e.inflight id with
+  | Some t -> Some t
+  | None -> None (* stray reply for a job we already settled *)
+
+let handle_event e = function
+  | Pool.Input _ -> ()
+  | Pool.Completed { id; reply = line } -> begin
+      match task_of_event e id with
+      | None -> ()
+      | Some t -> begin
+          match reply_of_json line with
+          | Ok r -> settle e t r
+          | Error msg -> retry_or_fail e t (Pool.Malformed (line ^ " (" ^ msg ^ ")"))
+        end
+    end
+  | Pool.Crashed { id; death } -> begin
+      match task_of_event e id with None -> () | Some t -> retry_or_fail e t death
+    end
+
+(* The poll timeout must wake us for the nearest backoff expiry, else a
+   lone delayed task waits out the full default timeout. *)
+let engine_timeout e =
+  let t_now = now_s () in
+  List.fold_left
+    (fun acc t -> Float.min acc (Float.max 0.005 (t.not_before -. t_now)))
+    0.5 e.delayed
+
+let create_engine cfg ~emit ~on_dispatch =
+  if cfg.retries < 0 then invalid_arg "Runner: negative retries";
+  if cfg.queue_cap < 1 then invalid_arg "Runner: queue cap must be at least 1";
+  let pool =
+    Pool.create
+      { Pool.workers = cfg.workers; job_timeout = cfg.job_timeout; grace = cfg.grace }
+      ~handler:worker_handler
+  in
+  { cfg; pool; pending = Queue.create (); delayed = []; inflight = Hashtbl.create 64; emit; on_dispatch }
+
+let drain e =
+  while engine_load e > 0 do
+    dispatch_ready e;
+    if engine_load e > 0 then
+      List.iter (handle_event e) (Pool.poll ~timeout:(engine_timeout e) e.pool)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Batch runs with journal-based crash recovery.                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Cheap re-verification of a recorded answer: a witness (a set of fact
+   ids) must actually falsify the query, and its cost must match the
+   claimed exact value / upper bound. Witness-free and error replies are
+   taken at face value — there is nothing cheap to check. *)
+let verify_reply (job : job) (reply : reply) =
+  let check witness claimed =
+    match (Ser.parse job.db, Automata.Regex.parse_opt job.query) with
+    | Ok p, Some _ ->
+        let db = p.Ser.db in
+        let lang = Automata.Lang.of_string job.query in
+        let removed =
+          let tbl = Hashtbl.create (List.length witness) in
+          List.iter (fun id -> Hashtbl.replace tbl id ()) witness;
+          fun id -> Hashtbl.mem tbl id
+        in
+        let cost = List.fold_left (fun acc id -> acc + Db.mult db id) 0 witness in
+        (not (Eval.satisfies (Db.restrict db ~removed) lang))
+        && (match claimed with
+           | Value.Finite n -> cost = n
+           | Value.Infinite -> false)
+    | _ -> false
+  in
+  match reply.verdict with
+  | V_exact { value; witness = Some w; _ } -> check w value
+  | V_bounded { upper; witness = Some w; _ } -> check w upper
+  | V_exact { witness = None; _ } | V_bounded { witness = None; _ } | V_failed _ -> true
+
+type batch_stats = { ran : int; resumed : int; failures : int }
+
+let run_batch ?journal cfg (jobs : job list) : reply list * batch_stats =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (j : job) ->
+      if Hashtbl.mem seen j.id then
+        invalid_arg (Printf.sprintf "Runner.run_batch: duplicate job id %S" j.id);
+      Hashtbl.add seen j.id ())
+    jobs;
+  let recorded =
+    match journal with
+    | None -> Hashtbl.create 0
+    | Some path -> begin
+        match Journal.load path with
+        | Ok entries -> Journal.completed entries
+        | Error msg -> invalid_arg (Printf.sprintf "Runner.run_batch: %s" msg)
+      end
+  in
+  let jnl = Option.map Journal.open_append journal in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Journal.close jnl)
+    (fun () ->
+      let results : (string, reply) Hashtbl.t = Hashtbl.create 64 in
+      let resumed = ref 0 in
+      let todo =
+        List.filter
+          (fun (j : job) ->
+            match Hashtbl.find_opt recorded j.id with
+            | Some (digest, reply)
+              when digest = Journal.job_digest j
+                   && (Check.level () = Check.Off || verify_reply j reply) ->
+                Hashtbl.replace results j.id reply;
+                incr resumed;
+                false
+            | _ -> true)
+          jobs
+      in
+      let emit r =
+        Hashtbl.replace results r.id r;
+        Option.iter
+          (fun jnl ->
+            let j = List.find (fun (j : job) -> j.id = r.id) jobs in
+            Journal.append jnl (Journal.Done { id = r.id; digest = Journal.job_digest j; reply = r }))
+          jnl
+      in
+      let on_dispatch t =
+        Option.iter
+          (fun jnl ->
+            Journal.append jnl
+              (Journal.Started { id = t.job.id; digest = Journal.job_digest t.job }))
+          jnl
+      in
+      let e = create_engine cfg ~emit ~on_dispatch in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown e.pool)
+        (fun () ->
+          List.iter (submit e) todo;
+          drain e);
+      let replies =
+        List.map
+          (fun (j : job) ->
+            match Hashtbl.find_opt results j.id with
+            | Some r -> r
+            | None ->
+                Invariant.internal_error "Runner.run_batch: job %s never settled" j.id)
+          jobs
+      in
+      let failures =
+        List.length
+          (List.filter (fun r -> match r.verdict with V_failed _ -> true | _ -> false) replies)
+      in
+      (replies, { ran = List.length todo; resumed = !resumed; failures }))
+
+(* ------------------------------------------------------------------ *)
+(* Serve: jobs on a channel, replies on another, with admission        *)
+(* control.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let serve cfg ic oc =
+  let out_reply r =
+    output_string oc (reply_to_json r);
+    output_char oc '\n';
+    flush oc
+  in
+  let e = create_engine cfg ~emit:out_reply ~on_dispatch:(fun _ -> ()) in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown e.pool)
+    (fun () ->
+      let in_fd = Unix.descr_of_in_channel ic in
+      let inbuf = Buffer.create 1024 in
+      let eof = ref false in
+      let admit line =
+        if String.trim line = "" then ()
+        else
+          match job_of_json line with
+          | Error msg -> out_reply (failed ~id:"" ~kind:"bad-job" "unparseable job line: %s" msg)
+          | Ok job ->
+              if Hashtbl.mem e.inflight job.id
+                 || Queue.fold (fun acc (t : task) -> acc || t.job.id = job.id) false e.pending
+                 || List.exists (fun (t : task) -> t.job.id = job.id) e.delayed
+              then out_reply (failed ~id:job.id ~kind:"bad-job" "duplicate job id still in flight")
+              else if engine_load e >= cfg.queue_cap then
+                (* Load shedding: a full queue answers immediately instead
+                   of buffering without bound; the client may resubmit. *)
+                out_reply
+                  (failed ~retriable:true ~id:job.id ~kind:"overloaded"
+                     "queue full (%d jobs); resubmit later" cfg.queue_cap)
+              else submit e job
+      in
+      let read_input () =
+        let chunk = Bytes.create 65536 in
+        match Unix.read in_fd chunk 0 65536 with
+        | 0 -> eof := true
+        | n ->
+            Buffer.add_subbytes inbuf chunk 0 n;
+            let s = Buffer.contents inbuf in
+            let rec lines start =
+              match String.index_from_opt s start '\n' with
+              | Some i ->
+                  admit (String.sub s start (i - start));
+                  lines (i + 1)
+              | None ->
+                  Buffer.clear inbuf;
+                  Buffer.add_string inbuf (String.sub s start (String.length s - start))
+            in
+            lines 0
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> eof := true
+      in
+      while not (!eof && engine_load e = 0) do
+        dispatch_ready e;
+        let extra = if !eof then [] else [ in_fd ] in
+        let events = Pool.poll ~extra ~timeout:(engine_timeout e) e.pool in
+        List.iter
+          (function Pool.Input _ -> read_input () | ev -> handle_event e ev)
+          events
+      done;
+      (* A torn trailing line at EOF is input, not silence: process it
+         rather than dropping it, then drain whatever it enqueued. *)
+      if Buffer.length inbuf > 0 then begin
+        admit (Buffer.contents inbuf);
+        drain e
+      end)

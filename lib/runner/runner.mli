@@ -1,0 +1,101 @@
+(** Supervised execution layer.
+
+    Resilience jobs on the NP-hard side of the dichotomy run exponential
+    searches; under fault injection (or plain bad luck) a worker can
+    crash, hang, or babble. This module keeps a bounded pool of
+    fork-isolated worker processes ({!Pool}) and layers policy on top:
+
+    {ul
+    {- {b retries with budget degradation}: a job whose worker died is
+       retried up to [retries] times with exponential backoff, each time
+       with its budget divided by [degrade] — so a persistently crashing
+       exact solve is squeezed until budget exhaustion preempts the crash
+       and the job settles as a certified [bounded] answer (see the probe
+       ordering contract of {!Resilience.Budget.create});}
+    {- {b structured failure}: a job that still cannot settle returns an
+       error {e reply} ([kind] one of [crash], [timeout], [malformed],
+       [bad-job], [overloaded], [internal]) — the supervisor itself never
+       raises on worker misbehavior;}
+    {- {b crash recovery}: {!run_batch} write-ahead journals every
+       dispatch and settlement ({!Journal}), so an interrupted batch
+       rerun with the same journal recomputes only unsettled jobs —
+       recorded answers are re-verified first unless [RPQ_CHECK=off];}
+    {- {b admission control}: {!serve} sheds load with a retriable
+       [overloaded] reply once [queue_cap] jobs are pending.}}
+
+    Fault modes [kill:N] and [wedge:N] of {!Resilience.Faults} target
+    this layer: workers consult {!Resilience.Faults.worker_mode} per job
+    and either self-SIGKILL or wedge (stop responding with SIGTERM
+    blocked) at the given budget tick. *)
+
+module Proto = Proto
+module Pool = Pool
+module Journal = Journal
+
+val now_s : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]) — exposed so bench/CLI code
+    outside this subtree needs no [Unix] dependency of its own. *)
+
+val run_job_locally : Proto.job -> Proto.reply
+(** Runs one job in the calling process: parse the database and query,
+    apply the job's fault plan (or inherit the ambient one), build the
+    budget — wiring {!Resilience.Faults.worker_mode} into the budget
+    probe — and solve. Never raises on bad input (returns a [bad-job]
+    reply); under a [kill]/[wedge] plan with a live probe it may, by
+    design, kill or wedge the calling process. [attempts] and [wall_s] in
+    the reply are placeholders for the supervisor to overwrite. *)
+
+val worker_handler : string -> string
+(** [run_job_locally] lifted to wire form: the pool workers' job-line to
+    reply-line function. Total — an unparseable job line yields a
+    [bad-job] reply line. *)
+
+type config = {
+  workers : int;
+  retries : int;  (** extra attempts after the first; 0 = fail fast *)
+  degrade : int;  (** budget divisor per retry (≥ 2 effective) *)
+  queue_cap : int;  (** admission limit for {!serve} *)
+  job_timeout : float option;  (** per-job wall-clock seconds *)
+  grace : float;  (** SIGTERM-to-SIGKILL delay for timed-out workers *)
+  backoff : float;  (** base retry delay in seconds, doubled per attempt *)
+}
+
+val default_config : config
+(** 4 workers, 2 retries, degrade 8, queue cap 64, no timeout, 0.5s
+    grace, 50ms base backoff. *)
+
+val degrade_budget : degrade:int -> Proto.budget_spec -> Proto.budget_spec
+(** The per-retry budget squeeze: deadline and steps divided by
+    [degrade] (floors of 0.01s / 1 step); a job with {e no} step budget
+    gets a default finite one on its first retry, so even an
+    unconstrained crashing job converges to a budget small enough for
+    exhaustion to win. Exposed for the monotonicity tests. *)
+
+val verify_reply : Proto.job -> Proto.reply -> bool
+(** Cheap validity check of a recorded answer, used on journal resume:
+    any witness carried by the reply must falsify the query on the job's
+    database at exactly the claimed cost. Witness-free and error replies
+    pass vacuously. *)
+
+type batch_stats = {
+  ran : int;  (** jobs actually executed this run *)
+  resumed : int;  (** jobs skipped because the journal had their answer *)
+  failures : int;  (** replies whose verdict is an error *)
+}
+
+val run_batch :
+  ?journal:string -> config -> Proto.job list -> Proto.reply list * batch_stats
+(** Runs the jobs to completion and returns one reply per job, {e in
+    input order} (so output is deterministic regardless of worker count
+    and scheduling). Job ids must be unique — raises [Invalid_argument]
+    otherwise, as with an unreadable journal. With [?journal], settled
+    jobs found there (matching id {e and} digest, and passing
+    {!verify_reply} when [RPQ_CHECK] is not [off]) are reused, and this
+    run's dispatches and settlements are appended for the next resume. *)
+
+val serve : config -> in_channel -> out_channel -> unit
+(** Line-oriented job server: one {!Proto.job} JSON line in, one
+    {!Proto.reply} JSON line out (flushed per reply), replies in
+    settlement order, until EOF on input and all accepted jobs settled.
+    Jobs beyond [queue_cap] are shed with a retriable [overloaded] reply;
+    a job id equal to one still in flight is rejected ([bad-job]). *)

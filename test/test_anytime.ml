@@ -32,7 +32,68 @@ let test_faults_parse () =
   check "garbage rejected" true (Result.is_error (Faults.parse "everything on fire"));
   List.iter
     (fun p -> check (Faults.to_string p) true (Faults.parse (Faults.to_string p) = Ok p))
-    [ Faults.Off; Faults.At_tick 12; Faults.Seeded { seed = 99; period = 10 } ]
+    [
+      Faults.Off;
+      Faults.At_tick 12;
+      Faults.Seeded { seed = 99; period = 10 };
+      Faults.Kill_after 3;
+      Faults.Wedge_after 10;
+    ]
+
+(* Numbers in fault specs are plain decimals and nothing may trail them:
+   OCaml's [int_of_string] would otherwise quietly accept hex forms and
+   [_] separators, and a typo like [tick:5x] must not run as [tick:5]. *)
+let test_faults_parse_strict () =
+  check "kill" true (Faults.parse "kill:3" = Ok (Faults.Kill_after 3));
+  check "wedge" true (Faults.parse "wedge:10" = Ok (Faults.Wedge_after 10));
+  List.iter
+    (fun s -> check (s ^ " rejected") true (Result.is_error (Faults.parse s)))
+    [
+      "tick:5x";
+      "tick:5_";
+      "tick:0x5";
+      "tick:5.0";
+      "tick:+5";
+      "tick:-5";
+      "tick:";
+      "tick";
+      "tick:5:9";
+      "seed:7:200:9";
+      "seed:7x";
+      "seed:7:2_0";
+      "seed:";
+      "kill:0";
+      "kill:3x";
+      "kill";
+      "wedge:0";
+      "wedge:10garbage";
+      "off:1";
+    ];
+  (* Errors must name the grammar so an RPQ_FAULTS typo is self-explaining. *)
+  (match Faults.parse "tick:5x" with
+  | Error msg ->
+      check "error mentions the spec" true
+        (String.length msg > 0
+        &&
+        let has_sub sub =
+          let n = String.length msg and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+          go 0
+        in
+        has_sub "tick:5x" || has_sub "tick:N")
+  | Ok _ -> check "tick:5x must not parse" true false);
+  (* Worker-fault plans never inject budget exhaustion... *)
+  Faults.with_plan (Faults.Kill_after 3) (fun () ->
+      check "kill injects no budget fault" true (Faults.next_fault_tick () = None);
+      check "kill worker mode" true (Faults.worker_mode () = Some (`Kill 3)));
+  Faults.with_plan (Faults.Wedge_after 7) (fun () ->
+      check "wedge injects no budget fault" true (Faults.next_fault_tick () = None);
+      check "wedge worker mode" true (Faults.worker_mode () = Some (`Wedge 7)));
+  (* ...and budget-fault plans have no worker mode. *)
+  Faults.with_plan (Faults.At_tick 5) (fun () ->
+      check "tick has no worker mode" true (Faults.worker_mode () = None));
+  Faults.with_plan Faults.Off (fun () ->
+      check "off has no worker mode" true (Faults.worker_mode () = None))
 
 let test_faults_stream () =
   Faults.with_plan Faults.Off (fun () ->
@@ -289,6 +350,7 @@ let () =
       ( "faults",
         [
           Alcotest.test_case "parse / to_string" `Quick test_faults_parse;
+          Alcotest.test_case "strict spec parsing" `Quick test_faults_parse_strict;
           Alcotest.test_case "fault streams" `Quick test_faults_stream;
         ] );
       ( "budget",

@@ -36,6 +36,9 @@ let negative_fixtures =
     ( "banned call after a comment",
       "(* see below *)\nlet f xs =\n  List.hd xs\n",
       Lint.rule_partial );
+    ("Unix value", "let t = Unix.gettimeofday ()\n", Lint.rule_unix);
+    ("Unix module alias", "module U = Unix\n", Lint.rule_unix);
+    ("UnixLabels", "let t = UnixLabels.fork ()\n", Lint.rule_unix);
   ]
 
 let clean_fixtures =
@@ -52,6 +55,8 @@ let clean_fixtures =
     ("char literals", "let f c = c = 'a' || c = '\\n' || c = '\\'' \n");
     ("primed identifiers", "let f x' = x' + 1\n");
     ("module field access", "let f (r : Db.fact) = r.Db.label\n");
+    ("Unix in a comment", "(* like Unix.fork *)\nlet x = 1\n");
+    ("Unix as an identifier prefix", "let unix_like = 1\nlet f (m : Unix_free.t) = m\n");
   ]
 
 let test_line_numbers () =
@@ -109,6 +114,39 @@ let test_missing_mli () =
       | [ f ] -> Alcotest.(check string) "flagged file" without_iface f.Lint.file
       | _ -> Alcotest.fail "expected exactly one finding")
 
+(* The Unix confinement is structural: the same source is flagged under
+   <root>/core/ and exempt under <root>/runner/ — with no allowlist. *)
+let test_unix_exemption () =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "rpq_lint_unix_fixture" in
+  let runner = Filename.concat root "runner" in
+  let core = Filename.concat root "core" in
+  List.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o700) [ root; runner; core ];
+  let src = "let now () = Unix.gettimeofday ()\n" in
+  let files =
+    List.concat_map
+      (fun dir ->
+        let ml = Filename.concat dir "clock.ml" in
+        let mli = Filename.concat dir "clock.mli" in
+        Out_channel.with_open_text ml (fun oc -> output_string oc src);
+        Out_channel.with_open_text mli (fun oc -> output_string oc "val now : unit -> float\n");
+        [ ml; mli ])
+      [ runner; core ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove files;
+      List.iter Sys.rmdir [ runner; core; root ])
+    (fun () ->
+      let fs = List.filter (fun f -> f.Lint.rule = Lint.rule_unix) (Lint.scan_lib ~lib_root:root) in
+      Alcotest.(check (list string))
+        "only the core copy is flagged"
+        [ Filename.concat core "clock.ml" ]
+        (List.map (fun f -> f.Lint.file) fs);
+      Alcotest.(check (list string))
+        "scan_source itself still flags the runner copy"
+        [ Lint.rule_unix ]
+        (rules (Lint.scan_source ~file:(Filename.concat runner "clock.ml") src)))
+
 let test_allowlist () =
   let fs = scan "let f xs = List.hd xs\n" in
   Alcotest.(check int) "finding exists" 1 (List.length fs);
@@ -134,6 +172,7 @@ let () =
         [
           Alcotest.test_case "line numbers" `Quick test_line_numbers;
           Alcotest.test_case "missing mli" `Quick test_missing_mli;
+          Alcotest.test_case "unix exemption" `Quick test_unix_exemption;
           Alcotest.test_case "allowlist" `Quick test_allowlist;
         ] );
       ("repository", [ Alcotest.test_case "lib/ is clean" `Quick test_repo_clean ]);

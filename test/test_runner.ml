@@ -1,0 +1,517 @@
+(* Supervised execution layer: wire protocol roundtrips, journal recovery,
+   retry/degradation policy, and deterministic kill/wedge supervision
+   sweeps.
+
+   Every job pins its own fault plan (at least "off"): the CI matrix runs
+   this suite under ambient RPQ_FAULTS sweeps, and an inherited seeded plan
+   would make worker budgets — and hence replies — nondeterministic. *)
+
+open Resilience
+module Ser = Graphdb.Serialize
+module Proto = Runner.Proto
+module Journal = Runner.Journal
+
+let check = Alcotest.(check bool)
+
+(* ---- fixtures ---- *)
+
+(* Two a-edges in series: query aa is satisfied by exactly one path, so
+   resilience is 1 and every solver path is fast. *)
+let easy_db = "s a m\nm a t\n"
+
+(* The aa gadget on the complete graph K6 (the vertex-cover reduction of
+   Definition 4.5): small enough to ship around, hard enough that branch
+   and bound ticks a budget thousands of times. *)
+let hard_db =
+  let g = Graphs.Ugraph.complete 6 in
+  let pre, _ = Gadgets.gadget_aa () in
+  Ser.to_string (Gadgets.encode pre g)
+
+let job ?(id = "j") ?(db = easy_db) ?(query = "aa") ?deadline ?steps ?memo_cap
+    ?(faults = Some "off") () =
+  { Proto.id; db; query; budget = { Proto.deadline; steps; memo_cap }; faults }
+
+let quick_cfg =
+  {
+    Runner.default_config with
+    Runner.workers = 2;
+    retries = 3;
+    backoff = 0.005;
+    grace = 0.2;
+  }
+
+let verdict_of (r : Proto.reply) = r.Proto.verdict
+
+let is_bounded r = match verdict_of r with Proto.V_bounded _ -> true | _ -> false
+let is_exact r = match verdict_of r with Proto.V_exact _ -> true | _ -> false
+
+let failure_kind r =
+  match verdict_of r with Proto.V_failed { kind; _ } -> Some kind | _ -> None
+
+(* ---- Proto ---- *)
+
+let test_proto_roundtrip () =
+  let jobs =
+    [
+      job ~id:"plain" ();
+      job ~id:"full" ~db:hard_db ~deadline:1.5 ~steps:1000 ~memo_cap:4096
+        ~faults:(Some "kill:5") ();
+      job ~id:"none" ~faults:None ();
+      job ~id:"weird \"id\"\n" ~db:"a\tb\\c\n\"quoted\"" ~query:"a|b*" ();
+    ]
+  in
+  List.iter
+    (fun j ->
+      match Proto.job_of_json (Proto.job_to_json j) with
+      | Ok j' -> check ("job roundtrip " ^ j.Proto.id) true (j = j')
+      | Error e -> Alcotest.failf "job %s did not roundtrip: %s" j.Proto.id e)
+    jobs;
+  let replies =
+    [
+      {
+        Proto.id = "e";
+        attempts = 1;
+        steps = 12;
+        wall_s = 0.25;
+        verdict =
+          Proto.V_exact
+            { value = Value.Finite 3; algorithm = "mincut"; witness = Some [ 1; 2; 7 ] };
+      };
+      {
+        Proto.id = "b";
+        attempts = 3;
+        steps = 40;
+        wall_s = 1.5;
+        verdict =
+          Proto.V_bounded
+            { lower = Value.Finite 1; upper = Value.Infinite; witness = None; reason = "steps" };
+      };
+      Proto.failed ~retriable:true ~id:"f" ~kind:"overloaded" "queue full (%d jobs)" 64;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Proto.reply_of_json (Proto.reply_to_json r) with
+      | Ok r' -> check ("reply roundtrip " ^ r.Proto.id) true (r = r')
+      | Error e -> Alcotest.failf "reply %s did not roundtrip: %s" r.Proto.id e)
+    replies;
+  (* One line per message is what the pipe framing depends on. *)
+  List.iter
+    (fun j -> check "no raw newline in encoding" false (String.contains (Proto.job_to_json j) '\n'))
+    jobs
+
+let test_proto_rejects () =
+  List.iter
+    (fun s -> check ("rejected: " ^ s) true (Result.is_error (Proto.job_of_json s)))
+    [
+      "";
+      "not json";
+      "{\"id\":\"x\"}";
+      "{\"id\":1,\"query\":\"a\",\"db\":\"\"}";
+      "{\"id\":\"x\",\"query\":\"a\",\"db\":\"\"} trailing";
+      "[1,2]";
+    ];
+  List.iter
+    (fun s -> check ("rejected reply: " ^ s) true (Result.is_error (Proto.reply_of_json s)))
+    [
+      "{}";
+      "{\"id\":\"x\",\"attempts\":1,\"steps\":0,\"wall_s\":0,\"outcome\":\"glorious\"}";
+      "{\"id\":\"x\",\"attempts\":1,\"steps\":0,\"wall_s\":0,\"outcome\":\"exact\"}";
+    ]
+
+let prop_proto_job_roundtrip =
+  let open QCheck in
+  Test.make ~name:"proto: job json roundtrip" ~count:200
+    (quad string string (option (int_range 1 100000)) (option string))
+    (fun (id, db, steps, faults) ->
+      let j = { Proto.id; db; query = "a*b"; budget = { Proto.no_budget with steps }; faults } in
+      Proto.job_of_json (Proto.job_to_json j) = Ok j)
+
+(* ---- Journal ---- *)
+
+let with_temp f =
+  let path = Filename.temp_file "rpq_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+let test_journal_roundtrip () =
+  with_temp (fun path ->
+      Sys.remove path;
+      check "missing file is empty journal" true (Journal.load path = Ok []);
+      let j = Journal.open_append path in
+      let r = Proto.failed ~id:"a" ~kind:"crash" "boom" in
+      let entries =
+        [
+          Journal.Started { id = "a"; digest = "d1" };
+          Journal.Done { id = "a"; digest = "d1"; reply = r };
+          Journal.Started { id = "b"; digest = "d2" };
+        ]
+      in
+      List.iter (Journal.append j) entries;
+      Journal.close j;
+      check "roundtrip" true (Journal.load path = Ok entries);
+      let tbl = Journal.completed entries in
+      check "a settled" true (Hashtbl.find_opt tbl "a" = Some ("d1", r));
+      check "b pending" true (Hashtbl.find_opt tbl "b" = None))
+
+let test_journal_torn_tail () =
+  with_temp (fun path ->
+      let j = Journal.open_append path in
+      Journal.append j (Journal.Started { id = "a"; digest = "d" });
+      Journal.close j;
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"event\":\"done\",\"id\":\"a\",\"jo";
+      close_out oc;
+      (match Journal.load path with
+      | Ok [ Journal.Started { id = "a"; _ } ] -> ()
+      | Ok _ -> Alcotest.fail "torn tail should leave exactly the first entry"
+      | Error e -> Alcotest.failf "torn tail must be tolerated, got: %s" e);
+      (* ...but a malformed line in the middle means this is not our file. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "\n{\"event\":\"start\",\"id\":\"b\",\"job\":\"d\"}\n";
+      close_out oc;
+      check "mid-file garbage is an error" true (Result.is_error (Journal.load path)))
+
+let test_journal_last_wins () =
+  let r1 = Proto.failed ~id:"a" ~kind:"crash" "first" in
+  let r2 = Proto.failed ~id:"a" ~kind:"crash" "second" in
+  let entries =
+    [
+      Journal.Done { id = "a"; digest = "d"; reply = r1 };
+      Journal.Done { id = "a"; digest = "d"; reply = r2 };
+    ]
+  in
+  check "last done wins" true (Hashtbl.find_opt (Journal.completed entries) "a" = Some ("d", r2))
+
+let test_job_digest () =
+  let j1 = job ~id:"x" ~steps:100 () in
+  let j2 = job ~id:"x" ~steps:100 () in
+  let j3 = job ~id:"x" ~steps:101 () in
+  check "digest is stable" true (Journal.job_digest j1 = Journal.job_digest j2);
+  check "digest covers the budget" false (Journal.job_digest j1 = Journal.job_digest j3)
+
+(* ---- local execution & policy ---- *)
+
+let test_run_job_locally () =
+  (match Runner.run_job_locally (job ~id:"easy" ()) with
+  | { Proto.verdict = Proto.V_exact { value = Value.Finite 1; _ }; _ } -> ()
+  | r -> Alcotest.failf "easy job: expected exact 1, got %s" (Proto.reply_to_json r));
+  check "budgeted hard job is bounded" true
+    (is_bounded (Runner.run_job_locally (job ~id:"hard" ~db:hard_db ~steps:50 ())));
+  check "bad regex" true
+    (failure_kind (Runner.run_job_locally (job ~id:"r" ~query:"((" ())) = Some "bad-job");
+  check "bad db" true
+    (failure_kind (Runner.run_job_locally (job ~id:"d" ~db:"one two\n" ())) = Some "bad-job");
+  check "bad faults spec" true
+    (failure_kind (Runner.run_job_locally (job ~id:"f" ~faults:(Some "tick:5x") ()))
+    = Some "bad-job")
+
+let test_worker_handler_total () =
+  (* The handler must map any line to a reply line. *)
+  List.iter
+    (fun line ->
+      match Proto.reply_of_json (Runner.worker_handler line) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "handler reply does not parse for %S: %s" line e)
+    [ Proto.job_to_json (job ()); "garbage"; "" ]
+
+let test_degrade_budget_monotone () =
+  let steps_of (b : Proto.budget_spec) =
+    match b.Proto.steps with
+    | Some s -> s
+    | None -> Alcotest.fail "degraded budget lost its step bound"
+  in
+  (* From no budget at all: the first retry must impose a finite ceiling. *)
+  let b1 = Runner.degrade_budget ~degrade:8 Proto.no_budget in
+  check "first retry bounds steps" true (b1.Proto.steps <> None);
+  (* From there on the squeeze is strictly monotone down to the floor. *)
+  let rec chase b n =
+    if n = 0 then ()
+    else begin
+      let b' = Runner.degrade_budget ~degrade:8 b in
+      check "steps never increase" true (steps_of b' <= steps_of b);
+      check "steps stay positive" true (steps_of b' >= 1);
+      (match (b.Proto.deadline, b'.Proto.deadline) with
+      | Some d, Some d' ->
+          check "deadline never increases" true (d' <= d);
+          check "deadline stays positive" true (d' > 0.0)
+      | None, None -> ()
+      | _ -> Alcotest.fail "deadline presence must be preserved");
+      chase b' (n - 1)
+    end
+  in
+  chase { b1 with Proto.deadline = Some 10.0 } 20;
+  (* The squeeze reaches a budget small enough to exhaust before any
+     fault tick >= 2 — the convergence the retry loop relies on. *)
+  let rec floor_of b =
+    let b' = Runner.degrade_budget ~degrade:8 b in
+    if steps_of b' = steps_of b then steps_of b else floor_of b'
+  in
+  check "degradation reaches the floor" true (floor_of b1 = 1)
+
+(* ---- supervision sweeps ---- *)
+
+let run_batch ?journal ?(cfg = quick_cfg) jobs = Runner.run_batch ?journal cfg jobs
+
+let test_kill_sweep () =
+  (* Workers self-SIGKILL at assorted ticks; with a step budget that
+     degrades 1000 -> 125 -> 15 over the retries, every job must settle as
+     Bounded (exhaustion preempts the fault tick) — and the supervisor
+     must survive the whole barrage. *)
+  let jobs =
+    List.map
+      (fun n ->
+        job
+          ~id:(Printf.sprintf "kill%d" n)
+          ~db:hard_db ~steps:1000
+          ~faults:(Some (Printf.sprintf "kill:%d" n))
+          ())
+      [ 20; 50; 200 ]
+    @ [ job ~id:"easy" (); job ~id:"hard" ~db:hard_db ~steps:400 () ]
+  in
+  let replies, stats = run_batch jobs in
+  check "no structured failures" true (stats.Runner.failures = 0);
+  List.iter
+    (fun (r : Proto.reply) ->
+      match r.Proto.id with
+      | "easy" ->
+          check "easy stays exact" true (is_exact r);
+          check "easy first try" true (r.Proto.attempts = 1)
+      | "hard" -> check "hard is bounded" true (is_bounded r)
+      | _ ->
+          check (r.Proto.id ^ " settles bounded") true (is_bounded r);
+          check (r.Proto.id ^ " needed retries") true (r.Proto.attempts > 1))
+    replies
+
+let test_kill_every_tick_fails_structured () =
+  (* kill:1 fires on the very first tick: no budget can preempt it, so
+     after all retries the job must fail — structurally, not by killing
+     the supervisor. *)
+  let replies, stats = run_batch [ job ~id:"k1" ~db:hard_db ~steps:1000 ~faults:(Some "kill:1") () ] in
+  check "one failure" true (stats.Runner.failures = 1);
+  match replies with
+  | [ r ] ->
+      check "kind is crash" true (failure_kind r = Some "crash");
+      check "all attempts spent" true (r.Proto.attempts = 1 + quick_cfg.Runner.retries)
+  | _ -> Alcotest.fail "expected one reply"
+
+let test_wedge_timeout_path () =
+  (* A wedged worker blocks SIGTERM, so only the SIGKILL-after-grace path
+     can reclaim it; the budget squeeze then settles the job as Bounded. *)
+  let cfg = { quick_cfg with Runner.retries = 2; job_timeout = Some 0.4 } in
+  let replies, stats =
+    run_batch ~cfg
+      [
+        job ~id:"wedge" ~db:hard_db ~steps:1000 ~faults:(Some "wedge:50") ();
+        job ~id:"easy" ();
+      ]
+  in
+  check "no failures" true (stats.Runner.failures = 0);
+  List.iter
+    (fun (r : Proto.reply) ->
+      match r.Proto.id with
+      | "wedge" ->
+          check "wedge settles bounded" true (is_bounded r);
+          check "wedge needed retries" true (r.Proto.attempts > 1)
+      | _ -> check "easy stays exact" true (is_exact r))
+    replies
+
+let test_batch_order_and_dup () =
+  let jobs = List.init 9 (fun i -> job ~id:(Printf.sprintf "j%d" i) ()) in
+  let replies, _ = run_batch jobs in
+  check "replies in input order" true
+    (List.map (fun (r : Proto.reply) -> r.Proto.id) replies
+    = List.map (fun (j : Proto.job) -> j.Proto.id) jobs);
+  check "duplicate ids rejected" true
+    (try
+       ignore (run_batch [ job ~id:"dup" (); job ~id:"dup" () ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_journal_resume_identical () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let jobs =
+        [
+          job ~id:"a" ();
+          job ~id:"b" ~db:hard_db ~steps:300 ();
+          job ~id:"c" ~db:hard_db ~steps:1000 ~faults:(Some "kill:50") ();
+          job ~id:"bad" ~query:"((" ();
+        ]
+      in
+      let replies1, stats1 = run_batch ~journal:path jobs in
+      check "first run computes everything" true (stats1.Runner.ran = 4 && stats1.Runner.resumed = 0);
+      (* Re-verification exercises the witnesses, so run resume at the
+         `cheap` check level regardless of ambient RPQ_CHECK. *)
+      let replies2, stats2 =
+        Check.with_level Check.Cheap (fun () -> run_batch ~journal:path jobs)
+      in
+      check "resume skips everything" true (stats2.Runner.ran = 0 && stats2.Runner.resumed = 4);
+      check "resumed replies identical (modulo wall clock)" true
+        (List.for_all2 Proto.reply_equal_ignoring_time replies1 replies2);
+      (* A changed job (same id, different budget) must be recomputed. *)
+      let jobs' = List.map (fun (j : Proto.job) ->
+          if j.Proto.id = "b" then { j with Proto.budget = { j.Proto.budget with Proto.steps = Some 301 } }
+          else j) jobs
+      in
+      let _, stats3 = run_batch ~journal:path jobs' in
+      check "edited job recomputed" true (stats3.Runner.ran = 1 && stats3.Runner.resumed = 3))
+
+let test_journal_resume_partial () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let early = [ job ~id:"a" (); job ~id:"b" ~db:hard_db ~steps:300 () ] in
+      let all = early @ [ job ~id:"c" (); job ~id:"d" ~db:hard_db ~steps:200 () ] in
+      let replies1, _ = run_batch ~journal:path early in
+      (* Simulates a SIGKILLed batch: the journal holds two settled jobs,
+         the rerun sees the full job list. *)
+      let replies2, stats = run_batch ~journal:path all in
+      check "only the new jobs ran" true (stats.Runner.ran = 2 && stats.Runner.resumed = 2);
+      List.iteri
+        (fun i r1 ->
+          check "recorded prefix reused" true
+            (Proto.reply_equal_ignoring_time r1 (List.nth replies2 i)))
+        replies1)
+
+let test_journal_rejects_corrupt_answer () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let jobs = [ job ~id:"a" () ] in
+      let _ = run_batch ~journal:path jobs in
+      (* Tamper: claim the answer was exact 1 with an empty witness. An
+         empty removal set cannot falsify a satisfied query, so cheap
+         re-verification must throw the record away and recompute. *)
+      let forged =
+        {
+          Proto.id = "a";
+          attempts = 1;
+          steps = 0;
+          wall_s = 0.0;
+          verdict =
+            Proto.V_exact { value = Value.Finite 1; algorithm = "forged"; witness = Some [] };
+        }
+      in
+      let j = Journal.open_append path in
+      Journal.append j
+        (Journal.Done { id = "a"; digest = Journal.job_digest (List.nth jobs 0); reply = forged });
+      Journal.close j;
+      let replies, stats =
+        Check.with_level Check.Cheap (fun () -> run_batch ~journal:path jobs)
+      in
+      check "forged answer not reused" true (stats.Runner.ran = 1 && stats.Runner.resumed = 0);
+      (match replies with
+      | [ r ] -> check "recomputed answer is sound" true (Runner.verify_reply (List.nth jobs 0) r)
+      | _ -> Alcotest.fail "expected one reply");
+      (* With checking off, the (well-formed) record is taken at face
+         value: resume must not pay verification cost unless asked. *)
+      let _, stats_off =
+        Check.with_level Check.Off (fun () -> run_batch ~journal:path jobs)
+      in
+      check "RPQ_CHECK=off trusts the journal" true (stats_off.Runner.resumed = 1))
+
+let test_verify_reply () =
+  let j = job ~id:"v" () in
+  let good = Runner.run_job_locally j in
+  check "honest reply verifies" true (Runner.verify_reply j good);
+  let forged =
+    { good with Proto.verdict = Proto.V_exact { value = Value.Finite 1; algorithm = "x"; witness = Some [] } }
+  in
+  check "forged witness fails" false (Runner.verify_reply j forged);
+  check "error replies pass vacuously" true
+    (Runner.verify_reply j (Proto.failed ~id:"v" ~kind:"crash" "boom"))
+
+(* ---- serve ---- *)
+
+let test_serve_roundtrip_and_shedding () =
+  let in_path = Filename.temp_file "rpq_serve_in" ".jsonl" in
+  let out_path = Filename.temp_file "rpq_serve_out" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ in_path; out_path ])
+    (fun () ->
+      (* One worker, queue of one: the wedge job occupies the worker for
+         its full (short) timeout, so of the easy jobs behind it at least
+         one must be shed with a retriable `overloaded'. *)
+      let jobs =
+        job ~id:"w" ~db:hard_db ~steps:1000 ~faults:(Some "wedge:10") ()
+        :: List.init 4 (fun i -> job ~id:(Printf.sprintf "e%d" i) ())
+      in
+      Out_channel.with_open_text in_path (fun oc ->
+          List.iter (fun j -> output_string oc (Proto.job_to_json j ^ "\n")) jobs;
+          output_string oc "this is not json\n");
+      let cfg =
+        {
+          quick_cfg with
+          Runner.workers = 1;
+          retries = 0;
+          queue_cap = 1;
+          job_timeout = Some 0.3;
+        }
+      in
+      In_channel.with_open_text in_path (fun ic ->
+          Out_channel.with_open_text out_path (fun oc -> Runner.serve cfg ic oc));
+      let replies =
+        In_channel.with_open_text out_path In_channel.input_lines
+        |> List.map (fun line ->
+               match Proto.reply_of_json line with
+               | Ok r -> r
+               | Error e -> Alcotest.failf "unparseable serve reply %S: %s" line e)
+      in
+      check "every input line got a reply" true (List.length replies = 6);
+      let by_kind k =
+        List.length (List.filter (fun r -> failure_kind r = Some k) replies)
+      in
+      check "wedge timed out (retries=0)" true (by_kind "timeout" = 1);
+      check "overload shedding happened" true (by_kind "overloaded" >= 1);
+      check "bad line answered structurally" true (by_kind "bad-job" = 1);
+      List.iter
+        (fun r ->
+          match verdict_of r with
+          | Proto.V_failed { kind = "overloaded"; retriable; _ } ->
+              check "overloaded is retriable" true retriable
+          | _ -> ())
+        replies;
+      check "whatever was admitted besides the wedge ran exactly" true
+        (List.for_all
+           (fun (r : Proto.reply) ->
+             if String.length r.Proto.id > 0 && r.Proto.id.[0] = 'e' then
+               is_exact r || failure_kind r = Some "overloaded"
+             else true)
+           replies))
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_proto_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_proto_rejects;
+          QCheck_alcotest.to_alcotest prop_proto_job_roundtrip;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "last done wins" `Quick test_journal_last_wins;
+          Alcotest.test_case "job digest" `Quick test_job_digest;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "run_job_locally" `Quick test_run_job_locally;
+          Alcotest.test_case "worker handler is total" `Quick test_worker_handler_total;
+          Alcotest.test_case "degradation is monotone" `Quick test_degrade_budget_monotone;
+          Alcotest.test_case "verify_reply" `Quick test_verify_reply;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "kill sweep degrades to bounds" `Quick test_kill_sweep;
+          Alcotest.test_case "kill:1 fails structurally" `Quick test_kill_every_tick_fails_structured;
+          Alcotest.test_case "wedge takes the sigkill path" `Quick test_wedge_timeout_path;
+          Alcotest.test_case "reply order and duplicate ids" `Quick test_batch_order_and_dup;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "resume is identical" `Quick test_journal_resume_identical;
+          Alcotest.test_case "partial journal" `Quick test_journal_resume_partial;
+          Alcotest.test_case "corrupt answers rejected" `Quick test_journal_rejects_corrupt_answer;
+        ] );
+      ("serve", [ Alcotest.test_case "roundtrip + shedding" `Quick test_serve_roundtrip_and_shedding ]);
+    ]
