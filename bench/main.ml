@@ -19,10 +19,13 @@ let selected name =
   || List.mem name args
   || (List.mem "figures" args && not (String.equal name "timing"))
 
+(* Wall-clock timing (these sections report elapsed time, not processor
+   time — the pool ablation in particular spends most of it blocked in
+   [select] waiting on workers, which [Sys.time] would not see). *)
 let time_it f =
-  let t0 = Sys.time () in
+  let t0 = Obs.Clock.now () in
   let r = f () in
-  let t1 = Sys.time () in
+  let t1 = Obs.Clock.now () in
   (r, t1 -. t0)
 
 let section name title f =
@@ -266,10 +269,11 @@ let open_cases () =
   Printf.printf "with their open status (a negative search proves nothing).\n";
   List.iter
     (fun s ->
-      let t0 = Sys.time () in
+      let t0 = Obs.Clock.now () in
       match Gadget_search.certify_np_hard ~max_matches:5 (lang s) with
       | Some _ -> Printf.printf "  %-10s GADGET FOUND (!) -- NP-hard\n" s
-      | None -> Printf.printf "  %-10s no gadget up to 5 matches (%.1fs)\n" s (Sys.time () -. t0))
+      | None ->
+          Printf.printf "  %-10s no gadget up to 5 matches (%.1fs)\n" s (Obs.Clock.now () -. t0))
     [ "abcd|be"; "abc|bcd"; "abc|bef" ]
 
 let ablation_flow () =
@@ -413,8 +417,10 @@ let scaling_submodular () =
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
-let bechamel_tests () =
-  let open Bechamel in
+(* The micro-benchmark cases, shared between Bechamel (statistical OLS
+   estimates) and the hand-rolled sampler below (absolute wall-clock
+   medians written to BENCH_pr4.json for cross-commit diffing). *)
+let micro_cases () =
   let grid w = Graphdb.Generate.flow_grid ~width:w ~depth:w ~max_mult:3 ~seed:1 () in
   let layered w =
     Graphdb.Generate.layered ~layers:[ 'a'; 'b'; 'c' ] ~width:w ~density:0.4 ~seed:1 ()
@@ -431,24 +437,24 @@ let bechamel_tests () =
   let g_aa, l_aa = Gadgets.gadget_aa () in
   let xi5 = Gadgets.encode g_aa (Graphs.Ugraph.path 5) in
   [
-    Test.make ~name:"THM3.3/local-mincut/grid8"
-      (Staged.stage (fun () -> Solver.solve ~classification:axb_cl d8 axb));
-    Test.make ~name:"THM3.3/local-mincut/grid16"
-      (Staged.stage (fun () -> Solver.solve ~classification:axb_cl d16 axb));
-    Test.make ~name:"PROP7.5/bcl-mincut/layered6"
-      (Staged.stage (fun () -> Solver.solve ~classification:abbc_cl l6 abbc));
-    Test.make ~name:"PROP7.5/bcl-mincut/layered12"
-      (Staged.stage (fun () -> Solver.solve ~classification:abbc_cl l12 abbc));
-    Test.make ~name:"PROP7.7/submodular/random8"
-      (Staged.stage (fun () -> Submod_solver.solve r7 abcbe));
-    Test.make ~name:"HARD/exact-bnb/aa-path5"
-      (Staged.stage (fun () -> Exact.hitting_set xi5 l_aa));
-    Test.make ~name:"CLASSIFY/figure1/axb|cxd"
-      (Staged.stage (fun () -> Classify.classify_regex "axb|cxd"));
-    Test.make ~name:"GADGET/verify/aa" (Staged.stage (fun () -> Gadgets.verify g_aa l_aa));
+    ("THM3.3/local-mincut/grid8", fun () -> ignore (Solver.solve ~classification:axb_cl d8 axb));
+    ( "THM3.3/local-mincut/grid16",
+      fun () -> ignore (Solver.solve ~classification:axb_cl d16 axb) );
+    ( "PROP7.5/bcl-mincut/layered6",
+      fun () -> ignore (Solver.solve ~classification:abbc_cl l6 abbc) );
+    ( "PROP7.5/bcl-mincut/layered12",
+      fun () -> ignore (Solver.solve ~classification:abbc_cl l12 abbc) );
+    ("PROP7.7/submodular/random8", fun () -> ignore (Submod_solver.solve r7 abcbe));
+    ("HARD/exact-bnb/aa-path5", fun () -> ignore (Exact.hitting_set xi5 l_aa));
+    ("CLASSIFY/figure1/axb|cxd", fun () -> ignore (Classify.classify_regex "axb|cxd"));
+    ("GADGET/verify/aa", fun () -> ignore (Gadgets.verify g_aa l_aa));
   ]
 
-let run_bechamel () =
+let bechamel_tests cases =
+  let open Bechamel in
+  List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) cases
+
+let run_bechamel cases =
   let open Bechamel in
   let open Toolkit in
   Printf.printf "Bechamel micro-benchmarks (estimated time per run)\n%!";
@@ -472,7 +478,47 @@ let run_bechamel () =
           in
           Printf.printf "  %-42s %10.2f %s/run\n%!" name value unit)
         results)
-    (bechamel_tests ())
+    (bechamel_tests cases)
+
+(* Absolute wall-clock samples over the same cases: 3 warmups, 31 timed
+   runs, median and p99 per section. The machine-readable artifact lets
+   CI diff timings across commits without parsing Bechamel's output. *)
+let write_bench_json cases =
+  let nruns = 31 in
+  let sample f =
+    for _ = 1 to 3 do
+      f ()
+    done;
+    let xs =
+      Array.init nruns (fun _ ->
+          let t0 = Obs.Clock.now () in
+          f ();
+          Obs.Clock.now () -. t0)
+    in
+    Array.sort compare xs;
+    let rank q = min (nruns - 1) (int_of_float (Float.ceil (q *. float_of_int nruns)) - 1) in
+    (xs.(rank 0.5), xs.(rank 0.99))
+  in
+  let open Runner.Proto.Json in
+  let entries =
+    List.map
+      (fun (name, f) ->
+        let median, p99 = sample f in
+        Obj
+          [
+            ("name", Str name); ("n", Int nruns); ("median_s", Float median); ("p99_s", Float p99);
+          ])
+      cases
+  in
+  Out_channel.with_open_text "BENCH_pr4.json" (fun oc ->
+      output_string oc (to_string (List entries));
+      output_char oc '\n');
+  Printf.printf "  wrote BENCH_pr4.json (%d sections, n=%d each)\n%!" (List.length entries) nruns
+
+let run_timing () =
+  let cases = micro_cases () in
+  run_bechamel cases;
+  write_bench_json cases
 
 (* ------------------------------------------------------------------ *)
 (* ABLATION: anytime degradation chain — answer quality vs work budget. *)
@@ -596,4 +642,4 @@ let () =
   section "scaling_local" "SCALING: Theorem 3.3" scaling_local;
   section "scaling_bcl" "SCALING: Proposition 7.5" scaling_bcl;
   section "scaling_hard" "SCALING: hardness shape" scaling_hardness;
-  section "timing" "TIMING: Bechamel micro-benchmarks" run_bechamel
+  section "timing" "TIMING: Bechamel micro-benchmarks" run_timing

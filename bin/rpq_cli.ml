@@ -40,6 +40,18 @@ let parse_db_file path =
          yields a standard file:line diagnostic. *)
       Result.map_error (fun e -> Printf.sprintf "%s:%s" path e) (Ser.parse contents)
 
+(* Every subcommand accepts --trace; tracing is also reachable via
+   RPQ_TRACE for tools that cannot pass flags (see Obs.Trace). *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a trace of solver stages and runner events to $(docv): a JSONL event stream if            the name ends in .jsonl, otherwise a Chrome trace_event JSON array loadable in            Perfetto (ui.perfetto.dev) or about:tracing.")
+
+let configure_trace = function None -> () | Some path -> Obs.Trace.configure_file path
+
 let regex_arg =
   let parse s =
     match Automata.Regex.parse_opt s with
@@ -140,7 +152,8 @@ let solve_cmd =
             "Emit one machine-readable JSON reply line (the same schema as $(b,rpq batch) and \
              $(b,rpq serve) replies) instead of the human-readable report.")
   in
-  let run db_file s witness timeout steps memo_cap json =
+  let run db_file s witness timeout steps memo_cap json trace =
+    configure_trace trace;
     if json then solve_json ~db_file ~query:s ~timeout ~steps ~memo_cap
     else
     match parse_db_file db_file with
@@ -186,7 +199,7 @@ let solve_cmd =
        ~doc:
          "Compute the resilience of an RPQ on a database file, exactly or within a time/work \
           budget.")
-    Term.(const run $ db_file $ regex $ witness $ timeout $ steps $ memo_cap $ json)
+    Term.(const run $ db_file $ regex $ witness $ timeout $ steps $ memo_cap $ json $ trace_arg)
 
 (* ---- gen ---- *)
 
@@ -565,7 +578,8 @@ let batch_cmd =
             "Write-ahead journal: every dispatch and settlement is appended here, and a rerun \
              with the same journal skips already-settled jobs (re-verified unless RPQ_CHECK=off).")
   in
-  let run jobfile journal workers retries queue_cap job_timeout =
+  let run jobfile journal workers retries queue_cap job_timeout trace =
+    configure_trace trace;
     match runner_config workers retries queue_cap job_timeout with
     | Error e -> input_error "batch: %s" e
     | Ok cfg -> begin
@@ -573,7 +587,10 @@ let batch_cmd =
         | Error e -> input_error "%s" e
         | Ok [] -> input_error "%s: no jobs" jobfile
         | Ok jobs ->
-            let replies, stats = Runner.run_batch ?journal cfg jobs in
+            let replies, stats =
+              Obs.Trace.with_span ~args:[ ("jobs", Obs.Jtext.Int (List.length jobs)) ] "batch"
+                (fun () -> Runner.run_batch ?journal cfg jobs)
+            in
             List.iter (fun r -> print_endline (Runner.Proto.reply_to_json r)) replies;
             Printf.eprintf "batch: %d jobs (%d run, %d resumed), %d failures\n%!"
               (List.length replies) stats.Runner.ran stats.Runner.resumed stats.Runner.failures;
@@ -587,7 +604,8 @@ let batch_cmd =
           retries with budget degradation, and journal-based crash recovery. Emits one JSON \
           reply line per job, in jobfile order. Exits 0 iff every job settled without error.")
     Term.(
-      const run $ jobfile $ journal $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg)
+      const run $ jobfile $ journal $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg
+      $ trace_arg)
 
 let serve_cmd =
   let run workers retries queue_cap job_timeout =
@@ -605,7 +623,126 @@ let serve_cmd =
           control. Runs until stdin closes and every accepted job has settled.")
     Term.(const run $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg)
 
+(* ---- trace-check ---- *)
+
+(* CI validator for trace files: every event must parse (with the runner's
+   strict JSON reader — the same grammar Obs.Jtext emits), and every span
+   of depth d+1 must be contained in some span of depth d. Spans are
+   emitted on close, so containment is checked set-wise, not by replaying
+   a stack. *)
+module Json = Runner.Proto.Json
+
+type span = { sname : string; sts : float; sdur : float; sdepth : int }
+
+let span_field_err what = Error (Printf.sprintf "%s event with missing or mistyped fields" what)
+
+let span_of_jsonl v =
+  let get f conv = Option.bind (Json.member f v) conv in
+  match get "ev" Json.to_str_opt with
+  | Some "span" -> begin
+      match
+        ( get "name" Json.to_str_opt,
+          get "ts" Json.to_float_opt,
+          get "dur" Json.to_float_opt,
+          get "depth" Json.to_int_opt )
+      with
+      | Some sname, Some sts, Some sdur, Some sdepth -> Ok (Some { sname; sts; sdur; sdepth })
+      | _ -> span_field_err "span"
+    end
+  | Some "instant" -> Ok None
+  | Some ev -> Error (Printf.sprintf "unexpected event type %S" ev)
+  | None -> Error "event without an \"ev\" field"
+
+let span_of_chrome v =
+  let get f conv = Option.bind (Json.member f v) conv in
+  match get "ph" Json.to_str_opt with
+  | Some "X" -> begin
+      let depth =
+        Option.bind (Json.member "args" v) (fun a ->
+            Option.bind (Json.member "depth" a) Json.to_int_opt)
+      in
+      match (get "name" Json.to_str_opt, get "ts" Json.to_float_opt, get "dur" Json.to_float_opt, depth)
+      with
+      | Some sname, Some ts, Some dur, Some sdepth ->
+          (* Chrome timestamps are microseconds; normalize to seconds. *)
+          Ok (Some { sname; sts = ts /. 1e6; sdur = dur /. 1e6; sdepth })
+      | _ -> span_field_err "complete (ph=X)"
+    end
+  | Some "i" -> Ok None
+  | Some ph -> Error (Printf.sprintf "unexpected event phase %S" ph)
+  | None -> Error "event without a \"ph\" field"
+
+let trace_check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file (.jsonl event stream or Chrome JSON array).")
+  in
+  let run file =
+    (* Unlike [input_error] (which returns the code for tail positions),
+       validation failures here abort from arbitrary depth. *)
+    let die fmt =
+      Printf.ksprintf
+        (fun msg ->
+          prerr_endline ("rpq: error: " ^ msg);
+          exit exit_input_error)
+        fmt
+    in
+    let contents =
+      match In_channel.with_open_text file In_channel.input_all with
+      | exception Sys_error e -> die "%s" e
+      | c -> c
+    in
+    let spans = ref [] in
+    let events = ref 0 in
+    let record where = function
+      | Error e -> die "%s: %s" where e
+      | Ok None -> incr events
+      | Ok (Some s) ->
+          incr events;
+          spans := s :: !spans
+    in
+    (if Filename.check_suffix file ".jsonl" then
+       List.iteri
+         (fun i line ->
+           if String.trim line <> "" then
+             match Json.parse line with
+             | Error e -> die "%s:%d: %s" file (i + 1) e
+             | Ok v -> record (Printf.sprintf "%s:%d" file (i + 1)) (span_of_jsonl v))
+         (String.split_on_char '\n' contents)
+     else
+       match Json.parse contents with
+       | Error e -> die "%s: %s" file e
+       | Ok (Json.List evs) -> List.iter (fun v -> record file (span_of_chrome v)) evs
+       | Ok _ -> die "%s: a Chrome trace must be one JSON array of events" file);
+    let spans = !spans in
+    (* Timestamps render with 9 significant digits; allow a few µs of
+       rounding slack in the containment test. *)
+    let eps = 5e-6 in
+    let contains p c =
+      p.sdepth = c.sdepth - 1 && p.sts -. eps <= c.sts && c.sts +. c.sdur <= p.sts +. p.sdur +. eps
+    in
+    List.iter
+      (fun c ->
+        if c.sdepth > 0 && not (List.exists (fun p -> contains p c) spans) then
+          die "%s: span %S (depth %d, ts %.6fs) is not contained in any depth-%d span" file
+            c.sname c.sdepth c.sts (c.sdepth - 1))
+      spans;
+    Printf.printf "trace-check: %s: %d events, %d spans, nesting OK\n" file !events
+      (List.length spans);
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a trace file written by $(b,--trace) or $(b,RPQ_TRACE): every event must \
+          parse, and stage/job spans must nest properly (used by CI on traced batch runs).")
+    Term.(const run $ file)
+
 let () =
+  Obs.Trace.configure_from_env ();
+  at_exit Obs.Trace.finish;
   let doc = "Resilience of regular path queries (PODS 2025 reproduction)" in
   let info = Cmd.info "rpq" ~version:"1.0.0" ~doc in
   exit
@@ -624,4 +761,5 @@ let () =
             dot_cmd;
             batch_cmd;
             serve_cmd;
+            trace_check_cmd;
           ]))

@@ -28,10 +28,19 @@ let with_level l f =
 let failed what vs =
   Invariant.internal_error "%s:\n%s" what (Invariant.violations_to_markdown vs)
 
+let cheap_runs = Obs.Metrics.counter "check.cheap"
+let paranoid_runs = Obs.Metrics.counter "check.paranoid"
+
 let cheap what f =
-  if !current <> Off then match f () with Ok () -> () | Error vs -> failed what vs
+  if !current <> Off then begin
+    Obs.Metrics.incr cheap_runs;
+    match f () with Ok () -> () | Error vs -> failed what vs
+  end
 
 let paranoid what f =
-  if !current = Paranoid then match f () with Ok () -> () | Error vs -> failed what vs
+  if !current = Paranoid then begin
+    Obs.Metrics.incr paranoid_runs;
+    match f () with Ok () -> () | Error vs -> failed what vs
+  end
 
 let paranoid_enabled () = !current = Paranoid

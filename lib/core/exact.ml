@@ -32,6 +32,9 @@ type anytime =
   | Complete of Value.t * int list
   | Truncated of { incumbent : (int * int list) option; reason : Budget.exhaustion }
 
+let bnb_nodes = Obs.Metrics.counter "bnb.nodes"
+let memo_hits = Obs.Metrics.counter "bnb.memo_hits"
+
 let branch_and_bound_anytime ~budget:b d a =
   if Automata.Nfa.nullable a then Complete (Value.Infinite, [])
   else begin
@@ -42,7 +45,10 @@ let branch_and_bound_anytime ~budget:b d a =
        memoizing (correct, possibly re-exploring) rather than growing. *)
     let rec go removed cost chosen =
       Budget.tick b;
-      if cost < !best && not (Hashtbl.mem memo removed) then begin
+      Obs.Metrics.incr bnb_nodes;
+      if cost >= !best then ()
+      else if Hashtbl.mem memo removed then Obs.Metrics.incr memo_hits
+      else begin
         if Budget.memo_admit b (Hashtbl.length memo) then Hashtbl.add memo removed ();
         let d' = Db.restrict d ~removed:(fun id -> ISet.mem id removed) in
         match Eval.shortest_witness d' a with

@@ -14,6 +14,13 @@ let algorithm_name = function
   | Alg_exact_bnb -> "exact branch and bound"
   | Alg_ilp -> "hitting-set ILP"
 
+(* Solver stages are the span taxonomy of DESIGN.md §10: each branch of
+   the dispatch and each link of the degradation chain runs under
+   [Obs.Trace.stage], so a traced run shows where a hard instance spends
+   its budget and [Runner.run_job_locally] can report per-stage totals. *)
+let stage = Obs.Trace.stage
+let reason_arg reason = [ ("reason", Obs.Jtext.Str (Budget.exhaustion_name reason)) ]
+
 type result = {
   value : Value.t;
   witness : int list option;
@@ -24,7 +31,11 @@ type result = {
 let solve ?classification d a =
   Check.cheap "Solver.solve: database" (fun () -> Graphdb.Db.validate d);
   Check.cheap "Solver.solve: query automaton" (fun () -> Automata.Nfa.validate a);
-  let cl = match classification with Some c -> c | None -> Classify.classify a in
+  let cl =
+    match classification with
+    | Some c -> c
+    | None -> stage "classify" (fun () -> Classify.classify a)
+  in
   (* Solve on the reduced language: Q_L = Q_reduce(L) (Section 2), and the
      polynomial constructions assume reducedness (e.g. the BCL solver). *)
   let reduced = cl.Classify.reduced in
@@ -34,24 +45,24 @@ let solve ?classification d a =
   | Classify.PTime Classify.Trivial_eps ->
       { value = Value.Infinite; witness = None; algorithm = Alg_trivial; classification = cl }
   | Classify.PTime Classify.Local -> begin
-      match Local_solver.solve d reduced with
+      match stage "mincut" (fun () -> Local_solver.solve d reduced) with
       | Ok (value, witness) ->
           { value; witness = Some witness; algorithm = Alg_local_mincut; classification = cl }
       | Error msg -> invalid_arg ("Solver.solve: classifier/solver disagree: " ^ msg)
     end
   | Classify.PTime Classify.Bipartite_chain -> begin
-      match Bcl.solve d reduced with
+      match stage "bcl" (fun () -> Bcl.solve d reduced) with
       | Ok (value, witness) ->
           { value; witness = Some witness; algorithm = Alg_bcl_mincut; classification = cl }
       | Error msg -> invalid_arg ("Solver.solve: classifier/solver disagree: " ^ msg)
     end
   | Classify.PTime (Classify.Submodular _) -> begin
-      match Submod_solver.solve d reduced with
+      match stage "submodular" (fun () -> Submod_solver.solve d reduced) with
       | Ok value -> { value; witness = None; algorithm = Alg_submodular; classification = cl }
       | Error msg -> invalid_arg ("Solver.solve: classifier/solver disagree: " ^ msg)
     end
   | Classify.NPHard _ | Classify.Unclassified _ ->
-      let value, witness = Exact.branch_and_bound d reduced in
+      let value, witness = stage "bnb" (fun () -> Exact.branch_and_bound d reduced) in
       { value; witness = Some witness; algorithm = Alg_exact_bnb; classification = cl }
 
 let resilience d a = (solve d a).value
@@ -76,6 +87,7 @@ module Eval = Graphdb.Eval
    degrade to [satisfiability .. total weight], which need no work beyond
    what was already done. *)
 let bounded_outcome master reduced d ~incumbent ~reason =
+  stage ~args:(reason_arg reason) "bounds" @@ fun () ->
   let facts = Db.facts d in
   let total_weight = List.fold_left (fun acc (id, _) -> acc + Db.mult d id) 0 facts in
   let all_facts = List.map fst facts in
@@ -137,17 +149,19 @@ let bounded_outcome master reduced d ~incumbent ~reason =
    a slice of the budget, then the ILP baseline on a slice of what is left,
    then certified LP/greedy bounds on the remainder. *)
 let hard_chain master cl reduced d =
-  if not (Eval.satisfies d reduced) then
+  if not (stage "satisfies" (fun () -> Eval.satisfies d reduced)) then
     Exact
       { value = Value.Finite 0; witness = Some []; algorithm = Alg_trivial; classification = cl }
   else begin
     let s1 = Budget.slice master ~deadline_frac:0.6 ~steps_frac:0.6 in
-    match Exact.branch_and_bound_anytime ~budget:s1 d reduced with
+    match stage "bnb" (fun () -> Exact.branch_and_bound_anytime ~budget:s1 d reduced) with
     | Exact.Complete (value, w) ->
         Exact { value; witness = Some w; algorithm = Alg_exact_bnb; classification = cl }
     | Exact.Truncated { incumbent; reason } -> begin
         let s2 = Budget.slice master ~deadline_frac:0.6 ~steps_frac:0.6 in
-        match Ilp_solver.solve ~budget:s2 d reduced with
+        match
+          stage ~args:(reason_arg reason) "ilp" (fun () -> Ilp_solver.solve ~budget:s2 d reduced)
+        with
         | Ok (value, w) ->
             Exact { value; witness = Some w; algorithm = Alg_ilp; classification = cl }
         | Error _ -> bounded_outcome master reduced d ~incumbent ~reason
@@ -156,7 +170,11 @@ let hard_chain master cl reduced d =
   end
 
 let solve_bounded ?classification ?budget d a =
-  let cl = match classification with Some c -> c | None -> Classify.classify a in
+  let cl =
+    match classification with
+    | Some c -> c
+    | None -> stage "classify" (fun () -> Classify.classify a)
+  in
   match budget with
   | None -> Exact (solve ~classification:cl d a)
   | Some master -> begin
@@ -171,12 +189,12 @@ let solve_bounded ?classification ?budget d a =
           Exact (solve ~classification:cl d a)
       | Classify.PTime (Classify.Submodular _) -> begin
           let s = Budget.slice master ~deadline_frac:0.8 ~steps_frac:0.8 in
-          match Submod_solver.solve ~budget:s d reduced with
+          match stage "submodular" (fun () -> Submod_solver.solve ~budget:s d reduced) with
           | Ok value ->
               Exact { value; witness = None; algorithm = Alg_submodular; classification = cl }
           | Error msg -> invalid_arg ("Solver.solve_bounded: classifier/solver disagree: " ^ msg)
           | exception Budget.Exhausted reason ->
-              if Eval.satisfies d reduced then
+              if stage "satisfies" (fun () -> Eval.satisfies d reduced) then
                 bounded_outcome master reduced d ~incumbent:None ~reason
               else
                 Exact

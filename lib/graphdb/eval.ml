@@ -1,5 +1,7 @@
 module ISet = Hypergraph.Iset
 
+let steps = Obs.Metrics.counter "eval.steps"
+
 (* Evaluation works on the ε-free version of the automaton: states of the
    product are (node, state) pairs. *)
 
@@ -114,6 +116,7 @@ let matches_up_to ?(fuel = fun () -> ()) d (a : Automata.Nfa.t) ~max_len =
     let seen = Hashtbl.create 64 in
     let rec go v s len fact_set =
       fuel ();
+      Obs.Metrics.incr steps;
       if finals.(s) && not (Hashtbl.mem seen fact_set) then begin
         Hashtbl.add seen fact_set ();
         results := fact_set :: !results

@@ -3,6 +3,8 @@ module ISet = Iset
 
 type t = { verts : ISet.t; edge_sets : ISet.t list (* sorted, duplicate-free *) }
 
+let bnb_nodes = Obs.Metrics.counter "hypergraph.bnb_nodes"
+
 let normalize_edges edges = List.sort_uniq ISet.compare edges
 
 let make ~vertices ~edges =
@@ -200,6 +202,7 @@ let solve_branch_and_bound ?(fuel = fun () -> ()) weights edge_sets =
   in
   let rec branch cost chosen remaining =
     fuel ();
+    Obs.Metrics.incr bnb_nodes;
     match remaining with
     | [] ->
         if cost < !best then begin

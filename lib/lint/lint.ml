@@ -14,6 +14,7 @@ let rule_failwith = "failwith"
 let rule_assert_false = "assert-false"
 let rule_missing_mli = "missing-mli"
 let rule_unix = "unix-outside-runner"
+let rule_clock = "clock-outside-obs"
 
 let banned_idents =
   [
@@ -256,7 +257,18 @@ let scan_source ~file src =
         || String.starts_with ~prefix:"UnixLabels." tok
       then
         add line rule_unix
-          (Printf.sprintf "%s: the Unix library is confined to lib/runner and bin/" tok);
+          (Printf.sprintf "%s: the Unix library is confined to lib/runner, lib/obs and bin/" tok);
+      (* Raw clock reads bypass Obs.Clock's monotone guard and leave the
+         telemetry and the budget layer disagreeing about time. Confined
+         to lib/obs (which owns the clock) and lib/runner (select
+         timeouts); [scan_lib] exempts both structurally. *)
+      if
+        tok = "Sys.time" || tok = "Stdlib.Sys.time" || tok = "Unix.gettimeofday"
+        || tok = "UnixLabels.gettimeofday"
+      then
+        add line rule_clock
+          (Printf.sprintf "%s: clock reads are confined to lib/obs (use Obs.Clock) and lib/runner"
+             tok);
       if !prev = "assert" && tok = "false" then
         add line rule_assert_false
           "assert false is banned in library code: raise Invariant.Internal_error";
@@ -309,19 +321,32 @@ let missing_mlis ~lib_root =
           })
     (ml_files lib_root)
 
-(* The one subtree whose whole point is process supervision: the Unix rule
-   does not apply there. A structural exemption, not an allowlist entry —
-   it names a design boundary, not a known violation. *)
-let unix_exempt ~lib_root file =
-  let prefix = Filename.concat lib_root "runner" ^ Filename.dir_sep in
-  String.starts_with ~prefix file
+let under ~lib_root subdirs file =
+  List.exists
+    (fun sub ->
+      let prefix = Filename.concat lib_root sub ^ Filename.dir_sep in
+      String.starts_with ~prefix file)
+    subdirs
+
+(* The subtrees whose whole point is process supervision (lib/runner) or
+   timekeeping (lib/obs): the Unix rule does not apply there. A structural
+   exemption, not an allowlist entry — it names a design boundary, not a
+   known violation. *)
+let unix_exempt ~lib_root file = under ~lib_root [ "runner"; "obs" ] file
+
+(* Same shape for clocks: lib/obs owns the one clock abstraction, and
+   lib/runner stamps dispatch/settlement times around [select] waits. *)
+let clock_exempt ~lib_root file = under ~lib_root [ "obs"; "runner" ] file
 
 let scan_lib ~lib_root =
   let from_sources =
     List.concat_map
       (fun file ->
         List.filter
-          (fun f -> not (f.rule = rule_unix && unix_exempt ~lib_root file))
+          (fun f ->
+            not
+              ((f.rule = rule_unix && unix_exempt ~lib_root file)
+              || (f.rule = rule_clock && clock_exempt ~lib_root file)))
           (scan_file file))
       (ml_files lib_root)
   in

@@ -14,11 +14,16 @@
     - [failwith] / [assert false] — internal errors must go through
       {!Invariant.internal_error} so they carry a subsystem and message;
     - any [.ml] under [lib/] without a matching [.mli];
-    - references to the [Unix] library outside [lib/runner] — process
-      supervision (fork, signals, pipes, wall-clock waits) is confined to
-      the supervised execution layer (and [bin/]), so the solver stack
-      stays deterministic and testable in-process. The exemption is
-      structural (by path, in {!scan_lib}), not an allowlist entry.
+    - references to the [Unix] library outside [lib/runner] and
+      [lib/obs] — process supervision (fork, signals, pipes, wall-clock
+      waits) is confined to the supervised execution layer (and [bin/]),
+      so the solver stack stays deterministic and testable in-process.
+      The exemption is structural (by path, in {!scan_lib}), not an
+      allowlist entry;
+    - raw clock reads ([Sys.time], [Unix.gettimeofday]) outside [lib/obs]
+      and [lib/runner] — everything else must go through [Obs.Clock], so
+      time is read one way (and monotonically) across the tree. Same
+      structural exemption mechanism as the Unix rule.
 
     The scanner strips comments, string literals and character literals
     (preserving line numbers), then matches whole dotted identifiers, so
@@ -47,9 +52,15 @@ val rule_assert_false : string
 val rule_missing_mli : string
 
 val rule_unix : string
-(** [Unix]/[UnixLabels] reference outside [lib/runner]. Reported by
+(** [Unix]/[UnixLabels] reference outside [lib/runner]/[lib/obs].
+    Reported by {!scan_source} on any source; {!scan_lib} drops it for
+    files under [<lib_root>/runner/] and [<lib_root>/obs/]. *)
+
+val rule_clock : string
+(** Raw clock read ([Sys.time], [Unix.gettimeofday]) outside [lib/obs]
+    and [lib/runner]: library code must use [Obs.Clock]. Reported by
     {!scan_source} on any source; {!scan_lib} drops it for files under
-    [<lib_root>/runner/]. *)
+    [<lib_root>/obs/] and [<lib_root>/runner/]. *)
 
 val banned_idents : (string * string * string) list
 (** [(identifier, rule, hint)] for every banned dotted identifier. *)

@@ -6,6 +6,8 @@ type instance = {
 
 type solution = { value : int; assignment : bool array; lp_bound : float }
 
+let nodes = Obs.Metrics.counter "ilp.nodes"
+
 let lp_of instance ~fixed0 ~fixed1 =
   let base =
     Simplex.lp_relaxation_of_cover ~nvars:instance.nvars
@@ -42,6 +44,7 @@ let solve ?(fuel = fun () -> ()) instance =
     let root_bound = ref nan in
     let rec branch fixed0 fixed1 depth =
       fuel ();
+      Obs.Metrics.incr nodes;
       if depth > 2 * instance.nvars then
         Invariant.internal_error "Ilp.solve: branching depth %d exceeded 2*nvars" depth;
       match Simplex.solve ~fuel (lp_of instance ~fixed0 ~fixed1) with

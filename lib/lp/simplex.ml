@@ -10,6 +10,8 @@ type outcome =
   | Infeasible
   | Unbounded
 
+let pivots = Obs.Metrics.counter "simplex.pivots"
+
 let eps = 1e-9
 
 (* Standard form: upper bounds become extra ≥ rows (-x_i ≥ -u_i); every row
@@ -68,6 +70,7 @@ let solve ?(fuel = fun () -> ()) (p : problem) =
     let continue = ref true and ok = ref true in
     while !continue do
       fuel ();
+      Obs.Metrics.incr pivots;
       (* entering column: smallest index with negative reduced cost *)
       let enter = ref (-1) in
       (try

@@ -1,0 +1,20 @@
+(** Emit-only JSON values for telemetry output.
+
+    Mirrors the value type and escaping rules of [Runner.Proto.Json]
+    (which sits {e above} this layer and also carries the parser); the
+    trace/metrics tests parse this module's output back with the Proto
+    parser to keep the two halves in sync. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering. Non-finite floats emit as [null]; control
+    characters, backslash and double quote are escaped, so the result
+    never contains a raw newline — safe for line-delimited framing. *)

@@ -1,0 +1,177 @@
+(* Process-wide registry of named counters, gauges and log-scale
+   histograms. Single-threaded by construction (the whole repository is);
+   the hot operations — [incr], [add], [observe] — are a field update and
+   at most a [log] call, cheap enough for the innermost solver loops. *)
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+(* Log-scale buckets: base 2^(1/4), i.e. four buckets per doubling, which
+   bounds the relative error of a reported percentile by ~19% — plenty for
+   latency work. The index range covers 1e-9s .. ~1e9s. *)
+let base = Float.exp (Float.log 2.0 /. 4.0)
+let log_base = Float.log base
+let bucket_offset = 120
+let nbuckets = (2 * bucket_offset) + 1
+
+type histogram = {
+  buckets : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name make cast kind =
+  match Hashtbl.find_opt registry name with
+  | Some m -> begin
+      match cast m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already registered as a different kind (not a %s)"
+               name kind)
+    end
+  | None ->
+      let v = make () in
+      v
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { count = 0 } in
+      Hashtbl.replace registry name (C c);
+      c)
+    (function C c -> Some c | G _ | H _ -> None)
+    "counter"
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { value = 0.0 } in
+      Hashtbl.replace registry name (G g);
+      g)
+    (function G g -> Some g | C _ | H _ -> None)
+    "gauge"
+
+let histogram name =
+  register name
+    (fun () ->
+      let h =
+        {
+          buckets = Array.make nbuckets 0;
+          n = 0;
+          sum = 0.0;
+          lo = Float.infinity;
+          hi = Float.neg_infinity;
+        }
+      in
+      Hashtbl.replace registry name (H h);
+      h)
+    (function H h -> Some h | C _ | G _ -> None)
+    "histogram"
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let count c = c.count
+let set g v = g.value <- v
+let get g = g.value
+
+let bucket_of v =
+  if not (Float.is_finite v) || v <= 0.0 then 0
+  else
+    let i = bucket_offset + int_of_float (Float.floor (Float.log v /. log_base)) in
+    if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+let observe h v =
+  let v = if Float.is_finite v then v else 0.0 in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.lo then h.lo <- v;
+  if v > h.hi then h.hi <- v
+
+let observations h = h.n
+
+(* Geometric midpoint of the bucket holding the q-th observation, clamped
+   to the observed range so a single-sample histogram reports the sample
+   itself rather than a bucket bound. *)
+let percentile h q =
+  if h.n = 0 then Float.nan
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.n))) in
+    let idx = ref 0 in
+    let seen = ref 0 in
+    (try
+       for i = 0 to nbuckets - 1 do
+         seen := !seen + h.buckets.(i);
+         if !seen >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let mid = base ** (float_of_int (!idx - bucket_offset) +. 0.5) in
+    Float.min h.hi (Float.max h.lo mid)
+  end
+
+type stat =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { n : int; sum : float; lo : float; hi : float; p50 : float; p99 : float }
+
+let stat_of = function
+  | C c -> Counter c.count
+  | G g -> Gauge g.value
+  | H h ->
+      Histogram
+        {
+          n = h.n;
+          sum = h.sum;
+          lo = (if h.n = 0 then 0.0 else h.lo);
+          hi = (if h.n = 0 then 0.0 else h.hi);
+          p50 = percentile h 0.5;
+          p99 = percentile h 0.99;
+        }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, stat_of m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Zero values but keep the metric objects: static references held by
+   instrumented modules stay valid across a reset. *)
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.count <- 0
+      | G g -> g.value <- 0.0
+      | H h ->
+          Array.fill h.buckets 0 nbuckets 0;
+          h.n <- 0;
+          h.sum <- 0.0;
+          h.lo <- Float.infinity;
+          h.hi <- Float.neg_infinity)
+    registry
+
+let stat_to_jtext = function
+  | Counter n -> Jtext.Int n
+  | Gauge v -> Jtext.Float v
+  | Histogram { n; sum; lo; hi; p50; p99 } ->
+      Jtext.Obj
+        [
+          ("count", Jtext.Int n);
+          ("sum", Jtext.Float sum);
+          ("min", Jtext.Float lo);
+          ("max", Jtext.Float hi);
+          ("p50", Jtext.Float p50);
+          ("p99", Jtext.Float p99);
+        ]
+
+let to_jtext () = Jtext.Obj (List.map (fun (name, s) -> (name, stat_to_jtext s)) (snapshot ()))
+let snapshot_string () = Jtext.to_string (to_jtext ())

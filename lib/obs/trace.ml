@@ -1,0 +1,186 @@
+type format = Jsonl | Chrome
+
+type sink = {
+  oc : out_channel;
+  fmt : format;
+  pid : int;
+  t0 : float;  (* trace epoch: timestamps are relative, so files diff cleanly *)
+  mutable first : bool;  (* Chrome: separator management inside the array *)
+}
+
+let sink : sink option ref = ref None
+let enabled () = Option.is_some !sink
+
+(* Current span nesting depth; tagged onto every event so consumers can
+   check nesting without reconstructing the stack. *)
+let depth = ref 0
+
+let write_event s json =
+  (match s.fmt with
+  | Jsonl -> ()
+  | Chrome ->
+      if s.first then s.first <- false
+      else output_string s.oc ",\n");
+  output_string s.oc (Jtext.to_string json);
+  (match s.fmt with Jsonl -> output_char s.oc '\n' | Chrome -> ());
+  (* One event may be the process's last act before a crash; flush per
+     event so the trace is useful exactly when it matters most. *)
+  flush s.oc
+
+let us t = t *. 1e6
+
+let span_event s name ~args ~depth:d ~start ~stop =
+  match s.fmt with
+  | Chrome ->
+      Jtext.Obj
+        [
+          ("name", Jtext.Str name);
+          ("ph", Jtext.Str "X");
+          ("ts", Jtext.Float (us (start -. s.t0)));
+          ("dur", Jtext.Float (us (stop -. start)));
+          ("pid", Jtext.Int s.pid);
+          ("tid", Jtext.Int s.pid);
+          ("args", Jtext.Obj (("depth", Jtext.Int d) :: args));
+        ]
+  | Jsonl ->
+      Jtext.Obj
+        ([
+           ("ev", Jtext.Str "span");
+           ("name", Jtext.Str name);
+           ("ts", Jtext.Float (start -. s.t0));
+           ("dur", Jtext.Float (stop -. start));
+           ("depth", Jtext.Int d);
+         ]
+        @ args)
+
+let instant_event s name ~args =
+  let t = Clock.now () in
+  match s.fmt with
+  | Chrome ->
+      Jtext.Obj
+        [
+          ("name", Jtext.Str name);
+          ("ph", Jtext.Str "i");
+          ("ts", Jtext.Float (us (t -. s.t0)));
+          ("s", Jtext.Str "p");
+          ("pid", Jtext.Int s.pid);
+          ("tid", Jtext.Int s.pid);
+          ("args", Jtext.Obj (("depth", Jtext.Int !depth) :: args));
+        ]
+  | Jsonl ->
+      Jtext.Obj
+        ([
+           ("ev", Jtext.Str "instant");
+           ("name", Jtext.Str name);
+           ("ts", Jtext.Float (t -. s.t0));
+           ("depth", Jtext.Int !depth);
+         ]
+        @ args)
+
+let instant ?(args = []) name =
+  match !sink with None -> () | Some s -> write_event s (instant_event s name ~args)
+
+(* Spans are emitted on close (children before parents) as Chrome "X"
+   complete events / JSONL records carrying [ts], [dur] and [depth]. *)
+let with_span ?(args = []) name f =
+  match !sink with
+  | None -> f ()
+  | Some _ ->
+      let start = Clock.now () in
+      let d = !depth in
+      incr depth;
+      Fun.protect
+        ~finally:(fun () ->
+          decr depth;
+          match !sink with
+          | None -> () (* abandoned mid-span (forked child) *)
+          | Some s ->
+              write_event s (span_event s name ~args ~depth:d ~start ~stop:(Clock.now ())))
+        f
+
+(* ---- solver stage accounting ---- *)
+
+(* The per-job stage table filled by {!stage} under {!with_stages}. Only
+   the outermost stage accumulates (a nested stage's time is already part
+   of its enclosing stage), so the stage totals sum to at most the
+   enclosed wall time — the property behind the "stage spans account for
+   >= 90% of wall_s" acceptance check. *)
+let stages : (string, float ref) Hashtbl.t option ref = ref None
+let stage_depth = ref 0
+
+let stage ?(args = []) name f =
+  let collecting = Option.is_some !stages && !stage_depth = 0 in
+  if not (collecting || enabled ()) then f ()
+  else begin
+    let start = Clock.now () in
+    incr stage_depth;
+    Fun.protect
+      ~finally:(fun () ->
+        decr stage_depth;
+        if collecting then
+          match !stages with
+          | None -> ()
+          | Some tbl ->
+              let cell =
+                match Hashtbl.find_opt tbl name with
+                | Some r -> r
+                | None ->
+                    let r = ref 0.0 in
+                    Hashtbl.replace tbl name r;
+                    r
+              in
+              cell := !cell +. (Clock.now () -. start))
+      (fun () -> with_span ~args:(("stage", Jtext.Str name) :: args) ("stage:" ^ name) f)
+  end
+
+let with_stages f =
+  let tbl = Hashtbl.create 8 in
+  let saved = !stages and saved_depth = !stage_depth in
+  stages := Some tbl;
+  stage_depth := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      stages := saved;
+      stage_depth := saved_depth)
+    (fun () ->
+      let r = f () in
+      let totals =
+        Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      (r, totals))
+
+(* ---- lifecycle ---- *)
+
+let finish () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      sink := None;
+      (match s.fmt with Chrome -> output_string s.oc "\n]\n" | Jsonl -> ());
+      flush s.oc;
+      close_out_noerr s.oc
+
+let abandon () = sink := None
+
+let configure ~format path =
+  finish ();
+  let oc = open_out path in
+  (match format with Chrome -> output_string oc "[\n" | Jsonl -> ());
+  sink := Some { oc; fmt = format; pid = Unix.getpid (); t0 = Clock.now (); first = true }
+
+let format_of_path path = if Filename.check_suffix path ".jsonl" then Jsonl else Chrome
+let configure_file path = configure ~format:(format_of_path path) path
+
+let configure_from_env () =
+  match Sys.getenv_opt "RPQ_TRACE" with
+  | None -> ()
+  | Some v -> begin
+      match String.trim v with
+      | "" | "off" | "none" | "0" -> ()
+      | v when String.starts_with ~prefix:"chrome:" v ->
+          configure ~format:Chrome (String.sub v 7 (String.length v - 7))
+      | v when String.starts_with ~prefix:"jsonl:" v ->
+          configure ~format:Jsonl (String.sub v 6 (String.length v - 6))
+      | path -> configure_file path
+    end

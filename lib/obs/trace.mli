@@ -1,0 +1,69 @@
+(** Hierarchical spans with pluggable trace sinks.
+
+    With no sink configured (the default, and whenever [RPQ_TRACE] is
+    [off]) every entry point here short-circuits to running its thunk —
+    no clock read, no allocation — so instrumentation can stay in place
+    permanently (<2% overhead contract, see DESIGN.md §10).
+
+    Two sink formats:
+    {ul
+    {- {b Jsonl}: one JSON object per line, [{"ev":"span"|"instant",
+       "name":…, "ts":…, "dur":…, "depth":…}], seconds since the trace
+       epoch — greppable and trivially parseable;}
+    {- {b Chrome}: a [trace_event] JSON array of ["ph":"X"] complete
+       events (microsecond timestamps), loadable in [about:tracing] and
+       {{:https://ui.perfetto.dev}Perfetto}.}}
+
+    Spans are emitted when they {e close}, so children precede their
+    parents in the file; every event carries its nesting [depth] so
+    consumers can check well-nestedness without replaying a stack. *)
+
+type format = Jsonl | Chrome
+
+val configure : format:format -> string -> unit
+(** Open [path] (truncating) as the trace sink, finishing any previous
+    one. Raises [Sys_error] if the file cannot be opened. *)
+
+val configure_file : string -> unit
+(** {!configure} with the format chosen by extension: [.jsonl] is
+    {!Jsonl}, anything else {!Chrome}. *)
+
+val configure_from_env : unit -> unit
+(** Honors [RPQ_TRACE]: unset/[off]/[none]/[0] leaves tracing disabled;
+    [chrome:PATH] and [jsonl:PATH] force a format; a bare path behaves
+    like {!configure_file}. *)
+
+val enabled : unit -> bool
+
+val with_span : ?args:(string * Jtext.t) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f] between monotonic-clock reads and emits
+    one span event on close (also on exception). [args] become the
+    event's [args] fields. When disabled this is exactly [f ()]. *)
+
+val instant : ?args:(string * Jtext.t) list -> string -> unit
+(** A zero-duration event (dispatches, retries, worker deaths). *)
+
+val stage : ?args:(string * Jtext.t) list -> string -> (unit -> 'a) -> 'a
+(** Like {!with_span} (the span is named [stage:<name>] and tagged with
+    [stage=<name>]) but additionally accumulates elapsed time into the
+    ambient {!with_stages} table, if one is active. Only the outermost
+    stage accumulates — a nested stage's time is already inside its
+    parent's — so per-job stage totals never double-count and sum to at
+    most the enclosing wall time. *)
+
+val with_stages : (unit -> 'a) -> 'a * (string * float) list
+(** [with_stages f] enables stage accounting (independently of any sink)
+    around [f] and returns its result with the per-stage totals in
+    seconds, sorted by stage name. Used by the runner to fill the
+    [stages] block of a {!Runner.Proto.reply}. Nests: the previous table
+    is saved and restored. *)
+
+val finish : unit -> unit
+(** Close the sink properly (for {!Chrome}, terminate the JSON array).
+    Idempotent. Perfetto tolerates a missing terminator, so a crashed
+    process still leaves a loadable trace. *)
+
+val abandon : unit -> unit
+(** Drop the sink {e without} flushing or closing — for forked children
+    that inherit the supervisor's sink and must not interleave writes
+    with it (see [Pool.spawn]). *)

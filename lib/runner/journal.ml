@@ -45,11 +45,14 @@ let entry_of_json line =
     end
   | other -> Error (Printf.sprintf "unknown journal event %S" other)
 
+let append_s = Obs.Metrics.histogram "runner.journal_append_s"
+
 type t = { path : string; mutable oc : out_channel option }
 
 let open_append path = { path; oc = None }
 
 let append t entry =
+  let t0 = Obs.Clock.now () in
   let oc =
     match t.oc with
     | Some oc -> oc
@@ -62,7 +65,8 @@ let append t entry =
   output_char oc '\n';
   (* One job may be the supervisor's last act before a crash: flush per
      line so the write-ahead property actually holds. *)
-  flush oc
+  flush oc;
+  Obs.Metrics.observe append_s (Obs.Clock.now () -. t0)
 
 let close t =
   match t.oc with

@@ -91,7 +91,11 @@ let spawn t =
   let reply_r, reply_w = Unix.pipe ~cloexec:false () in
   match Unix.fork () with
   | 0 ->
-      (* Child: drop every parent-side fd, ours and our siblings'. *)
+      (* Child: the inherited trace sink channel belongs to the
+         supervisor — writing (or flushing on exit) would interleave with
+         its events, so drop it without touching the fd. *)
+      Obs.Trace.abandon ();
+      (* Drop every parent-side fd, ours and our siblings'. *)
       Unix.close job_w;
       Unix.close reply_r;
       Array.iter

@@ -240,12 +240,26 @@ type verdict =
   | V_bounded of { lower : Value.t; upper : Value.t; witness : int list option; reason : string }
   | V_failed of { kind : string; message : string; retriable : bool }
 
-type reply = { id : string; attempts : int; steps : int; wall_s : float; verdict : verdict }
+type reply = {
+  id : string;
+  attempts : int;
+  steps : int;
+  wall_s : float;
+  stages : (string * float) list;
+  verdict : verdict;
+}
 
 let failed ?(retriable = false) ~id ~kind fmt =
   Printf.ksprintf
     (fun message ->
-      { id; attempts = 1; steps = 0; wall_s = 0.0; verdict = V_failed { kind; message; retriable } })
+      {
+        id;
+        attempts = 1;
+        steps = 0;
+        wall_s = 0.0;
+        stages = [];
+        verdict = V_failed { kind; message; retriable };
+      })
     fmt
 
 (* ---- encoding ---- *)
@@ -275,6 +289,12 @@ let witness_fields = function
   | None -> []
   | Some w -> [ ("witness", Json.List (List.map (fun i -> Json.Int i) w)) ]
 
+(* Emitted only when non-empty, so untraced replies are byte-identical to
+   the pre-telemetry schema. *)
+let stages_fields = function
+  | [] -> []
+  | sts -> [ ("stages", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) sts)) ]
+
 let reply_to_obj (r : reply) =
   let common =
     [
@@ -283,6 +303,7 @@ let reply_to_obj (r : reply) =
       ("steps", Json.Int r.steps);
       ("wall_s", Json.Float r.wall_s);
     ]
+    @ stages_fields r.stages
   in
   let rest =
     match r.verdict with
@@ -350,11 +371,22 @@ let witness_of obj =
       if List.length ints = List.length items then Ok (Some ints) else field_err "witness"
   | Some _ -> field_err "witness"
 
+let stages_of obj =
+  match Json.member "stages" obj with
+  | None | Some Json.Null -> Ok []
+  | Some (Json.Obj fields) ->
+      let parsed =
+        List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float_opt v)) fields
+      in
+      if List.length parsed = List.length fields then Ok parsed else field_err "stages"
+  | Some _ -> field_err "stages"
+
 let reply_of_obj obj =
   let* id = get obj "id" Json.to_str_opt in
   let* attempts = get obj "attempts" Json.to_int_opt in
   let* steps = get obj "steps" Json.to_int_opt in
   let* wall_s = get obj "wall_s" Json.to_float_opt in
+  let* stages = stages_of obj in
   let* outcome = get obj "outcome" Json.to_str_opt in
   let* verdict =
     match outcome with
@@ -376,12 +408,14 @@ let reply_of_obj obj =
         Ok (V_failed { kind; message; retriable })
     | other -> Error (Printf.sprintf "unknown outcome %S" other)
   in
-  Ok { id; attempts; steps; wall_s; verdict }
+  Ok { id; attempts; steps; wall_s; stages; verdict }
 
 let reply_of_json s =
   let* v = Json.parse s in
   reply_of_obj v
 
+(* [wall_s] and [stages] are both wall-clock measurements: legitimately
+   different across otherwise-identical runs, so both are excluded. *)
 let reply_equal_ignoring_time (a : reply) (b : reply) =
   a.id = b.id && a.attempts = b.attempts && a.steps = b.steps && a.verdict = b.verdict
 

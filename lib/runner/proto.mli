@@ -77,6 +77,12 @@ type reply = {
   attempts : int;  (** 1 for a first-try success *)
   steps : int;  (** budget ticks spent by the successful attempt *)
   wall_s : float;  (** supervisor-side wall-clock seconds, volatile *)
+  stages : (string * float) list;
+      (** worker-side seconds per solver stage ({!Obs.Trace.with_stages}),
+          sorted by stage name; empty when stage accounting was off. On
+          the wire it is an optional [stages] object, omitted when empty.
+          Volatile like [wall_s]: excluded from
+          {!reply_equal_ignoring_time}. *)
   verdict : verdict;
 }
 
@@ -96,7 +102,7 @@ val reply_of_obj : Json.t -> (reply, string) result
     embedding replies inside larger objects (journal entries). *)
 
 val reply_equal_ignoring_time : reply -> reply -> bool
-(** Structural equality minus [wall_s] — the comparison used by journal
+(** Structural equality minus [wall_s] and [stages] — the comparison used by journal
     re-verification and the resume-determinism tests, where wall-clock is
     the only legitimately nondeterministic field. *)
 

@@ -6,8 +6,25 @@ module Ser = Graphdb.Serialize
 module Db = Graphdb.Db
 module Eval = Graphdb.Eval
 open Resilience
+module Trace = Obs.Trace
 
 let now_s () = Unix.gettimeofday ()
+
+(* Supervisor-side telemetry. Counters cover the retry/death policy
+   (deterministic under a fixed fault plan), gauges the instantaneous
+   load, histograms the queue wait. Worker-side solver metrics do not
+   cross the fork boundary — per-job stage timings travel in the reply's
+   [stages] block instead. *)
+let m_jobs = Obs.Metrics.counter "runner.jobs"
+let m_settled = Obs.Metrics.counter "runner.settled"
+let m_retries = Obs.Metrics.counter "runner.retries"
+let m_deaths_crash = Obs.Metrics.counter "runner.deaths.crash"
+let m_deaths_timeout = Obs.Metrics.counter "runner.deaths.timeout"
+let m_deaths_malformed = Obs.Metrics.counter "runner.deaths.malformed"
+let m_shed = Obs.Metrics.counter "runner.shed"
+let m_queue_depth = Obs.Metrics.gauge "runner.queue_depth"
+let m_inflight = Obs.Metrics.gauge "runner.inflight"
+let m_dispatch_latency = Obs.Metrics.histogram "runner.dispatch_latency_s"
 
 (* ------------------------------------------------------------------ *)
 (* Worker side: run one job to a reply, in this process.               *)
@@ -34,8 +51,8 @@ let worker_probe () =
 
 let spent_steps = function None -> 0 | Some b -> (Budget.spent b).Budget.steps
 
-let run_job_locally (job : job) : reply =
-  match Ser.parse job.db with
+let run_job_inner (job : job) : reply =
+  match Trace.stage "parse" (fun () -> Ser.parse job.db) with
   | Error e -> failed ~id:job.id ~kind:"bad-job" "database: %s" e
   | Ok p -> begin
       match Automata.Regex.parse_opt job.query with
@@ -47,7 +64,7 @@ let run_job_locally (job : job) : reply =
           | Error e -> failed ~id:job.id ~kind:"bad-job" "faults: %s" e
           | Ok plan ->
               Faults.with_plan plan @@ fun () ->
-              let lang = Automata.Lang.of_string job.query in
+              let lang = Trace.stage "parse" (fun () -> Automata.Lang.of_string job.query) in
               let probe = worker_probe () in
               let b = job.budget in
               let budget =
@@ -85,10 +102,29 @@ let run_job_locally (job : job) : reply =
                 attempts = 1;
                 steps = spent_steps budget;
                 wall_s = 0.0;
+                stages = [];
                 verdict;
               }
         end
     end
+
+(* The whole job runs under one span (tagged with the query and instance
+   size) and a fresh stage table; the per-stage totals become the reply's
+   [stages] block, so they survive the pipe back to the supervisor. *)
+let run_job_locally (job : job) : reply =
+  let reply, stages =
+    Trace.with_stages (fun () ->
+        Trace.with_span
+          ~args:
+            [
+              ("id", Obs.Jtext.Str job.id);
+              ("query", Obs.Jtext.Str job.query);
+              ("db_bytes", Obs.Jtext.Int (String.length job.db));
+            ]
+          "job"
+          (fun () -> run_job_inner job))
+  in
+  { reply with stages }
 
 let worker_handler line =
   let reply =
@@ -146,6 +182,7 @@ let death_kind = function
 
 type task = {
   job : job;  (** as submitted, with the original budget *)
+  submitted : float;  (** wall clock at {!submit}, for dispatch latency *)
   mutable attempts : int;  (** dispatches so far *)
   mutable cur_budget : budget_spec;
   mutable first_dispatch : float;  (** wall clock, for [wall_s] *)
@@ -164,9 +201,21 @@ type engine = {
 
 let engine_load e = Queue.length e.pending + List.length e.delayed + Hashtbl.length e.inflight
 
+let update_gauges e =
+  Obs.Metrics.set m_queue_depth (float_of_int (Queue.length e.pending + List.length e.delayed));
+  Obs.Metrics.set m_inflight (float_of_int (Hashtbl.length e.inflight))
+
 let submit e job =
+  Obs.Metrics.incr m_jobs;
   Queue.add
-    { job; attempts = 0; cur_budget = job.budget; first_dispatch = 0.0; not_before = 0.0 }
+    {
+      job;
+      submitted = now_s ();
+      attempts = 0;
+      cur_budget = job.budget;
+      first_dispatch = 0.0;
+      not_before = 0.0;
+    }
     e.pending
 
 let dispatch_ready e =
@@ -181,26 +230,45 @@ let dispatch_ready e =
     let t = Queue.pop e.pending in
     if t.attempts = 0 then begin
       t.first_dispatch <- now_s ();
+      Obs.Metrics.observe m_dispatch_latency (t.first_dispatch -. t.submitted);
       e.on_dispatch t
     end;
     t.attempts <- t.attempts + 1;
     Hashtbl.replace e.inflight t.job.id t;
+    Trace.instant ~args:[ ("id", Obs.Jtext.Str t.job.id) ] "dispatch";
     let payload = job_to_json { t.job with budget = t.cur_budget } in
     Pool.assign e.pool ~id:t.job.id ~payload;
     decr idle
-  done
+  done;
+  update_gauges e
 
 let settle e t reply =
   Hashtbl.remove e.inflight t.job.id;
+  Obs.Metrics.incr m_settled;
+  update_gauges e;
+  Trace.instant
+    ~args:
+      [ ("id", Obs.Jtext.Str t.job.id); ("outcome", Obs.Jtext.Str (verdict_name reply.verdict)) ]
+    "settle";
   e.emit { reply with id = t.job.id; attempts = t.attempts; wall_s = now_s () -. t.first_dispatch }
 
+let death_counter = function
+  | Pool.Timed_out -> m_deaths_timeout
+  | Pool.Exited _ | Pool.Signaled _ -> m_deaths_crash
+  | Pool.Malformed _ -> m_deaths_malformed
+
 let retry_or_fail e t death =
+  Obs.Metrics.incr (death_counter death);
+  Trace.instant
+    ~args:[ ("id", Obs.Jtext.Str t.job.id); ("death", Obs.Jtext.Str (death_kind death)) ]
+    "worker-death";
   if t.attempts > e.cfg.retries then
     settle e t
       (failed ~id:t.job.id ~kind:(death_kind death) "gave up after %d attempts: %s" t.attempts
          (Pool.death_to_string death))
   else begin
     Hashtbl.remove e.inflight t.job.id;
+    Obs.Metrics.incr m_retries;
     (* Shrink the budget so whatever made the worker die (a fault tick, a
        runaway search) is preempted by exhaustion on a later attempt and
        the job settles as Bounded instead of failing outright. *)
@@ -365,12 +433,26 @@ let run_batch ?journal cfg (jobs : job list) : reply list * batch_stats =
 (* control.                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* A [{"stats": true}] line (optionally carrying an [id]) is a control
+   request, not a job: it answers immediately with the supervisor's
+   metrics snapshot and consumes no queue slot. The snapshot is spliced
+   in textually — [Obs.Metrics.snapshot_string] emits the same JSON
+   grammar this layer parses (see [Obs.Jtext]). *)
+let is_stats_request v =
+  match Json.member "stats" v with Some (Json.Bool true) -> true | _ -> false
+
+let stats_line id =
+  Printf.sprintf {|{"id":%s,"stats":%s}|}
+    (Json.to_string (Json.Str id))
+    (Obs.Metrics.snapshot_string ())
+
 let serve cfg ic oc =
-  let out_reply r =
-    output_string oc (reply_to_json r);
+  let out_line l =
+    output_string oc l;
     output_char oc '\n';
     flush oc
   in
+  let out_reply r = out_line (reply_to_json r) in
   let e = create_engine cfg ~emit:out_reply ~on_dispatch:(fun _ -> ()) in
   Fun.protect
     ~finally:(fun () -> Pool.shutdown e.pool)
@@ -381,6 +463,13 @@ let serve cfg ic oc =
       let admit line =
         if String.trim line = "" then ()
         else
+          match Json.parse line with
+          | Ok v when is_stats_request v ->
+              let id =
+                Option.value ~default:"" (Option.bind (Json.member "id" v) Json.to_str_opt)
+              in
+              out_line (stats_line id)
+          | _ -> begin
           match job_of_json line with
           | Error msg -> out_reply (failed ~id:"" ~kind:"bad-job" "unparseable job line: %s" msg)
           | Ok job ->
@@ -388,13 +477,16 @@ let serve cfg ic oc =
                  || Queue.fold (fun acc (t : task) -> acc || t.job.id = job.id) false e.pending
                  || List.exists (fun (t : task) -> t.job.id = job.id) e.delayed
               then out_reply (failed ~id:job.id ~kind:"bad-job" "duplicate job id still in flight")
-              else if engine_load e >= cfg.queue_cap then
+              else if engine_load e >= cfg.queue_cap then begin
                 (* Load shedding: a full queue answers immediately instead
                    of buffering without bound; the client may resubmit. *)
+                Obs.Metrics.incr m_shed;
                 out_reply
                   (failed ~retriable:true ~id:job.id ~kind:"overloaded"
                      "queue full (%d jobs); resubmit later" cfg.queue_cap)
+              end
               else submit e job
+          end
       in
       let read_input () =
         let chunk = Bytes.create 65536 in

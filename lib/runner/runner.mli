@@ -42,8 +42,11 @@ val run_job_locally : Proto.job -> Proto.reply
     budget — wiring {!Resilience.Faults.worker_mode} into the budget
     probe — and solve. Never raises on bad input (returns a [bad-job]
     reply); under a [kill]/[wedge] plan with a live probe it may, by
-    design, kill or wedge the calling process. [attempts] and [wall_s] in
-    the reply are placeholders for the supervisor to overwrite. *)
+    design, kill or wedge the calling process. The whole job runs under
+    an [Obs.Trace] span with per-stage accounting; the stage totals fill
+    the reply's [stages] block (that is how worker-side timings cross the
+    fork back to the supervisor). [attempts] and [wall_s] in the reply
+    are placeholders for the supervisor to overwrite. *)
 
 val worker_handler : string -> string
 (** [run_job_locally] lifted to wire form: the pool workers' job-line to
@@ -98,4 +101,10 @@ val serve : config -> in_channel -> out_channel -> unit
     {!Proto.reply} JSON line out (flushed per reply), replies in
     settlement order, until EOF on input and all accepted jobs settled.
     Jobs beyond [queue_cap] are shed with a retriable [overloaded] reply;
-    a job id equal to one still in flight is rejected ([bad-job]). *)
+    a job id equal to one still in flight is rejected ([bad-job]).
+
+    A line [{"stats": true}] (optionally with an ["id"]) is a control
+    request, not a job: it is answered immediately — regardless of queue
+    depth — with [{"id": …, "stats": {…}}] carrying the
+    [Obs.Metrics] snapshot (job/retry/death counters, queue gauges,
+    latency histograms) at that instant. *)

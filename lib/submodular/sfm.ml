@@ -161,9 +161,12 @@ let combine ps coeffs =
   Array.iteri (fun i p -> Array.iteri (fun j v -> x.(j) <- x.(j) +. (coeffs.(i) *. v)) p) ps;
   x
 
+let oracle_calls = Obs.Metrics.counter "sfm.oracle_calls"
+
 let minimize ?(fuel = fun () -> ()) ~n oracle =
   let oracle s =
     fuel ();
+    Obs.Metrics.incr oracle_calls;
     oracle s
   in
   if n = 0 then (oracle [||], [||])

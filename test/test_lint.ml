@@ -37,6 +37,8 @@ let negative_fixtures =
       "(* see below *)\nlet f xs =\n  List.hd xs\n",
       Lint.rule_partial );
     ("Unix value", "let t = Unix.gettimeofday ()\n", Lint.rule_unix);
+    ("Sys.time clock read", "let t = Sys.time ()\n", Lint.rule_clock);
+    ("gettimeofday clock read", "let t = Unix.gettimeofday ()\n", Lint.rule_clock);
     ("Unix module alias", "module U = Unix\n", Lint.rule_unix);
     ("UnixLabels", "let t = UnixLabels.fork ()\n", Lint.rule_unix);
   ]
@@ -57,6 +59,8 @@ let clean_fixtures =
     ("module field access", "let f (r : Db.fact) = r.Db.label\n");
     ("Unix in a comment", "(* like Unix.fork *)\nlet x = 1\n");
     ("Unix as an identifier prefix", "let unix_like = 1\nlet f (m : Unix_free.t) = m\n");
+    ("clock via Obs", "let t = Obs.Clock.now () -. Obs.Clock.cpu ()\n");
+    ("Sys.time in a comment", "(* cf. Sys.time *)\nlet x = 1\n");
   ]
 
 let test_line_numbers () =
@@ -142,10 +146,48 @@ let test_unix_exemption () =
         "only the core copy is flagged"
         [ Filename.concat core "clock.ml" ]
         (List.map (fun f -> f.Lint.file) fs);
+      (* gettimeofday trips both the Unix rule and the clock rule. *)
       Alcotest.(check (list string))
         "scan_source itself still flags the runner copy"
-        [ Lint.rule_unix ]
-        (rules (Lint.scan_source ~file:(Filename.concat runner "clock.ml") src)))
+        [ Lint.rule_clock; Lint.rule_unix ]
+        (List.sort compare
+           (rules (Lint.scan_source ~file:(Filename.concat runner "clock.ml") src))))
+
+(* Same structural mechanism for clocks: [Sys.time] is flagged under
+   <root>/core/ and exempt under <root>/obs/. The fixture deliberately
+   avoids Unix so only the clock rule is in play. *)
+let test_clock_exemption () =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "rpq_lint_clock_fixture" in
+  let obs = Filename.concat root "obs" in
+  let core = Filename.concat root "core" in
+  List.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o700) [ root; obs; core ];
+  let src = "let cpu () = Sys.time ()\n" in
+  let files =
+    List.concat_map
+      (fun dir ->
+        let ml = Filename.concat dir "cpu.ml" in
+        let mli = Filename.concat dir "cpu.mli" in
+        Out_channel.with_open_text ml (fun oc -> output_string oc src);
+        Out_channel.with_open_text mli (fun oc -> output_string oc "val cpu : unit -> float\n");
+        [ ml; mli ])
+      [ obs; core ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove files;
+      List.iter Sys.rmdir [ obs; core; root ])
+    (fun () ->
+      let fs =
+        List.filter (fun f -> f.Lint.rule = Lint.rule_clock) (Lint.scan_lib ~lib_root:root)
+      in
+      Alcotest.(check (list string))
+        "only the core copy is flagged"
+        [ Filename.concat core "cpu.ml" ]
+        (List.map (fun f -> f.Lint.file) fs);
+      Alcotest.(check (list string))
+        "scan_source itself still flags the obs copy"
+        [ Lint.rule_clock ]
+        (rules (Lint.scan_source ~file:(Filename.concat obs "cpu.ml") src)))
 
 let test_allowlist () =
   let fs = scan "let f xs = List.hd xs\n" in
@@ -173,6 +215,7 @@ let () =
           Alcotest.test_case "line numbers" `Quick test_line_numbers;
           Alcotest.test_case "missing mli" `Quick test_missing_mli;
           Alcotest.test_case "unix exemption" `Quick test_unix_exemption;
+          Alcotest.test_case "clock exemption" `Quick test_clock_exemption;
           Alcotest.test_case "allowlist" `Quick test_allowlist;
         ] );
       ("repository", [ Alcotest.test_case "lib/ is clean" `Quick test_repo_clean ]);

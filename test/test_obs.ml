@@ -1,0 +1,209 @@
+(* lib/obs: span nesting and ordering, sink well-formedness (parsed back
+   with the runner's strict JSON reader — Jtext's emit half and Proto's
+   parse half must agree), histogram percentiles against a brute-force
+   sort, and determinism of the work counters under seeded faults. *)
+
+open Resilience
+module Json = Runner.Proto.Json
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+
+let check = Alcotest.(check bool)
+
+let with_trace fmt ext f =
+  let path = Filename.temp_file "rpq_trace" ext in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.finish ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Trace.configure ~format:fmt path;
+      f path)
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let parse_exn what s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s does not parse: %s (input %S)" what e s
+
+let str_field f v =
+  match Option.bind (Json.member f v) Json.to_str_opt with
+  | Some s -> s
+  | None -> Alcotest.failf "event lacks string field %S" f
+
+let num_field f v =
+  match Option.bind (Json.member f v) Json.to_float_opt with
+  | Some x -> x
+  | None -> Alcotest.failf "event lacks numeric field %S" f
+
+let int_field f v =
+  match Option.bind (Json.member f v) Json.to_int_opt with
+  | Some x -> x
+  | None -> Alcotest.failf "event lacks int field %S" f
+
+let emit_nested () =
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner1" (fun () -> ignore (Sys.opaque_identity 1));
+      Trace.instant "mark";
+      Trace.with_span "inner2" (fun () ->
+          Trace.with_span "leaf" (fun () -> ignore (Sys.opaque_identity 2))))
+
+(* Spans are emitted on close: children must precede their parents, every
+   event carries its depth, and a child's [ts, ts+dur] interval lies
+   inside its parent's. *)
+let test_jsonl_nesting () =
+  with_trace Trace.Jsonl ".jsonl" (fun path ->
+      emit_nested ();
+      Trace.finish ();
+      let lines =
+        String.split_on_char '\n' (read_file path) |> List.filter (fun l -> String.trim l <> "")
+      in
+      let events = List.map (parse_exn "jsonl line") lines in
+      let names = List.map (str_field "name") events in
+      Alcotest.(check (list string))
+        "close order (children first)"
+        [ "inner1"; "mark"; "inner2"; "outer" ]
+        (List.filter (fun n -> n <> "leaf") names);
+      let spans = List.filter (fun v -> str_field "ev" v = "span") events in
+      Alcotest.(check int) "span count" 4 (List.length spans);
+      let interval v = (num_field "ts" v, num_field "ts" v +. num_field "dur" v) in
+      let by_name n = List.find (fun v -> str_field "name" v = n) spans in
+      List.iter
+        (fun (child, parent) ->
+          let c0, c1 = interval (by_name child) and p0, p1 = interval (by_name parent) in
+          check (child ^ " inside " ^ parent) true (p0 <= c0 && c1 <= p1);
+          Alcotest.(check int)
+            (child ^ " depth")
+            (int_field "depth" (by_name parent) + 1)
+            (int_field "depth" (by_name child)))
+        [ ("inner1", "outer"); ("inner2", "outer"); ("leaf", "inner2") ])
+
+(* The Chrome sink must produce one well-formed JSON array of complete
+   ("ph":"X") events with microsecond timestamps and the depth tag. *)
+let test_chrome_sink () =
+  with_trace Trace.Chrome ".json" (fun path ->
+      emit_nested ();
+      Trace.finish ();
+      match parse_exn "chrome trace" (read_file path) with
+      | Json.List events ->
+          let spans =
+            List.filter (fun v -> str_field "ph" v = "X") events
+          in
+          Alcotest.(check int) "span count" 4 (List.length spans);
+          List.iter
+            (fun v ->
+              check "has name" true (str_field "name" v <> "");
+              check "dur >= 0" true (num_field "dur" v >= 0.0);
+              let args =
+                match Json.member "args" v with
+                | Some a -> a
+                | None -> Alcotest.failf "event lacks args"
+              in
+              check "depth tag" true (int_field "depth" args >= 0))
+            spans
+      | _ -> Alcotest.fail "a Chrome trace must be one JSON array")
+
+(* Stage accounting: only the outermost stage accumulates, so the totals
+   sum to at most the enclosing wall time even when stages nest. *)
+let test_stage_accounting () =
+  let (), totals =
+    Trace.with_stages (fun () ->
+        Trace.stage "alpha" (fun () ->
+            Trace.stage "beta" (fun () -> ignore (Sys.opaque_identity 1)));
+        Trace.stage "beta" (fun () -> ignore (Sys.opaque_identity 2)))
+  in
+  let names = List.map fst totals in
+  Alcotest.(check (list string)) "stage names, sorted" [ "alpha"; "beta" ] names;
+  List.iter (fun (n, t) -> check (n ^ " nonnegative") true (t >= 0.0)) totals
+
+let test_snapshot_roundtrip () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.counter" in
+  let g = Metrics.gauge "test.obs.gauge" in
+  let h = Metrics.histogram "test.obs.hist" in
+  Metrics.add c 41;
+  Metrics.incr c;
+  Metrics.set g 2.5;
+  Metrics.observe h 0.125;
+  let v = parse_exn "metrics snapshot" (Metrics.snapshot_string ()) in
+  Alcotest.(check int) "counter value" 42 (int_field "test.obs.counter" v);
+  check "gauge value" true (num_field "test.obs.gauge" v = 2.5);
+  (match Json.member "test.obs.hist" v with
+  | Some hist -> Alcotest.(check int) "histogram count" 1 (int_field "count" hist)
+  | None -> Alcotest.fail "histogram missing from snapshot");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes, keeps the object" 0 (Metrics.count c)
+
+(* Percentiles from the log-scale buckets against a brute-force sort: the
+   bucket base is 2^(1/4), so a reported percentile is within ~19% of the
+   true order statistic. Samples come from a deterministic LCG. *)
+let test_histogram_percentiles () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.obs.lcg" in
+  let state = ref 123456789 in
+  let rand () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    (* spread over ~6 orders of magnitude to exercise many buckets *)
+    1e-6 *. float_of_int (1 + (!state mod 999_999))
+  in
+  let n = 2000 in
+  let xs = Array.init n (fun _ -> rand ()) in
+  Array.iter (Metrics.observe h) xs;
+  Alcotest.(check int) "observations" n (Metrics.observations h);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      let est = Metrics.percentile h q in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+      let truth = sorted.(rank - 1) in
+      let rel = Float.abs (est -. truth) /. truth in
+      check (Printf.sprintf "q=%.2f within 19%% (est %g, true %g)" q est truth) true (rel <= 0.19))
+    [ 0.01; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  check "p0 clamped to min" true (Metrics.percentile h 0.0 >= sorted.(0));
+  check "p100 clamped to max" true (Metrics.percentile h 1.0 <= sorted.(n - 1))
+
+(* Work counters (budget ticks, B&B nodes, pivots, oracle calls) must be
+   deterministic: two identical budgeted solves under the same seeded
+   fault plan produce identical counter snapshots. Only time-valued
+   metrics (gauges, histograms) may differ between runs. *)
+let counters_only () =
+  List.filter_map
+    (function n, Metrics.Counter c -> Some (n, c) | _, (Metrics.Gauge _ | Metrics.Histogram _) -> None)
+    (Metrics.snapshot ())
+
+let test_counter_determinism () =
+  let pre, l = Gadgets.gadget_aa () in
+  let db = Gadgets.encode pre (Graphs.Ugraph.complete 4) in
+  let run () =
+    Metrics.reset ();
+    Faults.with_plan
+      (Faults.Seeded { seed = 7; period = 200 })
+      (fun () ->
+        let b = Budget.create ~steps:3_000 () in
+        ignore (Solver.solve_bounded ~budget:b db l));
+    counters_only ()
+  in
+  let first = run () in
+  let second = run () in
+  check "some work was counted" true (List.exists (fun (_, n) -> n > 0) first);
+  Alcotest.(check (list (pair string int))) "counters match across identical runs" first second
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "jsonl nesting and order" `Quick test_jsonl_nesting;
+          Alcotest.test_case "chrome sink well-formed" `Quick test_chrome_sink;
+          Alcotest.test_case "stage accounting" `Quick test_stage_accounting;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "counter determinism under seeded faults" `Quick
+            test_counter_determinism;
+        ] );
+    ]

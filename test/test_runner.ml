@@ -73,6 +73,7 @@ let test_proto_roundtrip () =
         attempts = 1;
         steps = 12;
         wall_s = 0.25;
+        stages = [ ("mincut", 0.2); ("parse", 0.01) ];
         verdict =
           Proto.V_exact
             { value = Value.Finite 3; algorithm = "mincut"; witness = Some [ 1; 2; 7 ] };
@@ -82,6 +83,7 @@ let test_proto_roundtrip () =
         attempts = 3;
         steps = 40;
         wall_s = 1.5;
+        stages = [];
         verdict =
           Proto.V_bounded
             { lower = Value.Finite 1; upper = Value.Infinite; witness = None; reason = "steps" };
@@ -386,6 +388,7 @@ let test_journal_rejects_corrupt_answer () =
           attempts = 1;
           steps = 0;
           wall_s = 0.0;
+          stages = [];
           verdict =
             Proto.V_exact { value = Value.Finite 1; algorithm = "forged"; witness = Some [] };
         }
