@@ -52,6 +52,18 @@ let trace_arg =
 
 let configure_trace = function None -> () | Some path -> Obs.Trace.configure_file path
 
+(* Shared by solve --json / batch / serve: the worker memory ceiling. *)
+let max_heap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-heap-mb" ] ~docv:"MB"
+        ~doc:
+          "Memory ceiling per job: a Gc-alarm watchdog converts a major heap beyond $(docv) \
+           megabytes into budget exhaustion, so an OOM-bound job settles as a certified \
+           $(i,bounded) reply instead of dying to the OOM killer. Applies to the JSON reply \
+           paths (workers of $(b,batch)/$(b,serve), and $(b,solve --json)).")
+
 let regex_arg =
   let parse s =
     match Automata.Regex.parse_opt s with
@@ -152,8 +164,12 @@ let solve_cmd =
             "Emit one machine-readable JSON reply line (the same schema as $(b,rpq batch) and \
              $(b,rpq serve) replies) instead of the human-readable report.")
   in
-  let run db_file s witness timeout steps memo_cap json trace =
+  let run db_file s witness timeout steps memo_cap json max_heap trace =
     configure_trace trace;
+    match max_heap with
+    | Some mb when mb < 1 -> input_error "solve: max heap must be at least 1 MB"
+    | mh ->
+    Runner.set_max_heap_mb mh;
     if json then solve_json ~db_file ~query:s ~timeout ~steps ~memo_cap
     else
     match parse_db_file db_file with
@@ -199,7 +215,9 @@ let solve_cmd =
        ~doc:
          "Compute the resilience of an RPQ on a database file, exactly or within a time/work \
           budget.")
-    Term.(const run $ db_file $ regex $ witness $ timeout $ steps $ memo_cap $ json $ trace_arg)
+    Term.(
+      const run $ db_file $ regex $ witness $ timeout $ steps $ memo_cap $ json $ max_heap_arg
+      $ trace_arg)
 
 (* ---- gen ---- *)
 
@@ -547,10 +565,28 @@ let job_timeout_arg =
           "Wall-clock limit per job attempt, enforced by the supervisor: the worker is SIGTERMed \
            and, failing that, SIGKILLed.")
 
-let runner_config workers retries queue_cap job_timeout =
+let journal_sync_arg =
+  let policies =
+    [
+      ("never", Runner.Journal.Never);
+      ("per_line", Runner.Journal.Per_line);
+      ("per_job", Runner.Journal.Per_job);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum policies) Runner.default_config.Runner.journal_sync
+    & info [ "journal-sync" ] ~docv:"POLICY"
+        ~doc:
+          "Journal durability policy: $(b,never) (flush to the OS only), $(b,per_line) (fsync \
+           every record), or $(b,per_job) (fsync on settlements only; the default).")
+
+let runner_config workers retries queue_cap job_timeout journal_sync max_heap =
   if workers < 1 then Error "need at least one worker"
   else if retries < 0 then Error "negative retries"
   else if queue_cap < 1 then Error "queue cap must be at least 1"
+  else if (match max_heap with Some mb -> mb < 1 | None -> false) then
+    Error "max heap must be at least 1 MB"
   else
     Ok
       {
@@ -559,6 +595,8 @@ let runner_config workers retries queue_cap job_timeout =
         retries;
         queue_cap;
         job_timeout;
+        journal_sync;
+        max_heap_mb = max_heap;
       }
 
 let batch_cmd =
@@ -578,23 +616,29 @@ let batch_cmd =
             "Write-ahead journal: every dispatch and settlement is appended here, and a rerun \
              with the same journal skips already-settled jobs (re-verified unless RPQ_CHECK=off).")
   in
-  let run jobfile journal workers retries queue_cap job_timeout trace =
+  let run jobfile journal workers retries queue_cap job_timeout journal_sync max_heap trace =
     configure_trace trace;
-    match runner_config workers retries queue_cap job_timeout with
+    match runner_config workers retries queue_cap job_timeout journal_sync max_heap with
     | Error e -> input_error "batch: %s" e
     | Ok cfg -> begin
         match parse_jobfile jobfile with
         | Error e -> input_error "%s" e
         | Ok [] -> input_error "%s: no jobs" jobfile
-        | Ok jobs ->
-            let replies, stats =
+        | Ok jobs -> begin
+            match
               Obs.Trace.with_span ~args:[ ("jobs", Obs.Jtext.Int (List.length jobs)) ] "batch"
                 (fun () -> Runner.run_batch ?journal cfg jobs)
-            in
-            List.iter (fun r -> print_endline (Runner.Proto.reply_to_json r)) replies;
-            Printf.eprintf "batch: %d jobs (%d run, %d resumed), %d failures\n%!"
-              (List.length replies) stats.Runner.ran stats.Runner.resumed stats.Runner.failures;
-            if stats.Runner.failures = 0 then 0 else 1
+            with
+            (* An unreadable/corrupt/locked journal is an input problem
+               (exit 2, file:line in the message), not a crash. *)
+            | exception Invalid_argument e -> input_error "%s" e
+            | replies, stats ->
+                List.iter (fun r -> print_endline (Runner.Proto.reply_to_json r)) replies;
+                Printf.eprintf "batch: %d jobs (%d run, %d resumed), %d failures\n%!"
+                  (List.length replies) stats.Runner.ran stats.Runner.resumed
+                  stats.Runner.failures;
+                if stats.Runner.failures = 0 then 0 else 1
+          end
       end
   in
   Cmd.v
@@ -605,11 +649,14 @@ let batch_cmd =
           reply line per job, in jobfile order. Exits 0 iff every job settled without error.")
     Term.(
       const run $ jobfile $ journal $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg
-      $ trace_arg)
+      $ journal_sync_arg $ max_heap_arg $ trace_arg)
 
 let serve_cmd =
-  let run workers retries queue_cap job_timeout =
-    match runner_config workers retries queue_cap job_timeout with
+  let run workers retries queue_cap job_timeout max_heap =
+    match
+      runner_config workers retries queue_cap job_timeout
+        Runner.default_config.Runner.journal_sync max_heap
+    with
     | Error e -> input_error "serve: %s" e
     | Ok cfg ->
         Runner.serve cfg stdin stdout;
@@ -621,7 +668,305 @@ let serve_cmd =
          "Serve resilience jobs from stdin (one JSON job per line) to stdout (one JSON reply \
           per line, in settlement order), under the supervised worker pool with admission \
           control. Runs until stdin closes and every accepted job has settled.")
-    Term.(const run $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg)
+    Term.(const run $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg $ max_heap_arg)
+
+(* ---- journal: inspect / compact ---- *)
+
+module Journal = Runner.Journal
+
+let journal_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL" ~doc:"Journal file.")
+
+(* One line of JSON stats. [live_md5] digests the settled id -> (digest,
+   reply) map in sorted order, so CI can assert in one comparison that a
+   compaction changed the journal's bytes but not its meaning. *)
+let journal_inspect_line path (rep : Journal.report) =
+  let tbl = Journal.completed rep.Journal.entries in
+  let live =
+    List.sort compare (Hashtbl.fold (fun id (digest, reply) acc ->
+        (id, digest, reply) :: acc) tbl [])
+  in
+  let live_md5 =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n"
+            (List.map
+               (fun (id, digest, reply) ->
+                 Printf.sprintf "%s %s %s" id digest (Runner.Proto.reply_to_json reply))
+               live)))
+  in
+  let started =
+    List.length
+      (List.filter (function Journal.Started _ -> true | _ -> false) rep.Journal.entries)
+  in
+  let module J = Runner.Proto.Json in
+  J.to_string
+    (J.Obj
+       [
+         ("path", J.Str path);
+         ("version", J.Str (match rep.Journal.version with Journal.V1 -> "v1" | Journal.V2 -> "v2"));
+         ("records", J.Int rep.Journal.records);
+         ("started", J.Int started);
+         ("done", J.Int (rep.Journal.records - started));
+         ("live", J.Int (List.length live));
+         ("bytes", J.Int rep.Journal.bytes);
+         ("dead_bytes", J.Int rep.Journal.dead_bytes);
+         ("torn_bytes", J.Int rep.Journal.torn_bytes);
+         ( "torn",
+           match rep.Journal.torn with
+           | None -> J.Null
+           | Some Journal.Truncated -> J.Str "truncated"
+           | Some Journal.Bad_checksum -> J.Str "bad-checksum" );
+         ("last_seq", J.Int rep.Journal.last_seq);
+         ("live_md5", J.Str live_md5);
+       ])
+
+let journal_inspect_cmd =
+  let run file =
+    match Journal.load file with
+    | Error e -> input_error "%s" e
+    | Ok rep ->
+        print_endline (journal_inspect_line file rep);
+        0
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Print one JSON line of journal statistics: format version, record/live counts, dead \
+          and torn bytes, and a digest of the settled-answer map ($(b,live_md5)) that is \
+          invariant under $(b,compact).")
+    Term.(const run $ journal_file_arg)
+
+let journal_compact_cmd =
+  let run file =
+    match Journal.compact file with
+    | Error e -> input_error "%s" e
+    | Ok s ->
+        let module J = Runner.Proto.Json in
+        print_endline
+          (J.to_string
+             (J.Obj
+                [
+                  ("path", J.Str file);
+                  ("kept", J.Int s.Journal.kept);
+                  ("dropped", J.Int s.Journal.dropped);
+                  ("before_bytes", J.Int s.Journal.before_bytes);
+                  ("after_bytes", J.Int s.Journal.after_bytes);
+                ]));
+        0
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Rewrite the journal to only the last $(i,Done) record per job id (atomic: temp + \
+          fsync + rename), reclaiming dead bytes; also migrates v1 journals to the v2 \
+          checksummed format. The settled-answer map is unchanged — $(b,inspect)'s \
+          $(b,live_md5) agrees before and after.")
+    Term.(const run $ journal_file_arg)
+
+let journal_cmd =
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect or compact a write-ahead batch journal (see $(b,rpq batch --journal) and \
+          $(b,rpq chaos)).")
+    [ journal_inspect_cmd; journal_compact_cmd ]
+
+(* ---- chaos: deterministic crash-recovery harness ---- *)
+
+let m_chaos_crashes = Obs.Metrics.counter "chaos.crashes"
+
+let status_to_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+(* Reply lines a child [rpq batch] wrote to its redirected stdout. *)
+let read_replies path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun line ->
+         match Runner.Proto.reply_of_json line with
+         | Ok r -> r
+         | Error e ->
+             prerr_endline (Printf.sprintf "rpq: chaos: bad reply line in %s: %s" path e);
+             exit 1)
+
+(* Volatile fields zeroed, so equal-modulo-time replies print identically
+   and two chaos runs with the same seed diff byte-for-byte. *)
+let normalized_reply (r : Runner.Proto.reply) =
+  Runner.Proto.reply_to_json { r with Runner.Proto.wall_s = 0.0; stages = [] }
+
+(* The harness re-executes this very binary ([batch] in a child process)
+   with RPQ_FAULTS armed at a seeded crash site, so the supervisor truly
+   dies mid-write (_exit 70, no unwinding) and recovery runs against
+   whatever bytes made it to the journal — the closest deterministic
+   approximation of a power cut the test harness can stage. *)
+let chaos_cmd =
+  let jobs_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "jobs" ] ~docv:"FILE" ~doc:"Jobfile, in $(b,rpq batch) format.")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "crashes" ] ~docv:"N" ~doc:"Number of crashed supervisor runs to inject.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Seed for the crash schedule (site and hit count of each injected crash).")
+  in
+  let run jobfile crashes seed workers retries queue_cap job_timeout =
+    match runner_config workers retries queue_cap job_timeout Runner.Journal.Per_line None with
+    | Error e -> input_error "chaos: %s" e
+    | Ok cfg -> begin
+        match parse_jobfile jobfile with
+        | Error e -> input_error "%s" e
+        | Ok [] -> input_error "%s: no jobs" jobfile
+        | Ok _ when crashes < 0 -> input_error "chaos: negative crash count"
+        | Ok jobs ->
+            let journal = Filename.temp_file "rpq_chaos" ".journal" in
+            let out_file = Filename.temp_file "rpq_chaos" ".jsonl" in
+            Sys.remove journal;
+            let cleanup () =
+              List.iter
+                (fun f -> if Sys.file_exists f then Sys.remove f)
+                [ journal; journal ^ ".tmp"; out_file ]
+            in
+            Fun.protect ~finally:cleanup @@ fun () ->
+            (* Children inherit our environment minus any ambient fault or
+               trace plan — the chaos schedule owns fault injection. *)
+            let child_env faults =
+              let keep =
+                Array.to_list (Unix.environment ())
+                |> List.filter (fun kv ->
+                       not
+                         (String.starts_with ~prefix:"RPQ_FAULTS=" kv
+                         || String.starts_with ~prefix:"RPQ_TRACE=" kv))
+              in
+              Array.of_list (("RPQ_FAULTS=" ^ faults) :: keep)
+            in
+            let run_child ~faults ~with_journal ~out =
+              let argv =
+                [ Sys.executable_name; "batch"; jobfile ]
+                @ (if with_journal then [ "--journal"; journal ] else [])
+                @ [
+                    "--workers"; string_of_int cfg.Runner.workers;
+                    "--retries"; string_of_int cfg.Runner.retries;
+                    "--queue-cap"; string_of_int cfg.Runner.queue_cap;
+                    "--journal-sync"; "per_line";
+                  ]
+                @ (match cfg.Runner.job_timeout with
+                  | Some s -> [ "--job-timeout"; string_of_float s ]
+                  | None -> [])
+              in
+              let fd_out = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+              let pid =
+                Unix.create_process_env Sys.executable_name (Array.of_list argv)
+                  (child_env faults) Unix.stdin fd_out Unix.stderr
+              in
+              Unix.close fd_out;
+              let rec wait () =
+                match Unix.waitpid [] pid with
+                | _, status -> status
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+              in
+              wait ()
+            in
+            let die fmt =
+              Printf.ksprintf
+                (fun msg ->
+                  prerr_endline ("rpq: chaos: " ^ msg);
+                  exit 1)
+                fmt
+            in
+            let load_settled () =
+              match Journal.load journal with
+              | Error e -> die "crash left a journal that refuses to load: %s" e
+              | Ok rep -> Hashtbl.length (Journal.completed rep.Journal.entries)
+            in
+            (* Reference: the same batch, no journal, no faults. *)
+            (match run_child ~faults:"off" ~with_journal:false ~out:out_file with
+            | Unix.WEXITED (0 | 1) -> ()
+            | st -> die "reference run died unexpectedly (%s)" (status_to_string st));
+            let reference = read_replies out_file in
+            (* Seeded schedule: same LCG construction as Resilience.Faults
+               (high bits of a 48-bit stream). Printed up front so two runs
+               of the same seed diff byte-identically. *)
+            let sites = Array.of_list Faults.crash_sites in
+            let lcg = ref ((seed land max_int) lxor 0x2545F4914F6CDD1D) in
+            let draw bound =
+              lcg := ((!lcg * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+              (!lcg lsr 16) mod bound
+            in
+            Printf.printf "chaos: seed %d, %d planned crashes, %d jobs\n" seed crashes
+              (List.length jobs);
+            let settled_floor = ref 0 in
+            for i = 1 to crashes do
+              let site = sites.(draw (Array.length sites)) in
+              (* Hit counts up to ~2 appends per job stress early, middle
+                 and late crash points across the batch. *)
+              let hits = 1 + draw (2 * List.length jobs) in
+              let spec = Printf.sprintf "crash:%s:%d" site hits in
+              Printf.printf "crash %d: %s\n" i spec;
+              (match run_child ~faults:spec ~with_journal:true ~out:out_file with
+              | Unix.WEXITED 70 -> Obs.Metrics.incr m_chaos_crashes
+              | Unix.WEXITED (0 | 1) ->
+                  (* The site never reached its hit count: the batch simply
+                     completed. Later resumes reuse its journal. *)
+                  ()
+              | st -> die "crashed run %d died unexpectedly (%s)" i (status_to_string st));
+              let settled = load_settled () in
+              Printf.eprintf "chaos: after crash %d: %d settled\n%!" i settled;
+              if settled < !settled_floor then
+                die "settled answers went backwards (%d after %d): journal lost data" settled
+                  !settled_floor;
+              settled_floor := settled
+            done;
+            (* Final resume, fault-free: must converge and agree with the
+               reference modulo wall_s/stages. *)
+            (match run_child ~faults:"off" ~with_journal:true ~out:out_file with
+            | Unix.WEXITED 0 -> ()
+            | Unix.WEXITED 1 -> die "final resume settled with structured failures"
+            | st -> die "final resume died (%s)" (status_to_string st));
+            let final = read_replies out_file in
+            if List.length final <> List.length reference then
+              die "final resume emitted %d replies, reference %d" (List.length final)
+                (List.length reference);
+            let diffs =
+              List.fold_left2
+                (fun acc (r : Runner.Proto.reply) (f : Runner.Proto.reply) ->
+                  if Runner.Proto.reply_equal_ignoring_time r f then acc
+                  else begin
+                    Printf.printf "diff %s:\n  reference %s\n  resumed   %s\n" r.Runner.Proto.id
+                      (normalized_reply r) (normalized_reply f);
+                    acc + 1
+                  end)
+                0 reference final
+            in
+            List.iter (fun r -> print_endline (normalized_reply r)) final;
+            Printf.printf "chaos: %d jobs, %d crashes injected, diffs: %d\n"
+              (List.length jobs) crashes diffs;
+            if diffs = 0 then 0 else 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic crash-recovery harness: run the jobfile as $(b,rpq batch) in a child \
+          process over and over, crashing the supervisor at seeded fault-injection sites \
+          ($(b,crash:SITE:N) via RPQ_FAULTS, _exit 70 mid-write), resuming from the journal \
+          each time, and finally asserting that a fault-free resume converges to replies \
+          byte-identical to an uncrashed reference run (modulo wall-clock fields). Exits 0 \
+          iff there are zero diffs.")
+    Term.(
+      const run $ jobs_arg $ crashes_arg $ seed_arg $ workers_arg $ retries_arg $ queue_cap_arg
+      $ job_timeout_arg)
 
 (* ---- trace-check ---- *)
 
@@ -761,5 +1106,7 @@ let () =
             dot_cmd;
             batch_cmd;
             serve_cmd;
+            journal_cmd;
+            chaos_cmd;
             trace_check_cmd;
           ]))

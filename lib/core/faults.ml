@@ -4,6 +4,21 @@ type plan =
   | Seeded of { seed : int; period : int }
   | Kill_after of int
   | Wedge_after of int
+  | Crash_at of { site : string; hits : int }
+
+exception Crash of string
+
+(* The supervisor-side crash sites wired into lib/runner. The list lives
+   here — next to the [crash:<site>:<n>] grammar it parameterizes — so
+   the chaos harness and the docs share one source of truth. *)
+let crash_sites =
+  [
+    "journal.pre_append";
+    "journal.post_append";
+    "journal.pre_fsync";
+    "journal.mid_compact";
+    "pool.post_dispatch";
+  ]
 
 let default_period = 1000
 let default_seeded = Seeded { seed = 0x5eed; period = default_period }
@@ -27,7 +42,16 @@ let signed_dec_opt s =
     Option.map (fun v -> -v) (dec_opt (String.sub s 1 (n - 1)))
   else dec_opt s
 
-let grammar = "off | tick:N | seed:S[:M] | kill:N | wedge:N"
+let grammar = "off | tick:N | seed:S[:M] | kill:N | wedge:N | crash:SITE:N"
+
+(* Site names are dotted lowercase words ([journal.pre_append]); anything
+   else in a crash spec is a typo, and a typo'd site would silently never
+   fire — reject it up front instead. *)
+let site_ok s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '.' || c = '_')
+       s
 
 let parse s =
   let positive what n k =
@@ -53,6 +77,14 @@ let parse s =
               Error
                 (Printf.sprintf "seed %S must be a decimal integer (no trailing garbage)" s)
         end
+      | [ "crash"; site; n ] ->
+          if not (site_ok site) then
+            Error
+              (Printf.sprintf
+                 "crash site %S must be a dotted lowercase word (e.g. journal.pre_append); \
+                  grammar: %s"
+                 site grammar)
+          else positive "crash" n (fun hits -> Crash_at { site; hits })
       | [ "seed"; s; m ] -> begin
           match (signed_dec_opt s, dec_opt m) with
           | Some seed, Some period when period >= 1 -> Ok (Seeded { seed; period })
@@ -63,7 +95,7 @@ let parse s =
                     got %S"
                    t)
         end
-      | ("tick" | "kill" | "wedge" | "seed") :: _ ->
+      | ("tick" | "kill" | "wedge" | "seed" | "crash") :: _ ->
           Error
             (Printf.sprintf "trailing garbage in fault plan %S (grammar: %s)" t grammar)
       | _ -> Error (Printf.sprintf "unrecognized fault plan %S (grammar: %s)" t grammar)
@@ -75,13 +107,19 @@ let to_string = function
   | Seeded { seed; period } -> Printf.sprintf "seed:%d:%d" seed period
   | Kill_after n -> Printf.sprintf "kill:%d" n
   | Wedge_after n -> Printf.sprintf "wedge:%d" n
+  | Crash_at { site; hits } -> Printf.sprintf "crash:%s:%d" site hits
 
 (* Stream state for Seeded plans: a 48-bit LCG drawn from the high bits
    (the low bits of an LCG have tiny periods — see Sfm.validate_submodular
    for the same construction and rationale). *)
 let mix seed = (seed land max_int) lxor 0x2545F4914F6CDD1D
 
-type state = { mutable active : plan; mutable lcg : int }
+type state = {
+  mutable active : plan;
+  mutable lcg : int;
+  mutable from_env : bool;  (** the active plan came from [RPQ_FAULTS] *)
+  crash_hits : (string, int) Hashtbl.t;  (** per-site counters for [Crash_at] *)
+}
 
 let initial =
   match Sys.getenv_opt "RPQ_FAULTS" with
@@ -93,28 +131,61 @@ let initial =
 
 let seed_of = function
   | Seeded { seed; _ } -> seed
-  | Off | At_tick _ | Kill_after _ | Wedge_after _ -> 0
+  | Off | At_tick _ | Kill_after _ | Wedge_after _ | Crash_at _ -> 0
 
-let state = { active = initial; lcg = mix (seed_of initial) }
+let state =
+  {
+    active = initial;
+    lcg = mix (seed_of initial);
+    from_env = Sys.getenv_opt "RPQ_FAULTS" <> None;
+    crash_hits = Hashtbl.create 8;
+  }
 
 let plan () = state.active
 
 let set_plan p =
   state.active <- p;
-  state.lcg <- mix (seed_of p)
+  state.lcg <- mix (seed_of p);
+  state.from_env <- false;
+  Hashtbl.reset state.crash_hits
 
 let with_plan p f =
   let saved_plan = state.active and saved_lcg = state.lcg in
+  let saved_env = state.from_env in
+  let saved_hits = Hashtbl.fold (fun k v acc -> (k, v) :: acc) state.crash_hits [] in
   set_plan p;
   Fun.protect
     ~finally:(fun () ->
       state.active <- saved_plan;
-      state.lcg <- saved_lcg)
+      state.lcg <- saved_lcg;
+      state.from_env <- saved_env;
+      Hashtbl.reset state.crash_hits;
+      List.iter (fun (k, v) -> Hashtbl.replace state.crash_hits k v) saved_hits)
     f
+
+(* Under an env-installed plan a crash site really terminates the process
+   (the chaos harness expects [_exit 70], mimicking an abrupt supervisor
+   death); lib/core cannot reference Unix (see the rpq_lint unix rule), so
+   the runner installs the exit behavior via this hook at link time. If the
+   hook returns — or none is installed — we raise instead, which is the
+   deterministic behavior programmatic [with_plan] tests rely on. *)
+let crash_exit : (string -> unit) ref = ref (fun _ -> ())
+let set_crash_exit f = crash_exit := f
+
+let crash_site here =
+  match state.active with
+  | Crash_at { site; hits } when site = here ->
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt state.crash_hits here) in
+      Hashtbl.replace state.crash_hits here n;
+      if n = hits then begin
+        if state.from_env then !crash_exit here;
+        raise (Crash here)
+      end
+  | _ -> ()
 
 let next_fault_tick () =
   match state.active with
-  | Off | Kill_after _ | Wedge_after _ -> None
+  | Off | Kill_after _ | Wedge_after _ | Crash_at _ -> None
   | At_tick n -> Some n
   | Seeded { period; _ } ->
       state.lcg <- ((state.lcg * 25214903917) + 11) land 0xFFFFFFFFFFFF;
@@ -124,4 +195,4 @@ let worker_mode () =
   match state.active with
   | Kill_after n -> Some (`Kill n)
   | Wedge_after n -> Some (`Wedge n)
-  | Off | At_tick _ | Seeded _ -> None
+  | Off | At_tick _ | Seeded _ | Crash_at _ -> None

@@ -16,7 +16,17 @@
        tick, either self-SIGKILL ([kill]) or stop responding while blocking
        SIGTERM ([wedge], forcing the supervisor's SIGKILL-after-grace
        timeout path), so every supervision branch is deterministically
-       testable.}}
+       testable;}
+    {- {b supervisor crash sites} ([crash:SITE:N]): the durability-critical
+       points of the supervisor itself — around journal appends, fsyncs,
+       compaction renames, and pool dispatch — call {!crash_site} with
+       their name, and the [N]th visit of the armed site crashes the
+       supervisor: {!Crash} is raised under a programmatic plan
+       ({!with_plan}), while under an [RPQ_FAULTS]-installed plan the
+       process exits abruptly with code 70 (hook installed by the runner
+       via {!set_crash_exit}), mimicking a SIGKILL mid-write. The chaos
+       harness ([rpq chaos]) drives batches through every site this way
+       and asserts journal recovery converges.}}
 
     The plan is normally set by the [RPQ_FAULTS] environment variable:
 
@@ -27,6 +37,7 @@
                  | "seed:" S ":" M    seeded stream, period M
                  | "kill:" N          workers self-SIGKILL at budget tick N
                  | "wedge:" N         workers stop responding at budget tick N
+                 | "crash:" SITE ":" N   supervisor crashes at the Nth visit of SITE
     v}
 
     All numbers are plain decimals; a spec with trailing garbage
@@ -62,6 +73,21 @@ type plan =
   | Wedge_after of int
       (** worker processes stop responding (blocking SIGTERM) once their
           job budget reaches this tick (≥ 1) *)
+  | Crash_at of { site : string; hits : int }
+      (** the [hits]th visit ([≥ 1]) of the named supervisor crash site
+          terminates the supervisor (see {!crash_site}); budgets and
+          workers are unaffected under this plan *)
+
+exception Crash of string
+(** Raised by {!crash_site} when the armed site fires under a
+    programmatic plan; the payload is the site name. *)
+
+val crash_sites : string list
+(** The supervisor crash sites wired into the runner stack
+    ([journal.pre_append], [journal.post_append], [journal.pre_fsync],
+    [journal.mid_compact], [pool.post_dispatch]) — the universe the chaos
+    harness draws from. A [crash:] spec may name any well-formed site;
+    one not in this list never fires. *)
 
 val parse : string -> (plan, string) result
 (** Parses the [RPQ_FAULTS] grammar above. Numbers must be plain decimal
@@ -90,3 +116,18 @@ val worker_mode : unit -> [ `Kill of int | `Wedge of int ] option
 (** The worker-level fault mode of the active plan, if any. Consulted by
     the [Runner] workers once per job; the budget tick at which the fault
     fires is implemented via the [probe] hook of {!Budget.create}. *)
+
+val crash_site : string -> unit
+(** Marks a supervisor crash site. A no-op unless the active plan is
+    [Crash_at] for exactly this site; then each call counts one visit
+    (counters reset by {!set_plan} and scoped by {!with_plan}), and the
+    [hits]th visit crashes: {!Crash} is raised, or — when the plan came
+    from [RPQ_FAULTS] and a {!set_crash_exit} hook is installed — the
+    process exits with code 70 without unwinding, so no [Fun.protect]
+    finalizer can tidy up, exactly like a real SIGKILL. *)
+
+val set_crash_exit : (string -> unit) -> unit
+(** Installs the process-exit behavior for env-installed crash plans
+    (the runner registers [fun _ -> Unix._exit 70]; lib/core itself must
+    not depend on Unix). If the hook returns, {!crash_site} falls back to
+    raising {!Crash}. *)

@@ -15,6 +15,7 @@ let rule_assert_false = "assert-false"
 let rule_missing_mli = "missing-mli"
 let rule_unix = "unix-outside-runner"
 let rule_clock = "clock-outside-obs"
+let rule_sync = "fsync-outside-runner"
 
 let banned_idents =
   [
@@ -269,6 +270,20 @@ let scan_source ~file src =
         add line rule_clock
           (Printf.sprintf "%s: clock reads are confined to lib/obs (use Obs.Clock) and lib/runner"
              tok);
+      (* Durability primitives are the journal's business alone. An fsync
+         or file lock sprinkled elsewhere either lies about durability (no
+         checksummed framing around it) or deadlocks against the journal's
+         lock discipline — so they are confined tighter than Unix at
+         large: lib/runner only, lib/obs included in the ban. *)
+      if
+        tok = "Unix.fsync" || tok = "UnixLabels.fsync" || tok = "Unix.lockf"
+        || tok = "UnixLabels.lockf"
+      then
+        add line rule_sync
+          (Printf.sprintf
+             "%s: durability and locking primitives are confined to lib/runner (the journal owns \
+              the fsync/lock discipline)"
+             tok);
       if !prev = "assert" && tok = "false" then
         add line rule_assert_false
           "assert false is banned in library code: raise Invariant.Internal_error";
@@ -338,6 +353,11 @@ let unix_exempt ~lib_root file = under ~lib_root [ "runner"; "obs" ] file
    lib/runner stamps dispatch/settlement times around [select] waits. *)
 let clock_exempt ~lib_root file = under ~lib_root [ "obs"; "runner" ] file
 
+(* Tighter still: fsync and file locks are journal machinery, so only
+   lib/runner is exempt — lib/obs may use Unix but not durability
+   primitives. *)
+let sync_exempt ~lib_root file = under ~lib_root [ "runner" ] file
+
 let scan_lib ~lib_root =
   let from_sources =
     List.concat_map
@@ -346,7 +366,8 @@ let scan_lib ~lib_root =
           (fun f ->
             not
               ((f.rule = rule_unix && unix_exempt ~lib_root file)
-              || (f.rule = rule_clock && clock_exempt ~lib_root file)))
+              || (f.rule = rule_clock && clock_exempt ~lib_root file)
+              || (f.rule = rule_sync && sync_exempt ~lib_root file)))
           (scan_file file))
       (ml_files lib_root)
   in

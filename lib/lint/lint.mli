@@ -23,7 +23,12 @@
     - raw clock reads ([Sys.time], [Unix.gettimeofday]) outside [lib/obs]
       and [lib/runner] — everything else must go through [Obs.Clock], so
       time is read one way (and monotonically) across the tree. Same
-      structural exemption mechanism as the Unix rule.
+      structural exemption mechanism as the Unix rule;
+    - durability and locking primitives ([Unix.fsync], [Unix.lockf])
+      outside [lib/runner] — strictly tighter than the Unix rule
+      ([lib/obs] is {e not} exempt): the journal owns the
+      fsync-and-rename and lock disciplines, and a stray fsync elsewhere
+      would claim durability the recovery path cannot honor.
 
     The scanner strips comments, string literals and character literals
     (preserving line numbers), then matches whole dotted identifiers, so
@@ -61,6 +66,13 @@ val rule_clock : string
     and [lib/runner]: library code must use [Obs.Clock]. Reported by
     {!scan_source} on any source; {!scan_lib} drops it for files under
     [<lib_root>/obs/] and [<lib_root>/runner/]. *)
+
+val rule_sync : string
+(** Durability/locking primitive ([Unix.fsync], [UnixLabels.fsync],
+    [Unix.lockf], [UnixLabels.lockf]) outside [lib/runner]. Reported by
+    {!scan_source} on any source; {!scan_lib} drops it only for files
+    under [<lib_root>/runner/] — unlike {!rule_unix}, [lib/obs] is not
+    exempt. *)
 
 val banned_idents : (string * string * string) list
 (** [(identifier, rule, hint)] for every banned dotted identifier. *)

@@ -149,11 +149,15 @@ let assign t ~id ~payload =
   in
   w.job <- Some (id, deadline);
   w.term_sent <- None;
-  try write_all w.to_worker (payload ^ "\n")
-  with Unix.Unix_error _ ->
-    (* The worker died before we could write; the EOF on its reply pipe
-       will surface the crash through [poll] as usual. *)
-    ()
+  (try write_all w.to_worker (payload ^ "\n")
+   with Unix.Unix_error _ ->
+     (* The worker died before we could write; the EOF on its reply pipe
+        will surface the crash through [poll] as usual. *)
+     ());
+  (* A supervisor dying right after handing work out is the window where
+     the journal has a [Started] but will never see the [Done]: resume
+     must re-dispatch. The chaos harness arms this site to prove it. *)
+  Resilience.Faults.crash_site "pool.post_dispatch"
 
 let dead_worker t w status =
   let death =

@@ -10,6 +10,13 @@ module Trace = Obs.Trace
 
 let now_s () = Unix.gettimeofday ()
 
+(* Env-installed crash plans must look like a real supervisor death — no
+   unwinding, no finalizers, just gone. lib/core cannot touch Unix (see
+   the rpq_lint unix rule), so the exit behavior is injected here, once,
+   at link time. Exit code 70 is EX_SOFTWARE: distinguishable from both a
+   clean batch exit and a SIGKILL in the chaos harness's waitpid. *)
+let () = Faults.set_crash_exit (fun _site -> Unix._exit 70)
+
 (* Supervisor-side telemetry. Counters cover the retry/death policy
    (deterministic under a fixed fault plan), gauges the instantaneous
    load, histograms the queue wait. Worker-side solver metrics do not
@@ -51,6 +58,16 @@ let worker_probe () =
 
 let spent_steps = function None -> 0 | Some b -> (Budget.spent b).Budget.steps
 
+(* Worker memory ceiling: a Gc alarm (end of each major cycle) flags when
+   the major heap crosses the limit, and the budget probe turns the flag
+   into [Budget.Exhausted Memory] on the next tick — so an OOM-bound job
+   degrades to a certified [Bounded] reply instead of being SIGKILLed by
+   the kernel. Set before the pool forks so workers inherit it. *)
+let heap_limit_words : int option ref = ref None
+
+let set_max_heap_mb mb =
+  heap_limit_words := Option.map (fun mb -> mb * 1024 * 1024 / (Sys.word_size / 8)) mb
+
 let run_job_inner (job : job) : reply =
   match Trace.stage "parse" (fun () -> Ser.parse job.db) with
   | Error e -> failed ~id:job.id ~kind:"bad-job" "database: %s" e
@@ -65,7 +82,24 @@ let run_job_inner (job : job) : reply =
           | Ok plan ->
               Faults.with_plan plan @@ fun () ->
               let lang = Trace.stage "parse" (fun () -> Automata.Lang.of_string job.query) in
-              let probe = worker_probe () in
+              let fault_probe = worker_probe () in
+              let heap_flag = ref false in
+              let alarm =
+                Option.map
+                  (fun limit ->
+                    Gc.create_alarm (fun () ->
+                        if (Gc.quick_stat ()).Gc.heap_words > limit then heap_flag := true))
+                  !heap_limit_words
+              in
+              let probe =
+                match (alarm, fault_probe) with
+                | None, p -> p
+                | Some _, p ->
+                    Some
+                      (fun steps ->
+                        if !heap_flag then raise (Budget.Exhausted Budget.Memory);
+                        match p with Some f -> f steps | None -> ())
+              in
               let b = job.budget in
               let budget =
                 match (b.deadline, b.steps, b.memo_cap, probe) with
@@ -76,6 +110,9 @@ let run_job_inner (job : job) : reply =
                          ?probe ())
               in
               let verdict =
+                Fun.protect
+                  ~finally:(fun () -> Option.iter Gc.delete_alarm alarm)
+                @@ fun () ->
                 match Solver.solve_bounded ?budget p.Ser.db lang with
                 | Solver.Exact r ->
                     V_exact
@@ -146,6 +183,8 @@ type config = {
   job_timeout : float option;
   grace : float;
   backoff : float;  (** base retry delay, doubled per attempt *)
+  journal_sync : Journal.sync;  (** fsync policy for {!run_batch}'s journal *)
+  max_heap_mb : int option;  (** worker memory ceiling (Gc-alarm watchdog) *)
 }
 
 let default_config =
@@ -157,6 +196,8 @@ let default_config =
     job_timeout = None;
     grace = 0.5;
     backoff = 0.05;
+    journal_sync = Journal.Per_job;
+    max_heap_mb = None;
   }
 
 (* 50k steps is comfortably above anything the polynomial paths tick and
@@ -309,6 +350,11 @@ let engine_timeout e =
 let create_engine cfg ~emit ~on_dispatch =
   if cfg.retries < 0 then invalid_arg "Runner: negative retries";
   if cfg.queue_cap < 1 then invalid_arg "Runner: queue cap must be at least 1";
+  (match cfg.max_heap_mb with
+  | Some mb when mb < 1 -> invalid_arg "Runner: max heap must be at least 1 MB"
+  | _ -> ());
+  (* Before the fork: the workers inherit the ceiling with the pool. *)
+  set_max_heap_mb cfg.max_heap_mb;
   let pool =
     Pool.create
       { Pool.workers = cfg.workers; job_timeout = cfg.job_timeout; grace = cfg.grace }
@@ -369,11 +415,19 @@ let run_batch ?journal cfg (jobs : job list) : reply list * batch_stats =
     | None -> Hashtbl.create 0
     | Some path -> begin
         match Journal.load path with
-        | Ok entries -> Journal.completed entries
+        | Ok rep -> Journal.completed rep.Journal.entries
         | Error msg -> invalid_arg (Printf.sprintf "Runner.run_batch: %s" msg)
       end
   in
-  let jnl = Option.map Journal.open_append journal in
+  let jnl =
+    match journal with
+    | None -> None
+    | Some path -> begin
+        match Journal.open_append ~sync:cfg.journal_sync path with
+        | Ok j -> Some j
+        | Error msg -> invalid_arg (Printf.sprintf "Runner.run_batch: %s" msg)
+      end
+  in
   Fun.protect
     ~finally:(fun () -> Option.iter Journal.close jnl)
     (fun () ->

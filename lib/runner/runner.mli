@@ -61,11 +61,24 @@ type config = {
   job_timeout : float option;  (** per-job wall-clock seconds *)
   grace : float;  (** SIGTERM-to-SIGKILL delay for timed-out workers *)
   backoff : float;  (** base retry delay in seconds, doubled per attempt *)
+  journal_sync : Journal.sync;
+      (** fsync policy for {!run_batch}'s journal (see {!Journal.sync}) *)
+  max_heap_mb : int option;
+      (** worker memory ceiling: a [Gc] alarm watches the major heap and
+          the budget probe converts an overrun into
+          [Budget.Exhausted Memory], so an OOM-bound job settles as a
+          certified [Bounded] reply instead of dying to the OOM killer *)
 }
 
 val default_config : config
 (** 4 workers, 2 retries, degrade 8, queue cap 64, no timeout, 0.5s
-    grace, 50ms base backoff. *)
+    grace, 50ms base backoff, per-job journal fsync, no heap ceiling. *)
+
+val set_max_heap_mb : int option -> unit
+(** Sets the process-wide heap ceiling consulted by {!run_job_locally}.
+    Engine construction calls this from [config.max_heap_mb] before the
+    pool forks (so workers inherit it); expose it separately for the
+    fork-free paths ([rpq solve --json]). *)
 
 val degrade_budget : degrade:int -> Proto.budget_spec -> Proto.budget_spec
 (** The per-retry budget squeeze: deadline and steps divided by

@@ -38,7 +38,59 @@ let test_faults_parse () =
       Faults.Seeded { seed = 99; period = 10 };
       Faults.Kill_after 3;
       Faults.Wedge_after 10;
+      Faults.Crash_at { site = "journal.pre_append"; hits = 2 };
     ]
+
+let test_faults_crash_spec () =
+  check "crash spec" true
+    (Faults.parse "crash:journal.mid_compact:3"
+    = Ok (Faults.Crash_at { site = "journal.mid_compact"; hits = 3 }));
+  (* Every site the chaos harness draws from must be well-formed. *)
+  List.iter
+    (fun site ->
+      check ("site parses: " ^ site) true
+        (Faults.parse (Printf.sprintf "crash:%s:1" site)
+        = Ok (Faults.Crash_at { site; hits = 1 })))
+    Faults.crash_sites;
+  List.iter
+    (fun s -> check (s ^ " rejected") true (Result.is_error (Faults.parse s)))
+    [
+      "crash";
+      "crash:";
+      "crash:site";
+      "crash:site:";
+      "crash:site:0";
+      "crash:site:2x";
+      "crash:site:2:3";
+      "crash::2";
+      "crash:si te:2";
+    ];
+  (* The grammar is case-insensitive (like every other spec): uppercase
+     normalizes to the lowercase site rather than silently never firing. *)
+  check "crash spec case-normalizes" true
+    (Faults.parse "crash:Journal.Pre_Append:2"
+    = Ok (Faults.Crash_at { site = "journal.pre_append"; hits = 2 }));
+  (* Counting: the armed site is a no-op until the Nth visit, other sites
+     never fire, and with_plan scopes the hit counters. *)
+  Faults.with_plan (Faults.Crash_at { site = "a.b"; hits = 2 }) (fun () ->
+      Faults.crash_site "a.b";
+      Faults.crash_site "other.site";
+      (match Faults.crash_site "a.b" with
+      | () -> check "second visit crashes" true false
+      | exception Faults.Crash site -> check "crash payload is the site" true (site = "a.b"));
+      (* Crash plans touch neither budgets nor workers. *)
+      check "no budget fault under crash plan" true (Faults.next_fault_tick () = None);
+      check "no worker mode under crash plan" true (Faults.worker_mode () = None));
+  (* Back outside the plan: the site is disarmed again. *)
+  Faults.crash_site "a.b";
+  (* Nested with_plan restores the outer plan's counter position. *)
+  Faults.with_plan (Faults.Crash_at { site = "x"; hits = 2 }) (fun () ->
+      Faults.crash_site "x";
+      Faults.with_plan (Faults.Crash_at { site = "x"; hits = 2 }) (fun () ->
+          Faults.crash_site "x" (* inner counter starts fresh: visit 1 of 2 *));
+      match Faults.crash_site "x" with
+      | () -> check "outer counter resumed" true false
+      | exception Faults.Crash _ -> check "outer counter resumed" true true)
 
 (* Numbers in fault specs are plain decimals and nothing may trail them:
    OCaml's [int_of_string] would otherwise quietly accept hex forms and
@@ -351,6 +403,7 @@ let () =
         [
           Alcotest.test_case "parse / to_string" `Quick test_faults_parse;
           Alcotest.test_case "strict spec parsing" `Quick test_faults_parse_strict;
+          Alcotest.test_case "crash sites" `Quick test_faults_crash_spec;
           Alcotest.test_case "fault streams" `Quick test_faults_stream;
         ] );
       ( "budget",

@@ -41,6 +41,10 @@ let negative_fixtures =
     ("gettimeofday clock read", "let t = Unix.gettimeofday ()\n", Lint.rule_clock);
     ("Unix module alias", "module U = Unix\n", Lint.rule_unix);
     ("UnixLabels", "let t = UnixLabels.fork ()\n", Lint.rule_unix);
+    ("Unix.fsync", "let f fd = Unix.fsync fd\n", Lint.rule_sync);
+    ("UnixLabels.fsync", "let f fd = UnixLabels.fsync fd\n", Lint.rule_sync);
+    ("Unix.lockf", "let f fd = Unix.lockf fd Unix.F_TLOCK 0\n", Lint.rule_sync);
+    ("UnixLabels.lockf", "let f fd = UnixLabels.lockf fd ~mode:F_TLOCK ~len:0\n", Lint.rule_sync);
   ]
 
 let clean_fixtures =
@@ -61,6 +65,8 @@ let clean_fixtures =
     ("Unix as an identifier prefix", "let unix_like = 1\nlet f (m : Unix_free.t) = m\n");
     ("clock via Obs", "let t = Obs.Clock.now () -. Obs.Clock.cpu ()\n");
     ("Sys.time in a comment", "(* cf. Sys.time *)\nlet x = 1\n");
+    ("fsync in a comment", "(* the journal calls Unix.fsync here *)\nlet x = 1\n");
+    ("fsync-like identifier", "let fsync_policy = 1\nlet lockf_free = 2\n");
   ]
 
 let test_line_numbers () =
@@ -189,6 +195,45 @@ let test_clock_exemption () =
         [ Lint.rule_clock ]
         (rules (Lint.scan_source ~file:(Filename.concat obs "cpu.ml") src)))
 
+(* The fsync/lockf confinement is strictly tighter than the Unix rule:
+   under <root>/obs/ the Unix rule is structurally exempt but the sync
+   rule still fires; only <root>/runner/ escapes both. *)
+let test_sync_exemption () =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "rpq_lint_sync_fixture" in
+  let runner = Filename.concat root "runner" in
+  let obs = Filename.concat root "obs" in
+  List.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o700) [ root; runner; obs ];
+  let src = "let f fd = Unix.fsync fd\n" in
+  let files =
+    List.concat_map
+      (fun dir ->
+        let ml = Filename.concat dir "sync.ml" in
+        let mli = Filename.concat dir "sync.mli" in
+        Out_channel.with_open_text ml (fun oc -> output_string oc src);
+        Out_channel.with_open_text mli (fun oc ->
+            output_string oc "val f : Unix.file_descr -> unit\n");
+        [ ml; mli ])
+      [ runner; obs ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove files;
+      List.iter Sys.rmdir [ runner; obs; root ])
+    (fun () ->
+      let fs =
+        List.filter (fun f -> f.Lint.rule = Lint.rule_sync) (Lint.scan_lib ~lib_root:root)
+      in
+      Alcotest.(check (list string))
+        "obs is flagged, runner is exempt"
+        [ Filename.concat obs "sync.ml" ]
+        (List.map (fun f -> f.Lint.file) fs);
+      (* scan_source itself reports both rules: fsync is also a Unix use. *)
+      Alcotest.(check (list string))
+        "scan_source flags the runner copy with both rules"
+        [ Lint.rule_sync; Lint.rule_unix ]
+        (List.sort compare
+           (rules (Lint.scan_source ~file:(Filename.concat runner "sync.ml") src))))
+
 let test_allowlist () =
   let fs = scan "let f xs = List.hd xs\n" in
   Alcotest.(check int) "finding exists" 1 (List.length fs);
@@ -216,6 +261,7 @@ let () =
           Alcotest.test_case "missing mli" `Quick test_missing_mli;
           Alcotest.test_case "unix exemption" `Quick test_unix_exemption;
           Alcotest.test_case "clock exemption" `Quick test_clock_exemption;
+          Alcotest.test_case "sync exemption" `Quick test_sync_exemption;
           Alcotest.test_case "allowlist" `Quick test_allowlist;
         ] );
       ("repository", [ Alcotest.test_case "lib/ is clean" `Quick test_repo_clean ]);

@@ -133,45 +133,347 @@ let prop_proto_job_roundtrip =
 
 let with_temp f =
   let path = Filename.temp_file "rpq_journal" ".jsonl" in
-  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let open_exn ?sync ?compact_ratio path =
+  match Journal.open_append ?sync ?compact_ratio path with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "open_append: %s" e
+
+let load_exn path =
+  match Journal.load path with
+  | Ok rep -> rep
+  | Error e -> Alcotest.failf "load: %s" e
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Byte offsets one past each '\n' — for a well-formed journal these are
+   the header and record boundaries. *)
+let line_ends s =
+  let rec go i acc =
+    match String.index_from_opt s i '\n' with
+    | Some j -> go (j + 1) ((j + 1) :: acc)
+    | None -> List.rev acc
+  in
+  go 0 []
+
+let sample_reply = Proto.failed ~id:"a" ~kind:"crash" "boom"
+
+let sample_entries =
+  [
+    Journal.Started { id = "a"; digest = "d1" };
+    Journal.Done { id = "a"; digest = "d1"; reply = sample_reply };
+    Journal.Started { id = "b"; digest = "d2" };
+  ]
+
+let write_journal ?(sync = Journal.Never) path entries =
+  let j = open_exn ~sync path in
+  List.iter (Journal.append j) entries;
+  Journal.close j
 
 let test_journal_roundtrip () =
   with_temp (fun path ->
       Sys.remove path;
-      check "missing file is empty journal" true (Journal.load path = Ok []);
-      let j = Journal.open_append path in
-      let r = Proto.failed ~id:"a" ~kind:"crash" "boom" in
-      let entries =
-        [
-          Journal.Started { id = "a"; digest = "d1" };
-          Journal.Done { id = "a"; digest = "d1"; reply = r };
-          Journal.Started { id = "b"; digest = "d2" };
-        ]
-      in
-      List.iter (Journal.append j) entries;
+      (match Journal.load path with
+      | Ok rep ->
+          check "missing file is empty" true (rep.Journal.entries = [] && rep.Journal.records = 0)
+      | Error e -> Alcotest.failf "missing file must load empty: %s" e);
+      write_journal ~sync:Journal.Per_line path sample_entries;
+      let rep = load_exn path in
+      check "roundtrip" true (rep.Journal.entries = sample_entries);
+      check "v2" true (rep.Journal.version = Journal.V2);
+      check "record count" true (rep.Journal.records = 3);
+      check "sequence counted" true (rep.Journal.last_seq = 3);
+      check "no torn tail" true (rep.Journal.torn = None && rep.Journal.torn_bytes = 0);
+      (* Started records and superseded Dones are compactable. *)
+      check "dead bytes accounted" true (rep.Journal.dead_bytes > 0);
+      let tbl = Journal.completed rep.Journal.entries in
+      check "a settled" true (Hashtbl.find_opt tbl "a" = Some ("d1", sample_reply));
+      check "b pending" true (Hashtbl.find_opt tbl "b" = None);
+      (* Reopening continues the sequence rather than restarting it. *)
+      let j = open_exn path in
+      Journal.append j (Journal.Started { id = "c"; digest = "d3" });
       Journal.close j;
-      check "roundtrip" true (Journal.load path = Ok entries);
-      let tbl = Journal.completed entries in
-      check "a settled" true (Hashtbl.find_opt tbl "a" = Some ("d1", r));
-      check "b pending" true (Hashtbl.find_opt tbl "b" = None))
+      check "sequence continues across reopen" true ((load_exn path).Journal.last_seq = 4))
 
 let test_journal_torn_tail () =
   with_temp (fun path ->
-      let j = Journal.open_append path in
-      Journal.append j (Journal.Started { id = "a"; digest = "d" });
+      write_journal path sample_entries;
+      let whole = read_file path in
+      (* Tear the final record: drop its last 3 bytes, as a crash between
+         write and flush would. *)
+      write_file path (String.sub whole 0 (String.length whole - 3));
+      let rep = load_exn path in
+      check "good prefix loads" true
+        (rep.Journal.entries = [ List.nth sample_entries 0; List.nth sample_entries 1 ]);
+      check "tail reported torn" true (rep.Journal.torn = Some Journal.Truncated);
+      check "torn bytes measured" true (rep.Journal.torn_bytes > 0);
+      (* open_append truncates the tail; the next append extends a clean
+         prefix and the journal loads with no tear. *)
+      let j = open_exn path in
+      Journal.append j (Journal.Started { id = "c"; digest = "d3" });
       Journal.close j;
-      let oc = open_out_gen [ Open_append ] 0o644 path in
-      output_string oc "{\"event\":\"done\",\"id\":\"a\",\"jo";
-      close_out oc;
-      (match Journal.load path with
-      | Ok [ Journal.Started { id = "a"; _ } ] -> ()
-      | Ok _ -> Alcotest.fail "torn tail should leave exactly the first entry"
-      | Error e -> Alcotest.failf "torn tail must be tolerated, got: %s" e);
-      (* ...but a malformed line in the middle means this is not our file. *)
-      let oc = open_out_gen [ Open_append ] 0o644 path in
-      output_string oc "\n{\"event\":\"start\",\"id\":\"b\",\"job\":\"d\"}\n";
-      close_out oc;
-      check "mid-file garbage is an error" true (Result.is_error (Journal.load path)))
+      let rep = load_exn path in
+      check "append after tear is clean" true
+        (rep.Journal.torn = None
+        && rep.Journal.entries
+           = [
+               List.nth sample_entries 0;
+               List.nth sample_entries 1;
+               Journal.Started { id = "c"; digest = "d3" };
+             ]))
+
+(* Truncation at *every* byte offset must recover the longest intact
+   record prefix — never refuse, never hallucinate a record. *)
+let test_journal_truncate_every_byte () =
+  with_temp (fun path ->
+      write_journal path sample_entries;
+      let whole = read_file path in
+      let ends = line_ends whole in
+      (match ends with
+      | header_end :: record_ends ->
+          for cut = 0 to String.length whole - 1 do
+            write_file path (String.sub whole 0 cut);
+            let expected =
+              if cut < header_end then 0
+              else List.length (List.filter (fun e -> e <= cut) record_ends)
+            in
+            match Journal.load path with
+            | Error e -> Alcotest.failf "cut at byte %d refused: %s" cut e
+            | Ok rep ->
+                if rep.Journal.records <> expected then
+                  Alcotest.failf "cut at byte %d: %d records, expected %d" cut
+                    rep.Journal.records expected;
+                if
+                  rep.Journal.entries
+                  <> List.filteri (fun i _ -> i < expected) sample_entries
+                then Alcotest.failf "cut at byte %d: wrong entry prefix" cut
+          done
+      | [] -> Alcotest.fail "journal has no lines"))
+
+let test_journal_checksum_flip () =
+  with_temp (fun path ->
+      write_journal path sample_entries;
+      let whole = read_file path in
+      let flip pos =
+        let b = Bytes.of_string whole in
+        Bytes.set b pos (if Bytes.get b pos = '}' then ')' else '}');
+        write_file path (Bytes.to_string b)
+      in
+      (match line_ends whole with
+      | [ _; e1; e2; _ ] ->
+          (* Mid-file: corrupt the second record's payload (its final byte
+             before the newline). Not a torn tail — refuse, with the line. *)
+          flip (e2 - 2);
+          (match Journal.load path with
+          | Ok _ -> Alcotest.fail "mid-file checksum corruption must refuse"
+          | Error e ->
+              check "error names the file and line" true (contains e (path ^ ":3:"));
+              check "error names the cause" true (contains e "checksum"));
+          (* Final record: indistinguishable from a torn write — tolerated,
+             reported as Bad_checksum, and only the tail is dropped. *)
+          flip (String.length whole - 2);
+          let rep = load_exn path in
+          check "prefix survives a bad final checksum" true
+            (rep.Journal.entries = [ List.nth sample_entries 0; List.nth sample_entries 1 ]);
+          check "reported as bad checksum" true (rep.Journal.torn = Some Journal.Bad_checksum);
+          ignore e1
+      | _ -> Alcotest.fail "expected header + 3 records"))
+
+let test_journal_sequence_regression () =
+  with_temp (fun path ->
+      write_journal path sample_entries;
+      let whole = read_file path in
+      match line_ends whole with
+      | [ h; e1; e2; _ ] ->
+          (* Swap records 2 and 3: each frame is individually valid, but
+             the sequence regresses — replayed/reordered records must not
+             load as if nothing happened. *)
+          let sub a b = String.sub whole a (b - a) in
+          write_file path
+            (sub 0 h ^ sub h e1 ^ sub e2 (String.length whole) ^ sub e1 e2);
+          (match Journal.load path with
+          | Ok _ -> Alcotest.fail "sequence regression must refuse"
+          | Error e -> check "error names the regression" true (contains e "sequence"))
+      | _ -> Alcotest.fail "expected header + 3 records")
+
+let test_journal_v1_semantics () =
+  with_temp (fun path ->
+      let v1_lines entries =
+        String.concat "" (List.map (fun e -> Journal.entry_to_json e ^ "\n") entries)
+      in
+      write_file path (v1_lines sample_entries);
+      let rep = load_exn path in
+      check "v1 detected" true (rep.Journal.version = Journal.V1);
+      check "v1 entries load" true (rep.Journal.entries = sample_entries);
+      check "v1 has no sequence" true (rep.Journal.last_seq = 0);
+      (* Torn = the file does not end in a newline; the partial line is the
+         artifact of dying mid-write and is discarded. *)
+      write_file path (v1_lines sample_entries ^ "{\"event\":\"done\",\"id\":\"a\",\"re");
+      let rep = load_exn path in
+      check "v1 newline-less tail is torn" true
+        (rep.Journal.entries = sample_entries && rep.Journal.torn = Some Journal.Truncated);
+      (* Regression (PR 3 bug): a *complete* malformed final line is
+         corruption, not a torn write — a torn write cannot contain the
+         terminator. The old pos_in test conflated the two. *)
+      write_file path (v1_lines sample_entries ^ "garbage\n");
+      check "v1 complete malformed final line refuses" true
+        (Result.is_error (Journal.load path));
+      (* ...and so is one in the middle, with its line number. *)
+      let mid =
+        match sample_entries with
+        | e1 :: rest -> v1_lines [ e1 ] ^ "garbage\n" ^ v1_lines rest
+        | [] -> assert false
+      in
+      write_file path mid;
+      match Journal.load path with
+      | Ok _ -> Alcotest.fail "v1 mid-file garbage must refuse"
+      | Error e -> check "v1 error carries file:line" true (contains e (path ^ ":2:")))
+
+let test_journal_v1_migration () =
+  with_temp (fun path ->
+      write_file path
+        (String.concat "" (List.map (fun e -> Journal.entry_to_json e ^ "\n") sample_entries));
+      (* Opening for append migrates in place; the append lands in v2. *)
+      let j = open_exn path in
+      Journal.append j (Journal.Started { id = "c"; digest = "d3" });
+      Journal.close j;
+      let rep = load_exn path in
+      check "migrated to v2" true (rep.Journal.version = Journal.V2);
+      check "migration keeps every entry" true
+        (rep.Journal.entries = sample_entries @ [ Journal.Started { id = "c"; digest = "d3" } ]);
+      check "migration numbers the records" true (rep.Journal.last_seq = 4);
+      check "header present" true
+        (String.length (read_file path) >= 14 && String.sub (read_file path) 0 14 = "rpq-journal-v2"))
+
+let test_journal_lock () =
+  with_temp (fun path ->
+      let j = open_exn path in
+      (match Journal.open_append path with
+      | Ok _ -> Alcotest.fail "double open_append must fail"
+      | Error e -> check "second open reports the lock" true (contains e "lock"));
+      Journal.close j;
+      (* Released on close: a later supervisor can take over. *)
+      let j2 = open_exn path in
+      Journal.append j2 (Journal.Started { id = "a"; digest = "d" });
+      Journal.close j2)
+
+let test_journal_compact () =
+  with_temp (fun path ->
+      let r1 = Proto.failed ~id:"a" ~kind:"crash" "first" in
+      let r2 = Proto.failed ~id:"a" ~kind:"crash" "second" in
+      let entries =
+        [
+          Journal.Started { id = "a"; digest = "d" };
+          Journal.Done { id = "a"; digest = "d"; reply = r1 };
+          Journal.Done { id = "a"; digest = "d"; reply = r2 };
+          Journal.Started { id = "b"; digest = "e" };
+        ]
+      in
+      write_journal path entries;
+      let before = load_exn path in
+      (match Journal.compact path with
+      | Error e -> Alcotest.failf "compact: %s" e
+      | Ok s ->
+          check "kept the last Done per id" true (s.Journal.kept = 1 && s.Journal.dropped = 3);
+          check "bytes reclaimed" true (s.Journal.after_bytes < s.Journal.before_bytes);
+          check "before_bytes is the old size" true (s.Journal.before_bytes = before.Journal.bytes));
+      let rep = load_exn path in
+      check "compacted to the settled answer" true
+        (rep.Journal.entries = [ Journal.Done { id = "a"; digest = "d"; reply = r2 } ]);
+      check "resequenced from 1" true (rep.Journal.last_seq = 1);
+      check "nothing left to reclaim" true (rep.Journal.dead_bytes = 0);
+      (* The settled map is invariant under compaction. *)
+      check "last Done survives" true
+        (Hashtbl.find_opt (Journal.completed rep.Journal.entries) "a" = Some ("d", r2)))
+
+let test_journal_auto_compact () =
+  with_temp (fun path ->
+      let dones n =
+        List.init n (fun i ->
+            Journal.Done
+              { id = "a"; digest = "d"; reply = Proto.failed ~id:"a" ~kind:"crash" "v%d" i })
+      in
+      write_journal path (dones 10);
+      check "mostly dead" true
+        (let rep = load_exn path in
+         float_of_int rep.Journal.dead_bytes >= 0.5 *. float_of_int rep.Journal.bytes);
+      (* Crossing the dead-byte ratio triggers compaction on open. *)
+      let j = open_exn ~compact_ratio:0.5 path in
+      Journal.append j (Journal.Started { id = "b"; digest = "e" });
+      Journal.close j;
+      let rep = load_exn path in
+      check "auto-compacted on open" true (rep.Journal.records = 2);
+      check "latest answer survived" true
+        (match Hashtbl.find_opt (Journal.completed rep.Journal.entries) "a" with
+        | Some (_, r) -> (
+            match r.Proto.verdict with
+            | Proto.V_failed { message; _ } -> contains message "v9"
+            | _ -> false)
+        | None -> false);
+      (* Below the ratio, the journal is left alone. *)
+      let before = (load_exn path).Journal.bytes in
+      let j = open_exn ~compact_ratio:0.99 path in
+      Journal.close j;
+      check "no compaction below the ratio" true ((load_exn path).Journal.bytes = before))
+
+(* Crash sites: under a programmatic plan ([with_plan]) the armed site
+   raises [Faults.Crash], and the journal must stay loadable afterwards —
+   the same invariant `rpq chaos` checks process-externally via _exit. *)
+let expect_crash site f =
+  match f () with
+  | _ -> Alcotest.failf "expected a crash at %s" site
+  | exception Faults.Crash s -> check ("crash fired at " ^ site) true (s = site)
+
+let test_journal_crash_sites () =
+  with_temp (fun path ->
+      let e1 = Journal.Started { id = "a"; digest = "d" } in
+      let e2 = Journal.Done { id = "a"; digest = "d"; reply = sample_reply } in
+      (* pre_append: dies before the record is framed — nothing lands. *)
+      let j = open_exn ~sync:Journal.Per_line path in
+      Faults.with_plan (Faults.Crash_at { site = "journal.pre_append"; hits = 2 }) (fun () ->
+          Journal.append j e1;
+          expect_crash "journal.pre_append" (fun () -> Journal.append j e2));
+      Journal.close j;
+      check "pre_append: record never written" true ((load_exn path).Journal.entries = [ e1 ]);
+      (* post_append: dies after the sync point — the record is durable.
+         (compact_ratio 2 disables auto-compaction: a Started-only journal
+         is almost all dead bytes, and compacting would drop e1.) *)
+      let j = open_exn ~sync:Journal.Per_line ~compact_ratio:2.0 path in
+      Faults.with_plan (Faults.Crash_at { site = "journal.post_append"; hits = 1 }) (fun () ->
+          expect_crash "journal.post_append" (fun () -> Journal.append j e2));
+      Journal.close j;
+      check "post_append: record survived" true ((load_exn path).Journal.entries = [ e1; e2 ]);
+      (* pre_fsync: dies between flush and fsync — the bytes reached the
+         OS, so an in-process reload still sees them. *)
+      let j = open_exn ~sync:Journal.Per_line ~compact_ratio:2.0 path in
+      Faults.with_plan (Faults.Crash_at { site = "journal.pre_fsync"; hits = 1 }) (fun () ->
+          expect_crash "journal.pre_fsync" (fun () -> Journal.append j e1));
+      Journal.close j;
+      check "pre_fsync: line was flushed" true
+        (List.length (load_exn path).Journal.entries = 3);
+      (* mid_compact: dies between the temp fsync and the rename — the old
+         journal is untouched, atomically. *)
+      let before = load_exn path in
+      Faults.with_plan (Faults.Crash_at { site = "journal.mid_compact"; hits = 1 }) (fun () ->
+          expect_crash "journal.mid_compact" (fun () -> Journal.compact path));
+      let after = load_exn path in
+      check "mid_compact: old journal intact" true
+        (after.Journal.entries = before.Journal.entries && after.Journal.bytes = before.Journal.bytes);
+      (* ...and with no fault armed the same compaction goes through. *)
+      (match Journal.compact path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "compact after aborted compact: %s" e);
+      check "compaction completes afterwards" true ((load_exn path).Journal.dead_bytes = 0))
 
 let test_journal_last_wins () =
   let r1 = Proto.failed ~id:"a" ~kind:"crash" "first" in
@@ -393,7 +695,7 @@ let test_journal_rejects_corrupt_answer () =
             Proto.V_exact { value = Value.Finite 1; algorithm = "forged"; witness = Some [] };
         }
       in
-      let j = Journal.open_append path in
+      let j = open_exn path in
       Journal.append j
         (Journal.Done { id = "a"; digest = Journal.job_digest (List.nth jobs 0); reply = forged });
       Journal.close j;
@@ -410,6 +712,44 @@ let test_journal_rejects_corrupt_answer () =
         Check.with_level Check.Off (fun () -> run_batch ~journal:path jobs)
       in
       check "RPQ_CHECK=off trusts the journal" true (stats_off.Runner.resumed = 1))
+
+let test_batch_crash_and_resume () =
+  with_temp (fun path ->
+      Sys.remove path;
+      let jobs = [ job ~id:"a" (); job ~id:"b" (); job ~id:"c" () ] in
+      (* The supervisor dies right after handing out the first job — the
+         journal holds a Started with no Done. In-process the crash is an
+         exception; Fun.protect still closes the journal (releasing the
+         lock), unlike the _exit-70 path the chaos harness exercises. *)
+      (match
+         Faults.with_plan (Faults.Crash_at { site = "pool.post_dispatch"; hits = 1 }) (fun () ->
+             run_batch ~journal:path jobs)
+       with
+      | _ -> Alcotest.fail "expected a supervisor crash"
+      | exception Faults.Crash site -> check "crashed at dispatch" true (site = "pool.post_dispatch"));
+      let rep = load_exn path in
+      check "journal survives the crash" true (rep.Journal.version = Journal.V2);
+      check "nothing settled before the crash" true
+        (Hashtbl.length (Journal.completed rep.Journal.entries) = 0);
+      let replies, stats = run_batch ~journal:path jobs in
+      check "resume settles everything" true
+        (List.length replies = 3 && stats.Runner.failures = 0);
+      check "every job accounted for" true (stats.Runner.ran + stats.Runner.resumed = 3);
+      List.iter (fun r -> check "resumed replies are exact" true (is_exact r)) replies)
+
+let test_max_heap_bounds () =
+  (* A 1 MB ceiling is below the solver's working set on the hard
+     instance: the Gc alarm flags the overrun, the probe converts it to
+     Budget.Exhausted Memory, and the job settles as a certified Bounded
+     reply — it must not fail, and must name memory as the reason. The
+     deadline is a backstop so a regression fails fast instead of running
+     the full exponential search. *)
+  Runner.set_max_heap_mb (Some 1);
+  Fun.protect ~finally:(fun () -> Runner.set_max_heap_mb None) @@ fun () ->
+  let r = Runner.run_job_locally (job ~id:"mem" ~db:hard_db ~deadline:10.0 ()) in
+  match r.Proto.verdict with
+  | Proto.V_bounded { reason; _ } -> Alcotest.(check string) "exhausted by memory" "memory" reason
+  | _ -> Alcotest.failf "expected bounded-by-memory, got %s" (Proto.reply_to_json r)
 
 let test_verify_reply () =
   let j = job ~id:"v" () in
@@ -493,6 +833,15 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "truncate at every byte" `Quick test_journal_truncate_every_byte;
+          Alcotest.test_case "checksum flips" `Quick test_journal_checksum_flip;
+          Alcotest.test_case "sequence regression" `Quick test_journal_sequence_regression;
+          Alcotest.test_case "v1 torn vs corrupt" `Quick test_journal_v1_semantics;
+          Alcotest.test_case "v1 migration" `Quick test_journal_v1_migration;
+          Alcotest.test_case "exclusive lock" `Quick test_journal_lock;
+          Alcotest.test_case "compaction" `Quick test_journal_compact;
+          Alcotest.test_case "auto-compaction" `Quick test_journal_auto_compact;
+          Alcotest.test_case "crash sites" `Quick test_journal_crash_sites;
           Alcotest.test_case "last done wins" `Quick test_journal_last_wins;
           Alcotest.test_case "job digest" `Quick test_job_digest;
         ] );
@@ -515,6 +864,8 @@ let () =
           Alcotest.test_case "resume is identical" `Quick test_journal_resume_identical;
           Alcotest.test_case "partial journal" `Quick test_journal_resume_partial;
           Alcotest.test_case "corrupt answers rejected" `Quick test_journal_rejects_corrupt_answer;
+          Alcotest.test_case "supervisor crash and resume" `Quick test_batch_crash_and_resume;
+          Alcotest.test_case "heap ceiling settles bounded" `Quick test_max_heap_bounds;
         ] );
       ("serve", [ Alcotest.test_case "roundtrip + shedding" `Quick test_serve_roundtrip_and_shedding ]);
     ]
