@@ -1,6 +1,12 @@
-(* Lint driver: scans lib/ for banned constructs and missing interfaces.
-   Usage: rpq_lint [REPO_ROOT]. Without an argument, walks up from the
-   current directory to the nearest dune-project. Exit code 1 on findings. *)
+(* Lint driver: whole-program analysis of lib/ and bin/ — leaf rules,
+   layering contract, module cycles, transitive capability reach.
+
+   Usage: rpq_lint [--json | --graph | --explain RULE] [REPO_ROOT]
+
+   Without a root argument, walks up from the current directory to the
+   nearest dune-project. Exit codes: 0 clean, 1 findings (for --graph:
+   dependency cycles), 2 analyzer or usage errors (unreadable tree,
+   unparseable dune file). *)
 
 let rec find_root dir =
   if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
@@ -8,32 +14,73 @@ let rec find_root dir =
     let parent = Filename.dirname dir in
     if parent = dir then None else find_root parent
 
+let usage () =
+  prerr_endline "usage: rpq_lint [--json | --graph | --explain RULE] [REPO_ROOT]";
+  exit 2
+
+type mode = Text | Json | Graph | Explain of string
+
 let () =
-  let root =
+  let mode, root_arg =
     match Array.to_list Sys.argv with
-    | [ _; dir ] -> Some dir
-    | [ _ ] -> find_root (Sys.getcwd ())
-    | _ ->
-        prerr_endline "usage: rpq_lint [REPO_ROOT]";
-        exit 2
+    | [ _ ] -> (Text, None)
+    | [ _; "--json" ] -> (Json, None)
+    | [ _; "--graph" ] -> (Graph, None)
+    | [ _; "--explain"; rule ] -> (Explain rule, None)
+    | [ _; "--json"; dir ] -> (Json, Some dir)
+    | [ _; "--graph"; dir ] -> (Graph, Some dir)
+    | [ _; "--explain"; rule; dir ] -> (Explain rule, Some dir)
+    | [ _; dir ] when String.length dir > 0 && dir.[0] <> '-' -> (Text, Some dir)
+    | _ -> usage ()
+  in
+  (match mode with
+  | Explain rule -> (
+      match Lint.explain rule with
+      | Some text ->
+          Printf.printf "%s\n\n%s\n" rule text;
+          exit 0
+      | None ->
+          Printf.eprintf "rpq_lint: unknown rule %S; known rules:\n" rule;
+          List.iter (fun r -> Printf.eprintf "  %s\n" r) Lint.all_rules;
+          exit 2)
+  | Text | Json | Graph -> ());
+  let root =
+    match root_arg with
+    | Some dir -> Some dir
+    | None -> find_root (Sys.getcwd ())
   in
   match root with
   | None ->
       prerr_endline "rpq_lint: no dune-project above the current directory";
       exit 2
-  | Some root ->
-      let lib_root = Filename.concat root "lib" in
-      if not (Sys.file_exists lib_root && Sys.is_directory lib_root) then begin
-        Printf.eprintf "rpq_lint: %s is not a directory\n" lib_root;
-        exit 2
-      end;
-      let findings =
-        Lint.filter_allowlist ~allowlist:Lint.default_allowlist
-          (Lint.scan_lib ~lib_root)
-      in
-      List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings;
-      if findings = [] then print_endline "rpq_lint: clean"
-      else begin
-        Printf.printf "rpq_lint: %d finding(s)\n" (List.length findings);
-        exit 1
-      end
+  | Some root -> (
+      match Lint.analyze ~root ~policy:Lint_policy.default with
+      | exception Lint.Lint_error (file, line, msg) ->
+          Printf.eprintf "rpq_lint: %s\n" (Lint.error_to_string (file, line, msg));
+          exit 2
+      | analysis -> (
+          let findings =
+            Lint.filter_allowlist ~allowlist:Lint.default_allowlist analysis.Lint.findings
+          in
+          let analysis = { analysis with Lint.findings } in
+          match mode with
+          | Json ->
+              print_string (Lint.analysis_json analysis);
+              if findings <> [] then exit 1
+          | Graph ->
+              print_string (Lint.analysis_dot analysis);
+              let cycles =
+                List.filter (fun f -> f.Lint.rule = Lint.rule_cycle) findings
+              in
+              List.iter
+                (fun f -> Printf.eprintf "%s\n" (Lint.finding_to_string f))
+                cycles;
+              if cycles <> [] then exit 1
+          | Text ->
+              List.iter (fun f -> print_endline (Lint.finding_to_string f)) findings;
+              if findings = [] then print_endline "rpq_lint: clean"
+              else begin
+                Printf.printf "rpq_lint: %d finding(s)\n" (List.length findings);
+                exit 1
+              end
+          | Explain _ -> ()))

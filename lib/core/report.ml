@@ -49,7 +49,7 @@ let analyze ?(try_gadget = true) input =
                             Option.value ~default:0
                               f.Gadget_search.verification.Gadgets.odd_path_length ),
                         false )
-                  | None | (exception _) -> (None, false)
+                  | None | (exception Budget.Exhausted _) -> (None, false)
                 end
             end
       in

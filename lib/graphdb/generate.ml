@@ -1,30 +1,32 @@
-let pick_mult st max_mult = if max_mult <= 1 then 1 else 1 + Random.State.int st max_mult
+module Prng = Invariant.Prng
+
+let pick_mult st max_mult = if max_mult <= 1 then 1 else 1 + Prng.int st max_mult
 
 let random ~nnodes ~nfacts ~alphabet ?(max_mult = 1) ~seed () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.make seed in
   let alpha = Array.of_list alphabet in
   let facts =
     List.init nfacts (fun _ ->
-        ( Random.State.int st nnodes,
-          alpha.(Random.State.int st (Array.length alpha)),
-          Random.State.int st nnodes,
+        ( Prng.int st nnodes,
+          alpha.(Prng.int st (Array.length alpha)),
+          Prng.int st nnodes,
           pick_mult st max_mult ))
   in
   Db.make_bag ~nnodes ~facts
 
 let random_acyclic ~nnodes ~nfacts ~alphabet ?(max_mult = 1) ~seed () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.make seed in
   let alpha = Array.of_list alphabet in
   let facts =
     List.init nfacts (fun _ ->
-        let u = Random.State.int st (nnodes - 1) in
-        let v = u + 1 + Random.State.int st (nnodes - u - 1) in
-        (u, alpha.(Random.State.int st (Array.length alpha)), v, pick_mult st max_mult))
+        let u = Prng.int st (nnodes - 1) in
+        let v = u + 1 + Prng.int st (nnodes - u - 1) in
+        (u, alpha.(Prng.int st (Array.length alpha)), v, pick_mult st max_mult))
   in
   Db.make_bag ~nnodes ~facts
 
 let flow_grid ~width ~depth ?(max_mult = 1) ~seed () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.make seed in
   (* Nodes: 2 * width source/sink shells + width * depth grid nodes. *)
   let grid l i = (2 * width) + (l * width) + i in
   let src i = i and dst i = width + i in
@@ -44,7 +46,7 @@ let flow_grid ~width ~depth ?(max_mult = 1) ~seed () =
   Db.make_bag ~nnodes ~facts:!facts
 
 let layered ~layers ~width ?(density = 0.5) ?(max_mult = 1) ~seed () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.make seed in
   let nlayers = List.length layers + 1 in
   let node l i = (l * width) + i in
   let facts = ref [] in
@@ -52,7 +54,7 @@ let layered ~layers ~width ?(density = 0.5) ?(max_mult = 1) ~seed () =
     (fun l c ->
       for i = 0 to width - 1 do
         for j = 0 to width - 1 do
-          if Random.State.float st 1.0 < density then
+          if Prng.float st 1.0 < density then
             facts := (node l i, c, node (l + 1) j, pick_mult st max_mult) :: !facts
         done
       done)
@@ -60,14 +62,14 @@ let layered ~layers ~width ?(density = 0.5) ?(max_mult = 1) ~seed () =
   Db.make_bag ~nnodes:(nlayers * width) ~facts:!facts
 
 let social ~nusers ?(density = 0.08) ~seed () =
-  let st = Random.State.make [| seed |] in
+  let st = Prng.make seed in
   let facts = ref [] in
   let letters = [| 'f'; 'm'; 'b' |] in
   for u = 0 to nusers - 1 do
     for v = 0 to nusers - 1 do
       if u <> v then
         Array.iter
-          (fun c -> if Random.State.float st 1.0 < density then facts := (u, c, v, 1) :: !facts)
+          (fun c -> if Prng.float st 1.0 < density then facts := (u, c, v, 1) :: !facts)
           letters
     done
   done;

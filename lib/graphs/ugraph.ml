@@ -131,11 +131,11 @@ let complete k =
   make ~n:k ~edges:!edges
 
 let random ~n ~p ~seed =
-  let st = Random.State.make [| seed |] in
+  let st = Invariant.Prng.make seed in
   let edges = ref [] in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      if Random.State.float st 1.0 < p then edges := (i, j) :: !edges
+      if Invariant.Prng.float st 1.0 < p then edges := (i, j) :: !edges
     done
   done;
   make ~n ~edges:!edges

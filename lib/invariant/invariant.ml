@@ -1,3 +1,5 @@
+module Prng = Prng
+
 type violation = { subsystem : string; invariant : string; detail : string }
 
 exception Internal_error of string

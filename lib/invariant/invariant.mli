@@ -9,6 +9,11 @@
     than a crash, so the solvers machine-check these invariants when the
     {!Resilience.Check} level asks for it. *)
 
+module Prng = Prng
+(** Seeded deterministic randomness — the only generator library code may
+    use (the stdlib [Random] module is banned by [rpq_lint] outside the
+    seeded fault/chaos machinery). *)
+
 type violation = {
   subsystem : string;  (** e.g. ["Nfa"], ["Flow.Network"] *)
   invariant : string;  (** short name of the violated invariant *)

@@ -1,0 +1,19 @@
+(** Seeded, deterministic pseudo-random stream (48-bit LCG, drawn from the
+    high bits). This is the {e only} sanctioned randomness in library code:
+    [rpq_lint] bans the stdlib [Random] module outside the seeded fault /
+    chaos machinery, because an ambient [Random] draw makes a failing run
+    unreplayable. Same-seed streams are identical across runs, platforms
+    and word sizes (the state is masked to 48 bits). *)
+
+type t
+(** Mutable stream state; create one per generator with {!make}. *)
+
+val make : int -> t
+(** [make seed] starts a stream. Equal seeds yield equal streams. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound - 1].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws from [[0, bound)]. *)

@@ -1,390 +1,206 @@
-type finding = { file : string; line : int; rule : string; message : string }
+type finding = Lint_base.finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+  path : string list;
+}
 
-let pp_finding ppf f =
-  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+exception Lint_error = Lint_base.Lint_error
 
-let finding_to_string f = Format.asprintf "%a" pp_finding f
+let error_to_string = Lint_base.error_to_string
+let pp_finding = Lint_base.pp_finding
+let finding_to_string = Lint_base.finding_to_string
+let compare_finding = Lint_base.compare_finding
+let strip = Lint_base.strip
 
-(* Rule names, used both in findings and in allowlist entries. *)
-let rule_partial = "partial-function"
-let rule_obj_magic = "obj-magic"
-let rule_physical_eq = "physical-equality"
-let rule_print = "print-in-lib"
-let rule_failwith = "failwith"
-let rule_assert_false = "assert-false"
-let rule_missing_mli = "missing-mli"
-let rule_unix = "unix-outside-runner"
-let rule_clock = "clock-outside-obs"
-let rule_sync = "fsync-outside-runner"
+let rule_partial = Lint_rules.rule_partial
+let rule_obj_magic = Lint_rules.rule_obj_magic
+let rule_physical_eq = Lint_rules.rule_physical_eq
+let rule_print = Lint_rules.rule_print
+let rule_failwith = Lint_rules.rule_failwith
+let rule_assert_false = Lint_rules.rule_assert_false
+let rule_missing_mli = Lint_rules.rule_missing_mli
+let rule_unix = Lint_rules.rule_unix
+let rule_clock = Lint_rules.rule_clock
+let rule_sync = Lint_rules.rule_sync
+let rule_catch_all = Lint_rules.rule_catch_all
+let rule_raise = Lint_rules.rule_raise
+let rule_random = Lint_rules.rule_random
+let rule_exit = Lint_rules.rule_exit
+let rule_state = Lint_rules.rule_state
+let rule_layer = Lint_rules.rule_layer
+let rule_layer_unassigned = Lint_rules.rule_layer_unassigned
+let rule_cycle = Lint_rules.rule_cycle
+let rule_reach = Lint_rules.rule_reach
+let rule_dune_unix = Lint_rules.rule_dune_unix
 
-let banned_idents =
-  [
-    ("List.hd", rule_partial, "use pattern matching or a non-empty invariant");
-    ("List.nth", rule_partial, "use an array, or List.nth_opt with an explicit default");
-    ("Option.get", rule_partial, "match on the option, or Invariant.internal_error");
-    ("Hashtbl.find", rule_partial, "use Hashtbl.find_opt and handle None");
-    ("Obj.magic", rule_obj_magic, "unsafe cast defeats the type system");
-    ("Printf.printf", rule_print, "library code must not write to stdout; return or log");
-    ("print_string", rule_print, "library code must not write to stdout; return or log");
-    ("print_endline", rule_print, "library code must not write to stdout; return or log");
-    ("print_int", rule_print, "library code must not write to stdout; return or log");
-    ("prerr_string", rule_print, "library code must not write to stderr; return or log");
-    ("prerr_endline", rule_print, "library code must not write to stderr; return or log");
-    ("failwith", rule_failwith, "raise Invariant.Internal_error (via Invariant.internal_error)");
-  ]
+let banned_idents = Lint_rules.banned_idents
+let explain = Lint_rules.explain
+let all_rules = Lint_rules.all_rules
+let scan_source = Lint_rules.scan_source
+let scan_file path = scan_source ~file:path (Lint_base.read_file path)
+let missing_mlis = Lint_rules.missing_mlis
 
-let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let capability_of_rule rule =
+  List.find_opt (fun c -> Lint_rules.cap_rule c = rule) Lint_rules.all_caps
 
-let is_ident_char c =
-  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
-
-let is_op_char c = String.contains "!$%&*+-./:<=>?@^|~" c
-
-(* Replace comments, string literals and character literals with spaces,
-   preserving newlines so that reported line numbers stay exact. OCaml
-   lexes string literals inside comments (an unmatched quote in a comment
-   is a syntax error), so we mirror that to keep "*)" inside quoted text
-   from closing a comment early. *)
-let strip src =
-  let n = String.length src in
-  let out = Bytes.of_string src in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let i = ref 0 in
-  (* Skip a string literal starting at the opening quote; returns the index
-     one past the closing quote (or [n] if unterminated). *)
-  let skip_string start =
-    let j = ref (start + 1) in
-    let stop = ref false in
-    while (not !stop) && !j < n do
-      (match src.[!j] with
-      | '\\' -> incr j (* skip the escaped character too *)
-      | '"' -> stop := true
-      | _ -> ());
-      incr j
-    done;
-    !j
-  in
-  (* Skip a quoted-string literal {id|...|id} starting at '{'; returns the
-     index one past the closing '}' or [start + 1] if it is not one. *)
-  let skip_quoted_string start =
-    let j = ref (start + 1) in
-    while !j < n && ((src.[!j] >= 'a' && src.[!j] <= 'z') || src.[!j] = '_') do
-      incr j
-    done;
-    if !j >= n || src.[!j] <> '|' then start + 1
-    else begin
-      let id = String.sub src (start + 1) (!j - start - 1) in
-      let closing = "|" ^ id ^ "}" in
-      let cl = String.length closing in
-      let k = ref (!j + 1) in
-      let stop = ref false in
-      while (not !stop) && !k + cl <= n do
-        if String.sub src !k cl = closing then stop := true else incr k
-      done;
-      if !stop then !k + cl else n
-    end
-  in
-  while !i < n do
-    let c = src.[!i] in
-    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      (* Comment: blank it out, tracking nesting and embedded strings. *)
-      let depth = ref 1 in
-      blank !i;
-      blank (!i + 1);
-      let j = ref (!i + 2) in
-      while !depth > 0 && !j < n do
-        if src.[!j] = '(' && !j + 1 < n && src.[!j + 1] = '*' then begin
-          incr depth;
-          blank !j;
-          blank (!j + 1);
-          j := !j + 2
-        end
-        else if src.[!j] = '*' && !j + 1 < n && src.[!j + 1] = ')' then begin
-          decr depth;
-          blank !j;
-          blank (!j + 1);
-          j := !j + 2
-        end
-        else if src.[!j] = '"' then begin
-          let e = skip_string !j in
-          for k = !j to min (e - 1) (n - 1) do
-            blank k
-          done;
-          j := e
-        end
-        else begin
-          blank !j;
-          incr j
-        end
-      done;
-      i := !j
-    end
-    else if c = '"' then begin
-      let e = skip_string !i in
-      for k = !i to min (e - 1) (n - 1) do
-        blank k
-      done;
-      i := e
-    end
-    else if c = '{' then begin
-      let e = skip_quoted_string !i in
-      if e > !i + 1 then
-        for k = !i to min (e - 1) (n - 1) do
-          blank k
-        done;
-      i := max e (!i + 1)
-    end
-    else if
-      c = '\''
-      && (!i = 0 || not (is_ident_char src.[!i - 1]))
-      && !i + 1 < n
-    then begin
-      (* Character literal vs. type variable: 'x' / '\n' are literals; 'a in
-         [val f : 'a -> 'a] is not. A quote right after an identifier char
-         (x', flow') extends the identifier and is skipped above. *)
-      if src.[!i + 1] = '\\' then begin
-        let j = ref (!i + 2) in
-        while !j < n && src.[!j] <> '\'' do
-          incr j
-        done;
-        for k = !i to min !j (n - 1) do
-          blank k
-        done;
-        i := !j + 1
-      end
-      else if !i + 2 < n && src.[!i + 2] = '\'' then begin
-        blank !i;
-        blank (!i + 1);
-        blank (!i + 2);
-        i := !i + 3
-      end
-      else incr i
-    end
-    else incr i
-  done;
-  Bytes.to_string out
-
-(* Longest dotted identifiers of the stripped source with their line
-   numbers: [Format.pp_print_string] is one token, so it can never be
-   confused with a banned [print_string]. *)
-let tokens stripped =
-  let n = String.length stripped in
-  let acc = ref [] in
-  let line = ref 1 in
-  let i = ref 0 in
-  while !i < n do
-    let c = stripped.[!i] in
-    if c = '\n' then begin
-      incr line;
-      incr i
-    end
-    else if is_ident_start c then begin
-      let start = !i in
-      let j = ref !i in
-      while !j < n && is_ident_char stripped.[!j] do
-        incr j
-      done;
-      (* Extend across '.' when followed by another identifier. *)
-      let continue = ref true in
-      while !continue do
-        if !j + 1 < n && stripped.[!j] = '.' && is_ident_start stripped.[!j + 1] then begin
-          j := !j + 1;
-          while !j < n && is_ident_char stripped.[!j] do
-            incr j
-          done
-        end
-        else continue := false
-      done;
-      acc := (String.sub stripped start (!j - start), !line) :: !acc;
-      i := !j
-    end
-    else incr i
-  done;
-  List.rev !acc
-
-(* Maximal runs of operator characters with their line numbers. *)
-let operator_runs stripped =
-  let n = String.length stripped in
-  let acc = ref [] in
-  let line = ref 1 in
-  let i = ref 0 in
-  while !i < n do
-    let c = stripped.[!i] in
-    if c = '\n' then begin
-      incr line;
-      incr i
-    end
-    else if is_op_char c then begin
-      let start = !i in
-      let j = ref !i in
-      while !j < n && is_op_char stripped.[!j] do
-        incr j
-      done;
-      acc := (String.sub stripped start (!j - start), !line) :: !acc;
-      i := !j
-    end
-    else if is_ident_start c then begin
-      (* Skip identifiers so the quote in [x'] is not an operator char and
-         module dots are consumed with their identifier. *)
-      let j = ref !i in
-      while !j < n && is_ident_char stripped.[!j] do
-        incr j
-      done;
-      i := !j
-    end
-    else incr i
-  done;
-  List.rev !acc
-
-let scan_source ~file src =
-  let stripped = strip src in
-  let findings = ref [] in
-  let add line rule message = findings := { file; line; rule; message } :: !findings in
-  let prev = ref "" in
-  List.iter
-    (fun (tok, line) ->
-      List.iter
-        (fun (banned, rule, hint) ->
-          if tok = banned || tok = "Stdlib." ^ banned then
-            add line rule (Printf.sprintf "%s is banned in library code: %s" banned hint))
-        banned_idents;
-      (* Process management and raw fds live in lib/runner (and bin/) only:
-         a solver module that forks, signals, or sleeps is impossible to
-         reason about and to test. [scan_lib] exempts lib/runner
-         structurally — by path, not by allowlist. *)
-      if
-        tok = "Unix" || tok = "UnixLabels"
-        || String.starts_with ~prefix:"Unix." tok
-        || String.starts_with ~prefix:"UnixLabels." tok
-      then
-        add line rule_unix
-          (Printf.sprintf "%s: the Unix library is confined to lib/runner, lib/obs and bin/" tok);
-      (* Raw clock reads bypass Obs.Clock's monotone guard and leave the
-         telemetry and the budget layer disagreeing about time. Confined
-         to lib/obs (which owns the clock) and lib/runner (select
-         timeouts); [scan_lib] exempts both structurally. *)
-      if
-        tok = "Sys.time" || tok = "Stdlib.Sys.time" || tok = "Unix.gettimeofday"
-        || tok = "UnixLabels.gettimeofday"
-      then
-        add line rule_clock
-          (Printf.sprintf "%s: clock reads are confined to lib/obs (use Obs.Clock) and lib/runner"
-             tok);
-      (* Durability primitives are the journal's business alone. An fsync
-         or file lock sprinkled elsewhere either lies about durability (no
-         checksummed framing around it) or deadlocks against the journal's
-         lock discipline — so they are confined tighter than Unix at
-         large: lib/runner only, lib/obs included in the ban. *)
-      if
-        tok = "Unix.fsync" || tok = "UnixLabels.fsync" || tok = "Unix.lockf"
-        || tok = "UnixLabels.lockf"
-      then
-        add line rule_sync
-          (Printf.sprintf
-             "%s: durability and locking primitives are confined to lib/runner (the journal owns \
-              the fsync/lock discipline)"
-             tok);
-      if !prev = "assert" && tok = "false" then
-        add line rule_assert_false
-          "assert false is banned in library code: raise Invariant.Internal_error";
-      prev := tok)
-    (tokens stripped);
-  List.iter
-    (fun (op, line) ->
-      if op = "==" || op = "!=" then
-        add line rule_physical_eq
-          (Printf.sprintf
-             "physical equality (%s) is banned in library code: use = / <> (or compare)" op))
-    (operator_runs stripped);
-  List.sort (fun a b -> compare (a.line, a.rule) (b.line, b.rule)) !findings
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let scan_file path = scan_source ~file:path (read_file path)
-
-let rec ml_files dir =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> []
-  | entries ->
-      Array.sort compare entries;
-      Array.fold_left
-        (fun acc entry ->
-          let path = Filename.concat dir entry in
-          if Sys.is_directory path then acc @ ml_files path
-          else if Filename.check_suffix entry ".ml" then acc @ [ path ]
-          else acc)
-        [] entries
-
-let missing_mlis ~lib_root =
+(* Exceptions declared by each interface of the tree, for resolving
+   qualified raises ([raise (Budget.Exhausted ...)]). A module the tree
+   does not contain cannot be checked and resolves permissively. *)
+let mli_decl_map files =
   List.filter_map
     (fun ml ->
       let mli = ml ^ "i" in
-      if Sys.file_exists mli then None
-      else
+      if Sys.file_exists mli then
         Some
-          {
-            file = ml;
-            line = 1;
-            rule = rule_missing_mli;
-            message =
-              Printf.sprintf "%s has no interface; every module under lib/ needs a .mli"
-                (Filename.basename ml);
-          })
-    (ml_files lib_root)
+          ( Lint_base.module_of_file ml,
+            Lint_rules.exception_decls (strip (Lint_base.read_file mli)) )
+      else None)
+    files
 
-let under ~lib_root subdirs file =
-  List.exists
-    (fun sub ->
-      let prefix = Filename.concat lib_root sub ^ Filename.dir_sep in
-      String.starts_with ~prefix file)
-    subdirs
+let resolver decl_map m e =
+  match List.find_opt (fun (name, _) -> name = m) decl_map with
+  | None -> true
+  | Some _ ->
+      List.exists (fun (name, ds) -> name = m && List.mem e ds) decl_map
 
-(* The subtrees whose whole point is process supervision (lib/runner) or
-   timekeeping (lib/obs): the Unix rule does not apply there. A structural
-   exemption, not an allowlist entry — it names a design boundary, not a
-   known violation. *)
-let unix_exempt ~lib_root file = under ~lib_root [ "runner"; "obs" ] file
+(* {2 Per-directory mode}
 
-(* Same shape for clocks: lib/obs owns the one clock abstraction, and
-   lib/runner stamps dispatch/settlement times around [select] waits. *)
-let clock_exempt ~lib_root file = under ~lib_root [ "obs"; "runner" ] file
-
-(* Tighter still: fsync and file locks are journal machinery, so only
-   lib/runner is exempt — lib/obs may use Unix but not durability
-   primitives. *)
-let sync_exempt ~lib_root file = under ~lib_root [ "runner" ] file
+   [scan_lib] works without dune metadata: capability grants are keyed
+   by the directory basename alone (lib/runner may fsync, lib/obs may
+   read clocks, lib/core may hold state). The whole-program mode in
+   {!analyze} replaces this with the discovered unit graph; this mode
+   remains for scanning partial trees. *)
 
 let scan_lib ~lib_root =
-  let from_sources =
+  let policy = Lint_policy.default in
+  let files = Lint_base.ml_files lib_root in
+  let decl_map = mli_decl_map files in
+  let resolve = resolver decl_map in
+  let per_file =
     List.concat_map
-      (fun file ->
-        List.filter
-          (fun f ->
-            not
-              ((f.rule = rule_unix && unix_exempt ~lib_root file)
-              || (f.rule = rule_clock && clock_exempt ~lib_root file)
-              || (f.rule = rule_sync && sync_exempt ~lib_root file)))
-          (scan_file file))
-      (ml_files lib_root)
+      (fun ml ->
+        let base = Filename.basename (Filename.dirname ml) in
+        let src = Lint_base.read_file ml in
+        let stripped = strip src in
+        let leaf =
+          List.filter
+            (fun f ->
+              match capability_of_rule f.rule with
+              | Some c -> not (Lint_policy.grants_cap policy base c)
+              | None -> true)
+            (scan_source ~file:ml src)
+        in
+        let mli = ml ^ "i" in
+        let mli_decls =
+          if Sys.file_exists mli then
+            Lint_rules.exception_decls (strip (Lint_base.read_file mli))
+          else []
+        in
+        leaf @ Lint_rules.raise_findings ~file:ml ~stripped ~mli_decls ~resolve)
+      files
   in
-  from_sources @ missing_mlis ~lib_root
+  List.sort compare_finding (per_file @ missing_mlis ~lib_root)
 
-let allowed ~allowlist f =
-  List.exists
-    (fun (suffix, rule) ->
-      (rule = f.rule || rule = "*")
-      && String.length f.file >= String.length suffix
-      && String.sub f.file (String.length f.file - String.length suffix) (String.length suffix)
-         = suffix)
-    allowlist
+(* {2 Allowlist} *)
 
 let filter_allowlist ~allowlist findings =
-  List.filter (fun f -> not (allowed ~allowlist f)) findings
+  List.filter
+    (fun f ->
+      not
+        (List.exists
+           (fun (suffix, rule) ->
+             (rule = "*" || rule = f.rule) && String.ends_with ~suffix f.file)
+           allowlist))
+    findings
 
-(* Files known to violate a rule for a documented reason. Keep this empty:
-   new entries need a justification in the accompanying comment. *)
-let default_allowlist : (string * string) list = []
+let default_allowlist = []
+
+(* {2 Whole-program mode} *)
+
+type analysis = {
+  policy : Lint_policy.t;
+  result : Lint_graph.result;
+  findings : finding list;
+  files_scanned : int;
+}
+
+let analyze ~root ~policy =
+  let result = Lint_graph.analyze ~root ~policy in
+  let g = result.Lint_graph.graph in
+  let rel p = Lint_base.relativize ~root p in
+  let lib_files =
+    List.concat_map
+      (fun u ->
+        if u.Lint_graph.kind = Lint_graph.Lib then List.map snd u.Lint_graph.mods
+        else [])
+      g.Lint_graph.units
+  in
+  let decl_map = mli_decl_map lib_files in
+  let resolve = resolver decl_map in
+  let leaf =
+    List.concat_map
+      (fun u ->
+        let open Lint_graph in
+        let base = Filename.basename u.dir in
+        List.concat_map
+          (fun (m, ml) ->
+            let src = Lint_base.read_file ml in
+            let stripped = strip src in
+            (* Style rules apply to library code only; executables are
+               checked for capabilities (against the bin/ grant set) and
+               nothing else. *)
+            let keep f =
+              match capability_of_rule f.rule with
+              | Some c ->
+                  (not (Lint_policy.allowed policy ~name:u.uname ~dir:base c))
+                  && not
+                       (c = Lint_rules.Crandom
+                       && Lint_policy.random_module_allowed policy
+                            (base ^ "/" ^ String.uncapitalize_ascii m))
+              | None -> u.kind = Lib
+            in
+            let findings = List.filter keep (Lint_rules.scan_source ~file:ml src) in
+            let raises =
+              if u.kind = Lib then begin
+                let mli = ml ^ "i" in
+                let mli_decls =
+                  if Sys.file_exists mli then
+                    Lint_rules.exception_decls (strip (Lint_base.read_file mli))
+                  else []
+                in
+                Lint_rules.raise_findings ~file:ml ~stripped ~mli_decls ~resolve
+              end
+              else []
+            in
+            let missing =
+              if u.kind = Lib && not (Sys.file_exists (ml ^ "i")) then
+                [
+                  {
+                    file = ml;
+                    line = 1;
+                    rule = rule_missing_mli;
+                    message =
+                      Printf.sprintf
+                        "%s has no interface; every module under lib/ needs a .mli"
+                        (Filename.basename ml);
+                    path = [];
+                  };
+                ]
+              else []
+            in
+            List.map (fun f -> { f with file = rel f.file }) (findings @ raises @ missing))
+          u.mods)
+      g.Lint_graph.units
+  in
+  let findings = List.sort compare_finding (leaf @ result.Lint_graph.findings) in
+  { policy; result; findings; files_scanned = List.length g.Lint_graph.nodes }
+
+let analysis_json a =
+  Lint_json.render ~files_scanned:a.files_scanned
+    ~modules:(List.length a.result.Lint_graph.graph.Lint_graph.nodes)
+    ~edges:(List.length a.result.Lint_graph.graph.Lint_graph.edges)
+    a.findings
+
+let analysis_dot a = Lint_graph.dot ~policy:a.policy a.result

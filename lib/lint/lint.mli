@@ -1,50 +1,56 @@
-(** [rpq_lint]: a self-contained static analyzer for this repository's
-    library code.
+(** [rpq_lint]: a self-contained whole-program static analyzer for this
+    repository.
 
     The solver stack computes exact answers from intricate reductions
-    (Thm 3.3, Props 7.5-7.8), so "impossible" states must be loud. The
-    lint bans the constructs that make them quiet instead:
+    (Thm 3.3, Props 7.5-7.8), so "impossible" states must be loud and
+    runs must be replayable. The analyzer works in two tiers.
 
-    - partial stdlib calls ([List.hd], [List.nth], [Option.get], bare
-      [Hashtbl.find]) that raise unhelpful exceptions on broken invariants;
-    - [Obj.magic];
-    - physical equality ([==] / [!=]), almost always a typo for [=] / [<>];
-    - direct printing ([Printf.printf], [print_string], ...) from library
-      code;
-    - [failwith] / [assert false] — internal errors must go through
-      {!Invariant.internal_error} so they carry a subsystem and message;
-    - any [.ml] under [lib/] without a matching [.mli];
-    - references to the [Unix] library outside [lib/runner] and
-      [lib/obs] — process supervision (fork, signals, pipes, wall-clock
-      waits) is confined to the supervised execution layer (and [bin/]),
-      so the solver stack stays deterministic and testable in-process.
-      The exemption is structural (by path, in {!scan_lib}), not an
-      allowlist entry;
-    - raw clock reads ([Sys.time], [Unix.gettimeofday]) outside [lib/obs]
-      and [lib/runner] — everything else must go through [Obs.Clock], so
-      time is read one way (and monotonically) across the tree. Same
-      structural exemption mechanism as the Unix rule;
-    - durability and locking primitives ([Unix.fsync], [Unix.lockf])
-      outside [lib/runner] — strictly tighter than the Unix rule
-      ([lib/obs] is {e not} exempt): the journal owns the
-      fsync-and-rename and lock disciplines, and a stray fsync elsewhere
-      would claim durability the recovery path cannot honor.
+    {b Leaf rules} (see {!Lint_rules}) are decided per source file,
+    lexically: comments, strings and character literals are stripped
+    (preserving line numbers) and whole dotted identifiers matched, so
+    [Hashtbl.find_opt] or a banned name quoted in a docstring never
+    trigger. They ban partial stdlib calls, [Obj.magic], physical
+    equality, printing from library code, [failwith] / [assert false],
+    catch-all exception handlers, raising exceptions a module's [.mli]
+    does not declare, and [.ml] files without interfaces.
 
-    The scanner strips comments, string literals and character literals
-    (preserving line numbers), then matches whole dotted identifiers, so
-    [Hashtbl.find_opt], [Format.pp_print_string] or a banned name quoted in
-    a docstring never trigger a report. It deliberately parses nothing
-    beyond that: no typing, no build integration, no opam dependencies. *)
+    {b Capability and graph rules} treat effects — [unix], [clock],
+    [fsync], [print], [exit], [random], top-level mutable [state] — as
+    capabilities a module may exercise only under a grant from the
+    policy table ({!Lint_policy.default}). {!analyze} discovers every
+    compilation unit from the dune stanzas under [lib/] and [bin/],
+    extracts a module reference graph ([open], [module A = B], dotted
+    capitalized tokens), detects dependency cycles (Tarjan SCC), checks
+    the declared layering contract against the dune dependency graph,
+    and propagates capabilities transitively: a module that merely
+    calls into an ungranted capability user is reported with a
+    breadth-first witness path ("Resilience.Exact reaches unix via
+    Exact -> Helper -> Pool"). Granted modules are encapsulation
+    boundaries — their capabilities do not leak to callers.
 
-type finding = {
+    The analyzer deliberately parses nothing beyond that: no typing, no
+    build integration, no opam dependencies. *)
+
+type finding = Lint_base.finding = {
   file : string;
   line : int;  (** 1-based *)
   rule : string;  (** one of the [rule_*] names below *)
   message : string;
+  path : string list;
+      (** witness call path for transitive capability findings;
+          [[]] for direct findings. *)
 }
 
+exception Lint_error of string * int * string
+(** Same exception as {!Lint_base.Lint_error}. [(file, line, message)]: the analyzer could not complete —
+    unreadable root, unreadable source, unparseable dune file. A scan
+    that cannot see the tree must not report it clean; the CLI maps
+    this to exit code 2. *)
+
+val error_to_string : string * int * string -> string
 val pp_finding : Format.formatter -> finding -> unit
 val finding_to_string : finding -> string
+val compare_finding : finding -> finding -> int
 
 (** {2 Rule names} *)
 
@@ -57,46 +63,87 @@ val rule_assert_false : string
 val rule_missing_mli : string
 
 val rule_unix : string
-(** [Unix]/[UnixLabels] reference outside [lib/runner]/[lib/obs].
-    Reported by {!scan_source} on any source; {!scan_lib} drops it for
-    files under [<lib_root>/runner/] and [<lib_root>/obs/]. *)
+(** [Unix]/[UnixLabels] reference without a ['unix] capability grant
+    (granted to [lib/runner], [lib/obs] and [bin/]). *)
 
 val rule_clock : string
-(** Raw clock read ([Sys.time], [Unix.gettimeofday]) outside [lib/obs]
-    and [lib/runner]: library code must use [Obs.Clock]. Reported by
-    {!scan_source} on any source; {!scan_lib} drops it for files under
-    [<lib_root>/obs/] and [<lib_root>/runner/]. *)
+(** Raw clock read ([Sys.time], [Unix.gettimeofday]) without a
+    ['clock] grant (granted to [lib/obs] and [lib/runner]). *)
 
 val rule_sync : string
-(** Durability/locking primitive ([Unix.fsync], [UnixLabels.fsync],
-    [Unix.lockf], [UnixLabels.lockf]) outside [lib/runner]. Reported by
-    {!scan_source} on any source; {!scan_lib} drops it only for files
-    under [<lib_root>/runner/] — unlike {!rule_unix}, [lib/obs] is not
-    exempt. *)
+(** Durability/locking primitive ([Unix.fsync], [Unix.lockf]) without
+    an ['fsync] grant (granted to [lib/runner] only — the journal owns
+    the fsync-and-rename and lock disciplines). *)
+
+val rule_catch_all : string
+(** [with _ ->] / [exception _ ->]: swallows [Internal_error] and
+    [Budget.Exhausted] alike. *)
+
+val rule_raise : string
+(** [raise E] where [E] is neither declared in the module's [.mli],
+    nor locally defined and handled, nor [Exit]. *)
+
+val rule_random : string
+(** Ambient [Random.*] use: draws must come from explicitly seeded
+    streams ([Invariant.Prng]). *)
+
+val rule_exit : string
+(** [exit] outside [bin/]. *)
+
+val rule_state : string
+(** Top-level mutable state ([let x = ref ...]) without a ['state]
+    grant. *)
+
+val rule_layer : string
+(** A dune dependency from a lower to an equal-or-higher layer. *)
+
+val rule_layer_unassigned : string
+(** A library under [lib/] missing from the policy layer table. *)
+
+val rule_cycle : string
+(** A strongly-connected component of size > 1 in the module graph. *)
+
+val rule_reach : string
+(** Transitive capability reach, with a witness path. *)
+
+val rule_dune_unix : string
+(** The [unix] findlib library listed in dune without a grant. *)
 
 val banned_idents : (string * string * string) list
 (** [(identifier, rule, hint)] for every banned dotted identifier. *)
 
+val explain : string -> string option
+(** The rule catalogue entry behind [rpq_lint --explain RULE]. *)
+
+val all_rules : string list
+
 (** {2 Scanning} *)
 
 val strip : string -> string
-(** Comments, strings and character literals replaced by spaces; newlines
-    (and hence line numbers) preserved. Exposed for tests. *)
+(** Comments, strings and character literals replaced by spaces;
+    newlines (and hence line numbers) preserved. Exposed for tests. *)
 
 val scan_source : file:string -> string -> finding list
-(** Scan source text; [file] only labels the findings. Findings are sorted
-    by line. Does not include the missing-[.mli] rule. *)
+(** All leaf findings of a source text, capability findings included
+    unconditionally (callers subtract grants); [file] only labels the
+    findings. Sorted. Does not include the missing-[.mli] or
+    undeclared-raise rules. *)
 
 val scan_file : string -> finding list
-(** [scan_source] on a file's contents. *)
+(** [scan_source] on a file's contents.
+    @raise Lint_error if the file cannot be read. *)
 
 val missing_mlis : lib_root:string -> finding list
 (** One finding per [.ml] under [lib_root] (recursively) lacking a
-    sibling [.mli]. *)
+    sibling [.mli].
+    @raise Lint_error if the tree cannot be scanned. *)
 
 val scan_lib : lib_root:string -> finding list
-(** All source findings plus {!missing_mlis} for every [.ml] under
-    [lib_root]. *)
+(** Per-directory mode, for partial trees without dune metadata:
+    leaf findings with capability grants keyed by directory basename
+    ([runner/] may fsync, [obs/] may read clocks, [core/] may hold
+    state), plus undeclared-raise and {!missing_mlis}. No graph rules.
+    @raise Lint_error if the tree cannot be scanned. *)
 
 (** {2 Allowlist} *)
 
@@ -106,3 +153,25 @@ val filter_allowlist : allowlist:(string * string) list -> finding list -> findi
 
 val default_allowlist : (string * string) list
 (** The repository's own allowlist. Kept empty: fix the code instead. *)
+
+(** {2 Whole-program mode} *)
+
+type analysis = {
+  policy : Lint_policy.t;
+  result : Lint_graph.result;
+  findings : finding list;  (** leaf + graph findings, sorted, root-relative *)
+  files_scanned : int;
+}
+
+val analyze : root:string -> policy:Lint_policy.t -> analysis
+(** Discover units from [root/lib/*/dune] and [root/bin/dune], scan
+    every module, build the reference graph and run every rule.
+    @raise Lint_error if the tree cannot be read or a dune file does
+    not parse. *)
+
+val analysis_json : analysis -> string
+(** Byte-stable JSON report ({!Lint_json.render}): two runs over the
+    same tree compare byte-identical. *)
+
+val analysis_dot : analysis -> string
+(** The layer graph in graphviz DOT. *)

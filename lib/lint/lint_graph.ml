@@ -1,0 +1,634 @@
+open Lint_base
+open Lint_rules
+
+let sprintf = Printf.sprintf
+
+type kind = Lib | Exec
+
+type cunit = {
+  uname : string;
+  kind : kind;
+  dir : string;
+  dune_file : string;
+  dune_line : int;
+  libs_line : int;
+  deps : string list;
+  ext_deps : string list;
+  mods : (string * string) list;
+}
+
+type node = { key : string; nuname : string; mname : string; nfile : string; ndir : string }
+type edge = { esrc : string; edst : string; eline : int }
+
+type t = { root : string; units : cunit list; nodes : node list; edges : edge list }
+
+let node_key uname mname = uname ^ "/" ^ mname
+
+(* Human name of a compilation unit's module: the library prefix is
+   dropped for an eponymous main module ([invariant/Invariant] is just
+   [Invariant]; [resilience/Exact] is [Resilience.Exact]). *)
+let display_key key =
+  match String.index_opt key '/' with
+  | None -> key
+  | Some i ->
+      let u = String.sub key 0 i in
+      let m = String.sub key (i + 1) (String.length key - i - 1) in
+      if capitalize u = m then m else capitalize u ^ "." ^ m
+
+(* {2 Discovery} *)
+
+let readdir_sorted dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> errorf dir 0 "cannot scan directory: %s" msg
+  | entries ->
+      Array.sort compare entries;
+      Array.to_list entries
+
+let ml_mods dir =
+  List.filter_map
+    (fun e ->
+      if Filename.check_suffix e ".ml" then
+        Some (capitalize (Filename.chop_suffix e ".ml"), Filename.concat dir e)
+      else None)
+    (readdir_sorted dir)
+
+let units_of_dune ~dir dune_file =
+  let stanzas = Lint_sexp.parse_file dune_file in
+  let libraries st =
+    match Lint_sexp.field st "libraries" with
+    | None -> ([], Lint_sexp.line_of st)
+    | Some [] -> ([], Lint_sexp.line_of st)
+    | Some (first :: _ as items) -> (Lint_sexp.atoms items, Lint_sexp.line_of first)
+  in
+  List.concat_map
+    (fun st ->
+      match Lint_sexp.stanza_kind st with
+      | Some "library" ->
+          let name =
+            match Lint_sexp.field_atoms st "name" with
+            | Some (n :: _) -> n
+            | Some [] | None ->
+                errorf dune_file (Lint_sexp.line_of st) "library stanza has no (name ...)"
+          in
+          let deps, libs_line = libraries st in
+          [
+            {
+              uname = name;
+              kind = Lib;
+              dir;
+              dune_file;
+              dune_line = Lint_sexp.line_of st;
+              libs_line;
+              deps;
+              ext_deps = [];
+              mods = ml_mods dir;
+            };
+          ]
+      | Some ("executable" | "executables") ->
+          let names =
+            match Lint_sexp.field_atoms st "name" with
+            | Some (n :: _) -> [ n ]
+            | Some [] | None -> Option.value ~default:[] (Lint_sexp.field_atoms st "names")
+          in
+          if names = [] then
+            errorf dune_file (Lint_sexp.line_of st) "executable stanza has no (name ...)";
+          let deps, libs_line = libraries st in
+          let mods =
+            match Lint_sexp.field_atoms st "modules" with
+            | Some ms ->
+                List.map (fun m -> (capitalize m, Filename.concat dir (m ^ ".ml"))) ms
+            | None -> ml_mods dir
+          in
+          List.map
+            (fun name ->
+              {
+                uname = name;
+                kind = Exec;
+                dir;
+                dune_file;
+                dune_line = Lint_sexp.line_of st;
+                libs_line;
+                deps;
+                ext_deps = [];
+                mods;
+              })
+            names
+      | Some _ | None -> [])
+    stanzas
+
+let discover ~root =
+  let lib_root = Filename.concat root "lib" in
+  let lib_units =
+    List.concat_map
+      (fun entry ->
+        let dir = Filename.concat lib_root entry in
+        let dune = Filename.concat dir "dune" in
+        if Sys.is_directory dir && Sys.file_exists dune then units_of_dune ~dir dune
+        else [])
+      (readdir_sorted lib_root)
+  in
+  let bin_units =
+    let dir = Filename.concat root "bin" in
+    let dune = Filename.concat dir "dune" in
+    if Sys.file_exists dune then units_of_dune ~dir dune else []
+  in
+  let all = lib_units @ bin_units in
+  let libnames = List.filter_map (fun u -> if u.kind = Lib then Some u.uname else None) all in
+  let all =
+    List.map
+      (fun u ->
+        let internal, ext = List.partition (fun d -> List.mem d libnames) u.deps in
+        { u with deps = internal; ext_deps = ext })
+      all
+  in
+  let units = List.sort (fun a b -> compare a.uname b.uname) all in
+  let nodes =
+    List.concat_map
+      (fun u ->
+        List.map
+          (fun (m, f) ->
+            { key = node_key u.uname m; nuname = u.uname; mname = m; nfile = f; ndir = u.dir })
+          u.mods)
+      units
+  in
+  { root; units; nodes; edges = [] }
+
+(* {2 Edge extraction}
+
+   Only three lexical forms create reference edges: [open X],
+   [module A = B], and {e dotted} capitalized tokens. Bare capitalized
+   tokens are variant constructors ([Exact], [Local]) far more often
+   than module references, and treating them as edges would invent
+   cycles that do not exist. Resolution only ever follows the unit's
+   own modules and its dune-declared dependencies, so an edge can never
+   cross a dependency the build does not have. *)
+
+type alias_target = ANode of string | ALib of string
+
+let edges_of_source units u mname file =
+  let stripped = strip (read_file file) in
+  let toks = Array.of_list (lex stripped) in
+  let n = Array.length toks in
+  let aliases : (string, alias_target) Hashtbl.t = Hashtbl.create 8 in
+  let opened = ref [] in
+  let acc = ref [] in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let src = node_key u.uname mname in
+  let is_cap s = s <> "" && s.[0] >= 'A' && s.[0] <= 'Z' in
+  let unit_by_name nm = List.find_opt (fun x -> x.uname = nm) units in
+  let dep_lib cap = List.find_opt (fun d -> capitalize d = cap) u.deps in
+  let mem_mod lb m =
+    match unit_by_name lb with Some x -> List.mem_assoc m x.mods | None -> false
+  in
+  let resolve_in_lib lb rest =
+    match rest with
+    | b :: _ when is_cap b && mem_mod lb b -> Some (node_key lb b)
+    | _ ->
+        let ep = capitalize lb in
+        if mem_mod lb ep then Some (node_key lb ep) else None
+  in
+  let resolve parts =
+    match parts with
+    | [] -> None
+    | a :: rest -> (
+        if not (is_cap a) then None
+        else
+          match Hashtbl.find_opt aliases a with
+          | Some (ANode k) -> Some k
+          | Some (ALib lb) -> resolve_in_lib lb rest
+          | None -> (
+              if a <> mname && List.mem_assoc a u.mods then Some (node_key u.uname a)
+              else
+                match dep_lib a with
+                | Some lb -> resolve_in_lib lb rest
+                | None ->
+                    List.find_map
+                      (fun lb -> if mem_mod lb a then Some (node_key lb a) else None)
+                      !opened))
+  in
+  let add_edge line dst =
+    if dst <> src && not (Hashtbl.mem seen dst) then begin
+      Hashtbl.replace seen dst ();
+      acc := { esrc = src; edst = dst; eline = line } :: !acc
+    end
+  in
+  let split_dots s = String.split_on_char '.' s in
+  let idx = ref 0 in
+  while !idx < n do
+    let t = toks.(!idx) in
+    if not t.op then begin
+      if t.text = "open" && !idx + 1 < n then begin
+        let nx = toks.(!idx + 1) in
+        if (not nx.op) && is_cap nx.text then begin
+          let parts = split_dots nx.text in
+          (match resolve parts with Some k -> add_edge nx.line k | None -> ());
+          match parts with
+          | [ a ] -> (
+              match dep_lib a with
+              | Some lb -> opened := !opened @ [ lb ]
+              | None -> ())
+          | _ -> ()
+        end
+      end;
+      if t.text = "module" && !idx + 3 < n then begin
+        let a = toks.(!idx + 1) and eq = toks.(!idx + 2) and tgt = toks.(!idx + 3) in
+        if
+          (not a.op) && is_cap a.text && eq.op && eq.text = "=" && (not tgt.op)
+          && is_cap tgt.text
+        then begin
+          let parts = split_dots tgt.text in
+          match resolve parts with
+          | Some k ->
+              add_edge tgt.line k;
+              Hashtbl.replace aliases a.text (ANode k)
+          | None -> (
+              match parts with
+              | [ p ] -> (
+                  match dep_lib p with
+                  | Some lb -> Hashtbl.replace aliases a.text (ALib lb)
+                  | None -> ())
+              | _ -> ())
+        end
+      end;
+      if String.contains t.text '.' && is_cap t.text then
+        match resolve (split_dots t.text) with
+        | Some k -> add_edge t.line k
+        | None -> ()
+    end;
+    incr idx
+  done;
+  List.rev !acc
+
+let with_edges g =
+  let edges =
+    List.concat_map
+      (fun u -> List.concat_map (fun (m, f) -> edges_of_source g.units u m f) u.mods)
+      g.units
+  in
+  { g with edges }
+
+(* {2 Capability propagation} *)
+
+let cap_bit c =
+  let rec position i caps =
+    match caps with
+    | [] -> 0
+    | x :: tl -> if x = c then i else position (i + 1) tl
+  in
+  1 lsl position 0 all_caps
+
+let mask_of caps = List.fold_left (fun m c -> m lor cap_bit c) 0 caps
+let caps_of_mask m = List.filter (fun c -> m land cap_bit c <> 0) all_caps
+
+type info = {
+  inode : node;
+  direct : (cap * int) list;
+  grant_mask : int;
+  mutable eff : int;
+}
+
+type result = {
+  graph : t;
+  findings : finding list;
+  unit_eff : (string * cap list) list;
+}
+
+let adjacency g =
+  let tbl : (string, edge list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl e.esrc) in
+      Hashtbl.replace tbl e.esrc (cur @ [ e ]))
+    g.edges;
+  fun k -> Option.value ~default:[] (Hashtbl.find_opt tbl k)
+
+(* Tarjan's strongly-connected components over the module reference
+   graph; only components of size > 1 are reported (self references are
+   dropped at extraction). *)
+let sccs g adj =
+  let index : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let low : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let on_stack : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let get tbl k = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun e ->
+        let w = e.edst in
+        match Hashtbl.find_opt index w with
+        | None ->
+            strong w;
+            Hashtbl.replace low v (min (get low v) (get low w))
+        | Some iw ->
+            if Hashtbl.mem on_stack w then Hashtbl.replace low v (min (get low v) iw))
+      (adj v);
+    if get low v = get index v then begin
+      let comp = ref [] in
+      let stop = ref false in
+      while not !stop do
+        match !stack with
+        | [] -> stop := true
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            comp := w :: !comp;
+            if w = v then stop := true
+      done;
+      if List.length !comp > 1 then comps := List.sort compare !comp :: !comps
+    end
+  in
+  List.iter (fun nd -> if not (Hashtbl.mem index nd.key) then strong nd.key) g.nodes;
+  List.sort compare !comps
+
+let find_witness infos adj start cap =
+  let bit = cap_bit cap in
+  let q = Queue.create () in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let result = ref None in
+  Hashtbl.replace visited start ();
+  Queue.add (start, []) q;
+  while !result = None && not (Queue.is_empty q) do
+    match Queue.take_opt q with
+    | None -> ()
+    | Some (k, path) ->
+        List.iter
+          (fun e ->
+            if !result = None && not (Hashtbl.mem visited e.edst) then
+              match Hashtbl.find_opt infos e.edst with
+              | None -> ()
+              | Some di ->
+                  if di.eff land bit <> 0 && di.grant_mask land bit = 0 then begin
+                    Hashtbl.replace visited e.edst ();
+                    let path' = e.edst :: path in
+                    if List.mem_assoc cap di.direct then result := Some (List.rev path')
+                    else Queue.add (e.edst, path') q
+                  end)
+          (adj k)
+  done;
+  !result
+
+let analyze ~root ~policy =
+  let g = with_edges (discover ~root) in
+  let rel p = relativize ~root p in
+  let adj = adjacency g in
+  let grant_mask_of u =
+    mask_of
+      (Lint_policy.grants_of policy u.nuname
+      @ Lint_policy.grants_of policy (Filename.basename u.ndir))
+  in
+  let infos : (string, info) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun nd ->
+      let direct = caps_of_source (read_file nd.nfile) in
+      let gm = grant_mask_of nd in
+      Hashtbl.replace infos nd.key
+        { inode = nd; direct; grant_mask = gm; eff = mask_of (List.map fst direct) })
+    g.nodes;
+  let lookup k = Hashtbl.find_opt infos k in
+  (* Fixpoint: eff(M) = direct(M) | U over M->N of (eff(N) & ~grant(N)).
+     A granted module is an encapsulation boundary — its capabilities do
+     not leak to callers. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun nd ->
+        match lookup nd.key with
+        | None -> ()
+        | Some i ->
+            let inflow =
+              List.fold_left
+                (fun m e ->
+                  match lookup e.edst with
+                  | None -> m
+                  | Some d -> m lor (d.eff land lnot d.grant_mask))
+                0 (adj nd.key)
+            in
+            let eff = mask_of (List.map fst i.direct) lor inflow in
+            if eff <> i.eff then begin
+              i.eff <- eff;
+              changed := true
+            end)
+      g.nodes
+  done;
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* Transitive capability reach, with a breadth-first (shortest) witness
+     path to a module that uses the capability directly. *)
+  List.iter
+    (fun nd ->
+      match lookup nd.key with
+      | None -> ()
+      | Some i ->
+          let viol = i.eff land lnot i.grant_mask land lnot (mask_of (List.map fst i.direct)) in
+          List.iter
+            (fun cap ->
+              match find_witness infos adj nd.key cap with
+              | None -> ()
+              | Some path ->
+                  let first_line =
+                    match path with
+                    | [] -> 1
+                    | p :: _ -> (
+                        match List.find_opt (fun e -> e.edst = p) (adj nd.key) with
+                        | Some e -> e.eline
+                        | None -> 1)
+                  in
+                  let use =
+                    match List.rev path with
+                    | [] -> ""
+                    | last :: _ -> (
+                        match lookup last with
+                        | None -> ""
+                        | Some d -> (
+                            match List.assoc_opt cap d.direct with
+                            | None -> ""
+                            | Some line -> sprintf "; first direct use at %s:%d"
+                                  (rel d.inode.nfile) line))
+                  in
+                  add
+                    {
+                      file = rel nd.nfile;
+                      line = first_line;
+                      rule = rule_reach;
+                      message =
+                        sprintf "%s reaches capability '%s' it is not granted%s"
+                          (display_key nd.key) (cap_name cap) use;
+                      path = List.map display_key (nd.key :: path);
+                    })
+            (caps_of_mask viol))
+    g.nodes;
+  (* Module dependency cycles. *)
+  List.iter
+    (fun comp ->
+      match comp with
+      | [] -> ()
+      | first :: _ ->
+          let file, line =
+            match lookup first with
+            | None -> (rel g.root, 1)
+            | Some i -> (
+                ( rel i.inode.nfile,
+                  match
+                    List.find_opt (fun e -> List.mem e.edst comp) (adj first)
+                  with
+                  | Some e -> e.eline
+                  | None -> 1 ))
+          in
+          let names = List.map display_key comp in
+          add
+            {
+              file;
+              line;
+              rule = rule_cycle;
+              message =
+                sprintf "modules form a dependency cycle: %s"
+                  (String.concat " -> " (names @ [ display_key first ]));
+              path = names;
+            })
+    (sccs g adj);
+  (* The layering contract, checked against the dune-declared library
+     dependencies. *)
+  List.iter
+    (fun u ->
+      let lu =
+        match u.kind with
+        | Exec -> Some policy.Lint_policy.exec_layer
+        | Lib -> Lint_policy.layer_of policy u.uname
+      in
+      match lu with
+      | None ->
+          add
+            {
+              file = rel u.dune_file;
+              line = u.dune_line;
+              rule = rule_layer_unassigned;
+              message =
+                sprintf
+                  "library %s is not assigned a layer in the policy table; it escapes the \
+                   layering and capability checks"
+                  u.uname;
+              path = [];
+            }
+      | Some lu ->
+          List.iter
+            (fun d ->
+              match Lint_policy.layer_of policy d with
+              | None -> ()
+              | Some ld ->
+                  if ld > lu || (ld = lu && not (List.mem lu policy.Lint_policy.peer_layers))
+                  then
+                    add
+                      {
+                        file = rel u.dune_file;
+                        line = u.libs_line;
+                        rule = rule_layer;
+                        message =
+                          sprintf
+                            "%s (layer %d) depends on %s (layer %d): a library may depend only \
+                             on strictly lower layers (peers only within the leaf-solver layer)"
+                            u.uname lu d ld;
+                        path = [];
+                      })
+            u.deps)
+    g.units;
+  (* Declaring the unix findlib library is itself a capability claim. *)
+  List.iter
+    (fun u ->
+      if
+        List.mem "unix" u.ext_deps
+        && (not (List.mem u.uname policy.Lint_policy.unix_dep_ok))
+        && not (List.mem (Filename.basename u.dir) policy.Lint_policy.unix_dep_ok)
+      then
+        add
+          {
+            file = rel u.dune_file;
+            line = u.libs_line;
+            rule = rule_dune_unix;
+            message =
+              sprintf "%s lists the unix library in dune but holds no 'unix' grant" u.uname;
+            path = [];
+          })
+    g.units;
+  let unit_eff =
+    List.map
+      (fun u ->
+        let m =
+          List.fold_left
+            (fun m (mn, _) ->
+              match lookup (node_key u.uname mn) with None -> m | Some i -> m lor i.eff)
+            0 u.mods
+        in
+        (u.uname, caps_of_mask m))
+      g.units
+  in
+  { graph = g; findings = List.sort compare_finding !findings; unit_eff }
+
+(* {2 DOT export} *)
+
+let dot ~policy result =
+  let g = result.graph in
+  let b = Buffer.create 2048 in
+  let layer_of u =
+    match u.kind with
+    | Exec -> policy.Lint_policy.exec_layer
+    | Lib -> Option.value ~default:(-1) (Lint_policy.layer_of policy u.uname)
+  in
+  let cap_names caps = String.concat "," (List.map cap_name caps) in
+  Buffer.add_string b "digraph layers {\n";
+  Buffer.add_string b "  rankdir=BT;\n  node [shape=box fontname=\"monospace\"];\n";
+  let layers = List.sort_uniq compare (List.map layer_of g.units) in
+  List.iter
+    (fun l ->
+      Buffer.add_string b (sprintf "  subgraph cluster_%d {\n" (l + 1));
+      Buffer.add_string b (sprintf "    label=\"layer %d\";\n" l);
+      List.iter
+        (fun u ->
+          if layer_of u = l then begin
+            let eff = Option.value ~default:[] (List.assoc_opt u.uname result.unit_eff) in
+            let grants =
+              List.sort_uniq compare
+                (Lint_policy.grants_of policy u.uname
+                @ Lint_policy.grants_of policy (Filename.basename u.dir))
+            in
+            let lines =
+              [ u.uname ]
+              @ (if eff = [] then [] else [ "caps: " ^ cap_names eff ])
+              @ if grants = [] then [] else [ "grants: " ^ cap_names grants ]
+            in
+            Buffer.add_string b
+              (sprintf "    \"%s\" [label=\"%s\"];\n" u.uname (String.concat "\\n" lines))
+          end)
+        g.units;
+      Buffer.add_string b "  }\n")
+    layers;
+  let violation u d =
+    let lu = layer_of u and ld = Option.value ~default:(-1) (Lint_policy.layer_of policy d) in
+    ld > lu || (ld = lu && not (List.mem lu policy.Lint_policy.peer_layers))
+  in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun d ->
+          let attrs = if violation u d then " [color=red penwidth=2]" else "" in
+          Buffer.add_string b (sprintf "  \"%s\" -> \"%s\"%s;\n" u.uname d attrs))
+        u.deps)
+    g.units;
+  let cyclic =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun f -> if f.rule = rule_cycle then f.path else [])
+         result.findings)
+  in
+  if cyclic <> [] then
+    Buffer.add_string b
+      (sprintf "  // cycle detected through: %s\n" (String.concat ", " cyclic));
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,59 @@
+(** The whole-program layer: compilation units discovered from dune
+    stanzas under [lib/] and [bin/], a module reference graph extracted
+    lexically ([open], [module A = B], dotted capitalized tokens — bare
+    capitalized tokens are constructors, not references), Tarjan SCC
+    cycle detection, the layering contract, and transitive capability
+    propagation with breadth-first witness paths. *)
+
+type kind = Lib | Exec
+
+type cunit = {
+  uname : string;  (** library or executable name *)
+  kind : kind;
+  dir : string;
+  dune_file : string;
+  dune_line : int;  (** line of the stanza *)
+  libs_line : int;  (** line of the (libraries ...) field *)
+  deps : string list;  (** internal (in-tree) library dependencies *)
+  ext_deps : string list;  (** everything else in (libraries ...) *)
+  mods : (string * string) list;  (** module name -> source path *)
+}
+
+type node = { key : string; nuname : string; mname : string; nfile : string; ndir : string }
+type edge = { esrc : string; edst : string; eline : int }
+
+type t = { root : string; units : cunit list; nodes : node list; edges : edge list }
+
+val node_key : string -> string -> string
+(** [node_key "resilience" "Exact"] is ["resilience/Exact"]. *)
+
+val display_key : string -> string
+(** ["resilience/Exact"] renders as ["Resilience.Exact"]; an eponymous
+    main module drops the prefix (["invariant/Invariant"] is
+    ["Invariant"]). *)
+
+val discover : root:string -> t
+(** Parse every [lib/*/dune] plus [bin/dune]. Edges are not yet
+    populated.
+    @raise Lint_base.Lint_error on an unreadable tree or a dune file
+    that does not parse. *)
+
+val with_edges : t -> t
+(** Extract the module reference graph from every source file. *)
+
+type result = {
+  graph : t;
+  findings : Lint_base.finding list;
+      (** graph rules only: capability-reach, module-cycle,
+          layer-violation, layer-unassigned, dune-unix-dep; sorted. *)
+  unit_eff : (string * Lint_rules.cap list) list;
+      (** per-unit effective (transitive) capability sets. *)
+}
+
+val analyze : root:string -> policy:Lint_policy.t -> result
+(** @raise Lint_base.Lint_error if the tree cannot be read. *)
+
+val dot : policy:Lint_policy.t -> result -> string
+(** The layer graph in graphviz DOT: one cluster per layer, unit nodes
+    labelled with effective capabilities and grants, dependency edges,
+    layering violations in red. *)

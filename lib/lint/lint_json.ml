@@ -1,0 +1,46 @@
+open Lint_base
+
+(* Hand-rolled JSON so the output is byte-stable: no library, no field
+   reordering, no timestamps. One finding per line for diffability;
+   CI byte-compares two runs. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ escape s ^ "\""
+
+let finding_json f =
+  Printf.sprintf "{\"file\":%s,\"line\":%d,\"rule\":%s,\"message\":%s,\"path\":[%s]}"
+    (str f.file) f.line (str f.rule) (str f.message)
+    (String.concat "," (List.map str f.path))
+
+let render ~files_scanned ~modules ~edges findings =
+  let sorted = List.sort compare_finding findings in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n\"version\":1,\n\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n";
+      Buffer.add_string b (finding_json f))
+    sorted;
+  if sorted <> [] then Buffer.add_char b '\n';
+  Buffer.add_string b "],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"stats\":{\"files_scanned\":%d,\"modules\":%d,\"edges\":%d,\"findings\":%d}\n"
+       files_scanned modules edges (List.length sorted));
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,14 @@
+(** Byte-stable JSON rendering of a scan: hand-rolled (no library, no
+    field reordering, no timestamps), findings sorted and one per line
+    so two runs over the same tree byte-compare equal. *)
+
+val escape : string -> string
+val str : string -> string
+
+val finding_json : Lint_base.finding -> string
+
+val render :
+  files_scanned:int -> modules:int -> edges:int -> Lint_base.finding list -> string
+(** The full report object:
+    [{"version":1,"findings":[...],"stats":{...}}]. Findings are sorted
+    by {!Lint_base.compare_finding} before rendering. *)

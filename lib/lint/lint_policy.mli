@@ -1,0 +1,35 @@
+(** The declared layering-and-capability contract: one table consulted
+    by the per-file scan, the graph checks and the DOT export, replacing
+    the scanner's old per-rule path exemptions. *)
+
+type t = {
+  layers : (string * int) list;
+      (** library name -> layer; lower layers may never depend on
+          higher ones. *)
+  peer_layers : int list;
+      (** layers whose members may depend on each other (acyclically) —
+          the leaf solver toolkits. *)
+  exec_layer : int;  (** the layer executables under [bin/] live in. *)
+  grants : (string * Lint_rules.cap list) list;
+      (** capability grants, keyed by unit name and by source directory
+          basename (lib/core builds library [resilience], so both
+          appear). A granted module is an encapsulation boundary: its
+          capabilities do not propagate to callers. *)
+  random_modules : string list;
+      (** ["dir/module"] slugs of seeded chaos modules allowed to wrap
+          their own generator. *)
+  unix_dep_ok : string list;
+      (** units that may list the [unix] findlib library in dune. *)
+}
+
+val default : t
+
+val layer_of : t -> string -> int option
+val grants_of : t -> string -> Lint_rules.cap list
+val grants_cap : t -> string -> Lint_rules.cap -> bool
+
+val allowed : t -> name:string -> dir:string -> Lint_rules.cap -> bool
+(** Whether a unit (library [name], directory basename [dir]) may
+    exercise the capability. *)
+
+val random_module_allowed : t -> string -> bool

@@ -1,0 +1,89 @@
+(** The leaf rules: everything decidable from a single stripped source
+    plus, for {!raise_findings}, the module's interface. Graph rules
+    (layering, cycles, transitive capability reach) live in
+    {!Lint_graph}. *)
+
+(** {2 Rule names} *)
+
+val rule_partial : string
+val rule_obj_magic : string
+val rule_physical_eq : string
+val rule_print : string
+val rule_failwith : string
+val rule_assert_false : string
+val rule_missing_mli : string
+val rule_unix : string
+val rule_clock : string
+val rule_sync : string
+val rule_catch_all : string
+val rule_raise : string
+val rule_random : string
+val rule_exit : string
+val rule_state : string
+val rule_layer : string
+val rule_layer_unassigned : string
+val rule_cycle : string
+val rule_reach : string
+val rule_dune_unix : string
+
+(** {2 Capabilities} *)
+
+(** An effect a module may exercise only under a policy grant. Direct
+    uses are found lexically here; {!Lint_graph} propagates them
+    transitively over the module graph, treating granted modules as
+    encapsulation boundaries. *)
+type cap = Cunix | Cclock | Cfsync | Cprint | Cexit | Crandom | Cstate
+
+val all_caps : cap list
+val cap_name : cap -> string
+val cap_of_name : string -> cap option
+
+val cap_rule : cap -> string
+(** The rule a {e direct} use of the capability is reported under. *)
+
+val banned_idents : (string * string * string) list
+(** [(identifier, rule, hint)]: identifiers rejected outright in
+    library code. *)
+
+val print_idents : string list
+
+val scan_source : file:string -> string -> Lint_base.finding list
+(** All leaf findings of one source, sorted by
+    {!Lint_base.compare_finding}. Capability findings are included
+    unconditionally; callers subtract policy grants. *)
+
+val caps_of_findings : Lint_base.finding list -> (cap * int) list
+(** The capabilities a scan's findings witness directly, each with the
+    first line exercising it. *)
+
+val caps_of_source : string -> (cap * int) list
+
+val toplevel_state_lines : string -> (int * string * string) list
+(** [(line, name, maker)] for each column-0 [let name = ref ...]-style
+    binding of a stripped source. *)
+
+val exception_decls : string -> string list
+(** Capitalized identifiers following an [exception] keyword, sorted. *)
+
+val raise_findings :
+  file:string ->
+  stripped:string ->
+  mli_decls:string list ->
+  resolve:(string -> string -> bool) ->
+  Lint_base.finding list
+(** Undeclared-raise findings of one stripped source. [mli_decls] are
+    the exceptions the module's own interface declares; [resolve m e]
+    answers whether some module named [m] in the scan tree declares
+    exception [e] in its interface. Exempt: [Exit], declared
+    exceptions, locally-defined-and-handled exceptions, and qualified
+    raises that [resolve] vouches for (or [Invariant.*]). *)
+
+val missing_mlis : lib_root:string -> Lint_base.finding list
+(** A finding per [.ml] under [lib_root] without a sibling [.mli].
+    @raise Lint_base.Lint_error if the root cannot be scanned. *)
+
+(** {2 Rule catalogue} *)
+
+val explanations : (string * string) list
+val explain : string -> string option
+val all_rules : string list

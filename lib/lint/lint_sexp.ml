@@ -1,0 +1,116 @@
+type t = Atom of string * int | List of t list * int
+
+let line_of = function Atom (_, l) -> l | List (_, l) -> l
+
+(* A minimal reader for the dune subset we consume: atoms, "strings",
+   (lists), and ; line comments. Anything it cannot make sense of —
+   an unbalanced parenthesis, an unterminated string — is a hard
+   {!Lint_base.Lint_error} with a file:line position, never a silently
+   empty parse: a dune file the analyzer cannot read could be hiding a
+   dependency edge. *)
+let parse_string ~file src =
+  let n = String.length src in
+  let line = ref 1 in
+  let i = ref 0 in
+  let is_atom_char c =
+    not (c = '(' || c = ')' || c = ';' || c = '"' || c = ' ' || c = '\t' || c = '\n' || c = '\r')
+  in
+  let rec skip_blanks () =
+    if !i < n then
+      match src.[!i] with
+      | '\n' ->
+          incr line;
+          incr i;
+          skip_blanks ()
+      | ' ' | '\t' | '\r' ->
+          incr i;
+          skip_blanks ()
+      | ';' ->
+          while !i < n && src.[!i] <> '\n' do
+            incr i
+          done;
+          skip_blanks ()
+      | _ -> ()
+  in
+  let read_string () =
+    let start_line = !line in
+    let b = Buffer.create 16 in
+    incr i;
+    let stop = ref false in
+    while (not !stop) && !i < n do
+      (match src.[!i] with
+      | '"' -> stop := true
+      | '\\' when !i + 1 < n ->
+          Buffer.add_char b src.[!i + 1];
+          incr i
+      | '\n' ->
+          incr line;
+          Buffer.add_char b '\n'
+      | c -> Buffer.add_char b c);
+      incr i
+    done;
+    if not !stop then Lint_base.errorf file start_line "unterminated string in dune file";
+    Atom (Buffer.contents b, start_line)
+  in
+  let rec read_one () =
+    skip_blanks ();
+    if !i >= n then Lint_base.errorf file !line "unexpected end of dune file"
+    else
+      match src.[!i] with
+      | '(' ->
+          let start_line = !line in
+          incr i;
+          let items = ref [] in
+          let stop = ref false in
+          while not !stop do
+            skip_blanks ();
+            if !i >= n then
+              Lint_base.errorf file start_line "unclosed '(' in dune file (opened here)"
+            else if src.[!i] = ')' then begin
+              incr i;
+              stop := true
+            end
+            else items := read_one () :: !items
+          done;
+          List (List.rev !items, start_line)
+      | ')' -> Lint_base.errorf file !line "unmatched ')' in dune file"
+      | '"' -> read_string ()
+      | _ ->
+          let start = !i and start_line = !line in
+          while !i < n && is_atom_char src.[!i] do
+            incr i
+          done;
+          if !i = start then
+            Lint_base.errorf file !line "unreadable character %C in dune file" src.[!i];
+          Atom (String.sub src start (!i - start), start_line)
+  in
+  let out = ref [] in
+  skip_blanks ();
+  while !i < n do
+    out := read_one () :: !out;
+    skip_blanks ()
+  done;
+  List.rev !out
+
+let parse_file file = parse_string ~file (Lint_base.read_file file)
+
+(* Accessors over a stanza like (library (name x) (libraries a b)). *)
+
+let field stanza key =
+  match stanza with
+  | Atom _ -> None
+  | List (items, _) ->
+      List.find_map
+        (function
+          | List (Atom (k, _) :: rest, _) when k = key -> Some rest
+          | Atom _ | List _ -> None)
+        items
+
+let atoms items =
+  List.filter_map (function Atom (a, _) -> Some a | List _ -> None) items
+
+let field_atoms stanza key = Option.map atoms (field stanza key)
+
+let stanza_kind = function
+  | List (Atom (k, _) :: _, _) -> Some k
+  | Atom _ | List _ -> None

@@ -1,0 +1,26 @@
+(** Minimal s-expression reader for the dune subset the analyzer consumes
+    (atoms, strings, lists, [;] comments), with line positions. Parse
+    problems are hard {!Lint_base.Lint_error}s, never empty results. *)
+
+type t = Atom of string * int | List of t list * int  (** payload, 1-based line *)
+
+val line_of : t -> int
+
+val parse_string : file:string -> string -> t list
+(** All toplevel s-expressions of the text. [file] labels errors.
+    @raise Lint_base.Lint_error on malformed input. *)
+
+val parse_file : string -> t list
+(** @raise Lint_base.Lint_error on an unreadable or malformed file. *)
+
+val field : t -> string -> t list option
+(** [field stanza "name"] is the payload of the first [(name ...)] child. *)
+
+val atoms : t list -> string list
+(** The atom payloads of a list, sub-lists skipped. *)
+
+val field_atoms : t -> string -> string list option
+(** [field] composed with [atoms]. *)
+
+val stanza_kind : t -> string option
+(** The head atom of a list s-expression (["library"], ["executable"]...). *)

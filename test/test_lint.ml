@@ -45,6 +45,23 @@ let negative_fixtures =
     ("UnixLabels.fsync", "let f fd = UnixLabels.fsync fd\n", Lint.rule_sync);
     ("Unix.lockf", "let f fd = Unix.lockf fd Unix.F_TLOCK 0\n", Lint.rule_sync);
     ("UnixLabels.lockf", "let f fd = UnixLabels.lockf fd ~mode:F_TLOCK ~len:0\n", Lint.rule_sync);
+    ("try catch-all", "let f g = try g () with _ -> 0\n", Lint.rule_catch_all);
+    ( "match exception catch-all",
+      "let f g x = match g x with exception _ -> 0 | v -> v\n",
+      Lint.rule_catch_all );
+    ("Random.int", "let f () = Random.int 10\n", Lint.rule_random);
+    ("Random module alias", "module R = Random\n", Lint.rule_random);
+    ("Random.self_init", "let () = Random.self_init ()\n", Lint.rule_random);
+    ("exit", "let f () = exit 1\n", Lint.rule_exit);
+    ("Stdlib.exit", "let f () = Stdlib.exit 1\n", Lint.rule_exit);
+    ("top-level ref", "let cache = ref []\n", Lint.rule_state);
+    ( "top-level Hashtbl with annotation",
+      "let tbl : (int, int) Hashtbl.t = Hashtbl.create 16\n",
+      Lint.rule_state );
+    ("top-level Buffer", "let buf = Buffer.create 64\n", Lint.rule_state);
+    ( "top-level ref on the next line",
+      "let registry =\n  ref []\n",
+      Lint.rule_state );
   ]
 
 let clean_fixtures =
@@ -67,6 +84,15 @@ let clean_fixtures =
     ("Sys.time in a comment", "(* cf. Sys.time *)\nlet x = 1\n");
     ("fsync in a comment", "(* the journal calls Unix.fsync here *)\nlet x = 1\n");
     ("fsync-like identifier", "let fsync_policy = 1\nlet lockf_free = 2\n");
+    ("wildcard match case", "let f x = match x with Some y -> y | _ -> 0\n");
+    ("wildcard first match case", "let f x = match x with _ -> 0\n");
+    ("tuple wildcard match", "let f p = match p with _, _ -> 0\n");
+    ("specific exception handler", "let f g = try g () with Not_found -> 0\n");
+    ("local mutable state", "let f () =\n  let c = ref 0 in\n  incr c;\n  !c\n");
+    ("seeded prng", "let f seed = Invariant.Prng.make seed\n");
+    ("random-like identifiers", "let randomized = 1\nlet f r = r.random_field\n");
+    ("exit-like identifier", "let exit_code = 1\n");
+    ("function definition is not state", "let make_table n = Hashtbl.create n\n");
   ]
 
 let test_line_numbers () =
@@ -234,6 +260,207 @@ let test_sync_exemption () =
         (List.sort compare
            (rules (Lint.scan_source ~file:(Filename.concat runner "sync.ml") src))))
 
+(* {2 Whole-program fixtures}
+
+   Each fixture is a miniature repo tree (lib/<unit>/dune + sources)
+   written to a temp directory and fed to [Lint.analyze] with a policy
+   whose layer table covers exactly the fixture's units. *)
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> output_string oc contents)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_tree name files k =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists root then rm_rf root;
+  Sys.mkdir root 0o700;
+  let rec ensure d =
+    if not (Sys.file_exists d) then begin
+      ensure (Filename.dirname d);
+      Sys.mkdir d 0o700
+    end
+  in
+  List.iter
+    (fun (rel, contents) ->
+      let path = Filename.concat root rel in
+      ensure (Filename.dirname path);
+      write_file path contents)
+    files;
+  Fun.protect ~finally:(fun () -> rm_rf root) (fun () -> k root)
+
+let policy_with ?(grants = []) layers =
+  { Lint_policy.default with Lint_policy.layers; grants }
+
+let reach_tree =
+  [
+    ("lib/leaf/dune", "(library (name leaf))\n");
+    ("lib/leaf/pool.ml", "let go () = Unix.fork ()\n");
+    ("lib/leaf/pool.mli", "val go : unit -> int\n");
+    ("lib/mid/dune", "(library (name mid) (libraries leaf))\n");
+    ("lib/mid/helper.ml", "let f () = Leaf.Pool.go ()\n");
+    ("lib/mid/helper.mli", "val f : unit -> int\n");
+    ("lib/top/dune", "(library (name top) (libraries mid))\n");
+    ("lib/top/exact.ml", "let run () = Mid.Helper.f ()\n");
+    ("lib/top/exact.mli", "val run : unit -> int\n");
+  ]
+
+let reach_layers = [ ("leaf", 0); ("mid", 1); ("top", 2) ]
+
+(* The headline behavior: a module that never names Unix is reported
+   with a full witness path when it reaches one that does — one hop for
+   the direct caller, two hops for the module above it. *)
+let test_transitive_reach () =
+  with_tree "rpq_lint_reach_fixture" reach_tree (fun root ->
+      let a = Lint.analyze ~root ~policy:(policy_with reach_layers) in
+      Alcotest.(check bool)
+        "direct unix finding on the leaf" true
+        (List.exists
+           (fun f -> f.Lint.rule = Lint.rule_unix && f.Lint.file = "lib/leaf/pool.ml")
+           a.Lint.findings);
+      let reach = List.filter (fun f -> f.Lint.rule = Lint.rule_reach) a.Lint.findings in
+      Alcotest.(check (list (pair string (list string))))
+        "witness paths, outermost module first"
+        [
+          ("lib/mid/helper.ml", [ "Mid.Helper"; "Leaf.Pool" ]);
+          ("lib/top/exact.ml", [ "Top.Exact"; "Mid.Helper"; "Leaf.Pool" ]);
+        ]
+        (List.map (fun f -> (f.Lint.file, f.Lint.path)) reach))
+
+(* A grant is an encapsulation boundary: granting 'unix to the leaf
+   silences the direct finding and stops the capability from
+   propagating to either caller. *)
+let test_grant_stops_propagation () =
+  with_tree "rpq_lint_grant_fixture" reach_tree (fun root ->
+      let policy =
+        policy_with ~grants:[ ("leaf", [ Lint_rules.Cunix ]) ] reach_layers
+      in
+      let a = Lint.analyze ~root ~policy in
+      Alcotest.(check (list string))
+        "no findings once the leaf holds the grant" []
+        (List.map Lint.finding_to_string a.Lint.findings))
+
+let test_layer_violation () =
+  with_tree "rpq_lint_layer_fixture"
+    [
+      ("lib/lo/dune", "(library (name lo) (libraries hi))\n");
+      ("lib/lo/x.ml", "let v = 1\n");
+      ("lib/lo/x.mli", "val v : int\n");
+      ("lib/hi/dune", "(library (name hi))\n");
+      ("lib/hi/y.ml", "let w = 2\n");
+      ("lib/hi/y.mli", "val w : int\n");
+    ]
+    (fun root ->
+      let a = Lint.analyze ~root ~policy:(policy_with [ ("lo", 0); ("hi", 1) ]) in
+      match a.Lint.findings with
+      | [ f ] ->
+          Alcotest.(check string) "rule" Lint.rule_layer f.Lint.rule;
+          Alcotest.(check string) "flagged at the dune stanza" "lib/lo/dune" f.Lint.file
+      | fs ->
+          Alcotest.failf "expected exactly the layering finding, got: %s"
+            (String.concat "; " (List.map Lint.finding_to_string fs)))
+
+let test_module_cycle () =
+  with_tree "rpq_lint_cycle_fixture"
+    [
+      ("lib/c/dune", "(library (name c))\n");
+      ("lib/c/a.ml", "let f () = B.g ()\n");
+      ("lib/c/a.mli", "val f : unit -> unit\n");
+      ("lib/c/b.ml", "let g () = A.f ()\n");
+      ("lib/c/b.mli", "val g : unit -> unit\n");
+    ]
+    (fun root ->
+      let a = Lint.analyze ~root ~policy:(policy_with [ ("c", 0) ]) in
+      match List.filter (fun f -> f.Lint.rule = Lint.rule_cycle) a.Lint.findings with
+      | [ f ] ->
+          Alcotest.(check (list string)) "cycle members" [ "C.A"; "C.B" ] f.Lint.path
+      | fs -> Alcotest.failf "expected one cycle finding, got %d" (List.length fs))
+
+let test_json_deterministic () =
+  with_tree "rpq_lint_json_fixture" reach_tree (fun root ->
+      let policy = policy_with reach_layers in
+      let a = Lint.analyze ~root ~policy in
+      let b = Lint.analyze ~root ~policy in
+      Alcotest.(check bool) "report is non-trivial" true
+        (String.length (Lint.analysis_json a) > 100);
+      Alcotest.(check string)
+        "two scans render byte-identical JSON" (Lint.analysis_json a)
+        (Lint.analysis_json b))
+
+let test_unreadable_root_errors () =
+  let raised =
+    match Lint.analyze ~root:"/nonexistent-rpq-root" ~policy:Lint_policy.default with
+    | _ -> false
+    | exception Lint.Lint_error (file, _, _) ->
+        Alcotest.(check bool)
+          "error names the unreadable path" true
+          (String.length file > 0);
+        true
+  in
+  Alcotest.(check bool) "analyze raised Lint_error" true raised
+
+let test_malformed_dune_errors () =
+  with_tree "rpq_lint_bad_dune_fixture"
+    [ ("lib/x/dune", "(library (name x)\n"); ("lib/x/m.ml", "let v = 1\n") ]
+    (fun root ->
+      let raised =
+        match Lint.analyze ~root ~policy:Lint_policy.default with
+        | _ -> None
+        | exception Lint.Lint_error (file, line, _) -> Some (file, line)
+      in
+      match raised with
+      | Some (file, line) ->
+          Alcotest.(check bool) "error points at the dune file" true
+            (String.ends_with ~suffix:"dune" file);
+          Alcotest.(check int) "error carries the opening line" 1 line
+      | None -> Alcotest.fail "a truncated dune file must be a hard error")
+
+let test_undeclared_raise () =
+  with_tree "rpq_lint_raise_fixture"
+    [
+      ("solver/bad.ml", "exception Boom\nlet f () = raise Boom\n");
+      ("solver/bad.mli", "val f : unit -> 'a\n");
+      ("solver/good.ml", "exception Stop\nlet f g = try g (); raise Stop with Stop -> ()\n");
+      ("solver/good.mli", "val f : (unit -> unit) -> unit\n");
+      ("solver/decl.ml", "exception Eek\nlet f () = raise Eek\n");
+      ("solver/decl.mli", "exception Eek\n\nval f : unit -> 'a\n");
+      ("solver/brk.ml", "let f () = raise Exit\n");
+      ("solver/brk.mli", "val f : unit -> 'a\n");
+      ("solver/other.ml", "exception Oops of int\n");
+      ("solver/other.mli", "exception Oops of int\n");
+      ("solver/q.ml", "let f () = raise (Other.Oops 3)\n");
+      ("solver/q.mli", "val f : unit -> 'a\n");
+      ("solver/qbad.ml", "let f () = raise (Other.Nope 3)\n");
+      ("solver/qbad.mli", "val f : unit -> 'a\n");
+    ]
+    (fun root ->
+      let fs =
+        List.filter (fun f -> f.Lint.rule = Lint.rule_raise) (Lint.scan_lib ~lib_root:root)
+      in
+      let solver = Filename.concat root "solver" in
+      Alcotest.(check (list string))
+        "only undeclared raises are flagged"
+        [ Filename.concat solver "bad.ml"; Filename.concat solver "qbad.ml" ]
+        (List.map (fun f -> f.Lint.file) fs))
+
+let test_repo_analyze () =
+  match find_lib_root (Sys.getcwd ()) with
+  | None -> Alcotest.fail "could not locate the lib/ source tree from the test cwd"
+  | Some lib_root ->
+      let root = Filename.dirname lib_root in
+      let a = Lint.analyze ~root ~policy:Lint_policy.default in
+      Alcotest.(check (list string))
+        "whole-program analysis of the repo is clean" []
+        (List.map Lint.finding_to_string a.Lint.findings);
+      let b = Lint.analyze ~root ~policy:Lint_policy.default in
+      Alcotest.(check string)
+        "repo report is deterministic" (Lint.analysis_json a) (Lint.analysis_json b)
+
 let test_allowlist () =
   let fs = scan "let f xs = List.hd xs\n" in
   Alcotest.(check int) "finding exists" 1 (List.length fs);
@@ -264,5 +491,20 @@ let () =
           Alcotest.test_case "sync exemption" `Quick test_sync_exemption;
           Alcotest.test_case "allowlist" `Quick test_allowlist;
         ] );
-      ("repository", [ Alcotest.test_case "lib/ is clean" `Quick test_repo_clean ]);
+      ( "whole-program",
+        [
+          Alcotest.test_case "transitive reach witness" `Quick test_transitive_reach;
+          Alcotest.test_case "grant stops propagation" `Quick test_grant_stops_propagation;
+          Alcotest.test_case "layer violation" `Quick test_layer_violation;
+          Alcotest.test_case "module cycle" `Quick test_module_cycle;
+          Alcotest.test_case "deterministic json" `Quick test_json_deterministic;
+          Alcotest.test_case "unreadable root errors" `Quick test_unreadable_root_errors;
+          Alcotest.test_case "malformed dune errors" `Quick test_malformed_dune_errors;
+          Alcotest.test_case "undeclared raise" `Quick test_undeclared_raise;
+        ] );
+      ( "repository",
+        [
+          Alcotest.test_case "lib/ is clean" `Quick test_repo_clean;
+          Alcotest.test_case "whole-program analyze is clean" `Quick test_repo_analyze;
+        ] );
     ]
