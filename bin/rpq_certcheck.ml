@@ -1,0 +1,85 @@
+(* rpq_certcheck — independent, offline verifier for RPQ reply streams.
+
+   Reads line-delimited JSON replies (rpq solve --json / batch / serve
+   output, or classification records from rpq certify --json) and
+   re-derives each answer's validity from its embedded certificate alone.
+   This binary deliberately links only the [cert] library — no solver
+   code — so it audits solver output without sharing any of the code
+   under audit; rpq_lint's exec-dep-contract rule keeps it that way.
+
+   Exit codes: 0 every line valid, 2 any invalid line or I/O error. *)
+
+let usage () =
+  prerr_string
+    "usage: rpq_certcheck [FILE ...]\n\
+     \n\
+     Validates a stream of JSON replies by re-checking each line's answer\n\
+     certificate (cut weak duality, hitting-set coverage + LP duality,\n\
+     gadget transcript replay). Reads stdin when no file is given; '-'\n\
+     names stdin explicitly. Diagnostics are file:line prefixed.\n\
+     \n\
+     Exit codes: 0 all lines valid; 2 any invalid line or I/O error.\n"
+
+type totals = { mutable lines : int; mutable bad : int; mutable kinds : (string * int) list }
+
+let bump t what =
+  t.kinds <-
+    (match List.assoc_opt what t.kinds with
+    | Some n -> (what, n + 1) :: List.remove_assoc what t.kinds
+    | None -> (what, 1) :: t.kinds)
+
+let check_channel totals ~path ic =
+  let lineno = ref 0 in
+  try
+    while true do
+      let line = input_line ic in
+      incr lineno;
+      if String.trim line <> "" then begin
+        totals.lines <- totals.lines + 1;
+        match Cert.Checker.check_line line with
+        | Ok what -> bump totals what
+        | Error msg ->
+            totals.bad <- totals.bad + 1;
+            Printf.eprintf "%s:%d: %s\n" path !lineno msg
+      end
+    done
+  with End_of_file -> ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.exists (fun a -> a = "-h" || a = "--help") args then begin
+    usage ();
+    exit 0
+  end;
+  (match List.find_opt (fun a -> String.length a > 1 && a.[0] = '-') args with
+  | Some flag ->
+      Printf.eprintf "rpq_certcheck: unknown option %s\n" flag;
+      usage ();
+      exit 2
+  | None -> ());
+  let totals = { lines = 0; bad = 0; kinds = [] } in
+  let ok_io = ref true in
+  (match args with
+  | [] -> check_channel totals ~path:"<stdin>" stdin
+  | files ->
+      List.iter
+        (fun file ->
+          if file = "-" then check_channel totals ~path:"<stdin>" stdin
+          else
+            match open_in file with
+            | ic ->
+                Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+                    check_channel totals ~path:file ic)
+            | exception Sys_error msg ->
+                ok_io := false;
+                Printf.eprintf "rpq_certcheck: %s\n" msg)
+        files);
+  let breakdown =
+    match List.sort compare totals.kinds with
+    | [] -> ""
+    | kinds ->
+        Printf.sprintf " (%s)"
+          (String.concat ", " (List.map (fun (k, n) -> Printf.sprintf "%d %s" n k) kinds))
+  in
+  Printf.printf "rpq_certcheck: %d line(s), %d invalid%s\n" totals.lines totals.bad breakdown;
+  exit (if totals.bad = 0 && !ok_io then 0 else 2)

@@ -196,7 +196,7 @@ let solve_cmd =
                    | Some w -> print_fact_removals db p.Ser.node_name w
                    | None -> Format.printf "  (this algorithm reports no witness)@.");
                 0
-            | Solver.Bounded { lower; upper; upper_witness; spent; reason } ->
+            | Solver.Bounded { lower; upper; upper_witness; spent; reason; cert = _ } ->
                 Format.printf "outcome     : bounds only (budget exhausted: %s)@."
                   (Budget.exhaustion_name reason);
                 Format.printf "resilience  : %a <= RES <= %a@." Value.pp lower Value.pp upper;
@@ -315,31 +315,66 @@ let certify_cmd =
   let regex =
     Arg.(required & pos 0 (some regex_arg) None & info [] ~docv:"REGEX" ~doc:"The language.")
   in
-  let run s =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one classification record (JSON, $(b,\"kind\":\"classification\")) instead of \
+             the human-readable report. An $(i,np-hard) verdict carries a replayable hardness \
+             transcript re-checkable by $(b,rpq_certcheck) and exits 0; $(i,inconclusive) \
+             carries no certificate and exits 3.")
+  in
+  (* The JSON path only reports np-hard when the gadget transcript
+     serialized: a classification record's claim must be exactly as strong
+     as its certificate. *)
+  let run_json s l =
+    let emit c_verdict c_cert =
+      print_endline (Runner.Proto.classification_to_json
+                       { Runner.Proto.c_language = s; c_verdict; c_cert })
+    in
+    match Hardness.thm61_gadget l with
+    | Ok o -> begin
+        match Certify.hardness ~language:s o with
+        | Ok cert ->
+            emit "np-hard" (Some cert);
+            0
+        | Error _ ->
+            emit "inconclusive" None;
+            exit_bounded
+      end
+    | Error _ ->
+        emit "inconclusive" None;
+        exit_bounded
+  in
+  let run s json =
     let l = Automata.Lang.of_string s in
-    Format.printf "%-20s %s@." s
-      (Classify.verdict_summary (Classify.classify l).Classify.verdict);
-    (match Hardness.thm61_gadget l with
-    | Ok o ->
-        Format.printf "Theorem 6.1 pipeline: %s (mirrored=%b), gadget with odd path length %s@."
-          o.Hardness.strategy o.Hardness.mirrored
-          (match o.Hardness.verification.Gadgets.odd_path_length with
-          | Some len -> string_of_int len
-          | None -> "?")
-    | Error e1 -> begin
-        Format.printf "Theorem 6.1 pipeline: %s@." e1;
-        match Gadget_search.certify_np_hard l with
-        | Some f ->
-            Format.printf "Gadget search: verified gadget found (%d matches) => NP-hard@."
-              (Array.length f.Gadget_search.words_used)
-        | None -> Format.printf "Gadget search: nothing found within budget@."
-      end);
-    0
+    if json then run_json s l
+    else begin
+      Format.printf "%-20s %s@." s
+        (Classify.verdict_summary (Classify.classify l).Classify.verdict);
+      (match Hardness.thm61_gadget l with
+      | Ok o ->
+          Format.printf "Theorem 6.1 pipeline: %s (mirrored=%b), gadget with odd path length %s@."
+            o.Hardness.strategy o.Hardness.mirrored
+            (match o.Hardness.verification.Gadgets.odd_path_length with
+            | Some len -> string_of_int len
+            | None -> "?")
+      | Error e1 -> begin
+          Format.printf "Theorem 6.1 pipeline: %s@." e1;
+          match Gadget_search.certify_np_hard l with
+          | Some f ->
+              Format.printf "Gadget search: verified gadget found (%d matches) => NP-hard@."
+                (Array.length f.Gadget_search.words_used)
+          | None -> Format.printf "Gadget search: nothing found within budget@."
+        end);
+      0
+    end
   in
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Try to produce a machine-checked NP-hardness gadget (Thm 6.1 pipeline + search).")
-    Term.(const run $ regex)
+    Term.(const run $ regex $ json)
 
 (* ---- report ---- *)
 
@@ -686,6 +721,20 @@ let journal_inspect_line path (rep : Journal.report) =
     List.sort compare (Hashtbl.fold (fun id (digest, reply) acc ->
         (id, digest, reply) :: acc) tbl [])
   in
+  (* Per-entry certificate accounting: how many live settled answers carry
+     a certificate, and how many of those re-check. [certs] counts
+     presence; a gap between [certs] and [cert_valid] is a red flag that
+     `compact' will refuse to drop history for. *)
+  let certs, cert_valid =
+    List.fold_left
+      (fun (present, valid) (_, _, (reply : Runner.Proto.reply)) ->
+        match reply.Runner.Proto.cert with
+        | None -> (present, valid)
+        | Some _ ->
+            ( present + 1,
+              valid + if Result.is_ok (Cert.Checker.check_reply reply) then 1 else 0 ))
+      (0, 0) live
+  in
   let live_md5 =
     Digest.to_hex
       (Digest.string
@@ -709,6 +758,9 @@ let journal_inspect_line path (rep : Journal.report) =
          ("started", J.Int started);
          ("done", J.Int (rep.Journal.records - started));
          ("live", J.Int (List.length live));
+         ("certs", J.Int certs);
+         ("cert_valid", J.Int cert_valid);
+         ("cert_invalid", J.Int (certs - cert_valid));
          ("bytes", J.Int rep.Journal.bytes);
          ("dead_bytes", J.Int rep.Journal.dead_bytes);
          ("torn_bytes", J.Int rep.Journal.torn_bytes);
@@ -738,22 +790,67 @@ let journal_inspect_cmd =
     Term.(const run $ journal_file_arg)
 
 let journal_compact_cmd =
-  let run file =
-    match Journal.compact file with
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Compact even when a live settled answer's certificate fails to re-check (a \
+             warning per failing entry goes to stderr). Without $(b,--force) such a journal \
+             is refused: compaction would discard the history needed to diagnose the bad \
+             record.")
+  in
+  (* Compaction keeps only the last Done per id — after it, a bad settled
+     answer can no longer be cross-checked against earlier records. So a
+     live entry whose certificate fails re-check blocks compaction unless
+     forced. *)
+  let cert_failures file =
+    match Journal.load file with
+    | Error e -> Error e
+    | Ok rep ->
+        let tbl = Journal.completed rep.Journal.entries in
+        Ok
+          (List.sort compare
+             (Hashtbl.fold
+                (fun id (_, reply) acc ->
+                  match Cert.Checker.check_reply reply with
+                  | Ok () -> acc
+                  | Error msg -> (id, msg) :: acc)
+                tbl []))
+  in
+  let run file force =
+    match cert_failures file with
     | Error e -> input_error "%s" e
-    | Ok s ->
-        let module J = Runner.Proto.Json in
-        print_endline
-          (J.to_string
-             (J.Obj
-                [
-                  ("path", J.Str file);
-                  ("kept", J.Int s.Journal.kept);
-                  ("dropped", J.Int s.Journal.dropped);
-                  ("before_bytes", J.Int s.Journal.before_bytes);
-                  ("after_bytes", J.Int s.Journal.after_bytes);
-                ]));
-        0
+    | Ok failures ->
+        List.iter
+          (fun (id, msg) ->
+            prerr_endline
+              (Printf.sprintf "rpq: journal compact: job %S: certificate fails re-check: %s" id
+                 msg))
+          failures;
+        if failures <> [] && not force then
+          input_error
+            "journal compact: %d live entr%s failed certificate re-check (use --force to \
+             compact anyway)"
+            (List.length failures)
+            (if List.length failures = 1 then "y" else "ies")
+        else begin
+          match Journal.compact file with
+          | Error e -> input_error "%s" e
+          | Ok s ->
+              let module J = Runner.Proto.Json in
+              print_endline
+                (J.to_string
+                   (J.Obj
+                      [
+                        ("path", J.Str file);
+                        ("kept", J.Int s.Journal.kept);
+                        ("dropped", J.Int s.Journal.dropped);
+                        ("before_bytes", J.Int s.Journal.before_bytes);
+                        ("after_bytes", J.Int s.Journal.after_bytes);
+                      ]));
+              0
+        end
   in
   Cmd.v
     (Cmd.info "compact"
@@ -761,8 +858,9 @@ let journal_compact_cmd =
          "Rewrite the journal to only the last $(i,Done) record per job id (atomic: temp + \
           fsync + rename), reclaiming dead bytes; also migrates v1 journals to the v2 \
           checksummed format. The settled-answer map is unchanged — $(b,inspect)'s \
-          $(b,live_md5) agrees before and after.")
-    Term.(const run $ journal_file_arg)
+          $(b,live_md5) agrees before and after. Refuses (exit 2) when a live settled \
+          answer's certificate fails re-check, unless $(b,--force).")
+    Term.(const run $ journal_file_arg $ force)
 
 let journal_cmd =
   Cmd.group
@@ -885,10 +983,23 @@ let chaos_cmd =
                   exit 1)
                 fmt
             in
+            (* Every answer that survived a crash must carry a certificate
+               that re-checks: a settled record whose evidence does not
+               hold is exactly the corruption the journal + certificate
+               machinery exists to rule out. *)
             let load_settled () =
               match Journal.load journal with
               | Error e -> die "crash left a journal that refuses to load: %s" e
-              | Ok rep -> Hashtbl.length (Journal.completed rep.Journal.entries)
+              | Ok rep ->
+                  let tbl = Journal.completed rep.Journal.entries in
+                  Hashtbl.iter
+                    (fun id (_, reply) ->
+                      match Cert.Checker.check_reply reply with
+                      | Ok () -> ()
+                      | Error msg ->
+                          die "settled job %S survived a crash with a bad certificate: %s" id msg)
+                    tbl;
+                  Hashtbl.length tbl
             in
             (* Reference: the same batch, no journal, no faults. *)
             (match run_child ~faults:"off" ~with_journal:false ~out:out_file with
@@ -938,6 +1049,13 @@ let chaos_cmd =
             if List.length final <> List.length reference then
               die "final resume emitted %d replies, reference %d" (List.length final)
                 (List.length reference);
+            List.iter
+              (fun (r : Runner.Proto.reply) ->
+                match Cert.Checker.check_reply r with
+                | Ok () -> ()
+                | Error msg ->
+                    die "final reply %S carries an invalid certificate: %s" r.Runner.Proto.id msg)
+              final;
             let diffs =
               List.fold_left2
                 (fun acc (r : Runner.Proto.reply) (f : Runner.Proto.reply) ->

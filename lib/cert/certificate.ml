@@ -1,0 +1,236 @@
+type capacity = Fin of int | Inf
+
+type cut = {
+  vertices : int;
+  source : int;
+  sink : int;
+  edges : (int * int * capacity) list;
+  flow : int list;
+  cut_edges : int list;
+  fact_edges : (int * int) list;
+  forced : (int * int) list;
+  weights : (int * int) list;
+  inf_path : int list;
+}
+
+type bounds = {
+  fact_weights : (int * int) list;
+  covers : int list list option;
+  dual : float list option;
+}
+
+type hardness = {
+  language : string;
+  words : string list;
+  facts : (int * int * string * int) list;
+  f_in : int;
+  f_out : int;
+  matches : int list list;
+  condensed : int list list;
+  path_length : int;
+}
+
+type t =
+  | Trivial of { why : string }
+  | Cut of cut
+  | Bounds of bounds
+  | Hardness of hardness
+  | Opaque of { algorithm : string }
+
+let kind_name = function
+  | Trivial _ -> "trivial"
+  | Cut _ -> "cut"
+  | Bounds _ -> "bounds"
+  | Hardness _ -> "hardness"
+  | Opaque _ -> "opaque"
+
+(* ---- encoding ---- *)
+
+let ints xs = Json.List (List.map (fun i -> Json.Int i) xs)
+let int_lists xss = Json.List (List.map ints xss)
+let pairs ps = Json.List (List.map (fun (a, b) -> Json.List [ Json.Int a; Json.Int b ]) ps)
+let cap_to_json = function Fin n -> Json.Int n | Inf -> Json.Str "inf"
+
+let to_obj = function
+  | Trivial { why } -> Json.Obj [ ("kind", Json.Str "trivial"); ("why", Json.Str why) ]
+  | Cut c ->
+      Json.Obj
+        [
+          ("kind", Json.Str "cut");
+          ("vertices", Json.Int c.vertices);
+          ("source", Json.Int c.source);
+          ("sink", Json.Int c.sink);
+          ( "edges",
+            Json.List
+              (List.map
+                 (fun (s, d, cap) -> Json.List [ Json.Int s; Json.Int d; cap_to_json cap ])
+                 c.edges) );
+          ("flow", ints c.flow);
+          ("cut_edges", ints c.cut_edges);
+          ("fact_edges", pairs c.fact_edges);
+          ("forced", pairs c.forced);
+          ("weights", pairs c.weights);
+          ("inf_path", ints c.inf_path);
+        ]
+  | Bounds b ->
+      Json.Obj
+        ([ ("kind", Json.Str "bounds"); ("weights", pairs b.fact_weights) ]
+        @ (match b.covers with None -> [] | Some cs -> [ ("covers", int_lists cs) ])
+        @
+        match b.dual with
+        | None -> []
+        | Some ys -> [ ("dual", Json.List (List.map (fun y -> Json.Float y) ys)) ])
+  | Hardness h ->
+      Json.Obj
+        [
+          ("kind", Json.Str "hardness");
+          ("language", Json.Str h.language);
+          ("words", Json.List (List.map (fun w -> Json.Str w) h.words));
+          ( "facts",
+            Json.List
+              (List.map
+                 (fun (id, src, label, dst) ->
+                   Json.List [ Json.Int id; Json.Int src; Json.Str label; Json.Int dst ])
+                 h.facts) );
+          ("f_in", Json.Int h.f_in);
+          ("f_out", Json.Int h.f_out);
+          ("matches", int_lists h.matches);
+          ("condensed", int_lists h.condensed);
+          ("path_length", Json.Int h.path_length);
+        ]
+  | Opaque { algorithm } ->
+      Json.Obj [ ("kind", Json.Str "opaque"); ("algorithm", Json.Str algorithm) ]
+
+let to_json c = Json.to_string (to_obj c)
+
+(* ---- decoding ---- *)
+
+let ( let* ) = Result.bind
+let field_err what = Error (Printf.sprintf "certificate: missing or ill-typed field %S" what)
+
+let get obj what conv =
+  match Option.bind (Json.member what obj) conv with Some v -> Ok v | None -> field_err what
+
+let map_all what conv items =
+  let vs = List.filter_map conv items in
+  if List.length vs = List.length items then Ok vs else field_err what
+
+let ints_of what = function
+  | Json.List items -> map_all what Json.to_int_opt items
+  | _ -> field_err what
+
+let get_ints obj what =
+  match Json.member what obj with Some v -> ints_of what v | None -> field_err what
+
+let get_int_lists obj what =
+  match Json.member what obj with
+  | Some (Json.List items) ->
+      map_all what (fun v -> Result.to_option (ints_of what v)) items
+  | _ -> field_err what
+
+let get_pairs obj what =
+  match Json.member what obj with
+  | Some (Json.List items) ->
+      map_all what
+        (function
+          | Json.List [ Json.Int a; Json.Int b ] -> Some (a, b)
+          | _ -> None)
+        items
+  | _ -> field_err what
+
+let cap_of_json = function
+  | Json.Int n -> Some (Fin n)
+  | Json.Str "inf" -> Some Inf
+  | _ -> None
+
+let of_obj obj =
+  let* kind = get obj "kind" Json.to_str_opt in
+  match kind with
+  | "trivial" ->
+      let* why = get obj "why" Json.to_str_opt in
+      Ok (Trivial { why })
+  | "cut" ->
+      let* vertices = get obj "vertices" Json.to_int_opt in
+      let* source = get obj "source" Json.to_int_opt in
+      let* sink = get obj "sink" Json.to_int_opt in
+      let* edges =
+        match Json.member "edges" obj with
+        | Some (Json.List items) ->
+            map_all "edges"
+              (function
+                | Json.List [ Json.Int s; Json.Int d; cap ] ->
+                    Option.map (fun c -> (s, d, c)) (cap_of_json cap)
+                | _ -> None)
+              items
+        | _ -> field_err "edges"
+      in
+      let* flow = get_ints obj "flow" in
+      let* cut_edges = get_ints obj "cut_edges" in
+      let* fact_edges = get_pairs obj "fact_edges" in
+      let* forced = get_pairs obj "forced" in
+      let* weights = get_pairs obj "weights" in
+      let* inf_path = get_ints obj "inf_path" in
+      Ok
+        (Cut
+           {
+             vertices;
+             source;
+             sink;
+             edges;
+             flow;
+             cut_edges;
+             fact_edges;
+             forced;
+             weights;
+             inf_path;
+           })
+  | "bounds" ->
+      let* fact_weights = get_pairs obj "weights" in
+      let* covers =
+        match Json.member "covers" obj with
+        | None -> Ok None
+        | Some _ ->
+            let* cs = get_int_lists obj "covers" in
+            Ok (Some cs)
+      in
+      let* dual =
+        match Json.member "dual" obj with
+        | None -> Ok None
+        | Some (Json.List items) ->
+            let* ys = map_all "dual" Json.to_float_opt items in
+            Ok (Some ys)
+        | Some _ -> field_err "dual"
+      in
+      Ok (Bounds { fact_weights; covers; dual })
+  | "hardness" ->
+      let* language = get obj "language" Json.to_str_opt in
+      let* words =
+        match Json.member "words" obj with
+        | Some (Json.List items) -> map_all "words" Json.to_str_opt items
+        | _ -> field_err "words"
+      in
+      let* facts =
+        match Json.member "facts" obj with
+        | Some (Json.List items) ->
+            map_all "facts"
+              (function
+                | Json.List [ Json.Int id; Json.Int src; Json.Str label; Json.Int dst ] ->
+                    Some (id, src, label, dst)
+                | _ -> None)
+              items
+        | _ -> field_err "facts"
+      in
+      let* f_in = get obj "f_in" Json.to_int_opt in
+      let* f_out = get obj "f_out" Json.to_int_opt in
+      let* matches = get_int_lists obj "matches" in
+      let* condensed = get_int_lists obj "condensed" in
+      let* path_length = get obj "path_length" Json.to_int_opt in
+      Ok (Hardness { language; words; facts; f_in; f_out; matches; condensed; path_length })
+  | "opaque" ->
+      let* algorithm = get obj "algorithm" Json.to_str_opt in
+      Ok (Opaque { algorithm })
+  | other -> Error (Printf.sprintf "unknown certificate kind %S" other)
+
+let of_json s =
+  let* v = Json.parse s in
+  of_obj v

@@ -1,0 +1,27 @@
+(** Independent certificate checking.
+
+    Re-derives the validity of a settled reply (or classification record)
+    from its certificate alone — no solver code is linked. The checker
+    verifies every optimality argument (flow feasibility and weak duality
+    for {!Certificate.Cut}, hitting-set coverage and LP duality for
+    {!Certificate.Bounds}, walk replay and odd-path structure for
+    {!Certificate.Hardness}) but trusts the certificate's instance
+    encoding — see DESIGN.md §13 for the exact trust boundary.
+
+    All checks are total and fueled: adversarial certificates cannot make
+    the checker loop or raise. *)
+
+val check_reply : Proto.reply -> (unit, string) result
+(** Check one reply against its certificate. Exact and bounded replies
+    must carry a certificate of a kind matching their algorithm; error
+    replies must not carry one. *)
+
+val check_classification : Proto.classification -> (unit, string) result
+(** ["np-hard"] records must carry a replayable hardness transcript;
+    ["inconclusive"] ones must carry nothing. *)
+
+val check_line : string -> (string, string) result
+(** Parse one line of a reply stream and check it. Lines tagged
+    ["kind":"classification"] are checked as classification records,
+    everything else as replies. [Ok what] names what was checked
+    ([exact], [bounded], [error], or [classification]). *)

@@ -1,0 +1,33 @@
+(** Minimal JSON values with a total emitter and a parser for re-reading
+    what the emitter produced.
+
+    This module is the single JSON implementation for the whole tree: the
+    wire protocol ({!Proto}), the journal, and the independent certificate
+    checker all share it, and it deliberately depends on nothing but the
+    standard library so {!Checker} can be linked without any solver code. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering. Non-finite floats emit as [null];
+    control characters, backslash, and double quote are escaped, so the
+    result never contains a raw newline — safe for line-delimited
+    framing. *)
+
+val parse : string -> (t, string) result
+(** Strict: the whole input must be one JSON value (surrounding
+    whitespace allowed). Duplicate keys keep the first occurrence. *)
+
+val member : string -> t -> t option
+val to_int_opt : t -> int option
+val to_str_opt : t -> string option
+
+val to_float_opt : t -> float option
+(** Accepts ints too (JSON does not distinguish [1] from [1.0]). *)

@@ -1,0 +1,113 @@
+(** Wire protocol for the supervised execution layer.
+
+    Jobs and replies cross the supervisor/worker pipe boundary (and the
+    [rpq serve] stdin/stdout boundary, and the journal) as single lines of
+    JSON, so one schema serves all three. The encoder/decoder pair is
+    hand-rolled: the project deliberately has no JSON dependency, and the
+    subset needed here (objects, arrays, strings, ints, floats, bools,
+    null) is small enough to keep total.
+
+    The module lives in the dependency-free [cert] library so the
+    independent certificate checker ([rpq_certcheck]) can parse reply
+    streams without linking any solver code; [Runner.Proto] re-exports
+    it unchanged. *)
+
+val schema_version : int
+(** Current reply-schema version (1). Emitted as the [v] field on every
+    reply and classification record; decoders accept a missing [v]
+    (pre-versioning journals) and reject any other value. *)
+
+type budget_spec = {
+  deadline : float option;  (** seconds of processor time *)
+  steps : int option;
+  memo_cap : int option;
+}
+
+val no_budget : budget_spec
+
+type job = {
+  id : string;  (** caller-chosen; echoed in the reply and the journal *)
+  db : string;  (** database in {!Graphdb.Serialize} text form *)
+  query : string;  (** RPQ regex, [Automata.Regex.parse] syntax *)
+  budget : budget_spec;
+  faults : string option;
+      (** per-job [Resilience.Faults] plan ([Faults.parse] grammar);
+          [None] inherits the worker's ambient plan *)
+}
+
+type verdict =
+  | V_exact of {
+      value : Value.t;
+      algorithm : string;
+      witness : int list option;  (** fact ids of an optimal removal set *)
+    }
+  | V_bounded of {
+      lower : Value.t;
+      upper : Value.t;
+      witness : int list option;  (** fact ids certifying [upper] *)
+      reason : string;
+    }
+  | V_failed of { kind : string; message : string; retriable : bool }
+      (** [kind] is a stable machine-readable tag ("crash", "timeout",
+          "overloaded", "bad-job", ...); [retriable] tells callers of
+          [rpq serve] whether resubmitting the same job can help. *)
+
+type reply = {
+  id : string;
+  attempts : int;  (** 1 for a first-try success *)
+  steps : int;  (** budget ticks spent by the successful attempt *)
+  wall_s : float;  (** supervisor-side wall-clock seconds, volatile *)
+  stages : (string * float) list;
+      (** worker-side seconds per solver stage ([Obs.Trace.with_stages]),
+          sorted by stage name; empty when stage accounting was off. On
+          the wire it is an optional [stages] object, omitted when empty.
+          Volatile like [wall_s]: excluded from
+          {!reply_equal_ignoring_time}. *)
+  verdict : verdict;
+  cert : Certificate.t option;
+      (** answer certificate; present on every settled (exact or bounded)
+          reply produced by the solver, absent on error replies. On the
+          wire it is an optional [cert] object. *)
+}
+
+type classification = {
+  c_language : string;
+  c_verdict : string;  (** ["np-hard"] or ["inconclusive"] *)
+  c_cert : Certificate.t option;
+      (** a {!Certificate.Hardness} transcript when [c_verdict] is
+          ["np-hard"] *)
+}
+(** A classification record ([rpq certify --json]): one line of JSON
+    tagged ["kind":"classification"], distinguishing it from replies in a
+    mixed stream. *)
+
+val failed :
+  ?retriable:bool -> id:string -> kind:string -> ('a, unit, string, reply) format4 -> 'a
+(** [failed ~id ~kind fmt ...] builds an error reply ([attempts = 1],
+    [retriable] defaults to [false], no certificate). *)
+
+val job_to_json : job -> string
+val job_of_json : string -> (job, string) result
+val reply_to_json : reply -> string
+val reply_of_json : string -> (reply, string) result
+
+val reply_to_obj : reply -> Json.t
+val reply_of_obj : Json.t -> (reply, string) result
+(** The [Json.t]-level halves of [reply_to_json]/[reply_of_json], for
+    embedding replies inside larger objects (journal entries). *)
+
+val classification_to_json : classification -> string
+val classification_of_json : string -> (classification, string) result
+val classification_to_obj : classification -> Json.t
+val classification_of_obj : Json.t -> (classification, string) result
+
+val reply_equal_ignoring_time : reply -> reply -> bool
+(** Structural equality minus [wall_s], [stages], and [cert] — the
+    comparison used by journal re-verification and the
+    resume-determinism tests. Wall-clock fields are legitimately
+    nondeterministic; certificates are compared by re-checking
+    ({!Checker.check_reply}), not structurally, because their LP duals
+    lose precision through the %.9g float rendering. *)
+
+val verdict_name : verdict -> string
+(** [exact], [bounded], or [error] — matching the wire [outcome] field. *)

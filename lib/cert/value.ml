@@ -1,0 +1,16 @@
+type t = Finite of int | Infinite
+
+let zero = Finite 0
+let add a b = match (a, b) with Finite x, Finite y -> Finite (x + y) | _ -> Infinite
+
+let compare a b =
+  match (a, b) with
+  | Finite x, Finite y -> Stdlib.compare x y
+  | Finite _, Infinite -> -1
+  | Infinite, Finite _ -> 1
+  | Infinite, Infinite -> 0
+
+let min a b = if compare a b <= 0 then a else b
+let equal a b = compare a b = 0
+let to_string = function Finite x -> string_of_int x | Infinite -> "+\xe2\x88\x9e"
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -4,17 +4,18 @@
     contingency set (Definition 2.1); it is [+∞] exactly when every
     sub-database satisfies [Q], i.e. when ε ∈ L for RPQs.
 
-    The type itself lives in the dependency-free [cert] library (the wire
-    protocol and the independent checker speak it); this module re-exports
-    it and adds the flow-capacity conversion, which needs [Flow]. *)
+    This is the protocol-level copy of the type: it lives in the
+    dependency-free [cert] library so {!Proto} and {!Checker} can speak
+    about values without linking the solver stack. [Resilience.Value]
+    re-exports it (adding the flow-capacity conversion that needs
+    [Flow]). *)
 
-type t = Cert.Value.t = Finite of int | Infinite
+type t = Finite of int | Infinite
 
 val zero : t
 val add : t -> t -> t
 val min : t -> t -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
-val of_capacity : Flow.Network.capacity -> t
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

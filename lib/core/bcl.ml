@@ -163,9 +163,11 @@ let is_bcl_nfa a =
   | None -> false
   | Some ws -> is_bcl ws
 
-(* Proposition 7.5's MinCut construction. *)
-let solve_words d ws =
-  if List.mem "" ws then (Value.Infinite, [])
+(* Proposition 7.5's MinCut construction. The certificate comes back as a
+   thunk so uncertified callers pay nothing for its serialization. *)
+let solve_words_gen d ws =
+  if List.mem "" ws then
+    (Value.Infinite, [], fun () -> Certify.trivial "epsilon-in-language")
   else begin
     (* Single-letter words force removal of every fact with that letter. *)
     let single_letters =
@@ -177,6 +179,9 @@ let solve_words d ws =
           if List.mem f.Db.label single_letters then Some fid else None)
         (Db.facts d)
     in
+    (* Weights captured before the restriction shadows [d]: the restricted
+       database no longer answers for removed facts. *)
+    let forced_w = List.map (fun fid -> (fid, Db.mult d fid)) forced in
     let base_cost = List.fold_left (fun acc fid -> acc + Db.mult d fid) 0 forced in
     let d = Db.restrict d ~removed:(fun id -> List.mem id forced) in
     let ws = List.filter (fun w -> String.length w >= 2) ws in
@@ -242,7 +247,7 @@ let solve_words d ws =
                   ignore (Net.add_edge net ~src:(vertex_of endv fid) ~dst:sink Net.Inf))
               (facts_with_label c))
           side_of;
-        let cut = Net.min_cut net ~source ~sink in
+        let cut, flow = Net.min_cut_certified net ~source ~sink in
         (match cut.Net.value with
         | Net.Inf ->
             Invariant.internal_error
@@ -251,11 +256,30 @@ let solve_words d ws =
             let facts =
               List.filter_map (fun eid -> List.assoc_opt eid !fact_edge) cut.Net.edges
             in
-            (Value.Finite (base_cost + v), List.sort_uniq compare (forced @ facts)))
+            let cert () =
+              Certify.cut ~net ~source ~sink ~cut ~flow ~fact_edge:!fact_edge
+                ~forced:forced_w
+            in
+            (Value.Finite (base_cost + v), List.sort_uniq compare (forced @ facts), cert))
   end
+
+let solve_words d ws =
+  let value, witness, _ = solve_words_gen d ws in
+  (value, witness)
+
+let solve_words_certified d ws =
+  let value, witness, cert = solve_words_gen d ws in
+  (value, witness, cert ())
 
 let solve d a =
   match Automata.Dfa.words (Automata.Dfa.of_nfa a) with
   | None -> Error "language is infinite, not a chain language"
   | Some ws ->
       if is_bcl ws then Ok (solve_words d ws) else Error "language is not a bipartite chain language"
+
+let solve_certified d a =
+  match Automata.Dfa.words (Automata.Dfa.of_nfa a) with
+  | None -> Error "language is infinite, not a chain language"
+  | Some ws ->
+      if is_bcl ws then Ok (solve_words_certified d ws)
+      else Error "language is not a bipartite chain language"

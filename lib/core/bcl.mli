@@ -35,3 +35,9 @@ val solve : Graphdb.Db.t -> Automata.Nfa.t -> (Value.t * int list, string) resul
 (** Proposition 7.5: resilience of a BCL via the forward/reversed-words
     MinCut construction, with a witness contingency set.
     [Error _] if the language is not a BCL. *)
+
+val solve_certified :
+  Graphdb.Db.t -> Automata.Nfa.t -> (Value.t * int list * Cert.Certificate.t, string) result
+(** {!solve} additionally serializing the weak-duality evidence (network,
+    flow, cut, forced single-letter facts) into a portable
+    {!Cert.Certificate.Cut}. *)

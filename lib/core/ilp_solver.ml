@@ -33,10 +33,10 @@ let instance_of ?budget d a =
             },
             fact_ids )
 
-let solve ?budget d a =
+let solve_with_covers ?budget d a =
   let b = match budget with Some b -> b | None -> Budget.unlimited () in
   Check.cheap "Ilp_solver.solve: database" (fun () -> Db.validate d);
-  if Automata.Nfa.nullable a then Ok (Value.Infinite, [])
+  if Automata.Nfa.nullable a then Ok (Value.Infinite, [], [])
   else
     match instance_of ~budget:b d a with
     | Error e -> Error e
@@ -74,11 +74,61 @@ let solve ?budget d a =
             Array.iteri
               (fun i b -> if b then witness := fact_ids.(i) :: !witness)
               sol.Lp.Ilp.assignment;
-            Ok (Value.Finite sol.Lp.Ilp.value, List.rev !witness)
+            let covers_facts =
+              List.map (List.map (fun v -> fact_ids.(v))) inst.Lp.Ilp.covers
+            in
+            Ok (Value.Finite sol.Lp.Ilp.value, List.rev !witness, covers_facts)
       end
+
+let solve ?budget d a =
+  Result.map (fun (value, witness, _) -> (value, witness)) (solve_with_covers ?budget d a)
 
 let lp_relaxation ?budget d a =
   let b = match budget with Some b -> b | None -> Budget.unlimited () in
   match instance_of ~budget:b d a with
   | Error e -> Error e
   | Ok (inst, _) -> Lp.Ilp.lp_bound ~fuel:(Budget.fuel b) inst
+
+(* The LP dual of the covering relaxation: maximize Σ y over y ≥ 0 with
+   Σ_{j: fact i ∈ cover j} y_j ≤ w_i. Any feasible y is a lower bound on
+   every (fractional or integral) hitting set by weak duality, so the
+   vector itself is portable evidence — exactly what the Bounds
+   certificate ships. Solved through the primal-only {!Lp.Simplex} as
+   min -Σ y subject to -A^T y ≥ -w. *)
+let lp_dual_bound ?budget d a =
+  let b = match budget with Some b -> b | None -> Budget.unlimited () in
+  match instance_of ~budget:b d a with
+  | Error e -> Error e
+  | Ok (inst, fact_ids) ->
+      let covers_facts = List.map (List.map (fun v -> fact_ids.(v))) inst.Lp.Ilp.covers in
+      let nc = List.length inst.Lp.Ilp.covers in
+      if nc = 0 then Ok (0.0, [], [])
+      else begin
+        let rows =
+          List.init inst.Lp.Ilp.nvars (fun i ->
+              let row = Array.make nc 0.0 in
+              List.iteri
+                (fun j cover -> if List.mem i cover then row.(j) <- -1.0)
+                inst.Lp.Ilp.covers;
+              (row, -.float_of_int inst.Lp.Ilp.weights.(i)))
+        in
+        let prob =
+          {
+            Lp.Simplex.ncols = nc;
+            objective = Array.make nc (-1.0);
+            rows;
+            upper = Array.make nc None;
+          }
+        in
+        match Lp.Simplex.solve ~fuel:(Budget.fuel b) prob with
+        | Lp.Simplex.Optimal { value = _; solution } ->
+            (* Clamp simplex noise below zero; shrinking a multiplier keeps
+               the vector feasible, and the published bound is the sum of
+               the published vector, so certificate and bound agree. *)
+            let ys =
+              Array.to_list (Array.map (fun y -> if y < 0.0 then 0.0 else y) solution)
+            in
+            Ok (List.fold_left ( +. ) 0.0 ys, ys, covers_facts)
+        | Lp.Simplex.Infeasible -> Error "dual LP infeasible"
+        | Lp.Simplex.Unbounded -> Error "dual LP unbounded"
+      end

@@ -21,5 +21,27 @@ val solve :
   ?budget:Budget.t -> Graphdb.Db.t -> Automata.Nfa.t -> (Value.t * int list, string) result
 (** Exact resilience via ILP, with a witness contingency set. *)
 
+val solve_with_covers :
+  ?budget:Budget.t ->
+  Graphdb.Db.t ->
+  Automata.Nfa.t ->
+  (Value.t * int list * int list list, string) result
+(** {!solve} additionally returning the cover matrix as fact-id sets (one
+    per match) — the evidence a {!Cert.Certificate.Bounds} certificate
+    ships so an independent checker can re-verify hitting-set coverage. *)
+
 val lp_relaxation : ?budget:Budget.t -> Graphdb.Db.t -> Automata.Nfa.t -> (float, string) result
 (** The LP-relaxation lower bound on resilience. *)
+
+val lp_dual_bound :
+  ?budget:Budget.t ->
+  Graphdb.Db.t ->
+  Automata.Nfa.t ->
+  (float * float list * int list list, string) result
+(** A feasible dual vector for the covering LP: [(bound, y, covers)] with
+    [bound = Σ y]. By weak duality every hitting set costs at least
+    [bound], so [ceil (bound - ε)] is a certified integral lower bound —
+    and unlike {!lp_relaxation}'s primal value, the vector [y] is
+    portable evidence an independent checker can re-verify. At the
+    optimum the two bounds coincide (strong duality); feasibility alone
+    is enough for soundness if the simplex stops early. *)

@@ -59,9 +59,15 @@ let build_network d ~ro =
     ro.Automata.Nfa.final;
   { net; source; sink; fact_edge = List.rev !fact_edge }
 
-let solve_ro d ~ro =
-  if Automata.Nfa.nullable ro then (Value.Infinite, [])
-  else if ro.Automata.Nfa.nstates = 0 || Db.nnodes d = 0 then (Value.Finite 0, [])
+(* The common solve path, returning the certificate as a thunk: the hot
+   callers (the submodular solver's oracle evaluates thousands of
+   restricted instances through [solve_ro]) never force it, so they pay
+   nothing for certification. *)
+let solve_ro_gen d ~ro =
+  if Automata.Nfa.nullable ro then
+    (Value.Infinite, [], fun () -> Certify.trivial "epsilon-in-language")
+  else if ro.Automata.Nfa.nstates = 0 || Db.nnodes d = 0 then
+    (Value.Finite 0, [], fun () -> Certify.trivial "query-unsatisfied")
   else begin
     let { net; source; sink; fact_edge } = build_network d ~ro in
     Check.cheap "Local_solver.solve_ro: product network" (fun () -> Net.validate net);
@@ -84,18 +90,32 @@ let solve_ro d ~ro =
                     (Format.asprintf "%a" Net.pp_capacity cut.Net.value)
                     (Format.asprintf "%a" Net.pp_capacity cut'.Net.value);
                 ]);
+    let cert () = Certify.cut ~net ~source ~sink ~cut ~flow ~fact_edge ~forced:[] in
     match cut.Net.value with
-    | Net.Inf -> (Value.Infinite, [])
+    | Net.Inf -> (Value.Infinite, [], cert)
     | Net.Finite v ->
         let facts =
           List.filter_map (fun eid -> List.assoc_opt eid fact_edge) cut.Net.edges
         in
-        (Value.Finite v, List.sort_uniq compare facts)
+        (Value.Finite v, List.sort_uniq compare facts, cert)
   end
+
+let solve_ro d ~ro =
+  let value, witness, _ = solve_ro_gen d ~ro in
+  (value, witness)
+
+let solve_ro_certified d ~ro =
+  let value, witness, cert = solve_ro_gen d ~ro in
+  (value, witness, cert ())
 
 let solve d a =
   (* The construction must consider the whole signature of the database:
      letters of D absent from L's alphabet are harmless (they can never be
      part of an L-walk), so they are simply ignored by the product. *)
   if Automata.Local.is_local_language a then Ok (solve_ro d ~ro:(Automata.Local.ro_enfa a))
+  else Error "language is not local"
+
+let solve_certified d a =
+  if Automata.Local.is_local_language a then
+    Ok (solve_ro_certified d ~ro:(Automata.Local.ro_enfa a))
   else Error "language is not local"

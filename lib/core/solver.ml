@@ -26,6 +26,7 @@ type result = {
   witness : int list option;
   algorithm : algorithm;
   classification : Classify.t;
+  cert : Cert.Certificate.t option;
 }
 
 let solve ?classification d a =
@@ -41,29 +42,66 @@ let solve ?classification d a =
   let reduced = cl.Classify.reduced in
   match cl.Classify.verdict with
   | Classify.PTime Classify.Trivial_empty ->
-      { value = Value.Finite 0; witness = Some []; algorithm = Alg_trivial; classification = cl }
+      {
+        value = Value.Finite 0;
+        witness = Some [];
+        algorithm = Alg_trivial;
+        classification = cl;
+        cert = Some (Certify.trivial "empty-language");
+      }
   | Classify.PTime Classify.Trivial_eps ->
-      { value = Value.Infinite; witness = None; algorithm = Alg_trivial; classification = cl }
+      {
+        value = Value.Infinite;
+        witness = None;
+        algorithm = Alg_trivial;
+        classification = cl;
+        cert = Some (Certify.trivial "epsilon-in-language");
+      }
   | Classify.PTime Classify.Local -> begin
-      match stage "mincut" (fun () -> Local_solver.solve d reduced) with
-      | Ok (value, witness) ->
-          { value; witness = Some witness; algorithm = Alg_local_mincut; classification = cl }
+      match stage "mincut" (fun () -> Local_solver.solve_certified d reduced) with
+      | Ok (value, witness, cert) ->
+          {
+            value;
+            witness = Some witness;
+            algorithm = Alg_local_mincut;
+            classification = cl;
+            cert = Some cert;
+          }
       | Error msg -> invalid_arg ("Solver.solve: classifier/solver disagree: " ^ msg)
     end
   | Classify.PTime Classify.Bipartite_chain -> begin
-      match stage "bcl" (fun () -> Bcl.solve d reduced) with
-      | Ok (value, witness) ->
-          { value; witness = Some witness; algorithm = Alg_bcl_mincut; classification = cl }
+      match stage "bcl" (fun () -> Bcl.solve_certified d reduced) with
+      | Ok (value, witness, cert) ->
+          {
+            value;
+            witness = Some witness;
+            algorithm = Alg_bcl_mincut;
+            classification = cl;
+            cert = Some cert;
+          }
       | Error msg -> invalid_arg ("Solver.solve: classifier/solver disagree: " ^ msg)
     end
   | Classify.PTime (Classify.Submodular _) -> begin
       match stage "submodular" (fun () -> Submod_solver.solve d reduced) with
-      | Ok value -> { value; witness = None; algorithm = Alg_submodular; classification = cl }
+      | Ok value ->
+          {
+            value;
+            witness = None;
+            algorithm = Alg_submodular;
+            classification = cl;
+            cert = Some (Certify.opaque (algorithm_name Alg_submodular));
+          }
       | Error msg -> invalid_arg ("Solver.solve: classifier/solver disagree: " ^ msg)
     end
   | Classify.NPHard _ | Classify.Unclassified _ ->
       let value, witness = stage "bnb" (fun () -> Exact.branch_and_bound d reduced) in
-      { value; witness = Some witness; algorithm = Alg_exact_bnb; classification = cl }
+      {
+        value;
+        witness = Some witness;
+        algorithm = Alg_exact_bnb;
+        classification = cl;
+        cert = Some (Certify.bounds d);
+      }
 
 let resilience d a = (solve d a).value
 let resilience_regex d s = resilience d (Automata.Lang.of_string s)
@@ -76,6 +114,7 @@ type outcome =
       upper_witness : int list option;
       spent : Budget.spent;
       reason : Budget.exhaustion;
+      cert : Cert.Certificate.t option;
     }
 
 module Db = Graphdb.Db
@@ -101,11 +140,21 @@ let bounded_outcome master reduced d ~incumbent ~reason =
     | exception Invalid_argument _ -> None
     | exception Budget.Exhausted _ -> None
   in
+  (* The lower bound comes from the dual of the covering LP rather than the
+     primal relaxation: by strong duality the value is the same when the
+     simplex finishes, but the dual multipliers are portable evidence — the
+     Bounds certificate ships them, and the independent checker re-verifies
+     feasibility and the bound with no LP solver of its own. *)
+  let dual_evidence =
+    match Ilp_solver.lp_dual_bound ~budget:master d reduced with
+    | Ok (bound, ys, covers) -> Some (bound, ys, covers)
+    | Error _ -> None
+    | exception Budget.Exhausted _ -> None
+  in
   let lp_lower =
-    match Ilp_solver.lp_relaxation ~budget:master d reduced with
-    | Ok lp -> int_of_float (Float.ceil (lp -. 1e-6))
-    | Error _ -> 0
-    | exception Budget.Exhausted _ -> 0
+    match dual_evidence with
+    | Some (bound, _, _) -> int_of_float (Float.ceil (bound -. 1e-6))
+    | None -> 0
   in
   (* Removing every fact falsifies any nullable-free query, so the total
      weight is always a certified upper bound; the query is satisfied here
@@ -136,6 +185,11 @@ let bounded_outcome master reduced d ~incumbent ~reason =
               (List.length upper_witness);
           ]
       else Ok ());
+  let cert =
+    match dual_evidence with
+    | Some (_, ys, covers) -> Certify.bounds ~covers ~dual:ys d
+    | None -> Certify.bounds d
+  in
   Bounded
     {
       lower = Value.Finite lower;
@@ -143,6 +197,7 @@ let bounded_outcome master reduced d ~incumbent ~reason =
       upper_witness = Some upper_witness;
       spent = Budget.spent master;
       reason;
+      cert = Some cert;
     }
 
 (* Degradation chain for the (NP-)hard verdicts: exact branch and bound on
@@ -151,19 +206,40 @@ let bounded_outcome master reduced d ~incumbent ~reason =
 let hard_chain master cl reduced d =
   if not (stage "satisfies" (fun () -> Eval.satisfies d reduced)) then
     Exact
-      { value = Value.Finite 0; witness = Some []; algorithm = Alg_trivial; classification = cl }
+      {
+        value = Value.Finite 0;
+        witness = Some [];
+        algorithm = Alg_trivial;
+        classification = cl;
+        cert = Some (Certify.trivial "query-unsatisfied");
+      }
   else begin
     let s1 = Budget.slice master ~deadline_frac:0.6 ~steps_frac:0.6 in
     match stage "bnb" (fun () -> Exact.branch_and_bound_anytime ~budget:s1 d reduced) with
     | Exact.Complete (value, w) ->
-        Exact { value; witness = Some w; algorithm = Alg_exact_bnb; classification = cl }
+        Exact
+          {
+            value;
+            witness = Some w;
+            algorithm = Alg_exact_bnb;
+            classification = cl;
+            cert = Some (Certify.bounds d);
+          }
     | Exact.Truncated { incumbent; reason } -> begin
         let s2 = Budget.slice master ~deadline_frac:0.6 ~steps_frac:0.6 in
         match
-          stage ~args:(reason_arg reason) "ilp" (fun () -> Ilp_solver.solve ~budget:s2 d reduced)
+          stage ~args:(reason_arg reason) "ilp" (fun () ->
+              Ilp_solver.solve_with_covers ~budget:s2 d reduced)
         with
-        | Ok (value, w) ->
-            Exact { value; witness = Some w; algorithm = Alg_ilp; classification = cl }
+        | Ok (value, w, covers) ->
+            Exact
+              {
+                value;
+                witness = Some w;
+                algorithm = Alg_ilp;
+                classification = cl;
+                cert = Some (Certify.bounds ~covers d);
+              }
         | Error _ -> bounded_outcome master reduced d ~incumbent ~reason
         | exception Budget.Exhausted _ -> bounded_outcome master reduced d ~incumbent ~reason
       end
@@ -191,7 +267,14 @@ let solve_bounded ?classification ?budget d a =
           let s = Budget.slice master ~deadline_frac:0.8 ~steps_frac:0.8 in
           match stage "submodular" (fun () -> Submod_solver.solve ~budget:s d reduced) with
           | Ok value ->
-              Exact { value; witness = None; algorithm = Alg_submodular; classification = cl }
+              Exact
+                {
+                  value;
+                  witness = None;
+                  algorithm = Alg_submodular;
+                  classification = cl;
+                  cert = Some (Certify.opaque (algorithm_name Alg_submodular));
+                }
           | Error msg -> invalid_arg ("Solver.solve_bounded: classifier/solver disagree: " ^ msg)
           | exception Budget.Exhausted reason ->
               if stage "satisfies" (fun () -> Eval.satisfies d reduced) then
@@ -203,6 +286,7 @@ let solve_bounded ?classification ?budget d a =
                     witness = Some [];
                     algorithm = Alg_trivial;
                     classification = cl;
+                    cert = Some (Certify.trivial "query-unsatisfied");
                   }
         end
       | Classify.NPHard _ | Classify.Unclassified _ -> hard_chain master cl reduced d

@@ -27,6 +27,12 @@ type result = {
           one; submodular minimization reports only the value *)
   algorithm : algorithm;
   classification : Classify.t;
+  cert : Cert.Certificate.t option;
+      (** portable evidence for the answer: a weak-duality [Cut] for the
+          MinCut algorithms, a hitting-set [Bounds] for branch and bound /
+          ILP, [Trivial] for the degenerate cases and [Opaque] for
+          submodular minimization (which has no independent certificate).
+          Re-checkable offline by [rpq_certcheck] without the solver. *)
 }
 
 val solve : ?classification:Classify.t -> Graphdb.Db.t -> Automata.Nfa.t -> result
@@ -52,6 +58,10 @@ type outcome =
               falsifies the query (re-verified under [RPQ_CHECK=paranoid]) *)
       spent : Budget.spent;  (** work actually performed *)
       reason : Budget.exhaustion;  (** which limit was hit first *)
+      cert : Cert.Certificate.t option;
+          (** a [Bounds] certificate: the hitting-set witness behind [upper]
+              plus, when the dual LP solved, the feasible dual vector that
+              certifies [lower] by weak duality *)
     }
 
 val solve_bounded :

@@ -34,6 +34,7 @@ let rule_layer_unassigned = Lint_rules.rule_layer_unassigned
 let rule_cycle = Lint_rules.rule_cycle
 let rule_reach = Lint_rules.rule_reach
 let rule_dune_unix = Lint_rules.rule_dune_unix
+let rule_exec_deps = Lint_rules.rule_exec_deps
 
 let banned_idents = Lint_rules.banned_idents
 let explain = Lint_rules.explain

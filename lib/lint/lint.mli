@@ -109,6 +109,10 @@ val rule_reach : string
 val rule_dune_unix : string
 (** The [unix] findlib library listed in dune without a grant. *)
 
+val rule_exec_deps : string
+(** An executable under a policy dependency allowlist linking a library
+    outside it. *)
+
 val banned_idents : (string * string * string) list
 (** [(identifier, rule, hint)] for every banned dotted identifier. *)
 

@@ -539,6 +539,35 @@ let analyze ~root ~policy =
                       })
             u.deps)
     g.units;
+  (* Executables under an exec-deps contract may link only their
+     allowlisted libraries — internal and external dependencies alike.
+     This is how rpq_certcheck's independence from the solver stack is
+     enforced rather than assumed. *)
+  List.iter
+    (fun u ->
+      if u.kind = Exec then
+        match Lint_policy.exec_deps_of policy u.uname with
+        | None -> ()
+        | Some allowed ->
+            List.iter
+              (fun d ->
+                if not (List.mem d allowed) then
+                  add
+                    {
+                      file = rel u.dune_file;
+                      line = u.libs_line;
+                      rule = rule_exec_deps;
+                      message =
+                        sprintf
+                          "executable %s links %s, outside its policy dependency allowlist \
+                           (%s): the independent checker must not share code with the \
+                           solvers it audits"
+                          u.uname d
+                          (String.concat ", " allowed);
+                      path = [];
+                    })
+              (u.deps @ u.ext_deps))
+    g.units;
   (* Declaring the unix findlib library is itself a capability claim. *)
   List.iter
     (fun u ->

@@ -7,6 +7,7 @@ type t = {
   grants : (string * cap list) list;
   random_modules : string list;
   unix_dep_ok : string list;
+  exec_deps : (string * string list) list;
 }
 
 (* The one policy table. This replaces the per-rule path exemptions the
@@ -36,6 +37,7 @@ let default =
       [
         ("invariant", 0);
         ("lint", 0);
+        ("cert", 1);
         ("obs", 1);
         ("automata", 2);
         ("graphs", 2);
@@ -59,6 +61,10 @@ let default =
       ];
     random_modules = [];
     unix_dep_ok = [ "obs"; "runner"; "bin" ];
+    (* Dependency ceilings for executables whose whole point is what they
+       do NOT link: the independent certificate checker must never share
+       code with the solvers it audits. *)
+    exec_deps = [ ("rpq_certcheck", [ "cert" ]) ];
   }
 
 let layer_of t name = List.assoc_opt name t.layers
@@ -75,3 +81,5 @@ let allowed t ~name ~dir cap =
   grants_cap t name cap || grants_cap t dir cap
 
 let random_module_allowed t slug = List.mem slug t.random_modules
+
+let exec_deps_of t name = List.assoc_opt name t.exec_deps

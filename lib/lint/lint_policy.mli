@@ -20,6 +20,11 @@ type t = {
           their own generator. *)
   unix_dep_ok : string list;
       (** units that may list the [unix] findlib library in dune. *)
+  exec_deps : (string * string list) list;
+      (** executable name -> exhaustive dependency allowlist (internal
+          and external alike). For executables whose contract is what
+          they do {e not} link: [rpq_certcheck] must stay independent of
+          every solver library, so it may depend on [cert] alone. *)
 }
 
 val default : t
@@ -33,3 +38,7 @@ val allowed : t -> name:string -> dir:string -> Lint_rules.cap -> bool
     exercise the capability. *)
 
 val random_module_allowed : t -> string -> bool
+
+val exec_deps_of : t -> string -> string list option
+(** The dependency allowlist of an executable, when the policy pins
+    one. *)

@@ -21,6 +21,7 @@ let rule_layer_unassigned = "layer-unassigned"
 let rule_cycle = "module-cycle"
 let rule_reach = "capability-reach"
 let rule_dune_unix = "dune-unix-dep"
+let rule_exec_deps = "exec-dep-contract"
 
 (* {2 Capabilities} *)
 
@@ -496,6 +497,12 @@ let explanations =
       "Listing the unix findlib library in a dune (libraries ...) stanza is a capability \
        declaration; only libraries granted 'unix' by the policy table (obs, runner) and bin/ \
        may do so." );
+    ( rule_exec_deps,
+      "Executables named in the policy table's exec-deps allowlist may link only the libraries \
+       listed there. rpq_certcheck is the independent answer checker: its value rests on NOT \
+       sharing code with the solvers it audits, so it may depend on the dependency-free 'cert' \
+       library alone — a dune edit that links a solver library silently destroys the \
+       independence argument, which is why it is contract-checked here." );
   ]
 
 let explain rule = List.assoc_opt rule explanations

@@ -25,6 +25,7 @@ val rule_layer_unassigned : string
 val rule_cycle : string
 val rule_reach : string
 val rule_dune_unix : string
+val rule_exec_deps : string
 
 (** {2 Capabilities} *)
 

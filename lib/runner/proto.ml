@@ -1,425 +1,7 @@
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
+(* The protocol implementation lives in the dependency-free [cert]
+   library so the independent certificate checker can parse reply
+   streams without linking the solver stack; this module re-exports it
+   under its historical name. *)
 
-  let buf_add_escaped b s =
-    Buffer.add_char b '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | '\n' -> Buffer.add_string b "\\n"
-        | '\r' -> Buffer.add_string b "\\r"
-        | '\t' -> Buffer.add_string b "\\t"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.add_char b '"'
-
-  let rec emit b = function
-    | Null -> Buffer.add_string b "null"
-    | Bool v -> Buffer.add_string b (if v then "true" else "false")
-    | Int i -> Buffer.add_string b (string_of_int i)
-    | Float f ->
-        if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.9g" f)
-        else Buffer.add_string b "null"
-    | Str s -> buf_add_escaped b s
-    | List vs ->
-        Buffer.add_char b '[';
-        List.iteri
-          (fun i v ->
-            if i > 0 then Buffer.add_char b ',';
-            emit b v)
-          vs;
-        Buffer.add_char b ']'
-    | Obj fields ->
-        Buffer.add_char b '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char b ',';
-            buf_add_escaped b k;
-            Buffer.add_char b ':';
-            emit b v)
-          fields;
-        Buffer.add_char b '}'
-
-  let to_string v =
-    let b = Buffer.create 256 in
-    emit b v;
-    Buffer.contents b
-
-  exception Bad of string
-
-  (* Minimal recursive-descent parser, sufficient for re-reading what
-     [to_string] emits (journal lines, job/reply frames). Input bytes above
-     0x7f pass through untouched; [\uXXXX] escapes decode to a single byte
-     when < 0x100 and to '?' otherwise. *)
-  let parse s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let skip_ws () =
-      while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n' || s.[!pos] = '\r')
-      do
-        incr pos
-      done
-    in
-    let expect c =
-      if !pos < n && s.[!pos] = c then incr pos
-      else fail (Printf.sprintf "expected %C" c)
-    in
-    let literal word v =
-      let l = String.length word in
-      if !pos + l <= n && String.sub s !pos l = word then begin
-        pos := !pos + l;
-        v
-      end
-      else fail (Printf.sprintf "expected %s" word)
-    in
-    let hex c =
-      match c with
-      | '0' .. '9' -> Char.code c - Char.code '0'
-      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-      | _ -> fail "bad hex digit in \\u escape"
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec loop () =
-        if !pos >= n then fail "unterminated string"
-        else
-          match s.[!pos] with
-          | '"' -> incr pos
-          | '\\' ->
-              incr pos;
-              (if !pos >= n then fail "unterminated escape"
-               else
-                 match s.[!pos] with
-                 | '"' -> Buffer.add_char b '"'; incr pos
-                 | '\\' -> Buffer.add_char b '\\'; incr pos
-                 | '/' -> Buffer.add_char b '/'; incr pos
-                 | 'n' -> Buffer.add_char b '\n'; incr pos
-                 | 'r' -> Buffer.add_char b '\r'; incr pos
-                 | 't' -> Buffer.add_char b '\t'; incr pos
-                 | 'b' -> Buffer.add_char b '\b'; incr pos
-                 | 'f' -> Buffer.add_char b '\012'; incr pos
-                 | 'u' ->
-                     if !pos + 4 >= n then fail "truncated \\u escape";
-                     let v =
-                       (hex s.[!pos + 1] lsl 12)
-                       lor (hex s.[!pos + 2] lsl 8)
-                       lor (hex s.[!pos + 3] lsl 4)
-                       lor hex s.[!pos + 4]
-                     in
-                     Buffer.add_char b (if v < 0x100 then Char.chr v else '?');
-                     pos := !pos + 5
-                 | c -> fail (Printf.sprintf "bad escape \\%c" c));
-              loop ()
-          | c -> Buffer.add_char b c; incr pos; loop ()
-      in
-      loop ();
-      Buffer.contents b
-    in
-    let parse_number () =
-      let start = !pos in
-      let is_num_char c =
-        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-      in
-      while !pos < n && is_num_char s.[!pos] do
-        incr pos
-      done;
-      let tok = String.sub s start (!pos - start) in
-      match int_of_string_opt tok with
-      | Some i -> Int i
-      | None -> begin
-          match float_of_string_opt tok with
-          | Some f -> Float f
-          | None -> fail (Printf.sprintf "bad number %S" tok)
-        end
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | None -> fail "unexpected end of input"
-      | Some '"' -> Str (parse_string ())
-      | Some 'n' -> literal "null" Null
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some '[' ->
-          incr pos;
-          skip_ws ();
-          if peek () = Some ']' then begin
-            incr pos;
-            List []
-          end
-          else begin
-            let items = ref [ parse_value () ] in
-            skip_ws ();
-            while peek () = Some ',' do
-              incr pos;
-              items := parse_value () :: !items;
-              skip_ws ()
-            done;
-            expect ']';
-            List (List.rev !items)
-          end
-      | Some '{' ->
-          incr pos;
-          skip_ws ();
-          if peek () = Some '}' then begin
-            incr pos;
-            Obj []
-          end
-          else begin
-            let field () =
-              skip_ws ();
-              let k = parse_string () in
-              skip_ws ();
-              expect ':';
-              let v = parse_value () in
-              (k, v)
-            in
-            let fields = ref [ field () ] in
-            skip_ws ();
-            while peek () = Some ',' do
-              incr pos;
-              fields := field () :: !fields;
-              skip_ws ()
-            done;
-            expect '}';
-            Obj (List.rev !fields)
-          end
-      | Some _ -> parse_number ()
-    in
-    match parse_value () with
-    | v ->
-        skip_ws ();
-        if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
-        else Ok v
-    | exception Bad msg -> Error msg
-
-  let member key = function
-    | Obj fields -> List.assoc_opt key fields
-    | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
-
-  let to_int_opt = function Int i -> Some i | _ -> None
-  let to_str_opt = function Str s -> Some s | _ -> None
-
-  let to_float_opt = function
-    | Float f -> Some f
-    | Int i -> Some (float_of_int i)
-    | _ -> None
-end
-
-open Resilience
-
-type budget_spec = { deadline : float option; steps : int option; memo_cap : int option }
-
-let no_budget = { deadline = None; steps = None; memo_cap = None }
-
-type job = {
-  id : string;
-  db : string;
-  query : string;
-  budget : budget_spec;
-  faults : string option;
-}
-
-type verdict =
-  | V_exact of { value : Value.t; algorithm : string; witness : int list option }
-  | V_bounded of { lower : Value.t; upper : Value.t; witness : int list option; reason : string }
-  | V_failed of { kind : string; message : string; retriable : bool }
-
-type reply = {
-  id : string;
-  attempts : int;
-  steps : int;
-  wall_s : float;
-  stages : (string * float) list;
-  verdict : verdict;
-}
-
-let failed ?(retriable = false) ~id ~kind fmt =
-  Printf.ksprintf
-    (fun message ->
-      {
-        id;
-        attempts = 1;
-        steps = 0;
-        wall_s = 0.0;
-        stages = [];
-        verdict = V_failed { kind; message; retriable };
-      })
-    fmt
-
-(* ---- encoding ---- *)
-
-let value_to_json = function Value.Finite n -> Json.Int n | Value.Infinite -> Json.Str "inf"
-
-let value_of_json = function
-  | Json.Int n -> Some (Value.Finite n)
-  | Json.Str "inf" -> Some Value.Infinite
-  | _ -> None
-
-let opt field conv = function None -> [] | Some v -> [ (field, conv v) ]
-
-let budget_fields b =
-  opt "timeout" (fun f -> Json.Float f) b.deadline
-  @ opt "steps" (fun i -> Json.Int i) b.steps
-  @ opt "memo_cap" (fun i -> Json.Int i) b.memo_cap
-
-let job_to_json (j : job) =
-  Json.to_string
-    (Json.Obj
-       ([ ("id", Json.Str j.id); ("query", Json.Str j.query); ("db", Json.Str j.db) ]
-       @ budget_fields j.budget
-       @ opt "faults" (fun s -> Json.Str s) j.faults))
-
-let witness_fields = function
-  | None -> []
-  | Some w -> [ ("witness", Json.List (List.map (fun i -> Json.Int i) w)) ]
-
-(* Emitted only when non-empty, so untraced replies are byte-identical to
-   the pre-telemetry schema. *)
-let stages_fields = function
-  | [] -> []
-  | sts -> [ ("stages", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) sts)) ]
-
-let reply_to_obj (r : reply) =
-  let common =
-    [
-      ("id", Json.Str r.id);
-      ("attempts", Json.Int r.attempts);
-      ("steps", Json.Int r.steps);
-      ("wall_s", Json.Float r.wall_s);
-    ]
-    @ stages_fields r.stages
-  in
-  let rest =
-    match r.verdict with
-    | V_exact { value; algorithm; witness } ->
-        [
-          ("outcome", Json.Str "exact");
-          ("value", value_to_json value);
-          ("algorithm", Json.Str algorithm);
-        ]
-        @ witness_fields witness
-    | V_bounded { lower; upper; witness; reason } ->
-        [
-          ("outcome", Json.Str "bounded");
-          ("lower", value_to_json lower);
-          ("upper", value_to_json upper);
-          ("reason", Json.Str reason);
-        ]
-        @ witness_fields witness
-    | V_failed { kind; message; retriable } ->
-        [
-          ("outcome", Json.Str "error");
-          ("kind", Json.Str kind);
-          ("message", Json.Str message);
-          ("retriable", Json.Bool retriable);
-        ]
-  in
-  Json.Obj (common @ rest)
-
-let reply_to_json r = Json.to_string (reply_to_obj r)
-
-(* ---- decoding ---- *)
-
-let field_err what = Error (Printf.sprintf "missing or ill-typed field %S" what)
-
-let get obj what conv = match Option.bind (Json.member what obj) conv with
-  | Some v -> Ok v
-  | None -> field_err what
-
-let get_opt obj what conv =
-  match Json.member what obj with
-  | None | Some Json.Null -> Ok None
-  | Some v -> ( match conv v with Some v -> Ok (Some v) | None -> field_err what)
-
-let ( let* ) = Result.bind
-
-let job_of_obj obj =
-  let* id = get obj "id" Json.to_str_opt in
-  let* query = get obj "query" Json.to_str_opt in
-  let* db = get obj "db" Json.to_str_opt in
-  let* deadline = get_opt obj "timeout" Json.to_float_opt in
-  let* steps = get_opt obj "steps" Json.to_int_opt in
-  let* memo_cap = get_opt obj "memo_cap" Json.to_int_opt in
-  let* faults = get_opt obj "faults" Json.to_str_opt in
-  Ok { id; db; query; budget = { deadline; steps; memo_cap }; faults }
-
-let job_of_json s =
-  let* v = Json.parse s in
-  job_of_obj v
-
-let witness_of obj =
-  match Json.member "witness" obj with
-  | None | Some Json.Null -> Ok None
-  | Some (Json.List items) ->
-      let ints = List.filter_map Json.to_int_opt items in
-      if List.length ints = List.length items then Ok (Some ints) else field_err "witness"
-  | Some _ -> field_err "witness"
-
-let stages_of obj =
-  match Json.member "stages" obj with
-  | None | Some Json.Null -> Ok []
-  | Some (Json.Obj fields) ->
-      let parsed =
-        List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.to_float_opt v)) fields
-      in
-      if List.length parsed = List.length fields then Ok parsed else field_err "stages"
-  | Some _ -> field_err "stages"
-
-let reply_of_obj obj =
-  let* id = get obj "id" Json.to_str_opt in
-  let* attempts = get obj "attempts" Json.to_int_opt in
-  let* steps = get obj "steps" Json.to_int_opt in
-  let* wall_s = get obj "wall_s" Json.to_float_opt in
-  let* stages = stages_of obj in
-  let* outcome = get obj "outcome" Json.to_str_opt in
-  let* verdict =
-    match outcome with
-    | "exact" ->
-        let* value = get obj "value" value_of_json in
-        let* algorithm = get obj "algorithm" Json.to_str_opt in
-        let* witness = witness_of obj in
-        Ok (V_exact { value; algorithm; witness })
-    | "bounded" ->
-        let* lower = get obj "lower" value_of_json in
-        let* upper = get obj "upper" value_of_json in
-        let* reason = get obj "reason" Json.to_str_opt in
-        let* witness = witness_of obj in
-        Ok (V_bounded { lower; upper; witness; reason })
-    | "error" ->
-        let* kind = get obj "kind" Json.to_str_opt in
-        let* message = get obj "message" Json.to_str_opt in
-        let* retriable = get obj "retriable" (function Json.Bool b -> Some b | _ -> None) in
-        Ok (V_failed { kind; message; retriable })
-    | other -> Error (Printf.sprintf "unknown outcome %S" other)
-  in
-  Ok { id; attempts; steps; wall_s; stages; verdict }
-
-let reply_of_json s =
-  let* v = Json.parse s in
-  reply_of_obj v
-
-(* [wall_s] and [stages] are both wall-clock measurements: legitimately
-   different across otherwise-identical runs, so both are excluded. *)
-let reply_equal_ignoring_time (a : reply) (b : reply) =
-  a.id = b.id && a.attempts = b.attempts && a.steps = b.steps && a.verdict = b.verdict
-
-let verdict_name = function
-  | V_exact _ -> "exact"
-  | V_bounded _ -> "bounded"
-  | V_failed _ -> "error"
+module Json = Cert.Json
+include Cert.Proto

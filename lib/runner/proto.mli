@@ -1,110 +1,12 @@
 (** Wire protocol for the supervised execution layer.
 
-    Jobs and replies cross the supervisor/worker pipe boundary (and the
-    [rpq serve] stdin/stdout boundary, and the journal) as single lines of
-    JSON, so one schema serves all three. The encoder/decoder pair is
-    hand-rolled: the project deliberately has no JSON dependency, and the
-    subset needed here (objects, arrays, strings, ints, floats, bools,
-    null) is small enough to keep total. *)
+    The implementation lives in {!Cert.Proto} (and {!Cert.Json}) inside
+    the dependency-free [cert] library, so that [rpq_certcheck] can parse
+    reply streams without linking any solver code. This module re-exports
+    it unchanged under the historical [Runner.Proto] name. *)
 
-(** Minimal JSON values with a total emitter and a parser for re-reading
-    what the emitter produced. *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
+module Json = Cert.Json
 
-  val to_string : t -> string
-  (** Compact one-line rendering. Non-finite floats emit as [null];
-      control characters, backslash, and double quote are escaped, so the
-      result never contains a raw newline — safe for line-delimited
-      framing. *)
-
-  val parse : string -> (t, string) result
-  (** Strict: the whole input must be one JSON value (surrounding
-      whitespace allowed). Duplicate keys keep the first occurrence. *)
-
-  val member : string -> t -> t option
-  val to_int_opt : t -> int option
-  val to_str_opt : t -> string option
-
-  val to_float_opt : t -> float option
-  (** Accepts ints too (JSON does not distinguish [1] from [1.0]). *)
+include module type of struct
+  include Cert.Proto
 end
-
-type budget_spec = {
-  deadline : float option;  (** seconds of processor time *)
-  steps : int option;
-  memo_cap : int option;
-}
-
-val no_budget : budget_spec
-
-type job = {
-  id : string;  (** caller-chosen; echoed in the reply and the journal *)
-  db : string;  (** database in {!Graphdb.Serialize} text form *)
-  query : string;  (** RPQ regex, [Automata.Regex.parse] syntax *)
-  budget : budget_spec;
-  faults : string option;
-      (** per-job {!Resilience.Faults} plan ([Faults.parse] grammar);
-          [None] inherits the worker's ambient plan *)
-}
-
-type verdict =
-  | V_exact of {
-      value : Resilience.Value.t;
-      algorithm : string;
-      witness : int list option;  (** fact ids of an optimal removal set *)
-    }
-  | V_bounded of {
-      lower : Resilience.Value.t;
-      upper : Resilience.Value.t;
-      witness : int list option;  (** fact ids certifying [upper] *)
-      reason : string;
-    }
-  | V_failed of { kind : string; message : string; retriable : bool }
-      (** [kind] is a stable machine-readable tag ("crash", "timeout",
-          "overloaded", "bad-job", ...); [retriable] tells callers of
-          [rpq serve] whether resubmitting the same job can help. *)
-
-type reply = {
-  id : string;
-  attempts : int;  (** 1 for a first-try success *)
-  steps : int;  (** budget ticks spent by the successful attempt *)
-  wall_s : float;  (** supervisor-side wall-clock seconds, volatile *)
-  stages : (string * float) list;
-      (** worker-side seconds per solver stage ({!Obs.Trace.with_stages}),
-          sorted by stage name; empty when stage accounting was off. On
-          the wire it is an optional [stages] object, omitted when empty.
-          Volatile like [wall_s]: excluded from
-          {!reply_equal_ignoring_time}. *)
-  verdict : verdict;
-}
-
-val failed :
-  ?retriable:bool -> id:string -> kind:string -> ('a, unit, string, reply) format4 -> 'a
-(** [failed ~id ~kind fmt ...] builds an error reply ([attempts = 1],
-    [retriable] defaults to [false]). *)
-
-val job_to_json : job -> string
-val job_of_json : string -> (job, string) result
-val reply_to_json : reply -> string
-val reply_of_json : string -> (reply, string) result
-
-val reply_to_obj : reply -> Json.t
-val reply_of_obj : Json.t -> (reply, string) result
-(** The [Json.t]-level halves of [reply_to_json]/[reply_of_json], for
-    embedding replies inside larger objects (journal entries). *)
-
-val reply_equal_ignoring_time : reply -> reply -> bool
-(** Structural equality minus [wall_s] and [stages] — the comparison used by journal
-    re-verification and the resume-determinism tests, where wall-clock is
-    the only legitimately nondeterministic field. *)
-
-val verdict_name : verdict -> string
-(** [exact], [bounded], or [error] — matching the wire [outcome] field. *)

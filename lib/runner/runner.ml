@@ -3,8 +3,6 @@ module Pool = Pool
 module Journal = Journal
 open Proto
 module Ser = Graphdb.Serialize
-module Db = Graphdb.Db
-module Eval = Graphdb.Eval
 open Resilience
 module Trace = Obs.Trace
 
@@ -109,30 +107,32 @@ let run_job_inner (job : job) : reply =
                       (Budget.create ?deadline:b.deadline ?steps:b.steps ?memo_cap:b.memo_cap
                          ?probe ())
               in
-              let verdict =
+              let verdict, cert =
                 Fun.protect
                   ~finally:(fun () -> Option.iter Gc.delete_alarm alarm)
                 @@ fun () ->
                 match Solver.solve_bounded ?budget p.Ser.db lang with
                 | Solver.Exact r ->
-                    V_exact
-                      {
-                        value = r.Solver.value;
-                        algorithm = Solver.algorithm_name r.Solver.algorithm;
-                        witness = r.Solver.witness;
-                      }
-                | Solver.Bounded { lower; upper; upper_witness; reason; spent = _ } ->
-                    V_bounded
-                      {
-                        lower;
-                        upper;
-                        witness = upper_witness;
-                        reason = Budget.exhaustion_name reason;
-                      }
+                    ( V_exact
+                        {
+                          value = r.Solver.value;
+                          algorithm = Solver.algorithm_name r.Solver.algorithm;
+                          witness = r.Solver.witness;
+                        },
+                      r.Solver.cert )
+                | Solver.Bounded { lower; upper; upper_witness; reason; spent = _; cert } ->
+                    ( V_bounded
+                        {
+                          lower;
+                          upper;
+                          witness = upper_witness;
+                          reason = Budget.exhaustion_name reason;
+                        },
+                      cert )
                 | exception Invalid_argument e ->
-                    V_failed { kind = "bad-job"; message = e; retriable = false }
+                    (V_failed { kind = "bad-job"; message = e; retriable = false }, None)
                 | exception Invariant.Internal_error e ->
-                    V_failed { kind = "internal"; message = e; retriable = false }
+                    (V_failed { kind = "internal"; message = e; retriable = false }, None)
               in
               {
                 id = job.id;
@@ -141,6 +141,7 @@ let run_job_inner (job : job) : reply =
                 wall_s = 0.0;
                 stages = [];
                 verdict;
+                cert;
               }
         end
     end
@@ -373,32 +374,13 @@ let drain e =
 (* Batch runs with journal-based crash recovery.                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Cheap re-verification of a recorded answer: a witness (a set of fact
-   ids) must actually falsify the query, and its cost must match the
-   claimed exact value / upper bound. Witness-free and error replies are
-   taken at face value — there is nothing cheap to check. *)
-let verify_reply (job : job) (reply : reply) =
-  let check witness claimed =
-    match (Ser.parse job.db, Automata.Regex.parse_opt job.query) with
-    | Ok p, Some _ ->
-        let db = p.Ser.db in
-        let lang = Automata.Lang.of_string job.query in
-        let removed =
-          let tbl = Hashtbl.create (List.length witness) in
-          List.iter (fun id -> Hashtbl.replace tbl id ()) witness;
-          fun id -> Hashtbl.mem tbl id
-        in
-        let cost = List.fold_left (fun acc id -> acc + Db.mult db id) 0 witness in
-        (not (Eval.satisfies (Db.restrict db ~removed) lang))
-        && (match claimed with
-           | Value.Finite n -> cost = n
-           | Value.Infinite -> false)
-    | _ -> false
-  in
-  match reply.verdict with
-  | V_exact { value; witness = Some w; _ } -> check w value
-  | V_bounded { upper; witness = Some w; _ } -> check w upper
-  | V_exact { witness = None; _ } | V_bounded { witness = None; _ } | V_failed _ -> true
+(* Re-verification of a recorded answer on journal resume: the reply's
+   certificate must re-check. This subsumes the old witness-only test
+   (a Cut/Bounds certificate pins the witness to the serialized
+   evidence) and additionally rejects settled answers whose optimality
+   argument does not hold — without re-running any solver. *)
+let verify_reply (reply : reply) =
+  match Cert.Checker.check_reply reply with Ok () -> true | Error _ -> false
 
 type batch_stats = { ran : int; resumed : int; failures : int }
 
@@ -439,7 +421,7 @@ let run_batch ?journal cfg (jobs : job list) : reply list * batch_stats =
             match Hashtbl.find_opt recorded j.id with
             | Some (digest, reply)
               when digest = Journal.job_digest j
-                   && (Check.level () = Check.Off || verify_reply j reply) ->
+                   && (Check.level () = Check.Off || verify_reply reply) ->
                 Hashtbl.replace results j.id reply;
                 incr resumed;
                 false

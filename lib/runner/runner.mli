@@ -87,11 +87,13 @@ val degrade_budget : degrade:int -> Proto.budget_spec -> Proto.budget_spec
     unconstrained crashing job converges to a budget small enough for
     exhaustion to win. Exposed for the monotonicity tests. *)
 
-val verify_reply : Proto.job -> Proto.reply -> bool
-(** Cheap validity check of a recorded answer, used on journal resume:
-    any witness carried by the reply must falsify the query on the job's
-    database at exactly the claimed cost. Witness-free and error replies
-    pass vacuously. *)
+val verify_reply : Proto.reply -> bool
+(** Validity check of a recorded answer, used on journal resume: the
+    reply's certificate must re-check ({!Cert.Checker.check_reply}).
+    This needs no access to the job — the certificate carries its own
+    evidence — and rejects both forged witnesses (a [Cut]/[Bounds]
+    certificate pins the witness) and settled answers whose optimality
+    argument fails, without re-running any solver. *)
 
 type batch_stats = {
   ran : int;  (** jobs actually executed this run *)

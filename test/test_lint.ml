@@ -365,6 +365,70 @@ let test_layer_violation () =
           Alcotest.failf "expected exactly the layering finding, got: %s"
             (String.concat "; " (List.map Lint.finding_to_string fs)))
 
+(* The exec-deps contract: an executable with a policy allowlist is
+   flagged for every library it links beyond the list — internal and
+   external alike — and is clean once it sheds them. This is the
+   mechanism keeping rpq_certcheck independent of the solver stack. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let exec_deps_tree checker_libs =
+  [
+    ("lib/cert0/dune", "(library (name cert0))\n");
+    ("lib/cert0/ck.ml", "let ok = true\n");
+    ("lib/cert0/ck.mli", "val ok : bool\n");
+    ("lib/solver0/dune", "(library (name solver0))\n");
+    ("lib/solver0/s.ml", "let solve = 42\n");
+    ("lib/solver0/s.mli", "val solve : int\n");
+    ( "bin/dune",
+      Printf.sprintf "(executable (name checker) (libraries %s))\n" checker_libs );
+    ("bin/checker.ml", "let () = ignore Cert0.Ck.ok\n");
+  ]
+
+let exec_deps_policy =
+  {
+    Lint_policy.default with
+    Lint_policy.layers = [ ("cert0", 0); ("solver0", 0) ];
+    peer_layers = [ 0 ];
+    exec_layer = 1;
+    exec_deps = [ ("checker", [ "cert0" ]) ];
+  }
+
+let test_exec_deps_violation () =
+  with_tree "rpq_lint_execdeps_fixture"
+    (exec_deps_tree "cert0 solver0 str")
+    (fun root ->
+      let a = Lint.analyze ~root ~policy:exec_deps_policy in
+      let hits =
+        List.filter (fun f -> f.Lint.rule = Lint.rule_exec_deps) a.Lint.findings
+      in
+      Alcotest.(check int)
+        "one finding per library outside the allowlist" 2 (List.length hits);
+      List.iter
+        (fun f ->
+          Alcotest.(check string) "flagged at the dune stanza" "bin/dune" f.Lint.file)
+        hits;
+      Alcotest.(check bool)
+        "the internal solver link is named" true
+        (List.exists
+           (fun f ->
+             contains f.Lint.message "solver0"
+             && contains f.Lint.message "cert0")
+           hits);
+      Alcotest.(check bool)
+        "the external str link is named" true
+        (List.exists (fun f -> contains f.Lint.message "str") hits))
+
+let test_exec_deps_clean () =
+  with_tree "rpq_lint_execdeps_clean_fixture" (exec_deps_tree "cert0") (fun root ->
+      let a = Lint.analyze ~root ~policy:exec_deps_policy in
+      Alcotest.(check (list string))
+        "allowlisted link only: clean" []
+        (List.map Lint.finding_to_string
+           (List.filter (fun f -> f.Lint.rule = Lint.rule_exec_deps) a.Lint.findings)))
+
 let test_module_cycle () =
   with_tree "rpq_lint_cycle_fixture"
     [
@@ -496,6 +560,8 @@ let () =
           Alcotest.test_case "transitive reach witness" `Quick test_transitive_reach;
           Alcotest.test_case "grant stops propagation" `Quick test_grant_stops_propagation;
           Alcotest.test_case "layer violation" `Quick test_layer_violation;
+          Alcotest.test_case "exec-deps violation" `Quick test_exec_deps_violation;
+          Alcotest.test_case "exec-deps clean" `Quick test_exec_deps_clean;
           Alcotest.test_case "module cycle" `Quick test_module_cycle;
           Alcotest.test_case "deterministic json" `Quick test_json_deterministic;
           Alcotest.test_case "unreadable root errors" `Quick test_unreadable_root_errors;

@@ -77,6 +77,7 @@ let test_proto_roundtrip () =
         verdict =
           Proto.V_exact
             { value = Value.Finite 3; algorithm = "mincut"; witness = Some [ 1; 2; 7 ] };
+        cert = Some (Cert.Certificate.Trivial { why = "query-unsatisfied" });
       };
       {
         Proto.id = "b";
@@ -87,6 +88,7 @@ let test_proto_roundtrip () =
         verdict =
           Proto.V_bounded
             { lower = Value.Finite 1; upper = Value.Infinite; witness = None; reason = "steps" };
+        cert = None;
       };
       Proto.failed ~retriable:true ~id:"f" ~kind:"overloaded" "queue full (%d jobs)" 64;
     ]
@@ -681,9 +683,10 @@ let test_journal_rejects_corrupt_answer () =
       Sys.remove path;
       let jobs = [ job ~id:"a" () ] in
       let _ = run_batch ~journal:path jobs in
-      (* Tamper: claim the answer was exact 1 with an empty witness. An
-         empty removal set cannot falsify a satisfied query, so cheap
-         re-verification must throw the record away and recompute. *)
+      (* Tamper: claim the answer was exact 1 with an empty witness and no
+         certificate. Resume-time re-checking requires settled answers to
+         carry a valid certificate, so the record is thrown away and the
+         job recomputed. *)
       let forged =
         {
           Proto.id = "a";
@@ -693,6 +696,7 @@ let test_journal_rejects_corrupt_answer () =
           stages = [];
           verdict =
             Proto.V_exact { value = Value.Finite 1; algorithm = "forged"; witness = Some [] };
+          cert = None;
         }
       in
       let j = open_exn path in
@@ -704,7 +708,7 @@ let test_journal_rejects_corrupt_answer () =
       in
       check "forged answer not reused" true (stats.Runner.ran = 1 && stats.Runner.resumed = 0);
       (match replies with
-      | [ r ] -> check "recomputed answer is sound" true (Runner.verify_reply (List.nth jobs 0) r)
+      | [ r ] -> check "recomputed answer is sound" true (Runner.verify_reply r)
       | _ -> Alcotest.fail "expected one reply");
       (* With checking off, the (well-formed) record is taken at face
          value: resume must not pay verification cost unless asked. *)
@@ -754,13 +758,17 @@ let test_max_heap_bounds () =
 let test_verify_reply () =
   let j = job ~id:"v" () in
   let good = Runner.run_job_locally j in
-  check "honest reply verifies" true (Runner.verify_reply j good);
+  check "honest reply verifies" true (Runner.verify_reply good);
+  (* A forged verdict no longer matches the (untouched) certificate: the
+     unknown algorithm name and the unpinned witness must both fail. *)
   let forged =
     { good with Proto.verdict = Proto.V_exact { value = Value.Finite 1; algorithm = "x"; witness = Some [] } }
   in
-  check "forged witness fails" false (Runner.verify_reply j forged);
+  check "forged witness fails" false (Runner.verify_reply forged);
+  check "stripped certificate fails" false
+    (Runner.verify_reply { good with Proto.cert = None });
   check "error replies pass vacuously" true
-    (Runner.verify_reply j (Proto.failed ~id:"v" ~kind:"crash" "boom"))
+    (Runner.verify_reply (Proto.failed ~id:"v" ~kind:"crash" "boom"))
 
 (* ---- serve ---- *)
 
