@@ -742,6 +742,161 @@ let ablation_journal () =
       output_char oc '\n');
   Printf.printf "  wrote BENCH_pr5.json\n%!"
 
+(* ------------------------------------------------------------------ *)
+(* ABLATION: multi-client serve — cache, throughput, shedding.         *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_serve () =
+  Printf.printf
+    "Serve ablation: certificate-gated cache hit vs recompute latency, throughput vs\n\
+     concurrent client count over pre-connected socketpairs, and the shed rate when\n\
+     the admission queue saturates.\n\
+     Machine-readable: BENCH_pr8.json.\n\n";
+  let open Runner.Proto.Json in
+  let percentile sorted q =
+    sorted.(min (Array.length sorted - 1) (int_of_float (q *. float_of_int (Array.length sorted))))
+  in
+  let pre, _ = Gadgets.gadget_aa () in
+  let hard_db = Graphdb.Serialize.to_string (Gadgets.encode pre (Graphs.Ugraph.complete 5)) in
+  let easy_db = "s a m\nm a t\n" in
+  let job id db steps =
+    { Runner.Proto.id; db; query = "aa"; budget = { Runner.Proto.no_budget with steps }; faults = Some "off" }
+  in
+  (* Drive serve_sockets end-to-end: each client pre-writes its job
+     lines on its socketpair end and half-closes; replies are read back
+     after the server returns. *)
+  let serve_clients scfg jobs_per_client =
+    let ends = List.map (fun _ -> Runner.Transport.pair ()) jobs_per_client in
+    let chans = List.map (fun (_, fd) -> Runner.Transport.channels_of_fd fd) ends in
+    List.iter2
+      (fun (_, oc) js ->
+        List.iter (fun j -> output_string oc (Runner.Proto.job_to_json j ^ "\n")) js;
+        Runner.Transport.shutdown_send oc)
+      chans jobs_per_client;
+    let (), wall =
+      time_it (fun () -> Runner.serve_sockets ~preconnected:(List.map fst ends) scfg)
+    in
+    let replies =
+      List.concat_map
+        (fun (ic, oc) ->
+          let rec rd acc =
+            match input_line ic with
+            | line -> rd (line :: acc)
+            | exception End_of_file ->
+                close_in ic;
+                close_out_noerr oc;
+                List.rev acc
+          in
+          List.filter_map
+            (fun line -> Result.to_option (Runner.Proto.reply_of_json line))
+            (rd []))
+        chans
+    in
+    (wall, replies)
+  in
+  (* 1. Cache hit (certificate re-check included) vs recompute, on a
+     budgeted hard solve. *)
+  let jh = job "h" hard_db (Some 400) in
+  let digest = Runner.Journal.canonical_digest jh in
+  let reply = Runner.run_job_locally jh in
+  let cache = Runner.Cache.create ~entries:16 in
+  Runner.Cache.store cache ~digest reply;
+  let time_many n f = Array.init n (fun _ -> snd (time_it f)) in
+  let hit_lat =
+    time_many 500 (fun () ->
+        match Runner.Cache.find cache ~digest ~id:"x" with
+        | Runner.Cache.Hit _ -> ()
+        | Runner.Cache.Miss | Runner.Cache.Cert_reject _ -> ())
+  in
+  let miss_lat = time_many 40 (fun () -> ignore (Runner.run_job_locally jh)) in
+  Array.sort compare hit_lat;
+  Array.sort compare miss_lat;
+  let hit_p50 = percentile hit_lat 0.50 and hit_p99 = percentile hit_lat 0.99 in
+  let miss_p50 = percentile miss_lat 0.50 and miss_p99 = percentile miss_lat 0.99 in
+  Printf.printf "  cache hit   p50 %.6fs  p99 %.6fs  (n=%d, cert re-checked per hit)\n"
+    hit_p50 hit_p99 (Array.length hit_lat);
+  Printf.printf "  recompute   p50 %.6fs  p99 %.6fs  (n=%d)\n%!" miss_p50 miss_p99
+    (Array.length miss_lat);
+  let cache_row =
+    Obj
+      [
+        ("hit_p50_s", Float hit_p50); ("hit_p99_s", Float hit_p99);
+        ("miss_p50_s", Float miss_p50); ("miss_p99_s", Float miss_p99);
+        ("speedup_p50", Float (miss_p50 /. Float.max hit_p50 1e-9));
+      ]
+  in
+  (* 2. Throughput vs concurrent clients: a fixed mixed job set split
+     round-robin across k clients, cache off so every job computes. *)
+  let total = 48 in
+  let all_jobs =
+    List.init total (fun i ->
+        if i mod 4 = 3 then job (Printf.sprintf "h%d" i) hard_db (Some 400)
+        else job (Printf.sprintf "e%d" i) easy_db None)
+  in
+  Printf.printf "\n  %8s %10s %12s %10s\n" "clients" "jobs" "wall (s)" "jobs/s";
+  let throughput_rows =
+    List.map
+      (fun nclients ->
+        let buckets = Array.make nclients [] in
+        List.iteri (fun i j -> buckets.(i mod nclients) <- j :: buckets.(i mod nclients)) all_jobs;
+        let per_client = Array.to_list (Array.map List.rev buckets) in
+        let base =
+          { Runner.default_config with Runner.workers = 4; retries = 1; backoff = 0.005 }
+        in
+        let scfg = { Runner.default_serve_config with Runner.base = base; cache_entries = 0 } in
+        let wall, replies = serve_clients scfg per_client in
+        let rate = float_of_int (List.length replies) /. wall in
+        Printf.printf "  %8d %10d %12.3f %10.1f\n%!" nclients (List.length replies) wall rate;
+        Obj
+          [
+            ("clients", Int nclients); ("jobs", Int (List.length replies));
+            ("wall_s", Float wall); ("jobs_per_s", Float rate);
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  (* 3. Shedding under overload: a tiny queue cap against four eager
+     clients; retriable `overloaded' replies are the safety valve. *)
+  let overload_jobs = List.init 32 (fun i -> job (Printf.sprintf "o%d" i) easy_db None) in
+  let per_client = List.init 4 (fun c ->
+      List.map (fun (j : Runner.Proto.job) ->
+          { j with Runner.Proto.id = Printf.sprintf "c%d_%s" c j.Runner.Proto.id })
+        overload_jobs)
+  in
+  let base = { Runner.default_config with Runner.workers = 2; retries = 0; queue_cap = 8 } in
+  let scfg = { Runner.default_serve_config with Runner.base = base; cache_entries = 0 } in
+  let wall, replies = serve_clients scfg per_client in
+  let shed =
+    List.length
+      (List.filter
+         (fun (r : Runner.Proto.reply) ->
+           match r.Runner.Proto.verdict with
+           | Runner.Proto.V_failed { kind = "overloaded"; _ } -> true
+           | _ -> false)
+         replies)
+  in
+  let nreplies = List.length replies in
+  let shed_rate = float_of_int shed /. float_of_int (max 1 nreplies) in
+  Printf.printf
+    "\n  overload: %d jobs over 4 clients, queue cap 8 -> %d shed (%.1f%%) in %.3fs\n%!"
+    nreplies shed (100.0 *. shed_rate) wall;
+  let shed_row =
+    Obj
+      [
+        ("jobs", Int nreplies); ("clients", Int 4); ("queue_cap", Int 8);
+        ("shed", Int shed); ("shed_rate", Float shed_rate); ("wall_s", Float wall);
+      ]
+  in
+  Out_channel.with_open_text "BENCH_pr8.json" (fun oc ->
+      output_string oc
+        (to_string
+           (Obj
+              [
+                ("cache", cache_row); ("throughput", List throughput_rows);
+                ("shedding", shed_row);
+              ]));
+      output_char oc '\n');
+  Printf.printf "  wrote BENCH_pr8.json\n%!"
+
 let () =
   section "fig1" "FIG1: classification table" fig1;
   section "fig2" "FIG2: example automata" fig2;
@@ -777,6 +932,7 @@ let () =
   section "ablation_anytime" "ABLATION: anytime bounds vs work budget" ablation_anytime;
   section "ablation_pool" "ABLATION: supervised pool throughput vs worker count" ablation_pool;
   section "ablation_journal" "ABLATION: journal sync policy, recovery, compaction" ablation_journal;
+  section "ablation_serve" "ABLATION: multi-client serve, cache, shedding" ablation_serve;
   section "scaling_submodular" "SCALING: Proposition 7.7" scaling_submodular;
   section "scaling_local" "SCALING: Theorem 3.3" scaling_local;
   section "scaling_bcl" "SCALING: Proposition 7.5" scaling_bcl;

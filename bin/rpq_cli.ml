@@ -687,23 +687,109 @@ let batch_cmd =
       $ journal_sync_arg $ max_heap_arg $ trace_arg)
 
 let serve_cmd =
-  let run workers retries queue_cap job_timeout max_heap =
-    match
-      runner_config workers retries queue_cap job_timeout
-        Runner.default_config.Runner.journal_sync max_heap
-    with
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"PATH"
+          ~doc:
+            "Listen for clients on a Unix-domain socket at $(docv) (a stale socket file is \
+             replaced). With $(b,--listen) or $(b,--tcp), stdin/stdout are not served; without \
+             either, jobs come from stdin as before.")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:"Listen for clients on loopback TCP port $(docv) (0 picks a free port).")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value
+      & opt int Runner.default_serve_config.Runner.cache_entries
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:
+            "Result-cache capacity: settled replies are cached under the job's canonical \
+             digest and an identical resubmission (from any client) is answered from the \
+             cache — but only after the cached certificate re-checks; a failing entry is \
+             evicted and the job recomputed. 0 disables the cache.")
+  in
+  let client_inflight_arg =
+    Arg.(
+      value
+      & opt int Runner.default_serve_config.Runner.client_inflight
+      & info [ "client-inflight" ] ~docv:"N"
+          ~doc:
+            "Per-client cap on outstanding jobs; admission into the worker pool is \
+             round-robin across clients, so one chatty client cannot monopolize it.")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value
+      & opt float Runner.default_serve_config.Runner.drain_grace
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Graceful-drain budget on SIGTERM/SIGINT: stop accepting, shed queued jobs with \
+             retriable `overloaded' replies, wait up to $(docv) for inflight jobs to settle, \
+             flush, release the journal lock, exit 0.")
+  in
+  let serve_journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append every settlement here (under the client's original job id and the \
+             canonical job digest) and pre-seed the result cache from it on start; a seeded \
+             entry is still certificate-checked on every use, so a tampered journal entry \
+             can be seeded but never served.")
+  in
+  let run workers retries queue_cap job_timeout journal_sync max_heap listen tcp cache_entries
+      client_inflight drain_grace journal trace =
+    configure_trace trace;
+    match runner_config workers retries queue_cap job_timeout journal_sync max_heap with
     | Error e -> input_error "serve: %s" e
     | Ok cfg ->
-        Runner.serve cfg stdin stdout;
-        0
+        if cache_entries < 0 then input_error "serve: negative cache size"
+        else if client_inflight < 1 then
+          input_error "serve: client inflight cap must be at least 1"
+        else if drain_grace < 0.0 then input_error "serve: negative drain grace"
+        else begin
+          let scfg =
+            {
+              Runner.base = cfg;
+              listen;
+              tcp;
+              cache_entries;
+              client_inflight;
+              drain_grace;
+              write_timeout = Runner.default_serve_config.Runner.write_timeout;
+              serve_journal = journal;
+            }
+          in
+          let stdio = if listen = None && tcp = None then Some (stdin, stdout) else None in
+          match Runner.serve_sockets ?stdio scfg with
+          | () -> 0
+          | exception Invalid_argument e -> input_error "%s" e
+        end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve resilience jobs from stdin (one JSON job per line) to stdout (one JSON reply \
-          per line, in settlement order), under the supervised worker pool with admission \
-          control. Runs until stdin closes and every accepted job has settled.")
-    Term.(const run $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg $ max_heap_arg)
+         "Serve resilience jobs (one JSON job per line in, one JSON reply per line out, in \
+          settlement order) under the supervised worker pool — from stdin, a Unix-domain \
+          socket ($(b,--listen)), a loopback TCP port ($(b,--tcp)), or several at once. \
+          Multi-client: admission is round-robin with a per-client inflight cap, a malformed \
+          line poisons only the client that sent it, a disconnect cancels only that client's \
+          queued jobs, and settled replies are cached under a certificate gate \
+          ($(b,--cache-entries)). SIGTERM/SIGINT drain gracefully ($(b,--drain-grace)). A \
+          line $(b,{\"stats\":true}) answers immediately with the metrics snapshot \
+          (job/cache/client counters and gauges).")
+    Term.(
+      const run $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg $ journal_sync_arg
+      $ max_heap_arg $ listen_arg $ tcp_arg $ cache_entries_arg $ client_inflight_arg
+      $ drain_grace_arg $ serve_journal_arg $ trace_arg)
 
 (* ---- journal: inspect / compact ---- *)
 
@@ -896,6 +982,261 @@ let read_replies path =
 let normalized_reply (r : Runner.Proto.reply) =
   Runner.Proto.reply_to_json { r with Runner.Proto.wall_s = 0.0; stages = [] }
 
+(* Children inherit our environment minus any ambient fault or trace
+   plan — the chaos schedule owns fault injection. *)
+let chaos_child_env faults =
+  let keep =
+    Array.to_list (Unix.environment ())
+    |> List.filter (fun kv ->
+           not
+             (String.starts_with ~prefix:"RPQ_FAULTS=" kv
+             || String.starts_with ~prefix:"RPQ_TRACE=" kv))
+  in
+  Array.of_list (("RPQ_FAULTS=" ^ faults) :: keep)
+
+let rec chaos_waitpid pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> chaos_waitpid pid
+
+(* ---- chaos --churn: client churn over a live socket server ----
+
+   The harness starts this very binary as `rpq serve --listen ...` with a
+   content-invariant net fault armed ([net:partial_write:P] halves every
+   socket flush — the suffix stays buffered, so payloads are unchanged),
+   then drives a seeded schedule at it: victims connect, submit, and
+   vanish mid-stream; two survivors (one a slow reader) split every job
+   and read their replies; a finishing client resubmits every job so the
+   journal's settled map is total despite the cancellations. Assertions:
+   every reply a surviving client reads carries a valid certificate, the
+   server drains cleanly on SIGTERM (exit 0, journal lock released), and
+   the journal's settled answers equal a churn-free reference serve run
+   modulo wall-clock fields. Everything printed is a pure function of the
+   seed and the jobfile, so two runs diff byte-identically. *)
+let run_churn ~jobs ~kills ~seed ~net_period ~(cfg : Runner.config) =
+  let die fmt =
+    Printf.ksprintf
+      (fun msg ->
+        prerr_endline ("rpq: chaos: " ^ msg);
+        exit 1)
+      fmt
+  in
+  (* A victim's vanished reader must surface as EPIPE in the server, and
+     a vanished server as EPIPE here — never as SIGPIPE. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  let njobs = List.length jobs in
+  let job_arr = Array.of_list jobs in
+  let tmpdir = Filename.temp_file "rpq_churn" "" in
+  Sys.remove tmpdir;
+  Unix.mkdir tmpdir 0o700;
+  let sock = Filename.concat tmpdir "churn.sock" in
+  let journal = Filename.concat tmpdir "churn.journal" in
+  let ref_sock = Filename.concat tmpdir "ref.sock" in
+  let ref_journal = Filename.concat tmpdir "ref.journal" in
+  let cleanup () =
+    List.iter
+      (fun f -> if Sys.file_exists f then Sys.remove f)
+      [ sock; journal; journal ^ ".tmp"; ref_sock; ref_journal; ref_journal ^ ".tmp" ];
+    match Unix.rmdir tmpdir with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let start_server ~faults ~sock ~journal =
+    let argv =
+      [
+        Sys.executable_name; "serve";
+        "--listen"; sock;
+        "--journal"; journal;
+        "--workers"; string_of_int cfg.Runner.workers;
+        "--retries"; string_of_int cfg.Runner.retries;
+        "--queue-cap"; string_of_int cfg.Runner.queue_cap;
+        "--cache-entries"; "256";
+        "--client-inflight"; "4";
+        "--drain-grace"; "30";
+      ]
+      @ (match cfg.Runner.job_timeout with
+        | Some s -> [ "--job-timeout"; string_of_float s ]
+        | None -> [])
+    in
+    let pid =
+      Unix.create_process_env Sys.executable_name (Array.of_list argv)
+        (chaos_child_env faults) Unix.stdin Unix.stderr Unix.stderr
+    in
+    (* Poll for the socket file rather than blocking in waitpid: reap
+       only if the child is already gone. *)
+    let rec wait_sock n =
+      if Sys.file_exists sock then ()
+      else if n > 400 then die "server never created its socket at %s" sock
+      else begin
+        (match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> ()
+        | _, st -> die "server died before listening (%s)" (status_to_string st)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        Unix.sleepf 0.025;
+        wait_sock (n + 1)
+      end
+    in
+    wait_sock 0;
+    pid
+  in
+  let connect sock =
+    let rec go n =
+      match Runner.Transport.connect_unix sock with
+      | conn -> conn
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n < 200 ->
+          Unix.sleepf 0.025;
+          go (n + 1)
+    in
+    go 0
+  in
+  let send_job oc (j : Runner.Proto.job) =
+    output_string oc (Runner.Proto.job_to_json j);
+    output_char oc '\n';
+    flush oc
+  in
+  let read_reply ic =
+    match input_line ic with
+    | exception End_of_file -> die "server closed a surviving client's connection"
+    | line -> begin
+        match Runner.Proto.reply_of_json line with
+        | Ok r -> r
+        | Error e -> die "bad reply line from server: %s" e
+      end
+  in
+  let check_cert (r : Runner.Proto.reply) =
+    (match r.Runner.Proto.verdict with
+    | Runner.Proto.V_failed _ ->
+        die "job %S came back failed: %s" r.Runner.Proto.id (normalized_reply r)
+    | Runner.Proto.V_exact _ | Runner.Proto.V_bounded _ -> ());
+    match Cert.Checker.check_reply r with
+    | Ok () -> ()
+    | Error msg ->
+        die "reply %S carries an invalid certificate: %s" r.Runner.Proto.id msg
+  in
+  Printf.printf "chaos churn: seed %d, %d jobs, %d kills, net:partial_write:%d\n" seed njobs
+    kills net_period;
+  let server =
+    start_server ~faults:(Printf.sprintf "net:partial_write:%d" net_period) ~sock ~journal
+  in
+  (* Same LCG construction as the crash schedule: high bits of a 48-bit
+     stream, printed up front so two runs of one seed diff clean. *)
+  let lcg = ref ((seed land max_int) lxor 0x2545F4914F6CDD1D) in
+  let draw bound =
+    lcg := ((!lcg * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+    !lcg lsr 16 mod bound
+  in
+  for k = 1 to kills do
+    let nsub = 1 + draw (min 4 njobs) in
+    let start = draw njobs in
+    let read_first = draw 2 = 1 in
+    Printf.printf "kill %d: victim submits %d job(s) from index %d%s\n" k nsub start
+      (if read_first then ", reads one reply" else "");
+    let ic, oc = connect sock in
+    for i = 0 to nsub - 1 do
+      send_job oc job_arr.((start + i) mod njobs)
+    done;
+    if read_first then check_cert (read_reply ic);
+    (* Vanish mid-stream: queued jobs get cancelled server-side, inflight
+       ones settle into journal and cache with nobody to deliver to. *)
+    close_out_noerr oc;
+    close_in_noerr ic
+  done;
+  (* Survivors: two clients split every job; the second reads slowly.
+     Each must get exactly its replies, every certificate valid. *)
+  let ic1, oc1 = connect sock in
+  let ic2, oc2 = connect sock in
+  Array.iteri (fun i j -> send_job (if i mod 2 = 0 then oc1 else oc2) j) job_arr;
+  let n1 = (njobs + 1) / 2 in
+  let n2 = njobs / 2 in
+  for _ = 1 to n1 do
+    check_cert (read_reply ic1)
+  done;
+  for _ = 1 to n2 do
+    Unix.sleepf 0.002;
+    check_cert (read_reply ic2)
+  done;
+  close_out_noerr oc1;
+  close_in_noerr ic1;
+  close_out_noerr oc2;
+  close_in_noerr ic2;
+  Printf.printf "survivors: %d + %d replies, all certificates valid\n" n1 n2;
+  (* Finisher: resubmit everything under the original ids so the settled
+     map is total; cancelled jobs compute now, settled ones come from the
+     certificate-gated cache. *)
+  let icf, ocf = connect sock in
+  Array.iter (send_job ocf) job_arr;
+  for _ = 1 to njobs do
+    check_cert (read_reply icf)
+  done;
+  close_out_noerr ocf;
+  close_in_noerr icf;
+  Unix.kill server Sys.sigterm;
+  (match chaos_waitpid server with
+  | Unix.WEXITED 0 -> ()
+  | st -> die "server did not drain cleanly on SIGTERM (%s)" (status_to_string st));
+  print_endline "server drained cleanly on SIGTERM";
+  (* Reference: same jobs, one client, no churn, no faults. *)
+  let ref_server = start_server ~faults:"off" ~sock:ref_sock ~journal:ref_journal in
+  let icr, ocr = connect ref_sock in
+  Array.iter (send_job ocr) job_arr;
+  for _ = 1 to njobs do
+    check_cert (read_reply icr)
+  done;
+  close_out_noerr ocr;
+  close_in_noerr icr;
+  Unix.kill ref_server Sys.sigterm;
+  (match chaos_waitpid ref_server with
+  | Unix.WEXITED 0 -> ()
+  | st -> die "reference server did not drain cleanly (%s)" (status_to_string st));
+  let settled path =
+    match Runner.Journal.load path with
+    | Error e -> die "journal %s refuses to load: %s" path e
+    | Ok rep ->
+        let tbl = Runner.Journal.completed rep.Runner.Journal.entries in
+        List.sort
+          (fun (a, _, _) (b, _, _) -> compare a b)
+          (Hashtbl.fold (fun id (digest, reply) acc -> (id, digest, reply) :: acc) tbl [])
+  in
+  let churned = settled journal in
+  let reference = settled ref_journal in
+  let diffs = ref 0 in
+  let rec cmp a b =
+    match (a, b) with
+    | [], [] -> ()
+    | (ida, _, _) :: ta, [] ->
+        Printf.printf "diff %s: settled only under churn\n" ida;
+        incr diffs;
+        cmp ta []
+    | [], (idb, _, _) :: tb ->
+        Printf.printf "diff %s: settled only in reference\n" idb;
+        incr diffs;
+        cmp [] tb
+    | (ida, dga, ra) :: ta, (idb, dgb, rb) :: tb ->
+        if ida = idb then begin
+          if dga <> dgb || not (Runner.Proto.reply_equal_ignoring_time ra rb) then begin
+            Printf.printf "diff %s:\n  reference %s\n  churned   %s\n" ida
+              (normalized_reply rb) (normalized_reply ra);
+            incr diffs
+          end;
+          cmp ta tb
+        end
+        else if ida < idb then begin
+          Printf.printf "diff %s: settled only under churn\n" ida;
+          incr diffs;
+          cmp ta b
+        end
+        else begin
+          Printf.printf "diff %s: settled only in reference\n" idb;
+          incr diffs;
+          cmp a tb
+        end
+  in
+  cmp churned reference;
+  List.iter (fun (_, _, r) -> print_endline (normalized_reply r)) churned;
+  Printf.printf "chaos churn: %d jobs, %d kills, diffs: %d\n" njobs kills !diffs;
+  if !diffs = 0 then 0 else 1
+
 (* The harness re-executes this very binary ([batch] in a child process)
    with RPQ_FAULTS armed at a seeded crash site, so the supervisor truly
    dies mid-write (_exit 70, no unwinding) and recovery runs against
@@ -919,7 +1260,32 @@ let chaos_cmd =
       & info [ "seed" ] ~docv:"S"
           ~doc:"Seed for the crash schedule (site and hit count of each injected crash).")
   in
-  let run jobfile crashes seed workers retries queue_cap job_timeout =
+  let churn_arg =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:
+            "Client-churn mode: instead of crashing batch supervisors, run a live \
+             $(b,rpq serve --listen) server (with a content-invariant $(b,net:partial_write) \
+             fault armed) and drive a seeded schedule of clients at it — $(b,--kills) victims \
+             that vanish mid-stream, two survivors (one reading slowly) that must get exactly \
+             their certificate-valid replies, and a finishing client that resubmits every \
+             job. Asserts a clean SIGTERM drain and a final journal equal to a churn-free \
+             reference run (modulo wall-clock fields).")
+  in
+  let kills_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "kills" ] ~docv:"N"
+          ~doc:"Client kills to inject in $(b,--churn) mode.")
+  in
+  let net_period_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "net-period" ] ~docv:"P"
+          ~doc:"Period of the $(b,net:partial_write) fault armed in the churn server.")
+  in
+  let run jobfile crashes seed workers retries queue_cap job_timeout churn kills net_period =
     match runner_config workers retries queue_cap job_timeout Runner.Journal.Per_line None with
     | Error e -> input_error "chaos: %s" e
     | Ok cfg -> begin
@@ -927,6 +1293,9 @@ let chaos_cmd =
         | Error e -> input_error "%s" e
         | Ok [] -> input_error "%s: no jobs" jobfile
         | Ok _ when crashes < 0 -> input_error "chaos: negative crash count"
+        | Ok _ when churn && kills < 0 -> input_error "chaos: negative kill count"
+        | Ok _ when churn && net_period < 1 -> input_error "chaos: net period must be positive"
+        | Ok jobs when churn -> run_churn ~jobs ~kills ~seed ~net_period ~cfg
         | Ok jobs ->
             let journal = Filename.temp_file "rpq_chaos" ".journal" in
             let out_file = Filename.temp_file "rpq_chaos" ".jsonl" in
@@ -937,18 +1306,6 @@ let chaos_cmd =
                 [ journal; journal ^ ".tmp"; out_file ]
             in
             Fun.protect ~finally:cleanup @@ fun () ->
-            (* Children inherit our environment minus any ambient fault or
-               trace plan — the chaos schedule owns fault injection. *)
-            let child_env faults =
-              let keep =
-                Array.to_list (Unix.environment ())
-                |> List.filter (fun kv ->
-                       not
-                         (String.starts_with ~prefix:"RPQ_FAULTS=" kv
-                         || String.starts_with ~prefix:"RPQ_TRACE=" kv))
-              in
-              Array.of_list (("RPQ_FAULTS=" ^ faults) :: keep)
-            in
             let run_child ~faults ~with_journal ~out =
               let argv =
                 [ Sys.executable_name; "batch"; jobfile ]
@@ -966,7 +1323,7 @@ let chaos_cmd =
               let fd_out = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
               let pid =
                 Unix.create_process_env Sys.executable_name (Array.of_list argv)
-                  (child_env faults) Unix.stdin fd_out Unix.stderr
+                  (chaos_child_env faults) Unix.stdin fd_out Unix.stderr
               in
               Unix.close fd_out;
               let rec wait () =
@@ -1084,7 +1441,7 @@ let chaos_cmd =
           iff there are zero diffs.")
     Term.(
       const run $ jobs_arg $ crashes_arg $ seed_arg $ workers_arg $ retries_arg $ queue_cap_arg
-      $ job_timeout_arg)
+      $ job_timeout_arg $ churn_arg $ kills_arg $ net_period_arg)
 
 (* ---- trace-check ---- *)
 

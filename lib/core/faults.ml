@@ -5,6 +5,7 @@ type plan =
   | Kill_after of int
   | Wedge_after of int
   | Crash_at of { site : string; hits : int }
+  | Net_at of { site : string; period : int }
 
 exception Crash of string
 
@@ -19,6 +20,14 @@ let crash_sites =
     "journal.mid_compact";
     "pool.post_dispatch";
   ]
+
+(* The transport-level network fault sites wired into lib/runner's socket
+   server. Unlike crash sites these are periodic and non-fatal: every
+   [period]-th visit of the armed site makes that one operation fail
+   (accept returns an error, a client connection is dropped, a write is
+   truncated) while the server keeps running. The closed list keeps a
+   typo'd spec from silently never firing. *)
+let net_sites = [ "accept_fail"; "client_drop"; "partial_write" ]
 
 let default_period = 1000
 let default_seeded = Seeded { seed = 0x5eed; period = default_period }
@@ -42,7 +51,7 @@ let signed_dec_opt s =
     Option.map (fun v -> -v) (dec_opt (String.sub s 1 (n - 1)))
   else dec_opt s
 
-let grammar = "off | tick:N | seed:S[:M] | kill:N | wedge:N | crash:SITE:N"
+let grammar = "off | tick:N | seed:S[:M] | kill:N | wedge:N | crash:SITE:N | net:SITE:N"
 
 (* Site names are dotted lowercase words ([journal.pre_append]); anything
    else in a crash spec is a typo, and a typo'd site would silently never
@@ -85,6 +94,13 @@ let parse s =
                   grammar: %s"
                  site grammar)
           else positive "crash" n (fun hits -> Crash_at { site; hits })
+      | [ "net"; site; n ] ->
+          if not (List.mem site net_sites) then
+            Error
+              (Printf.sprintf "net site %S must be one of %s; grammar: %s" site
+                 (String.concat ", " net_sites)
+                 grammar)
+          else positive "net" n (fun period -> Net_at { site; period })
       | [ "seed"; s; m ] -> begin
           match (signed_dec_opt s, dec_opt m) with
           | Some seed, Some period when period >= 1 -> Ok (Seeded { seed; period })
@@ -95,7 +111,7 @@ let parse s =
                     got %S"
                    t)
         end
-      | ("tick" | "kill" | "wedge" | "seed" | "crash") :: _ ->
+      | ("tick" | "kill" | "wedge" | "seed" | "crash" | "net") :: _ ->
           Error
             (Printf.sprintf "trailing garbage in fault plan %S (grammar: %s)" t grammar)
       | _ -> Error (Printf.sprintf "unrecognized fault plan %S (grammar: %s)" t grammar)
@@ -108,6 +124,7 @@ let to_string = function
   | Kill_after n -> Printf.sprintf "kill:%d" n
   | Wedge_after n -> Printf.sprintf "wedge:%d" n
   | Crash_at { site; hits } -> Printf.sprintf "crash:%s:%d" site hits
+  | Net_at { site; period } -> Printf.sprintf "net:%s:%d" site period
 
 (* Stream state for Seeded plans: a 48-bit LCG drawn from the high bits
    (the low bits of an LCG have tiny periods — see Sfm.validate_submodular
@@ -131,7 +148,7 @@ let initial =
 
 let seed_of = function
   | Seeded { seed; _ } -> seed
-  | Off | At_tick _ | Kill_after _ | Wedge_after _ | Crash_at _ -> 0
+  | Off | At_tick _ | Kill_after _ | Wedge_after _ | Crash_at _ | Net_at _ -> 0
 
 let state =
   {
@@ -183,9 +200,22 @@ let crash_site here =
       end
   | _ -> ()
 
+(* Periodic, non-fatal: every [period]-th visit of the armed site fires.
+   Counters share the crash_hits table (namespaced with a "net." prefix so
+   a crash site and a net site can never alias), which keeps with_plan's
+   save/restore covering both families. *)
+let net_site here =
+  match state.active with
+  | Net_at { site; period } when site = here ->
+      let key = "net." ^ here in
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt state.crash_hits key) in
+      Hashtbl.replace state.crash_hits key n;
+      n mod period = 0
+  | _ -> false
+
 let next_fault_tick () =
   match state.active with
-  | Off | Kill_after _ | Wedge_after _ | Crash_at _ -> None
+  | Off | Kill_after _ | Wedge_after _ | Crash_at _ | Net_at _ -> None
   | At_tick n -> Some n
   | Seeded { period; _ } ->
       state.lcg <- ((state.lcg * 25214903917) + 11) land 0xFFFFFFFFFFFF;
@@ -195,4 +225,4 @@ let worker_mode () =
   match state.active with
   | Kill_after n -> Some (`Kill n)
   | Wedge_after n -> Some (`Wedge n)
-  | Off | At_tick _ | Seeded _ | Crash_at _ -> None
+  | Off | At_tick _ | Seeded _ | Crash_at _ | Net_at _ -> None

@@ -38,6 +38,7 @@
                  | "kill:" N          workers self-SIGKILL at budget tick N
                  | "wedge:" N         workers stop responding at budget tick N
                  | "crash:" SITE ":" N   supervisor crashes at the Nth visit of SITE
+                 | "net:" SITE ":" N     every Nth visit of transport site SITE fails
     v}
 
     All numbers are plain decimals; a spec with trailing garbage
@@ -77,6 +78,13 @@ type plan =
       (** the [hits]th visit ([≥ 1]) of the named supervisor crash site
           terminates the supervisor (see {!crash_site}); budgets and
           workers are unaffected under this plan *)
+  | Net_at of { site : string; period : int }
+      (** every [period]-th visit ([≥ 1]) of the named transport fault
+          site fires (see {!net_site}): the operation at that site fails
+          non-fatally — an accept errors out, a client connection is
+          dropped, a write is truncated — while the server keeps running.
+          Budgets, workers and crash sites are unaffected under this
+          plan *)
 
 exception Crash of string
 (** Raised by {!crash_site} when the armed site fires under a
@@ -88,6 +96,13 @@ val crash_sites : string list
     [journal.mid_compact], [pool.post_dispatch]) — the universe the chaos
     harness draws from. A [crash:] spec may name any well-formed site;
     one not in this list never fires. *)
+
+val net_sites : string list
+(** The transport fault sites wired into the runner's socket server
+    ([accept_fail], [client_drop], [partial_write]). Unlike crash sites
+    the list is closed: a [net:] spec naming anything else is rejected by
+    {!parse}, because a periodic fault that never fires is
+    indistinguishable from a healthy run. *)
 
 val parse : string -> (plan, string) result
 (** Parses the [RPQ_FAULTS] grammar above. Numbers must be plain decimal
@@ -125,6 +140,15 @@ val crash_site : string -> unit
     from [RPQ_FAULTS] and a {!set_crash_exit} hook is installed — the
     process exits with code 70 without unwinding, so no [Fun.protect]
     finalizer can tidy up, exactly like a real SIGKILL. *)
+
+val net_site : string -> bool
+(** Marks a transport fault site and reports whether it fires this visit.
+    Always [false] unless the active plan is [Net_at] for exactly this
+    site; then each call counts one visit (counters reset by {!set_plan}
+    and scoped by {!with_plan}, sharing the crash-site table under a
+    ["net."] key prefix) and every [period]-th visit returns [true]. The
+    caller — the runner's transport layer — decides what "fires" means:
+    fail the accept, drop the client, truncate the write. *)
 
 val set_crash_exit : (string -> unit) -> unit
 (** Installs the process-exit behavior for env-installed crash plans

@@ -24,6 +24,7 @@ let rule_missing_mli = Lint_rules.rule_missing_mli
 let rule_unix = Lint_rules.rule_unix
 let rule_clock = Lint_rules.rule_clock
 let rule_sync = Lint_rules.rule_sync
+let rule_socket = Lint_rules.rule_socket
 let rule_catch_all = Lint_rules.rule_catch_all
 let rule_raise = Lint_rules.rule_raise
 let rule_random = Lint_rules.rule_random
@@ -83,13 +84,20 @@ let scan_lib ~lib_root =
     List.concat_map
       (fun ml ->
         let base = Filename.basename (Filename.dirname ml) in
+        let slug =
+          base ^ "/" ^ Filename.remove_extension (Filename.basename ml)
+        in
         let src = Lint_base.read_file ml in
         let stripped = strip src in
         let leaf =
           List.filter
             (fun f ->
               match capability_of_rule f.rule with
-              | Some c -> not (Lint_policy.grants_cap policy base c)
+              | Some c ->
+                  (not (Lint_policy.grants_cap policy base c))
+                  && not
+                       (c = Lint_rules.Csocket
+                       && Lint_policy.socket_module_allowed policy slug)
               | None -> true)
             (scan_source ~file:ml src)
         in
@@ -152,14 +160,17 @@ let analyze ~root ~policy =
             (* Style rules apply to library code only; executables are
                checked for capabilities (against the bin/ grant set) and
                nothing else. *)
+            let slug = base ^ "/" ^ String.uncapitalize_ascii m in
             let keep f =
               match capability_of_rule f.rule with
               | Some c ->
                   (not (Lint_policy.allowed policy ~name:u.uname ~dir:base c))
+                  && (not
+                        (c = Lint_rules.Crandom
+                        && Lint_policy.random_module_allowed policy slug))
                   && not
-                       (c = Lint_rules.Crandom
-                       && Lint_policy.random_module_allowed policy
-                            (base ^ "/" ^ String.uncapitalize_ascii m))
+                       (c = Lint_rules.Csocket
+                       && Lint_policy.socket_module_allowed policy slug)
               | None -> u.kind = Lib
             in
             let findings = List.filter keep (Lint_rules.scan_source ~file:ml src) in

@@ -75,6 +75,13 @@ val rule_sync : string
     an ['fsync] grant (granted to [lib/runner] only — the journal owns
     the fsync-and-rename and lock disciplines). *)
 
+val rule_socket : string
+(** Socket endpoint primitive ([Unix.socket], [bind], [listen],
+    [accept], [connect], [socketpair]) outside the policy table's
+    [socket-modules] slugs ([runner/transport] only — every other
+    module, including tests and executables, goes through
+    [Transport]'s helpers). *)
+
 val rule_catch_all : string
 (** [with _ ->] / [exception _ ->]: swallows [Internal_error] and
     [Budget.Exhausted] alike. *)

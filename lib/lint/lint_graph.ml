@@ -379,9 +379,16 @@ let analyze ~root ~policy =
   let rel p = relativize ~root p in
   let adj = adjacency g in
   let grant_mask_of u =
-    mask_of
-      (Lint_policy.grants_of policy u.nuname
-      @ Lint_policy.grants_of policy (Filename.basename u.ndir))
+    let m =
+      mask_of
+        (Lint_policy.grants_of policy u.nuname
+        @ Lint_policy.grants_of policy (Filename.basename u.ndir))
+    in
+    (* Socket grants are per-module, not per-unit: only the transport
+       slug gets the bit, making it the encapsulation boundary — its
+       callers inside lib/runner never acquire 'socket' reach. *)
+    let slug = Filename.basename u.ndir ^ "/" ^ String.uncapitalize_ascii u.mname in
+    if Lint_policy.socket_module_allowed policy slug then m lor cap_bit Csocket else m
   in
   let infos : (string, info) Hashtbl.t = Hashtbl.create 64 in
   List.iter

@@ -6,6 +6,7 @@ type t = {
   exec_layer : int;
   grants : (string * cap list) list;
   random_modules : string list;
+  socket_modules : string list;
   unix_dep_ok : string list;
   exec_deps : (string * string list) list;
 }
@@ -60,6 +61,11 @@ let default =
         ("bin", [ Cunix; Cclock; Cprint; Cexit; Cstate ]);
       ];
     random_modules = [];
+    (* Socket endpoints are narrower than the directory-level grants:
+       exactly one module — the runner's transport — may create, bind,
+       listen on, accept or connect sockets. Everything else (the CLI's
+       chaos clients, the tests) goes through Transport's helpers. *)
+    socket_modules = [ "runner/transport" ];
     unix_dep_ok = [ "obs"; "runner"; "bin" ];
     (* Dependency ceilings for executables whose whole point is what they
        do NOT link: the independent certificate checker must never share
@@ -81,5 +87,6 @@ let allowed t ~name ~dir cap =
   grants_cap t name cap || grants_cap t dir cap
 
 let random_module_allowed t slug = List.mem slug t.random_modules
+let socket_module_allowed t slug = List.mem slug t.socket_modules
 
 let exec_deps_of t name = List.assoc_opt name t.exec_deps

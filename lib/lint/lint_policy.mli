@@ -18,6 +18,11 @@ type t = {
   random_modules : string list;
       (** ["dir/module"] slugs of seeded chaos modules allowed to wrap
           their own generator. *)
+  socket_modules : string list;
+      (** ["dir/module"] slugs of the modules allowed to create socket
+          endpoints (socket/bind/listen/accept/connect) — the runner's
+          transport module only. Like grants, a listed module is an
+          encapsulation boundary for the [socket] capability. *)
   unix_dep_ok : string list;
       (** units that may list the [unix] findlib library in dune. *)
   exec_deps : (string * string list) list;
@@ -38,6 +43,7 @@ val allowed : t -> name:string -> dir:string -> Lint_rules.cap -> bool
     exercise the capability. *)
 
 val random_module_allowed : t -> string -> bool
+val socket_module_allowed : t -> string -> bool
 
 val exec_deps_of : t -> string -> string list option
 (** The dependency allowlist of an executable, when the policy pins

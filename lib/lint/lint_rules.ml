@@ -16,6 +16,7 @@ let rule_raise = "undeclared-raise"
 let rule_random = "random-outside-chaos"
 let rule_exit = "exit-outside-bin"
 let rule_state = "toplevel-state"
+let rule_socket = "socket-outside-transport"
 let rule_layer = "layer-violation"
 let rule_layer_unassigned = "layer-unassigned"
 let rule_cycle = "module-cycle"
@@ -25,9 +26,12 @@ let rule_exec_deps = "exec-dep-contract"
 
 (* {2 Capabilities} *)
 
-type cap = Cunix | Cclock | Cfsync | Cprint | Cexit | Crandom | Cstate
+(* [Csocket] is appended last: {!all_caps} order defines the graph
+   analyzer's bit positions, and appending keeps the existing masks
+   stable. *)
+type cap = Cunix | Cclock | Cfsync | Cprint | Cexit | Crandom | Cstate | Csocket
 
-let all_caps = [ Cunix; Cclock; Cfsync; Cprint; Cexit; Crandom; Cstate ]
+let all_caps = [ Cunix; Cclock; Cfsync; Cprint; Cexit; Crandom; Cstate; Csocket ]
 
 let cap_name = function
   | Cunix -> "unix"
@@ -37,6 +41,7 @@ let cap_name = function
   | Cexit -> "exit"
   | Crandom -> "random"
   | Cstate -> "state"
+  | Csocket -> "socket"
 
 let cap_of_name = function
   | "unix" -> Some Cunix
@@ -46,6 +51,7 @@ let cap_of_name = function
   | "exit" -> Some Cexit
   | "random" -> Some Crandom
   | "state" -> Some Cstate
+  | "socket" -> Some Csocket
   | _ -> None
 
 (* The rule a *direct* use of each capability is reported under. A
@@ -58,6 +64,7 @@ let cap_rule = function
   | Cexit -> rule_exit
   | Crandom -> rule_random
   | Cstate -> rule_state
+  | Csocket -> rule_socket
 
 let banned_idents =
   [
@@ -214,6 +221,24 @@ let scan_source ~file src =
         then
           add line rule_unix
             (Printf.sprintf "%s: the Unix library is confined to lib/runner, lib/obs and bin/" tok);
+        (* Socket endpoints are the serve loop's attack surface: every
+           accept/connect is a place where admission control, fault
+           injection and dead-client detection must agree. One module —
+           the runner's transport — owns them all. *)
+        (let socket_prims =
+           [ "socket"; "socketpair"; "bind"; "listen"; "accept"; "connect" ]
+         in
+         let is_socket_tok =
+           List.exists
+             (fun p -> tok = "Unix." ^ p || tok = "UnixLabels." ^ p)
+             socket_prims
+         in
+         if is_socket_tok then
+           add line rule_socket
+             (Printf.sprintf
+                "%s: socket endpoints are confined to the runner's transport module (the policy \
+                 table's socket-modules slugs)"
+                tok));
         (* Raw clock reads bypass Obs.Clock's monotone guard and leave the
            telemetry and the budget layer disagreeing about time. *)
         if
@@ -289,6 +314,7 @@ let caps_of_findings findings =
         else if f.rule = rule_exit then Some Cexit
         else if f.rule = rule_random then Some Crandom
         else if f.rule = rule_state then Some Cstate
+        else if f.rule = rule_socket then Some Csocket
         else None
       in
       match cap with
@@ -478,6 +504,13 @@ let explanations =
        behavior depend on call order. Granted to obs (metrics/trace registries), resilience \
        (check mode, fault plan), runner and bin; solver leaves must stay pure so results are a \
        function of inputs." );
+    ( rule_socket,
+      "The 'socket' capability (Unix.socket/socketpair/bind/listen/accept/connect) is confined \
+       to the runner's transport module, named by the policy table's socket-modules slugs \
+       (runner/transport). Sockets are the serve loop's attack surface — admission control, \
+       net-fault injection and dead-client detection all hang off accept/connect — so exactly \
+       one module owns the endpoints; everything else (tests, the CLI's chaos clients) goes \
+       through Transport's connect helpers." );
     ( rule_layer,
       "The layering contract (invariant -> obs -> leaf solvers -> resilience -> runner -> bin) \
        is checked against the dune dependency graph: a library may depend only on strictly \

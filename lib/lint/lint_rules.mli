@@ -20,6 +20,7 @@ val rule_raise : string
 val rule_random : string
 val rule_exit : string
 val rule_state : string
+val rule_socket : string
 val rule_layer : string
 val rule_layer_unassigned : string
 val rule_cycle : string
@@ -33,7 +34,7 @@ val rule_exec_deps : string
     uses are found lexically here; {!Lint_graph} propagates them
     transitively over the module graph, treating granted modules as
     encapsulation boundaries. *)
-type cap = Cunix | Cclock | Cfsync | Cprint | Cexit | Crandom | Cstate
+type cap = Cunix | Cclock | Cfsync | Cprint | Cexit | Crandom | Cstate | Csocket
 
 val all_caps : cap list
 val cap_name : cap -> string

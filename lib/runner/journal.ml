@@ -9,6 +9,12 @@ type entry =
    recorded answer when the job text is byte-identical. *)
 let job_digest j = Digest.to_hex (Digest.string (job_to_json j))
 
+(* Digest of the job with its id blanked: two clients submitting the same
+   work under different ids canonicalize to the same key. The serve loop
+   journals and caches under this digest; batch journals keep [job_digest]
+   so resume stays strictly per-submission. *)
+let canonical_digest j = job_digest { j with id = "" }
+
 let entry_to_json = function
   | Started { id; digest } ->
       Json.to_string

@@ -47,6 +47,12 @@ val job_digest : Proto.job -> string
     jobfile invalidates its recorded answer instead of silently reusing
     it. *)
 
+val canonical_digest : Proto.job -> string
+(** {!job_digest} with the job's id blanked, so two clients submitting
+    the same work under different ids agree on one key. The serve loop
+    journals and caches under this digest; batch journals use
+    {!job_digest}, keeping resume strictly per-submission. *)
+
 val entry_to_json : entry -> string
 (** The record {e payload} — framing (length, checksum, sequence) is
     added by {!append}. *)

@@ -51,6 +51,7 @@ type event =
   | Completed of { id : string; reply : string }
   | Crashed of { id : string; death : death }
   | Input of Unix.file_descr  (** an [~extra] fd is readable *)
+  | Writable of Unix.file_descr  (** an [~extra_write] fd is writable *)
 
 let now () = Unix.gettimeofday ()
 
@@ -257,7 +258,7 @@ let next_wakeup t ~timeout =
       | _ -> acc)
     timeout t.pool
 
-let poll ?(extra = []) ?(timeout = 1.0) t =
+let poll ?(extra = []) ?(extra_write = []) ?(timeout = 1.0) t =
   let events = enforce_deadlines t [] in
   if events <> [] then List.rev events
   else begin
@@ -266,9 +267,9 @@ let poll ?(extra = []) ?(timeout = 1.0) t =
       let w = next_wakeup t ~timeout in
       if Float.is_finite w then w else -1.0 (* select: negative = block *)
     in
-    let readable, _, _ =
-      try restart_eintr (fun () -> Unix.select fds [] [] wait)
-      with Unix.Unix_error (Unix.EBADF, _, _) -> (fds, [], [])
+    let readable, writable, _ =
+      try restart_eintr (fun () -> Unix.select fds extra_write [] wait)
+      with Unix.Unix_error (Unix.EBADF, _, _) -> (fds, extra_write, [])
     in
     let events =
       List.fold_left
@@ -280,6 +281,7 @@ let poll ?(extra = []) ?(timeout = 1.0) t =
             | None -> events)
         [] readable
     in
+    let events = List.fold_left (fun events fd -> Writable fd :: events) events writable in
     let events = enforce_deadlines t events in
     List.rev events
   end

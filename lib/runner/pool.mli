@@ -34,6 +34,7 @@ type event =
   | Completed of { id : string; reply : string }  (** reply line, unparsed *)
   | Crashed of { id : string; death : death }
   | Input of Unix.file_descr  (** an [~extra] fd of {!poll} is readable *)
+  | Writable of Unix.file_descr  (** an [~extra_write] fd of {!poll} is writable *)
 
 val create : config -> handler:(string -> string) -> t
 (** Forks [workers] children, each looping [handler] over incoming job
@@ -50,12 +51,18 @@ val assign : t -> id:string -> payload:string -> unit
     queue and must not overcommit. A crash racing the send is fine: the
     death surfaces through {!poll} and the job is reported [Crashed]. *)
 
-val poll : ?extra:Unix.file_descr list -> ?timeout:float -> t -> event list
+val poll :
+  ?extra:Unix.file_descr list ->
+  ?extra_write:Unix.file_descr list ->
+  ?timeout:float ->
+  t ->
+  event list
 (** Waits (at most [timeout] seconds, default 1.0, sooner if a job
-    deadline is nearer) for worker replies, worker deaths, or readability
-    of an [extra] fd, and returns the events observed — possibly none.
-    Dead workers have already been replaced by the time their [Crashed]
-    event is returned. *)
+    deadline is nearer) for worker replies, worker deaths, readability of
+    an [extra] fd, or writability of an [extra_write] fd (used by the
+    serve loop to flush backpressured client output), and returns the
+    events observed — possibly none. Dead workers have already been
+    replaced by the time their [Crashed] event is returned. *)
 
 val shutdown : t -> unit
 (** Closes all pipes, SIGKILLs stragglers, reaps every child. Idempotent.

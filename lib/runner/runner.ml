@@ -1,6 +1,8 @@
 module Proto = Proto
 module Pool = Pool
 module Journal = Journal
+module Transport = Transport
+module Cache = Cache
 open Proto
 module Ser = Graphdb.Serialize
 open Resilience
@@ -326,7 +328,7 @@ let task_of_event e id =
   | None -> None (* stray reply for a job we already settled *)
 
 let handle_event e = function
-  | Pool.Input _ -> ()
+  | Pool.Input _ | Pool.Writable _ -> ()
   | Pool.Completed { id; reply = line } -> begin
       match task_of_event e id with
       | None -> ()
@@ -465,8 +467,8 @@ let run_batch ?journal cfg (jobs : job list) : reply list * batch_stats =
       (replies, { ran = List.length todo; resumed = !resumed; failures }))
 
 (* ------------------------------------------------------------------ *)
-(* Serve: jobs on a channel, replies on another, with admission        *)
-(* control.                                                            *)
+(* Serve: many clients, one engine — per-client fairness, admission    *)
+(* control, and the certificate-gated result cache.                    *)
 (* ------------------------------------------------------------------ *)
 
 (* A [{"stats": true}] line (optionally carrying an [id]) is a control
@@ -482,79 +484,464 @@ let stats_line id =
     (Json.to_string (Json.Str id))
     (Obs.Metrics.snapshot_string ())
 
-let serve cfg ic oc =
-  let out_line l =
-    output_string oc l;
-    output_char oc '\n';
-    flush oc
+let m_serve_clients = Obs.Metrics.gauge "serve.clients"
+let m_serve_queued = Obs.Metrics.gauge "serve.queued"
+let m_serve_inflight = Obs.Metrics.gauge "serve.inflight"
+let m_serve_draining = Obs.Metrics.gauge "serve.draining"
+let m_serve_cancelled = Obs.Metrics.counter "serve.cancelled"
+
+(* Per-client fairness, factored out of the serve loop so the policy is
+   testable without sockets: one FIFO per client, a round-robin rotation
+   across clients with work, and a per-client inflight cap so one chatty
+   client cannot monopolize the worker pool. *)
+module Admission = struct
+  type 'a t = {
+    cap : int;
+    queues : (int, 'a Queue.t) Hashtbl.t;
+    mutable order : int list;
+    adm_inflight : (int, int) Hashtbl.t;
+  }
+
+  let create ~client_inflight =
+    if client_inflight < 1 then
+      invalid_arg "Runner.Admission.create: per-client inflight cap must be at least 1";
+    {
+      cap = client_inflight;
+      queues = Hashtbl.create 16;
+      order = [];
+      adm_inflight = Hashtbl.create 16;
+    }
+
+  let enqueue t cid x =
+    match Hashtbl.find_opt t.queues cid with
+    | Some q -> Queue.add x q
+    | None ->
+        let q = Queue.create () in
+        Queue.add x q;
+        Hashtbl.replace t.queues cid q;
+        t.order <- t.order @ [ cid ]
+
+  let queued_for t cid =
+    match Hashtbl.find_opt t.queues cid with Some q -> Queue.length q | None -> 0
+
+  let queued t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0
+
+  let inflight_for t cid =
+    Option.value ~default:0 (Hashtbl.find_opt t.adm_inflight cid)
+
+  let inflight t = Hashtbl.fold (fun _ n acc -> acc + n) t.adm_inflight 0
+
+  (* Round-robin under the cap: the first client in rotation with work
+     and headroom wins and moves to the back; a client skipped for lack
+     of headroom keeps its place, so it is first in line once one of its
+     jobs settles. *)
+  let next t =
+    let rec scan skipped = function
+      | [] -> None
+      | cid :: rest -> begin
+          match Hashtbl.find_opt t.queues cid with
+          | Some q when (not (Queue.is_empty q)) && inflight_for t cid < t.cap ->
+              let x = Queue.pop q in
+              if Queue.is_empty q then begin
+                Hashtbl.remove t.queues cid;
+                t.order <- List.rev_append skipped rest
+              end
+              else t.order <- List.rev_append skipped rest @ [ cid ];
+              Hashtbl.replace t.adm_inflight cid (inflight_for t cid + 1);
+              Some (cid, x)
+          | Some _ -> scan (cid :: skipped) rest
+          | None ->
+              (* Rotation entry with no queue: drained elsewhere; skip. *)
+              scan skipped rest
+        end
+    in
+    scan [] t.order
+
+  let settled t cid =
+    let n = inflight_for t cid in
+    if n <= 1 then Hashtbl.remove t.adm_inflight cid
+    else Hashtbl.replace t.adm_inflight cid (n - 1)
+
+  let cancel t cid =
+    let xs =
+      match Hashtbl.find_opt t.queues cid with
+      | Some q -> List.of_seq (Queue.to_seq q)
+      | None -> []
+    in
+    Hashtbl.remove t.queues cid;
+    t.order <- List.filter (fun c -> c <> cid) t.order;
+    xs
+end
+
+type serve_config = {
+  base : config;
+  listen : string option;
+  tcp : int option;
+  cache_entries : int;
+  client_inflight : int;
+  drain_grace : float;
+  write_timeout : float;
+  serve_journal : string option;
+}
+
+let default_serve_config =
+  {
+    base = default_config;
+    listen = None;
+    tcp = None;
+    cache_entries = 256;
+    client_inflight = 8;
+    drain_grace = 5.0;
+    write_timeout = 30.0;
+    serve_journal = None;
+  }
+
+(* The engine's inflight table is keyed by job id, but two clients may
+   use the same id concurrently — so jobs run under a namespaced
+   internal id and the owner table maps back to (client, original id,
+   parsed job). Journal and cache always see original ids and the
+   canonical (id-blind) digest, which is what lets a resubmission from
+   any client hit the cache. *)
+let internal_id cid id = Printf.sprintf "c%d:%s" cid id
+
+let serve_sockets ?stdio ?(preconnected = []) scfg =
+  let cfg = scfg.base in
+  if scfg.cache_entries < 0 then
+    invalid_arg "Runner.serve_sockets: cache size must be non-negative";
+  if scfg.drain_grace < 0.0 then
+    invalid_arg "Runner.serve_sockets: drain grace must be non-negative";
+  let tr = Transport.create ~write_timeout:scfg.write_timeout () in
+  Option.iter (fun path -> Transport.add_listener tr (Transport.listen_unix path)) scfg.listen;
+  Option.iter (fun port -> Transport.add_listener tr (Transport.listen_tcp port)) scfg.tcp;
+  Option.iter
+    (fun (ic, oc) ->
+      (* Anything already buffered on the channel must leave before raw
+         fd writes interleave with it. *)
+      flush oc;
+      ignore
+        (Transport.add_client tr ~eof_drains:true ~owns_fds:false
+           ~in_fd:(Unix.descr_of_in_channel ic)
+           ~out_fd:(Unix.descr_of_out_channel oc) ()))
+    stdio;
+  (* Pre-connected fds (a test's socketpair ends) get the tolerant EOF
+     semantics of the stdio client: the peer half-closes when done
+     sending and expects its queued jobs to drain, not be cancelled. *)
+  List.iter
+    (fun fd ->
+      ignore (Transport.add_client tr ~eof_drains:true ~owns_fds:true ~in_fd:fd ~out_fd:fd ()))
+    preconnected;
+  let cache = Cache.create ~entries:scfg.cache_entries in
+  (* Seed the cache from the journal's settled answers: serve journals
+     key [Done] entries by the canonical digest, which is exactly the
+     cache key, and the certificate gate inside [Cache.find] keeps a
+     tampered entry from ever being served. *)
+  (match scfg.serve_journal with
+  | Some path when Sys.file_exists path -> begin
+      match Journal.load path with
+      | Ok rep ->
+          Hashtbl.iter
+            (fun _id (digest, reply) -> Cache.store cache ~digest reply)
+            (Journal.completed rep.Journal.entries)
+      | Error msg -> invalid_arg (Printf.sprintf "Runner.serve_sockets: %s" msg)
+    end
+  | Some _ | None -> ());
+  let jnl =
+    match scfg.serve_journal with
+    | None -> None
+    | Some path -> begin
+        match Journal.open_append ~sync:cfg.journal_sync path with
+        | Ok j -> Some j
+        | Error msg -> invalid_arg (Printf.sprintf "Runner.serve_sockets: %s" msg)
+      end
   in
-  let out_reply r = out_line (reply_to_json r) in
-  let e = create_engine cfg ~emit:out_reply ~on_dispatch:(fun _ -> ()) in
-  Fun.protect
-    ~finally:(fun () -> Pool.shutdown e.pool)
-    (fun () ->
-      let in_fd = Unix.descr_of_in_channel ic in
-      let inbuf = Buffer.create 1024 in
-      let eof = ref false in
-      let admit line =
-        if String.trim line = "" then ()
-        else
-          match Json.parse line with
-          | Ok v when is_stats_request v ->
-              let id =
-                Option.value ~default:"" (Option.bind (Json.member "id" v) Json.to_str_opt)
-              in
-              out_line (stats_line id)
-          | _ -> begin
+  let adm = Admission.create ~client_inflight:scfg.client_inflight in
+  let owners : (string, int * string * job) Hashtbl.t = Hashtbl.create 64 in
+  let draining = ref false in
+  (* SIGTERM/SIGINT request a graceful drain. The handler only flips a
+     flag; everything observable — stop accepting, shed queued work,
+     flush, release the journal lock, final trace flush — happens in
+     the loop below, not in signal context. *)
+  let install s behavior =
+    match Sys.signal s behavior with
+    | old -> Some (s, old)
+    | exception Invalid_argument _ -> None
+    | exception Sys_error _ -> None
+  in
+  let saved_signals =
+    List.filter_map Fun.id
+      [
+        install Sys.sigterm (Sys.Signal_handle (fun _ -> draining := true));
+        install Sys.sigint (Sys.Signal_handle (fun _ -> draining := true));
+        (* A write to a client whose peer vanished must surface as EPIPE
+           (handled per client in {!Transport}), not kill the server. *)
+        install Sys.sigpipe Sys.Signal_ignore;
+      ]
+  in
+  let update_serve_gauges () =
+    Obs.Metrics.set m_serve_clients (float_of_int (List.length (Transport.clients tr)));
+    Obs.Metrics.set m_serve_queued (float_of_int (Admission.queued adm));
+    Obs.Metrics.set m_serve_inflight (float_of_int (Admission.inflight adm));
+    Obs.Metrics.set m_serve_draining (if !draining then 1.0 else 0.0)
+  in
+  let find_client cid =
+    List.find_opt (fun c -> Transport.cid c = cid) (Transport.clients tr)
+  in
+  (* [admit] and the transport-event handler are mutually recursive (a
+     send can surface a [Dead] event, whose handling is policy): tie the
+     knot with a forward reference. *)
+  let tev_handler = ref (fun (_ : Transport.event) -> ()) in
+  let handle_tevs evs = List.iter (fun ev -> !tev_handler ev) evs in
+  let deliver cid r =
+    match find_client cid with
+    | None ->
+        (* The client died while the job was inflight: the answer is
+           settled, journaled and cached — only delivery is impossible. *)
+        ()
+    | Some c -> handle_tevs (Transport.send tr c (reply_to_json r))
+  in
+  let emit r =
+    match Hashtbl.find_opt owners r.id with
+    | None -> ()
+    | Some (cid, orig, j) ->
+        Hashtbl.remove owners r.id;
+        Admission.settled adm cid;
+        let r = { r with id = orig } in
+        let digest = Journal.canonical_digest j in
+        Option.iter
+          (fun jl -> Journal.append jl (Journal.Done { id = orig; digest; reply = r }))
+          jnl;
+        Cache.store cache ~digest r;
+        deliver cid r
+  in
+  let on_dispatch (t : task) =
+    match (jnl, Hashtbl.find_opt owners t.job.id) with
+    | Some jl, Some (_, orig, j) ->
+        Journal.append jl
+          (Journal.Started { id = orig; digest = Journal.canonical_digest j })
+    | _ -> ()
+  in
+  let e = create_engine cfg ~emit ~on_dispatch in
+  let total_load () = Admission.queued adm + engine_load e in
+  (* Move admitted jobs into the engine only while a worker is idle and
+     nothing is already waiting there: keeping the backlog in the
+     per-client queues is what makes the round-robin fair. *)
+  let feed () =
+    let continue = ref true in
+    while !continue do
+      if Pool.idle_count e.pool > 0 && Queue.is_empty e.pending then begin
+        match Admission.next adm with
+        | Some (_cid, j) ->
+            submit e j;
+            dispatch_ready e
+        | None -> continue := false
+      end
+      else continue := false
+    done
+  in
+  let cancel_client c =
+    List.iter
+      (fun (j : job) ->
+        Hashtbl.remove owners j.id;
+        Obs.Metrics.incr m_serve_cancelled)
+      (Admission.cancel adm (Transport.cid c))
+  in
+  let admit c line =
+    if String.trim line = "" then ()
+    else
+      let send_reply r = handle_tevs (Transport.send tr c (reply_to_json r)) in
+      match Json.parse line with
+      | Ok v when is_stats_request v ->
+          let id =
+            Option.value ~default:"" (Option.bind (Json.member "id" v) Json.to_str_opt)
+          in
+          update_serve_gauges ();
+          handle_tevs (Transport.send tr c (stats_line id))
+      | _ -> begin
           match job_of_json line with
-          | Error msg -> out_reply (failed ~id:"" ~kind:"bad-job" "unparseable job line: %s" msg)
+          | Error msg ->
+              send_reply (failed ~id:"" ~kind:"bad-job" "unparseable job line: %s" msg);
+              (* A malformed line poisons only this client: socket framing
+                 after garbage is untrustworthy, so the connection closes
+                 once the error reply flushes. The stdio client keeps the
+                 historical tolerant behavior. *)
+              if not (Transport.eof_drains c) then begin
+                cancel_client c;
+                Transport.close_after_flush tr c
+              end
           | Ok job ->
-              if Hashtbl.mem e.inflight job.id
-                 || Queue.fold (fun acc (t : task) -> acc || t.job.id = job.id) false e.pending
-                 || List.exists (fun (t : task) -> t.job.id = job.id) e.delayed
-              then out_reply (failed ~id:job.id ~kind:"bad-job" "duplicate job id still in flight")
-              else if engine_load e >= cfg.queue_cap then begin
+              let cid = Transport.cid c in
+              let iid = internal_id cid job.id in
+              if Hashtbl.mem owners iid then
+                send_reply
+                  (failed ~id:job.id ~kind:"bad-job" "duplicate job id still in flight")
+              else if !draining then
+                send_reply
+                  (failed ~retriable:true ~id:job.id ~kind:"overloaded"
+                     "server draining; resubmit later")
+              else if total_load () >= cfg.queue_cap then begin
                 (* Load shedding: a full queue answers immediately instead
                    of buffering without bound; the client may resubmit. *)
                 Obs.Metrics.incr m_shed;
-                out_reply
+                send_reply
                   (failed ~retriable:true ~id:job.id ~kind:"overloaded"
                      "queue full (%d jobs); resubmit later" cfg.queue_cap)
               end
-              else submit e job
-          end
-      in
-      let read_input () =
-        let chunk = Bytes.create 65536 in
-        match Unix.read in_fd chunk 0 65536 with
-        | 0 -> eof := true
-        | n ->
-            Buffer.add_subbytes inbuf chunk 0 n;
-            let s = Buffer.contents inbuf in
-            let rec lines start =
-              match String.index_from_opt s start '\n' with
-              | Some i ->
-                  admit (String.sub s start (i - start));
-                  lines (i + 1)
-              | None ->
-                  Buffer.clear inbuf;
-                  Buffer.add_string inbuf (String.sub s start (String.length s - start))
-            in
-            lines 0
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | exception Unix.Unix_error _ -> eof := true
-      in
-      while not (!eof && engine_load e = 0) do
-        dispatch_ready e;
-        let extra = if !eof then [] else [ in_fd ] in
-        let events = Pool.poll ~extra ~timeout:(engine_timeout e) e.pool in
+              else begin
+                let digest = Journal.canonical_digest job in
+                match Cache.find cache ~digest ~id:job.id with
+                | Cache.Hit r ->
+                    Option.iter
+                      (fun jl ->
+                        Journal.append jl (Journal.Done { id = job.id; digest; reply = r }))
+                      jnl;
+                    send_reply r
+                | Cache.Miss | Cache.Cert_reject _ ->
+                    Hashtbl.replace owners iid (cid, job.id, job);
+                    Admission.enqueue adm cid { job with id = iid }
+              end
+        end
+  in
+  let handle_tev = function
+    | Transport.Accepted c ->
+        Trace.instant ~args:[ ("cid", Obs.Jtext.Int (Transport.cid c)) ] "client-accept"
+    | Transport.Line (c, line) ->
+        (* Lines split from the same read batch as a poisoning line
+           still arrive as events; a closing client's input is dead.
+           (A torn trailing line at EOF is [St_eof], not closing, and
+           is still admitted.) *)
+        if not (Transport.closing c) then admit c line
+    | Transport.Eof c ->
+        (* A zero read from a socket client means the peer is done
+           sending — cancel its queued jobs. Inflight jobs still settle
+           (journal, cache) and delivery is still attempted: the write
+           half may outlive the read half. The stdio client instead
+           drains to completion, as `serve` always has. *)
+        if not (Transport.eof_drains c) then cancel_client c
+    | Transport.Overlong c ->
+        handle_tevs
+          (Transport.send tr c
+             (reply_to_json
+                (failed ~id:"" ~kind:"bad-job" "input line exceeds the size limit")));
+        cancel_client c
+    | Transport.Dead (c, reason) ->
+        Trace.instant
+          ~args:
+            [ ("cid", Obs.Jtext.Int (Transport.cid c)); ("reason", Obs.Jtext.Str reason) ]
+          "client-dead";
+        cancel_client c
+  in
+  tev_handler := handle_tev;
+  let owns_jobs cid =
+    Hashtbl.fold (fun _ (ocid, _, _) acc -> acc || ocid = cid) owners false
+  in
+  (* A client at EOF with nothing owed and nothing buffered is done. *)
+  let sweep () =
+    List.iter
+      (fun c ->
+        if
+          Transport.at_eof c
+          && Transport.pending_out c = 0
+          && not (owns_jobs (Transport.cid c))
+        then Transport.drop tr c)
+      (Transport.clients tr)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* The journal must close (releasing its lock) and the trace must
+         flush on every exit path, including a signal-initiated drain —
+         a restarted server reopens the journal immediately. *)
+      Option.iter Journal.close jnl;
+      Transport.shutdown tr;
+      Pool.shutdown e.pool;
+      List.iter
+        (fun (s, old) ->
+          match Sys.set_signal s old with
+          | () -> ()
+          | exception Invalid_argument _ -> ()
+          | exception Sys_error _ -> ())
+        saved_signals;
+      Trace.finish ())
+    (fun () ->
+      while
+        (not !draining)
+        && (Transport.listening tr || Transport.clients tr <> [] || total_load () > 0)
+      do
+        feed ();
+        update_serve_gauges ();
+        let extra = Transport.read_fds ~accepting:(not !draining) tr in
+        let extra_write = Transport.write_fds tr in
+        let events = Pool.poll ~extra ~extra_write ~timeout:(engine_timeout e) e.pool in
         List.iter
-          (function Pool.Input _ -> read_input () | ev -> handle_event e ev)
-          events
+          (function
+            | Pool.Input fd -> handle_tevs (Transport.handle_readable tr fd)
+            | Pool.Writable fd -> handle_tevs (Transport.handle_writable tr fd)
+            | ev -> handle_event e ev)
+          events;
+        handle_tevs (Transport.check_timeouts tr);
+        feed ();
+        sweep ()
       done;
-      (* A torn trailing line at EOF is input, not silence: process it
-         rather than dropping it, then drain whatever it enqueued. *)
-      if Buffer.length inbuf > 0 then begin
-        admit (Buffer.contents inbuf);
-        drain e
+      if !draining then begin
+        update_serve_gauges ();
+        (* Graceful drain: stop accepting, shed everything still queued
+           (retriable — a resubmission after restart can succeed), give
+           inflight jobs [drain_grace] seconds to settle, flush what the
+           clients will take, exit. *)
+        Transport.close_listeners tr;
+        List.iter
+          (fun c ->
+            List.iter
+              (fun (j : job) ->
+                match Hashtbl.find_opt owners j.id with
+                | None -> ()
+                | Some (_, orig, _) ->
+                    Hashtbl.remove owners j.id;
+                    Obs.Metrics.incr m_serve_cancelled;
+                    handle_tevs
+                      (Transport.send tr c
+                         (reply_to_json
+                            (failed ~retriable:true ~id:orig ~kind:"overloaded"
+                               "server draining; resubmit later"))))
+              (Admission.cancel adm (Transport.cid c)))
+          (Transport.clients tr);
+        let deadline = now_s () +. scfg.drain_grace in
+        while Hashtbl.length owners > 0 && now_s () < deadline do
+          let extra_write = Transport.write_fds tr in
+          let timeout = Float.min 0.1 (Float.max 0.01 (deadline -. now_s ())) in
+          List.iter
+            (function
+              | Pool.Input _ -> ()
+              | Pool.Writable fd -> handle_tevs (Transport.handle_writable tr fd)
+              | ev -> handle_event e ev)
+            (Pool.poll ~extra_write ~timeout e.pool)
+        done;
+        (* Whatever outlived the grace period is shed too; its [Started]
+           journal entry records that it never settled. *)
+        let leftovers = Hashtbl.fold (fun iid own acc -> (iid, own) :: acc) owners [] in
+        List.iter
+          (fun (iid, (cid, orig, _)) ->
+            Hashtbl.remove owners iid;
+            Obs.Metrics.incr m_serve_cancelled;
+            deliver cid
+              (failed ~retriable:true ~id:orig ~kind:"overloaded"
+                 "server draining; job did not settle within the grace period"))
+          leftovers;
+        (* Final flush, bounded: a slow reader does not hold up the exit. *)
+        let flush_deadline = now_s () +. 1.0 in
+        while
+          now_s () < flush_deadline
+          && List.exists (fun c -> Transport.pending_out c > 0) (Transport.clients tr)
+        do
+          let extra_write = Transport.write_fds tr in
+          List.iter
+            (function
+              | Pool.Writable fd -> handle_tevs (Transport.handle_writable tr fd)
+              | _ -> ())
+            (Pool.poll ~extra_write ~timeout:0.05 e.pool)
+        done;
+        update_serve_gauges ()
       end)
+
+let serve cfg ic oc =
+  serve_sockets ~stdio:(ic, oc)
+    { default_serve_config with base = cfg; cache_entries = 0 }

@@ -31,6 +31,8 @@
 module Proto = Proto
 module Pool = Pool
 module Journal = Journal
+module Transport = Transport
+module Cache = Cache
 
 val now_s : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]) — exposed so bench/CLI code
@@ -111,12 +113,98 @@ val run_batch :
     {!verify_reply} when [RPQ_CHECK] is not [off]) are reused, and this
     run's dispatches and settlements are appended for the next resume. *)
 
+(** Per-client fairness policy of the multi-client server, exposed so
+    the scheduling properties (round-robin order, the per-client
+    inflight cap) are testable deterministically, without sockets or
+    worker processes. Client keys are transport client ids. *)
+module Admission : sig
+  type 'a t
+
+  val create : client_inflight:int -> 'a t
+  (** Raises [Invalid_argument] when [client_inflight < 1]. *)
+
+  val enqueue : 'a t -> int -> 'a -> unit
+  (** Appends to the client's FIFO; a client seen for the first time
+      joins the back of the round-robin rotation. *)
+
+  val next : 'a t -> (int * 'a) option
+  (** Pops from the first client in rotation that has queued work and
+      fewer than [client_inflight] jobs outstanding; that client moves
+      to the back of the rotation. A client skipped for lack of headroom
+      keeps its place in line. [None] when no client is eligible. *)
+
+  val settled : 'a t -> int -> unit
+  (** One of the client's outstanding jobs finished; frees headroom. *)
+
+  val cancel : 'a t -> int -> 'a list
+  (** Drops the client from the rotation and returns its queued (never
+      its outstanding) items, in FIFO order. *)
+
+  val queued : 'a t -> int
+  val queued_for : 'a t -> int -> int
+  val inflight : 'a t -> int
+  val inflight_for : 'a t -> int -> int
+end
+
+type serve_config = {
+  base : config;
+  listen : string option;  (** Unix-domain socket path to listen on *)
+  tcp : int option;  (** loopback TCP port to listen on (0 = ephemeral) *)
+  cache_entries : int;  (** result-cache capacity; 0 disables *)
+  client_inflight : int;  (** per-client outstanding-job cap *)
+  drain_grace : float;  (** seconds to let inflight jobs settle on drain *)
+  write_timeout : float;  (** stalled-write client eviction timeout *)
+  serve_journal : string option;
+      (** append settlements here and seed the cache from it on start *)
+}
+
+val default_serve_config : serve_config
+(** [default_config] engine, no listeners, 256 cache entries, 8 jobs
+    per client inflight, 5s drain grace, 30s write timeout, no journal. *)
+
+val serve_sockets :
+  ?stdio:in_channel * out_channel ->
+  ?preconnected:Unix.file_descr list ->
+  serve_config ->
+  unit
+(** The multi-client server. Listens per [listen]/[tcp] (either, both,
+    or neither) and optionally serves a pre-connected [?stdio] pair;
+    [?preconnected] fds (e.g. {!Transport.pair} ends) are registered as
+    additional clients with the stdio EOF semantics — a half-close
+    drains queued jobs instead of cancelling them;
+    runs until there is no listener, no client and no work left, or
+    until SIGTERM/SIGINT triggers a graceful drain (stop accepting,
+    shed queued jobs with retriable [overloaded] replies, wait up to
+    [drain_grace] for inflight jobs, flush, release the journal lock,
+    final trace flush).
+
+    Per client: line-framed jobs in, replies out in settlement order;
+    admission is round-robin across clients with at most
+    [client_inflight] outstanding each; a malformed line draws a
+    [bad-job] reply and closes that client (framing after garbage is
+    untrustworthy) without touching any other client; a disconnect
+    cancels that client's {e queued} jobs only — inflight jobs settle,
+    are journaled and cached. Global [queue_cap] overflow sheds with a
+    retriable [overloaded] reply.
+
+    Results: every settled non-error reply is cached under the job's
+    canonical digest ({!Journal.canonical_digest}); an identical
+    resubmission — same client or not — is answered from the cache
+    {e only after} its certificate re-checks ({!Cert.Checker}); a hit
+    whose certificate fails is evicted and recomputed. With
+    [serve_journal], settlements are journaled under the client's
+    original job ids and the cache is pre-seeded from the journal on
+    start (each entry certificate-gated on use, so a tampered journal
+    entry can be seeded but never served). *)
+
 val serve : config -> in_channel -> out_channel -> unit
 (** Line-oriented job server: one {!Proto.job} JSON line in, one
     {!Proto.reply} JSON line out (flushed per reply), replies in
     settlement order, until EOF on input and all accepted jobs settled.
     Jobs beyond [queue_cap] are shed with a retriable [overloaded] reply;
     a job id equal to one still in flight is rejected ([bad-job]).
+    Equivalent to {!serve_sockets} with no listeners, no cache and no
+    journal, the channel pair as the sole (EOF-drains) client.
 
     A line [{"stats": true}] (optionally with an ["id"]) is a control
     request, not a job: it is answered immediately — regardless of queue

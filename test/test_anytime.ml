@@ -92,6 +92,47 @@ let test_faults_crash_spec () =
       | () -> check "outer counter resumed" true false
       | exception Faults.Crash _ -> check "outer counter resumed" true true)
 
+let test_faults_net_spec () =
+  (* Every site the transport exercises must be well-formed, and the
+     site list is closed: a period that never fires is indistinguishable
+     from a healthy run, so unknown sites are parse errors, not no-ops. *)
+  List.iter
+    (fun site ->
+      let spec = Printf.sprintf "net:%s:3" site in
+      check ("site parses: " ^ site) true
+        (Faults.parse spec = Ok (Faults.Net_at { site; period = 3 }));
+      let p = Faults.Net_at { site; period = 7 } in
+      check ("roundtrip: " ^ site) true (Faults.parse (Faults.to_string p) = Ok p))
+    Faults.net_sites;
+  List.iter
+    (fun s -> check (s ^ " rejected") true (Result.is_error (Faults.parse s)))
+    [
+      "net";
+      "net:";
+      "net:accept_fail";
+      "net:accept_fail:";
+      "net:accept_fail:0";
+      "net:accept_fail:2x";
+      "net:accept_fail:2:3";
+      "net:bogus_site:3";
+      "net::2";
+    ];
+  check "net spec case-normalizes" true
+    (Faults.parse "net:Client_Drop:2" = Ok (Faults.Net_at { site = "client_drop"; period = 2 }));
+  (* Periodicity: every period-th visit of the armed site fires; other
+     sites never do, and budgets/workers are untouched. *)
+  Faults.with_plan (Faults.Net_at { site = "partial_write"; period = 2 }) (fun () ->
+      let fires =
+        List.init 6 (fun _ -> Faults.net_site "partial_write")
+        |> List.filter Fun.id |> List.length
+      in
+      check "every 2nd visit fires" true (fires = 3);
+      check "other sites never fire" false (Faults.net_site "client_drop");
+      check "no budget fault under net plan" true (Faults.next_fault_tick () = None);
+      check "no worker mode under net plan" true (Faults.worker_mode () = None));
+  (* Outside the plan the site is disarmed. *)
+  check "disarmed outside with_plan" false (Faults.net_site "partial_write")
+
 (* Numbers in fault specs are plain decimals and nothing may trail them:
    OCaml's [int_of_string] would otherwise quietly accept hex forms and
    [_] separators, and a typo like [tick:5x] must not run as [tick:5]. *)
@@ -404,6 +445,7 @@ let () =
           Alcotest.test_case "parse / to_string" `Quick test_faults_parse;
           Alcotest.test_case "strict spec parsing" `Quick test_faults_parse_strict;
           Alcotest.test_case "crash sites" `Quick test_faults_crash_spec;
+          Alcotest.test_case "net sites" `Quick test_faults_net_spec;
           Alcotest.test_case "fault streams" `Quick test_faults_stream;
         ] );
       ( "budget",

@@ -45,6 +45,12 @@ let negative_fixtures =
     ("UnixLabels.fsync", "let f fd = UnixLabels.fsync fd\n", Lint.rule_sync);
     ("Unix.lockf", "let f fd = Unix.lockf fd Unix.F_TLOCK 0\n", Lint.rule_sync);
     ("UnixLabels.lockf", "let f fd = UnixLabels.lockf fd ~mode:F_TLOCK ~len:0\n", Lint.rule_sync);
+    ("Unix.socket", "let f () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0\n", Lint.rule_socket);
+    ("Unix.socketpair", "let f () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0\n", Lint.rule_socket);
+    ("Unix.bind", "let f fd a = Unix.bind fd a\n", Lint.rule_socket);
+    ("Unix.listen", "let f fd = Unix.listen fd 64\n", Lint.rule_socket);
+    ("Unix.accept", "let f fd = Unix.accept fd\n", Lint.rule_socket);
+    ("UnixLabels.connect", "let f fd a = UnixLabels.connect fd ~addr:a\n", Lint.rule_socket);
     ("try catch-all", "let f g = try g () with _ -> 0\n", Lint.rule_catch_all);
     ( "match exception catch-all",
       "let f g x = match g x with exception _ -> 0 | v -> v\n",
@@ -84,6 +90,10 @@ let clean_fixtures =
     ("Sys.time in a comment", "(* cf. Sys.time *)\nlet x = 1\n");
     ("fsync in a comment", "(* the journal calls Unix.fsync here *)\nlet x = 1\n");
     ("fsync-like identifier", "let fsync_policy = 1\nlet lockf_free = 2\n");
+    ("socket in a comment", "(* Unix.connect would race here *)\nlet x = 1\n");
+    ("socket-like identifiers", "let socket_path = 1\nlet reconnect = 2\nlet bind_depth = 3\n");
+    ( "transport helpers are not socket tokens",
+      "let f path = Transport.connect_unix path\nlet g () = Transport.pair ()\n" );
     ("wildcard match case", "let f x = match x with Some y -> y | _ -> 0\n");
     ("wildcard first match case", "let f x = match x with _ -> 0\n");
     ("tuple wildcard match", "let f p = match p with _, _ -> 0\n");
@@ -259,6 +269,45 @@ let test_sync_exemption () =
         [ Lint.rule_sync; Lint.rule_unix ]
         (List.sort compare
            (rules (Lint.scan_source ~file:(Filename.concat runner "sync.ml") src))))
+
+(* Socket confinement is tighter still: module-scoped, not directory-
+   scoped. Inside <root>/runner/ the Unix rule is exempt, but only the
+   slug runner/transport may utter socket primitives — a sibling module
+   in the very same directory is flagged. *)
+let test_socket_exemption () =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "rpq_lint_socket_fixture" in
+  let runner = Filename.concat root "runner" in
+  List.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o700) [ root; runner ];
+  let src = "let f fd = Unix.accept fd\n" in
+  let files =
+    List.concat_map
+      (fun name ->
+        let ml = Filename.concat runner (name ^ ".ml") in
+        let mli = ml ^ "i" in
+        Out_channel.with_open_text ml (fun oc -> output_string oc src);
+        Out_channel.with_open_text mli (fun oc ->
+            output_string oc "val f : Unix.file_descr -> Unix.file_descr * Unix.sockaddr\n");
+        [ ml; mli ])
+      [ "transport"; "endpoints" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove files;
+      List.iter Sys.rmdir [ runner; root ])
+    (fun () ->
+      let fs =
+        List.filter (fun f -> f.Lint.rule = Lint.rule_socket) (Lint.scan_lib ~lib_root:root)
+      in
+      Alcotest.(check (list string))
+        "the sibling module is flagged, transport is exempt"
+        [ Filename.concat runner "endpoints.ml" ]
+        (List.map (fun f -> f.Lint.file) fs);
+      (* scan_source itself reports both rules: accept is also a Unix use. *)
+      Alcotest.(check (list string))
+        "scan_source flags the transport copy with both rules"
+        [ Lint.rule_socket; Lint.rule_unix ]
+        (List.sort compare
+           (rules (Lint.scan_source ~file:(Filename.concat runner "transport.ml") src))))
 
 (* {2 Whole-program fixtures}
 
@@ -553,6 +602,7 @@ let () =
           Alcotest.test_case "unix exemption" `Quick test_unix_exemption;
           Alcotest.test_case "clock exemption" `Quick test_clock_exemption;
           Alcotest.test_case "sync exemption" `Quick test_sync_exemption;
+          Alcotest.test_case "socket exemption" `Quick test_socket_exemption;
           Alcotest.test_case "allowlist" `Quick test_allowlist;
         ] );
       ( "whole-program",

@@ -828,6 +828,273 @@ let test_serve_roundtrip_and_shedding () =
              else true)
            replies))
 
+(* ---- admission, transport, cache ---- *)
+
+module Admission = Runner.Admission
+module Transport = Runner.Transport
+module Cache = Runner.Cache
+
+(* The transport consults the ambient fault plan ([net:*] sites); pin it
+   off so the CI RPQ_FAULTS sweeps cannot perturb these tests. *)
+let no_faults f = Faults.with_plan Faults.Off f
+
+let test_admission_round_robin () =
+  let adm = Admission.create ~client_inflight:100 in
+  List.iter
+    (fun (cid, x) -> Admission.enqueue adm cid x)
+    [ (1, "a1"); (1, "a2"); (1, "a3"); (2, "b1"); (2, "b2"); (3, "c1") ];
+  check "queued counts" true
+    (Admission.queued adm = 6 && Admission.queued_for adm 1 = 3);
+  let order = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Admission.next adm with
+    | Some (_, x) -> order := x :: !order
+    | None -> continue := false
+  done;
+  (* Arrival order was all of client 1, then 2, then 3; admission must
+     interleave one job per client per round. *)
+  Alcotest.(check (list string))
+    "round-robin interleaves clients"
+    [ "a1"; "b1"; "c1"; "a2"; "b2"; "a3" ]
+    (List.rev !order);
+  check "everything admitted is outstanding" true (Admission.inflight adm = 6);
+  Admission.settled adm 1;
+  check "settled frees one slot" true (Admission.inflight_for adm 1 = 2);
+  check "cap below 1 rejected" true
+    (match Admission.create ~client_inflight:0 with
+    | (_ : unit Admission.t) -> false
+    | exception Invalid_argument _ -> true)
+
+let test_admission_inflight_cap () =
+  let adm = Admission.create ~client_inflight:2 in
+  List.iter (fun x -> Admission.enqueue adm 1 x) [ "a1"; "a2"; "a3"; "a4" ];
+  Admission.enqueue adm 2 "b1";
+  let pop () = match Admission.next adm with Some (_, x) -> x | None -> "-" in
+  (* The monopolizer admits up to its cap; the other client's single job
+     is never starved behind the backlog. *)
+  let p1 = pop () in
+  let p2 = pop () in
+  let p3 = pop () in
+  let p4 = pop () in
+  Alcotest.(check (list string))
+    "monopolizer capped, small client served"
+    [ "a1"; "b1"; "a2"; "-" ] [ p1; p2; p3; p4 ];
+  check "capped client keeps its backlog queued" true (Admission.queued_for adm 1 = 2);
+  Admission.settled adm 1;
+  check "headroom after settle admits the next job" true (pop () = "a3");
+  check "and the cap binds again" true (pop () = "-");
+  (* Cancel returns the queued (never the outstanding) items in order. *)
+  Alcotest.(check (list string)) "cancel returns queued FIFO" [ "a4" ] (Admission.cancel adm 1);
+  check "cancelled client has nothing queued" true (Admission.queued_for adm 1 = 0);
+  check "outstanding jobs were not cancelled" true (Admission.inflight_for adm 1 = 2)
+
+let test_transport_write_timeout () =
+  no_faults @@ fun () ->
+  check "non-positive write timeout rejected" true
+    (match Transport.create ~write_timeout:0.0 () with
+    | (_ : Transport.t) -> false
+    | exception Invalid_argument _ -> true);
+  let tr = Transport.create ~write_timeout:1e-6 () in
+  let a, b = Transport.pair () in
+  let c = Transport.add_client tr ~in_fd:a ~out_fd:a () in
+  let peer = Transport.add_client tr ~in_fd:b ~out_fd:b () in
+  (* The peer never reads: one oversized reply saturates the socket
+     buffer (a single flush moves at most 64 KiB), so output stalls with
+     bytes still pending and the 1 µs stall budget expires at once. *)
+  ignore (Transport.send tr c (String.make 400_000 'x'));
+  check "output is stalled" true (Transport.pending_out c > 0);
+  let dead = ref false in
+  let iters = ref 0 in
+  while (not !dead) && !iters < 1_000_000 do
+    incr iters;
+    List.iter
+      (function
+        | Transport.Dead (dc, _) -> if Transport.cid dc = Transport.cid c then dead := true
+        | _ -> ())
+      (Transport.check_timeouts tr)
+  done;
+  check "stalled client declared dead" true !dead;
+  check "dead client removed from the transport" true
+    (not (List.exists (fun x -> Transport.cid x = Transport.cid c) (Transport.clients tr)));
+  check "send to a dead client is a silent no-op" true (Transport.send tr c "late" = []);
+  Transport.drop tr peer
+
+let test_transport_backpressure () =
+  no_faults @@ fun () ->
+  let tr = Transport.create ~out_cap:10 () in
+  let a, b = Transport.pair () in
+  let c = Transport.add_client tr ~in_fd:a ~out_fd:a () in
+  let peer = Transport.add_client tr ~in_fd:b ~out_fd:b () in
+  check "both clients start readable" true (List.length (Transport.read_fds tr) = 2);
+  (* Buffer well past out_cap: the client's input fd must leave the read
+     set — a client that stops reading replies stops submitting. *)
+  ignore (Transport.send tr c (String.make 100_000 'y'));
+  check "backpressured client leaves the read set" true
+    (List.length (Transport.read_fds tr) = 1);
+  let iters = ref 0 in
+  while Transport.pending_out c > 0 && !iters < 100 do
+    incr iters;
+    List.iter (fun fd -> ignore (Transport.handle_writable tr fd)) (Transport.write_fds tr)
+  done;
+  check "output drained" true (Transport.pending_out c = 0);
+  check "drained client rejoins the read set" true
+    (List.length (Transport.read_fds tr) = 2);
+  Transport.drop tr c;
+  Transport.drop tr peer
+
+(* A forged exact verdict: the untouched certificate no longer matches,
+   so the independent checker must refuse it wherever it resurfaces —
+   cache lookups and journal-seeded entries alike. *)
+let forge (r : Proto.reply) =
+  {
+    r with
+    Proto.verdict =
+      Proto.V_exact { value = Value.Finite 1; algorithm = "forged"; witness = Some [] };
+  }
+
+let test_cache_hit_miss_lru () =
+  let j = job ~id:"orig" () in
+  let good = Runner.run_job_locally j in
+  let digest = Journal.canonical_digest j in
+  let cache = Cache.create ~entries:2 in
+  check "empty cache misses" true (Cache.find cache ~digest ~id:"q" = Cache.Miss);
+  Cache.store cache ~digest good;
+  (match Cache.find cache ~digest ~id:"other" with
+  | Cache.Hit r ->
+      check "hit rewrites the id to the requester's" true (r.Proto.id = "other");
+      check "hit reports zero supervisor time" true (r.Proto.wall_s = 0.0);
+      check "verdict and certificate preserved" true
+        (r.Proto.verdict = good.Proto.verdict && r.Proto.cert = good.Proto.cert)
+  | Cache.Miss | Cache.Cert_reject _ -> Alcotest.fail "expected a hit");
+  (* Error replies describe circumstance, not the answer: never cached. *)
+  Cache.store cache ~digest:"dg-err" (Proto.failed ~id:"e" ~kind:"crash" "boom");
+  check "failures are not cached" true (Cache.find cache ~digest:"dg-err" ~id:"e" = Cache.Miss);
+  (* LRU at capacity 2: touch the first entry, insert a third, and the
+     untouched second entry is the one evicted. *)
+  let j2 = job ~id:"j2" ~query:"a" () in
+  let d2 = Journal.canonical_digest j2 in
+  Cache.store cache ~digest:d2 (Runner.run_job_locally j2);
+  ignore (Cache.find cache ~digest ~id:"touch");
+  let j3 = job ~id:"j3" ~query:"aa|a" () in
+  let d3 = Journal.canonical_digest j3 in
+  Cache.store cache ~digest:d3 (Runner.run_job_locally j3);
+  check "lru entry evicted at capacity" true (Cache.find cache ~digest:d2 ~id:"x" = Cache.Miss);
+  check "recently used entry survives" true
+    (match Cache.find cache ~digest ~id:"y" with Cache.Hit _ -> true | _ -> false);
+  check "at most [entries] cached" true (Cache.length cache = 2);
+  (* entries <= 0 disables the cache entirely. *)
+  let off = Cache.create ~entries:0 in
+  Cache.store off ~digest good;
+  check "disabled cache never hits" true (Cache.find off ~digest ~id:"z" = Cache.Miss)
+
+let test_cache_cert_reject () =
+  let j = job ~id:"cr" () in
+  let good = Runner.run_job_locally j in
+  let digest = Journal.canonical_digest j in
+  let cache = Cache.create ~entries:4 in
+  Cache.store cache ~digest (forge good);
+  (match Cache.find cache ~digest ~id:"victim" with
+  | Cache.Cert_reject _ -> ()
+  | Cache.Hit _ -> Alcotest.fail "a tampered entry was served from the cache"
+  | Cache.Miss -> Alcotest.fail "expected Cert_reject, got Miss");
+  check "rejected entry was evicted (next lookup recomputes)" true
+    (Cache.find cache ~digest ~id:"victim" = Cache.Miss);
+  Cache.store cache ~digest good;
+  check "the honest reply serves" true
+    (match Cache.find cache ~digest ~id:"v2" with Cache.Hit _ -> true | _ -> false)
+
+(* Drive [serve_sockets] end-to-end over pre-connected socketpairs: each
+   client pre-writes its job lines, half-closes, and reads replies back
+   after the server returns. *)
+let run_serve_clients ~scfg jobs_per_client =
+  let ends = List.map (fun _ -> Transport.pair ()) jobs_per_client in
+  let chans = List.map (fun (_, fd) -> Transport.channels_of_fd fd) ends in
+  List.iter2
+    (fun (_, oc) jobs ->
+      List.iter (fun j -> output_string oc (Proto.job_to_json j ^ "\n")) jobs;
+      Transport.shutdown_send oc)
+    chans jobs_per_client;
+  Runner.serve_sockets ~preconnected:(List.map fst ends) scfg;
+  List.map
+    (fun (ic, oc) ->
+      let rec rd acc =
+        match input_line ic with
+        | line -> begin
+            match Proto.reply_of_json line with
+            | Ok r -> rd (r :: acc)
+            | Error e -> Alcotest.failf "unparseable serve reply %S: %s" line e
+          end
+        | exception End_of_file -> List.rev acc
+      in
+      let rs = rd [] in
+      close_in ic;
+      close_out_noerr oc;
+      rs)
+    chans
+
+let test_serve_two_clients () =
+  no_faults @@ fun () ->
+  let scfg =
+    {
+      Runner.default_serve_config with
+      Runner.base = quick_cfg;
+      cache_entries = 8;
+      client_inflight = 2;
+    }
+  in
+  let c1_jobs = List.init 3 (fun i -> job ~id:(Printf.sprintf "a%d" i) ()) in
+  (* "a0" on purpose: the same id on two clients must not collide — jobs
+     run under namespaced internal ids and each client gets its own
+     reply back (the second is a certificate-checked cache hit). *)
+  let c2_jobs = [ job ~id:"a0" (); job ~id:"b1" ~query:"a" () ] in
+  match run_serve_clients ~scfg [ c1_jobs; c2_jobs ] with
+  | [ r1; r2 ] ->
+      let ids rs = List.sort compare (List.map (fun (r : Proto.reply) -> r.Proto.id) rs) in
+      Alcotest.(check (list string)) "client 1 got exactly its ids" [ "a0"; "a1"; "a2" ] (ids r1);
+      Alcotest.(check (list string)) "client 2 got exactly its ids" [ "a0"; "b1" ] (ids r2);
+      List.iter
+        (fun r -> check "every reply verifies independently" true (Runner.verify_reply r))
+        (r1 @ r2)
+  | rs -> Alcotest.failf "expected replies for two clients, got %d" (List.length rs)
+
+let test_serve_journal_seed_and_release () =
+  no_faults @@ fun () ->
+  with_temp (fun jpath ->
+      Sys.remove jpath;
+      let j = job ~id:"t1" () in
+      let digest = Journal.canonical_digest j in
+      let good = Runner.run_job_locally j in
+      (* A journal whose settled answer was tampered with on disk: the
+         server seeds its cache from it, but the certificate gate at
+         lookup must force a recompute rather than serve the forgery. *)
+      write_journal jpath [ Journal.Done { id = "t1"; digest; reply = forge good } ];
+      let scfg =
+        {
+          Runner.default_serve_config with
+          Runner.base = quick_cfg;
+          serve_journal = Some jpath;
+        }
+      in
+      (match run_serve_clients ~scfg [ [ j ] ] with
+      | [ [ r ] ] ->
+          check "tampered seed not served; answer recomputed" true (Runner.verify_reply r);
+          check "recomputed answer is exact" true (is_exact r)
+      | _ -> Alcotest.fail "expected exactly one reply for one client");
+      (* The EOF exit path must close the journal: the exclusive lock is
+         released and the settlement was appended under the original id
+         with the canonical digest. *)
+      (match Journal.open_append jpath with
+      | Ok jl -> Journal.close jl
+      | Error e -> Alcotest.failf "journal lock not released after serve: %s" e);
+      let rep = load_exn jpath in
+      match Hashtbl.find_opt (Journal.completed rep.Journal.entries) "t1" with
+      | Some (d, r) ->
+          check "journaled under the canonical digest" true (d = digest);
+          check "journaled settlement verifies (last wins over the forgery)" true
+            (Runner.verify_reply r)
+      | None -> Alcotest.fail "t1 not settled in the serve journal")
+
 let () =
   Alcotest.run "runner"
     [
@@ -875,5 +1142,19 @@ let () =
           Alcotest.test_case "supervisor crash and resume" `Quick test_batch_crash_and_resume;
           Alcotest.test_case "heap ceiling settles bounded" `Quick test_max_heap_bounds;
         ] );
-      ("serve", [ Alcotest.test_case "roundtrip + shedding" `Quick test_serve_roundtrip_and_shedding ]);
+      ( "serve",
+        [
+          Alcotest.test_case "roundtrip + shedding" `Quick test_serve_roundtrip_and_shedding;
+          Alcotest.test_case "admission round-robin" `Quick test_admission_round_robin;
+          Alcotest.test_case "admission inflight cap" `Quick test_admission_inflight_cap;
+          Alcotest.test_case "write-timeout kills stalled client" `Quick test_transport_write_timeout;
+          Alcotest.test_case "backpressure gates input" `Quick test_transport_backpressure;
+          Alcotest.test_case "two clients, namespaced ids" `Quick test_serve_two_clients;
+          Alcotest.test_case "journal seed + lock release" `Quick test_serve_journal_seed_and_release;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit / miss / lru" `Quick test_cache_hit_miss_lru;
+          Alcotest.test_case "certificate gate" `Quick test_cache_cert_reject;
+        ] );
     ]
