@@ -560,7 +560,7 @@ let ablation_pool () =
   let hard_db = Graphdb.Serialize.to_string (Gadgets.encode pre (Graphs.Ugraph.complete 5)) in
   let easy_db = "s a m\nm a t\n" in
   let job id db steps faults =
-    { Runner.Proto.id; db; query = "aa"; budget = { Runner.Proto.no_budget with steps }; faults }
+    { Runner.Proto.id; db; query = "aa"; budget = { Runner.Proto.no_budget with steps }; faults; trace = None }
   in
   let jobs =
     List.init 24 (fun i -> job (Printf.sprintf "easy%d" i) easy_db None (Some "off"))
@@ -760,7 +760,7 @@ let ablation_serve () =
   let hard_db = Graphdb.Serialize.to_string (Gadgets.encode pre (Graphs.Ugraph.complete 5)) in
   let easy_db = "s a m\nm a t\n" in
   let job id db steps =
-    { Runner.Proto.id; db; query = "aa"; budget = { Runner.Proto.no_budget with steps }; faults = Some "off" }
+    { Runner.Proto.id; db; query = "aa"; budget = { Runner.Proto.no_budget with steps }; faults = Some "off"; trace = None }
   in
   (* Drive serve_sockets end-to-end: each client pre-writes its job
      lines on its socketpair end and half-closes; replies are read back

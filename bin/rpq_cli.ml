@@ -52,6 +52,37 @@ let trace_arg =
 
 let configure_trace = function None -> () | Some path -> Obs.Trace.configure_file path
 
+(* Structured-log controls for the long-running subcommands. RPQ_LOG
+   (level[,file]) works for tools that cannot pass flags; these flags
+   override it. Records below the threshold still reach the flight
+   recorder (see Obs.Log / Obs.Flight). *)
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Minimum severity of structured log records: one of $(b,debug), $(b,info), \
+           $(b,warn) (the default), $(b,error). Suppressed records still reach the flight \
+           recorder. Overrides RPQ_LOG.")
+
+let log_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-file" ] ~docv:"FILE"
+        ~doc:"Append structured log records (JSON lines) to $(docv) instead of stderr.")
+
+(* Continuation style so an unknown level is an ordinary exit-2 input
+   error from inside command bodies that return exit codes. *)
+let configure_log level file k =
+  match Option.map (fun s -> (s, Obs.Log.level_of_string s)) level with
+  | Some (s, None) -> input_error "unknown log level %S (debug, info, warn, error)" s
+  | parsed ->
+      (match parsed with Some (_, Some l) -> Obs.Log.set_level (Some l) | _ -> ());
+      (match file with None -> () | Some f -> Obs.Log.set_file f);
+      k ()
+
 (* Shared by solve --json / batch / serve: the worker memory ceiling. *)
 let max_heap_arg =
   Arg.(
@@ -105,6 +136,7 @@ let solve_json ~db_file ~query ~timeout ~steps ~memo_cap =
           query;
           budget = { Runner.Proto.deadline = timeout; steps; memo_cap };
           faults = None;
+          trace = None;
         }
       in
       let t0 = Runner.now_s () in
@@ -559,6 +591,7 @@ let parse_jobfile path =
                query = regex;
                budget;
                faults;
+               trace = None;
              })
   in
   let rec loop lineno acc = function
@@ -651,8 +684,10 @@ let batch_cmd =
             "Write-ahead journal: every dispatch and settlement is appended here, and a rerun \
              with the same journal skips already-settled jobs (re-verified unless RPQ_CHECK=off).")
   in
-  let run jobfile journal workers retries queue_cap job_timeout journal_sync max_heap trace =
+  let run jobfile journal workers retries queue_cap job_timeout journal_sync max_heap trace
+      log_level log_file =
     configure_trace trace;
+    configure_log log_level log_file @@ fun () ->
     match runner_config workers retries queue_cap job_timeout journal_sync max_heap with
     | Error e -> input_error "batch: %s" e
     | Ok cfg -> begin
@@ -684,7 +719,7 @@ let batch_cmd =
           reply line per job, in jobfile order. Exits 0 iff every job settled without error.")
     Term.(
       const run $ jobfile $ journal $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg
-      $ journal_sync_arg $ max_heap_arg $ trace_arg)
+      $ journal_sync_arg $ max_heap_arg $ trace_arg $ log_level_arg $ log_file_arg)
 
 let serve_cmd =
   let listen_arg =
@@ -746,8 +781,9 @@ let serve_cmd =
              can be seeded but never served.")
   in
   let run workers retries queue_cap job_timeout journal_sync max_heap listen tcp cache_entries
-      client_inflight drain_grace journal trace =
+      client_inflight drain_grace journal trace log_level log_file =
     configure_trace trace;
+    configure_log log_level log_file @@ fun () ->
     match runner_config workers retries queue_cap job_timeout journal_sync max_heap with
     | Error e -> input_error "serve: %s" e
     | Ok cfg ->
@@ -785,11 +821,236 @@ let serve_cmd =
           queued jobs, and settled replies are cached under a certificate gate \
           ($(b,--cache-entries)). SIGTERM/SIGINT drain gracefully ($(b,--drain-grace)). A \
           line $(b,{\"stats\":true}) answers immediately with the metrics snapshot \
-          (job/cache/client counters and gauges).")
+          (job/cache/client counters and gauges); a line $(b,GET /metrics) draws the same \
+          snapshot as a Prometheus text-format HTTP response (see $(b,rpq stats)).")
     Term.(
       const run $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg $ journal_sync_arg
       $ max_heap_arg $ listen_arg $ tcp_arg $ cache_entries_arg $ client_inflight_arg
-      $ drain_grace_arg $ serve_journal_arg $ trace_arg)
+      $ drain_grace_arg $ serve_journal_arg $ trace_arg $ log_level_arg $ log_file_arg)
+
+(* ---- stats / submit: socket clients of a running serve ---- *)
+
+let connect_args =
+  let sock =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH"
+          ~doc:"Connect to a server listening on the Unix-domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Connect to a server on loopback TCP port $(docv).")
+  in
+  (sock, tcp)
+
+(* A metrics scrape is one "GET <target>" line on the same line-framed
+   socket jobs travel on; the server answers with a complete HTTP/1.0
+   response and closes. Read to EOF, check the status line, strip the
+   header block at the first blank line. *)
+let http_get ~connect target =
+  match connect () with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | (ic, oc) ->
+      Fun.protect
+        ~finally:(fun () ->
+          close_in_noerr ic;
+          close_out_noerr oc)
+        (fun () ->
+          output_string oc (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" target);
+          flush oc;
+          let raw = In_channel.input_all ic in
+          let len = String.length raw in
+          let rec find_body i =
+            if i + 4 > len then None
+            else if String.sub raw i 4 = "\r\n\r\n" then Some (i + 4)
+            else find_body (i + 1)
+          in
+          match find_body 0 with
+          | None -> Error "malformed response (no header/body separator)"
+          | Some body_at ->
+              if String.starts_with ~prefix:"HTTP/1.0 200" raw then
+                Ok (String.sub raw body_at (len - body_at))
+              else
+                Error
+                  (match String.index_opt raw '\r' with
+                  | Some i -> String.sub raw 0 i
+                  | None -> "malformed status line"))
+
+let stats_cmd =
+  let sock, tcp = connect_args in
+  let counters =
+    Arg.(
+      value & flag
+      & info [ "counters" ]
+          ~doc:
+            "Scrape $(b,/metrics/counters) instead of $(b,/metrics): counters only, no \
+             gauges or latency histograms — the subset whose bytes are deterministic across \
+             two seeded runs.")
+  in
+  let watch =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SECONDS"
+          ~doc:
+            "Re-scrape every $(docv) seconds (reconnecting each time) until interrupted or \
+             the server goes away, printing each snapshot.")
+  in
+  let run sock tcp counters watch =
+    match (sock, tcp) with
+    | None, None -> input_error "stats: need --connect PATH or --tcp PORT"
+    | _ when watch <> None && Option.get watch <= 0.0 ->
+        input_error "stats: watch period must be positive"
+    | _ ->
+        let connect () =
+          match sock with
+          | Some path -> Runner.Transport.connect_unix path
+          | None -> Runner.Transport.connect_tcp (Option.get tcp)
+        in
+        let target = if counters then "/metrics/counters" else "/metrics" in
+        let scrape () =
+          match http_get ~connect target with
+          | Ok body ->
+              print_string body;
+              flush stdout;
+              true
+          | Error e ->
+              Printf.eprintf "rpq: stats: %s\n%!" e;
+              false
+        in
+        let rec loop ok =
+          match watch with
+          | Some period when ok ->
+              Unix.sleepf period;
+              loop (scrape ())
+          | _ -> if ok then 0 else 1
+        in
+        loop (scrape ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Scrape a running $(b,rpq serve)'s metrics endpoint ($(b,GET /metrics) over its job \
+          socket) and print the Prometheus text-format exposition: job/retry/death and \
+          cache/transport counters, queue gauges, latency summaries. Families are emitted in \
+          sorted order with locale-independent number formatting, so equal snapshots are \
+          byte-equal.")
+    Term.(const run $ sock $ tcp $ counters $ watch)
+
+let submit_cmd =
+  let sock, tcp = connect_args in
+  let jobfile =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOBFILE"
+          ~doc:"Same format as $(b,rpq batch): one job per line, <db-file> <regex> [key=value].")
+  in
+  let run jobfile sock tcp trace log_level log_file =
+    configure_trace trace;
+    configure_log log_level log_file @@ fun () ->
+    match (sock, tcp) with
+    | None, None -> input_error "submit: need --connect PATH or --tcp PORT"
+    | _ -> begin
+        match parse_jobfile jobfile with
+        | Error e -> input_error "%s" e
+        | Ok [] -> input_error "%s: no jobs" jobfile
+        | Ok jobs -> begin
+            let connect () =
+              match sock with
+              | Some path -> Runner.Transport.connect_unix path
+              | None -> Runner.Transport.connect_tcp (Option.get tcp)
+            in
+            match connect () with
+            | exception Unix.Unix_error (e, _, _) ->
+                input_error "submit: connect: %s" (Unix.error_message e)
+            | (ic, oc) ->
+                (* One client-side "request" span per job, its context
+                   stamped into the wire job so the server parents its own
+                   request span (and, transitively, the worker's solve
+                   span) under ours: the client's trace id threads the
+                   whole pipeline. *)
+                let spans = Hashtbl.create 16 in
+                List.iter
+                  (fun (j : Runner.Proto.job) ->
+                    let h =
+                      Obs.Trace.open_span
+                        ~args:[ ("id", Obs.Jtext.Str j.Runner.Proto.id) ]
+                        "request"
+                    in
+                    Option.iter (fun h -> Hashtbl.replace spans j.Runner.Proto.id h) h;
+                    let trace =
+                      Option.map (fun h -> Obs.Trace.ctx_to_string (Obs.Trace.handle_ctx h)) h
+                    in
+                    output_string oc
+                      (Runner.Proto.job_to_wire_json { j with Runner.Proto.trace });
+                    output_char oc '\n')
+                  jobs;
+                flush oc;
+                (* No half-close here: the server cancels a disconnected
+                   client's queued jobs, so EOF from us may come only
+                   after the last reply is in hand. *)
+                let failures = ref 0 in
+                let rec read_n n =
+                  if n = 0 then Ok ()
+                  else
+                    match input_line ic with
+                    | exception End_of_file ->
+                        Error
+                          (Printf.sprintf "server closed the connection with %d replies outstanding"
+                             n)
+                    | line -> begin
+                        match Runner.Proto.reply_of_json line with
+                        | Error e -> Error (Printf.sprintf "bad reply line: %s" e)
+                        | Ok r ->
+                            (match Hashtbl.find_opt spans r.Runner.Proto.id with
+                            | Some h ->
+                                Hashtbl.remove spans r.Runner.Proto.id;
+                                Obs.Trace.close_span
+                                  ~args:
+                                    [
+                                      ( "outcome",
+                                        Obs.Jtext.Str
+                                          (Runner.Proto.verdict_name r.Runner.Proto.verdict) );
+                                    ]
+                                  h
+                            | None -> ());
+                            (match r.Runner.Proto.verdict with
+                            | Runner.Proto.V_failed _ -> incr failures
+                            | _ -> ());
+                            print_endline (Runner.Proto.reply_to_json r);
+                            read_n (n - 1)
+                      end
+                in
+                let res = read_n (List.length jobs) in
+                close_in_noerr ic;
+                close_out_noerr oc;
+                (match res with
+                | Error e ->
+                    Hashtbl.iter
+                      (fun _ h ->
+                        Obs.Trace.close_span
+                          ~args:[ ("outcome", Obs.Jtext.Str "lost") ]
+                          h)
+                      spans;
+                    input_error "submit: %s" e
+                | Ok () -> if !failures = 0 then 0 else 1)
+          end
+      end
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a jobfile to a running $(b,rpq serve) over its socket and print one JSON \
+          reply line per job, in settlement order. With $(b,--trace), each job runs under a \
+          client-side request span whose context rides the wire: concatenating the client's \
+          and the server's trace files yields one multi-process trace that \
+          $(b,rpq trace-check) validates end to end. Exits 0 iff every job settled without \
+          error.")
+    Term.(const run $ jobfile $ sock $ tcp $ trace_arg $ log_level_arg $ log_file_arg)
 
 (* ---- journal: inspect / compact ---- *)
 
@@ -977,22 +1238,30 @@ let read_replies path =
              prerr_endline (Printf.sprintf "rpq: chaos: bad reply line in %s: %s" path e);
              exit 1)
 
-(* Volatile fields zeroed, so equal-modulo-time replies print identically
-   and two chaos runs with the same seed diff byte-for-byte. *)
+(* Volatile fields zeroed (trace contexts embed pids), so
+   equal-modulo-time replies print identically and two chaos runs with
+   the same seed diff byte-for-byte. *)
 let normalized_reply (r : Runner.Proto.reply) =
-  Runner.Proto.reply_to_json { r with Runner.Proto.wall_s = 0.0; stages = [] }
+  Runner.Proto.reply_to_json { r with Runner.Proto.wall_s = 0.0; stages = []; trace = None }
 
-(* Children inherit our environment minus any ambient fault or trace
-   plan — the chaos schedule owns fault injection. *)
-let chaos_child_env faults =
+(* Children inherit our environment minus any ambient fault, trace, or
+   flight-recorder plan — the chaos schedule owns fault injection, and
+   [flight] arms the child's own black box at a path this harness will
+   assert on after each injected crash. *)
+let chaos_child_env ?flight faults =
   let keep =
     Array.to_list (Unix.environment ())
     |> List.filter (fun kv ->
            not
              (String.starts_with ~prefix:"RPQ_FAULTS=" kv
-             || String.starts_with ~prefix:"RPQ_TRACE=" kv))
+             || String.starts_with ~prefix:"RPQ_TRACE=" kv
+             || String.starts_with ~prefix:"RPQ_FLIGHT=" kv))
   in
-  Array.of_list (("RPQ_FAULTS=" ^ faults) :: keep)
+  let extra =
+    ("RPQ_FAULTS=" ^ faults)
+    :: (match flight with Some p -> [ "RPQ_FLIGHT=" ^ p ] | None -> [])
+  in
+  Array.of_list (extra @ keep)
 
 let rec chaos_waitpid pid =
   match Unix.waitpid [] pid with
@@ -1299,14 +1568,16 @@ let chaos_cmd =
         | Ok jobs ->
             let journal = Filename.temp_file "rpq_chaos" ".journal" in
             let out_file = Filename.temp_file "rpq_chaos" ".jsonl" in
+            let flight_file = Filename.temp_file "rpq_chaos" ".flight" in
             Sys.remove journal;
+            Sys.remove flight_file;
             let cleanup () =
               List.iter
                 (fun f -> if Sys.file_exists f then Sys.remove f)
-                [ journal; journal ^ ".tmp"; out_file ]
+                [ journal; journal ^ ".tmp"; out_file; flight_file; flight_file ^ ".tmp" ]
             in
             Fun.protect ~finally:cleanup @@ fun () ->
-            let run_child ~faults ~with_journal ~out =
+            let run_child ?flight ~faults ~with_journal ~out () =
               let argv =
                 [ Sys.executable_name; "batch"; jobfile ]
                 @ (if with_journal then [ "--journal"; journal ] else [])
@@ -1323,7 +1594,7 @@ let chaos_cmd =
               let fd_out = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
               let pid =
                 Unix.create_process_env Sys.executable_name (Array.of_list argv)
-                  (chaos_child_env faults) Unix.stdin fd_out Unix.stderr
+                  (chaos_child_env ?flight faults) Unix.stdin fd_out Unix.stderr
               in
               Unix.close fd_out;
               let rec wait () =
@@ -1358,15 +1629,47 @@ let chaos_cmd =
                     tbl;
                   Hashtbl.length tbl
             in
+            (* The library's crash hook dumps the flight recorder before
+               _exit 70, so every injected crash must leave a parseable
+               black box at the path we arm the child with. *)
+            let validate_flight () =
+              match In_channel.with_open_text flight_file In_channel.input_all with
+              | exception Sys_error _ -> die "crash left no flight dump at %s" flight_file
+              | contents -> begin
+                  match Runner.Proto.Json.parse contents with
+                  | Error e -> die "crash left an unparseable flight dump: %s" e
+                  | Ok v ->
+                      let get f conv = Option.bind (Runner.Proto.Json.member f v) conv in
+                      (match get "v" Runner.Proto.Json.to_int_opt with
+                      | Some 1 -> ()
+                      | _ -> die "flight dump lacks version 1");
+                      (match get "reason" Runner.Proto.Json.to_str_opt with
+                      | Some r when String.starts_with ~prefix:"crash:" r -> ()
+                      | Some r -> die "flight dump has unexpected reason %S" r
+                      | None -> die "flight dump lacks a reason");
+                      (match Runner.Proto.Json.member "events" v with
+                      | Some (Runner.Proto.Json.List _) -> ()
+                      | _ -> die "flight dump lacks an events array");
+                      Sys.remove flight_file
+                end
+            in
             (* Reference: the same batch, no journal, no faults. *)
-            (match run_child ~faults:"off" ~with_journal:false ~out:out_file with
+            (match run_child ~faults:"off" ~with_journal:false ~out:out_file () with
             | Unix.WEXITED (0 | 1) -> ()
             | st -> die "reference run died unexpectedly (%s)" (status_to_string st));
             let reference = read_replies out_file in
             (* Seeded schedule: same LCG construction as Resilience.Faults
                (high bits of a 48-bit stream). Printed up front so two runs
                of the same seed diff byte-identically. *)
-            let sites = Array.of_list Faults.crash_sites in
+            (* [journal.mid_compact] is excluded from the random schedule:
+               whether auto-compaction runs at all depends on journal
+               geometry, so a drawn hit count would usually never fire and
+               the round would inject nothing. The unit suite covers that
+               site directly. *)
+            let sites =
+              Array.of_list
+                (List.filter (fun s -> s <> "journal.mid_compact") Faults.crash_sites)
+            in
             let lcg = ref ((seed land max_int) lxor 0x2545F4914F6CDD1D) in
             let draw bound =
               lcg := ((!lcg * 25214903917) + 11) land 0xFFFFFFFFFFFF;
@@ -1375,30 +1678,52 @@ let chaos_cmd =
             Printf.printf "chaos: seed %d, %d planned crashes, %d jobs\n" seed crashes
               (List.length jobs);
             let settled_floor = ref 0 in
+            let flight_dumps = ref 0 in
+            let fired = ref 0 in
             for i = 1 to crashes do
-              let site = sites.(draw (Array.length sites)) in
-              (* Hit counts up to ~2 appends per job stress early, middle
-                 and late crash points across the batch. *)
-              let hits = 1 + draw (2 * List.length jobs) in
-              let spec = Printf.sprintf "crash:%s:%d" site hits in
-              Printf.printf "crash %d: %s\n" i spec;
-              (match run_child ~faults:spec ~with_journal:true ~out:out_file with
-              | Unix.WEXITED 70 -> Obs.Metrics.incr m_chaos_crashes
-              | Unix.WEXITED (0 | 1) ->
-                  (* The site never reached its hit count: the batch simply
-                     completed. Later resumes reuse its journal. *)
-                  ()
-              | st -> die "crashed run %d died unexpectedly (%s)" i (status_to_string st));
-              let settled = load_settled () in
-              Printf.eprintf "chaos: after crash %d: %d settled\n%!" i settled;
-              if settled < !settled_floor then
-                die "settled answers went backwards (%d after %d): journal lost data" settled
-                  !settled_floor;
-              settled_floor := settled
+              let remaining = List.length jobs - !settled_floor in
+              if remaining = 0 then
+                (* Everything is settled: no append or dispatch can happen,
+                   so no crash site can fire — injecting would be vacuous. *)
+                Printf.printf "crash %d: skipped (journal already complete)\n" i
+              else begin
+                let site = sites.(draw (Array.length sites)) in
+                (* Hit counts bounded by the work actually left — ~2 journal
+                   appends (Started/Done) per unsettled job, at least one
+                   dispatch each — so every drawn site count is reachable
+                   and the child really dies mid-write. *)
+                let bound =
+                  if site = "pool.post_dispatch" then remaining else 2 * remaining
+                in
+                let hits = 1 + draw bound in
+                let spec = Printf.sprintf "crash:%s:%d" site hits in
+                Printf.printf "crash %d: %s\n" i spec;
+                (match
+                   run_child ~flight:flight_file ~faults:spec ~with_journal:true ~out:out_file ()
+                 with
+                | Unix.WEXITED 70 ->
+                    incr fired;
+                    Obs.Metrics.incr m_chaos_crashes;
+                    validate_flight ();
+                    incr flight_dumps
+                | Unix.WEXITED (0 | 1) ->
+                    (* The site never reached its hit count: the batch simply
+                       completed. Later resumes reuse its journal. *)
+                    ()
+                | st -> die "crashed run %d died unexpectedly (%s)" i (status_to_string st));
+                let settled = load_settled () in
+                Printf.eprintf "chaos: after crash %d: %d settled\n%!" i settled;
+                if settled < !settled_floor then
+                  die "settled answers went backwards (%d after %d): journal lost data" settled
+                    !settled_floor;
+                settled_floor := settled
+              end
             done;
+            if crashes > 0 && !fired = 0 then
+              die "no crash site ever fired: the schedule injected nothing";
             (* Final resume, fault-free: must converge and agree with the
                reference modulo wall_s/stages. *)
-            (match run_child ~faults:"off" ~with_journal:true ~out:out_file with
+            (match run_child ~faults:"off" ~with_journal:true ~out:out_file () with
             | Unix.WEXITED 0 -> ()
             | Unix.WEXITED 1 -> die "final resume settled with structured failures"
             | st -> die "final resume died (%s)" (status_to_string st));
@@ -1425,8 +1750,9 @@ let chaos_cmd =
                 0 reference final
             in
             List.iter (fun r -> print_endline (normalized_reply r)) final;
-            Printf.printf "chaos: %d jobs, %d crashes injected, diffs: %d\n"
-              (List.length jobs) crashes diffs;
+            Printf.printf "chaos: %d flight dumps validated\n" !flight_dumps;
+            Printf.printf "chaos: %d jobs, %d of %d planned crashes fired, diffs: %d\n"
+              (List.length jobs) !fired crashes diffs;
             if diffs = 0 then 0 else 1
       end
   in
@@ -1445,124 +1771,58 @@ let chaos_cmd =
 
 (* ---- trace-check ---- *)
 
-(* CI validator for trace files: every event must parse (with the runner's
-   strict JSON reader — the same grammar Obs.Jtext emits), and every span
-   of depth d+1 must be contained in some span of depth d. Spans are
-   emitted on close, so containment is checked set-wise, not by replaying
-   a stack. *)
-module Json = Runner.Proto.Json
-
-type span = { sname : string; sts : float; sdur : float; sdepth : int }
-
-let span_field_err what = Error (Printf.sprintf "%s event with missing or mistyped fields" what)
-
-let span_of_jsonl v =
-  let get f conv = Option.bind (Json.member f v) conv in
-  match get "ev" Json.to_str_opt with
-  | Some "span" -> begin
-      match
-        ( get "name" Json.to_str_opt,
-          get "ts" Json.to_float_opt,
-          get "dur" Json.to_float_opt,
-          get "depth" Json.to_int_opt )
-      with
-      | Some sname, Some sts, Some sdur, Some sdepth -> Ok (Some { sname; sts; sdur; sdepth })
-      | _ -> span_field_err "span"
-    end
-  | Some "instant" -> Ok None
-  | Some ev -> Error (Printf.sprintf "unexpected event type %S" ev)
-  | None -> Error "event without an \"ev\" field"
-
-let span_of_chrome v =
-  let get f conv = Option.bind (Json.member f v) conv in
-  match get "ph" Json.to_str_opt with
-  | Some "X" -> begin
-      let depth =
-        Option.bind (Json.member "args" v) (fun a ->
-            Option.bind (Json.member "depth" a) Json.to_int_opt)
-      in
-      match (get "name" Json.to_str_opt, get "ts" Json.to_float_opt, get "dur" Json.to_float_opt, depth)
-      with
-      | Some sname, Some ts, Some dur, Some sdepth ->
-          (* Chrome timestamps are microseconds; normalize to seconds. *)
-          Ok (Some { sname; sts = ts /. 1e6; sdur = dur /. 1e6; sdepth })
-      | _ -> span_field_err "complete (ph=X)"
-    end
-  | Some "i" -> Ok None
-  | Some ph -> Error (Printf.sprintf "unexpected event phase %S" ph)
-  | None -> Error "event without a \"ph\" field"
-
+(* CI validator for trace files; all the checking lives in
+   [Runner.Trace_check] so tests exercise the same code path. *)
 let trace_check_cmd =
   let file =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Trace file (.jsonl event stream or Chrome JSON array).")
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Trace file (.jsonl event stream — possibly the concatenation of several \
+             processes' files — or Chrome JSON array).")
   in
   let run file =
-    (* Unlike [input_error] (which returns the code for tail positions),
-       validation failures here abort from arbitrary depth. *)
-    let die fmt =
-      Printf.ksprintf
-        (fun msg ->
-          prerr_endline ("rpq: error: " ^ msg);
-          exit exit_input_error)
-        fmt
-    in
-    let contents =
-      match In_channel.with_open_text file In_channel.input_all with
-      | exception Sys_error e -> die "%s" e
-      | c -> c
-    in
-    let spans = ref [] in
-    let events = ref 0 in
-    let record where = function
-      | Error e -> die "%s: %s" where e
-      | Ok None -> incr events
-      | Ok (Some s) ->
-          incr events;
-          spans := s :: !spans
-    in
-    (if Filename.check_suffix file ".jsonl" then
-       List.iteri
-         (fun i line ->
-           if String.trim line <> "" then
-             match Json.parse line with
-             | Error e -> die "%s:%d: %s" file (i + 1) e
-             | Ok v -> record (Printf.sprintf "%s:%d" file (i + 1)) (span_of_jsonl v))
-         (String.split_on_char '\n' contents)
-     else
-       match Json.parse contents with
-       | Error e -> die "%s: %s" file e
-       | Ok (Json.List evs) -> List.iter (fun v -> record file (span_of_chrome v)) evs
-       | Ok _ -> die "%s: a Chrome trace must be one JSON array of events" file);
-    let spans = !spans in
-    (* Timestamps render with 9 significant digits; allow a few µs of
-       rounding slack in the containment test. *)
-    let eps = 5e-6 in
-    let contains p c =
-      p.sdepth = c.sdepth - 1 && p.sts -. eps <= c.sts && c.sts +. c.sdur <= p.sts +. p.sdur +. eps
-    in
-    List.iter
-      (fun c ->
-        if c.sdepth > 0 && not (List.exists (fun p -> contains p c) spans) then
-          die "%s: span %S (depth %d, ts %.6fs) is not contained in any depth-%d span" file
-            c.sname c.sdepth c.sts (c.sdepth - 1))
-      spans;
-    Printf.printf "trace-check: %s: %d events, %d spans, nesting OK\n" file !events
-      (List.length spans);
-    0
+    match Runner.Trace_check.check_file file with
+    | Error msg ->
+        prerr_endline ("rpq: error: " ^ msg);
+        exit_input_error
+    | Ok st ->
+        Printf.printf
+          "trace-check: %s: %d events, %d spans, %d processes, %d traces, nesting OK\n" file
+          st.Runner.Trace_check.events st.Runner.Trace_check.spans
+          st.Runner.Trace_check.processes st.Runner.Trace_check.traces;
+        0
   in
   Cmd.v
     (Cmd.info "trace-check"
        ~doc:
          "Validate a trace file written by $(b,--trace) or $(b,RPQ_TRACE): every event must \
-          parse, and stage/job spans must nest properly (used by CI on traced batch runs).")
+          parse, spans must nest within their process, and cross-process parent links \
+          ($(b,psid)) must resolve to containing spans in the same trace — orphan spans \
+          reject the file (used by CI on traced batch and serve runs).")
     Term.(const run $ file)
 
 let () =
   Obs.Trace.configure_from_env ();
+  Obs.Log.configure_from_env ();
+  Obs.Flight.configure_from_env ();
   at_exit Obs.Trace.finish;
+  at_exit Obs.Log.close_file;
+  (* With a flight recorder armed (RPQ_FLIGHT), a fatal signal dumps the
+     black box before dying, like the in-library crash sites do. Pool
+     workers reset these to defaults and disable their ring, and serve
+     installs its own graceful-drain handlers on top. *)
+  if Obs.Flight.enabled () then
+    List.iter
+      (fun (sg, name) ->
+        Sys.set_signal sg
+          (Sys.Signal_handle
+             (fun _ ->
+               Obs.Flight.dump ~reason:("signal:" ^ name) ();
+               exit 1)))
+      [ (Sys.sigterm, "term"); (Sys.sigint, "int") ];
   let doc = "Resilience of regular path queries (PODS 2025 reproduction)" in
   let info = Cmd.info "rpq" ~version:"1.0.0" ~doc in
   exit
@@ -1581,6 +1841,8 @@ let () =
             dot_cmd;
             batch_cmd;
             serve_cmd;
+            submit_cmd;
+            stats_cmd;
             journal_cmd;
             chaos_cmd;
             trace_check_cmd;

@@ -14,6 +14,9 @@ type job = {
   query : string;
   budget : budget_spec;
   faults : string option;
+  trace : string option;
+      (** serialized [Obs.Trace.span_ctx] — request identity propagated
+          across process hops; never part of the job's canonical form *)
 }
 
 type verdict =
@@ -27,6 +30,9 @@ type reply = {
   steps : int;
   wall_s : float;
   stages : (string * float) list;
+  trace : string option;
+      (** the worker-side job span's context, so a reply can be joined
+          to its spans in a stitched trace; absent when untraced *)
   verdict : verdict;
   cert : Certificate.t option;
 }
@@ -46,6 +52,7 @@ let failed ?(retriable = false) ~id ~kind fmt =
         steps = 0;
         wall_s = 0.0;
         stages = [];
+        trace = None;
         verdict = V_failed { kind; message; retriable };
         cert = None;
       })
@@ -68,13 +75,26 @@ let budget_fields b =
   @ opt "memo_cap" (fun i -> Json.Int i) b.memo_cap
 
 (* Jobs are deliberately unversioned: their canonical rendering is the
-   journal key ([Journal.job_digest]), so it must stay byte-stable. *)
+   journal key ([Journal.job_digest]), so it must stay byte-stable. The
+   trace context is deliberately NOT part of it — two submissions of the
+   same job under different trace ids are the same job to the journal
+   and the cache. *)
 let job_to_json (j : job) =
   Json.to_string
     (Json.Obj
        ([ ("id", Json.Str j.id); ("query", Json.Str j.query); ("db", Json.Str j.db) ]
        @ budget_fields j.budget
        @ opt "faults" (fun s -> Json.Str s) j.faults))
+
+(* The wire form adds the hop-scoped fields the canonical form excludes:
+   what travels client -> serve -> worker pipe. *)
+let job_to_wire_json (j : job) =
+  Json.to_string
+    (Json.Obj
+       ([ ("id", Json.Str j.id); ("query", Json.Str j.query); ("db", Json.Str j.db) ]
+       @ budget_fields j.budget
+       @ opt "faults" (fun s -> Json.Str s) j.faults
+       @ opt "trace" (fun s -> Json.Str s) j.trace))
 
 let witness_fields = function
   | None -> []
@@ -98,6 +118,7 @@ let reply_to_obj (r : reply) =
       ("wall_s", Json.Float r.wall_s);
     ]
     @ stages_fields r.stages
+    @ opt "trace" (fun s -> Json.Str s) r.trace
   in
   let rest =
     match r.verdict with
@@ -173,7 +194,8 @@ let job_of_obj obj =
   let* steps = get_opt obj "steps" Json.to_int_opt in
   let* memo_cap = get_opt obj "memo_cap" Json.to_int_opt in
   let* faults = get_opt obj "faults" Json.to_str_opt in
-  Ok { id; db; query; budget = { deadline; steps; memo_cap }; faults }
+  let* trace = get_opt obj "trace" Json.to_str_opt in
+  Ok { id; db; query; budget = { deadline; steps; memo_cap }; faults; trace }
 
 let job_of_json s =
   let* v = Json.parse s in
@@ -211,6 +233,7 @@ let reply_of_obj obj =
   let* steps = get obj "steps" Json.to_int_opt in
   let* wall_s = get obj "wall_s" Json.to_float_opt in
   let* stages = stages_of obj in
+  let* trace = get_opt obj "trace" Json.to_str_opt in
   let* outcome = get obj "outcome" Json.to_str_opt in
   let* verdict =
     match outcome with
@@ -233,7 +256,7 @@ let reply_of_obj obj =
     | other -> Error (Printf.sprintf "unknown outcome %S" other)
   in
   let* cert = cert_of obj in
-  Ok { id; attempts; steps; wall_s; stages; verdict; cert }
+  Ok { id; attempts; steps; wall_s; stages; trace; verdict; cert }
 
 let reply_of_json s =
   let* v = Json.parse s in

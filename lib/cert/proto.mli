@@ -33,6 +33,12 @@ type job = {
   faults : string option;
       (** per-job [Resilience.Faults] plan ([Faults.parse] grammar);
           [None] inherits the worker's ambient plan *)
+  trace : string option;
+      (** serialized span context ([Obs.Trace.ctx_to_string] form,
+          [trace_id:span_id:flag]) naming the parent span of whatever
+          work this hop does for the job. Wire-only: {!job_to_json} —
+          the journal/cache key — excludes it, so the same job under
+          different trace ids digests identically. *)
 }
 
 type verdict =
@@ -63,6 +69,11 @@ type reply = {
           the wire it is an optional [stages] object, omitted when empty.
           Volatile like [wall_s]: excluded from
           {!reply_equal_ignoring_time}. *)
+  trace : string option;
+      (** the worker-side job span's context ([trace_id:span_id:1]),
+          letting a reply be joined to its spans in a stitched trace.
+          Absent when the worker ran untraced; volatile (span ids embed
+          pids), so excluded from {!reply_equal_ignoring_time}. *)
   verdict : verdict;
   cert : Certificate.t option;
       (** answer certificate; present on every settled (exact or bounded)
@@ -87,6 +98,14 @@ val failed :
     [retriable] defaults to [false], no certificate). *)
 
 val job_to_json : job -> string
+(** The canonical (journal/cache-key) rendering: byte-stable, excludes
+    the trace context. *)
+
+val job_to_wire_json : job -> string
+(** The transmission rendering: canonical fields plus [trace]. This is
+    what crosses the socket and the worker pipe; {!job_of_json} reads
+    both forms. *)
+
 val job_of_json : string -> (job, string) result
 val reply_to_json : reply -> string
 val reply_of_json : string -> (reply, string) result

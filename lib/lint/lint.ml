@@ -25,6 +25,7 @@ let rule_unix = Lint_rules.rule_unix
 let rule_clock = Lint_rules.rule_clock
 let rule_sync = Lint_rules.rule_sync
 let rule_socket = Lint_rules.rule_socket
+let rule_stderr = Lint_rules.rule_stderr
 let rule_catch_all = Lint_rules.rule_catch_all
 let rule_raise = Lint_rules.rule_raise
 let rule_random = Lint_rules.rule_random
@@ -95,9 +96,12 @@ let scan_lib ~lib_root =
               match capability_of_rule f.rule with
               | Some c ->
                   (not (Lint_policy.grants_cap policy base c))
+                  && (not
+                        (c = Lint_rules.Csocket
+                        && Lint_policy.socket_module_allowed policy slug))
                   && not
-                       (c = Lint_rules.Csocket
-                       && Lint_policy.socket_module_allowed policy slug)
+                       (c = Lint_rules.Cstderr
+                       && Lint_policy.stderr_module_allowed policy slug)
               | None -> true)
             (scan_source ~file:ml src)
         in
@@ -168,9 +172,12 @@ let analyze ~root ~policy =
                   && (not
                         (c = Lint_rules.Crandom
                         && Lint_policy.random_module_allowed policy slug))
+                  && (not
+                        (c = Lint_rules.Csocket
+                        && Lint_policy.socket_module_allowed policy slug))
                   && not
-                       (c = Lint_rules.Csocket
-                       && Lint_policy.socket_module_allowed policy slug)
+                       (c = Lint_rules.Cstderr
+                       && Lint_policy.stderr_module_allowed policy slug)
               | None -> u.kind = Lib
             in
             let findings = List.filter keep (Lint_rules.scan_source ~file:ml src) in

@@ -82,6 +82,14 @@ val rule_socket : string
     module, including tests and executables, goes through
     [Transport]'s helpers). *)
 
+val rule_stderr : string
+(** Stderr write ([Printf.eprintf], [Format.eprintf], [prerr_*], the
+    bare [stderr] channel) outside the policy table's [stderr-modules]
+    slugs ([obs/log] only) and [bin/]: the structured logger emits
+    reason-coded JSON records on stderr, and a free-form write from
+    anywhere else interleaves with that stream and dodges the level
+    filter, rate limiter and flight recorder. *)
+
 val rule_catch_all : string
 (** [with _ ->] / [exception _ ->]: swallows [Internal_error] and
     [Budget.Exhausted] alike. *)

@@ -384,11 +384,13 @@ let analyze ~root ~policy =
         (Lint_policy.grants_of policy u.nuname
         @ Lint_policy.grants_of policy (Filename.basename u.ndir))
     in
-    (* Socket grants are per-module, not per-unit: only the transport
-       slug gets the bit, making it the encapsulation boundary — its
-       callers inside lib/runner never acquire 'socket' reach. *)
+    (* Socket and stderr grants are per-module, not per-unit: only the
+       transport / logger slug gets the bit, making it the encapsulation
+       boundary — their callers inside lib/runner and lib/obs never
+       acquire 'socket' or 'stderr' reach. *)
     let slug = Filename.basename u.ndir ^ "/" ^ String.uncapitalize_ascii u.mname in
-    if Lint_policy.socket_module_allowed policy slug then m lor cap_bit Csocket else m
+    let m = if Lint_policy.socket_module_allowed policy slug then m lor cap_bit Csocket else m in
+    if Lint_policy.stderr_module_allowed policy slug then m lor cap_bit Cstderr else m
   in
   let infos : (string, info) Hashtbl.t = Hashtbl.create 64 in
   List.iter

@@ -7,6 +7,7 @@ type t = {
   grants : (string * cap list) list;
   random_modules : string list;
   socket_modules : string list;
+  stderr_modules : string list;
   unix_dep_ok : string list;
   exec_deps : (string * string list) list;
 }
@@ -58,7 +59,7 @@ let default =
         ("runner", [ Cunix; Cclock; Cfsync; Cstate ]);
         ("resilience", [ Cstate ]);
         ("core", [ Cstate ]);
-        ("bin", [ Cunix; Cclock; Cprint; Cexit; Cstate ]);
+        ("bin", [ Cunix; Cclock; Cprint; Cexit; Cstate; Cstderr ]);
       ];
     random_modules = [];
     (* Socket endpoints are narrower than the directory-level grants:
@@ -66,6 +67,11 @@ let default =
        listen on, accept or connect sockets. Everything else (the CLI's
        chaos clients, the tests) goes through Transport's helpers. *)
     socket_modules = [ "runner/transport" ];
+    (* Same shape for stderr: Obs.Log emits reason-coded JSON records on
+       it, so no other library module may write there — a free-form
+       eprintf would interleave with the record stream and dodge the
+       level filter, the rate limiter and the flight recorder. *)
+    stderr_modules = [ "obs/log" ];
     unix_dep_ok = [ "obs"; "runner"; "bin" ];
     (* Dependency ceilings for executables whose whole point is what they
        do NOT link: the independent certificate checker must never share
@@ -88,5 +94,6 @@ let allowed t ~name ~dir cap =
 
 let random_module_allowed t slug = List.mem slug t.random_modules
 let socket_module_allowed t slug = List.mem slug t.socket_modules
+let stderr_module_allowed t slug = List.mem slug t.stderr_modules
 
 let exec_deps_of t name = List.assoc_opt name t.exec_deps

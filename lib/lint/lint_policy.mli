@@ -23,6 +23,11 @@ type t = {
           endpoints (socket/bind/listen/accept/connect) — the runner's
           transport module only. Like grants, a listed module is an
           encapsulation boundary for the [socket] capability. *)
+  stderr_modules : string list;
+      (** ["dir/module"] slugs of the modules allowed to write to stderr
+          (eprintf, prerr_*, the bare channel) — the structured logger
+          only, so nothing interleaves free-form text with its JSON
+          records. bin/ keeps the grant through the grants table. *)
   unix_dep_ok : string list;
       (** units that may list the [unix] findlib library in dune. *)
   exec_deps : (string * string list) list;
@@ -44,6 +49,7 @@ val allowed : t -> name:string -> dir:string -> Lint_rules.cap -> bool
 
 val random_module_allowed : t -> string -> bool
 val socket_module_allowed : t -> string -> bool
+val stderr_module_allowed : t -> string -> bool
 
 val exec_deps_of : t -> string -> string list option
 (** The dependency allowlist of an executable, when the policy pins

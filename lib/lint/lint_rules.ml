@@ -17,6 +17,7 @@ let rule_random = "random-outside-chaos"
 let rule_exit = "exit-outside-bin"
 let rule_state = "toplevel-state"
 let rule_socket = "socket-outside-transport"
+let rule_stderr = "stderr-outside-log"
 let rule_layer = "layer-violation"
 let rule_layer_unassigned = "layer-unassigned"
 let rule_cycle = "module-cycle"
@@ -26,12 +27,12 @@ let rule_exec_deps = "exec-dep-contract"
 
 (* {2 Capabilities} *)
 
-(* [Csocket] is appended last: {!all_caps} order defines the graph
-   analyzer's bit positions, and appending keeps the existing masks
-   stable. *)
-type cap = Cunix | Cclock | Cfsync | Cprint | Cexit | Crandom | Cstate | Csocket
+(* New capabilities ([Csocket], then [Cstderr]) are appended last:
+   {!all_caps} order defines the graph analyzer's bit positions, and
+   appending keeps the existing masks stable. *)
+type cap = Cunix | Cclock | Cfsync | Cprint | Cexit | Crandom | Cstate | Csocket | Cstderr
 
-let all_caps = [ Cunix; Cclock; Cfsync; Cprint; Cexit; Crandom; Cstate; Csocket ]
+let all_caps = [ Cunix; Cclock; Cfsync; Cprint; Cexit; Crandom; Cstate; Csocket; Cstderr ]
 
 let cap_name = function
   | Cunix -> "unix"
@@ -42,6 +43,7 @@ let cap_name = function
   | Crandom -> "random"
   | Cstate -> "state"
   | Csocket -> "socket"
+  | Cstderr -> "stderr"
 
 let cap_of_name = function
   | "unix" -> Some Cunix
@@ -52,6 +54,7 @@ let cap_of_name = function
   | "random" -> Some Crandom
   | "state" -> Some Cstate
   | "socket" -> Some Csocket
+  | "stderr" -> Some Cstderr
   | _ -> None
 
 (* The rule a *direct* use of each capability is reported under. A
@@ -65,6 +68,7 @@ let cap_rule = function
   | Crandom -> rule_random
   | Cstate -> rule_state
   | Csocket -> rule_socket
+  | Cstderr -> rule_stderr
 
 let banned_idents =
   [
@@ -77,8 +81,6 @@ let banned_idents =
     ("print_string", rule_print, "library code must not write to stdout; return or log");
     ("print_endline", rule_print, "library code must not write to stdout; return or log");
     ("print_int", rule_print, "library code must not write to stdout; return or log");
-    ("prerr_string", rule_print, "library code must not write to stderr; return or log");
-    ("prerr_endline", rule_print, "library code must not write to stderr; return or log");
     ("failwith", rule_failwith, "raise Invariant.Internal_error (via Invariant.internal_error)");
   ]
 
@@ -86,6 +88,26 @@ let print_idents =
   List.filter_map
     (fun (ident, rule, _) -> if rule = rule_print then Some ident else None)
     banned_idents
+
+(* Stderr writes are their own capability, narrower than [print]: the
+   structured logger emits JSON records on stderr, and any free-form
+   eprintf from elsewhere interleaves with (and corrupts the greppability
+   of) that stream. Exactly one module — Obs.Log, named by the policy
+   table's stderr-modules slugs — may hold the channel; bin/ keeps the
+   grant for usage/diagnostic text. The bare [stderr] token is included:
+   passing the channel to a formatter is just eprintf with extra steps. *)
+let stderr_idents =
+  [
+    "stderr";
+    "Printf.eprintf";
+    "Format.eprintf";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "prerr_int";
+    "prerr_char";
+    "prerr_bytes";
+  ]
 
 (* Top-level mutable state: a column-0 [let] binding a plain name (no
    parameters) whose right-hand side starts with a mutable constructor.
@@ -239,6 +261,14 @@ let scan_source ~file src =
                 "%s: socket endpoints are confined to the runner's transport module (the policy \
                  table's socket-modules slugs)"
                 tok));
+        (* Stderr is the structured logger's output stream: free-form
+           writes from anywhere else interleave with its JSON records. *)
+        if List.exists (fun p -> tok = p || tok = "Stdlib." ^ p) stderr_idents then
+          add line rule_stderr
+            (Printf.sprintf
+               "%s: stderr is confined to the structured logger (Obs.Log; the policy table's \
+                stderr-modules slugs) and bin/ — log a reason-coded event instead"
+               tok);
         (* Raw clock reads bypass Obs.Clock's monotone guard and leave the
            telemetry and the budget layer disagreeing about time. *)
         if
@@ -315,6 +345,7 @@ let caps_of_findings findings =
         else if f.rule = rule_random then Some Crandom
         else if f.rule = rule_state then Some Cstate
         else if f.rule = rule_socket then Some Csocket
+        else if f.rule = rule_stderr then Some Cstderr
         else None
       in
       match cap with
@@ -511,6 +542,13 @@ let explanations =
        net-fault injection and dead-client detection all hang off accept/connect — so exactly \
        one module owns the endpoints; everything else (tests, the CLI's chaos clients) goes \
        through Transport's connect helpers." );
+    ( rule_stderr,
+      "The 'stderr' capability (Printf.eprintf, Format.eprintf, prerr_*, the bare stderr \
+       channel) is confined to the structured logger, named by the policy table's \
+       stderr-modules slugs (obs/log), plus bin/ for usage and diagnostic text. Obs.Log emits \
+       reason-coded JSON records on stderr; a free-form eprintf anywhere else interleaves \
+       with that stream and escapes the log level, the rate limiter and the flight recorder. \
+       Emit Obs.Log.warn/error events instead." );
     ( rule_layer,
       "The layering contract (invariant -> obs -> leaf solvers -> resilience -> runner -> bin) \
        is checked against the dune dependency graph: a library may depend only on strictly \

@@ -21,6 +21,7 @@ val rule_random : string
 val rule_exit : string
 val rule_state : string
 val rule_socket : string
+val rule_stderr : string
 val rule_layer : string
 val rule_layer_unassigned : string
 val rule_cycle : string
@@ -34,7 +35,7 @@ val rule_exec_deps : string
     uses are found lexically here; {!Lint_graph} propagates them
     transitively over the module graph, treating granted modules as
     encapsulation boundaries. *)
-type cap = Cunix | Cclock | Cfsync | Cprint | Cexit | Crandom | Cstate | Csocket
+type cap = Cunix | Cclock | Cfsync | Cprint | Cexit | Crandom | Cstate | Csocket | Cstderr
 
 val all_caps : cap list
 val cap_name : cap -> string
@@ -48,6 +49,11 @@ val banned_idents : (string * string * string) list
     library code. *)
 
 val print_idents : string list
+
+val stderr_idents : string list
+(** Stderr-writing identifiers (eprintf variants, [prerr_*], the bare
+    [stderr] channel) reported under {!rule_stderr}; confined by the
+    policy table's [stderr_modules] slugs plus the bin/ grant. *)
 
 val scan_source : file:string -> string -> Lint_base.finding list
 (** All leaf findings of one source, sorted by

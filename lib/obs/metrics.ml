@@ -3,7 +3,7 @@
    the hot operations — [incr], [add], [observe] — are a field update and
    at most a [log] call, cheap enough for the innermost solver loops. *)
 
-type counter = { mutable count : int }
+type counter = { cname : string; mutable count : int }
 type gauge = { mutable value : float }
 
 (* Log-scale buckets: base 2^(1/4), i.e. four buckets per doubling, which
@@ -43,7 +43,7 @@ let register name make cast kind =
 let counter name =
   register name
     (fun () ->
-      let c = { count = 0 } in
+      let c = { cname = name; count = 0 } in
       Hashtbl.replace registry name (C c);
       c)
     (function C c -> Some c | G _ | H _ -> None)
@@ -75,8 +75,24 @@ let histogram name =
     (function H h -> Some h | C _ | G _ -> None)
     "histogram"
 
-let incr c = c.count <- c.count + 1
-let add c n = c.count <- c.count + n
+(* Counter deltas feed the flight-recorder ring when it is armed; the
+   [Flight.enabled] guard is one ref read, cheap enough to leave in the
+   hot path. Names are not recorded per-object (the registry maps the
+   other way), so the delta notes the new absolute count only. *)
+let note_count c =
+  if Flight.enabled () then
+    Flight.note
+      (Jtext.Obj
+         [ ("k", Jtext.Str "ctr"); ("name", Jtext.Str c.cname); ("count", Jtext.Int c.count) ])
+
+let incr c =
+  c.count <- c.count + 1;
+  note_count c
+
+let add c n =
+  c.count <- c.count + n;
+  note_count c
+
 let count c = c.count
 let set g v = g.value <- v
 let get g = g.value
@@ -173,5 +189,72 @@ let stat_to_jtext = function
           ("p99", Jtext.Float p99);
         ]
 
-let to_jtext () = Jtext.Obj (List.map (fun (name, s) -> (name, stat_to_jtext s)) (snapshot ()))
+(* Both external surfaces — the serve [{"stats":true}] control line and
+   the Prometheus text endpoint — are pure renderings of the same
+   [snapshot] value, so they cannot drift: a metric present in one is
+   present in the other. Names are sorted and every float goes through
+   one locale-independent [%.9g] formatter (OCaml's [Printf] never
+   consults the locale), so identical counter states render to
+   byte-identical output across runs and machines. *)
+let jtext_of_snapshot snap =
+  Jtext.Obj (List.map (fun (name, s) -> (name, stat_to_jtext s)) snap)
+
+let to_jtext () = jtext_of_snapshot (snapshot ())
 let snapshot_string () = Jtext.to_string (to_jtext ())
+
+(* ---- Prometheus text exposition (version 0.0.4) ---- *)
+
+(* Metric names: dots become underscores under an [rpq_] namespace
+   prefix; histograms render as summaries (quantiles + _sum + _count)
+   with min/max as companion gauges. *)
+let prom_name name =
+  "rpq_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+
+let prom_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" v
+
+let prometheus_of_snapshot ?(only_counters = false) snap =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, st) ->
+      let pn = prom_name name in
+      match st with
+      | Counter n ->
+          line "# TYPE %s counter" pn;
+          line "%s %d" pn n
+      | Gauge v ->
+          if not only_counters then begin
+            line "# TYPE %s gauge" pn;
+            line "%s %s" pn (prom_float v)
+          end
+      | Histogram { n; sum; lo; hi; p50; p99 } ->
+          if not only_counters then begin
+            line "# TYPE %s summary" pn;
+            line "%s{quantile=\"0.5\"} %s" pn (prom_float p50);
+            line "%s{quantile=\"0.99\"} %s" pn (prom_float p99);
+            line "%s_sum %s" pn (prom_float sum);
+            line "%s_count %d" pn n;
+            (* _max before _min keeps the whole exposition in strict
+               lexicographic family order. *)
+            line "# TYPE %s_max gauge" pn;
+            line "%s_max %s" pn (prom_float hi);
+            line "# TYPE %s_min gauge" pn;
+            line "%s_min %s" pn (prom_float lo)
+          end)
+    snap;
+  Buffer.contents b
+
+let prometheus_string ?only_counters () = prometheus_of_snapshot ?only_counters (snapshot ())
+
+(* The flight-recorder dump's [metrics] field is the same rendering as
+   every other surface. Registered here to keep the dependency arrow
+   metrics -> flight. *)
+let () = Flight.set_metrics_provider to_jtext

@@ -51,8 +51,27 @@ val snapshot : unit -> (string * stat) list
 val reset : unit -> unit
 (** Zero all values, keeping the metric objects registered. *)
 
+val jtext_of_snapshot : (string * stat) list -> Jtext.t
+(** Render an already-taken snapshot. Both the serve stats control line
+    and the Prometheus endpoint render the same {!snapshot} value, so
+    the two surfaces cannot drift. *)
+
 val to_jtext : unit -> Jtext.t
-(** The snapshot as one JSON object, metric names as keys. *)
+(** The snapshot as one JSON object, metric names as keys (sorted;
+    floats formatted locale-independently, so identical counter states
+    render byte-identically). *)
 
 val snapshot_string : unit -> string
 (** [Jtext.to_string (to_jtext ())] — the [rpq serve] [stats] payload. *)
+
+val prometheus_of_snapshot : ?only_counters:bool -> (string * stat) list -> string
+(** Prometheus text exposition (format 0.0.4) of a snapshot: metric
+    names mangled to [rpq_*], counters and gauges as-is, histograms as
+    summaries (p50/p99 quantiles, [_sum], [_count]) with [_min]/[_max]
+    companion gauges. With [~only_counters:true] only counters render —
+    a surface that is byte-identical across runs with deterministic
+    counter states (latency histograms and point-in-time gauges are
+    excluded). *)
+
+val prometheus_string : ?only_counters:bool -> unit -> string
+(** [prometheus_of_snapshot ?only_counters (snapshot ())]. *)

@@ -60,7 +60,12 @@ let find t ~digest ~id =
         Obs.Metrics.incr m_misses;
         Miss
     | Some n -> begin
-        match Cert.Checker.check_reply n.reply with
+        match
+          Obs.Trace.with_span
+            ~args:[ ("digest", Obs.Jtext.Str digest) ]
+            "cert-check"
+            (fun () -> Cert.Checker.check_reply n.reply)
+        with
         | Ok () ->
             unlink t n;
             push_front t n;
@@ -71,6 +76,8 @@ let find t ~digest ~id =
             Obs.Metrics.incr m_cert_rejects;
             Obs.Trace.instant "cache.cert_reject"
               ~args:[ ("digest", Obs.Jtext.Str digest); ("reason", Obs.Jtext.Str reason) ];
+            Obs.Log.warn "cache-cert-reject"
+              [ ("digest", Obs.Jtext.Str digest); ("reason", Obs.Jtext.Str reason) ];
             Cert_reject reason
       end
 

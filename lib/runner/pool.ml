@@ -50,6 +50,9 @@ type t = {
 type event =
   | Completed of { id : string; reply : string }
   | Crashed of { id : string; death : death }
+  | Trace of { id : string; pid : int; line : string }
+      (** one trace event streamed from the worker's pipe sink (the
+          [Obs.Trace.pipe_prefix] marker already stripped) *)
   | Input of Unix.file_descr  (** an [~extra] fd is readable *)
   | Writable of Unix.file_descr  (** an [~extra_write] fd is writable *)
 
@@ -73,6 +76,17 @@ let write_all fd s =
 let worker_loop handler to_child of_child =
   let ic = Unix.in_channel_of_descr to_child in
   let oc = Unix.out_channel_of_descr of_child in
+  (* The supervisor may have installed flight-dump signal handlers; a
+     worker must die plainly (its death IS the signal the supervisor
+     classifies) and must not clobber the supervisor's dump file. *)
+  (try Sys.set_signal Sys.sigterm Sys.Signal_default with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint Sys.Signal_default with Invalid_argument _ | Sys_error _ -> ());
+  Obs.Flight.disable ();
+  (* If the supervisor is tracing, stream our spans back interleaved
+     with (and marked distinct from) reply lines. Both writers flush
+     whole lines and the process is single-threaded, so frames never
+     tear. *)
+  Obs.Trace.adopt_pipe oc;
   let status = ref 0 in
   (try
      while true do
@@ -92,11 +106,9 @@ let spawn t =
   let reply_r, reply_w = Unix.pipe ~cloexec:false () in
   match Unix.fork () with
   | 0 ->
-      (* Child: the inherited trace sink channel belongs to the
-         supervisor — writing (or flushing on exit) would interleave with
-         its events, so drop it without touching the fd. *)
-      Obs.Trace.abandon ();
-      (* Drop every parent-side fd, ours and our siblings'. *)
+      (* Child: drop every parent-side fd, ours and our siblings'. (The
+         inherited trace sink is rebound to the reply pipe inside
+         [worker_loop]; until then nothing in this path emits events.) *)
       Unix.close job_w;
       Unix.close reply_r;
       Array.iter
@@ -182,6 +194,11 @@ let dead_worker t w status =
   Buffer.clear w.buf;
   w.job <- None;
   w.term_sent <- None;
+  Obs.Log.info "worker-respawn"
+    [
+      ("death", Obs.Jtext.Str (death_to_string death));
+      ("pid", Obs.Jtext.Int fresh.pid);
+    ];
   if id = "" then None else Some (Crashed { id; death })
 
 (* Reap a worker whose reply pipe hit EOF (or that we SIGKILLed). *)
@@ -213,20 +230,29 @@ let handle_readable t w events =
     end
   | n ->
       Buffer.add_subbytes w.buf chunk 0 n;
+      let prefix = Obs.Trace.pipe_prefix in
+      let plen = String.length prefix in
       List.fold_left
         (fun events line ->
           match w.job with
           | None ->
-              (* A reply with no job in flight: stray output from a worker
+              (* A line with no job in flight: stray output from a worker
                  we already gave up on. Drop it. *)
               events
           | Some (id, _) ->
-              (* One job in flight per worker, so this line settles it. The
-                 engine decides whether the line parses; the pool only
-                 frames. *)
-              w.job <- None;
-              w.term_sent <- None;
-              Completed { id; reply = line } :: events)
+              if String.starts_with ~prefix line then
+                (* Trace traffic does not settle the job: surface it for
+                   the supervisor to stitch into its own sink. *)
+                Trace { id; pid = w.pid; line = String.sub line plen (String.length line - plen) }
+                :: events
+              else begin
+                (* One job in flight per worker, so this line settles it.
+                   The engine decides whether the line parses; the pool
+                   only frames. *)
+                w.job <- None;
+                w.term_sent <- None;
+                Completed { id; reply = line } :: events
+              end)
         events (take_lines w)
 
 let enforce_deadlines t events =

@@ -33,6 +33,11 @@ type t
 type event =
   | Completed of { id : string; reply : string }  (** reply line, unparsed *)
   | Crashed of { id : string; death : death }
+  | Trace of { id : string; pid : int; line : string }
+      (** a trace event streamed from the worker's pipe sink
+          ([Obs.Trace.adopt_pipe]) while [id] was in flight, its
+          [Obs.Trace.pipe_prefix] marker stripped; the supervisor
+          stitches it into its own sink. Does not settle the job. *)
   | Input of Unix.file_descr  (** an [~extra] fd of {!poll} is readable *)
   | Writable of Unix.file_descr  (** an [~extra_write] fd of {!poll} is writable *)
 

@@ -3,10 +3,13 @@ module Pool = Pool
 module Journal = Journal
 module Transport = Transport
 module Cache = Cache
+module Trace_check = Trace_check
 open Proto
 module Ser = Graphdb.Serialize
 open Resilience
 module Trace = Obs.Trace
+
+module Log = Obs.Log
 
 let now_s () = Unix.gettimeofday ()
 
@@ -14,8 +17,22 @@ let now_s () = Unix.gettimeofday ()
    unwinding, no finalizers, just gone. lib/core cannot touch Unix (see
    the rpq_lint unix rule), so the exit behavior is injected here, once,
    at link time. Exit code 70 is EX_SOFTWARE: distinguishable from both a
-   clean batch exit and a SIGKILL in the chaos harness's waitpid. *)
-let () = Faults.set_crash_exit (fun _site -> Unix._exit 70)
+   clean batch exit and a SIGKILL in the chaos harness's waitpid. The
+   flight recorder gets its one chance to publish the black box first —
+   [Flight.dump] is atomic and never raises. *)
+let () =
+  Faults.set_crash_exit (fun site ->
+      Obs.Flight.dump ~reason:("crash:" ^ site) ();
+      Unix._exit 70)
+
+(* The in-process [Faults.Crash] path (programmatic fault plans, unit
+   tests) unwinds instead of exiting: dump at the catch point, then let
+   the exception continue to whoever is simulating the crash. *)
+let flight_on_crash f =
+  try f ()
+  with Faults.Crash site as e ->
+    Obs.Flight.dump ~reason:("crash:" ^ site) ();
+    raise e
 
 (* Supervisor-side telemetry. Counters cover the retry/death policy
    (deterministic under a fixed fault plan), gauges the instantaneous
@@ -142,16 +159,23 @@ let run_job_inner (job : job) : reply =
                 steps = spent_steps budget;
                 wall_s = 0.0;
                 stages = [];
+                trace = None;
                 verdict;
                 cert;
               }
         end
     end
 
-(* The whole job runs under one span (tagged with the query and instance
-   size) and a fresh stage table; the per-stage totals become the reply's
-   [stages] block, so they survive the pipe back to the supervisor. *)
+(* The whole job runs under one [solve] span (tagged with the query and
+   instance size) and a fresh stage table; the per-stage totals become
+   the reply's [stages] block, so they survive the pipe back to the
+   supervisor. The job's propagated span context, if any, becomes the
+   span's parent — in a forked worker that is the supervisor's [job]
+   span, so the stitched trace nests solve stages under it — and the
+   span's own context rides back in the reply's [trace] field. *)
 let run_job_locally (job : job) : reply =
+  Trace.with_parent (Option.bind job.trace Trace.ctx_of_string) @@ fun () ->
+  let span_ctx = ref None in
   let reply, stages =
     Trace.with_stages (fun () ->
         Trace.with_span
@@ -161,10 +185,12 @@ let run_job_locally (job : job) : reply =
               ("query", Obs.Jtext.Str job.query);
               ("db_bytes", Obs.Jtext.Int (String.length job.db));
             ]
-          "job"
-          (fun () -> run_job_inner job))
+          "solve"
+          (fun () ->
+            span_ctx := Option.map Trace.ctx_to_string (Trace.current_ctx ());
+            run_job_inner job))
   in
-  { reply with stages }
+  { reply with stages; trace = !span_ctx }
 
 let worker_handler line =
   let reply =
@@ -227,10 +253,24 @@ let death_kind = function
 type task = {
   job : job;  (** as submitted, with the original budget *)
   submitted : float;  (** wall clock at {!submit}, for dispatch latency *)
+  span : Trace.handle option;  (** the supervisor-side [job] span: submit -> settle *)
   mutable attempts : int;  (** dispatches so far *)
   mutable cur_budget : budget_spec;
   mutable first_dispatch : float;  (** wall clock, for [wall_s] *)
   mutable not_before : float;  (** backoff gate *)
+}
+
+(* A worker span streamed as ["open"] but whose closing event never
+   arrived — the raw material for synthesizing [interrupted] spans when
+   the worker dies mid-job. *)
+type wspan = {
+  w_sid : string;
+  w_name : string;
+  w_ts : float;  (* relative to the shared trace epoch *)
+  w_depth : int;
+  w_pid : int;
+  w_tid : string;
+  w_psid : string option;
 }
 
 type engine = {
@@ -239,6 +279,7 @@ type engine = {
   pending : task Queue.t;
   mutable delayed : task list;
   inflight : (string, task) Hashtbl.t;
+  wopen : (string, wspan list) Hashtbl.t;  (** job id -> worker spans still open *)
   emit : reply -> unit;
   on_dispatch : task -> unit;  (** first dispatch only (journal Started) *)
 }
@@ -249,12 +290,24 @@ let update_gauges e =
   Obs.Metrics.set m_queue_depth (float_of_int (Queue.length e.pending + List.length e.delayed));
   Obs.Metrics.set m_inflight (float_of_int (Hashtbl.length e.inflight))
 
-let submit e job =
+let submit e (job : job) =
   Obs.Metrics.incr m_jobs;
+  (* The supervisor's per-job span opens at submission and closes at
+     settle, spanning queue wait, every dispatch and every retry. Its
+     parent is the job's propagated context (a serve [request] span, or
+     a remote client's span); its own identity is what the worker's
+     [solve] span will nest under. *)
+  let span =
+    Trace.open_span
+      ?parent:(Option.bind job.trace Trace.ctx_of_string)
+      ~args:[ ("id", Obs.Jtext.Str job.id) ]
+      "job"
+  in
   Queue.add
     {
       job;
       submitted = now_s ();
+      span;
       attempts = 0;
       cur_budget = job.budget;
       first_dispatch = 0.0;
@@ -280,7 +333,15 @@ let dispatch_ready e =
     t.attempts <- t.attempts + 1;
     Hashtbl.replace e.inflight t.job.id t;
     Trace.instant ~args:[ ("id", Obs.Jtext.Str t.job.id) ] "dispatch";
-    let payload = job_to_json { t.job with budget = t.cur_budget } in
+    (* The worker parents its spans under this task's supervisor span;
+       an untraced supervisor forwards whatever context the job came in
+       with, so propagation survives un-instrumented hops. *)
+    let trace =
+      match t.span with
+      | Some h -> Some (Trace.ctx_to_string (Trace.handle_ctx h))
+      | None -> t.job.trace
+    in
+    let payload = job_to_wire_json { t.job with budget = t.cur_budget; trace } in
     Pool.assign e.pool ~id:t.job.id ~payload;
     decr idle
   done;
@@ -288,12 +349,23 @@ let dispatch_ready e =
 
 let settle e t reply =
   Hashtbl.remove e.inflight t.job.id;
+  Hashtbl.remove e.wopen t.job.id;
   Obs.Metrics.incr m_settled;
   update_gauges e;
   Trace.instant
     ~args:
       [ ("id", Obs.Jtext.Str t.job.id); ("outcome", Obs.Jtext.Str (verdict_name reply.verdict)) ]
     "settle";
+  Option.iter
+    (fun h ->
+      Trace.close_span
+        ~args:
+          [
+            ("outcome", Obs.Jtext.Str (verdict_name reply.verdict));
+            ("attempts", Obs.Jtext.Int t.attempts);
+          ]
+        h)
+    t.span;
   e.emit { reply with id = t.job.id; attempts = t.attempts; wall_s = now_s () -. t.first_dispatch }
 
 let death_counter = function
@@ -306,13 +378,22 @@ let retry_or_fail e t death =
   Trace.instant
     ~args:[ ("id", Obs.Jtext.Str t.job.id); ("death", Obs.Jtext.Str (death_kind death)) ]
     "worker-death";
+  Log.warn "worker-death"
+    [
+      ("id", Obs.Jtext.Str t.job.id);
+      ("death", Obs.Jtext.Str (Pool.death_to_string death));
+      ("attempt", Obs.Jtext.Int t.attempts);
+    ];
   if t.attempts > e.cfg.retries then
     settle e t
       (failed ~id:t.job.id ~kind:(death_kind death) "gave up after %d attempts: %s" t.attempts
          (Pool.death_to_string death))
   else begin
     Hashtbl.remove e.inflight t.job.id;
+    Hashtbl.remove e.wopen t.job.id;
     Obs.Metrics.incr m_retries;
+    Log.info "retry"
+      [ ("id", Obs.Jtext.Str t.job.id); ("attempt", Obs.Jtext.Int (t.attempts + 1)) ];
     (* Shrink the budget so whatever made the worker die (a fault tick, a
        runaway search) is preempted by exhaustion on a later attempt and
        the job settles as Bounded instead of failing outright. *)
@@ -327,18 +408,128 @@ let task_of_event e id =
   | Some t -> Some t
   | None -> None (* stray reply for a job we already settled *)
 
+(* ---- worker trace stitching ---- *)
+
+(* Args on re-emitted worker events keep only the scalar fields the
+   worker attached; identity/position fields were already lifted. *)
+let jtext_of_json : Json.t -> Obs.Jtext.t =
+  let rec conv = function
+    | Json.Null -> Obs.Jtext.Null
+    | Json.Bool b -> Obs.Jtext.Bool b
+    | Json.Int i -> Obs.Jtext.Int i
+    | Json.Float f -> Obs.Jtext.Float f
+    | Json.Str s -> Obs.Jtext.Str s
+    | Json.List xs -> Obs.Jtext.List (List.map conv xs)
+    | Json.Obj fs -> Obs.Jtext.Obj (List.map (fun (k, v) -> (k, conv v)) fs)
+  in
+  conv
+
+let structural_fields = [ "ev"; "name"; "ts"; "dur"; "depth"; "pid"; "tid"; "sid"; "psid" ]
+
+let event_args obj =
+  match obj with
+  | Json.Obj fields ->
+      List.filter_map
+        (fun (k, v) ->
+          if List.mem k structural_fields then None else Some (k, jtext_of_json v))
+        fields
+  | _ -> []
+
+(* One line from a worker's pipe sink. ["open"] records are remembered
+   (per job) so that spans a killed worker never closed can be
+   synthesized; ["span"]/["instant"] records are re-emitted into the
+   supervisor's sink; ["meta"] is dropped — the epoch is shared through
+   fork, so worker timestamps are already on the supervisor's axis. *)
+let handle_worker_trace e ~id ~pid line =
+  match Json.parse line with
+  | Error _ -> () (* torn trace line from a dying worker: not worth a retry *)
+  | Ok obj -> begin
+      let str k = Option.bind (Json.member k obj) Json.to_str_opt in
+      let num k = Option.bind (Json.member k obj) Json.to_float_opt in
+      let int k = Option.bind (Json.member k obj) Json.to_int_opt in
+      match str "ev" with
+      | Some "open" -> begin
+          match (str "sid", str "name", num "ts") with
+          | Some w_sid, Some w_name, Some w_ts ->
+              let w =
+                {
+                  w_sid;
+                  w_name;
+                  w_ts;
+                  w_depth = Option.value ~default:0 (int "depth");
+                  w_pid = Option.value ~default:pid (int "pid");
+                  w_tid = Option.value ~default:"" (str "tid");
+                  w_psid = str "psid";
+                }
+              in
+              let prev = Option.value ~default:[] (Hashtbl.find_opt e.wopen id) in
+              Hashtbl.replace e.wopen id (w :: prev)
+          | _ -> ()
+        end
+      | Some "span" -> begin
+          (* The span closed normally: forget its open record. *)
+          (match (Hashtbl.find_opt e.wopen id, str "sid") with
+          | Some ws, Some sid ->
+              Hashtbl.replace e.wopen id (List.filter (fun w -> w.w_sid <> sid) ws)
+          | _ -> ());
+          match (str "name", num "ts", num "dur") with
+          | Some name, Some ts, Some dur ->
+              Trace.emit_raw_span ~args:(event_args obj) ?tid:(str "tid") ?sid:(str "sid")
+                ?psid:(str "psid") ~name ~ts ~dur
+                ~depth:(Option.value ~default:0 (int "depth"))
+                ~pid:(Option.value ~default:pid (int "pid"))
+                ()
+          | _ -> ()
+        end
+      | Some "instant" -> begin
+          match (str "name", num "ts") with
+          | Some name, Some ts ->
+              Trace.emit_raw_instant ~args:(event_args obj) ?tid:(str "tid") ?sid:(str "sid")
+                ?psid:(str "psid") ~name ~ts
+                ~depth:(Option.value ~default:0 (int "depth"))
+                ~pid:(Option.value ~default:pid (int "pid"))
+                ()
+          | _ -> ()
+        end
+      | _ -> ()
+    end
+
+(* The worker died with spans still open: emit each as a span ending at
+   the moment the death was observed, tagged [interrupted] — partial
+   timing is better than a hole in the trace, and the synthesized stop
+   time keeps it inside the supervisor's still-open job span. *)
+let close_interrupted_spans e id =
+  (match (Hashtbl.find_opt e.wopen id, Trace.epoch ()) with
+  | Some ws, Some t0 ->
+      let now_rel = now_s () -. t0 in
+      List.iter
+        (fun w ->
+          Trace.emit_raw_span
+            ~args:[ ("interrupted", Obs.Jtext.Bool true) ]
+            ~tid:w.w_tid ~sid:w.w_sid ?psid:w.w_psid ~name:w.w_name ~ts:w.w_ts
+            ~dur:(Float.max 0.0 (now_rel -. w.w_ts))
+            ~depth:w.w_depth ~pid:w.w_pid ())
+        ws
+  | _ -> ());
+  Hashtbl.remove e.wopen id
+
 let handle_event e = function
   | Pool.Input _ | Pool.Writable _ -> ()
+  | Pool.Trace { id; pid; line } -> handle_worker_trace e ~id ~pid line
   | Pool.Completed { id; reply = line } -> begin
       match task_of_event e id with
       | None -> ()
       | Some t -> begin
           match reply_of_json line with
           | Ok r -> settle e t r
-          | Error msg -> retry_or_fail e t (Pool.Malformed (line ^ " (" ^ msg ^ ")"))
+          | Error msg ->
+              Log.error "malformed-reply"
+                [ ("id", Obs.Jtext.Str id); ("error", Obs.Jtext.Str msg) ];
+              retry_or_fail e t (Pool.Malformed (line ^ " (" ^ msg ^ ")"))
         end
     end
   | Pool.Crashed { id; death } -> begin
+      close_interrupted_spans e id;
       match task_of_event e id with None -> () | Some t -> retry_or_fail e t death
     end
 
@@ -363,7 +554,16 @@ let create_engine cfg ~emit ~on_dispatch =
       { Pool.workers = cfg.workers; job_timeout = cfg.job_timeout; grace = cfg.grace }
       ~handler:worker_handler
   in
-  { cfg; pool; pending = Queue.create (); delayed = []; inflight = Hashtbl.create 64; emit; on_dispatch }
+  {
+    cfg;
+    pool;
+    pending = Queue.create ();
+    delayed = [];
+    inflight = Hashtbl.create 64;
+    wopen = Hashtbl.create 16;
+    emit;
+    on_dispatch;
+  }
 
 let drain e =
   while engine_load e > 0 do
@@ -387,6 +587,7 @@ let verify_reply (reply : reply) =
 type batch_stats = { ran : int; resumed : int; failures : int }
 
 let run_batch ?journal cfg (jobs : job list) : reply list * batch_stats =
+  flight_on_crash @@ fun () ->
   let seen = Hashtbl.create 64 in
   List.iter
     (fun (j : job) ->
@@ -605,6 +806,7 @@ let default_serve_config =
 let internal_id cid id = Printf.sprintf "c%d:%s" cid id
 
 let serve_sockets ?stdio ?(preconnected = []) scfg =
+  flight_on_crash @@ fun () ->
   let cfg = scfg.base in
   if scfg.cache_entries < 0 then
     invalid_arg "Runner.serve_sockets: cache size must be non-negative";
@@ -655,7 +857,21 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
       end
   in
   let adm = Admission.create ~client_inflight:scfg.client_inflight in
-  let owners : (string, int * string * job) Hashtbl.t = Hashtbl.create 64 in
+  (* internal id -> (client, original id, parsed job, request span).
+     The request span opens at admission and closes when the reply is
+     delivered (or the job is cancelled/shed) — the serve-side hop of
+     the stitched trace, parenting the engine's [job] span. *)
+  let owners : (string, int * string * job * Trace.handle option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let close_request ?(outcome = "") h =
+    Option.iter
+      (fun h ->
+        Trace.close_span
+          ~args:(if outcome = "" then [] else [ ("outcome", Obs.Jtext.Str outcome) ])
+          h)
+      h
+  in
   let draining = ref false in
   (* SIGTERM/SIGINT request a graceful drain. The handler only flips a
      flag; everything observable — stop accepting, shed queued work,
@@ -702,9 +918,10 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
   let emit r =
     match Hashtbl.find_opt owners r.id with
     | None -> ()
-    | Some (cid, orig, j) ->
+    | Some (cid, orig, j, rspan) ->
         Hashtbl.remove owners r.id;
         Admission.settled adm cid;
+        close_request ~outcome:(verdict_name r.verdict) rspan;
         let r = { r with id = orig } in
         let digest = Journal.canonical_digest j in
         Option.iter
@@ -715,7 +932,7 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
   in
   let on_dispatch (t : task) =
     match (jnl, Hashtbl.find_opt owners t.job.id) with
-    | Some jl, Some (_, orig, j) ->
+    | Some jl, Some (_, orig, j, _) ->
         Journal.append jl
           (Journal.Started { id = orig; digest = Journal.canonical_digest j })
     | _ -> ()
@@ -741,12 +958,44 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
   let cancel_client c =
     List.iter
       (fun (j : job) ->
+        (match Hashtbl.find_opt owners j.id with
+        | Some (_, _, _, rspan) -> close_request ~outcome:"cancelled" rspan
+        | None -> ());
         Hashtbl.remove owners j.id;
         Obs.Metrics.incr m_serve_cancelled)
       (Admission.cancel adm (Transport.cid c))
   in
+  (* An HTTP GET on the job socket is a metrics scrape: answer with one
+     HTTP/1.0 response and close. [/metrics] is the full Prometheus
+     exposition; [/metrics/counters] restricts it to counters, which are
+     deterministic under a seeded fault plan (gauges and histograms
+     carry wall-clock noise) — the byte-stable variant CI diffs. *)
+  let handle_http c line =
+    match String.split_on_char ' ' line with
+    | "GET" :: target :: _ ->
+        update_serve_gauges ();
+        let respond status ctype body =
+          handle_tevs
+            (Transport.send tr c
+               (Printf.sprintf
+                  "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+                  status ctype (String.length body) body))
+        in
+        Log.debug "scrape"
+          [ ("cid", Obs.Jtext.Int (Transport.cid c)); ("target", Obs.Jtext.Str target) ];
+        (match target with
+        | "/metrics" ->
+            respond "200 OK" "text/plain; version=0.0.4" (Obs.Metrics.prometheus_string ())
+        | "/metrics/counters" ->
+            respond "200 OK" "text/plain; version=0.0.4"
+              (Obs.Metrics.prometheus_string ~only_counters:true ())
+        | _ -> respond "404 Not Found" "text/plain" "not found\n");
+        Transport.close_after_flush tr c
+    | _ -> ()
+  in
   let admit c line =
     if String.trim line = "" then ()
+    else if String.starts_with ~prefix:"GET " line then handle_http c line
     else
       let send_reply r = handle_tevs (Transport.send tr c (reply_to_json r)) in
       match Json.parse line with
@@ -782,22 +1031,39 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
                 (* Load shedding: a full queue answers immediately instead
                    of buffering without bound; the client may resubmit. *)
                 Obs.Metrics.incr m_shed;
+                Log.warn "shed"
+                  [ ("cid", Obs.Jtext.Int cid); ("id", Obs.Jtext.Str job.id) ];
                 send_reply
                   (failed ~retriable:true ~id:job.id ~kind:"overloaded"
                      "queue full (%d jobs); resubmit later" cfg.queue_cap)
               end
               else begin
+                (* The serve-side request span: parented by the client's
+                   propagated context, parent of the engine's job span. *)
+                let rspan =
+                  Trace.open_span
+                    ?parent:(Option.bind job.trace Trace.ctx_of_string)
+                    ~args:[ ("cid", Obs.Jtext.Int cid); ("id", Obs.Jtext.Str job.id) ]
+                    "request"
+                in
                 let digest = Journal.canonical_digest job in
                 match Cache.find cache ~digest ~id:job.id with
                 | Cache.Hit r ->
+                    Trace.instant ~args:[ ("id", Obs.Jtext.Str job.id) ] "cache-hit";
+                    close_request ~outcome:"cache-hit" rspan;
                     Option.iter
                       (fun jl ->
                         Journal.append jl (Journal.Done { id = job.id; digest; reply = r }))
                       jnl;
                     send_reply r
                 | Cache.Miss | Cache.Cert_reject _ ->
-                    Hashtbl.replace owners iid (cid, job.id, job);
-                    Admission.enqueue adm cid { job with id = iid }
+                    Hashtbl.replace owners iid (cid, job.id, job, rspan);
+                    let trace =
+                      match rspan with
+                      | Some h -> Some (Trace.ctx_to_string (Trace.handle_ctx h))
+                      | None -> job.trace
+                    in
+                    Admission.enqueue adm cid { job with id = iid; trace }
               end
         end
   in
@@ -818,6 +1084,7 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
            drains to completion, as `serve` always has. *)
         if not (Transport.eof_drains c) then cancel_client c
     | Transport.Overlong c ->
+        Log.warn "overlong-line" [ ("cid", Obs.Jtext.Int (Transport.cid c)) ];
         handle_tevs
           (Transport.send tr c
              (reply_to_json
@@ -828,11 +1095,13 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
           ~args:
             [ ("cid", Obs.Jtext.Int (Transport.cid c)); ("reason", Obs.Jtext.Str reason) ]
           "client-dead";
+        Log.info "client-dead"
+          [ ("cid", Obs.Jtext.Int (Transport.cid c)); ("reason", Obs.Jtext.Str reason) ];
         cancel_client c
   in
   tev_handler := handle_tev;
   let owns_jobs cid =
-    Hashtbl.fold (fun _ (ocid, _, _) acc -> acc || ocid = cid) owners false
+    Hashtbl.fold (fun _ (ocid, _, _, _) acc -> acc || ocid = cid) owners false
   in
   (* A client at EOF with nothing owed and nothing buffered is done. *)
   let sweep () =
@@ -847,9 +1116,11 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
   in
   Fun.protect
     ~finally:(fun () ->
-      (* The journal must close (releasing its lock) and the trace must
-         flush on every exit path, including a signal-initiated drain —
-         a restarted server reopens the journal immediately. *)
+      (* The journal must close (releasing its lock) on every exit path,
+         including a signal-initiated drain — a restarted server reopens
+         it immediately. The trace sink is NOT finished here: it belongs
+         to the process (the CLI flushes it [at_exit]), and an embedding
+         caller may still have spans of its own open across this call. *)
       Option.iter Journal.close jnl;
       Transport.shutdown tr;
       Pool.shutdown e.pool;
@@ -859,14 +1130,17 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
           | () -> ()
           | exception Invalid_argument _ -> ()
           | exception Sys_error _ -> ())
-        saved_signals;
-      Trace.finish ())
+        saved_signals)
     (fun () ->
       while
         (not !draining)
         && (Transport.listening tr || Transport.clients tr <> [] || total_load () > 0)
       do
         feed ();
+        (* Promote backed-off retries even when admission has nothing new
+           to feed: a crashed job's delayed retry must re-dispatch on its
+           own — [engine_timeout] wakes the poll for exactly this. *)
+        dispatch_ready e;
         update_serve_gauges ();
         let extra = Transport.read_fds ~accepting:(not !draining) tr in
         let extra_write = Transport.write_fds tr in
@@ -894,9 +1168,10 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
               (fun (j : job) ->
                 match Hashtbl.find_opt owners j.id with
                 | None -> ()
-                | Some (_, orig, _) ->
+                | Some (_, orig, _, rspan) ->
                     Hashtbl.remove owners j.id;
                     Obs.Metrics.incr m_serve_cancelled;
+                    close_request ~outcome:"shed" rspan;
                     handle_tevs
                       (Transport.send tr c
                          (reply_to_json
@@ -906,6 +1181,7 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
           (Transport.clients tr);
         let deadline = now_s () +. scfg.drain_grace in
         while Hashtbl.length owners > 0 && now_s () < deadline do
+          dispatch_ready e;
           let extra_write = Transport.write_fds tr in
           let timeout = Float.min 0.1 (Float.max 0.01 (deadline -. now_s ())) in
           List.iter
@@ -919,9 +1195,10 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
            journal entry records that it never settled. *)
         let leftovers = Hashtbl.fold (fun iid own acc -> (iid, own) :: acc) owners [] in
         List.iter
-          (fun (iid, (cid, orig, _)) ->
+          (fun (iid, (cid, orig, _, rspan)) ->
             Hashtbl.remove owners iid;
             Obs.Metrics.incr m_serve_cancelled;
+            close_request ~outcome:"shed" rspan;
             deliver cid
               (failed ~retriable:true ~id:orig ~kind:"overloaded"
                  "server draining; job did not settle within the grace period"))

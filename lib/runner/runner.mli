@@ -33,6 +33,7 @@ module Pool = Pool
 module Journal = Journal
 module Transport = Transport
 module Cache = Cache
+module Trace_check = Trace_check
 
 val now_s : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]) — exposed so bench/CLI code

@@ -1,0 +1,37 @@
+(** Validator for trace files written by [Obs.Trace] — the library
+    behind [rpq trace-check].
+
+    A [.jsonl] input may be the {e concatenation} of trace files from
+    several processes (a traced client plus a serve supervisor whose
+    file already interleaves its workers' re-emitted spans): each
+    segment's meta record re-anchors the relative timestamps that
+    follow onto one absolute axis. Checks, in order:
+
+    - every event parses with the strict Proto JSON reader and carries
+      the structural fields its type requires;
+    - {b depth containment}, per process: each depth-d+1 span lies
+      within some depth-d span of the same pid;
+    - {b parent containment}, by identity: each span naming a parent
+      ([psid]) finds it in the file — a missing parent is an {e orphan}
+      and rejects the trace — shares its trace id, and lies within its
+      interval. Synthesized [interrupted] spans from killed workers are
+      held to the same rule.
+
+    Non-[.jsonl] inputs are read as Chrome trace arrays (one process,
+    identity fields in [args], microsecond timestamps). *)
+
+type stats = {
+  events : int;
+  spans : int;
+  processes : int;  (** distinct pids across spans and meta records *)
+  traces : int;  (** distinct trace ids *)
+}
+
+val check_file : string -> (stats, string) result
+(** Validate one trace file; the error string names the first violation
+    (prefixed with the path). *)
+
+val check_jsonl_string : string -> (stats, string) result
+(** Validate JSONL trace content directly (tests, in-memory stitches). *)
+
+val check_chrome_string : string -> (stats, string) result

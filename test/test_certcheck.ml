@@ -41,6 +41,7 @@ let job ?(id = "j") ?(db = easy_db) ?(query = "aa") ?steps () =
     query;
     budget = { Proto.deadline = None; steps; memo_cap = None };
     faults = Some "off";
+    trace = None;
   }
 
 let solve ?id ?db ?steps query = Runner.run_job_locally (job ?id ?db ?steps ~query ())

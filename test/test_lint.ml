@@ -51,6 +51,12 @@ let negative_fixtures =
     ("Unix.listen", "let f fd = Unix.listen fd 64\n", Lint.rule_socket);
     ("Unix.accept", "let f fd = Unix.accept fd\n", Lint.rule_socket);
     ("UnixLabels.connect", "let f fd a = UnixLabels.connect fd ~addr:a\n", Lint.rule_socket);
+    ("Printf.eprintf", "let f x = Printf.eprintf \"%d\" x\n", Lint.rule_stderr);
+    ("Format.eprintf", "let f x = Format.eprintf \"%d\" x\n", Lint.rule_stderr);
+    ("prerr_endline", "let f s = prerr_endline s\n", Lint.rule_stderr);
+    ("prerr_newline", "let f () = prerr_newline ()\n", Lint.rule_stderr);
+    ("Stdlib-qualified prerr", "let f s = Stdlib.prerr_string s\n", Lint.rule_stderr);
+    ("bare stderr channel", "let f s = output_string stderr s\n", Lint.rule_stderr);
     ("try catch-all", "let f g = try g () with _ -> 0\n", Lint.rule_catch_all);
     ( "match exception catch-all",
       "let f g x = match g x with exception _ -> 0 | v -> v\n",
@@ -94,6 +100,9 @@ let clean_fixtures =
     ("socket-like identifiers", "let socket_path = 1\nlet reconnect = 2\nlet bind_depth = 3\n");
     ( "transport helpers are not socket tokens",
       "let f path = Transport.connect_unix path\nlet g () = Transport.pair ()\n" );
+    ("stderr in a comment", "(* never write to stderr or Printf.eprintf here *)\nlet x = 1\n");
+    ("stderr-like identifiers", "let stderr_copy = 1\nlet to_stderr = 2\nlet f r = r.stderr_field\n");
+    ("logging via Obs", "let f () = Obs.Log.warn \"shed\" []\n");
     ("wildcard match case", "let f x = match x with Some y -> y | _ -> 0\n");
     ("wildcard first match case", "let f x = match x with _ -> 0\n");
     ("tuple wildcard match", "let f p = match p with _, _ -> 0\n");
@@ -308,6 +317,42 @@ let test_socket_exemption () =
         [ Lint.rule_socket; Lint.rule_unix ]
         (List.sort compare
            (rules (Lint.scan_source ~file:(Filename.concat runner "transport.ml") src))))
+
+(* Stderr confinement is module-scoped like sockets: inside <root>/obs/
+   only the slug obs/log may write to stderr — a sibling module in the
+   same directory is flagged. The fixture avoids Printf/Format prefixes
+   nothing else fires on, so only the stderr rule is in play. *)
+let test_stderr_exemption () =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "rpq_lint_stderr_fixture" in
+  let obs = Filename.concat root "obs" in
+  List.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o700) [ root; obs ];
+  let src = "let emit line = output_string stderr (line ^ \"\\n\")\n" in
+  let files =
+    List.concat_map
+      (fun name ->
+        let ml = Filename.concat obs (name ^ ".ml") in
+        let mli = ml ^ "i" in
+        Out_channel.with_open_text ml (fun oc -> output_string oc src);
+        Out_channel.with_open_text mli (fun oc -> output_string oc "val emit : string -> unit\n");
+        [ ml; mli ])
+      [ "log"; "trace" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove files;
+      List.iter Sys.rmdir [ obs; root ])
+    (fun () ->
+      let fs =
+        List.filter (fun f -> f.Lint.rule = Lint.rule_stderr) (Lint.scan_lib ~lib_root:root)
+      in
+      Alcotest.(check (list string))
+        "the sibling module is flagged, the logger is exempt"
+        [ Filename.concat obs "trace.ml" ]
+        (List.map (fun f -> f.Lint.file) fs);
+      Alcotest.(check (list string))
+        "scan_source itself still flags the logger copy"
+        [ Lint.rule_stderr ]
+        (rules (Lint.scan_source ~file:(Filename.concat obs "log.ml") src)))
 
 (* {2 Whole-program fixtures}
 
@@ -603,6 +648,7 @@ let () =
           Alcotest.test_case "clock exemption" `Quick test_clock_exemption;
           Alcotest.test_case "sync exemption" `Quick test_sync_exemption;
           Alcotest.test_case "socket exemption" `Quick test_socket_exemption;
+          Alcotest.test_case "stderr exemption" `Quick test_stderr_exemption;
           Alcotest.test_case "allowlist" `Quick test_allowlist;
         ] );
       ( "whole-program",

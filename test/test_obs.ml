@@ -59,7 +59,19 @@ let test_jsonl_nesting () =
       let lines =
         String.split_on_char '\n' (read_file path) |> List.filter (fun l -> String.trim l <> "")
       in
-      let events = List.map (parse_exn "jsonl line") lines in
+      let all = List.map (parse_exn "jsonl line") lines in
+      (* The stream opens with exactly one meta record carrying the
+         absolute epoch and the trace id. *)
+      (match all with
+      | meta :: _ ->
+          Alcotest.(check string) "first record is meta" "meta" (str_field "ev" meta);
+          check "meta has epoch" true (num_field "t0" meta > 0.0);
+          check "meta has trace id" true (str_field "tid" meta <> "")
+      | [] -> Alcotest.fail "empty trace");
+      Alcotest.(check int)
+        "one meta record" 1
+        (List.length (List.filter (fun v -> str_field "ev" v = "meta") all));
+      let events = List.filter (fun v -> str_field "ev" v <> "meta") all in
       let names = List.map (str_field "name") events in
       Alcotest.(check (list string))
         "close order (children first)"
@@ -190,6 +202,238 @@ let test_counter_determinism () =
   check "some work was counted" true (List.exists (fun (_, n) -> n > 0) first);
   Alcotest.(check (list (pair string int))) "counters match across identical runs" first second
 
+(* ---- span context and cross-process identity ---- *)
+
+let test_ctx_roundtrip () =
+  let cases =
+    [
+      { Trace.trace_id = "0a1b2c"; span_id = "4d2.7"; sampled = true };
+      { Trace.trace_id = "x"; span_id = "y"; sampled = false };
+    ]
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "ctx roundtrips" true
+        (Trace.ctx_of_string (Trace.ctx_to_string c) = Some c))
+    cases;
+  check "garbage rejected" true (Trace.ctx_of_string "nope" = None);
+  check "bad flag rejected" true (Trace.ctx_of_string "a:b:2" = None);
+  check "empty rejected" true (Trace.ctx_of_string "" = None)
+
+let jsonl_events path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (parse_exn "jsonl line")
+
+(* Every span carries its identity (tid/sid/psid): a child's psid is its
+   parent's sid, and every event shares the meta record's trace id. *)
+let test_span_identity () =
+  with_trace Trace.Jsonl ".jsonl" (fun path ->
+      emit_nested ();
+      Trace.finish ();
+      let all = jsonl_events path in
+      let tid = str_field "tid" (List.hd all) in
+      let spans = List.filter (fun v -> str_field "ev" v = "span") all in
+      List.iter (fun v -> Alcotest.(check string) "same trace id" tid (str_field "tid" v)) spans;
+      let by_name n = List.find (fun v -> str_field "name" v = n) spans in
+      List.iter
+        (fun (child, parent) ->
+          Alcotest.(check string)
+            (child ^ " parented by " ^ parent)
+            (str_field "sid" (by_name parent))
+            (str_field "psid" (by_name child)))
+        [ ("inner1", "outer"); ("inner2", "outer"); ("leaf", "inner2") ];
+      check "root has no psid" true (Json.member "psid" (by_name "outer") = None))
+
+(* A propagated remote parent: local root spans adopt its trace id and
+   name it as psid; a cleared sampling bit suppresses emission. *)
+let test_remote_parent () =
+  with_trace Trace.Jsonl ".jsonl" (fun path ->
+      let remote = { Trace.trace_id = "feed01"; span_id = "abc.1"; sampled = true } in
+      Trace.with_parent (Some remote) (fun () -> Trace.with_span "adopted" ignore);
+      let unsampled = { remote with Trace.sampled = false } in
+      Trace.with_parent (Some unsampled) (fun () -> Trace.with_span "suppressed" ignore);
+      Trace.finish ();
+      let spans = List.filter (fun v -> str_field "ev" v = "span") (jsonl_events path) in
+      Alcotest.(check int) "suppressed span not emitted" 1 (List.length spans);
+      let s = List.hd spans in
+      Alcotest.(check string) "adopted name" "adopted" (str_field "name" s);
+      Alcotest.(check string) "adopted trace id" "feed01" (str_field "tid" s);
+      Alcotest.(check string) "remote parent as psid" "abc.1" (str_field "psid" s))
+
+(* A manual span handle survives across event-loop turns: its context is
+   available before it closes, and closing is idempotent. *)
+let test_manual_span () =
+  with_trace Trace.Jsonl ".jsonl" (fun path ->
+      let h =
+        match Trace.open_span "job" with
+        | Some h -> h
+        | None -> Alcotest.fail "open_span with a sink must yield a handle"
+      in
+      let ctx = Trace.handle_ctx h in
+      check "handle has a span id" true (ctx.Trace.span_id <> "");
+      Trace.close_span ~args:[ ("outcome", Obs.Jtext.Str "exact") ] h;
+      Trace.close_span h;
+      Trace.finish ();
+      let spans = List.filter (fun v -> str_field "ev" v = "span") (jsonl_events path) in
+      Alcotest.(check int) "close_span is idempotent" 1 (List.length spans);
+      Alcotest.(check string)
+        "handle ctx names the span"
+        ctx.Trace.span_id
+        (str_field "sid" (List.hd spans)))
+
+(* ---- structured logging ---- *)
+
+let with_log_file f =
+  let path = Filename.temp_file "rpq_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.close_file ();
+      Obs.Log.set_level (Some Obs.Log.Warn);
+      Obs.Log.reset_repeats ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Obs.Log.set_file path;
+      f path)
+
+let log_lines path =
+  Obs.Log.close_file ();
+  String.split_on_char '\n' (read_file path) |> List.filter (fun l -> String.trim l <> "")
+
+let test_log_levels () =
+  with_log_file (fun path ->
+      Obs.Log.set_level (Some Obs.Log.Warn);
+      Obs.Log.debug "below" [];
+      Obs.Log.info "below" [];
+      Obs.Log.warn "at" [ ("k", Obs.Jtext.Int 1) ];
+      Obs.Log.error "above" [];
+      let lines = log_lines path in
+      Alcotest.(check int) "threshold filters" 2 (List.length lines);
+      let v = parse_exn "log line" (List.hd lines) in
+      Alcotest.(check string) "level tag" "warn" (str_field "lvl" v);
+      Alcotest.(check string) "reason code" "at" (str_field "event" v);
+      Alcotest.(check int) "context field" 1 (int_field "k" v);
+      check "timestamp present" true (num_field "ts" v > 0.0))
+
+(* Count-based repeat suppression: of 20 identical events, occurrences
+   1-4 pass, then only powers of two (8, 16) — deterministically. *)
+let test_log_rate_limit () =
+  with_log_file (fun path ->
+      Obs.Log.set_level (Some Obs.Log.Warn);
+      Obs.Log.reset_repeats ();
+      for _ = 1 to 20 do
+        Obs.Log.warn "noisy" []
+      done;
+      Obs.Log.warn "other" [];
+      let lines = log_lines path in
+      let events = List.map (parse_exn "log line") lines in
+      let noisy = List.filter (fun v -> str_field "event" v = "noisy") events in
+      Alcotest.(check int) "4 + {8,16} emitted" 6 (List.length noisy);
+      let repeats = List.filter_map (fun v -> Json.member "repeat" v) noisy in
+      Alcotest.(check int) "suppression tagged" 2 (List.length repeats);
+      Alcotest.(check int)
+        "distinct reason codes tracked separately" 1
+        (List.length (List.filter (fun v -> str_field "event" v = "other") events)))
+
+(* ---- flight recorder ---- *)
+
+let test_flight_dump () =
+  let path = Filename.temp_file "rpq_flight" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.disable ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Obs.Flight.configure ~cap:4 path;
+      check "armed" true (Obs.Flight.enabled ());
+      for i = 1 to 6 do
+        Obs.Flight.note (Obs.Jtext.Obj [ ("n", Obs.Jtext.Int i) ])
+      done;
+      Obs.Flight.dump ~reason:"test:boom" ();
+      let v = parse_exn "flight dump" (read_file path) in
+      Alcotest.(check int) "schema version" 1 (int_field "v" v);
+      Alcotest.(check string) "reason" "test:boom" (str_field "reason" v);
+      Alcotest.(check int) "dropped = overflow" 2 (int_field "dropped" v);
+      (match Json.member "events" v with
+      | Some (Json.List evs) ->
+          Alcotest.(check int) "ring keeps the newest cap events" 4 (List.length evs);
+          Alcotest.(check (list int))
+            "oldest to newest" [ 3; 4; 5; 6 ]
+            (List.map (int_field "n") evs)
+      | _ -> Alcotest.fail "dump lacks events array");
+      check "metrics snapshot attached" true (Json.member "metrics" v <> None))
+
+(* Log records land in the flight ring even below the emission
+   threshold: the black box sees what stderr does not. *)
+let test_flight_sees_suppressed_logs () =
+  let path = Filename.temp_file "rpq_flight" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight.disable ();
+      Obs.Log.set_level (Some Obs.Log.Warn);
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Obs.Flight.configure ~cap:8 path;
+      Obs.Log.set_level (Some Obs.Log.Error);
+      Obs.Log.reset_repeats ();
+      Obs.Log.debug "quiet-event" [ ("marker", Obs.Jtext.Int 99) ];
+      Obs.Flight.dump ~reason:"test" ();
+      let v = parse_exn "flight dump" (read_file path) in
+      match Json.member "events" v with
+      | Some (Json.List evs) ->
+          check "suppressed log noted" true
+            (List.exists
+               (fun e ->
+                 match Option.bind (Json.member "event" e) Json.to_str_opt with
+                 | Some "quiet-event" -> true
+                 | _ -> false)
+               evs)
+      | _ -> Alcotest.fail "dump lacks events array")
+
+(* ---- Prometheus exposition ---- *)
+
+let test_prometheus_exposition () =
+  Metrics.reset ();
+  let c1 = Metrics.counter "test.prom.zeta" in
+  let c2 = Metrics.counter "test.prom.alpha" in
+  let g = Metrics.gauge "test.prom.gauge" in
+  let h = Metrics.histogram "test.prom.hist_s" in
+  Metrics.add c1 7;
+  Metrics.incr c2;
+  Metrics.set g 1.5;
+  Metrics.observe h 0.25;
+  Metrics.observe h 0.5;
+  let text = Metrics.prometheus_string () in
+  let again = Metrics.prometheus_string () in
+  Alcotest.(check string) "render is deterministic" text again;
+  let lines = String.split_on_char '\n' text in
+  let has_line l = List.mem l lines in
+  check "counter sample" true (has_line "rpq_test_prom_zeta 7");
+  check "counter type" true (has_line "# TYPE rpq_test_prom_zeta counter");
+  check "gauge sample" true (has_line "rpq_test_prom_gauge 1.5");
+  check "histogram count" true (has_line "rpq_test_prom_hist_s_count 2");
+  check "histogram sum" true (has_line "rpq_test_prom_hist_s_sum 0.75");
+  (* Families appear in sorted metric-name order. *)
+  let family_names =
+    List.filter_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "#"; "TYPE"; name; _ ] -> Some name
+        | _ -> None)
+      lines
+  in
+  Alcotest.(check (list string))
+    "families sorted" (List.sort compare family_names) family_names;
+  (* The counters-only view drops the time-valued families. *)
+  let counters = Metrics.prometheus_string ~only_counters:true () in
+  let clines = String.split_on_char '\n' counters in
+  check "counters-only keeps counters" true (List.mem "rpq_test_prom_zeta 7" clines);
+  check "counters-only drops gauges" true
+    (not (List.exists (String.starts_with ~prefix:"rpq_test_prom_gauge") clines));
+  check "counters-only drops histograms" true
+    (not (List.exists (String.starts_with ~prefix:"rpq_test_prom_hist") clines))
+
 let () =
   Alcotest.run "obs"
     [
@@ -198,6 +442,21 @@ let () =
           Alcotest.test_case "jsonl nesting and order" `Quick test_jsonl_nesting;
           Alcotest.test_case "chrome sink well-formed" `Quick test_chrome_sink;
           Alcotest.test_case "stage accounting" `Quick test_stage_accounting;
+          Alcotest.test_case "span context roundtrip" `Quick test_ctx_roundtrip;
+          Alcotest.test_case "span identity fields" `Quick test_span_identity;
+          Alcotest.test_case "remote parent adoption" `Quick test_remote_parent;
+          Alcotest.test_case "manual span handles" `Quick test_manual_span;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "levels and structure" `Quick test_log_levels;
+          Alcotest.test_case "repeat rate limiting" `Quick test_log_rate_limit;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring overflow and atomic dump" `Quick test_flight_dump;
+          Alcotest.test_case "records suppressed log events" `Quick
+            test_flight_sees_suppressed_logs;
         ] );
       ( "metrics",
         [
@@ -205,5 +464,6 @@ let () =
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
           Alcotest.test_case "counter determinism under seeded faults" `Quick
             test_counter_determinism;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
         ] );
     ]

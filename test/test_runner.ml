@@ -29,7 +29,7 @@ let hard_db =
 
 let job ?(id = "j") ?(db = easy_db) ?(query = "aa") ?deadline ?steps ?memo_cap
     ?(faults = Some "off") () =
-  { Proto.id; db; query; budget = { Proto.deadline; steps; memo_cap }; faults }
+  { Proto.id; db; query; budget = { Proto.deadline; steps; memo_cap }; faults; trace = None }
 
 let quick_cfg =
   {
@@ -73,6 +73,7 @@ let test_proto_roundtrip () =
         attempts = 1;
         steps = 12;
         wall_s = 0.25;
+        trace = None;
         stages = [ ("mincut", 0.2); ("parse", 0.01) ];
         verdict =
           Proto.V_exact
@@ -85,6 +86,7 @@ let test_proto_roundtrip () =
         steps = 40;
         wall_s = 1.5;
         stages = [];
+        trace = None;
         verdict =
           Proto.V_bounded
             { lower = Value.Finite 1; upper = Value.Infinite; witness = None; reason = "steps" };
@@ -128,7 +130,9 @@ let prop_proto_job_roundtrip =
   Test.make ~name:"proto: job json roundtrip" ~count:200
     (quad string string (option (int_range 1 100000)) (option string))
     (fun (id, db, steps, faults) ->
-      let j = { Proto.id; db; query = "a*b"; budget = { Proto.no_budget with steps }; faults } in
+      let j =
+        { Proto.id; db; query = "a*b"; budget = { Proto.no_budget with steps }; faults; trace = None }
+      in
       Proto.job_of_json (Proto.job_to_json j) = Ok j)
 
 (* ---- Journal ---- *)
@@ -694,6 +698,7 @@ let test_journal_rejects_corrupt_answer () =
           steps = 0;
           wall_s = 0.0;
           stages = [];
+          trace = None;
           verdict =
             Proto.V_exact { value = Value.Finite 1; algorithm = "forged"; witness = Some [] };
           cert = None;
@@ -1007,12 +1012,13 @@ let test_cache_cert_reject () =
 (* Drive [serve_sockets] end-to-end over pre-connected socketpairs: each
    client pre-writes its job lines, half-closes, and reads replies back
    after the server returns. *)
-let run_serve_clients ~scfg jobs_per_client =
+let run_serve_clients ?(encode = fun j -> Proto.job_to_json j) ~scfg
+    jobs_per_client =
   let ends = List.map (fun _ -> Transport.pair ()) jobs_per_client in
   let chans = List.map (fun (_, fd) -> Transport.channels_of_fd fd) ends in
   List.iter2
     (fun (_, oc) jobs ->
-      List.iter (fun j -> output_string oc (Proto.job_to_json j ^ "\n")) jobs;
+      List.iter (fun j -> output_string oc (encode j ^ "\n")) jobs;
       Transport.shutdown_send oc)
     chans jobs_per_client;
   Runner.serve_sockets ~preconnected:(List.map fst ends) scfg;
@@ -1095,6 +1101,99 @@ let test_serve_journal_seed_and_release () =
             (Runner.verify_reply r)
       | None -> Alcotest.fail "t1 not settled in the serve journal")
 
+(* ---- telemetry: cross-process traces ---- *)
+
+module Trace = Obs.Trace
+module Trace_check = Runner.Trace_check
+
+(* Run [f] with tracing routed to a temp JSONL file; return the file's
+   bytes after [Trace.finish] has flushed the meta record and spans. *)
+let with_traced f =
+  with_temp (fun path ->
+      Trace.configure ~format:Trace.Jsonl path;
+      Fun.protect ~finally:Trace.finish f;
+      read_file path)
+
+(* A traced serve with a worker killed mid-job. The span opened here
+   plays the remote client: its context rides the wire form of each job,
+   so the supervisor's request and job spans — and the workers'
+   re-emitted spans, including the killed attempts the supervisor
+   closes as [interrupted] — all join its trace in the one sink. The
+   stitched file must validate as a whole. *)
+let test_trace_stitched_kill () =
+  no_faults @@ fun () ->
+  let content =
+    with_traced (fun () ->
+        let h =
+          match Trace.open_span "request" with
+          | Some h -> h
+          | None -> Alcotest.fail "tracing configured but open_span declined"
+        in
+        let tid = (Trace.handle_ctx h).Trace.trace_id in
+        let ctx = Some (Trace.ctx_to_string (Trace.handle_ctx h)) in
+        let jobs =
+          [
+            { (job ~id:"ok" ()) with Proto.trace = ctx };
+            (* kill:1 fires on the first budget tick of every attempt:
+               each worker dies with its solve span open, and the
+               supervisor must close all of them as interrupted. *)
+            { (job ~id:"boom" ~faults:(Some "kill:1") ()) with Proto.trace = ctx };
+          ]
+        in
+        let scfg = { Runner.default_serve_config with Runner.base = quick_cfg } in
+        (match run_serve_clients ~encode:Proto.job_to_wire_json ~scfg [ jobs ] with
+        | [ rs ] ->
+            check "both jobs settled" true (List.length rs = 2);
+            List.iter
+              (fun (r : Proto.reply) ->
+                match r.Proto.id with
+                | "ok" -> begin
+                    match Option.bind r.Proto.trace Trace.ctx_of_string with
+                    | Some rctx ->
+                        check "reply joins the client's trace" true
+                          (rctx.Trace.trace_id = tid)
+                    | None -> Alcotest.fail "traced reply without a usable trace ctx"
+                  end
+                | _ ->
+                    check "killed job fails structurally" true
+                      (failure_kind r = Some "crash");
+                    check "killed job exhausted its retries" true
+                      (r.Proto.attempts = quick_cfg.Runner.retries + 1))
+              rs
+        | rs -> Alcotest.failf "expected one client's replies, got %d" (List.length rs));
+        Trace.close_span h)
+  in
+  (match Trace_check.check_jsonl_string content with
+  | Ok st ->
+      check "client, request, job and worker spans present" true
+        (st.Trace_check.spans >= 4);
+      check "worker pids stitched in" true (st.Trace_check.processes >= 2);
+      check "everything shares the client's trace id" true
+        (st.Trace_check.traces = 1)
+  | Error e -> Alcotest.failf "stitched trace rejected: %s" e);
+  check "killed attempts were closed as interrupted spans" true
+    (contains content "\"interrupted\":true")
+
+(* Hand-built two-span segment; [psid] selects the child's parent. *)
+let orphan_fixture ~psid =
+  String.concat "\n"
+    [
+      {|{"ev":"meta","pid":1,"t0":1000000,"tid":"t1"}|};
+      {|{"ev":"span","name":"root","ts":0.0,"dur":0.1,"depth":0,"pid":1,"tid":"t1","sid":"t1.1"}|};
+      Printf.sprintf
+        {|{"ev":"span","name":"child","ts":0.01,"dur":0.02,"depth":1,"pid":1,"tid":"t1","sid":"t1.2","psid":"%s"}|}
+        psid;
+      "";
+    ]
+
+let test_trace_orphan_reject () =
+  (match Trace_check.check_jsonl_string (orphan_fixture ~psid:"t1.1") with
+  | Ok st -> check "well-parented fixture validates" true (st.Trace_check.spans = 2)
+  | Error e -> Alcotest.failf "well-parented fixture rejected: %s" e);
+  match Trace_check.check_jsonl_string (orphan_fixture ~psid:"t1.9") with
+  | Ok _ -> Alcotest.fail "a span naming a parent absent from the file must reject"
+  | Error e -> check "error names the orphan" true (contains e "orphan")
+
 let () =
   Alcotest.run "runner"
     [
@@ -1151,6 +1250,11 @@ let () =
           Alcotest.test_case "backpressure gates input" `Quick test_transport_backpressure;
           Alcotest.test_case "two clients, namespaced ids" `Quick test_serve_two_clients;
           Alcotest.test_case "journal seed + lock release" `Quick test_serve_journal_seed_and_release;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "stitched kill trace validates" `Quick test_trace_stitched_kill;
+          Alcotest.test_case "orphan span rejects" `Quick test_trace_orphan_reject;
         ] );
       ( "cache",
         [
