@@ -560,7 +560,16 @@ let ablation_pool () =
   let hard_db = Graphdb.Serialize.to_string (Gadgets.encode pre (Graphs.Ugraph.complete 5)) in
   let easy_db = "s a m\nm a t\n" in
   let job id db steps faults =
-    { Runner.Proto.id; db; query = "aa"; budget = { Runner.Proto.no_budget with steps }; faults; trace = None }
+    {
+      Runner.Proto.id;
+      db;
+      query = "aa";
+      budget = { Runner.Proto.no_budget with steps };
+      faults;
+      deadline_ms = None;
+      priority = Runner.Proto.default_priority;
+      trace = None;
+    }
   in
   let jobs =
     List.init 24 (fun i -> job (Printf.sprintf "easy%d" i) easy_db None (Some "off"))
@@ -760,7 +769,16 @@ let ablation_serve () =
   let hard_db = Graphdb.Serialize.to_string (Gadgets.encode pre (Graphs.Ugraph.complete 5)) in
   let easy_db = "s a m\nm a t\n" in
   let job id db steps =
-    { Runner.Proto.id; db; query = "aa"; budget = { Runner.Proto.no_budget with steps }; faults = Some "off"; trace = None }
+    {
+      Runner.Proto.id;
+      db;
+      query = "aa";
+      budget = { Runner.Proto.no_budget with steps };
+      faults = Some "off";
+      deadline_ms = None;
+      priority = Runner.Proto.default_priority;
+      trace = None;
+    }
   in
   (* Drive serve_sockets end-to-end: each client pre-writes its job
      lines on its socketpair end and half-closes; replies are read back
@@ -897,6 +915,177 @@ let ablation_serve () =
       output_char oc '\n');
   Printf.printf "  wrote BENCH_pr8.json\n%!"
 
+let ablation_hedge () =
+  Printf.printf
+    "Hedging / overload ablation: per-job latency with certificate-gated hedging off\n\
+     vs on under a deterministic wedge mix (the parity claim: identical settlements,\n\
+     wall clock aside), and the shed rate by priority class at ~2x queue overload.\n\
+     Machine-readable: BENCH_pr10.json.\n\n";
+  let open Runner.Proto.Json in
+  let percentile sorted q =
+    sorted.(min (Array.length sorted - 1) (int_of_float (q *. float_of_int (Array.length sorted))))
+  in
+  let pre, _ = Gadgets.gadget_aa () in
+  let hard_db = Graphdb.Serialize.to_string (Gadgets.encode pre (Graphs.Ugraph.complete 5)) in
+  let easy_db = "s a m\nm a t\n" in
+  let job ?deadline_ms ?(priority = Runner.Proto.default_priority) ?(faults = "off") id db
+      steps =
+    {
+      Runner.Proto.id;
+      db;
+      query = "aa";
+      budget = { Runner.Proto.no_budget with steps };
+      faults = Some faults;
+      deadline_ms;
+      priority;
+      trace = None;
+    }
+  in
+  (* 1. Hedging off vs on over one batch: every third job wedges at tick
+     50 (so it burns wall timeout + grace per attempt until degradation
+     preempts the wedge), the rest are clean. The hedge duplicates the
+     primary's payload verbatim, so under this deterministic plan it can
+     never win on outcome — the measurement is that it also costs
+     nothing: settlements are pairwise equal modulo wall clock. *)
+  let mix () =
+    List.init 24 (fun i ->
+        if i mod 3 = 0 then
+          job (Printf.sprintf "w%d" i) hard_db (Some 1000) ~faults:"wedge:50"
+        else if i mod 3 = 1 then job (Printf.sprintf "h%d" i) hard_db (Some 200)
+        else job (Printf.sprintf "e%d" i) easy_db None)
+  in
+  let cfg hedge_after =
+    {
+      Runner.default_config with
+      Runner.workers = 4;
+      retries = 2;
+      job_timeout = Some 0.3;
+      grace = 0.2;
+      backoff = 0.005;
+      hedge_after;
+    }
+  in
+  let latencies replies =
+    let a =
+      Array.of_list (List.map (fun (r : Runner.Proto.reply) -> r.Runner.Proto.wall_s) replies)
+    in
+    Array.sort compare a;
+    a
+  in
+  let hedge_counter = Obs.Metrics.counter "runner.hedges_total" in
+  let win_counter = Obs.Metrics.counter "runner.hedge_wins_total" in
+  let off_replies, _ = Runner.run_batch (cfg None) (mix ()) in
+  let hedges0 = Obs.Metrics.count hedge_counter and wins0 = Obs.Metrics.count win_counter in
+  let on_replies, _ = Runner.run_batch (cfg (Some 0.02)) (mix ()) in
+  let hedges = Obs.Metrics.count hedge_counter - hedges0 in
+  let wins = Obs.Metrics.count win_counter - wins0 in
+  let off_lat = latencies off_replies and on_lat = latencies on_replies in
+  let off_p50 = percentile off_lat 0.50 and off_p99 = percentile off_lat 0.99 in
+  let on_p50 = percentile on_lat 0.50 and on_p99 = percentile on_lat 0.99 in
+  let parity =
+    List.for_all2 Runner.Proto.reply_equal_ignoring_time off_replies on_replies
+  in
+  Printf.printf "  hedging off  p50 %.4fs  p99 %.4fs  (n=%d)\n" off_p50 off_p99
+    (Array.length off_lat);
+  Printf.printf "  hedging on   p50 %.4fs  p99 %.4fs  (%d hedges, %d wins)\n" on_p50 on_p99
+    hedges wins;
+  Printf.printf "  settlement parity (modulo wall clock): %b\n%!" parity;
+  let hedging_row =
+    Obj
+      [
+        ("off_p50_s", Float off_p50); ("off_p99_s", Float off_p99);
+        ("on_p50_s", Float on_p50); ("on_p99_s", Float on_p99);
+        ("hedges", Int hedges); ("hedge_wins", Int wins); ("parity", Bool parity);
+      ]
+  in
+  (* 2. Shed rate by priority class: one client per class, each pushing
+     16 budgeted hard jobs at a queue capped at 8 with one worker —
+     roughly 2x overload once inflight and queued slots are counted.
+     Interactive arrivals evict queued batch work at the cap, so the
+     shed burden lands on the low classes. *)
+  let per_class = 16 and queue_cap = 8 in
+  let classes = [ "batch"; "normal"; "interactive" ] in
+  let per_client =
+    List.map
+      (fun cls ->
+        List.init per_class (fun i ->
+            job (Printf.sprintf "%s%d" cls i) hard_db (Some 200) ~priority:cls))
+      classes
+  in
+  let base =
+    { Runner.default_config with Runner.workers = 1; retries = 0; queue_cap }
+  in
+  let scfg =
+    { Runner.default_serve_config with Runner.base = base; cache_entries = 0 }
+  in
+  let ends = List.map (fun _ -> Runner.Transport.pair ()) per_client in
+  let chans = List.map (fun (_, fd) -> Runner.Transport.channels_of_fd fd) ends in
+  List.iter2
+    (fun (_, oc) js ->
+      List.iter
+        (fun j -> output_string oc (Runner.Proto.job_to_wire_json j ^ "\n"))
+        js;
+      Runner.Transport.shutdown_send oc)
+    chans per_client;
+  let (), wall =
+    time_it (fun () -> Runner.serve_sockets ~preconnected:(List.map fst ends) scfg)
+  in
+  let shed_of replies =
+    List.length
+      (List.filter
+         (fun (r : Runner.Proto.reply) ->
+           match r.Runner.Proto.verdict with
+           | Runner.Proto.V_failed { kind = "overloaded"; _ } -> true
+           | _ -> false)
+         replies)
+  in
+  Printf.printf "\n  %12s %6s %6s %10s\n" "class" "jobs" "shed" "shed rate";
+  let class_rows =
+    List.map2
+      (fun cls (ic, oc) ->
+        let rec rd acc =
+          match input_line ic with
+          | line -> rd (line :: acc)
+          | exception End_of_file ->
+              close_in ic;
+              close_out_noerr oc;
+              List.rev acc
+        in
+        let replies =
+          List.filter_map
+            (fun line -> Result.to_option (Runner.Proto.reply_of_json line))
+            (rd [])
+        in
+        let shed = shed_of replies in
+        let rate = float_of_int shed /. float_of_int (max 1 (List.length replies)) in
+        Printf.printf "  %12s %6d %6d %9.1f%%\n%!" cls (List.length replies) shed
+          (100.0 *. rate);
+        Obj
+          [
+            ("class", Str cls); ("jobs", Int (List.length replies));
+            ("shed", Int shed); ("shed_rate", Float rate);
+          ])
+      classes chans
+  in
+  Printf.printf "  overload wall: %.3fs (queue cap %d, %d jobs)\n%!" wall queue_cap
+    (3 * per_class);
+  Out_channel.with_open_text "BENCH_pr10.json" (fun oc ->
+      output_string oc
+        (to_string
+           (Obj
+              [
+                ("hedging", hedging_row);
+                ( "priority_shedding",
+                  Obj
+                    [
+                      ("queue_cap", Int queue_cap); ("workers", Int 1);
+                      ("jobs", Int (3 * per_class)); ("wall_s", Float wall);
+                      ("classes", List class_rows);
+                    ] );
+              ]));
+      output_char oc '\n');
+  Printf.printf "  wrote BENCH_pr10.json\n%!"
+
 let () =
   section "fig1" "FIG1: classification table" fig1;
   section "fig2" "FIG2: example automata" fig2;
@@ -933,6 +1122,7 @@ let () =
   section "ablation_pool" "ABLATION: supervised pool throughput vs worker count" ablation_pool;
   section "ablation_journal" "ABLATION: journal sync policy, recovery, compaction" ablation_journal;
   section "ablation_serve" "ABLATION: multi-client serve, cache, shedding" ablation_serve;
+  section "ablation_hedge" "ABLATION: hedging latency/parity, shed rate by priority" ablation_hedge;
   section "scaling_submodular" "SCALING: Proposition 7.7" scaling_submodular;
   section "scaling_local" "SCALING: Theorem 3.3" scaling_local;
   section "scaling_bcl" "SCALING: Proposition 7.5" scaling_bcl;

@@ -136,6 +136,8 @@ let solve_json ~db_file ~query ~timeout ~steps ~memo_cap =
           query;
           budget = { Runner.Proto.deadline = timeout; steps; memo_cap };
           faults = None;
+          deadline_ms = None;
+          priority = Runner.Proto.default_priority;
           trace = None;
         }
       in
@@ -548,10 +550,10 @@ let parse_jobfile path =
           | exception Sys_error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e)
           | db -> Ok db
         in
-        let* budget, faults =
+        let* budget, faults, deadline_ms, priority =
           List.fold_left
             (fun acc opt ->
-              let* (b : Runner.Proto.budget_spec), faults = acc in
+              let* (b : Runner.Proto.budget_spec), faults, dl, prio = acc in
               let bad () =
                 Error (Printf.sprintf "%s:%d: bad job option %S" path lineno opt)
               in
@@ -564,23 +566,30 @@ let parse_jobfile path =
                   | "timeout" -> (
                       match float_of_string_opt v with
                       | Some f when Float.is_finite f && f >= 0.0 ->
-                          Ok ({ b with Runner.Proto.deadline = Some f }, faults)
+                          Ok ({ b with Runner.Proto.deadline = Some f }, faults, dl, prio)
                       | _ -> bad ())
                   | "steps" -> (
                       match int_of_string_opt v with
-                      | Some n when n >= 0 -> Ok ({ b with Runner.Proto.steps = Some n }, faults)
+                      | Some n when n >= 0 ->
+                          Ok ({ b with Runner.Proto.steps = Some n }, faults, dl, prio)
                       | _ -> bad ())
                   | "memo" -> (
                       match int_of_string_opt v with
                       | Some n when n >= 0 ->
-                          Ok ({ b with Runner.Proto.memo_cap = Some n }, faults)
+                          Ok ({ b with Runner.Proto.memo_cap = Some n }, faults, dl, prio)
                       | _ -> bad ())
                   | "faults" -> (
                       match Faults.parse v with
-                      | Ok _ -> Ok (b, Some v)
+                      | Ok _ -> Ok (b, Some v, dl, prio)
                       | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e))
+                  | "deadline" -> (
+                      match int_of_string_opt v with
+                      | Some ms when ms >= 0 -> Ok (b, faults, Some ms, prio)
+                      | _ -> bad ())
+                  | "priority" ->
+                      if List.mem v Runner.Proto.priorities then Ok (b, faults, dl, v) else bad ()
                   | _ -> bad ()))
-            (Ok (Runner.Proto.no_budget, None))
+            (Ok (Runner.Proto.no_budget, None, None, Runner.Proto.default_priority))
             opts
         in
         Ok
@@ -591,6 +600,8 @@ let parse_jobfile path =
                query = regex;
                budget;
                faults;
+               deadline_ms;
+               priority;
                trace = None;
              })
   in
@@ -780,8 +791,31 @@ let serve_cmd =
              entry is still certificate-checked on every use, so a tampered journal entry \
              can be seeded but never served.")
   in
+  let hedge_after_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Certificate-gated hedging: when a job has been running $(docv) seconds, a \
+             worker is idle and nothing is waiting to dispatch, launch a speculative \
+             duplicate attempt; the first reply whose certificate re-checks wins and the \
+             loser is killed. Exactly one reply is emitted and journaled either way. \
+             Off by default.")
+  in
+  let brownout_after_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "brownout-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Load watchdog: once the admission queue has stayed at or above half of \
+             $(b,--queue-cap) for $(docv) seconds, shed new $(b,batch) jobs with retriable \
+             `overloaded' replies and degrade non-interactive step budgets until the queue \
+             drains. Off by default.")
+  in
   let run workers retries queue_cap job_timeout journal_sync max_heap listen tcp cache_entries
-      client_inflight drain_grace journal trace log_level log_file =
+      client_inflight drain_grace journal hedge_after brownout_after trace log_level log_file =
     configure_trace trace;
     configure_log log_level log_file @@ fun () ->
     match runner_config workers retries queue_cap job_timeout journal_sync max_heap with
@@ -791,10 +825,14 @@ let serve_cmd =
         else if client_inflight < 1 then
           input_error "serve: client inflight cap must be at least 1"
         else if drain_grace < 0.0 then input_error "serve: negative drain grace"
+        else if (match hedge_after with Some s -> s < 0.0 | None -> false) then
+          input_error "serve: negative hedge delay"
+        else if (match brownout_after with Some s -> s < 0.0 | None -> false) then
+          input_error "serve: negative brownout threshold"
         else begin
           let scfg =
             {
-              Runner.base = cfg;
+              Runner.base = { cfg with Runner.hedge_after };
               listen;
               tcp;
               cache_entries;
@@ -802,6 +840,7 @@ let serve_cmd =
               drain_grace;
               write_timeout = Runner.default_serve_config.Runner.write_timeout;
               serve_journal = journal;
+              brownout_after;
             }
           in
           let stdio = if listen = None && tcp = None then Some (stdin, stdout) else None in
@@ -819,14 +858,18 @@ let serve_cmd =
           Multi-client: admission is round-robin with a per-client inflight cap, a malformed \
           line poisons only the client that sent it, a disconnect cancels only that client's \
           queued jobs, and settled replies are cached under a certificate gate \
-          ($(b,--cache-entries)). SIGTERM/SIGINT drain gracefully ($(b,--drain-grace)). A \
+          ($(b,--cache-entries)). Jobs carry end-to-end deadlines and priorities \
+          (admission is weighted-fair across $(b,interactive)/$(b,normal)/$(b,batch)); \
+          $(b,--hedge-after) arms certificate-gated hedging and $(b,--brownout-after) the \
+          overload watchdog. SIGTERM/SIGINT drain gracefully ($(b,--drain-grace)). A \
           line $(b,{\"stats\":true}) answers immediately with the metrics snapshot \
           (job/cache/client counters and gauges); a line $(b,GET /metrics) draws the same \
           snapshot as a Prometheus text-format HTTP response (see $(b,rpq stats)).")
     Term.(
       const run $ workers_arg $ retries_arg $ queue_cap_arg $ job_timeout_arg $ journal_sync_arg
       $ max_heap_arg $ listen_arg $ tcp_arg $ cache_entries_arg $ client_inflight_arg
-      $ drain_grace_arg $ serve_journal_arg $ trace_arg $ log_level_arg $ log_file_arg)
+      $ drain_grace_arg $ serve_journal_arg $ hedge_after_arg $ brownout_after_arg $ trace_arg
+      $ log_level_arg $ log_file_arg)
 
 (* ---- stats / submit: socket clients of a running serve ---- *)
 
@@ -940,6 +983,12 @@ let stats_cmd =
           byte-equal.")
     Term.(const run $ sock $ tcp $ counters $ watch)
 
+(* Shed kinds: the server refused or expired the job without running it
+   to an answer; the client may resubmit. `submit' reports these with
+   exit 3 so scripts can tell "resubmit later" from hard failures. *)
+let submit_shed_kinds = [ "overloaded"; "deadline_exceeded" ]
+let exit_some_shed = 3
+
 let submit_cmd =
   let sock, tcp = connect_args in
   let jobfile =
@@ -949,16 +998,53 @@ let submit_cmd =
       & info [] ~docv:"JOBFILE"
           ~doc:"Same format as $(b,rpq batch): one job per line, <db-file> <regex> [key=value].")
   in
-  let run jobfile sock tcp trace log_level log_file =
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Stamp an end-to-end deadline of $(docv) milliseconds on every job that has no \
+             per-line $(b,deadline=) key. The clock starts at the server's admission: a job \
+             still queued at expiry is shed with a retriable `deadline_exceeded' reply, and \
+             a dispatched job has its wall and step budgets clamped to the remaining time.")
+  in
+  let priority_arg =
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun p -> (p, p)) Runner.Proto.priorities))) None
+      & info [ "priority" ] ~docv:"CLASS"
+          ~doc:
+            "Stamp this priority class ($(b,batch), $(b,normal) or $(b,interactive)) on every \
+             job that has no per-line $(b,priority=) key. The server dequeues weighted-fair \
+             across classes and sheds $(b,batch) first under overload.")
+  in
+  let run jobfile sock tcp deadline priority trace log_level log_file =
     configure_trace trace;
     configure_log log_level log_file @@ fun () ->
     match (sock, tcp) with
     | None, None -> input_error "submit: need --connect PATH or --tcp PORT"
+    | _ when (match deadline with Some ms -> ms < 0 | None -> false) ->
+        input_error "submit: negative deadline"
     | _ -> begin
         match parse_jobfile jobfile with
         | Error e -> input_error "%s" e
         | Ok [] -> input_error "%s: no jobs" jobfile
         | Ok jobs -> begin
+            let jobs =
+              List.map
+                (fun (j : Runner.Proto.job) ->
+                  let deadline_ms =
+                    match j.Runner.Proto.deadline_ms with Some _ as d -> d | None -> deadline
+                  in
+                  let priority =
+                    if j.Runner.Proto.priority <> Runner.Proto.default_priority then
+                      j.Runner.Proto.priority
+                    else Option.value priority ~default:j.Runner.Proto.priority
+                  in
+                  { j with Runner.Proto.deadline_ms; priority })
+                jobs
+            in
             let connect () =
               match sock with
               | Some path -> Runner.Transport.connect_unix path
@@ -993,7 +1079,7 @@ let submit_cmd =
                 (* No half-close here: the server cancels a disconnected
                    client's queued jobs, so EOF from us may come only
                    after the last reply is in hand. *)
-                let failures = ref 0 in
+                let failures = ref 0 and shed = ref 0 in
                 let rec read_n n =
                   if n = 0 then Ok ()
                   else
@@ -1019,6 +1105,9 @@ let submit_cmd =
                                   h
                             | None -> ());
                             (match r.Runner.Proto.verdict with
+                            | Runner.Proto.V_failed { kind; _ }
+                              when List.mem kind submit_shed_kinds ->
+                                incr shed
                             | Runner.Proto.V_failed _ -> incr failures
                             | _ -> ());
                             print_endline (Runner.Proto.reply_to_json r);
@@ -1037,7 +1126,10 @@ let submit_cmd =
                           h)
                       spans;
                     input_error "submit: %s" e
-                | Ok () -> if !failures = 0 then 0 else 1)
+                | Ok () ->
+                    if !failures > 0 then 1
+                    else if !shed > 0 then exit_some_shed
+                    else 0)
           end
       end
   in
@@ -1045,12 +1137,17 @@ let submit_cmd =
     (Cmd.info "submit"
        ~doc:
          "Submit a jobfile to a running $(b,rpq serve) over its socket and print one JSON \
-          reply line per job, in settlement order. With $(b,--trace), each job runs under a \
-          client-side request span whose context rides the wire: concatenating the client's \
-          and the server's trace files yields one multi-process trace that \
-          $(b,rpq trace-check) validates end to end. Exits 0 iff every job settled without \
-          error.")
-    Term.(const run $ jobfile $ sock $ tcp $ trace_arg $ log_level_arg $ log_file_arg)
+          reply line per job, in settlement order. $(b,--deadline) and $(b,--priority) stamp \
+          end-to-end deadlines and scheduling classes on the submitted jobs. With \
+          $(b,--trace), each job runs under a client-side request span whose context rides \
+          the wire: concatenating the client's and the server's trace files yields one \
+          multi-process trace that $(b,rpq trace-check) validates end to end. Exits 0 when \
+          every job settled without error, 3 when the only failures were retriable sheds \
+          (`overloaded'/`deadline_exceeded' — resubmit later), 1 on any other job failure, \
+          and 2 on transport or input errors.")
+    Term.(
+      const run $ jobfile $ sock $ tcp $ deadline_arg $ priority_arg $ trace_arg $ log_level_arg
+      $ log_file_arg)
 
 (* ---- journal: inspect / compact ---- *)
 
@@ -1282,7 +1379,7 @@ let rec chaos_waitpid pid =
    the journal's settled answers equal a churn-free reference serve run
    modulo wall-clock fields. Everything printed is a pure function of the
    seed and the jobfile, so two runs diff byte-identically. *)
-let run_churn ~jobs ~kills ~seed ~net_period ~(cfg : Runner.config) =
+let run_churn ~jobs ~kills ~seed ~net_period ~hedge_after ~(cfg : Runner.config) =
   let die fmt =
     Printf.ksprintf
       (fun msg ->
@@ -1311,7 +1408,7 @@ let run_churn ~jobs ~kills ~seed ~net_period ~(cfg : Runner.config) =
     | exception Unix.Unix_error _ -> ()
   in
   Fun.protect ~finally:cleanup @@ fun () ->
-  let start_server ~faults ~sock ~journal =
+  let start_server ~faults ~hedged ~sock ~journal =
     let argv =
       [
         Sys.executable_name; "serve";
@@ -1326,6 +1423,13 @@ let run_churn ~jobs ~kills ~seed ~net_period ~(cfg : Runner.config) =
       ]
       @ (match cfg.Runner.job_timeout with
         | Some s -> [ "--job-timeout"; string_of_float s ]
+        | None -> [])
+      (* The churned server hedges; the reference never does. The final
+         journal diff is then exactly the claim the hedge design makes:
+         under a deterministic fault plan, hedged and unhedged serving
+         settle every job identically (modulo wall clock). *)
+      @ (match if hedged then hedge_after else None with
+        | Some s -> [ "--hedge-after"; string_of_float s ]
         | None -> [])
     in
     let pid =
@@ -1383,10 +1487,15 @@ let run_churn ~jobs ~kills ~seed ~net_period ~(cfg : Runner.config) =
     | Error msg ->
         die "reply %S carries an invalid certificate: %s" r.Runner.Proto.id msg
   in
-  Printf.printf "chaos churn: seed %d, %d jobs, %d kills, net:partial_write:%d\n" seed njobs
-    kills net_period;
+  Printf.printf "chaos churn: seed %d, %d jobs, %d kills, net:partial_write:%d%s\n" seed njobs
+    kills net_period
+    (match hedge_after with
+    | Some s -> Printf.sprintf ", hedge-after %g" s
+    | None -> "");
   let server =
-    start_server ~faults:(Printf.sprintf "net:partial_write:%d" net_period) ~sock ~journal
+    start_server
+      ~faults:(Printf.sprintf "net:partial_write:%d" net_period)
+      ~hedged:true ~sock ~journal
   in
   (* Same LCG construction as the crash schedule: high bits of a 48-bit
      stream, printed up front so two runs of one seed diff clean. *)
@@ -1446,7 +1555,9 @@ let run_churn ~jobs ~kills ~seed ~net_period ~(cfg : Runner.config) =
   | st -> die "server did not drain cleanly on SIGTERM (%s)" (status_to_string st));
   print_endline "server drained cleanly on SIGTERM";
   (* Reference: same jobs, one client, no churn, no faults. *)
-  let ref_server = start_server ~faults:"off" ~sock:ref_sock ~journal:ref_journal in
+  let ref_server =
+    start_server ~faults:"off" ~hedged:false ~sock:ref_sock ~journal:ref_journal
+  in
   let icr, ocr = connect ref_sock in
   Array.iter (send_job ocr) job_arr;
   for _ = 1 to njobs do
@@ -1554,7 +1665,18 @@ let chaos_cmd =
       & info [ "net-period" ] ~docv:"P"
           ~doc:"Period of the $(b,net:partial_write) fault armed in the churn server.")
   in
-  let run jobfile crashes seed workers retries queue_cap job_timeout churn kills net_period =
+  let hedge_after_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Arm certificate-gated hedging in the $(b,--churn) server (the reference server \
+             stays unhedged), so the final journal diff asserts that hedged and unhedged \
+             serving settle every job identically modulo wall clock.")
+  in
+  let run jobfile crashes seed workers retries queue_cap job_timeout churn kills net_period
+      hedge_after =
     match runner_config workers retries queue_cap job_timeout Runner.Journal.Per_line None with
     | Error e -> input_error "chaos: %s" e
     | Ok cfg -> begin
@@ -1564,7 +1686,9 @@ let chaos_cmd =
         | Ok _ when crashes < 0 -> input_error "chaos: negative crash count"
         | Ok _ when churn && kills < 0 -> input_error "chaos: negative kill count"
         | Ok _ when churn && net_period < 1 -> input_error "chaos: net period must be positive"
-        | Ok jobs when churn -> run_churn ~jobs ~kills ~seed ~net_period ~cfg
+        | Ok _ when (match hedge_after with Some s -> s < 0.0 | None -> false) ->
+            input_error "chaos: negative hedge delay"
+        | Ok jobs when churn -> run_churn ~jobs ~kills ~seed ~net_period ~hedge_after ~cfg
         | Ok jobs ->
             let journal = Filename.temp_file "rpq_chaos" ".journal" in
             let out_file = Filename.temp_file "rpq_chaos" ".jsonl" in
@@ -1767,7 +1891,7 @@ let chaos_cmd =
           iff there are zero diffs.")
     Term.(
       const run $ jobs_arg $ crashes_arg $ seed_arg $ workers_arg $ retries_arg $ queue_cap_arg
-      $ job_timeout_arg $ churn_arg $ kills_arg $ net_period_arg)
+      $ job_timeout_arg $ churn_arg $ kills_arg $ net_period_arg $ hedge_after_arg)
 
 (* ---- trace-check ---- *)
 

@@ -14,10 +14,25 @@ type job = {
   query : string;
   budget : budget_spec;
   faults : string option;
+  deadline_ms : int option;
+      (** end-to-end client deadline, milliseconds from submission; a
+          hop-scoped delivery constraint like [trace], never part of the
+          job's canonical form *)
+  priority : string;
+      (** admission class, one of {!priorities}; hop-scoped like [trace] *)
   trace : string option;
       (** serialized [Obs.Trace.span_ctx] — request identity propagated
           across process hops; never part of the job's canonical form *)
 }
+
+(* The closed admission vocabulary, lowest class first. Decoding rejects
+   anything outside it so a typo ("interactve") fails loudly at the edge
+   instead of silently scheduling as the default class. *)
+let priorities = [ "batch"; "normal"; "interactive" ]
+let default_priority = "normal"
+
+let priority_class p =
+  match p with "batch" -> 0 | "interactive" -> 2 | _ (* "normal" *) -> 1
 
 type verdict =
   | V_exact of { value : Value.t; algorithm : string; witness : int list option }
@@ -87,13 +102,17 @@ let job_to_json (j : job) =
        @ opt "faults" (fun s -> Json.Str s) j.faults))
 
 (* The wire form adds the hop-scoped fields the canonical form excludes:
-   what travels client -> serve -> worker pipe. *)
+   what travels client -> serve -> worker pipe. [priority] is emitted
+   only when it differs from the default, so pre-priority clients and
+   servers exchange byte-identical lines. *)
 let job_to_wire_json (j : job) =
   Json.to_string
     (Json.Obj
        ([ ("id", Json.Str j.id); ("query", Json.Str j.query); ("db", Json.Str j.db) ]
        @ budget_fields j.budget
        @ opt "faults" (fun s -> Json.Str s) j.faults
+       @ opt "deadline_ms" (fun i -> Json.Int i) j.deadline_ms
+       @ (if j.priority = default_priority then [] else [ ("priority", Json.Str j.priority) ])
        @ opt "trace" (fun s -> Json.Str s) j.trace))
 
 let witness_fields = function
@@ -194,8 +213,25 @@ let job_of_obj obj =
   let* steps = get_opt obj "steps" Json.to_int_opt in
   let* memo_cap = get_opt obj "memo_cap" Json.to_int_opt in
   let* faults = get_opt obj "faults" Json.to_str_opt in
+  let* deadline_ms = get_opt obj "deadline_ms" Json.to_int_opt in
+  let* () =
+    match deadline_ms with
+    | Some ms when ms < 0 -> Error (Printf.sprintf "negative deadline_ms %d" ms)
+    | _ -> Ok ()
+  in
+  let* priority =
+    match Json.member "priority" obj with
+    | None | Some Json.Null -> Ok default_priority
+    | Some v -> (
+        match Json.to_str_opt v with
+        | Some p when List.mem p priorities -> Ok p
+        | Some p ->
+            Error
+              (Printf.sprintf "unknown priority %S (expected %s)" p (String.concat "|" priorities))
+        | None -> field_err "priority")
+  in
   let* trace = get_opt obj "trace" Json.to_str_opt in
-  Ok { id; db; query; budget = { deadline; steps; memo_cap }; faults; trace }
+  Ok { id; db; query; budget = { deadline; steps; memo_cap }; faults; deadline_ms; priority; trace }
 
 let job_of_json s =
   let* v = Json.parse s in

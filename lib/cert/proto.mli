@@ -33,6 +33,18 @@ type job = {
   faults : string option;
       (** per-job [Resilience.Faults] plan ([Faults.parse] grammar);
           [None] inherits the worker's ambient plan *)
+  deadline_ms : int option;
+      (** end-to-end client deadline in milliseconds, counted from the
+          moment the client stamped the job. Wire-only like [trace]:
+          excluded from {!job_to_json} (so deadline variants of the same
+          job share a canonical digest and a cache entry), carried by
+          {!job_to_wire_json}. Decoding rejects negative values. *)
+  priority : string;
+      (** admission class; one of {!priorities}, default
+          {!default_priority}. Wire-only like [trace] and [deadline_ms]
+          (emitted only when non-default, so default-priority wire lines
+          are byte-identical to the pre-priority schema). Decoding
+          rejects anything outside the closed vocabulary. *)
   trace : string option;
       (** serialized span context ([Obs.Trace.ctx_to_string] form,
           [trace_id:span_id:flag]) naming the parent span of whatever
@@ -91,6 +103,18 @@ type classification = {
 (** A classification record ([rpq certify --json]): one line of JSON
     tagged ["kind":"classification"], distinguishing it from replies in a
     mixed stream. *)
+
+val priorities : string list
+(** The closed priority vocabulary, lowest class first:
+    [["batch"; "normal"; "interactive"]]. *)
+
+val default_priority : string
+(** ["normal"]. *)
+
+val priority_class : string -> int
+(** Numeric admission class: batch 0, normal 1, interactive 2. Total on
+    strings (unknowns map to the default class), but decoded jobs only
+    ever carry members of {!priorities}. *)
 
 val failed :
   ?retriable:bool -> id:string -> kind:string -> ('a, unit, string, reply) format4 -> 'a

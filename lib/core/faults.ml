@@ -1,3 +1,7 @@
+(* Worker plans (Kill_after / Wedge_after) are a pure function of the job
+   payload: a hedged duplicate carries the payload verbatim and therefore
+   replays the identical fault, which is what makes hedged and unhedged
+   serving runs journal-identical (DESIGN.md §16). *)
 type plan =
   | Off
   | At_tick of int

@@ -16,7 +16,13 @@
        tick, either self-SIGKILL ([kill]) or stop responding while blocking
        SIGTERM ([wedge], forcing the supervisor's SIGKILL-after-grace
        timeout path), so every supervision branch is deterministically
-       testable;}
+       testable. Both are {e per-job} plans carried in the wire payload, so
+       a hedged duplicate of a faulty job replays the {e same} fault at the
+       same tick — speculation cannot win on outcome, only on wall-clock —
+       and a [kill]/[wedge] firing before the degrading retry shrinks the
+       step budget below the fault tick feeds the runner's poison-quarantine
+       death counter (K distinct worker deaths settle the job as
+       non-retriable [poison]);}
     {- {b supervisor crash sites} ([crash:SITE:N]): the durability-critical
        points of the supervisor itself — around journal appends, fsyncs,
        compaction renames, and pool dispatch — call {!crash_site} with

@@ -45,7 +45,13 @@ val job_digest : Proto.job -> string
 (** Hex digest of the canonical job encoding (with its {e original}
     budget). Resume matches on both id and digest, so editing a job in the
     jobfile invalidates its recorded answer instead of silently reusing
-    it. *)
+    it. Delivery-only fields ([deadline_ms], [priority], trace context)
+    are excluded from the canonical encoding: the same query at a
+    different priority or deadline digests — and therefore resumes and
+    caches — identically. A hedged job journals exactly one [Done] entry
+    (the certificate-checked winner); the speculative loser is aborted
+    before settlement, so hedged and unhedged runs produce byte-identical
+    journals modulo wall-clock fields. *)
 
 val canonical_digest : Proto.job -> string
 (** {!job_digest} with the job's id blanked, so two clients submitting

@@ -17,13 +17,15 @@
 type death =
   | Exited of int  (** nonzero exit code *)
   | Signaled of int  (** killed by this signal, e.g. [Sys.sigkill] *)
-  | Timed_out  (** overran the job deadline; SIGTERM, then SIGKILL *)
+  | Timed_out  (** overran the job deadline; died from the SIGTERM *)
+  | Wedged  (** overran the deadline AND survived SIGTERM through grace *)
   | Malformed of string  (** replied, but not with a parseable reply line *)
 
 let death_to_string = function
   | Exited c -> Printf.sprintf "worker exited with code %d" c
   | Signaled s -> Printf.sprintf "worker killed by signal %d" s
   | Timed_out -> "worker timed out"
+  | Wedged -> "worker wedged (survived SIGTERM; SIGKILLed)"
   | Malformed line ->
       Printf.sprintf "worker sent a malformed reply: %s"
         (if String.length line > 100 then String.sub line 0 100 ^ "..." else line)
@@ -36,6 +38,9 @@ type worker = {
   mutable job : (string * float) option;  (** (job id, absolute deadline) *)
   mutable term_sent : float option;
       (** when we SIGTERMed it for a timeout; SIGKILL after [grace] *)
+  mutable wedged : bool;
+      (** it outlived the SIGTERM grace period — ignoring or blocking the
+          signal — and took the SIGKILL path *)
 }
 
 type config = { workers : int; job_timeout : float option; grace : float }
@@ -122,7 +127,15 @@ let spawn t =
   | pid ->
       Unix.close job_r;
       Unix.close reply_w;
-      { pid; to_worker = job_w; of_worker = reply_r; buf = Buffer.create 256; job = None; term_sent = None }
+      {
+        pid;
+        to_worker = job_w;
+        of_worker = reply_r;
+        buf = Buffer.create 256;
+        job = None;
+        term_sent = None;
+        wedged = false;
+      }
 
 let create cfg ~handler =
   if cfg.workers < 1 then invalid_arg "Pool.create: need at least one worker";
@@ -139,7 +152,8 @@ let create cfg ~handler =
             of_worker = Unix.stdin;
             buf = Buffer.create 0;
             job = None;
-            term_sent = None });
+            term_sent = None;
+            wedged = false });
       alive = true;
     }
   in
@@ -149,7 +163,7 @@ let create cfg ~handler =
 let idle_count t =
   Array.fold_left (fun n w -> if w.job = None then n + 1 else n) 0 t.pool
 
-let assign t ~id ~payload =
+let assign t ~id ?timeout ~payload () =
   if not t.alive then invalid_arg "Pool.assign: pool is shut down";
   let rec find i =
     if i >= Array.length t.pool then invalid_arg "Pool.assign: no idle worker"
@@ -157,11 +171,18 @@ let assign t ~id ~payload =
     else find (i + 1)
   in
   let w = find 0 in
-  let deadline =
-    match t.cfg.job_timeout with Some s -> now () +. s | None -> infinity
+  (* The effective wall deadline is the tighter of the pool-wide cap and
+     the caller's per-job budget (e.g. a client deadline's remainder). *)
+  let wall =
+    match t.cfg.job_timeout, timeout with
+    | None, None -> infinity
+    | Some s, None | None, Some s -> s
+    | Some a, Some b -> Float.min a b
   in
+  let deadline = if wall = infinity then infinity else now () +. wall in
   w.job <- Some (id, deadline);
   w.term_sent <- None;
+  w.wedged <- false;
   (try write_all w.to_worker (payload ^ "\n")
    with Unix.Unix_error _ ->
      (* The worker died before we could write; the EOF on its reply pipe
@@ -175,7 +196,7 @@ let assign t ~id ~payload =
 let dead_worker t w status =
   let death =
     match w.term_sent, status with
-    | Some _, _ -> Timed_out
+    | Some _, _ -> if w.wedged then Wedged else Timed_out
     | None, Unix.WSIGNALED s -> Signaled s
     | None, Unix.WEXITED c -> Exited c
     | None, Unix.WSTOPPED s -> Signaled s
@@ -194,6 +215,7 @@ let dead_worker t w status =
   Buffer.clear w.buf;
   w.job <- None;
   w.term_sent <- None;
+  w.wedged <- false;
   Obs.Log.info "worker-respawn"
     [
       ("death", Obs.Jtext.Str (death_to_string death));
@@ -205,6 +227,26 @@ let dead_worker t w status =
 let reap t w =
   let _, status = restart_eintr (fun () -> Unix.waitpid [] w.pid) in
   dead_worker t w status
+
+(* Deliberate discard of an in-flight attempt (hedge loser, cancelled
+   client): clear the assignment FIRST so the reap classifies an idle
+   worker (no [Crashed] event — [dead_worker] only reports when a job id
+   is attached) and any reply bytes already in the pipe are dropped as
+   stray output, then SIGKILL and respawn. *)
+let abort t ~id =
+  if not t.alive then false
+  else
+    match Array.find_opt (fun w -> match w.job with Some (jid, _) -> jid = id | None -> false) t.pool
+    with
+    | None -> false
+    | Some w ->
+        w.job <- None;
+        w.term_sent <- None;
+        w.wedged <- false;
+        Buffer.clear w.buf;
+        (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (reap t w);
+        true
 
 let take_lines w =
   let s = Buffer.contents w.buf in
@@ -267,7 +309,10 @@ let enforce_deadlines t events =
           events
       | Some _, Some at when t_now >= at +. t.cfg.grace ->
           (* Still alive after the grace period (e.g. a [wedge:N] worker
-             blocking SIGTERM): SIGKILL cannot be blocked. *)
+             blocking SIGTERM): SIGKILL cannot be blocked. Outliving the
+             grace is what distinguishes a wedge from a plain timeout —
+             the quarantine policy in {!Runner} treats them differently. *)
+          w.wedged <- true;
           (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
           (match reap t w with Some e -> e :: events | None -> events)
       | _ -> events)

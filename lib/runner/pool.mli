@@ -15,7 +15,16 @@
 type death =
   | Exited of int  (** exited with this nonzero code *)
   | Signaled of int  (** killed by this signal *)
-  | Timed_out  (** overran the job deadline and was killed by the pool *)
+  | Timed_out
+      (** overran the job deadline and died from the pool's SIGTERM
+          within the grace period *)
+  | Wedged
+      (** overran the job deadline AND survived SIGTERM through the whole
+          grace period (blocked or ignored it), so the pool SIGKILLed it.
+          Reported separately from [Timed_out] because a worker that has
+          to be hard-killed is evidence of a hostile job: {!Runner}'s
+          poison quarantine counts wedges as worker deaths but plain
+          timeouts as the job's own fault. *)
   | Malformed of string
       (** never produced by the pool itself: {!Runner} uses it when a
           worker's reply line does not parse *)
@@ -50,11 +59,23 @@ val create : config -> handler:(string -> string) -> t
 
 val idle_count : t -> int
 
-val assign : t -> id:string -> payload:string -> unit
-(** Sends the job to some idle worker and starts its deadline clock.
-    Raises [Invalid_argument] if no worker is idle — the caller owns the
-    queue and must not overcommit. A crash racing the send is fine: the
-    death surfaces through {!poll} and the job is reported [Crashed]. *)
+val assign : t -> id:string -> ?timeout:float -> payload:string -> unit -> unit
+(** Sends the job to some idle worker and starts its deadline clock: the
+    effective wall deadline is the tighter of the pool-wide [job_timeout]
+    and [?timeout] (seconds; e.g. the remainder of a client's end-to-end
+    deadline). Raises [Invalid_argument] if no worker is idle — the
+    caller owns the queue and must not overcommit. A crash racing the
+    send is fine: the death surfaces through {!poll} and the job is
+    reported [Crashed]. *)
+
+val abort : t -> id:string -> bool
+(** Deliberately discards the in-flight attempt running [id]: SIGKILLs
+    its worker, reaps and respawns it, and suppresses the [Crashed] event
+    (the caller chose the death — it is not a failure of the job). Reply
+    bytes already buffered from the doomed attempt are dropped. Returns
+    [false] if no worker is running [id] (it may have just completed).
+    Used for hedge losers and for cancelling a disconnected client's
+    hedged attempts. *)
 
 val poll :
   ?extra:Unix.file_descr list ->

@@ -50,6 +50,15 @@ let m_queue_depth = Obs.Metrics.gauge "runner.queue_depth"
 let m_inflight = Obs.Metrics.gauge "runner.inflight"
 let m_dispatch_latency = Obs.Metrics.histogram "runner.dispatch_latency_s"
 
+(* Overload-path counters. These carry the Prometheus [_total] suffix in
+   their metric names directly (newer convention); the pre-existing
+   counter families above keep their unsuffixed names for scrape
+   compatibility. *)
+let m_poisoned = Obs.Metrics.counter "runner.poisoned_total"
+let m_hedges = Obs.Metrics.counter "runner.hedges_total"
+let m_hedge_wins = Obs.Metrics.counter "runner.hedge_wins_total"
+let m_deadline_exceeded = Obs.Metrics.counter "runner.deadline_exceeded_total"
+
 (* ------------------------------------------------------------------ *)
 (* Worker side: run one job to a reply, in this process.               *)
 (* ------------------------------------------------------------------ *)
@@ -214,6 +223,8 @@ type config = {
   backoff : float;  (** base retry delay, doubled per attempt *)
   journal_sync : Journal.sync;  (** fsync policy for {!run_batch}'s journal *)
   max_heap_mb : int option;  (** worker memory ceiling (Gc-alarm watchdog) *)
+  hedge_after : float option;  (** speculative duplicate after this many seconds; [None] = off *)
+  poison_k : int;  (** quarantine after this many worker deaths; 0 disables *)
 }
 
 let default_config =
@@ -227,6 +238,8 @@ let default_config =
     backoff = 0.05;
     journal_sync = Journal.Per_job;
     max_heap_mb = None;
+    hedge_after = None;
+    poison_k = 3;
   }
 
 (* 50k steps is comfortably above anything the polynomial paths tick and
@@ -246,19 +259,58 @@ let degrade_budget ~degrade (b : budget_spec) : budget_spec =
   }
 
 let death_kind = function
-  | Pool.Timed_out -> "timeout"
+  (* A wedge IS a timeout to the client (same remedy: smaller budget);
+     the structural distinction only feeds the poison policy below. *)
+  | Pool.Timed_out | Pool.Wedged -> "timeout"
   | Pool.Exited _ | Pool.Signaled _ -> "crash"
   | Pool.Malformed _ -> "malformed"
+
+(* Re-verification of a reply's certificate, shared by the journal
+   resume path, the result cache, and the hedge gate: an answer is
+   trusted iff its certificate re-checks (error replies carry none and
+   pass vacuously — there is nothing to trust). *)
+let verify_reply (reply : reply) =
+  match Cert.Checker.check_reply reply with Ok () -> true | Error _ -> false
+
+(* Deaths that count toward quarantine: the job took a worker down with
+   it (crash) or forced a hard kill (wedge). A plain timeout is the
+   budget's fault, not sabotage, and a malformed reply left the worker
+   alive. *)
+let poisonous = function
+  | Pool.Exited _ | Pool.Signaled _ | Pool.Wedged -> true
+  | Pool.Timed_out | Pool.Malformed _ -> false
 
 type task = {
   job : job;  (** as submitted, with the original budget *)
   submitted : float;  (** wall clock at {!submit}, for dispatch latency *)
   span : Trace.handle option;  (** the supervisor-side [job] span: submit -> settle *)
-  mutable attempts : int;  (** dispatches so far *)
+  deadline_abs : float;  (** end-to-end client deadline, absolute; [infinity] = none *)
+  mutable attempts : int;  (** primary dispatches so far (hedges don't count) *)
   mutable cur_budget : budget_spec;
   mutable first_dispatch : float;  (** wall clock, for [wall_s] *)
   mutable not_before : float;  (** backoff gate *)
+  mutable last_dispatch : float;  (** wall clock of the current attempt's dispatch *)
+  mutable wire : string;  (** the current attempt's payload, reused verbatim by a hedge *)
+  mutable hedged : bool;  (** a speculative duplicate was launched for this attempt *)
+  mutable primary_up : bool;  (** the primary attempt is on a worker *)
+  mutable hedge_up : bool;  (** the hedge attempt is on a worker *)
+  mutable fallback : reply option;
+      (** a racing attempt's reply whose certificate failed the hedge
+          gate: kept as last resort in case the other attempt dies *)
+  mutable deaths : int;  (** poisonous primary-attempt worker deaths so far *)
 }
+
+(* Hedge attempts run under a reserved id prefix on the pool (the NUL
+   byte keeps it out of any sane client id space; serve's internal ids
+   all start with 'c'), carrying the primary's payload verbatim — so the
+   worker-side computation, faults included, is byte-identical. *)
+let hedge_prefix = "\x00hedge:"
+let hedge_tag id = hedge_prefix ^ id
+
+let hedge_untag id =
+  if String.starts_with ~prefix:hedge_prefix id then
+    Some (String.sub id (String.length hedge_prefix) (String.length id - String.length hedge_prefix))
+  else None
 
 (* A worker span streamed as ["open"] but whose closing event never
    arrived — the raw material for synthesizing [interrupted] spans when
@@ -290,7 +342,7 @@ let update_gauges e =
   Obs.Metrics.set m_queue_depth (float_of_int (Queue.length e.pending + List.length e.delayed));
   Obs.Metrics.set m_inflight (float_of_int (Hashtbl.length e.inflight))
 
-let submit e (job : job) =
+let submit ?deadline_abs e (job : job) =
   Obs.Metrics.incr m_jobs;
   (* The supervisor's per-job span opens at submission and closes at
      settle, spanning queue wait, every dispatch and every retry. Its
@@ -303,53 +355,43 @@ let submit e (job : job) =
       ~args:[ ("id", Obs.Jtext.Str job.id) ]
       "job"
   in
+  let submitted = now_s () in
+  (* The end-to-end clock starts at the earliest point the deadline is
+     known: the serve layer passes the admission-time absolute deadline
+     so queue time spent there is charged; a batch submission starts it
+     here. *)
+  let deadline_abs =
+    match deadline_abs with
+    | Some d -> d
+    | None -> (
+        match job.deadline_ms with
+        | Some ms -> submitted +. (float_of_int ms /. 1000.0)
+        | None -> infinity)
+  in
   Queue.add
     {
       job;
-      submitted = now_s ();
+      submitted;
       span;
+      deadline_abs;
       attempts = 0;
       cur_budget = job.budget;
       first_dispatch = 0.0;
       not_before = 0.0;
+      last_dispatch = 0.0;
+      wire = "";
+      hedged = false;
+      primary_up = false;
+      hedge_up = false;
+      fallback = None;
+      deaths = 0;
     }
     e.pending
-
-let dispatch_ready e =
-  (* Promote delayed tasks whose backoff expired... *)
-  let t_now = now_s () in
-  let due, still = List.partition (fun t -> t.not_before <= t_now) e.delayed in
-  e.delayed <- still;
-  List.iter (fun t -> Queue.add t e.pending) due;
-  (* ...then feed idle workers. *)
-  let idle = ref (Pool.idle_count e.pool) in
-  while !idle > 0 && not (Queue.is_empty e.pending) do
-    let t = Queue.pop e.pending in
-    if t.attempts = 0 then begin
-      t.first_dispatch <- now_s ();
-      Obs.Metrics.observe m_dispatch_latency (t.first_dispatch -. t.submitted);
-      e.on_dispatch t
-    end;
-    t.attempts <- t.attempts + 1;
-    Hashtbl.replace e.inflight t.job.id t;
-    Trace.instant ~args:[ ("id", Obs.Jtext.Str t.job.id) ] "dispatch";
-    (* The worker parents its spans under this task's supervisor span;
-       an untraced supervisor forwards whatever context the job came in
-       with, so propagation survives un-instrumented hops. *)
-    let trace =
-      match t.span with
-      | Some h -> Some (Trace.ctx_to_string (Trace.handle_ctx h))
-      | None -> t.job.trace
-    in
-    let payload = job_to_wire_json { t.job with budget = t.cur_budget; trace } in
-    Pool.assign e.pool ~id:t.job.id ~payload;
-    decr idle
-  done;
-  update_gauges e
 
 let settle e t reply =
   Hashtbl.remove e.inflight t.job.id;
   Hashtbl.remove e.wopen t.job.id;
+  Hashtbl.remove e.wopen (hedge_tag t.job.id);
   Obs.Metrics.incr m_settled;
   update_gauges e;
   Trace.instant
@@ -368,29 +410,171 @@ let settle e t reply =
     t.span;
   e.emit { reply with id = t.job.id; attempts = t.attempts; wall_s = now_s () -. t.first_dispatch }
 
+(* Seconds left on the task's end-to-end deadline, clamped into the
+   worker budget: the solver's processor-time deadline can never exceed
+   the client's remaining wall budget (processor time ≤ wall time), so
+   queue time already spent is not spent again on the worker. *)
+let remaining_wall t ~t_now =
+  if t.deadline_abs = infinity then None
+  else Some (Float.max 0.01 (t.deadline_abs -. t_now))
+
+let clamp_budget (b : budget_spec) = function
+  | None -> b
+  | Some rem ->
+      {
+        b with
+        deadline = Some (match b.deadline with None -> rem | Some d -> Float.min d rem);
+      }
+
+(* The pool's wall deadline backstops the solver's budget deadline; give
+   it a hair of slack so a budget-exhausted worker wins the race to
+   write its certified Bounded reply before the SIGTERM lands. *)
+let pool_timeout rem = Option.map (fun r -> r +. 0.05) rem
+
+(* Launch speculative duplicates of slow in-flight attempts, but only
+   with capacity to spare: an idle worker and an empty pending queue —
+   queued work always outranks a hedge. One hedge per attempt. *)
+let hedge_ready e =
+  match e.cfg.hedge_after with
+  | None -> ()
+  | Some after ->
+      if Pool.idle_count e.pool > 0 && Queue.is_empty e.pending then begin
+        let t_now = now_s () in
+        Hashtbl.iter
+          (fun _ t ->
+            if
+              t.primary_up && (not t.hedged)
+              && t_now -. t.last_dispatch >= after
+              && Pool.idle_count e.pool > 0
+            then begin
+              t.hedged <- true;
+              t.hedge_up <- true;
+              Obs.Metrics.incr m_hedges;
+              Trace.instant ~args:[ ("id", Obs.Jtext.Str t.job.id) ] "hedge";
+              Log.info "hedge"
+                [ ("id", Obs.Jtext.Str t.job.id); ("attempt", Obs.Jtext.Int t.attempts) ];
+              Pool.assign e.pool ~id:(hedge_tag t.job.id)
+                ?timeout:(pool_timeout (remaining_wall t ~t_now))
+                ~payload:t.wire ()
+            end)
+          e.inflight
+      end
+
+let dispatch_ready e =
+  (* Promote delayed tasks whose backoff expired... *)
+  let t_now = now_s () in
+  let due, still = List.partition (fun t -> t.not_before <= t_now) e.delayed in
+  e.delayed <- still;
+  List.iter (fun t -> Queue.add t e.pending) due;
+  (* ...then feed idle workers. *)
+  let idle = ref (Pool.idle_count e.pool) in
+  while !idle > 0 && not (Queue.is_empty e.pending) do
+    let t = Queue.pop e.pending in
+    let t_now = now_s () in
+    if t.deadline_abs <= t_now then begin
+      (* Expired while queued: shed without burning a worker on an
+         answer nobody is waiting for. Retriable — the client may come
+         back with a fresh deadline. *)
+      Obs.Metrics.incr m_deadline_exceeded;
+      Trace.instant
+        ~args:[ ("id", Obs.Jtext.Str t.job.id); ("reason", Obs.Jtext.Str "deadline_exceeded") ]
+        "shed";
+      Log.warn "deadline-exceeded"
+        [
+          ("id", Obs.Jtext.Str t.job.id);
+          ("late_s", Obs.Jtext.Float (t_now -. t.deadline_abs));
+        ];
+      if t.first_dispatch = 0.0 then t.first_dispatch <- t.submitted;
+      settle e t
+        (failed ~retriable:true ~id:t.job.id ~kind:"deadline_exceeded"
+           "deadline expired in queue before dispatch")
+    end
+    else begin
+      if t.attempts = 0 then begin
+        t.first_dispatch <- t_now;
+        Obs.Metrics.observe m_dispatch_latency (t.first_dispatch -. t.submitted);
+        e.on_dispatch t
+      end;
+      t.attempts <- t.attempts + 1;
+      t.last_dispatch <- t_now;
+      t.hedged <- false;
+      t.primary_up <- true;
+      t.hedge_up <- false;
+      t.fallback <- None;
+      Hashtbl.replace e.inflight t.job.id t;
+      Trace.instant ~args:[ ("id", Obs.Jtext.Str t.job.id) ] "dispatch";
+      (* The worker parents its spans under this task's supervisor span;
+         an untraced supervisor forwards whatever context the job came in
+         with, so propagation survives un-instrumented hops. *)
+      let trace =
+        match t.span with
+        | Some h -> Some (Trace.ctx_to_string (Trace.handle_ctx h))
+        | None -> t.job.trace
+      in
+      let rem = remaining_wall t ~t_now in
+      let payload = job_to_wire_json { t.job with budget = clamp_budget t.cur_budget rem; trace } in
+      t.wire <- payload;
+      Pool.assign e.pool ~id:t.job.id ?timeout:(pool_timeout rem) ~payload ();
+      decr idle
+    end
+  done;
+  hedge_ready e;
+  update_gauges e
+
 let death_counter = function
-  | Pool.Timed_out -> m_deaths_timeout
+  | Pool.Timed_out | Pool.Wedged -> m_deaths_timeout
   | Pool.Exited _ | Pool.Signaled _ -> m_deaths_crash
   | Pool.Malformed _ -> m_deaths_malformed
 
-let retry_or_fail e t death =
-  Obs.Metrics.incr (death_counter death);
+let log_death ?(hedge = false) t death =
   Trace.instant
     ~args:[ ("id", Obs.Jtext.Str t.job.id); ("death", Obs.Jtext.Str (death_kind death)) ]
     "worker-death";
   Log.warn "worker-death"
-    [
-      ("id", Obs.Jtext.Str t.job.id);
-      ("death", Obs.Jtext.Str (Pool.death_to_string death));
-      ("attempt", Obs.Jtext.Int t.attempts);
-    ];
-  if t.attempts > e.cfg.retries then
+    ([
+       ("id", Obs.Jtext.Str t.job.id);
+       ("death", Obs.Jtext.Str (Pool.death_to_string death));
+       ("attempt", Obs.Jtext.Int t.attempts);
+     ]
+    @ if hedge then [ ("hedge", Obs.Jtext.Bool true) ] else [])
+
+(* Both attempts of the current round are down: quarantine, give up, or
+   degrade-and-retry. Quarantine preempts the retry budget — a job that
+   keeps taking workers down with it gets no more of them, however many
+   retries it has left. *)
+let retry_or_fail e t death =
+  Obs.Metrics.incr (death_counter death);
+  log_death t death;
+  if e.cfg.poison_k > 0 && t.deaths >= e.cfg.poison_k then begin
+    Obs.Metrics.incr m_poisoned;
+    Trace.instant
+      ~args:[ ("id", Obs.Jtext.Str t.job.id); ("deaths", Obs.Jtext.Int t.deaths) ]
+      "poison";
+    Log.error "poison"
+      [
+        ("id", Obs.Jtext.Str t.job.id);
+        ("deaths", Obs.Jtext.Int t.deaths);
+        ("death", Obs.Jtext.Str (Pool.death_to_string death));
+      ];
+    Obs.Flight.note
+      (Obs.Jtext.Obj
+         [
+           ("poison", Obs.Jtext.Str t.job.id);
+           ("deaths", Obs.Jtext.Int t.deaths);
+           ("death", Obs.Jtext.Str (Pool.death_to_string death));
+         ]);
+    settle e t
+      (failed ~id:t.job.id ~kind:"poison" "quarantined after killing %d workers (%s)" t.deaths
+         (Pool.death_to_string death))
+  end
+  else if t.attempts > e.cfg.retries then
     settle e t
       (failed ~id:t.job.id ~kind:(death_kind death) "gave up after %d attempts: %s" t.attempts
          (Pool.death_to_string death))
   else begin
     Hashtbl.remove e.inflight t.job.id;
     Hashtbl.remove e.wopen t.job.id;
+    Hashtbl.remove e.wopen (hedge_tag t.job.id);
     Obs.Metrics.incr m_retries;
     Log.info "retry"
       [ ("id", Obs.Jtext.Str t.job.id); ("attempt", Obs.Jtext.Int (t.attempts + 1)) ];
@@ -403,10 +587,18 @@ let retry_or_fail e t death =
     e.delayed <- t :: e.delayed
   end
 
+(* Resolve a pool event id to its task; hedge attempts resolve to the
+   primary's task with [is_hedge] set. *)
 let task_of_event e id =
   match Hashtbl.find_opt e.inflight id with
-  | Some t -> Some t
-  | None -> None (* stray reply for a job we already settled *)
+  | Some t -> Some (t, false)
+  | None -> (
+      match hedge_untag id with
+      | Some base -> (
+          match Hashtbl.find_opt e.inflight base with
+          | Some t -> Some (t, true)
+          | None -> None)
+      | None -> None (* stray reply for a job we already settled *))
 
 (* ---- worker trace stitching ---- *)
 
@@ -497,21 +689,39 @@ let handle_worker_trace e ~id ~pid line =
 (* The worker died with spans still open: emit each as a span ending at
    the moment the death was observed, tagged [interrupted] — partial
    timing is better than a hole in the trace, and the synthesized stop
-   time keeps it inside the supervisor's still-open job span. *)
-let close_interrupted_spans e id =
+   time keeps it inside the supervisor's still-open job span. An
+   [outcome] names deliberate interruptions ("hedged_loser",
+   "cancelled") so a trace reader can tell a kill we chose from a death
+   we suffered. *)
+let close_interrupted_spans ?outcome e id =
   (match (Hashtbl.find_opt e.wopen id, Trace.epoch ()) with
   | Some ws, Some t0 ->
       let now_rel = now_s () -. t0 in
+      let args =
+        ("interrupted", Obs.Jtext.Bool true)
+        :: (match outcome with None -> [] | Some o -> [ ("outcome", Obs.Jtext.Str o) ])
+      in
       List.iter
         (fun w ->
-          Trace.emit_raw_span
-            ~args:[ ("interrupted", Obs.Jtext.Bool true) ]
-            ~tid:w.w_tid ~sid:w.w_sid ?psid:w.w_psid ~name:w.w_name ~ts:w.w_ts
+          Trace.emit_raw_span ~args ~tid:w.w_tid ~sid:w.w_sid ?psid:w.w_psid ~name:w.w_name
+            ~ts:w.w_ts
             ~dur:(Float.max 0.0 (now_rel -. w.w_ts))
             ~depth:w.w_depth ~pid:w.w_pid ())
         ws
   | _ -> ());
   Hashtbl.remove e.wopen id
+
+(* A settled winner's racing partner is killed without an event; its
+   open worker spans close tagged ["hedged_loser"]. *)
+let kill_loser e t ~loser_is_hedge =
+  let loser = if loser_is_hedge then hedge_tag t.job.id else t.job.id in
+  ignore (Pool.abort e.pool ~id:loser);
+  if loser_is_hedge then t.hedge_up <- false else t.primary_up <- false;
+  Trace.instant
+    ~args:
+      [ ("id", Obs.Jtext.Str t.job.id); ("loser", Obs.Jtext.Str (if loser_is_hedge then "hedge" else "primary")) ]
+    "hedged-loser";
+  close_interrupted_spans ~outcome:"hedged_loser" e loser
 
 let handle_event e = function
   | Pool.Input _ | Pool.Writable _ -> ()
@@ -519,27 +729,129 @@ let handle_event e = function
   | Pool.Completed { id; reply = line } -> begin
       match task_of_event e id with
       | None -> ()
-      | Some t -> begin
+      | Some (t, is_hedge) -> begin
+          if is_hedge then t.hedge_up <- false else t.primary_up <- false;
+          let other_up = if is_hedge then t.primary_up else t.hedge_up in
           match reply_of_json line with
-          | Ok r -> settle e t r
+          | Ok r ->
+              if other_up then begin
+                (* Two attempts raced and this one replied first: the
+                   certificate decides. A reply that re-checks settles
+                   the job and the loser is killed; one that does not is
+                   kept only as a fallback — maybe the slower attempt
+                   does better. (Error replies carry no certificate and
+                   pass the gate trivially: both attempts failing
+                   identically must settle exactly like an unhedged
+                   failure.) *)
+                if verify_reply r then begin
+                  kill_loser e t ~loser_is_hedge:(not is_hedge);
+                  if is_hedge then Obs.Metrics.incr m_hedge_wins;
+                  settle e t r
+                end
+                else begin
+                  Log.warn "hedge-cert-reject"
+                    [
+                      ("id", Obs.Jtext.Str t.job.id);
+                      ("hedge", Obs.Jtext.Bool is_hedge);
+                    ];
+                  t.fallback <- Some r
+                end
+              end
+              else begin
+                (* No race left: settle ungated, as an unhedged run
+                   would. If the primary already replied and was stashed
+                   (certificate rejection), prefer its reply — that is
+                   the one an unhedged run would have settled. *)
+                let r = match t.fallback with Some f when is_hedge -> f | _ -> r in
+                if is_hedge then Obs.Metrics.incr m_hedge_wins;
+                settle e t r
+              end
           | Error msg ->
               Log.error "malformed-reply"
                 [ ("id", Obs.Jtext.Str id); ("error", Obs.Jtext.Str msg) ];
-              retry_or_fail e t (Pool.Malformed (line ^ " (" ^ msg ^ ")"))
+              if other_up then
+                (* The racing attempt may still settle the job; this
+                   malformed attempt is simply out of the race. *)
+                Obs.Metrics.incr m_deaths_malformed
+              else begin
+                match t.fallback with
+                | Some r -> settle e t r
+                | None -> retry_or_fail e t (Pool.Malformed (line ^ " (" ^ msg ^ ")"))
+              end
         end
     end
   | Pool.Crashed { id; death } -> begin
       close_interrupted_spans e id;
-      match task_of_event e id with None -> () | Some t -> retry_or_fail e t death
+      match task_of_event e id with
+      | None -> ()
+      | Some (t, is_hedge) -> begin
+          if is_hedge then t.hedge_up <- false else t.primary_up <- false;
+          (* Quarantine counts primary-attempt deaths only: a hedged
+             round kills at most one extra worker, and counting it would
+             make a hedged run quarantine earlier than the identical
+             unhedged run. *)
+          if (not is_hedge) && poisonous death then t.deaths <- t.deaths + 1;
+          let other_up = if is_hedge then t.primary_up else t.hedge_up in
+          if other_up then begin
+            (* The race partner is still running — no retry yet, just
+               account for the death. *)
+            Obs.Metrics.incr (death_counter death);
+            log_death ~hedge:is_hedge t death
+          end
+          else
+            match t.fallback with
+            | Some r ->
+                (* The partner already replied (certificate-rejected);
+                   nothing better is coming. *)
+                Obs.Metrics.incr (death_counter death);
+                log_death ~hedge:is_hedge t death;
+                settle e t r
+            | None -> retry_or_fail e t death
+        end
     end
 
-(* The poll timeout must wake us for the nearest backoff expiry, else a
-   lone delayed task waits out the full default timeout. *)
+(* Abandon an in-flight task whose owner vanished (client disconnect):
+   kill every running attempt without generating crash events, close its
+   spans, and forget it — no reply is emitted and nothing is journaled.
+   The freed workers go back to the idle set immediately. *)
+let abort_task e t =
+  if t.primary_up then ignore (Pool.abort e.pool ~id:t.job.id);
+  if t.hedge_up then ignore (Pool.abort e.pool ~id:(hedge_tag t.job.id));
+  t.primary_up <- false;
+  t.hedge_up <- false;
+  close_interrupted_spans ~outcome:"cancelled" e t.job.id;
+  close_interrupted_spans ~outcome:"cancelled" e (hedge_tag t.job.id);
+  Hashtbl.remove e.inflight t.job.id;
+  Option.iter
+    (fun h -> Trace.close_span ~args:[ ("outcome", Obs.Jtext.Str "cancelled") ] h)
+    t.span;
+  update_gauges e
+
+(* The poll timeout must wake us for the nearest backoff expiry (else a
+   lone delayed task waits out the full default timeout), for a queued
+   task's approaching deadline, and for the nearest hedge trigger. *)
 let engine_timeout e =
   let t_now = now_s () in
-  List.fold_left
-    (fun acc t -> Float.min acc (Float.max 0.005 (t.not_before -. t_now)))
-    0.5 e.delayed
+  let acc =
+    List.fold_left
+      (fun acc t -> Float.min acc (Float.max 0.005 (t.not_before -. t_now)))
+      0.5 e.delayed
+  in
+  let acc =
+    Queue.fold
+      (fun acc t ->
+        if t.deadline_abs = infinity then acc
+        else Float.min acc (Float.max 0.005 (t.deadline_abs -. t_now)))
+      acc e.pending
+  in
+  match e.cfg.hedge_after with
+  | None -> acc
+  | Some after ->
+      Hashtbl.fold
+        (fun _ t acc ->
+          if t.hedged || not t.primary_up then acc
+          else Float.min acc (Float.max 0.005 (t.last_dispatch +. after -. t_now)))
+        e.inflight acc
 
 let create_engine cfg ~emit ~on_dispatch =
   if cfg.retries < 0 then invalid_arg "Runner: negative retries";
@@ -575,14 +887,6 @@ let drain e =
 (* ------------------------------------------------------------------ *)
 (* Batch runs with journal-based crash recovery.                       *)
 (* ------------------------------------------------------------------ *)
-
-(* Re-verification of a recorded answer on journal resume: the reply's
-   certificate must re-check. This subsumes the old witness-only test
-   (a Cut/Bounds certificate pins the witness to the serialized
-   evidence) and additionally rejects settled answers whose optimality
-   argument does not hold — without re-running any solver. *)
-let verify_reply (reply : reply) =
-  match Cert.Checker.check_reply reply with Ok () -> true | Error _ -> false
 
 type batch_stats = { ran : int; resumed : int; failures : int }
 
@@ -692,15 +996,25 @@ let m_serve_draining = Obs.Metrics.gauge "serve.draining"
 let m_serve_cancelled = Obs.Metrics.counter "serve.cancelled"
 
 (* Per-client fairness, factored out of the serve loop so the policy is
-   testable without sockets: one FIFO per client, a round-robin rotation
-   across clients with work, and a per-client inflight cap so one chatty
-   client cannot monopolize the worker pool. *)
+   testable without sockets: one FIFO per (priority class, client), a
+   round-robin rotation across clients within each class, a weighted-fair
+   cycle across classes, and a per-client inflight cap (global across
+   classes) so one chatty client cannot monopolize the worker pool. *)
 module Admission = struct
+  let classes = 3 (* batch 0 | normal 1 | interactive 2, as Proto.priority_class *)
+
+  (* The deterministic weighted-fair dequeue cycle: interactive 4,
+     normal 2, batch 1 — interleaved so no class waits out a burst of a
+     higher one. When the scheduled class is empty the highest non-empty
+     class goes instead, so the cycle never idles a worker. *)
+  let cycle = [| 2; 1; 2; 0; 2; 1; 2 |]
+
   type 'a t = {
     cap : int;
-    queues : (int, 'a Queue.t) Hashtbl.t;
-    mutable order : int list;
+    queues : (int * int, 'a Queue.t) Hashtbl.t;  (** (class, client) -> FIFO *)
+    order : int list array;  (** per-class client rotation *)
     adm_inflight : (int, int) Hashtbl.t;
+    mutable seq : int;  (** position in the weighted cycle *)
   }
 
   let create ~client_inflight =
@@ -709,21 +1023,29 @@ module Admission = struct
     {
       cap = client_inflight;
       queues = Hashtbl.create 16;
-      order = [];
+      order = Array.make classes [];
       adm_inflight = Hashtbl.create 16;
+      seq = 0;
     }
 
-  let enqueue t cid x =
-    match Hashtbl.find_opt t.queues cid with
+  let enqueue ?(prio = 1) t cid x =
+    let k = max 0 (min (classes - 1) prio) in
+    match Hashtbl.find_opt t.queues (k, cid) with
     | Some q -> Queue.add x q
     | None ->
         let q = Queue.create () in
         Queue.add x q;
-        Hashtbl.replace t.queues cid q;
-        t.order <- t.order @ [ cid ]
+        Hashtbl.replace t.queues (k, cid) q;
+        t.order.(k) <- t.order.(k) @ [ cid ]
 
   let queued_for t cid =
-    match Hashtbl.find_opt t.queues cid with Some q -> Queue.length q | None -> 0
+    let n = ref 0 in
+    for k = 0 to classes - 1 do
+      match Hashtbl.find_opt t.queues (k, cid) with
+      | Some q -> n := !n + Queue.length q
+      | None -> ()
+    done;
+    !n
 
   let queued t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0
 
@@ -732,22 +1054,22 @@ module Admission = struct
 
   let inflight t = Hashtbl.fold (fun _ n acc -> acc + n) t.adm_inflight 0
 
-  (* Round-robin under the cap: the first client in rotation with work
-     and headroom wins and moves to the back; a client skipped for lack
-     of headroom keeps its place, so it is first in line once one of its
-     jobs settles. *)
-  let next t =
+  (* Round-robin under the cap, within one class: the first client in
+     rotation with work and headroom wins and moves to the back; a
+     client skipped for lack of headroom keeps its place, so it is first
+     in line once one of its jobs settles. *)
+  let pop_class t k =
     let rec scan skipped = function
       | [] -> None
       | cid :: rest -> begin
-          match Hashtbl.find_opt t.queues cid with
+          match Hashtbl.find_opt t.queues (k, cid) with
           | Some q when (not (Queue.is_empty q)) && inflight_for t cid < t.cap ->
               let x = Queue.pop q in
               if Queue.is_empty q then begin
-                Hashtbl.remove t.queues cid;
-                t.order <- List.rev_append skipped rest
+                Hashtbl.remove t.queues (k, cid);
+                t.order.(k) <- List.rev_append skipped rest
               end
-              else t.order <- List.rev_append skipped rest @ [ cid ];
+              else t.order.(k) <- List.rev_append skipped rest @ [ cid ];
               Hashtbl.replace t.adm_inflight cid (inflight_for t cid + 1);
               Some (cid, x)
           | Some _ -> scan (cid :: skipped) rest
@@ -756,7 +1078,45 @@ module Admission = struct
               scan skipped rest
         end
     in
-    scan [] t.order
+    scan [] t.order.(k)
+
+  let next t =
+    let scheduled = cycle.(t.seq mod Array.length cycle) in
+    let rec try_classes = function
+      | [] -> None
+      | k :: ks -> ( match pop_class t k with Some r -> Some r | None -> try_classes ks)
+    in
+    match try_classes (scheduled :: List.filter (fun k -> k <> scheduled) [ 2; 1; 0 ]) with
+    | Some r ->
+        t.seq <- t.seq + 1;
+        Some r
+    | None -> None
+
+  (* Evict the oldest queued item of the lowest class strictly below
+     [below] — priority-aware shedding at the admission cap: an
+     interactive arrival against a full queue bumps a queued batch job
+     rather than being turned away. Returns the victim and its client. *)
+  let steal_lowest t ~below =
+    let rec try_k k =
+      if k >= below || k >= classes then None
+      else
+        match t.order.(k) with
+        | [] -> try_k (k + 1)
+        | cid :: rest -> begin
+            match Hashtbl.find_opt t.queues (k, cid) with
+            | Some q when not (Queue.is_empty q) ->
+                let x = Queue.pop q in
+                if Queue.is_empty q then begin
+                  Hashtbl.remove t.queues (k, cid);
+                  t.order.(k) <- rest
+                end;
+                Some (cid, x)
+            | _ ->
+                t.order.(k) <- rest;
+                try_k k
+          end
+    in
+    try_k 0
 
   let settled t cid =
     let n = inflight_for t cid in
@@ -764,14 +1124,15 @@ module Admission = struct
     else Hashtbl.replace t.adm_inflight cid (n - 1)
 
   let cancel t cid =
-    let xs =
-      match Hashtbl.find_opt t.queues cid with
-      | Some q -> List.of_seq (Queue.to_seq q)
-      | None -> []
-    in
-    Hashtbl.remove t.queues cid;
-    t.order <- List.filter (fun c -> c <> cid) t.order;
-    xs
+    let xs = ref [] in
+    for k = classes - 1 downto 0 do
+      (match Hashtbl.find_opt t.queues (k, cid) with
+      | Some q -> xs := List.of_seq (Queue.to_seq q) @ !xs
+      | None -> ());
+      Hashtbl.remove t.queues (k, cid);
+      t.order.(k) <- List.filter (fun c -> c <> cid) t.order.(k)
+    done;
+    !xs
 end
 
 type serve_config = {
@@ -783,6 +1144,10 @@ type serve_config = {
   drain_grace : float;
   write_timeout : float;
   serve_journal : string option;
+  brownout_after : float option;
+      (** queue pressure sustained this long browns the service out:
+          batch arrivals are shed and low-priority budgets shrink.
+          [None] = off. *)
 }
 
 let default_serve_config =
@@ -795,7 +1160,12 @@ let default_serve_config =
     drain_grace = 5.0;
     write_timeout = 30.0;
     serve_journal = None;
+    brownout_after = None;
   }
+
+let m_brownout = Obs.Metrics.gauge "serve.brownout"
+let m_brownout_shed = Obs.Metrics.counter "serve.brownout_shed_total"
+let m_brownout_degraded = Obs.Metrics.counter "serve.brownout_degraded_total"
 
 (* The engine's inflight table is keyed by job id, but two clients may
    use the same id concurrently — so jobs run under a namespaced
@@ -805,7 +1175,7 @@ let default_serve_config =
    any client hit the cache. *)
 let internal_id cid id = Printf.sprintf "c%d:%s" cid id
 
-let serve_sockets ?stdio ?(preconnected = []) scfg =
+let serve_sockets ?stdio ?(preconnected = []) ?(preconnected_abrupt = []) scfg =
   flight_on_crash @@ fun () ->
   let cfg = scfg.base in
   if scfg.cache_entries < 0 then
@@ -832,6 +1202,13 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
     (fun fd ->
       ignore (Transport.add_client tr ~eof_drains:true ~owns_fds:true ~in_fd:fd ~out_fd:fd ()))
     preconnected;
+  (* [preconnected_abrupt] fds instead get real-socket semantics: EOF is
+     a disconnect, cancelling the client's work — what the hedged-
+     disconnect tests need to exercise without a listener. *)
+  List.iter
+    (fun fd ->
+      ignore (Transport.add_client tr ~eof_drains:false ~owns_fds:true ~in_fd:fd ~out_fd:fd ()))
+    preconnected_abrupt;
   let cache = Cache.create ~entries:scfg.cache_entries in
   (* Seed the cache from the journal's settled answers: serve journals
      key [Done] entries by the canonical digest, which is exactly the
@@ -857,6 +1234,39 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
       end
   in
   let adm = Admission.create ~client_inflight:scfg.client_inflight in
+  (* internal id -> absolute end-to-end deadline, fixed at admission so
+     time queued in the per-client FIFOs is charged to the client's
+     budget. Entries leave with their job (settle, shed, cancel). *)
+  let deadlines : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  (* Brownout watchdog: queue pressure (half the admission cap or more)
+     sustained for [brownout_after] seconds flips the service into
+     brownout; the next pressure-free observation clears both. *)
+  let pressure_since = ref None in
+  let brownout = ref false in
+  let update_brownout () =
+    match scfg.brownout_after with
+    | None -> ()
+    | Some after ->
+        let t_now = now_s () in
+        let pressured = Admission.queued adm >= max 1 (cfg.queue_cap / 2) in
+        (match (pressured, !pressure_since) with
+        | true, None -> pressure_since := Some t_now
+        | false, _ -> pressure_since := None
+        | true, Some _ -> ());
+        let active =
+          match !pressure_since with Some s -> t_now -. s >= after | None -> false
+        in
+        if active <> !brownout then begin
+          brownout := active;
+          Obs.Metrics.set m_brownout (if active then 1.0 else 0.0);
+          Trace.instant
+            ~args:[ ("queued", Obs.Jtext.Int (Admission.queued adm)) ]
+            (if active then "brownout-enter" else "brownout-exit");
+          Log.warn
+            (if active then "brownout-enter" else "brownout-exit")
+            [ ("queued", Obs.Jtext.Int (Admission.queued adm)) ]
+        end
+  in
   (* internal id -> (client, original id, parsed job, request span).
      The request span opens at admission and closes when the reply is
      delivered (or the job is cancelled/shed) — the serve-side hop of
@@ -920,6 +1330,7 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
     | None -> ()
     | Some (cid, orig, j, rspan) ->
         Hashtbl.remove owners r.id;
+        Hashtbl.remove deadlines r.id;
         Admission.settled adm cid;
         close_request ~outcome:(verdict_name r.verdict) rspan;
         let r = { r with id = orig } in
@@ -941,29 +1352,87 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
   let total_load () = Admission.queued adm + engine_load e in
   (* Move admitted jobs into the engine only while a worker is idle and
      nothing is already waiting there: keeping the backlog in the
-     per-client queues is what makes the round-robin fair. *)
+     per-client queues is what makes the round-robin fair. A popped job
+     whose end-to-end deadline already expired in the queue is shed here
+     — a retriable [deadline_exceeded] reply, no worker, no journal
+     entry. Under brownout, non-interactive work leaves the queue with a
+     degraded budget (the retry divisor, applied once). *)
   let feed () =
     let continue = ref true in
     while !continue do
       if Pool.idle_count e.pool > 0 && Queue.is_empty e.pending then begin
         match Admission.next adm with
-        | Some (_cid, j) ->
-            submit e j;
-            dispatch_ready e
+        | Some (cid, (j : job)) -> begin
+            let dl = Hashtbl.find_opt deadlines j.id in
+            match dl with
+            | Some d when d <= now_s () ->
+                Obs.Metrics.incr m_deadline_exceeded;
+                (match Hashtbl.find_opt owners j.id with
+                | Some (_, orig, _, rspan) ->
+                    Hashtbl.remove owners j.id;
+                    Hashtbl.remove deadlines j.id;
+                    Admission.settled adm cid;
+                    close_request ~outcome:"deadline_exceeded" rspan;
+                    Log.warn "deadline-exceeded"
+                      [ ("cid", Obs.Jtext.Int cid); ("id", Obs.Jtext.Str orig) ];
+                    deliver cid
+                      (failed ~retriable:true ~id:orig ~kind:"deadline_exceeded"
+                         "deadline expired while queued for admission")
+                | None -> Admission.settled adm cid)
+            | _ ->
+                let j =
+                  if !brownout && priority_class j.priority < 2 then begin
+                    Obs.Metrics.incr m_brownout_degraded;
+                    Trace.instant
+                      ~args:
+                        [ ("id", Obs.Jtext.Str j.id); ("reason", Obs.Jtext.Str "brownout") ]
+                      "degrade";
+                    { j with budget = degrade_budget ~degrade:cfg.degrade j.budget }
+                  end
+                  else j
+                in
+                submit ?deadline_abs:dl e j;
+                dispatch_ready e
+          end
         | None -> continue := false
       end
       else continue := false
     done
   in
   let cancel_client c =
+    let cid = Transport.cid c in
     List.iter
       (fun (j : job) ->
         (match Hashtbl.find_opt owners j.id with
         | Some (_, _, _, rspan) -> close_request ~outcome:"cancelled" rspan
         | None -> ());
         Hashtbl.remove owners j.id;
+        Hashtbl.remove deadlines j.id;
         Obs.Metrics.incr m_serve_cancelled)
-      (Admission.cancel adm (Transport.cid c))
+      (Admission.cancel adm cid);
+    (* A disconnected client's job that is inflight AND hedged is holding
+       two workers for an answer nobody will read: kill both attempts and
+       release the admission slot. (A single-worker inflight job still
+       settles — journal and cache keep the answer — as serve always
+       has.) *)
+    let owned =
+      Hashtbl.fold (fun iid (ocid, _, _, _) acc -> if ocid = cid then iid :: acc else acc)
+        owners []
+    in
+    List.iter
+      (fun iid ->
+        match Hashtbl.find_opt e.inflight iid with
+        | Some t when t.hedged && (t.primary_up || t.hedge_up) ->
+            abort_task e t;
+            (match Hashtbl.find_opt owners iid with
+            | Some (_, _, _, rspan) -> close_request ~outcome:"cancelled" rspan
+            | None -> ());
+            Hashtbl.remove owners iid;
+            Hashtbl.remove deadlines iid;
+            Admission.settled adm cid;
+            Obs.Metrics.incr m_serve_cancelled
+        | _ -> ())
+      owned
   in
   (* An HTTP GET on the job socket is a metrics scrape: answer with one
      HTTP/1.0 response and close. [/metrics] is the full Prometheus
@@ -992,6 +1461,32 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
         | _ -> respond "404 Not Found" "text/plain" "not found\n");
         Transport.close_after_flush tr c
     | _ -> ()
+  in
+  (* At the admission cap, an arrival of class P may evict the oldest
+     queued job of a class strictly below P: the victim gets the same
+     retriable [overloaded] reply a plain shed produces, and the arrival
+     takes its slot. Returns whether a slot was freed. *)
+  let shed_lower_priority ~than =
+    match Admission.steal_lowest adm ~below:(priority_class than) with
+    | None -> false
+    | Some (vcid, (vjob : job)) ->
+        Obs.Metrics.incr m_shed;
+        (match Hashtbl.find_opt owners vjob.id with
+        | Some (_, orig, _, rspan) ->
+            Hashtbl.remove owners vjob.id;
+            Hashtbl.remove deadlines vjob.id;
+            close_request ~outcome:"shed" rspan;
+            Log.warn "priority-evict"
+              [
+                ("cid", Obs.Jtext.Int vcid);
+                ("id", Obs.Jtext.Str orig);
+                ("priority", Obs.Jtext.Str vjob.priority);
+              ];
+            deliver vcid
+              (failed ~retriable:true ~id:orig ~kind:"overloaded"
+                 "queue full; evicted for higher-priority work; resubmit later")
+        | None -> ());
+        true
   in
   let admit c line =
     if String.trim line = "" then ()
@@ -1027,9 +1522,27 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
                 send_reply
                   (failed ~retriable:true ~id:job.id ~kind:"overloaded"
                      "server draining; resubmit later")
-              else if total_load () >= cfg.queue_cap then begin
+              else if !brownout && priority_class job.priority = 0 then begin
+                (* Brownout sheds batch work at the door: sustained
+                   pressure means the queue is not going to reach it
+                   before its usefulness expires anyway. *)
+                Obs.Metrics.incr m_shed;
+                Obs.Metrics.incr m_brownout_shed;
+                Log.warn "brownout-shed"
+                  [ ("cid", Obs.Jtext.Int cid); ("id", Obs.Jtext.Str job.id) ];
+                send_reply
+                  (failed ~retriable:true ~id:job.id ~kind:"overloaded"
+                     "brownout: batch work shed under sustained overload; resubmit later")
+              end
+              else if
+                total_load () >= cfg.queue_cap
+                && not (shed_lower_priority ~than:job.priority)
+              then begin
                 (* Load shedding: a full queue answers immediately instead
-                   of buffering without bound; the client may resubmit. *)
+                   of buffering without bound; the client may resubmit.
+                   (A higher-priority arrival instead evicts the oldest
+                   queued job of the lowest class — see
+                   [shed_lower_priority] — and is admitted.) *)
                 Obs.Metrics.incr m_shed;
                 Log.warn "shed"
                   [ ("cid", Obs.Jtext.Int cid); ("id", Obs.Jtext.Str job.id) ];
@@ -1058,12 +1571,20 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
                     send_reply r
                 | Cache.Miss | Cache.Cert_reject _ ->
                     Hashtbl.replace owners iid (cid, job.id, job, rspan);
+                    (* The end-to-end clock starts now: queue time below
+                       is the client's budget being spent. *)
+                    Option.iter
+                      (fun ms ->
+                        Hashtbl.replace deadlines iid
+                          (now_s () +. (float_of_int ms /. 1000.0)))
+                      job.deadline_ms;
                     let trace =
                       match rspan with
                       | Some h -> Some (Trace.ctx_to_string (Trace.handle_ctx h))
                       | None -> job.trace
                     in
-                    Admission.enqueue adm cid { job with id = iid; trace }
+                    Admission.enqueue ~prio:(priority_class job.priority) adm cid
+                      { job with id = iid; trace }
               end
         end
   in
@@ -1136,6 +1657,7 @@ let serve_sockets ?stdio ?(preconnected = []) scfg =
         (not !draining)
         && (Transport.listening tr || Transport.clients tr <> [] || total_load () > 0)
       do
+        update_brownout ();
         feed ();
         (* Promote backed-off retries even when admission has nothing new
            to feed: a crashed job's delayed retry must re-dispatch on its

@@ -71,11 +71,34 @@ type config = {
           the budget probe converts an overrun into
           [Budget.Exhausted Memory], so an OOM-bound job settles as a
           certified [Bounded] reply instead of dying to the OOM killer *)
+  hedge_after : float option;
+      (** certificate-gated hedged execution: when an attempt has been
+          running this many seconds, a worker is idle, and no job is
+          waiting to dispatch, launch a speculative duplicate of it (same
+          payload, same budget). The first reply whose certificate
+          re-checks ({!Cert.Checker.check_reply}) settles the job and the
+          loser is killed (its open worker spans close tagged
+          ["hedged_loser"], no crash event, no retry consumed); a racing
+          reply whose certificate fails is kept only as a fallback.
+          Exactly one reply is emitted and journaled either way, and
+          [attempts] counts primary dispatches only — under a
+          deterministic fault plan a hedged run settles identically to an
+          unhedged one modulo wall clock. [None] (the default) disables
+          hedging. *)
+  poison_k : int;
+      (** poison-job quarantine: a job whose primary attempts have killed
+          this many workers — crashes and wedges count, plain timeouts
+          and malformed replies do not — is settled as a non-retriable
+          error reply with kind ["poison"] instead of spending its
+          remaining retries on more respawns. Counted in the
+          [rpq_runner_poisoned_total] Prometheus family, with a
+          flight-recorder breadcrumb. 0 disables quarantine. *)
 }
 
 val default_config : config
 (** 4 workers, 2 retries, degrade 8, queue cap 64, no timeout, 0.5s
-    grace, 50ms base backoff, per-job journal fsync, no heap ceiling. *)
+    grace, 50ms base backoff, per-job journal fsync, no heap ceiling,
+    hedging off, quarantine after 3 worker deaths. *)
 
 val set_max_heap_mb : int option -> unit
 (** Sets the process-wide heap ceiling consulted by {!run_job_locally}.
@@ -91,12 +114,13 @@ val degrade_budget : degrade:int -> Proto.budget_spec -> Proto.budget_spec
     exhaustion to win. Exposed for the monotonicity tests. *)
 
 val verify_reply : Proto.reply -> bool
-(** Validity check of a recorded answer, used on journal resume: the
-    reply's certificate must re-check ({!Cert.Checker.check_reply}).
-    This needs no access to the job — the certificate carries its own
-    evidence — and rejects both forged witnesses (a [Cut]/[Bounds]
-    certificate pins the witness) and settled answers whose optimality
-    argument fails, without re-running any solver. *)
+(** Validity check of a recorded answer, used on journal resume, by the
+    result cache, and as the hedge gate: the reply's certificate must
+    re-check ({!Cert.Checker.check_reply}). This needs no access to the
+    job — the certificate carries its own evidence — and rejects both
+    forged witnesses (a [Cut]/[Bounds] certificate pins the witness) and
+    settled answers whose optimality argument fails, without re-running
+    any solver. *)
 
 type batch_stats = {
   ran : int;  (** jobs actually executed this run *)
@@ -114,32 +138,48 @@ val run_batch :
     {!verify_reply} when [RPQ_CHECK] is not [off]) are reused, and this
     run's dispatches and settlements are appended for the next resume. *)
 
-(** Per-client fairness policy of the multi-client server, exposed so
-    the scheduling properties (round-robin order, the per-client
-    inflight cap) are testable deterministically, without sockets or
-    worker processes. Client keys are transport client ids. *)
+(** Scheduling policy of the multi-client server, exposed so its
+    properties (weighted-fair class cycle, round-robin order, the
+    per-client inflight cap) are testable deterministically, without
+    sockets or worker processes. Client keys are transport client ids;
+    priority classes are {!Proto.priority_class} values (batch 0,
+    normal 1, interactive 2). *)
 module Admission : sig
   type 'a t
 
   val create : client_inflight:int -> 'a t
   (** Raises [Invalid_argument] when [client_inflight < 1]. *)
 
-  val enqueue : 'a t -> int -> 'a -> unit
-  (** Appends to the client's FIFO; a client seen for the first time
-      joins the back of the round-robin rotation. *)
+  val enqueue : ?prio:int -> 'a t -> int -> 'a -> unit
+  (** Appends to the client's FIFO of class [prio] (default 1, clamped
+      into range); a (class, client) pair seen for the first time joins
+      the back of that class's round-robin rotation. *)
 
   val next : 'a t -> (int * 'a) option
-  (** Pops from the first client in rotation that has queued work and
-      fewer than [client_inflight] jobs outstanding; that client moves
-      to the back of the rotation. A client skipped for lack of headroom
-      keeps its place in line. [None] when no client is eligible. *)
+  (** Weighted-fair dequeue. Classes take turns along the fixed cycle
+      interactive, normal, interactive, batch, interactive, normal,
+      interactive (weights 4:2:1); when the scheduled class has no
+      eligible work the highest non-empty class goes instead, so a
+      worker never idles on ceremony. Within a class: pops from the
+      first client in rotation that has queued work and fewer than
+      [client_inflight] jobs outstanding (the cap is global across
+      classes); that client moves to the back of the rotation, and a
+      client skipped for lack of headroom keeps its place in line.
+      [None] when no client is eligible. *)
+
+  val steal_lowest : 'a t -> below:int -> (int * 'a) option
+  (** Evicts and returns the oldest queued item of the lowest non-empty
+      class strictly below [below] — priority-aware shedding at the
+      admission cap. [None] when every queued item is of class ≥
+      [below]. *)
 
   val settled : 'a t -> int -> unit
   (** One of the client's outstanding jobs finished; frees headroom. *)
 
   val cancel : 'a t -> int -> 'a list
-  (** Drops the client from the rotation and returns its queued (never
-      its outstanding) items, in FIFO order. *)
+  (** Drops the client from every class rotation and returns its queued
+      (never its outstanding) items, FIFO within each class, lowest
+      class first. *)
 
   val queued : 'a t -> int
   val queued_for : 'a t -> int -> int
@@ -157,22 +197,38 @@ type serve_config = {
   write_timeout : float;  (** stalled-write client eviction timeout *)
   serve_journal : string option;
       (** append settlements here and seed the cache from it on start *)
+  brownout_after : float option;
+      (** load watchdog: when the admission queue has stayed at or above
+          half of [queue_cap] for this many seconds continuously, the
+          server enters brownout — new [batch] jobs are shed on arrival
+          with a retriable [overloaded] reply, and non-interactive jobs
+          have their step budgets degraded once (same squeeze as a
+          retry) when dispatched — until the queue drains below the
+          threshold. Transitions are reason-coded in traces, logs and
+          the [serve.brownout] gauge. [None] (the default) disables the
+          watchdog. *)
 }
 
 val default_serve_config : serve_config
 (** [default_config] engine, no listeners, 256 cache entries, 8 jobs
-    per client inflight, 5s drain grace, 30s write timeout, no journal. *)
+    per client inflight, 5s drain grace, 30s write timeout, no journal,
+    no brownout watchdog. *)
 
 val serve_sockets :
   ?stdio:in_channel * out_channel ->
   ?preconnected:Unix.file_descr list ->
+  ?preconnected_abrupt:Unix.file_descr list ->
   serve_config ->
   unit
 (** The multi-client server. Listens per [listen]/[tcp] (either, both,
     or neither) and optionally serves a pre-connected [?stdio] pair;
     [?preconnected] fds (e.g. {!Transport.pair} ends) are registered as
     additional clients with the stdio EOF semantics — a half-close
-    drains queued jobs instead of cancelling them;
+    drains queued jobs instead of cancelling them —
+    while [?preconnected_abrupt] fds get the socket-client semantics
+    (EOF is a disconnect: queued jobs dropped, inflight and hedged
+    attempts aborted — exposed this way so the disconnect path is
+    testable without a real socket);
     runs until there is no listener, no client and no work left, or
     until SIGTERM/SIGINT triggers a graceful drain (stop accepting,
     shed queued jobs with retriable [overloaded] replies, wait up to
@@ -180,13 +236,20 @@ val serve_sockets :
     final trace flush).
 
     Per client: line-framed jobs in, replies out in settlement order;
-    admission is round-robin across clients with at most
-    [client_inflight] outstanding each; a malformed line draws a
+    admission is weighted-fair across priority classes and round-robin
+    across clients within a class (see {!Admission}), with at most
+    [client_inflight] outstanding per client; a malformed line draws a
     [bad-job] reply and closes that client (framing after garbage is
     untrustworthy) without touching any other client; a disconnect
-    cancels that client's {e queued} jobs only — inflight jobs settle,
-    are journaled and cached. Global [queue_cap] overflow sheds with a
-    retriable [overloaded] reply.
+    cancels that client's {e queued} jobs and aborts its inflight jobs
+    that are mid-hedge — an unhedged inflight job settles, is journaled
+    and cached. A job carrying [deadline_ms] that expires while queued
+    is shed with a retriable [deadline_exceeded] reply; one that
+    dispatches has its wall deadline and solver budget clamped to the
+    remaining client budget. Global [queue_cap] overflow first tries to
+    evict the oldest queued job of a strictly lower priority class
+    (shed with a retriable [overloaded] reply) before shedding the
+    arrival itself.
 
     Results: every settled non-error reply is cached under the job's
     canonical digest ({!Journal.canonical_digest}); an identical

@@ -41,6 +41,8 @@ let job ?(id = "j") ?(db = easy_db) ?(query = "aa") ?steps () =
     query;
     budget = { Proto.deadline = None; steps; memo_cap = None };
     faults = Some "off";
+    deadline_ms = None;
+    priority = Proto.default_priority;
     trace = None;
   }
 

@@ -10,6 +10,7 @@ open Resilience
 module Ser = Graphdb.Serialize
 module Proto = Runner.Proto
 module Journal = Runner.Journal
+module Cache = Runner.Cache
 
 let check = Alcotest.(check bool)
 
@@ -27,9 +28,25 @@ let hard_db =
   let pre, _ = Gadgets.gadget_aa () in
   Ser.to_string (Gadgets.encode pre g)
 
+(* Big enough that an exact solve cannot finish inside any deadline the
+   tests hand out — exercises budget clamping without a timing race. *)
+let slow_db =
+  let g = Graphs.Ugraph.complete 8 in
+  let pre, _ = Gadgets.gadget_aa () in
+  Ser.to_string (Gadgets.encode pre g)
+
 let job ?(id = "j") ?(db = easy_db) ?(query = "aa") ?deadline ?steps ?memo_cap
-    ?(faults = Some "off") () =
-  { Proto.id; db; query; budget = { Proto.deadline; steps; memo_cap }; faults; trace = None }
+    ?(faults = Some "off") ?deadline_ms ?(priority = Proto.default_priority) () =
+  {
+    Proto.id;
+    db;
+    query;
+    budget = { Proto.deadline; steps; memo_cap };
+    faults;
+    deadline_ms;
+    priority;
+    trace = None;
+  }
 
 let quick_cfg =
   {
@@ -131,7 +148,16 @@ let prop_proto_job_roundtrip =
     (quad string string (option (int_range 1 100000)) (option string))
     (fun (id, db, steps, faults) ->
       let j =
-        { Proto.id; db; query = "a*b"; budget = { Proto.no_budget with steps }; faults; trace = None }
+        {
+          Proto.id;
+          db;
+          query = "a*b";
+          budget = { Proto.no_budget with steps };
+          faults;
+          deadline_ms = None;
+          priority = Proto.default_priority;
+          trace = None;
+        }
       in
       Proto.job_of_json (Proto.job_to_json j) = Ok j)
 
@@ -499,6 +525,30 @@ let test_job_digest () =
   check "digest is stable" true (Journal.job_digest j1 = Journal.job_digest j2);
   check "digest covers the budget" false (Journal.job_digest j1 = Journal.job_digest j3)
 
+let test_digest_excludes_deadline_priority () =
+  (* deadline_ms and priority are delivery instructions, not part of
+     what is computed: jobs differing only in them must share digests —
+     and therefore share result-cache entries. *)
+  let base = job ~id:"x" ~steps:100 () in
+  let variant =
+    job ~id:"x" ~steps:100 ~deadline_ms:5000 ~priority:"interactive" ()
+  in
+  check "job digest ignores deadline and priority" true
+    (Journal.job_digest base = Journal.job_digest variant);
+  check "canonical digest ignores deadline and priority" true
+    (Journal.canonical_digest base = Journal.canonical_digest variant);
+  let cached = job ~id:"orig" () in
+  let good = Runner.run_job_locally cached in
+  let cache = Cache.create ~entries:4 in
+  Cache.store cache ~digest:(Journal.canonical_digest cached) good;
+  let resub = job ~id:"resub" ~deadline_ms:250 ~priority:"batch" () in
+  match Cache.find cache ~digest:(Journal.canonical_digest resub) ~id:"resub" with
+  | Cache.Hit r ->
+      check "cache hit across deadline/priority variants" true
+        (r.Proto.verdict = good.Proto.verdict)
+  | Cache.Miss | Cache.Cert_reject _ ->
+      Alcotest.fail "expected a cache hit for a job differing only in delivery fields"
+
 (* ---- local execution & policy ---- *)
 
 let test_run_job_locally () =
@@ -561,6 +611,7 @@ let test_degrade_budget_monotone () =
 (* ---- supervision sweeps ---- *)
 
 let run_batch ?journal ?(cfg = quick_cfg) jobs = Runner.run_batch ?journal cfg jobs
+let no_faults f = Faults.with_plan Faults.Off f
 
 let test_kill_sweep () =
   (* Workers self-SIGKILL at assorted ticks; with a step budget that
@@ -594,14 +645,130 @@ let test_kill_sweep () =
 
 let test_kill_every_tick_fails_structured () =
   (* kill:1 fires on the very first tick: no budget can preempt it, so
-     after all retries the job must fail — structurally, not by killing
-     the supervisor. *)
+     the job keeps killing workers until the poison quarantine (K=3
+     distinct worker deaths) settles it — structurally, not by killing
+     the supervisor, and without spending the remaining retry. *)
   let replies, stats = run_batch [ job ~id:"k1" ~db:hard_db ~steps:1000 ~faults:(Some "kill:1") () ] in
   check "one failure" true (stats.Runner.failures = 1);
   match replies with
   | [ r ] ->
+      check "kind is poison" true (failure_kind r = Some "poison");
+      check "quarantined at K deaths" true (r.Proto.attempts = Runner.default_config.Runner.poison_k)
+  | _ -> Alcotest.fail "expected one reply"
+
+let test_poison_disabled_spends_retries () =
+  (* poison_k = 0 disables quarantine: the same job burns every retry and
+     fails with the plain crash kind, as before this policy existed. *)
+  let cfg = { quick_cfg with Runner.poison_k = 0 } in
+  let replies, stats =
+    run_batch ~cfg [ job ~id:"k1" ~db:hard_db ~steps:1000 ~faults:(Some "kill:1") () ]
+  in
+  check "one failure" true (stats.Runner.failures = 1);
+  match replies with
+  | [ r ] ->
       check "kind is crash" true (failure_kind r = Some "crash");
-      check "all attempts spent" true (r.Proto.attempts = 1 + quick_cfg.Runner.retries)
+      check "all attempts spent" true (r.Proto.attempts = 1 + cfg.Runner.retries)
+  | _ -> Alcotest.fail "expected one reply"
+
+let counter_count name = Obs.Metrics.count (Obs.Metrics.counter name)
+
+let test_hedge_race_single_settlement () =
+  no_faults @@ fun () ->
+  (* hedge_after 0.0 with a spare worker: the speculative duplicate
+     launches immediately. Whoever finishes first must pass the
+     certificate gate, the loser dies without a crash event, and exactly
+     one settlement reaches the journal. *)
+  let cfg = { quick_cfg with Runner.hedge_after = Some 0.0; retries = 0 } in
+  let journal = Filename.temp_file "rpq_hedge" ".journal" in
+  Sys.remove journal;
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ journal; journal ^ ".tmp" ])
+  @@ fun () ->
+  let hedges0 = counter_count "runner.hedges_total" in
+  let replies, stats =
+    run_batch ~journal ~cfg [ job ~id:"h" ~db:hard_db ~steps:400 () ]
+  in
+  check "no failures" true (stats.Runner.failures = 0);
+  (match replies with
+  | [ r ] ->
+      check "settles bounded" true (is_bounded r);
+      check "hedge does not count as an attempt" true (r.Proto.attempts = 1)
+  | _ -> Alcotest.fail "expected one reply");
+  check "a hedge was launched" true (counter_count "runner.hedges_total" > hedges0);
+  match Runner.Journal.load journal with
+  | Error e -> Alcotest.failf "journal refuses to load: %s" e
+  | Ok rep ->
+      let settled = Runner.Journal.completed rep.Runner.Journal.entries in
+      check "exactly one settled answer journaled" true (Hashtbl.length settled = 1)
+
+let test_hedged_unhedged_parity () =
+  no_faults @@ fun () ->
+  (* The central hedging claim: under a deterministic fault plan, a
+     hedged run settles every job identically to an unhedged one —
+     same attempts, steps and verdict, wall clock aside. The duplicate
+     carries the primary's payload verbatim, so the kill fires at the
+     same tick on both sides. *)
+  let mk () =
+    [
+      job ~id:"kill" ~db:hard_db ~steps:1000 ~faults:(Some "kill:20") ();
+      job ~id:"easy" ();
+      job ~id:"hard" ~db:hard_db ~steps:400 ();
+    ]
+  in
+  let plain, _ = run_batch (mk ()) in
+  let hedged, _ =
+    run_batch ~cfg:{ quick_cfg with Runner.hedge_after = Some 0.0 } (mk ())
+  in
+  List.iter2
+    (fun (a : Proto.reply) b ->
+      check ("hedged parity for " ^ a.Proto.id) true
+        (Proto.reply_equal_ignoring_time a b))
+    plain hedged
+
+let test_deadline_queue_shed () =
+  no_faults @@ fun () ->
+  (* A single worker is pinned down by a wedging job for ~job_timeout +
+     grace; the easy job behind it carries a 100ms end-to-end deadline
+     and must be shed at dispatch time with a retriable
+     deadline_exceeded reply, never reaching a worker. *)
+  let cfg =
+    { quick_cfg with Runner.workers = 1; retries = 0; job_timeout = Some 0.4 }
+  in
+  let shed0 = counter_count "runner.deadline_exceeded_total" in
+  let replies, _ =
+    run_batch ~cfg
+      [
+        job ~id:"hog" ~db:hard_db ~steps:1000 ~faults:(Some "wedge:50") ();
+        job ~id:"late" ~deadline_ms:100 ();
+      ]
+  in
+  check "deadline shed counted" true
+    (counter_count "runner.deadline_exceeded_total" > shed0);
+  List.iter
+    (fun (r : Proto.reply) ->
+      if r.Proto.id = "late" then begin
+        check "late job shed as deadline_exceeded" true
+          (failure_kind r = Some "deadline_exceeded");
+        check "shed reply is retriable" true
+          (match r.Proto.verdict with
+          | Proto.V_failed { retriable; _ } -> retriable
+          | _ -> false)
+      end)
+    replies
+
+let test_deadline_clamps_budget () =
+  no_faults @@ fun () ->
+  (* No step budget at all: only the end-to-end deadline can stop this
+     solve, by clamping the worker's budget deadline to the remaining
+     client budget — so it settles as a certified bound, not a timeout
+     death. *)
+  let cfg = { quick_cfg with Runner.workers = 1; retries = 0 } in
+  let replies, stats = run_batch ~cfg [ job ~id:"clamp" ~db:slow_db ~deadline_ms:150 () ] in
+  check "no structured failures" true (stats.Runner.failures = 0);
+  match replies with
+  | [ r ] -> check "deadline clamps the budget to a certified bound" true (is_bounded r)
   | _ -> Alcotest.fail "expected one reply"
 
 let test_wedge_timeout_path () =
@@ -837,12 +1004,9 @@ let test_serve_roundtrip_and_shedding () =
 
 module Admission = Runner.Admission
 module Transport = Runner.Transport
-module Cache = Runner.Cache
 
 (* The transport consults the ambient fault plan ([net:*] sites); pin it
    off so the CI RPQ_FAULTS sweeps cannot perturb these tests. *)
-let no_faults f = Faults.with_plan Faults.Off f
-
 let test_admission_round_robin () =
   let adm = Admission.create ~client_inflight:100 in
   List.iter
@@ -893,6 +1057,102 @@ let test_admission_inflight_cap () =
   Alcotest.(check (list string)) "cancel returns queued FIFO" [ "a4" ] (Admission.cancel adm 1);
   check "cancelled client has nothing queued" true (Admission.queued_for adm 1 = 0);
   check "outstanding jobs were not cancelled" true (Admission.inflight_for adm 1 = 2)
+
+let test_admission_priority_classes () =
+  let adm = Admission.create ~client_inflight:100 in
+  (* One client per class, everything enqueued before the first pop: the
+     dequeue order is then exactly the weighted cycle (interactive 4 :
+     normal 2 : batch 1), with the highest non-empty class standing in
+     once the scheduled class drains. *)
+  List.iter
+    (fun (prio, cid, x) -> Admission.enqueue ~prio adm cid x)
+    [
+      (0, 1, "b1"); (0, 1, "b2");
+      (1, 2, "n1"); (1, 2, "n2"); (1, 2, "n3");
+      (2, 3, "i1"); (2, 3, "i2"); (2, 3, "i3"); (2, 3, "i4");
+    ];
+  let order = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Admission.next adm with
+    | Some (_, x) -> order := x :: !order
+    | None -> continue := false
+  done;
+  Alcotest.(check (list string))
+    "weighted cycle with fallback"
+    [ "i1"; "n1"; "i2"; "b1"; "i3"; "n2"; "i4"; "n3"; "b2" ]
+    (List.rev !order);
+  (* Priority eviction at the cap: steal_lowest takes the oldest item of
+     the lowest class strictly below the arrival's, or refuses. *)
+  Admission.enqueue ~prio:0 adm 1 "b3";
+  Admission.enqueue ~prio:1 adm 2 "n4";
+  check "steal below interactive takes the batch item" true
+    (Admission.steal_lowest adm ~below:2 = Some (1, "b3"));
+  check "steal below normal refuses the normal item" true
+    (Admission.steal_lowest adm ~below:1 = None);
+  check "steal below batch never fires" true
+    (Admission.steal_lowest adm ~below:0 = None);
+  check "with batch gone the normal item is lowest" true
+    (Admission.steal_lowest adm ~below:2 = Some (2, "n4"));
+  check "nothing left queued" true (Admission.queued adm = 0)
+
+let test_serve_disconnect_aborts_hedge () =
+  no_faults @@ fun () ->
+  (* A client submits a job that can only wedge, lingers long enough for
+     the server to hedge it, then vanishes abruptly. Both attempts must
+     be aborted (the serve loop exits promptly instead of waiting out
+     the 5s wall backstop), the admission slot released, and no orphan
+     settlement journaled. *)
+  let journal = Filename.temp_file "rpq_disc" ".journal" in
+  Sys.remove journal;
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ journal; journal ^ ".tmp" ])
+  @@ fun () ->
+  let srv_fd, cli_fd = Transport.pair () in
+  let stuck = job ~id:"stuck" ~db:hard_db ~steps:1000 ~faults:(Some "wedge:50") () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close srv_fd;
+      let oc = Unix.out_channel_of_descr cli_fd in
+      output_string oc (Proto.job_to_wire_json stuck ^ "\n");
+      flush oc;
+      Unix.sleepf 0.5;
+      Unix._exit 0
+  | pid ->
+      Unix.close cli_fd;
+      let cancelled0 = counter_count "serve.cancelled" in
+      let hedges0 = counter_count "runner.hedges_total" in
+      let scfg =
+        {
+          Runner.default_serve_config with
+          Runner.base =
+            {
+              quick_cfg with
+              Runner.workers = 2;
+              hedge_after = Some 0.05;
+              job_timeout = Some 5.0;
+            };
+          serve_journal = Some journal;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      Runner.serve_sockets ~preconnected_abrupt:[ srv_fd ] scfg;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      ignore (Unix.waitpid [] pid);
+      check "the job was hedged before the disconnect" true
+        (counter_count "runner.hedges_total" > hedges0);
+      check "disconnect cancelled the inflight job" true
+        (counter_count "serve.cancelled" > cancelled0);
+      check "serve exited by abort, not by the wall backstop" true (elapsed < 4.0);
+      if Sys.file_exists journal then begin
+        match Runner.Journal.load journal with
+        | Error e -> Alcotest.failf "journal refuses to load: %s" e
+        | Ok rep ->
+            check "no orphan settlement journaled" true
+              (Hashtbl.length (Runner.Journal.completed rep.Runner.Journal.entries) = 0)
+      end
 
 let test_transport_write_timeout () =
   no_faults @@ fun () ->
@@ -1155,10 +1415,10 @@ let test_trace_stitched_kill () =
                     | None -> Alcotest.fail "traced reply without a usable trace ctx"
                   end
                 | _ ->
-                    check "killed job fails structurally" true
-                      (failure_kind r = Some "crash");
-                    check "killed job exhausted its retries" true
-                      (r.Proto.attempts = quick_cfg.Runner.retries + 1))
+                    check "killed job quarantined as poison" true
+                      (failure_kind r = Some "poison");
+                    check "killed job quarantined at K deaths" true
+                      (r.Proto.attempts = quick_cfg.Runner.poison_k))
               rs
         | rs -> Alcotest.failf "expected one client's replies, got %d" (List.length rs));
         Trace.close_span h)
@@ -1218,6 +1478,8 @@ let () =
           Alcotest.test_case "crash sites" `Quick test_journal_crash_sites;
           Alcotest.test_case "last done wins" `Quick test_journal_last_wins;
           Alcotest.test_case "job digest" `Quick test_job_digest;
+          Alcotest.test_case "digest excludes delivery fields" `Quick
+            test_digest_excludes_deadline_priority;
         ] );
       ( "policy",
         [
@@ -1230,8 +1492,13 @@ let () =
         [
           Alcotest.test_case "kill sweep degrades to bounds" `Quick test_kill_sweep;
           Alcotest.test_case "kill:1 fails structurally" `Quick test_kill_every_tick_fails_structured;
+          Alcotest.test_case "poison off spends retries" `Quick test_poison_disabled_spends_retries;
           Alcotest.test_case "wedge takes the sigkill path" `Quick test_wedge_timeout_path;
           Alcotest.test_case "reply order and duplicate ids" `Quick test_batch_order_and_dup;
+          Alcotest.test_case "hedge settles exactly once" `Quick test_hedge_race_single_settlement;
+          Alcotest.test_case "hedged equals unhedged" `Quick test_hedged_unhedged_parity;
+          Alcotest.test_case "queued deadline sheds" `Quick test_deadline_queue_shed;
+          Alcotest.test_case "deadline clamps the budget" `Quick test_deadline_clamps_budget;
         ] );
       ( "recovery",
         [
@@ -1246,6 +1513,9 @@ let () =
           Alcotest.test_case "roundtrip + shedding" `Quick test_serve_roundtrip_and_shedding;
           Alcotest.test_case "admission round-robin" `Quick test_admission_round_robin;
           Alcotest.test_case "admission inflight cap" `Quick test_admission_inflight_cap;
+          Alcotest.test_case "admission priority classes" `Quick test_admission_priority_classes;
+          Alcotest.test_case "disconnect aborts hedged job" `Quick
+            test_serve_disconnect_aborts_hedge;
           Alcotest.test_case "write-timeout kills stalled client" `Quick test_transport_write_timeout;
           Alcotest.test_case "backpressure gates input" `Quick test_transport_backpressure;
           Alcotest.test_case "two clients, namespaced ids" `Quick test_serve_two_clients;
